@@ -1,0 +1,277 @@
+(* Benchmark harness: regenerates the paper's Table 1 and Table 2 (scaled),
+   plus two ablations (checker variants; linear-vs-superlinear scaling) and
+   a Bechamel micro-benchmark of per-event cost.
+
+   Usage: dune exec bench/main.exe -- [--table 1|2] [--scale F]
+          [--timeout S] [--only NAME] [--no-micro] [--no-ablation]
+          [--no-scaling] [--seed N] *)
+
+open Traces
+
+let fmt = Format.std_formatter
+
+type options = {
+  mutable tables : int list;
+  mutable scale : float;
+  mutable timeout : float;
+  mutable only : string option;
+  mutable micro : bool;
+  mutable ablation : bool;
+  mutable scaling : bool;
+  mutable markdown : bool;
+}
+
+let opts =
+  {
+    tables = [ 1; 2 ];
+    scale = 1.0;
+    timeout = 5.0;
+    only = None;
+    micro = true;
+    ablation = true;
+    scaling = true;
+    markdown = false;
+  }
+
+let parse_args () =
+  let rec go = function
+    | [] -> ()
+    | "--table" :: n :: rest ->
+      opts.tables <- [ int_of_string n ];
+      go rest
+    | "--scale" :: f :: rest ->
+      opts.scale <- float_of_string f;
+      go rest
+    | "--timeout" :: s :: rest ->
+      opts.timeout <- float_of_string s;
+      go rest
+    | "--only" :: name :: rest ->
+      opts.only <- Some name;
+      go rest
+    | "--no-micro" :: rest ->
+      opts.micro <- false;
+      go rest
+    | "--no-ablation" :: rest ->
+      opts.ablation <- false;
+      go rest
+    | "--no-scaling" :: rest ->
+      opts.scaling <- false;
+      go rest
+    | "--markdown" :: rest ->
+      opts.markdown <- true;
+      go rest
+    | arg :: _ ->
+      Printf.eprintf "unknown argument %S\n" arg;
+      exit 2
+  in
+  go (List.tl (Array.to_list Sys.argv))
+
+let aerodrome : Aerodrome.Checker.t = (module Aerodrome.Opt)
+let velodrome : Aerodrome.Checker.t = (module Velodrome.Online)
+
+let bench_profile (p : Workloads.Profile.t) =
+  let tr = Workloads.Profile.generate ~scale:opts.scale p in
+  let meta = Analysis.Metainfo.analyze tr in
+  let v = Analysis.Runner.run ~timeout:opts.timeout velodrome tr in
+  let a = Analysis.Runner.run ~timeout:opts.timeout aerodrome tr in
+  (* Sanity: the verdict must match the profile's plan whenever the run
+     completed. *)
+  (match (a.outcome, Workloads.Profile.expected_violating p) with
+  | Analysis.Runner.Verdict verdict, expected ->
+    if Option.is_some verdict <> expected then
+      Format.fprintf fmt
+        "!! %s: AeroDrome verdict %s but the workload plan expects %s@."
+        p.name
+        (if Option.is_some verdict then "violating" else "serializable")
+        (if expected then "violating" else "serializable")
+  | Analysis.Runner.Timed_out, _ -> ());
+  Analysis.Report.make_row ~name:p.name ~meta ~velodrome:v ~aerodrome:a
+    ~timeout:opts.timeout ~paper:p.paper ()
+
+let run_table n =
+  let profiles =
+    (if n = 1 then Workloads.Benchmarks.table1 else Workloads.Benchmarks.table2)
+    |> List.filter (fun (p : Workloads.Profile.t) ->
+           match opts.only with None -> true | Some name -> p.name = name)
+  in
+  if profiles <> [] then begin
+    let rows = List.map bench_profile profiles in
+    let title =
+      if n = 1 then
+        "Table 1: benchmarks with realistic atomicity specifications \
+         (scaled reproduction)"
+      else
+        "Table 2: benchmarks with naive atomicity specifications (scaled \
+         reproduction)"
+    in
+    Format.fprintf fmt "@.";
+    if opts.markdown then Analysis.Report.render_markdown fmt ~title rows
+    else begin
+      Analysis.Report.render_comparison fmt ~title rows;
+      Format.fprintf fmt
+        "(events scaled from the paper's traces; shapes — who wins and \
+         where Velodrome times out — are the reproduction target)@."
+    end
+  end
+
+(* Ablation A: AeroDrome variants and Velodrome with/without GC. *)
+let run_ablation () =
+  let variants : (string * Aerodrome.Checker.t) list =
+    [
+      ("aerodrome-basic (Alg 1)", (module Aerodrome.Basic));
+      ("aerodrome-reduced (Alg 2)", (module Aerodrome.Reduced));
+      ("aerodrome (Alg 3)", (module Aerodrome.Opt));
+      ("aerodrome slow-checks", Aerodrome.Opt.slow_checker);
+      ("velodrome", velodrome);
+      ("velodrome no-gc", Velodrome.Online.no_gc_checker);
+      ("velodrome pearce-kelly", Velodrome.Online.pk_checker);
+    ]
+  in
+  let workloads =
+    [
+      ( "independent 120K events",
+        Workloads.Generator.generate
+          {
+            Workloads.Generator.default with
+            events = int_of_float (120_000. *. opts.scale);
+            threads = 8;
+            locks = 8;
+            vars = 50_000;
+          } );
+      ( "anchored 60K events",
+        Workloads.Generator.generate
+          {
+            Workloads.Generator.default with
+            events = int_of_float (60_000. *. opts.scale);
+            threads = 8;
+            locks = 4;
+            vars = 30_000;
+            shape = Workloads.Generator.Anchored;
+          } );
+    ]
+  in
+  Format.fprintf fmt
+    "@.Ablation A: checker variants (times; serializable workloads so every \
+     checker scans the full trace)@.";
+  List.iter
+    (fun (wname, tr) ->
+      Format.fprintf fmt "  workload: %s (%d events)@." wname (Trace.length tr);
+      List.iter
+        (fun (vname, checker) ->
+          let r = Analysis.Runner.run ~timeout:opts.timeout checker tr in
+          let cell =
+            match r.Analysis.Runner.outcome with
+            | Analysis.Runner.Timed_out -> "TO"
+            | Analysis.Runner.Verdict None ->
+              Printf.sprintf "%8.3fs" r.seconds
+            | Analysis.Runner.Verdict (Some _) ->
+              Printf.sprintf "%8.3fs (violation?!)" r.seconds
+          in
+          Format.fprintf fmt "    %-28s %s@." vname cell)
+        variants)
+    workloads
+
+(* Ablation B: runtime growth with trace length — AeroDrome stays linear,
+   Velodrome grows superlinearly on the anchored shape. *)
+let run_scaling () =
+  let sizes =
+    List.map
+      (fun n -> int_of_float (float_of_int n *. opts.scale))
+      [ 15_000; 30_000; 60_000; 120_000 ]
+  in
+  let config =
+    {
+      Workloads.Generator.default with
+      threads = 8;
+      locks = 4;
+      vars = 80_000;
+      shape = Workloads.Generator.Anchored;
+    }
+  in
+  Format.fprintf fmt
+    "@.Ablation B: scaling on the anchored shape (serializable traces)@.";
+  Format.fprintf fmt "  %10s  %12s %14s  %12s %14s  %12s %14s@." "events"
+    "aerodrome" "(ns/event)" "velodrome" "(ns/event)" "velodrome-pk"
+    "(ns/event)";
+  List.iter
+    (fun (n, tr) ->
+      let a = Analysis.Runner.run ~timeout:opts.timeout aerodrome tr in
+      let v = Analysis.Runner.run ~timeout:opts.timeout velodrome tr in
+      let p =
+        Analysis.Runner.run ~timeout:opts.timeout Velodrome.Online.pk_checker
+          tr
+      in
+      let cell (r : Analysis.Runner.result) =
+        match r.outcome with
+        | Analysis.Runner.Timed_out -> ("TO", "-")
+        | Analysis.Runner.Verdict _ ->
+          ( Printf.sprintf "%.3fs" r.seconds,
+            Printf.sprintf "%.0f"
+              (r.seconds *. 1e9 /. float_of_int (max r.events_fed 1)) )
+      in
+      let at, an = cell a and vt, vn = cell v and pt, pn = cell p in
+      Format.fprintf fmt "  %10d  %12s %14s  %12s %14s  %12s %14s@."
+        (Trace.length tr) at an vt vn pt pn;
+      ignore n)
+    (Workloads.Generator.scaling ~config sizes)
+
+(* Micro-benchmark: per-event cost of the streaming checkers (Bechamel). *)
+let run_micro () =
+  let open Bechamel in
+  let tr =
+    Workloads.Generator.generate
+      {
+        Workloads.Generator.default with
+        events = 20_000;
+        threads = 6;
+        locks = 4;
+        vars = 10_000;
+      }
+  in
+  let feed_all (module C : Aerodrome.Checker.S) () =
+    ignore (Aerodrome.Checker.run (module C) tr)
+  in
+  let test =
+    Test.make_grouped ~name:"full-run/20K-events"
+      [
+        Test.make ~name:"aerodrome"
+          (Staged.stage (feed_all (module Aerodrome.Opt)));
+        Test.make ~name:"aerodrome-reduced"
+          (Staged.stage (feed_all (module Aerodrome.Reduced)));
+        Test.make ~name:"aerodrome-basic"
+          (Staged.stage (feed_all (module Aerodrome.Basic)));
+        Test.make ~name:"velodrome"
+          (Staged.stage (feed_all (module Velodrome.Online)));
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) () in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let raw = Benchmark.all cfg instances test in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Format.fprintf fmt
+    "@.Micro-benchmark: one full 20K-event analysis run (Bechamel OLS)@.";
+  let names = Hashtbl.fold (fun k _ acc -> k :: acc) results [] in
+  List.iter
+    (fun name ->
+      let est = Hashtbl.find results name in
+      match Analyze.OLS.estimates est with
+      | Some (t :: _) ->
+        Format.fprintf fmt "  %-40s %10.2f ms/run  %6.1f ns/event@." name
+          (t /. 1e6)
+          (t /. 20_000.)
+      | _ -> Format.fprintf fmt "  %-40s (no estimate)@." name)
+    (List.sort String.compare names)
+
+let () =
+  parse_args ();
+  Format.fprintf fmt
+    "AeroDrome reproduction benchmarks (scale %.2f, timeout %.1fs)@."
+    opts.scale opts.timeout;
+  List.iter run_table opts.tables;
+  if opts.ablation && opts.only = None then run_ablation ();
+  if opts.scaling && opts.only = None then run_scaling ();
+  if opts.micro && opts.only = None then run_micro ();
+  Format.pp_print_flush fmt ()

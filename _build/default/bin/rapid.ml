@@ -1,0 +1,400 @@
+(* rapid: command-line driver mirroring the paper's RAPID tool.
+
+   Subcommands:
+     metainfo  — trace statistics (RAPID's MetaInfo class)
+     check     — run an atomicity checker on a trace file
+     generate  — produce a synthetic trace (benchmark profile or custom)
+     profiles  — list benchmark profiles
+     table     — regenerate a paper table (also available via bench/main.exe) *)
+
+open Cmdliner
+
+(* Trace files are auto-detected: binary (Binfmt magic) or text. *)
+let read_trace path =
+  if Traces.Binfmt.is_binary path then
+    try Traces.Binfmt.read_file path
+    with Traces.Binfmt.Corrupt msg ->
+      Format.eprintf "%s@." msg;
+      exit 2
+  else
+    match Traces.Parser.parse_file path with
+    | Ok tr -> tr
+    | Error e ->
+      Format.eprintf "%s: %a@." path Traces.Parser.pp_error e;
+      exit 2
+
+let checker_of_name = function
+  | "aerodrome" -> Ok (module Aerodrome.Opt : Aerodrome.Checker.S)
+  | "aerodrome-basic" -> Ok (module Aerodrome.Basic : Aerodrome.Checker.S)
+  | "aerodrome-reduced" -> Ok (module Aerodrome.Reduced : Aerodrome.Checker.S)
+  | "velodrome" -> Ok (module Velodrome.Online : Aerodrome.Checker.S)
+  | "velodrome-nogc" -> Ok Velodrome.Online.no_gc_checker
+  | "velodrome-pk" -> Ok Velodrome.Online.pk_checker
+  | other -> Error (`Msg (Printf.sprintf "unknown algorithm %S" other))
+
+let algo_conv =
+  Arg.conv
+    ( (fun s -> checker_of_name s),
+      fun ppf (module C : Aerodrome.Checker.S) ->
+        Format.pp_print_string ppf C.name )
+
+let trace_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"TRACE" ~doc:"Trace file in the rapid .std format.")
+
+(* metainfo *)
+
+let metainfo_cmd =
+  let run path =
+    let tr = read_trace path in
+    Format.printf "%a@." Analysis.Metainfo.pp (Analysis.Metainfo.analyze tr)
+  in
+  Cmd.v
+    (Cmd.info "metainfo" ~doc:"Print statistics of a trace file")
+    Term.(const run $ trace_arg)
+
+(* check *)
+
+let check_cmd =
+  let algo =
+    Arg.(
+      value
+      & opt algo_conv (module Aerodrome.Opt : Aerodrome.Checker.S)
+      & info [ "a"; "algorithm" ] ~docv:"ALGO"
+          ~doc:
+            "Checker: aerodrome (default), aerodrome-basic, \
+             aerodrome-reduced, velodrome, velodrome-nogc, velodrome-pk.")
+  in
+  let timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "t"; "timeout" ] ~docv:"SECONDS" ~doc:"Wall-clock budget.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Only set the exit code.")
+  in
+  let run checker timeout quiet path =
+    (* binary traces are analyzed streaming; text traces are materialized *)
+    let r =
+      if Traces.Binfmt.is_binary path then
+        try Analysis.Runner.run_binary_file ?timeout checker path
+        with Traces.Binfmt.Corrupt msg ->
+          Format.eprintf "%s@." msg;
+          exit 2
+      else Analysis.Runner.run ?timeout checker (read_trace path)
+    in
+    if not quiet then Format.printf "%a@." Analysis.Runner.pp r;
+    match r.Analysis.Runner.outcome with
+    | Analysis.Runner.Verdict (Some _) -> exit 1
+    | Analysis.Runner.Verdict None -> exit 0
+    | Analysis.Runner.Timed_out -> exit 3
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Check a trace for conflict-serializability violations (exit code: \
+          0 serializable, 1 violation, 3 timeout)")
+    Term.(const run $ algo $ timeout $ quiet $ trace_arg)
+
+(* generate *)
+
+let generate_cmd =
+  let profile =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "p"; "profile" ] ~docv:"NAME"
+          ~doc:"Benchmark profile (see $(b,rapid profiles)).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output file (default stdout).")
+  in
+  let scale =
+    Arg.(
+      value & opt float 1.0
+      & info [ "scale" ] ~docv:"F" ~doc:"Event-count multiplier.")
+  in
+  let seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seed" ] ~docv:"N" ~doc:"Override the profile's seed.")
+  in
+  let events =
+    Arg.(
+      value & opt int 10_000
+      & info [ "events" ] ~docv:"N" ~doc:"Custom workload: target events.")
+  in
+  let threads =
+    Arg.(
+      value & opt int 4
+      & info [ "threads" ] ~docv:"N" ~doc:"Custom workload: threads.")
+  in
+  let shape =
+    Arg.(
+      value
+      & opt (enum [ ("independent", Workloads.Generator.Independent);
+                    ("anchored", Workloads.Generator.Anchored) ])
+          Workloads.Generator.Independent
+      & info [ "shape" ] ~docv:"SHAPE" ~doc:"Custom workload: shape.")
+  in
+  let violate =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "violate-at" ] ~docv:"F"
+          ~doc:"Custom workload: inject a violation at this trace fraction.")
+  in
+  let run profile out scale seed events threads shape violate =
+    let config =
+      match profile with
+      | Some name -> (
+        match Workloads.Benchmarks.find name with
+        | Some p -> Workloads.Profile.scaled p scale
+        | None ->
+          Format.eprintf "unknown profile %S (try: rapid profiles)@." name;
+          exit 2)
+      | None ->
+        let plan =
+          match violate with
+          | None -> Workloads.Generator.Atomic
+          | Some f -> Workloads.Generator.Violate_at f
+        in
+        let threads =
+          if shape = Workloads.Generator.Anchored then max threads 4
+          else threads
+        in
+        {
+          Workloads.Generator.default with
+          events = int_of_float (float_of_int events *. scale);
+          threads;
+          shape;
+          plan;
+          vars = max Workloads.Generator.default.vars (events / 3);
+        }
+    in
+    let config =
+      match seed with
+      | Some s -> { config with Workloads.Generator.seed = Int64.of_int s }
+      | None -> config
+    in
+    let tr = Workloads.Generator.generate config in
+    match out with
+    | Some path ->
+      Traces.Parser.to_file path tr;
+      Format.printf "wrote %d events to %s@." (Traces.Trace.length tr) path
+    | None -> print_string (Traces.Parser.to_string tr)
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a synthetic trace")
+    Term.(
+      const run $ profile $ out $ scale $ seed $ events $ threads $ shape
+      $ violate)
+
+(* convert: text <-> binary *)
+
+let convert_cmd =
+  let out =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"OUT" ~doc:"Output file.")
+  in
+  let to_text =
+    Arg.(
+      value & flag
+      & info [ "text" ] ~doc:"Write the textual format (default: binary).")
+  in
+  let run to_text path out =
+    let tr = read_trace path in
+    if to_text then Traces.Parser.to_file out tr
+    else Traces.Binfmt.write_file out tr;
+    let size f =
+      let ic = open_in_bin f in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> in_channel_length ic)
+    in
+    Format.printf "%s: %d events, %d -> %d bytes@." out
+      (Traces.Trace.length tr) (size path) (size out)
+  in
+  Cmd.v
+    (Cmd.info "convert"
+       ~doc:"Convert a trace between the textual and binary formats")
+    Term.(const run $ to_text $ trace_arg $ out)
+
+(* explain: everything we know about a trace's first violation *)
+
+let explain_cmd =
+  let run path =
+    let tr = read_trace path in
+    match Aerodrome.Checker.run (module Aerodrome.Opt) tr with
+    | None -> Format.printf "conflict serializable: nothing to explain@."
+    | Some v ->
+      Format.printf "%a@.@." Aerodrome.Violation.pp v;
+      (* the baseline's witness cycle *)
+      (match Aerodrome.Checker.run (module Velodrome.Online) tr with
+      | Some { site = Aerodrome.Violation.Graph_cycle cycle; index; _ } ->
+        Format.printf "velodrome witness (at event %d): transactions %a@."
+          (index + 1)
+          (Format.pp_print_list
+             ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " -> ")
+             Format.pp_print_int)
+          cycle
+      | _ -> ());
+      (* the Proposition 1 event-level witness, on a window around the
+         violation to keep the quadratic analysis tractable *)
+      let window_start = max 0 (v.Aerodrome.Violation.index - 2_000) in
+      let window =
+        Traces.Transform.limit_window window_start
+          (v.Aerodrome.Violation.index - window_start + 1)
+          tr
+      in
+      if Traces.Trace.length window <= 5_000 then begin
+        let chb = Aerodrome.Chb.compute window in
+        match Aerodrome.Chb.first_path_witness chb window with
+        | Some (i, j) ->
+          Format.printf
+            "prop-1 witness (indices in the %d-event window): e%d ->* e%d and e%d <=CHB e%d@."
+            (Traces.Trace.length window) (i + 1) (j + 1) (j + 1) (i + 1);
+          Format.printf "  e%d = %a@.  e%d = %a@." (i + 1) Traces.Event.pp
+            (Traces.Trace.get window i) (j + 1) Traces.Event.pp
+            (Traces.Trace.get window j)
+        | None -> ()
+      end
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Check a trace and explain the first violation (witness cycle and           Proposition 1 event pair)")
+    Term.(const run $ trace_arg)
+
+(* clocks: the Figure 5/6/7-style clock-evolution table *)
+
+let clocks_cmd =
+  let limit =
+    Arg.(
+      value & opt int 64
+      & info [ "n"; "limit" ] ~docv:"N" ~doc:"Print at most N events.")
+  in
+  let run limit path =
+    let tr = read_trace path in
+    let threads = Traces.Trace.threads tr in
+    if threads > 8 then begin
+      Format.eprintf "clocks: refusing to print %d-wide vector clocks@."
+        threads;
+      exit 2
+    end;
+    let st =
+      Aerodrome.Basic.create ~threads ~locks:(Traces.Trace.locks tr)
+        ~vars:(Traces.Trace.vars tr)
+    in
+    let symbols = Traces.Trace.symbols tr in
+    let name_of e =
+      match symbols with
+      | Some s -> Traces.Trace.Symbols.thread s (Traces.Event.thread e)
+      | None -> Traces.Ids.Tid.to_string (Traces.Event.thread e)
+    in
+    Format.printf "%5s  %-24s" "event" "operation";
+    for t = 0 to threads - 1 do
+      Format.printf "  %14s" (Printf.sprintf "C_%d" t)
+    done;
+    Format.printf "@.";
+    (try
+       Traces.Trace.iteri
+         (fun i e ->
+           if i >= limit then raise Exit;
+           let r = Aerodrome.Basic.feed st e in
+           Format.printf "%5d  %-24s" (i + 1)
+             (Format.asprintf "%s:%a" (name_of e) Traces.Event.pp_op
+                (Traces.Event.op e));
+           for t = 0 to threads - 1 do
+             Format.printf "  %14s"
+               (Vclock.Vtime.to_string (Aerodrome.Basic.thread_clock st t))
+           done;
+           Format.printf "@.";
+           match r with
+           | Some v ->
+             Format.printf "%a@." Aerodrome.Violation.pp v;
+             raise Exit
+           | None -> ())
+         tr
+     with Exit -> ())
+  in
+  Cmd.v
+    (Cmd.info "clocks"
+       ~doc:
+         "Replay a trace through Algorithm 1 printing the vector-clock \
+          evolution (in the style of the paper's Figures 5-7)")
+    Term.(const run $ limit $ trace_arg)
+
+(* profiles *)
+
+let profiles_cmd =
+  let run () =
+    List.iter
+      (fun (p : Workloads.Profile.t) ->
+        Format.printf "%a@." Workloads.Profile.pp p)
+      Workloads.Benchmarks.all
+  in
+  Cmd.v
+    (Cmd.info "profiles" ~doc:"List benchmark profiles")
+    Term.(const run $ const ())
+
+(* table *)
+
+let table_cmd =
+  let id =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "id" ] ~docv:"N" ~doc:"Table number: 1 or 2.")
+  in
+  let scale =
+    Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"F" ~doc:"Scale.")
+  in
+  let timeout =
+    Arg.(
+      value & opt float 5.0
+      & info [ "timeout" ] ~docv:"S" ~doc:"Per-run budget.")
+  in
+  let run id scale timeout =
+    let profiles =
+      if id = 1 then Workloads.Benchmarks.table1
+      else if id = 2 then Workloads.Benchmarks.table2
+      else begin
+        Format.eprintf "table id must be 1 or 2@.";
+        exit 2
+      end
+    in
+    let rows =
+      List.map
+        (fun (p : Workloads.Profile.t) ->
+          let tr = Workloads.Profile.generate ~scale p in
+          let meta = Analysis.Metainfo.analyze tr in
+          let v =
+            Analysis.Runner.run ~timeout (module Velodrome.Online) tr
+          in
+          let a = Analysis.Runner.run ~timeout (module Aerodrome.Opt) tr in
+          Analysis.Report.make_row ~name:p.name ~meta ~velodrome:v
+            ~aerodrome:a ~timeout ~paper:p.paper ())
+        profiles
+    in
+    Analysis.Report.render_comparison Format.std_formatter
+      ~title:(Printf.sprintf "Table %d (scaled reproduction)" id)
+      rows
+  in
+  Cmd.v
+    (Cmd.info "table" ~doc:"Regenerate a paper table")
+    Term.(const run $ id $ scale $ timeout)
+
+let () =
+  let doc = "dynamic atomicity checking (AeroDrome / Velodrome)" in
+  let info = Cmd.info "rapid" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ metainfo_cmd; check_cmd; generate_cmd; convert_cmd; explain_cmd; clocks_cmd; profiles_cmd; table_cmd ]))

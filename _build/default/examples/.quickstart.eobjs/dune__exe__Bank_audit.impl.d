@@ -1,0 +1,1 @@
+examples/bank_audit.ml: Aerodrome Array Format Printf Trace Traces Transactions Velodrome Workloads

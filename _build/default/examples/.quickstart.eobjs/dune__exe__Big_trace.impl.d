@@ -1,0 +1,1 @@
+examples/big_trace.ml: Aerodrome Analysis Binfmt Filename Format Fun Sys Trace Traces Unix Velodrome Workloads

@@ -1,0 +1,1 @@
+examples/big_trace.mli:

@@ -1,0 +1,1 @@
+examples/philosophers.ml: Aerodrome Analysis Array Event Format Ids List Trace Traces Velodrome Workloads

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Aerodrome Event Format Trace Traces Vclock Velodrome

@@ -1,0 +1,1 @@
+examples/trace_files.ml: Aerodrome Analysis Filename Format Fun Parser Sys Trace Traces Velodrome Workloads

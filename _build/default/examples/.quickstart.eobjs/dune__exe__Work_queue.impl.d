@@ -1,0 +1,1 @@
+examples/work_queue.ml: Aerodrome Array Format List Trace Traces Transactions Velodrome Workloads

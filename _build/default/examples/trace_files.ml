@@ -1,0 +1,46 @@
+(* Working with trace files: generate a benchmark workload, write it in
+   the textual .std format, parse it back, and analyze it — the same
+   pipeline as the rapid CLI (bin/rapid.ml), as a library client.
+
+   Run with: dune exec examples/trace_files.exe *)
+
+open Traces
+
+let () =
+  (* 1. Generate a scaled-down "sunflow"-like workload (Table 1 row). *)
+  let profile =
+    match Workloads.Benchmarks.find "sunflow" with
+    | Some p -> p
+    | None -> failwith "profile missing"
+  in
+  let tr = Workloads.Profile.generate ~scale:0.05 profile in
+  Format.printf "generated %s: %d events@." profile.name (Trace.length tr);
+
+  (* 2. Round-trip through the on-disk format. *)
+  let path = Filename.temp_file "aerodrome_example" ".std" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Parser.to_file path tr;
+      Format.printf "wrote %s (%d bytes)@." path
+        (let st = open_in_bin path in
+         Fun.protect
+           ~finally:(fun () -> close_in_noerr st)
+           (fun () -> in_channel_length st));
+      let tr = Parser.parse_file_exn path in
+
+      (* 3. MetaInfo, like `rapid metainfo`. *)
+      Format.printf "%a@." Analysis.Metainfo.pp (Analysis.Metainfo.analyze tr);
+
+      (* 4. Check with both algorithms and compare, like `rapid table`. *)
+      let velodrome =
+        Analysis.Runner.run ~timeout:5.0 (module Velodrome.Online) tr
+      in
+      let aerodrome =
+        Analysis.Runner.run ~timeout:5.0 (module Aerodrome.Opt) tr
+      in
+      Format.printf "%a@.%a@." Analysis.Runner.pp velodrome Analysis.Runner.pp
+        aerodrome;
+      match Analysis.Runner.speedup ~baseline:velodrome aerodrome with
+      | Some s -> Format.printf "speedup (velodrome/aerodrome): %.1fx@." s
+      | None -> Format.printf "both runs timed out@.")

@@ -1,0 +1,101 @@
+(* A fork/join work-queue pipeline, and why long-running atomic blocks are
+   risky.
+
+   A coordinator forks worker threads, then runs one long atomic block
+   that hands out job descriptors (single-assignment variables) and
+   collects results.  Workers process jobs inside their own atomic blocks.
+   As long as the data flows one way — coordinator publishes, workers
+   consume, workers publish results to fresh cells the coordinator reads
+   only after the producing worker's block ended — everything serializes.
+
+   The bug: a worker posts a progress note into a mailbox cell that the
+   coordinator polls while both blocks are still open.  Now the worker's
+   block must come both after the coordinator's (it consumed a job) and
+   before it (the coordinator saw its note): a cycle, reported by every
+   checker.  This is the shape of the paper's avrora/lusearch rows, where
+   a long-lived dispatcher transaction makes Velodrome's graph huge while
+   AeroDrome stays linear.
+
+   Run with: dune exec examples/work_queue.exe *)
+
+open Traces
+
+let workers = 3
+let coordinator = 0
+let jobs_per_worker = 8
+
+let simulate ~progress_notes =
+  let b = Trace.Builder.create () in
+  let rng = Workloads.Rng.create 7L in
+  (* Variable layout: one job cell and one result cell per job, plus one
+     mailbox cell. *)
+  let mailbox = 0 in
+  let job_cell w j = 1 + (((w - 1) * jobs_per_worker) + j) in
+  let result_cell w j = 1 + (workers * jobs_per_worker) + (((w - 1) * jobs_per_worker) + j) in
+  (* Coordinator forks everyone and opens its long dispatch block. *)
+  for w = 1 to workers do
+    Trace.Builder.fork b coordinator ~child:w
+  done;
+  Trace.Builder.begin_ b coordinator;
+  (* Publish all job descriptors. *)
+  for w = 1 to workers do
+    for j = 0 to jobs_per_worker - 1 do
+      Trace.Builder.write b coordinator ~var:(job_cell w j)
+    done
+  done;
+  (* Workers run; the scheduler interleaves one job-block at a time. *)
+  let next_job = Array.make (workers + 1) 0 in
+  let pending = ref (workers * jobs_per_worker) in
+  let posted_note = ref false in
+  while !pending > 0 do
+    let w = 1 + Workloads.Rng.int rng workers in
+    if next_job.(w) < jobs_per_worker then begin
+      let j = next_job.(w) in
+      next_job.(w) <- j + 1;
+      decr pending;
+      Trace.Builder.begin_ b w;
+      Trace.Builder.read b w ~var:(job_cell w j);
+      (* simulate some local work *)
+      Trace.Builder.write b w ~var:(result_cell w j);
+      if progress_notes && w = 1 && j = jobs_per_worker / 2 then begin
+        (* the buggy progress note *)
+        Trace.Builder.write b w ~var:mailbox;
+        posted_note := true
+      end;
+      Trace.Builder.end_ b w;
+      (* The coordinator polls the mailbox while dispatching. *)
+      if !posted_note then begin
+        Trace.Builder.read b coordinator ~var:mailbox;
+        posted_note := false
+      end
+    end
+  done;
+  (* Coordinator closes its block, then reads results and joins. *)
+  Trace.Builder.end_ b coordinator;
+  for w = 1 to workers do
+    for j = 0 to jobs_per_worker - 1 do
+      Trace.Builder.read b coordinator ~var:(result_cell w j)
+    done
+  done;
+  for w = 1 to workers do
+    Trace.Builder.join b coordinator ~child:w
+  done;
+  Trace.Builder.build b
+
+let report name tr =
+  Format.printf "== %s (%d events, %d blocks) ==@." name (Trace.length tr)
+    (Transactions.count_blocks tr);
+  List.iter
+    (fun (cname, checker) ->
+      match Aerodrome.Checker.run checker tr with
+      | None -> Format.printf "  %-10s serializable@." cname
+      | Some v -> Format.printf "  %-10s %a@." cname Aerodrome.Violation.pp v)
+    [
+      ("aerodrome", (module Aerodrome.Opt : Aerodrome.Checker.S));
+      ("velodrome", (module Velodrome.Online : Aerodrome.Checker.S));
+    ];
+  Format.printf "@."
+
+let () =
+  report "one-way pipeline (atomic)" (simulate ~progress_notes:false);
+  report "with progress notes (violation)" (simulate ~progress_notes:true)

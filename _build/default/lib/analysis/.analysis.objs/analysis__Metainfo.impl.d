@@ -1,0 +1,1 @@
+lib/analysis/metainfo.ml: Event Format Hashtbl Ids Option Trace Traces

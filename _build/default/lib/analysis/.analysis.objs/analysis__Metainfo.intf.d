@@ -1,0 +1,1 @@
+lib/analysis/metainfo.mli: Format Traces

@@ -1,0 +1,1 @@
+lib/analysis/runner.ml: Aerodrome Format Fun Option Printf Seq Trace Traces Unix

@@ -1,0 +1,1 @@
+lib/analysis/runner.mli: Aerodrome Format Seq Traces

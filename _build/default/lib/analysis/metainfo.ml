@@ -1,0 +1,102 @@
+open Traces
+
+type t = {
+  events : int;
+  reads : int;
+  writes : int;
+  acquires : int;
+  releases : int;
+  forks : int;
+  joins : int;
+  begins : int;
+  ends : int;
+  nested_begins : int;
+  threads : int;
+  locks : int;
+  variables : int;
+  transactions : int;
+  unary_events : int;
+  max_nesting : int;
+}
+
+let analyze tr =
+  let reads = ref 0
+  and writes = ref 0
+  and acquires = ref 0
+  and releases = ref 0
+  and forks = ref 0
+  and joins = ref 0
+  and begins = ref 0
+  and ends = ref 0
+  and nested_begins = ref 0
+  and unary_events = ref 0
+  and max_nesting = ref 0 in
+  let seen_threads = Hashtbl.create 16
+  and seen_locks = Hashtbl.create 16
+  and seen_vars = Hashtbl.create 64 in
+  let depth = Hashtbl.create 16 in
+  let depth_of t = Option.value ~default:0 (Hashtbl.find_opt depth t) in
+  Trace.iter
+    (fun (e : Event.t) ->
+      let t = Ids.Tid.to_int e.thread in
+      Hashtbl.replace seen_threads t ();
+      let d = depth_of t in
+      (match e.op with
+      | Event.Begin | Event.End -> ()
+      | _ -> if d = 0 then incr unary_events);
+      match e.op with
+      | Event.Read x ->
+        incr reads;
+        Hashtbl.replace seen_vars (Ids.Vid.to_int x) ()
+      | Event.Write x ->
+        incr writes;
+        Hashtbl.replace seen_vars (Ids.Vid.to_int x) ()
+      | Event.Acquire l ->
+        incr acquires;
+        Hashtbl.replace seen_locks (Ids.Lid.to_int l) ()
+      | Event.Release l ->
+        incr releases;
+        Hashtbl.replace seen_locks (Ids.Lid.to_int l) ()
+      | Event.Fork _ -> incr forks
+      | Event.Join _ -> incr joins
+      | Event.Begin ->
+        if d = 0 then incr begins else incr nested_begins;
+        Hashtbl.replace depth t (d + 1);
+        max_nesting := max !max_nesting (d + 1)
+      | Event.End ->
+        if d = 1 then incr ends;
+        Hashtbl.replace depth t (max 0 (d - 1)))
+    tr;
+  {
+    events = Trace.length tr;
+    reads = !reads;
+    writes = !writes;
+    acquires = !acquires;
+    releases = !releases;
+    forks = !forks;
+    joins = !joins;
+    begins = !begins;
+    ends = !ends;
+    nested_begins = !nested_begins;
+    threads = Hashtbl.length seen_threads;
+    locks = Hashtbl.length seen_locks;
+    variables = Hashtbl.length seen_vars;
+    transactions = !begins;
+    unary_events = !unary_events;
+    max_nesting = !max_nesting;
+  }
+
+let pp ppf m =
+  Format.fprintf ppf
+    "@[<v>events:       %d@,\
+     reads/writes: %d / %d@,\
+     acq/rel:      %d / %d@,\
+     fork/join:    %d / %d@,\
+     transactions: %d (completed %d, nested begins %d, max nesting %d)@,\
+     unary events: %d@,\
+     threads:      %d@,\
+     locks:        %d@,\
+     variables:    %d@]"
+    m.events m.reads m.writes m.acquires m.releases m.forks m.joins
+    m.transactions m.ends m.nested_begins m.max_nesting m.unary_events
+    m.threads m.locks m.variables

@@ -1,0 +1,29 @@
+(** Trace statistics, mirroring RAPID's [MetaInfo] analysis.
+
+    Produces the per-trace columns of the paper's tables: event count,
+    distinct threads / locks / variables actually appearing in the trace,
+    and the number of (outermost, non-unary) transactions. *)
+
+type t = {
+  events : int;
+  reads : int;
+  writes : int;
+  acquires : int;
+  releases : int;
+  forks : int;
+  joins : int;
+  begins : int;  (** outermost begin events only *)
+  ends : int;  (** outermost end events only *)
+  nested_begins : int;  (** begin events at nesting depth > 0 *)
+  threads : int;  (** threads that perform at least one event *)
+  locks : int;  (** locks acquired or released at least once *)
+  variables : int;  (** variables read or written at least once *)
+  transactions : int;  (** outermost atomic blocks — the paper's column 6 *)
+  unary_events : int;  (** events outside any atomic block *)
+  max_nesting : int;
+}
+
+val analyze : Traces.Trace.t -> t
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line human-readable rendering. *)

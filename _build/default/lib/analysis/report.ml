@@ -1,0 +1,143 @@
+type time_cell = Time of float | Timeout of float
+
+type row = {
+  name : string;
+  events : int;
+  threads : int;
+  locks : int;
+  variables : int;
+  transactions : int;
+  atomic : bool;
+  velodrome : time_cell;
+  aerodrome : time_cell;
+  paper : Workloads.Profile.paper_row option;
+}
+
+let cell_of_result ?(timeout = 0.0) (r : Runner.result) =
+  match r.outcome with
+  | Runner.Timed_out -> Timeout timeout
+  | Runner.Verdict _ -> Time r.seconds
+
+let make_row ~name ~(meta : Metainfo.t) ~velodrome ~aerodrome ?(timeout = 0.0)
+    ?paper () =
+  {
+    name;
+    events = meta.events;
+    threads = meta.threads;
+    locks = meta.locks;
+    variables = meta.variables;
+    transactions = meta.transactions;
+    atomic =
+      (* The measured verdict; a timed-out run is counted from the run
+         that finished, and both timing out reports atomic=true
+         conservatively marked by the '?' in rendering. *)
+      (match (aerodrome.Runner.outcome, velodrome.Runner.outcome) with
+      | Runner.Verdict v, _ -> Option.is_none v
+      | _, Runner.Verdict v -> Option.is_none v
+      | Runner.Timed_out, Runner.Timed_out -> true);
+    velodrome = cell_of_result ~timeout velodrome;
+    aerodrome = cell_of_result ~timeout aerodrome;
+    paper;
+  }
+
+let humanize n =
+  let f = float_of_int n in
+  let with_unit value unit =
+    if Float.rem value 1.0 < 0.05 || value >= 100.0 then
+      Printf.sprintf "%.0f%s" value unit
+    else Printf.sprintf "%.1f%s" value unit
+  in
+  if n < 10_000 then string_of_int n
+  else if f < 1e6 then with_unit (f /. 1e3) "K"
+  else if f < 1e9 then with_unit (f /. 1e6) "M"
+  else with_unit (f /. 1e9) "B"
+
+let time_string = function
+  | Timeout _ -> "TO"
+  | Time s when s < 0.0005 -> "<1ms"
+  | Time s when s < 1.0 -> Printf.sprintf "%.0fms" (s *. 1000.0)
+  | Time s -> Printf.sprintf "%.2fs" s
+
+let speedup_string row =
+  match (row.velodrome, row.aerodrome) with
+  | Timeout _, Timeout _ -> "-"
+  | Timeout budget, Time a when a > 0.0 ->
+    Printf.sprintf "> %.0f" (budget /. a)
+  | Timeout _, Time _ -> "> 1"
+  | Time v, Timeout budget when budget > 0.0 -> Printf.sprintf "< %.2f" (v /. budget)
+  | Time _, Timeout _ -> "< 1"
+  | Time v, Time a ->
+    if a <= 0.0 then "inf" else Printf.sprintf "%.2f" (v /. a)
+
+let columns =
+  [ "Program"; "Events"; "Thr"; "Lks"; "Vars"; "Txns"; "Atomic";
+    "Velodrome"; "AeroDrome"; "Speedup" ]
+
+let row_cells row =
+  [
+    row.name;
+    humanize row.events;
+    string_of_int row.threads;
+    string_of_int row.locks;
+    humanize row.variables;
+    humanize row.transactions;
+    (if row.atomic then "yes" else "no");
+    time_string row.velodrome;
+    time_string row.aerodrome;
+    speedup_string row;
+  ]
+
+let render_cells ppf header rows =
+  let all = header :: rows in
+  let ncols = List.length header in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)))
+    all;
+  let print_row cells =
+    List.iteri
+      (fun i cell ->
+        let pad = String.make (widths.(i) - String.length cell) ' ' in
+        if i = 0 then Format.fprintf ppf "%s%s" cell pad
+        else Format.fprintf ppf "  %s%s" pad cell)
+      cells;
+    Format.pp_print_newline ppf ()
+  in
+  print_row header;
+  print_row
+    (List.mapi (fun i _ -> String.make widths.(i) '-') header);
+  List.iter print_row rows
+
+let render_table ppf ~title rows =
+  Format.fprintf ppf "%s@." title;
+  render_cells ppf columns (List.map row_cells rows)
+
+let render_comparison ppf ~title rows =
+  Format.fprintf ppf "%s@." title;
+  let header = columns @ [ "Paper speedup"; "Paper atomic" ] in
+  let cells row =
+    row_cells row
+    @
+    match row.paper with
+    | None -> [ "-"; "-" ]
+    | Some p -> [ p.Workloads.Profile.speedup; (if p.atomic then "yes" else "no") ]
+  in
+  render_cells ppf header (List.map cells rows)
+
+let render_markdown ppf ~title rows =
+  Format.fprintf ppf "## %s@.@." title;
+  let header = columns @ [ "Paper speedup"; "Paper atomic" ] in
+  let cells row =
+    row_cells row
+    @
+    match row.paper with
+    | None -> [ "-"; "-" ]
+    | Some p -> [ p.Workloads.Profile.speedup; (if p.atomic then "yes" else "no") ]
+  in
+  let print_md cs =
+    Format.fprintf ppf "| %s |@." (String.concat " | " cs)
+  in
+  print_md header;
+  print_md (List.map (fun _ -> "---") header);
+  List.iter (fun row -> print_md (cells row)) rows;
+  Format.fprintf ppf "@."

@@ -1,0 +1,46 @@
+(** Rendering of benchmark tables in the paper's format.
+
+    A {!row} is one benchmark line: trace characteristics (columns 2–7 of
+    Tables 1 and 2), the timed results of the two algorithms, and the
+    speedup.  [render_table] prints measured results; [render_comparison]
+    prints them side by side with the numbers reported in the paper. *)
+
+type time_cell = Time of float | Timeout of float  (** budget used *)
+
+type row = {
+  name : string;
+  events : int;
+  threads : int;
+  locks : int;
+  variables : int;
+  transactions : int;
+  atomic : bool;  (** measured: no violation found *)
+  velodrome : time_cell;
+  aerodrome : time_cell;
+  paper : Workloads.Profile.paper_row option;
+}
+
+val make_row :
+  name:string -> meta:Metainfo.t -> velodrome:Runner.result ->
+  aerodrome:Runner.result -> ?timeout:float ->
+  ?paper:Workloads.Profile.paper_row -> unit -> row
+
+val speedup_string : row -> string
+(** ["> n"] when Velodrome timed out, ["n.nn"] otherwise, ["-"] when both
+    timed out. *)
+
+val humanize : int -> string
+(** [640 -> "640"], [22_600 -> "22.6K"], [2_400_000_000 -> "2.4B"]. *)
+
+val time_string : time_cell -> string
+
+val render_table : Format.formatter -> title:string -> row list -> unit
+(** The paper's 10-column layout. *)
+
+val render_comparison : Format.formatter -> title:string -> row list -> unit
+(** Adds the paper's reported speedup next to the measured one. *)
+
+val render_markdown : Format.formatter -> title:string -> row list -> unit
+(** GitHub-flavored-markdown table, paper columns included; used to
+    regenerate the tables in EXPERIMENTS.md
+    ([dune exec bench/main.exe -- --markdown]). *)

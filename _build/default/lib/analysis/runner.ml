@@ -1,0 +1,99 @@
+open Traces
+
+type outcome = Verdict of Aerodrome.Violation.t option | Timed_out
+
+type result = {
+  checker : string;
+  outcome : outcome;
+  seconds : float;
+  events_fed : int;
+}
+
+let check_interval = 4096
+
+let run ?timeout (module C : Aerodrome.Checker.S) tr =
+  let st =
+    C.create ~threads:(Trace.threads tr) ~locks:(Trace.locks tr)
+      ~vars:(Trace.vars tr)
+  in
+  let n = Trace.length tr in
+  let deadline =
+    Option.map (fun budget -> Unix.gettimeofday () +. budget) timeout
+  in
+  let started = Unix.gettimeofday () in
+  let timed_out = ref false in
+  let i = ref 0 in
+  (try
+     while !i < n do
+       ignore (C.feed st (Trace.get tr !i));
+       incr i;
+       if !i land (check_interval - 1) = 0 then
+         match deadline with
+         | Some d when Unix.gettimeofday () > d ->
+           timed_out := true;
+           raise Exit
+         | _ -> ()
+     done
+   with Exit -> ());
+  let seconds = Unix.gettimeofday () -. started in
+  {
+    checker = C.name;
+    outcome = (if !timed_out then Timed_out else Verdict (C.violation st));
+    seconds;
+    events_fed = !i;
+  }
+
+let run_seq ?timeout (module C : Aerodrome.Checker.S) ~threads ~locks ~vars
+    events =
+  let st = C.create ~threads ~locks ~vars in
+  let deadline =
+    Option.map (fun budget -> Unix.gettimeofday () +. budget) timeout
+  in
+  let started = Unix.gettimeofday () in
+  let timed_out = ref false in
+  let fed = ref 0 in
+  let rec go events =
+    match Seq.uncons events with
+    | None -> ()
+    | Some (e, rest) -> (
+      ignore (C.feed st e);
+      incr fed;
+      if !fed land (check_interval - 1) = 0 then
+        match deadline with
+        | Some d when Unix.gettimeofday () > d -> timed_out := true
+        | _ -> go rest
+      else go rest)
+  in
+  go events;
+  {
+    checker = C.name;
+    outcome = (if !timed_out then Timed_out else Verdict (C.violation st));
+    seconds = Unix.gettimeofday () -. started;
+    events_fed = !fed;
+  }
+
+let run_binary_file ?timeout checker path =
+  let header, (events, close) = Traces.Binfmt.read_seq path in
+  Fun.protect ~finally:close (fun () ->
+      run_seq ?timeout checker ~threads:header.Traces.Binfmt.threads
+        ~locks:header.Traces.Binfmt.locks ~vars:header.Traces.Binfmt.vars
+        events)
+
+let violating r =
+  match r.outcome with Verdict (Some _) -> true | Verdict None | Timed_out -> false
+
+let speedup ~baseline r =
+  match (baseline.outcome, r.outcome) with
+  | Timed_out, Timed_out -> None
+  | _ -> Some (baseline.seconds /. r.seconds)
+
+let pp ppf r =
+  let outcome =
+    match r.outcome with
+    | Timed_out -> "timeout"
+    | Verdict None -> "serializable"
+    | Verdict (Some v) ->
+      Printf.sprintf "violation @%d" (v.Aerodrome.Violation.index + 1)
+  in
+  Format.fprintf ppf "%s: %s in %.3fs (%d events)" r.checker outcome r.seconds
+    r.events_fed

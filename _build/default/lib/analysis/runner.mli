@@ -1,0 +1,46 @@
+(** Timed checker runs with a wall-clock budget.
+
+    The paper runs each analysis with a 10-hour timeout and reports [TO]
+    where it is exceeded; this runner does the same at laptop scale.  Time
+    is checked every few thousand events so the overhead on the measured
+    loop is negligible. *)
+
+type outcome =
+  | Verdict of Aerodrome.Violation.t option
+      (** the whole trace was processed (or the checker froze at its first
+          violation) *)
+  | Timed_out
+
+type result = {
+  checker : string;  (** the checker's [name] *)
+  outcome : outcome;
+  seconds : float;  (** wall-clock analysis time (trace generation and
+                        I/O excluded) *)
+  events_fed : int;
+}
+
+val run : ?timeout:float -> Aerodrome.Checker.t -> Traces.Trace.t -> result
+(** [timeout] in seconds; default: none. *)
+
+val run_seq :
+  ?timeout:float -> Aerodrome.Checker.t -> threads:int -> locks:int ->
+  vars:int -> Traces.Event.t Seq.t -> result
+(** Streaming variant: analyze an event sequence without materializing it
+    (e.g. {!Traces.Binfmt.read_seq} of a file larger than memory).  The
+    sequence is consumed up to the violation or the timeout. *)
+
+val run_binary_file :
+  ?timeout:float -> Aerodrome.Checker.t -> string -> result
+(** [run_seq] over a binary trace file, domains from its header.
+    @raise Traces.Binfmt.Corrupt *)
+
+val violating : result -> bool
+(** True iff the run finished with a violation. *)
+
+val speedup : baseline:result -> result -> float option
+(** [speedup ~baseline r] is [baseline.seconds /. r.seconds].  [None] when
+    {e both} runs timed out (no meaningful ratio); if only the baseline
+    timed out, its budget is used as a lower bound, matching the paper's
+    "> n" entries. *)
+
+val pp : Format.formatter -> result -> unit

@@ -1,0 +1,1 @@
+lib/core/basic.ml: Array Event Ids Traces Vclock Violation

@@ -1,0 +1,1 @@
+lib/core/chb.ml: Array Digraphs Event Hashtbl Ids Trace Traces Transactions Vclock

@@ -1,0 +1,1 @@
+lib/core/chb.mli: Trace Traces Vclock

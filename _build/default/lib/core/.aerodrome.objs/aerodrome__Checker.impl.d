@@ -1,0 +1,1 @@
+lib/core/checker.ml: Event Option Seq Trace Traces Violation

@@ -1,0 +1,1 @@
+lib/core/checker.mli: Event Seq Trace Traces Violation

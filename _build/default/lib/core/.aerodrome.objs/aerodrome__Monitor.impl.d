@@ -1,0 +1,1 @@
+lib/core/monitor.ml: Array Checker Event Format Ids List Opt Option Printf Seq Trace Traces Violation

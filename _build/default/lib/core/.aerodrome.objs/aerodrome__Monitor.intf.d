@@ -1,0 +1,1 @@
+lib/core/monitor.mli: Checker Event Format Seq Trace Traces Violation

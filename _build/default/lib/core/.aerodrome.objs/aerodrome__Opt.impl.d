@@ -1,0 +1,1 @@
+lib/core/opt.ml: Array Bytes Checker Event Ids List Traces Vclock Violation

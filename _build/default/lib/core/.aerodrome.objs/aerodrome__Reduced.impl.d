@@ -1,0 +1,1 @@
+lib/core/reduced.ml: Array Event Ids Traces Vclock Violation

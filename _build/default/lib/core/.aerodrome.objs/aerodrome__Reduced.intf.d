@@ -1,0 +1,1 @@
+lib/core/reduced.mli: Checker Vclock

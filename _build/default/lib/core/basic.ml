@@ -1,0 +1,171 @@
+open Traces
+module VC = Vclock.Vector_clock
+
+let name = "aerodrome-basic"
+
+let nil = -1
+
+type t = {
+  threads : int;
+  locks : int;
+  vars : int;
+  c : VC.t array;  (* C_t: timestamp of thread t's last event *)
+  cb : VC.t array;  (* C⊲_t: timestamp of thread t's last begin *)
+  l : VC.t array;  (* L_ℓ: timestamp of the last rel(ℓ) *)
+  w : VC.t array;  (* W_x: timestamp of the last w(x) *)
+  r : VC.t option array array;  (* r.(x).(t) = R_{t,x}, allocated lazily *)
+  last_rel_thr : int array;  (* lastRelThr_ℓ *)
+  last_w_thr : int array;  (* lastWThr_x *)
+  depth : int array;  (* begin/end nesting depth per thread *)
+  mutable violation : Violation.t option;
+  mutable processed : int;
+}
+
+let create ~threads ~locks ~vars =
+  let dim = max threads 1 in
+  {
+    threads = dim;
+    locks;
+    vars;
+    c = Array.init dim (fun t -> VC.unit dim t);
+    cb = Array.init dim (fun _ -> VC.bottom dim);
+    l = Array.init (max locks 0) (fun _ -> VC.bottom dim);
+    w = Array.init (max vars 0) (fun _ -> VC.bottom dim);
+    r = Array.make (max vars 0) [||];
+    last_rel_thr = Array.make (max locks 0) nil;
+    last_w_thr = Array.make (max vars 0) nil;
+    depth = Array.make dim 0;
+    violation = None;
+    processed = 0;
+  }
+
+let violation st = st.violation
+let processed st = st.processed
+
+let active st t = st.depth.(t) > 0
+let in_transaction = active
+
+exception Found of Violation.site
+
+(* checkAndGet(clk, t) of Algorithm 1: declare a violation if clk is
+   ordered after the begin event of t's active transaction, otherwise join
+   clk into C_t. *)
+let check_and_get st clk t site =
+  if active st t && VC.leq st.cb.(t) clk then raise (Found site);
+  VC.join_into ~into:st.c.(t) clk
+
+let read_row st x =
+  if st.r.(x) = [||] then st.r.(x) <- Array.make st.threads None;
+  st.r.(x)
+
+let read_clock_ref st t x =
+  let row = read_row st x in
+  match row.(t) with
+  | Some clk -> clk
+  | None ->
+    let clk = VC.bottom st.threads in
+    row.(t) <- Some clk;
+    clk
+
+let handle_acquire st t l =
+  if st.last_rel_thr.(l) <> t then
+    check_and_get st st.l.(l) t Violation.At_acquire
+
+let handle_release st t l =
+  VC.assign ~into:st.l.(l) st.c.(t);
+  st.last_rel_thr.(l) <- t
+
+let handle_fork st t u = VC.join_into ~into:st.c.(u) st.c.(t)
+
+let handle_join st t u = check_and_get st st.c.(u) t Violation.At_join
+
+let handle_read st t x =
+  if st.last_w_thr.(x) <> t then
+    check_and_get st st.w.(x) t Violation.At_read;
+  VC.assign ~into:(read_clock_ref st t x) st.c.(t)
+
+let handle_write st t x =
+  if st.last_w_thr.(x) <> t then
+    check_and_get st st.w.(x) t Violation.At_write_vs_write;
+  let row = read_row st x in
+  for u = 0 to st.threads - 1 do
+    if u <> t then
+      match row.(u) with
+      | Some r_ux -> check_and_get st r_ux t Violation.At_write_vs_read
+      | None -> ()
+  done;
+  VC.assign ~into:st.w.(x) st.c.(t);
+  st.last_w_thr.(x) <- t
+
+let handle_begin st t =
+  st.depth.(t) <- st.depth.(t) + 1;
+  if st.depth.(t) = 1 then begin
+    VC.bump st.c.(t) t;
+    VC.assign ~into:st.cb.(t) st.c.(t)
+  end
+
+(* End of an outermost transaction: propagate the transaction's final
+   timestamp to every clock that knows its begin event (lines 38–46). *)
+let handle_end st t =
+  if st.depth.(t) > 0 then begin
+    st.depth.(t) <- st.depth.(t) - 1;
+    if st.depth.(t) = 0 then begin
+      let cb_t = st.cb.(t) and c_t = st.c.(t) in
+      for u = 0 to st.threads - 1 do
+        if u <> t && VC.leq cb_t st.c.(u) then
+          check_and_get st c_t u (Violation.At_end (Ids.Tid.of_int u))
+      done;
+      for l = 0 to st.locks - 1 do
+        if VC.leq cb_t st.l.(l) then VC.join_into ~into:st.l.(l) c_t
+      done;
+      for x = 0 to st.vars - 1 do
+        if VC.leq cb_t st.w.(x) then VC.join_into ~into:st.w.(x) c_t;
+        let row = st.r.(x) in
+        if row <> [||] then
+          for u = 0 to st.threads - 1 do
+            match row.(u) with
+            | Some r_ux when VC.leq cb_t r_ux -> VC.join_into ~into:r_ux c_t
+            | Some _ | None -> ()
+          done
+      done
+    end
+  end
+
+let feed st (e : Event.t) =
+  match st.violation with
+  | Some _ as v -> v
+  | None -> (
+    st.processed <- st.processed + 1;
+    let t = Ids.Tid.to_int e.thread in
+    match
+      (match e.op with
+      | Event.Acquire l -> handle_acquire st t (Ids.Lid.to_int l)
+      | Event.Release l -> handle_release st t (Ids.Lid.to_int l)
+      | Event.Fork u -> handle_fork st t (Ids.Tid.to_int u)
+      | Event.Join u -> handle_join st t (Ids.Tid.to_int u)
+      | Event.Read x -> handle_read st t (Ids.Vid.to_int x)
+      | Event.Write x -> handle_write st t (Ids.Vid.to_int x)
+      | Event.Begin -> handle_begin st t
+      | Event.End -> handle_end st t)
+    with
+    | () -> None
+    | exception Found site ->
+      let v = Violation.make ~index:(st.processed - 1) ~event:e ~site in
+      st.violation <- Some v;
+      Some v)
+
+(* Introspection *)
+
+let snapshot clk = Vclock.Vtime.of_clock clk
+let thread_clock st t = snapshot st.c.(t)
+let begin_clock st t = snapshot st.cb.(t)
+let lock_clock st l = snapshot st.l.(l)
+let write_clock st x = snapshot st.w.(x)
+
+let read_clock st ~thread ~var =
+  let row = st.r.(var) in
+  if row = [||] then Vclock.Vtime.bottom st.threads
+  else
+    match row.(thread) with
+    | Some clk -> snapshot clk
+    | None -> Vclock.Vtime.bottom st.threads

@@ -1,0 +1,39 @@
+(** AeroDrome, Algorithm 1: the basic vector-clock checker.
+
+    Direct transcription of the paper's Algorithm 1.  Per-thread clocks
+    [C_t] and [C⊲_t], per-lock clocks [L_ℓ], per-variable write clocks
+    [W_x] and per-(thread, variable) read clocks [R_{t,x}] (allocated
+    lazily, so memory is proportional to the pairs actually touched).
+    Nested atomic blocks are folded into the outermost one; events outside
+    any block are unary transactions and never themselves declare a
+    violation (Section 4.1.4).
+
+    The per-event cost is [O(|Thr|)] for non-end events and
+    [O(|Thr|·(|Thr| + L + V))] for end events (Theorem 4 without the
+    Section 4.3 optimization). *)
+
+include Checker.S
+
+(** {1 Introspection}
+
+    Snapshots of the checker's clocks, used by the tests that replay the
+    clock evolutions of Figures 5–7 of the paper.  All results are
+    immutable copies. *)
+
+val thread_clock : t -> int -> Vclock.Vtime.t
+(** Current [C_t]. *)
+
+val begin_clock : t -> int -> Vclock.Vtime.t
+(** Current [C⊲_t]. *)
+
+val lock_clock : t -> int -> Vclock.Vtime.t
+(** Current [L_ℓ] ([⊥] if the lock was never released). *)
+
+val write_clock : t -> int -> Vclock.Vtime.t
+(** Current [W_x] ([⊥] if the variable was never written). *)
+
+val read_clock : t -> thread:int -> var:int -> Vclock.Vtime.t
+(** Current [R_{t,x}] ([⊥] if that thread never read that variable). *)
+
+val in_transaction : t -> int -> bool
+(** Does the thread have an active (outermost) transaction? *)

@@ -1,0 +1,122 @@
+open Traces
+module VC = Vclock.Vector_clock
+module VT = Vclock.Vtime
+
+type t = { timestamps : VT.t array; dim : int }
+
+let compute tr =
+  let dim = max (Trace.threads tr) 1 in
+  let c = Array.init dim (fun _ -> VC.bottom dim) in
+  let l = Array.init (Trace.locks tr) (fun _ -> VC.bottom dim) in
+  let w = Array.init (Trace.vars tr) (fun _ -> VC.bottom dim) in
+  (* reads since the last write; earlier reads are ordered transitively
+     through that write *)
+  let r = Array.init (Trace.vars tr) (fun _ -> VC.bottom dim) in
+  let timestamps = Array.make (Trace.length tr) (VT.bottom dim) in
+  Trace.iteri
+    (fun i (e : Event.t) ->
+      let t = Ids.Tid.to_int e.thread in
+      (* order after conflicting predecessors *)
+      (match e.op with
+      | Event.Read x -> VC.join_into ~into:c.(t) w.(Ids.Vid.to_int x)
+      | Event.Write x ->
+        let x = Ids.Vid.to_int x in
+        VC.join_into ~into:c.(t) w.(x);
+        VC.join_into ~into:c.(t) r.(x)
+      | Event.Acquire lk -> VC.join_into ~into:c.(t) l.(Ids.Lid.to_int lk)
+      | Event.Join u -> VC.join_into ~into:c.(t) c.(Ids.Tid.to_int u)
+      | Event.Release _ | Event.Fork _ | Event.Begin | Event.End -> ());
+      (* the event gets a fresh local tick *)
+      VC.bump c.(t) t;
+      timestamps.(i) <- VT.of_clock c.(t);
+      (* make this event a predecessor of later conflicting ones *)
+      match e.op with
+      | Event.Read x -> VC.join_into ~into:r.(Ids.Vid.to_int x) c.(t)
+      | Event.Write x ->
+        let x = Ids.Vid.to_int x in
+        VC.assign ~into:w.(x) c.(t);
+        VC.reset r.(x)
+      | Event.Release lk -> VC.assign ~into:l.(Ids.Lid.to_int lk) c.(t)
+      | Event.Fork u -> VC.join_into ~into:c.(Ids.Tid.to_int u) c.(t)
+      | Event.Acquire _ | Event.Join _ | Event.Begin | Event.End -> ())
+    tr;
+  { timestamps; dim }
+
+let timestamp chb i = chb.timestamps.(i)
+
+let happens_before chb i j = VT.leq chb.timestamps.(i) chb.timestamps.(j)
+
+let concurrent chb i j = not (happens_before chb i j || happens_before chb j i)
+
+(* The transaction graph induced by ≤CHB: an edge A -> B iff some event of
+   A happens-before some event of B, A ≠ B.  Because ≤CHB is the
+   transitive closure of pairwise conflicts, reachability in the
+   pairwise-conflict graph and in this graph coincide; we build it from
+   the timestamps to stay independent of Velodrome.Reference. *)
+let txn_graph chb tr =
+  let owners = Transactions.owner tr in
+  let g = Digraphs.Digraph.create () in
+  Array.iter (Digraphs.Digraph.add_node g) owners;
+  let n = Trace.length tr in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if owners.(i) <> owners.(j) && happens_before chb i j then
+        ignore (Digraphs.Digraph.add_edge g owners.(i) owners.(j))
+    done
+  done;
+  (g, owners)
+
+(* Reachability-by-a-path-of-length->=1 between transactions, as a closure
+   table: one BFS per node over its successors. *)
+let reach_closure g =
+  let table = Hashtbl.create 64 in
+  Digraphs.Digraph.iter_nodes
+    (fun src ->
+      let seen = Hashtbl.create 16 in
+      let stack = ref (Digraphs.Digraph.succs g src) in
+      while !stack <> [] do
+        match !stack with
+        | [] -> ()
+        | n :: rest ->
+          stack := rest;
+          if not (Hashtbl.mem seen n) then begin
+            Hashtbl.replace seen n ();
+            stack := Digraphs.Digraph.succs g n @ !stack
+          end
+      done;
+      Hashtbl.replace table src seen)
+    g;
+  table
+
+let reaches_plus table a b =
+  match Hashtbl.find_opt table a with
+  | Some seen -> Hashtbl.mem seen b
+  | None -> false
+
+let path_through_transactions chb tr i j =
+  let g, owners = txn_graph chb tr in
+  let closure = reach_closure g in
+  reaches_plus closure owners.(i) owners.(j)
+
+let first_path_witness chb tr =
+  let g, owners = txn_graph chb tr in
+  let closure = reach_closure g in
+  let n = Trace.length tr in
+  let best = ref None in
+  (* Prefer a cross-transaction witness (e ∉ txn(f)), which is the
+     informative Theorem 2 shape; fall back to a same-transaction pair
+     (a cycle returning to the starting transaction). *)
+  (try
+     for i = 0 to n - 1 do
+       for j = 0 to n - 1 do
+         if happens_before chb j i && reaches_plus closure owners.(i) owners.(j)
+         then
+           if owners.(i) <> owners.(j) then begin
+             best := Some (i, j);
+             raise Exit
+           end
+           else if !best = None then best := Some (i, j)
+       done
+     done
+   with Exit -> ());
+  !best

@@ -1,0 +1,46 @@
+(** The conflict-happens-before relation [≤CHB] (Section 2).
+
+    [≤CHB] is the smallest reflexive, transitive relation ordering every
+    conflicting pair of events by their trace positions.  This module
+    computes, in one linear vector-clock pass, a timestamp for every event
+    such that [e ≤CHB e'] iff the timestamps are pointwise ordered — the
+    standard happens-before construction, with the paper's conflict edges
+    (program order, fork/join, write–write / write–read / read–write on a
+    location, release–acquire on a lock).
+
+    Unlike the checkers, this module stores one timestamp per event
+    ([O(n·|Thr|)] memory), so it is an offline analysis tool: it backs the
+    tests that reproduce the paper's Examples 1–4 and the
+    {!path_through_transactions} characterization of Section 3, and it is
+    useful for explaining a violation after one is found. *)
+
+open Traces
+
+type t
+
+val compute : Trace.t -> t
+(** One pass over the trace. *)
+
+val timestamp : t -> int -> Vclock.Vtime.t
+(** The CHB timestamp of the event at the given trace index. *)
+
+val happens_before : t -> int -> int -> bool
+(** [happens_before chb i j] is [e_i ≤CHB e_j].  Reflexive.  For [i < j]
+    this is timestamp ordering; events later in the trace never
+    happen-before earlier ones. *)
+
+val concurrent : t -> int -> int -> bool
+(** Neither ordered before the other. *)
+
+val path_through_transactions : t -> Trace.t -> int -> int -> bool
+(** [path_through_transactions chb tr i j] is the relation [e_i →* e_j] of
+    Section 3: a sequence of pairs [(e_1,f_1) … (e_k,f_k)], [k > 1], with
+    [e_i = e_1], [e_j = f_k], each [e_l], [f_l] in the same transaction,
+    consecutive transactions distinct, and [f_l ≤CHB e_{l+1}].  Computed by
+    a fixpoint over transactions; quadratic, intended for small traces and
+    tests. *)
+
+val first_path_witness : t -> Trace.t -> (int * int) option
+(** Some pair [(i, j)] with [e_i →* e_j] and [e_j ≤CHB e_i] — the
+    Proposition 1 witness that the trace is not conflict serializable —
+    or [None] if no such pair exists.  Quadratic; test/teaching use. *)

@@ -1,0 +1,40 @@
+open Traces
+
+module type S = sig
+  type t
+
+  val name : string
+  val create : threads:int -> locks:int -> vars:int -> t
+  val feed : t -> Event.t -> Violation.t option
+  val violation : t -> Violation.t option
+  val processed : t -> int
+end
+
+type t = (module S)
+
+let run (module C : S) tr =
+  let st =
+    C.create ~threads:(Trace.threads tr) ~locks:(Trace.locks tr)
+      ~vars:(Trace.vars tr)
+  in
+  let n = Trace.length tr in
+  let rec go i =
+    if i >= n then None
+    else
+      match C.feed st (Trace.get tr i) with
+      | Some v -> Some v
+      | None -> go (i + 1)
+  in
+  go 0
+
+let run_events (module C : S) ~threads ~locks ~vars events =
+  let st = C.create ~threads ~locks ~vars in
+  let rec go events =
+    match Seq.uncons events with
+    | None -> None
+    | Some (e, rest) -> (
+      match C.feed st e with Some v -> Some v | None -> go rest)
+  in
+  go events
+
+let is_serializable checker tr = Option.is_none (run checker tr)

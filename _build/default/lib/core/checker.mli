@@ -1,0 +1,45 @@
+(** Common interface of the online atomicity checkers.
+
+    A checker is created for known id domains and then fed events one at a
+    time ({e single-pass, streaming}); it reports the first violation of
+    conflict serializability and freezes, mirroring the paper's algorithms
+    which exit on the first violation. *)
+
+open Traces
+
+module type S = sig
+  type t
+
+  val name : string
+  (** Human-readable algorithm name, e.g. ["aerodrome"]. *)
+
+  val create : threads:int -> locks:int -> vars:int -> t
+  (** Fresh checker state for traces drawing ids from
+      [0..threads-1] / [0..locks-1] / [0..vars-1]. *)
+
+  val feed : t -> Event.t -> Violation.t option
+  (** Process one event.  Returns [Some v] if this event (or an earlier
+      one) triggered a violation; once a violation has been reported the
+      checker is frozen and [feed] keeps returning it without processing
+      further events. *)
+
+  val violation : t -> Violation.t option
+  (** The stored first violation, if any. *)
+
+  val processed : t -> int
+  (** Number of events actually processed (violating event included). *)
+end
+
+type t = (module S)
+(** A checker packaged as a first-class module. *)
+
+val run : (module S) -> Trace.t -> Violation.t option
+(** Feed an entire trace to a fresh checker (domain sizes from the trace). *)
+
+val run_events :
+  (module S) -> threads:int -> locks:int -> vars:int -> Event.t Seq.t ->
+  Violation.t option
+(** Streaming variant over an event sequence. *)
+
+val is_serializable : (module S) -> Trace.t -> bool
+(** [run] finds no violation. *)

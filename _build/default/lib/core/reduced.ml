@@ -1,0 +1,150 @@
+open Traces
+module VC = Vclock.Vector_clock
+
+let name = "aerodrome-reduced"
+
+let nil = -1
+
+type t = {
+  threads : int;
+  locks : int;
+  vars : int;
+  c : VC.t array;
+  cb : VC.t array;
+  l : VC.t array;
+  w : VC.t array;
+  r : VC.t array;  (* R_x = ⊔_u R_{u,x} *)
+  hr : VC.t array;  (* hR_x = ⊔_u R_{u,x}[0/u] *)
+  last_rel_thr : int array;
+  last_w_thr : int array;
+  depth : int array;
+  mutable violation : Violation.t option;
+  mutable processed : int;
+}
+
+let create ~threads ~locks ~vars =
+  let dim = max threads 1 in
+  {
+    threads = dim;
+    locks;
+    vars;
+    c = Array.init dim (fun t -> VC.unit dim t);
+    cb = Array.init dim (fun _ -> VC.bottom dim);
+    l = Array.init (max locks 0) (fun _ -> VC.bottom dim);
+    w = Array.init (max vars 0) (fun _ -> VC.bottom dim);
+    r = Array.init (max vars 0) (fun _ -> VC.bottom dim);
+    hr = Array.init (max vars 0) (fun _ -> VC.bottom dim);
+    last_rel_thr = Array.make (max locks 0) nil;
+    last_w_thr = Array.make (max vars 0) nil;
+    depth = Array.make dim 0;
+    violation = None;
+    processed = 0;
+  }
+
+let violation st = st.violation
+let processed st = st.processed
+let active st t = st.depth.(t) > 0
+
+exception Found of Violation.site
+
+(* checkAndGet(clk1, clk2, t): check against clk1, join clk2 into C_t. *)
+let check_and_get st clk1 clk2 t site =
+  if active st t && VC.leq st.cb.(t) clk1 then raise (Found site);
+  VC.join_into ~into:st.c.(t) clk2
+
+(* The check against hR_x must compare only the t-component: hR_x is the
+   join of reader clocks with each reader's own component zeroed, so a full
+   pointwise comparison spuriously fails whenever a reader's own history is
+   part of C⊲_t (e.g. through a fork).  Appendix C.1 derives the check as
+   C⊲_t(t) ≤ hR_x(t), equivalent — by the whole-clock-join invariant — to
+   ∃u≠t. C⊲_t ⊑ R_{u,x}, which is Algorithm 1's check. *)
+let check_read_and_get st t x site =
+  if active st t && VC.get st.cb.(t) t <= VC.get st.hr.(x) t then
+    raise (Found site);
+  VC.join_into ~into:st.c.(t) st.r.(x)
+
+let handle_acquire st t l =
+  if st.last_rel_thr.(l) <> t then
+    check_and_get st st.l.(l) st.l.(l) t Violation.At_acquire
+
+let handle_release st t l =
+  VC.assign ~into:st.l.(l) st.c.(t);
+  st.last_rel_thr.(l) <- t
+
+let handle_fork st t u = VC.join_into ~into:st.c.(u) st.c.(t)
+
+let handle_join st t u =
+  check_and_get st st.c.(u) st.c.(u) t Violation.At_join
+
+let handle_read st t x =
+  if st.last_w_thr.(x) <> t then
+    check_and_get st st.w.(x) st.w.(x) t Violation.At_read;
+  VC.join_into ~into:st.r.(x) st.c.(t);
+  VC.join_into_zeroed ~into:st.hr.(x) st.c.(t) t
+
+let handle_write st t x =
+  if st.last_w_thr.(x) <> t then
+    check_and_get st st.w.(x) st.w.(x) t Violation.At_write_vs_write;
+  check_read_and_get st t x Violation.At_write_vs_read;
+  VC.assign ~into:st.w.(x) st.c.(t);
+  st.last_w_thr.(x) <- t
+
+let handle_begin st t =
+  st.depth.(t) <- st.depth.(t) + 1;
+  if st.depth.(t) = 1 then begin
+    VC.bump st.c.(t) t;
+    VC.assign ~into:st.cb.(t) st.c.(t)
+  end
+
+let handle_end st t =
+  if st.depth.(t) > 0 then begin
+    st.depth.(t) <- st.depth.(t) - 1;
+    if st.depth.(t) = 0 then begin
+      let cb_t = st.cb.(t) and c_t = st.c.(t) in
+      for u = 0 to st.threads - 1 do
+        if u <> t && VC.leq cb_t st.c.(u) then
+          check_and_get st c_t c_t u (Violation.At_end (Ids.Tid.of_int u))
+      done;
+      for l = 0 to st.locks - 1 do
+        if VC.leq cb_t st.l.(l) then VC.join_into ~into:st.l.(l) c_t
+      done;
+      for x = 0 to st.vars - 1 do
+        if VC.leq cb_t st.w.(x) then VC.join_into ~into:st.w.(x) c_t;
+        if VC.leq cb_t st.r.(x) then begin
+          VC.join_into ~into:st.r.(x) c_t;
+          VC.join_into_zeroed ~into:st.hr.(x) c_t t
+        end
+      done
+    end
+  end
+
+let feed st (e : Event.t) =
+  match st.violation with
+  | Some _ as v -> v
+  | None -> (
+    st.processed <- st.processed + 1;
+    let t = Ids.Tid.to_int e.thread in
+    match
+      (match e.op with
+      | Event.Acquire l -> handle_acquire st t (Ids.Lid.to_int l)
+      | Event.Release l -> handle_release st t (Ids.Lid.to_int l)
+      | Event.Fork u -> handle_fork st t (Ids.Tid.to_int u)
+      | Event.Join u -> handle_join st t (Ids.Tid.to_int u)
+      | Event.Read x -> handle_read st t (Ids.Vid.to_int x)
+      | Event.Write x -> handle_write st t (Ids.Vid.to_int x)
+      | Event.Begin -> handle_begin st t
+      | Event.End -> handle_end st t)
+    with
+    | () -> None
+    | exception Found site ->
+      let v = Violation.make ~index:(st.processed - 1) ~event:e ~site in
+      st.violation <- Some v;
+      Some v)
+
+let snapshot clk = Vclock.Vtime.of_clock clk
+let thread_clock st t = snapshot st.c.(t)
+let begin_clock st t = snapshot st.cb.(t)
+let lock_clock st l = snapshot st.l.(l)
+let write_clock st x = snapshot st.w.(x)
+let read_clock_joined st x = snapshot st.r.(x)
+let read_clock_check st x = snapshot st.hr.(x)

@@ -1,0 +1,34 @@
+(** AeroDrome, Algorithm 2: the read-clock reduction.
+
+    Instead of one read clock per (thread, variable) pair, this variant
+    keeps two clocks per variable (Section 4.3 / Appendix C.1):
+
+    - [R_x], maintaining [⊔_u R_{u,x}], used to update the writer's clock;
+    - [hR_x], maintaining [⊔_u R_{u,x}\[0/u\]], used for the write-vs-read
+      violation check.
+
+    Space drops from [O(|Thr|·V)] clocks to [O(V)].
+
+    Deviation from the paper's pseudocode: the printed Algorithm 2
+    {e assigns} [R_x := C_t] and [hR_x := C_t\[0/t\]] at a read, which
+    forgets the timestamps of earlier readers in other threads and misses
+    violations they participate in (e.g. two concurrent reader transactions
+    followed by a writer that races only with the first).  Appendix C.1's
+    own derivation maintains the {e joins} [⊔_u R_{u,x}], so we join:
+    [R_x := R_x ⊔ C_t] and [hR_x := hR_x ⊔ C_t\[0/t\]].  The regression is
+    covered by a unit test that fails under the assignment semantics. *)
+
+include Checker.S
+
+(** {1 Introspection} *)
+
+val thread_clock : t -> int -> Vclock.Vtime.t
+val begin_clock : t -> int -> Vclock.Vtime.t
+val lock_clock : t -> int -> Vclock.Vtime.t
+val write_clock : t -> int -> Vclock.Vtime.t
+
+val read_clock_joined : t -> int -> Vclock.Vtime.t
+(** Current [R_x = ⊔_u R_{u,x}]. *)
+
+val read_clock_check : t -> int -> Vclock.Vtime.t
+(** Current [hR_x = ⊔_u R_{u,x}\[0/u\]]. *)

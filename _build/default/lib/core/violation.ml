@@ -1,0 +1,37 @@
+open Traces
+
+type site =
+  | At_acquire
+  | At_read
+  | At_write_vs_write
+  | At_write_vs_read
+  | At_join
+  | At_end of Ids.Tid.t
+  | Graph_cycle of int list
+
+type t = { index : int; event : Event.t; site : site }
+
+let make ~index ~event ~site = { index; event; site }
+
+let same_event v1 v2 = v1.index = v2.index
+
+let pp_site ppf = function
+  | At_acquire -> Format.pp_print_string ppf "at acquire"
+  | At_read -> Format.pp_print_string ppf "at read (vs last write)"
+  | At_write_vs_write -> Format.pp_print_string ppf "at write (vs last write)"
+  | At_write_vs_read -> Format.pp_print_string ppf "at write (vs reads)"
+  | At_join -> Format.pp_print_string ppf "at join"
+  | At_end u -> Format.fprintf ppf "at end (vs active txn of %a)" Ids.Tid.pp u
+  | Graph_cycle txns ->
+    Format.fprintf ppf "transaction-graph cycle [%a]"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " -> ")
+         Format.pp_print_int)
+      txns
+
+let pp ppf v =
+  Format.fprintf ppf
+    "conflict-serializability violation at event %d (%a), %a" (v.index + 1)
+    Event.pp v.event pp_site v.site
+
+let to_string v = Format.asprintf "%a" pp v

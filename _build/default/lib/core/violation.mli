@@ -1,0 +1,36 @@
+(** Reports of conflict-serializability violations.
+
+    Every checker reports the first violation it finds, identifying the
+    event at which the violation became detectable and the check site that
+    fired.  For the vector-clock checkers the site names which of the
+    [checkAndGet] call sites of Algorithm 1 declared the violation; for the
+    graph-based Velodrome baseline it carries the witness cycle of
+    transaction ids. *)
+
+open Traces
+
+type site =
+  | At_acquire
+      (** an [acq(ℓ)] ordered after the acquiring thread's own begin *)
+  | At_read  (** a [r(x)] whose last-write clock knows the reader's begin *)
+  | At_write_vs_write  (** a [w(x)] against the last-write clock *)
+  | At_write_vs_read  (** a [w(x)] against a read clock *)
+  | At_join  (** a [join(u)] whose child clock knows the joiner's begin *)
+  | At_end of Ids.Tid.t
+      (** detected while completing a transaction, against the active
+          transaction of the given other thread *)
+  | Graph_cycle of int list
+      (** Velodrome: a cycle of transaction ids in the transaction graph *)
+
+type t = { index : int; event : Event.t; site : site }
+(** [index] is the 0-based position in the trace of the event being
+    processed when the violation was declared. *)
+
+val make : index:int -> event:Event.t -> site:site -> t
+
+val same_event : t -> t -> bool
+(** Do the two reports blame the same trace position? *)
+
+val pp_site : Format.formatter -> site -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

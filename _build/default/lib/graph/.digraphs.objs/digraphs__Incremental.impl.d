@@ -1,0 +1,1 @@
+lib/graph/incremental.ml: Array Hashtbl Int List

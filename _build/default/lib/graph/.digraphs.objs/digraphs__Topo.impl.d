@@ -1,0 +1,1 @@
+lib/graph/topo.ml: Digraph Hashtbl List Queue Scc

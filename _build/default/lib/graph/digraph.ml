@@ -1,0 +1,158 @@
+type adj = { succs : (int, unit) Hashtbl.t; preds : (int, unit) Hashtbl.t }
+
+type t = { nodes : (int, adj) Hashtbl.t; mutable edges : int }
+
+let create ?(initial_capacity = 64) () =
+  { nodes = Hashtbl.create initial_capacity; edges = 0 }
+
+let add_node g n =
+  if n < 0 then invalid_arg "Digraph.add_node: negative node";
+  if not (Hashtbl.mem g.nodes n) then
+    Hashtbl.add g.nodes n { succs = Hashtbl.create 4; preds = Hashtbl.create 4 }
+
+let mem_node g n = Hashtbl.mem g.nodes n
+
+let adj g n = Hashtbl.find_opt g.nodes n
+
+let remove_node g n =
+  match adj g n with
+  | None -> ()
+  | Some a ->
+    (* Count incident edges before mutating the adjacency sets; a
+       self-loop appears in both succs and preds but is a single edge. *)
+    let removed =
+      Hashtbl.length a.succs + Hashtbl.length a.preds
+      - (if Hashtbl.mem a.succs n then 1 else 0)
+    in
+    Hashtbl.iter
+      (fun v () ->
+        match adj g v with
+        | Some av -> Hashtbl.remove av.preds n
+        | None -> ())
+      a.succs;
+    Hashtbl.iter
+      (fun u () ->
+        match adj g u with
+        | Some au -> Hashtbl.remove au.succs n
+        | None -> ())
+      a.preds;
+    g.edges <- g.edges - removed;
+    Hashtbl.remove g.nodes n
+
+let mem_edge g u v =
+  match adj g u with None -> false | Some a -> Hashtbl.mem a.succs v
+
+let add_edge g u v =
+  add_node g u;
+  add_node g v;
+  if mem_edge g u v then false
+  else begin
+    let au = Hashtbl.find g.nodes u and av = Hashtbl.find g.nodes v in
+    Hashtbl.add au.succs v ();
+    Hashtbl.add av.preds u ();
+    g.edges <- g.edges + 1;
+    true
+  end
+
+let remove_edge g u v =
+  if mem_edge g u v then begin
+    let au = Hashtbl.find g.nodes u and av = Hashtbl.find g.nodes v in
+    Hashtbl.remove au.succs v;
+    Hashtbl.remove av.preds u;
+    g.edges <- g.edges - 1
+  end
+
+let num_nodes g = Hashtbl.length g.nodes
+let num_edges g = g.edges
+
+let keys tbl = Hashtbl.fold (fun k () acc -> k :: acc) tbl []
+
+let succs g n = match adj g n with None -> [] | Some a -> keys a.succs
+let preds g n = match adj g n with None -> [] | Some a -> keys a.preds
+
+let out_degree g n = match adj g n with None -> 0 | Some a -> Hashtbl.length a.succs
+let in_degree g n = match adj g n with None -> 0 | Some a -> Hashtbl.length a.preds
+
+let nodes g = Hashtbl.fold (fun n _ acc -> n :: acc) g.nodes []
+let iter_nodes f g = Hashtbl.iter (fun n _ -> f n) g.nodes
+
+let iter_succs f g n =
+  match adj g n with None -> () | Some a -> Hashtbl.iter (fun v () -> f v) a.succs
+
+let fold_edges f g init =
+  Hashtbl.fold
+    (fun u a acc -> Hashtbl.fold (fun v () acc -> f u v acc) a.succs acc)
+    g.nodes init
+
+let reaches g src dst =
+  if not (mem_node g src && mem_node g dst) then false
+  else begin
+    let visited = Hashtbl.create 64 in
+    (* Explicit stack: Velodrome runs this on graphs with thousands of nodes
+       and deep chains, where recursion would overflow. *)
+    let stack = ref [ src ] in
+    let found = ref false in
+    while (not !found) && !stack <> [] do
+      match !stack with
+      | [] -> ()
+      | n :: rest ->
+        stack := rest;
+        if n = dst then found := true
+        else if not (Hashtbl.mem visited n) then begin
+          Hashtbl.add visited n ();
+          iter_succs (fun v -> stack := v :: !stack) g n
+        end
+    done;
+    !found
+  end
+
+let find_path g src dst =
+  if not (mem_node g src && mem_node g dst) then None
+  else begin
+    let parent = Hashtbl.create 64 in
+    let stack = ref [ src ] in
+    let found = ref (src = dst) in
+    Hashtbl.replace parent src src;
+    while (not !found) && !stack <> [] do
+      match !stack with
+      | [] -> ()
+      | n :: rest ->
+        stack := rest;
+        iter_succs
+          (fun v ->
+            if not (Hashtbl.mem parent v) then begin
+              Hashtbl.replace parent v n;
+              if v = dst then found := true else stack := v :: !stack
+            end)
+          g n
+    done;
+    if not !found then None
+    else begin
+      let rec build acc v =
+        if v = src then src :: acc else build (v :: acc) (Hashtbl.find parent v)
+      in
+      Some (build [] dst)
+    end
+  end
+
+let has_cycle_through g n =
+  mem_node g n && List.exists (fun v -> reaches g v n) (succs g n)
+
+let copy g =
+  let g' = create ~initial_capacity:(num_nodes g) () in
+  iter_nodes (fun n -> add_node g' n) g;
+  fold_edges (fun u v () -> ignore (add_edge g' u v)) g ();
+  g'
+
+let pp ppf g =
+  let ns = List.sort Int.compare (nodes g) in
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun n ->
+      Format.fprintf ppf "%d -> {%a}@," n
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           Format.pp_print_int)
+        (List.sort Int.compare (succs g n)))
+    ns;
+  Format.fprintf ppf "@]"

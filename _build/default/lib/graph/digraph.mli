@@ -1,0 +1,58 @@
+(** Mutable directed graphs over integer nodes.
+
+    This is the substrate for the Velodrome baseline (the paper's RAPID
+    implementation uses JGraphT for the same purpose).  Nodes are arbitrary
+    non-negative integers added explicitly; parallel edges are collapsed.
+    The representation keeps successor and predecessor adjacency so that
+    in-degree queries and node deletion (needed by Velodrome's garbage
+    collection) are cheap. *)
+
+type t
+
+val create : ?initial_capacity:int -> unit -> t
+
+val add_node : t -> int -> unit
+(** Idempotent. *)
+
+val remove_node : t -> int -> unit
+(** Removes the node and all incident edges.  Idempotent. *)
+
+val mem_node : t -> int -> bool
+
+val add_edge : t -> int -> int -> bool
+(** [add_edge g u v] adds edge [u -> v], adding missing endpoints, and
+    returns [true] iff the edge was not already present.  Self-loops are
+    allowed (they are cycles). *)
+
+val mem_edge : t -> int -> int -> bool
+val remove_edge : t -> int -> int -> unit
+
+val num_nodes : t -> int
+val num_edges : t -> int
+
+val succs : t -> int -> int list
+val preds : t -> int -> int list
+val out_degree : t -> int -> int
+val in_degree : t -> int -> int
+
+val nodes : t -> int list
+val iter_nodes : (int -> unit) -> t -> unit
+val iter_succs : (int -> unit) -> t -> int -> unit
+
+val fold_edges : (int -> int -> 'a -> 'a) -> t -> 'a -> 'a
+
+val reaches : t -> int -> int -> bool
+(** [reaches g u v]: is there a directed path (possibly empty) from [u] to
+    [v]?  DFS; [O(nodes + edges)]. *)
+
+val find_path : t -> int -> int -> int list option
+(** [find_path g u v] is some directed path [u; ...; v] (as a node list,
+    endpoints included; [[u]] when [u = v]), or [None] if [v] is
+    unreachable from [u]. *)
+
+val has_cycle_through : t -> int -> bool
+(** Is there a directed cycle containing the given node?  Equivalent to a
+    path from one of its successors back to it. *)
+
+val copy : t -> t
+val pp : Format.formatter -> t -> unit

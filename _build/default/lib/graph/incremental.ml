@@ -1,0 +1,203 @@
+(* Pearce–Kelly dynamic topological order.
+
+   Nodes are non-negative ints; per-node state lives in growable arrays
+   indexed by node id.  [ord] holds the topological position (sparse
+   values, comparisons only); [present] marks live nodes; adjacency uses
+   hash-set tables like Digraph.  Visited marks use a generation stamp so
+   searches need no clearing. *)
+
+type adj = { succs : (int, unit) Hashtbl.t; preds : (int, unit) Hashtbl.t }
+
+type t = {
+  mutable adj : adj option array;
+  mutable ord : int array;
+  mutable stamp : int array;
+  mutable parent : int array;  (* DFS parents for witness extraction *)
+  mutable next_ord : int;
+  mutable generation : int;
+  mutable nodes : int;
+  mutable edges : int;
+}
+
+let create ?(initial_capacity = 64) () =
+  let n = max initial_capacity 1 in
+  {
+    adj = Array.make n None;
+    ord = Array.make n 0;
+    stamp = Array.make n 0;
+    parent = Array.make n (-1);
+    next_ord = 0;
+    generation = 0;
+    nodes = 0;
+    edges = 0;
+  }
+
+let ensure g n =
+  if n >= Array.length g.adj then begin
+    let cap = max (n + 1) (2 * Array.length g.adj) in
+    let grow a fill =
+      let a' = Array.make cap fill in
+      Array.blit a 0 a' 0 (Array.length a);
+      a'
+    in
+    g.adj <- grow g.adj None;
+    g.ord <- grow g.ord 0;
+    g.stamp <- grow g.stamp 0;
+    g.parent <- grow g.parent (-1)
+  end
+
+let mem_node g n = n >= 0 && n < Array.length g.adj && g.adj.(n) <> None
+
+let add_node g n =
+  if n < 0 then invalid_arg "Incremental.add_node: negative node";
+  ensure g n;
+  if g.adj.(n) = None then begin
+    g.adj.(n) <- Some { succs = Hashtbl.create 4; preds = Hashtbl.create 4 };
+    g.ord.(n) <- g.next_ord;
+    g.next_ord <- g.next_ord + 1;
+    g.nodes <- g.nodes + 1
+  end
+
+let get_adj g n = match g.adj.(n) with Some a -> a | None -> assert false
+
+let remove_node g n =
+  if mem_node g n then begin
+    let a = get_adj g n in
+    let removed =
+      Hashtbl.length a.succs + Hashtbl.length a.preds
+      - (if Hashtbl.mem a.succs n then 1 else 0)
+    in
+    Hashtbl.iter
+      (fun v () -> if v <> n then Hashtbl.remove (get_adj g v).preds n)
+      a.succs;
+    Hashtbl.iter
+      (fun u () -> if u <> n then Hashtbl.remove (get_adj g u).succs n)
+      a.preds;
+    g.adj.(n) <- None;
+    g.nodes <- g.nodes - 1;
+    g.edges <- g.edges - removed
+  end
+
+let mem_edge g u v = mem_node g u && Hashtbl.mem (get_adj g u).succs v
+
+let in_degree g n = if mem_node g n then Hashtbl.length (get_adj g n).preds else 0
+let out_degree g n = if mem_node g n then Hashtbl.length (get_adj g n).succs else 0
+
+let succs g n =
+  if mem_node g n then Hashtbl.fold (fun k () acc -> k :: acc) (get_adj g n).succs []
+  else []
+
+let num_nodes g = g.nodes
+let num_edges g = g.edges
+let order_index g n = g.ord.(n)
+
+let fresh_generation g =
+  g.generation <- g.generation + 1;
+  g.generation
+
+let visited g gen n = g.stamp.(n) = gen
+let visit g gen n = g.stamp.(n) <- gen
+
+(* Forward DFS from [v] over nodes with ord <= ub; returns the visited set
+   (in discovery order) and whether [target] was reached; records parents
+   for the witness path. *)
+let dfs_forward g gen v ~ub ~target =
+  let acc = ref [] in
+  let stack = ref [ v ] in
+  let reached = ref false in
+  visit g gen v;
+  g.parent.(v) <- -1;
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | n :: rest ->
+      stack := rest;
+      acc := n :: !acc;
+      if n = target then reached := true
+      else
+        Hashtbl.iter
+          (fun w () ->
+            if (not (visited g gen w)) && g.ord.(w) <= ub then begin
+              visit g gen w;
+              g.parent.(w) <- n;
+              stack := w :: !stack
+            end)
+          (get_adj g n).succs
+  done;
+  (!acc, !reached)
+
+let dfs_backward g gen u ~lb =
+  let acc = ref [] in
+  let stack = ref [ u ] in
+  visit g gen u;
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | n :: rest ->
+      stack := rest;
+      acc := n :: !acc;
+      Hashtbl.iter
+        (fun w () ->
+          if (not (visited g gen w)) && g.ord.(w) >= lb then begin
+            visit g gen w;
+            stack := w :: !stack
+          end)
+        (get_adj g n).preds
+  done;
+  !acc
+
+let witness_path g u =
+  (* follow DFS parents from u back to the search root *)
+  let rec go acc n = if n = -1 then acc else go (n :: acc) g.parent.(n) in
+  go [] u
+
+let add_edge g u v =
+  add_node g u;
+  add_node g v;
+  if u = v then `Cycle [ u ]
+  else if mem_edge g u v then `Exists
+  else begin
+    let lb = g.ord.(v) and ub = g.ord.(u) in
+    if lb > ub then begin
+      (* respects the order already *)
+      Hashtbl.add (get_adj g u).succs v ();
+      Hashtbl.add (get_adj g v).preds u ();
+      g.edges <- g.edges + 1;
+      `Added
+    end
+    else begin
+      (* back (or level) edge: explore the affected region *)
+      let gen = fresh_generation g in
+      let delta_f, reached = dfs_forward g gen v ~ub ~target:u in
+      if reached then `Cycle (witness_path g u)
+      else begin
+        let gen' = fresh_generation g in
+        let delta_b = dfs_backward g gen' u ~lb in
+        (* Reorder: the backward region must precede the forward region.
+           Pool the order slots of both regions and redistribute. *)
+        let by_ord l = List.sort (fun a b -> Int.compare g.ord.(a) g.ord.(b)) l in
+        let sequence = by_ord delta_b @ by_ord delta_f in
+        let slots =
+          List.sort Int.compare (List.map (fun n -> g.ord.(n)) sequence)
+        in
+        List.iter2 (fun n slot -> g.ord.(n) <- slot) sequence slots;
+        Hashtbl.add (get_adj g u).succs v ();
+        Hashtbl.add (get_adj g v).preds u ();
+        g.edges <- g.edges + 1;
+        `Added
+      end
+    end
+  end
+
+let is_valid_order g =
+  let ok = ref true in
+  Array.iteri
+    (fun u a ->
+      match a with
+      | None -> ()
+      | Some a ->
+        Hashtbl.iter
+          (fun v () -> if g.ord.(u) >= g.ord.(v) then ok := false)
+          a.succs)
+    g.adj;
+  !ok

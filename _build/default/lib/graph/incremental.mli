@@ -1,0 +1,49 @@
+(** Incremental cycle detection via dynamic topological ordering
+    (Pearce–Kelly, JEA 2006).
+
+    Maintains a topological order of a growing DAG.  Inserting an edge
+    that respects the current order is [O(1)]; inserting a back edge
+    triggers a localized reordering whose cost is bounded by the size of
+    the affected region, and detects a cycle if one would be created.
+    Node deletion never invalidates the order.
+
+    This engine exists as a {e stronger baseline} ablation: the paper's
+    Velodrome (and ours, {!Velodrome.Online}) re-runs a reachability
+    search on every inserted edge, which is what makes it cubic; swapping
+    in this engine shows how much of the gap to AeroDrome is due to naive
+    cycle checking and how much is inherent in maintaining the transaction
+    graph (see the bench's Ablation A and EXPERIMENTS.md). *)
+
+type t
+
+val create : ?initial_capacity:int -> unit -> t
+
+val add_node : t -> int -> unit
+(** Idempotent; fresh nodes are appended at the end of the order. *)
+
+val remove_node : t -> int -> unit
+(** Removes the node and incident edges; the order of the remaining nodes
+    is untouched.  Idempotent. *)
+
+val mem_node : t -> int -> bool
+
+val add_edge : t -> int -> int -> [ `Added | `Exists | `Cycle of int list ]
+(** [add_edge g u v] inserts [u -> v].  [`Cycle path] means the edge would
+    close a cycle and was {e not} inserted; [path] is [u; v; ...; u]'s
+    interior — a node sequence [v; …; u] such that consecutive nodes are
+    edges and [u -> v] closes the loop.  Self-loops report
+    [`Cycle [u]]. *)
+
+val mem_edge : t -> int -> int -> bool
+val in_degree : t -> int -> int
+val out_degree : t -> int -> int
+val succs : t -> int -> int list
+val num_nodes : t -> int
+val num_edges : t -> int
+
+val order_index : t -> int -> int
+(** The node's current position value in the maintained topological order
+    (values are sparse; only comparisons are meaningful). *)
+
+val is_valid_order : t -> bool
+(** Every edge goes from a smaller to a larger order value.  For tests. *)

@@ -1,0 +1,86 @@
+(* Iterative Tarjan: the explicit frame stack stores, per node, the list of
+   successors still to examine, so arbitrarily deep graphs are handled
+   without native-stack recursion. *)
+
+type state = {
+  index : (int, int) Hashtbl.t;
+  lowlink : (int, int) Hashtbl.t;
+  on_stack : (int, unit) Hashtbl.t;
+  mutable stack : int list;
+  mutable next_index : int;
+  mutable components : int list list;
+}
+
+let compute g =
+  let st =
+    {
+      index = Hashtbl.create 64;
+      lowlink = Hashtbl.create 64;
+      on_stack = Hashtbl.create 64;
+      stack = [];
+      next_index = 0;
+      components = [];
+    }
+  in
+  let visit root =
+    (* Frames: (node, remaining successors). *)
+    let frames = ref [] in
+    let push_node v =
+      Hashtbl.replace st.index v st.next_index;
+      Hashtbl.replace st.lowlink v st.next_index;
+      st.next_index <- st.next_index + 1;
+      st.stack <- v :: st.stack;
+      Hashtbl.replace st.on_stack v ();
+      frames := (v, ref (Digraph.succs g v)) :: !frames
+    in
+    let pop_component v =
+      let rec take acc = function
+        | [] -> assert false
+        | w :: rest ->
+          Hashtbl.remove st.on_stack w;
+          if w = v then (w :: acc, rest) else take (w :: acc) rest
+      in
+      let comp, rest = take [] st.stack in
+      st.stack <- rest;
+      st.components <- comp :: st.components
+    in
+    push_node root;
+    let rec loop () =
+      match !frames with
+      | [] -> ()
+      | (v, children) :: parent_frames -> (
+        match !children with
+        | w :: rest ->
+          children := rest;
+          if not (Hashtbl.mem st.index w) then push_node w
+          else if Hashtbl.mem st.on_stack w then
+            Hashtbl.replace st.lowlink v
+              (min (Hashtbl.find st.lowlink v) (Hashtbl.find st.index w));
+          loop ()
+        | [] ->
+          frames := parent_frames;
+          if Hashtbl.find st.lowlink v = Hashtbl.find st.index v then
+            pop_component v
+          else begin
+            match parent_frames with
+            | (p, _) :: _ ->
+              Hashtbl.replace st.lowlink p
+                (min (Hashtbl.find st.lowlink p) (Hashtbl.find st.lowlink v))
+            | [] -> ()
+          end;
+          loop ())
+    in
+    loop ()
+  in
+  Digraph.iter_nodes (fun v -> if not (Hashtbl.mem st.index v) then visit v) g;
+  st.components
+
+let nontrivial g =
+  List.filter
+    (function
+      | [] -> false
+      | [ v ] -> Digraph.mem_edge g v v
+      | _ -> true)
+    (compute g)
+
+let is_acyclic g = nontrivial g = []

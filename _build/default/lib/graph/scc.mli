@@ -1,0 +1,17 @@
+(** Strongly connected components (Tarjan, iterative).
+
+    Used by tests and by the offline reference checker to extract witness
+    cycles from a transaction graph; any SCC with more than one node — or a
+    self-loop — witnesses a conflict-serializability violation
+    (Definition 1). *)
+
+val compute : Digraph.t -> int list list
+(** The strongly connected components, each as a list of nodes.  Components
+    are returned in topological order of the condensation: a component
+    appears before every component it can reach. *)
+
+val nontrivial : Digraph.t -> int list list
+(** Components that witness a cycle: size [>= 2], or a single node with a
+    self-loop. *)
+
+val is_acyclic : Digraph.t -> bool

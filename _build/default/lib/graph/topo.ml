@@ -1,0 +1,54 @@
+let sort g =
+  let indeg = Hashtbl.create 64 in
+  Digraph.iter_nodes (fun n -> Hashtbl.replace indeg n (Digraph.in_degree g n)) g;
+  let queue = Queue.create () in
+  Hashtbl.iter (fun n d -> if d = 0 then Queue.add n queue) indeg;
+  let order = ref [] in
+  let seen = ref 0 in
+  while not (Queue.is_empty queue) do
+    let n = Queue.pop queue in
+    incr seen;
+    order := n :: !order;
+    Digraph.iter_succs
+      (fun v ->
+        let d = Hashtbl.find indeg v - 1 in
+        Hashtbl.replace indeg v d;
+        if d = 0 then Queue.add v queue)
+      g n
+  done;
+  if !seen = Digraph.num_nodes g then Some (List.rev !order) else None
+
+let find_cycle g =
+  match Scc.nontrivial g with
+  | [] -> None
+  | comp :: _ ->
+    (* Walk inside the component until a node repeats, then cut the walk at
+       the first occurrence of that node: the segment in between is a cycle
+       entirely within the component. *)
+    let in_comp = Hashtbl.create 16 in
+    List.iter (fun v -> Hashtbl.replace in_comp v ()) comp;
+    let start = List.hd comp in
+    if Digraph.mem_edge g start start then Some [ start ]
+    else begin
+      let position = Hashtbl.create 16 in
+      let rec walk path len v =
+        match Hashtbl.find_opt position v with
+        | Some i ->
+          (* path is reversed; keep entries with position >= i. *)
+          let cycle =
+            List.filter (fun w -> Hashtbl.find position w >= i) (List.rev path)
+          in
+          Some cycle
+        | None ->
+          Hashtbl.replace position v len;
+          let next =
+            List.find_opt (fun w -> Hashtbl.mem in_comp w) (Digraph.succs g v)
+          in
+          (* Inside a nontrivial SCC every node has a successor within the
+             component, so [next] cannot be [None]. *)
+          (match next with
+          | Some w -> walk (v :: path) (len + 1) w
+          | None -> None)
+      in
+      walk [] 0 start
+    end

@@ -1,0 +1,10 @@
+(** Topological sorting and cycle extraction. *)
+
+val sort : Digraph.t -> int list option
+(** Kahn's algorithm: a topological order of all nodes, or [None] if the
+    graph has a cycle. *)
+
+val find_cycle : Digraph.t -> int list option
+(** Some directed cycle as a node list [v0; v1; ...; vk] with edges
+    [v0 -> v1 -> ... -> vk -> v0], or [None] if acyclic.  A self-loop is
+    returned as the singleton [[v]]. *)

@@ -1,0 +1,1 @@
+lib/trace/binfmt.ml: Buffer Char Event Format Fun Ids Lid Seq String Tid Trace Vid

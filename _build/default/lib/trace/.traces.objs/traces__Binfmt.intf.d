@@ -1,0 +1,1 @@
+lib/trace/binfmt.mli: Buffer Event Seq Trace

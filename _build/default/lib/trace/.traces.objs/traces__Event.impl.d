@@ -1,0 +1,1 @@
+lib/trace/event.ml: Format Ids Lid Stdlib Tid Vid

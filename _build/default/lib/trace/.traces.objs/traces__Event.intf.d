@@ -1,0 +1,1 @@
+lib/trace/event.mli: Format Ids Lid Tid Vid

@@ -1,0 +1,1 @@
+lib/trace/ids.ml: Array Format Hashtbl Int

@@ -1,0 +1,1 @@
+lib/trace/ids.mli: Format

@@ -1,0 +1,1 @@
+lib/trace/parser.ml: Buffer Event Format Fun Ids Interner Lid List Option Seq String Tid Trace Vid

@@ -1,0 +1,1 @@
+lib/trace/parser.mli: Format Seq Trace

@@ -1,0 +1,1 @@
+lib/trace/transactions.ml: Array Event Format Hashtbl Ids Int List Option Tid Trace

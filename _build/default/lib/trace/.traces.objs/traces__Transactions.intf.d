@@ -1,0 +1,1 @@
+lib/trace/transactions.mli: Format Ids Tid Trace

@@ -1,0 +1,1 @@
+lib/trace/transform.ml: Array Event Hashtbl Ids Interner Lid List Option Tid Trace Transactions Vid

@@ -1,0 +1,1 @@
+lib/trace/transform.mli: Ids Tid Trace Transactions

@@ -1,0 +1,1 @@
+lib/trace/wellformed.ml: Array Event Format Ids Lid List Tid Trace

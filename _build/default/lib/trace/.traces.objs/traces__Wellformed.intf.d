@@ -1,0 +1,1 @@
+lib/trace/wellformed.mli: Format Ids Lid Tid Trace

@@ -1,0 +1,199 @@
+open Ids
+
+exception Corrupt of string
+
+let corrupt fmt = Format.kasprintf (fun s -> raise (Corrupt s)) fmt
+
+let magic = "AERODRM1"
+
+type header = { threads : int; locks : int; vars : int; events : int }
+
+(* LEB128, unsigned. *)
+let put_uint buf n =
+  if n < 0 then invalid_arg "Binfmt: negative id";
+  let rec go n =
+    if n < 0x80 then Buffer.add_char buf (Char.chr n)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (n land 0x7f)));
+      go (n lsr 7)
+    end
+  in
+  go n
+
+let get_uint next =
+  let rec go shift acc =
+    if shift > 56 then corrupt "id overflow";
+    match next () with
+    | -1 -> corrupt "truncated integer"
+    | b ->
+      let acc = acc lor ((b land 0x7f) lsl shift) in
+      if b land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  go 0 0
+
+(* opcodes *)
+let op_read = 0
+and op_write = 1
+and op_acquire = 2
+and op_release = 3
+and op_fork = 4
+and op_join = 5
+and op_begin = 6
+and op_end = 7
+
+let encode_event buf (e : Event.t) =
+  let t = Tid.to_int e.thread in
+  let simple op = Buffer.add_char buf (Char.chr op) in
+  match e.op with
+  | Event.Read x ->
+    simple op_read;
+    put_uint buf t;
+    put_uint buf (Vid.to_int x)
+  | Event.Write x ->
+    simple op_write;
+    put_uint buf t;
+    put_uint buf (Vid.to_int x)
+  | Event.Acquire l ->
+    simple op_acquire;
+    put_uint buf t;
+    put_uint buf (Lid.to_int l)
+  | Event.Release l ->
+    simple op_release;
+    put_uint buf t;
+    put_uint buf (Lid.to_int l)
+  | Event.Fork u ->
+    simple op_fork;
+    put_uint buf t;
+    put_uint buf (Tid.to_int u)
+  | Event.Join u ->
+    simple op_join;
+    put_uint buf t;
+    put_uint buf (Tid.to_int u)
+  | Event.Begin ->
+    simple op_begin;
+    put_uint buf t
+  | Event.End ->
+    simple op_end;
+    put_uint buf t
+
+let decode_event next =
+  match next () with
+  | -1 -> None
+  | op ->
+    let t = get_uint next in
+    let target () = get_uint next in
+    let event o = Some (Event.make (Tid.of_int t) o) in
+    if op = op_read then event (Event.Read (Vid.of_int (target ())))
+    else if op = op_write then event (Event.Write (Vid.of_int (target ())))
+    else if op = op_acquire then event (Event.Acquire (Lid.of_int (target ())))
+    else if op = op_release then event (Event.Release (Lid.of_int (target ())))
+    else if op = op_fork then event (Event.Fork (Tid.of_int (target ())))
+    else if op = op_join then event (Event.Join (Tid.of_int (target ())))
+    else if op = op_begin then event Event.Begin
+    else if op = op_end then event Event.End
+    else corrupt "unknown opcode %d" op
+
+let write_channel oc tr =
+  let buf = Buffer.create 65536 in
+  Buffer.add_string buf magic;
+  put_uint buf (Trace.threads tr);
+  put_uint buf (Trace.locks tr);
+  put_uint buf (Trace.vars tr);
+  put_uint buf (Trace.length tr);
+  Trace.iter
+    (fun e ->
+      encode_event buf e;
+      if Buffer.length buf > 60000 then begin
+        Buffer.output_buffer oc buf;
+        Buffer.clear buf
+      end)
+    tr;
+  Buffer.output_buffer oc buf
+
+let write_file path tr =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> write_channel oc tr)
+
+let channel_next ic () = try input_byte ic with End_of_file -> -1
+
+let read_header_ic path ic =
+  let m = really_input_string ic (String.length magic) in
+  if m <> magic then corrupt "%s: bad magic (not a binary trace)" path;
+  let next = channel_next ic in
+  let threads = get_uint next in
+  let locks = get_uint next in
+  let vars = get_uint next in
+  let events = get_uint next in
+  { threads; locks; vars; events }
+
+let with_file path f =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> f ic)
+
+let read_header path =
+  with_file path (fun ic ->
+      try read_header_ic path ic
+      with End_of_file -> corrupt "%s: truncated header" path)
+
+let read_file path =
+  with_file path (fun ic ->
+      let header =
+        try read_header_ic path ic
+        with End_of_file -> corrupt "%s: truncated header" path
+      in
+      let next = channel_next ic in
+      let b = Trace.Builder.create ~capacity:(header.events + 1) () in
+      let rec go n =
+        match decode_event next with
+        | Some e ->
+          Trace.Builder.add b e;
+          go (n + 1)
+        | None ->
+          if n <> header.events then
+            corrupt "%s: expected %d events, found %d" path header.events n
+      in
+      go 0;
+      Trace.Builder.build b)
+
+let read_seq path =
+  let ic = open_in_bin path in
+  let header =
+    try read_header_ic path ic
+    with
+    | End_of_file ->
+      close_in_noerr ic;
+      corrupt "%s: truncated header" path
+    | e ->
+      close_in_noerr ic;
+      raise e
+  in
+  let closed = ref false in
+  let close () =
+    if not !closed then begin
+      closed := true;
+      close_in_noerr ic
+    end
+  in
+  let next = channel_next ic in
+  let rec seq n () =
+    if !closed then Seq.Nil
+    else
+      match decode_event next with
+      | Some e -> Seq.Cons (e, seq (n + 1))
+      | None ->
+        close ();
+        if n <> header.events then
+          corrupt "%s: expected %d events, found %d" path header.events n;
+        Seq.Nil
+      | exception e ->
+        close ();
+        raise e
+  in
+  (header, (seq 0, close))
+
+let is_binary path =
+  try
+    with_file path (fun ic ->
+        in_channel_length ic >= String.length magic
+        && really_input_string ic (String.length magic) = magic)
+  with _ -> false

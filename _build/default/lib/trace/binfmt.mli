@@ -1,0 +1,56 @@
+(** Compact binary trace format with streaming access.
+
+    The paper's logs reach billions of events (hundreds of gigabytes as
+    text); RAPID stores them in a binary encoding.  This module provides
+    ours: a small header (magic, version, domain sizes, event count)
+    followed by one variable-length record per event — an opcode byte and
+    LEB128-encoded ids.  Typical traces encode in 2–4 bytes per event,
+    an order of magnitude smaller than the text format.
+
+    Reading is streaming: {!read_seq} exposes the events as a [Seq.t]
+    backed by a buffered channel, so a checker can analyze a file without
+    materializing the trace ({!Analysis.Runner.run_events} composes with
+    it directly). *)
+
+
+exception Corrupt of string
+(** Raised by readers on malformed input (bad magic, truncated record,
+    unknown opcode, id overflow). *)
+
+val magic : string
+(** The 8-byte file magic, ["AERODRM1"]. *)
+
+type header = { threads : int; locks : int; vars : int; events : int }
+
+val write_file : string -> Trace.t -> unit
+(** Serialize a trace.  Symbol tables are not stored (ids only). *)
+
+val write_channel : out_channel -> Trace.t -> unit
+
+val read_header : string -> header
+(** Header of a binary trace file.  @raise Corrupt *)
+
+val read_file : string -> Trace.t
+(** Materialize the whole trace.  @raise Corrupt *)
+
+val read_seq : string -> header * (Event.t Seq.t * (unit -> unit))
+(** [read_seq path] is the header, a lazily-read event sequence, and a
+    [close] function releasing the file descriptor (also called
+    automatically when the sequence is fully consumed).  The sequence may
+    be traversed once.  @raise Corrupt on a bad header; corruption later
+    in the stream raises during traversal. *)
+
+val is_binary : string -> bool
+(** Does the file start with {!magic}?  (Used by the CLI to auto-detect
+    the format.) *)
+
+(**/**)
+
+(* exposed for the round-trip property tests *)
+
+val encode_event : Buffer.t -> Event.t -> unit
+
+val decode_event : (unit -> int) -> Event.t option
+(** [decode_event next_byte] with [next_byte () = -1] at end of input;
+    [None] at a clean end, @raise Corrupt on a truncated or invalid
+    record. *)

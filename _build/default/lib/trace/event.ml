@@ -1,0 +1,59 @@
+open Ids
+
+type op =
+  | Read of Vid.t
+  | Write of Vid.t
+  | Acquire of Lid.t
+  | Release of Lid.t
+  | Fork of Tid.t
+  | Join of Tid.t
+  | Begin
+  | End
+
+type t = { thread : Tid.t; op : op }
+
+let make thread op = { thread; op }
+let thread e = e.thread
+let op e = e.op
+
+let read t x = { thread = Tid.of_int t; op = Read (Vid.of_int x) }
+let write t x = { thread = Tid.of_int t; op = Write (Vid.of_int x) }
+let acquire t l = { thread = Tid.of_int t; op = Acquire (Lid.of_int l) }
+let release t l = { thread = Tid.of_int t; op = Release (Lid.of_int l) }
+let fork t u = { thread = Tid.of_int t; op = Fork (Tid.of_int u) }
+let join t u = { thread = Tid.of_int t; op = Join (Tid.of_int u) }
+let begin_ t = { thread = Tid.of_int t; op = Begin }
+let end_ t = { thread = Tid.of_int t; op = End }
+
+let equal e1 e2 = e1 = e2
+let compare = Stdlib.compare
+
+let conflicts e e' =
+  Tid.equal e.thread e'.thread
+  ||
+  match (e.op, e'.op) with
+  | Fork u, _ -> Tid.equal u e'.thread
+  | _, Join u -> Tid.equal u e.thread
+  | Write x, Write y | Write x, Read y | Read x, Write y -> Vid.equal x y
+  | Release l, Acquire m -> Lid.equal l m
+  | _ -> false
+
+let is_access e = match e.op with Read _ | Write _ -> true | _ -> false
+
+let is_sync e =
+  match e.op with Acquire _ | Release _ | Fork _ | Join _ -> true | _ -> false
+
+let is_marker e = match e.op with Begin | End -> true | _ -> false
+
+let pp_op ppf = function
+  | Read x -> Format.fprintf ppf "r(%a)" Vid.pp x
+  | Write x -> Format.fprintf ppf "w(%a)" Vid.pp x
+  | Acquire l -> Format.fprintf ppf "acq(%a)" Lid.pp l
+  | Release l -> Format.fprintf ppf "rel(%a)" Lid.pp l
+  | Fork u -> Format.fprintf ppf "fork(%a)" Tid.pp u
+  | Join u -> Format.fprintf ppf "join(%a)" Tid.pp u
+  | Begin -> Format.pp_print_string ppf "begin"
+  | End -> Format.pp_print_string ppf "end"
+
+let pp ppf e = Format.fprintf ppf "⟨%a,%a⟩" Tid.pp e.thread pp_op e.op
+let to_string e = Format.asprintf "%a" pp e

@@ -1,0 +1,59 @@
+(** Events of a concurrent-program trace.
+
+    An event is a pair [⟨t, op⟩] of the performing thread and an operation
+    (Section 2 of the paper).  Operations are reads and writes of memory
+    locations, acquires and releases of locks, forks and joins of threads,
+    and the begin ([⊲]) and end ([⊳]) markers of atomic blocks. *)
+
+open Ids
+
+type op =
+  | Read of Vid.t  (** [r(x)] *)
+  | Write of Vid.t  (** [w(x)] *)
+  | Acquire of Lid.t  (** [acq(ℓ)] *)
+  | Release of Lid.t  (** [rel(ℓ)] *)
+  | Fork of Tid.t  (** [fork(u)]: spawn thread [u] *)
+  | Join of Tid.t  (** [join(u)]: wait for thread [u] *)
+  | Begin  (** [⊲]: enter an atomic block *)
+  | End  (** [⊳]: leave an atomic block *)
+
+type t = { thread : Tid.t; op : op }
+
+val make : Tid.t -> op -> t
+val thread : t -> Tid.t
+val op : t -> op
+
+val read : int -> int -> t
+(** [read t x] is [⟨T_t, r(V_x)⟩]; convenience constructor on raw ids. *)
+
+val write : int -> int -> t
+val acquire : int -> int -> t
+val release : int -> int -> t
+val fork : int -> int -> t
+val join : int -> int -> t
+val begin_ : int -> t
+val end_ : int -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val conflicts : t -> t -> bool
+(** [conflicts e e'] for [e] occurring {e earlier} than [e'] in the trace:
+    true iff the pair is conflicting per Section 2 — same thread; [e] forks
+    [e']'s thread; [e'] joins [e]'s thread; accesses to a common location at
+    least one of which is a write; or [e] releases a lock that [e']
+    acquires.  The relation is intentionally asymmetric: it mirrors the
+    definition over pairs ordered by trace position. *)
+
+val is_access : t -> bool
+(** True for reads and writes. *)
+
+val is_sync : t -> bool
+(** True for acquires, releases, forks and joins. *)
+
+val is_marker : t -> bool
+(** True for [Begin] and [End]. *)
+
+val pp_op : Format.formatter -> op -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,77 @@
+module type ID = sig
+  type t = private int
+
+  val of_int : int -> t
+  val to_int : t -> int
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val hash : t -> int
+  val pp : Format.formatter -> t -> unit
+  val to_string : t -> string
+end
+
+module Make (P : sig
+  val prefix : string
+end) : ID = struct
+  type t = int
+
+  let of_int i =
+    if i < 0 then invalid_arg (P.prefix ^ " id: negative");
+    i
+
+  let to_int i = i
+  let equal = Int.equal
+  let compare = Int.compare
+  let hash i = i
+  let pp ppf i = Format.fprintf ppf "%s%d" P.prefix i
+  let to_string i = P.prefix ^ string_of_int i
+end
+
+module Tid = Make (struct
+  let prefix = "T"
+end)
+
+module Lid = Make (struct
+  let prefix = "L"
+end)
+
+module Vid = Make (struct
+  let prefix = "V"
+end)
+
+module Interner = struct
+  type t = {
+    table : (string, int) Hashtbl.t;
+    mutable names : string array;
+    mutable count : int;
+  }
+
+  let create () = { table = Hashtbl.create 64; names = Array.make 16 ""; count = 0 }
+
+  let grow t =
+    if t.count = Array.length t.names then begin
+      let names = Array.make (2 * Array.length t.names) "" in
+      Array.blit t.names 0 names 0 t.count;
+      t.names <- names
+    end
+
+  let intern t name =
+    match Hashtbl.find_opt t.table name with
+    | Some id -> id
+    | None ->
+      let id = t.count in
+      grow t;
+      t.names.(id) <- name;
+      t.count <- t.count + 1;
+      Hashtbl.add t.table name id;
+      id
+
+  let find t name = Hashtbl.find_opt t.table name
+
+  let name t id =
+    if id < 0 || id >= t.count then invalid_arg "Interner.name: out of range";
+    t.names.(id)
+
+  let count t = t.count
+  let names t = Array.sub t.names 0 t.count
+end

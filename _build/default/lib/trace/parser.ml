@@ -1,0 +1,131 @@
+open Ids
+
+type error = { line : int; message : string }
+
+exception Parse_error of error
+
+let fail line fmt = Format.kasprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+(* Splits "thread|op|rest" into fields; extra fields beyond the second are
+   ignored (RAPID logs carry a source-location third field). *)
+let split_fields s =
+  String.split_on_char '|' s |> List.map String.trim
+
+let is_name_char c =
+  match c with
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | '.' | ':' | '$' | '@' -> true
+  | _ -> false
+
+let check_name line what s =
+  if s = "" then fail line "empty %s name" what;
+  String.iter
+    (fun c -> if not (is_name_char c) then fail line "bad character %C in %s name %S" c what s)
+    s
+
+(* Parses an operation "kind(target)" or a bare keyword. *)
+let parse_op line ~threads ~locks ~vars s =
+  let with_target kind =
+    match (String.index_opt s '(', String.rindex_opt s ')') with
+    | Some i, Some j when j = String.length s - 1 && i < j ->
+      let target = String.trim (String.sub s (i + 1) (j - i - 1)) in
+      check_name line kind target;
+      target
+    | _ -> fail line "malformed operation %S (expected %s(target))" s kind
+  in
+  let kind =
+    match String.index_opt s '(' with
+    | Some i -> String.sub s 0 i
+    | None -> s
+  in
+  match String.lowercase_ascii kind with
+  | "r" | "read" -> Event.Read (Vid.of_int (Interner.intern vars (with_target kind)))
+  | "w" | "write" -> Event.Write (Vid.of_int (Interner.intern vars (with_target kind)))
+  | "acq" | "acquire" | "lock" ->
+    Event.Acquire (Lid.of_int (Interner.intern locks (with_target kind)))
+  | "rel" | "release" | "unlock" ->
+    Event.Release (Lid.of_int (Interner.intern locks (with_target kind)))
+  | "fork" -> Event.Fork (Tid.of_int (Interner.intern threads (with_target kind)))
+  | "join" -> Event.Join (Tid.of_int (Interner.intern threads (with_target kind)))
+  | "begin" | "b" -> Event.Begin
+  | "end" | "e" -> Event.End
+  | other -> fail line "unknown operation %S" other
+
+let parse_lines_exn lines =
+  let threads = Interner.create ()
+  and locks = Interner.create ()
+  and vars = Interner.create () in
+  let events = ref [] in
+  let lineno = ref 0 in
+  Seq.iter
+    (fun raw ->
+      incr lineno;
+      let line = String.trim raw in
+      if line <> "" && not (String.length line > 0 && line.[0] = '#') then begin
+        match split_fields line with
+        | thread :: op :: _ ->
+          check_name !lineno "thread" thread;
+          let tid = Tid.of_int (Interner.intern threads thread) in
+          let op = parse_op !lineno ~threads ~locks ~vars op in
+          events := Event.make tid op :: !events
+        | _ -> fail !lineno "expected thread|operation, got %S" line
+      end)
+    lines;
+  let symbols : Trace.Symbols.t =
+    {
+      threads = Interner.names threads;
+      locks = Interner.names locks;
+      vars = Interner.names vars;
+    }
+  in
+  Trace.of_events ~symbols (List.rev !events)
+
+let parse_lines lines =
+  match parse_lines_exn lines with
+  | tr -> Ok tr
+  | exception Parse_error e -> Error e
+
+let seq_of_string s = String.split_on_char '\n' s |> List.to_seq
+
+let parse_string s = parse_lines (seq_of_string s)
+let parse_string_exn s = parse_lines_exn (seq_of_string s)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_file path = parse_string (read_file path)
+let parse_file_exn path = parse_string_exn (read_file path)
+
+let render_event symbols buf (e : Event.t) =
+  let add = Buffer.add_string buf in
+  let s = (symbols : Trace.Symbols.t) in
+  add (Trace.Symbols.thread s e.thread);
+  add "|";
+  (match e.op with
+  | Event.Read x -> add ("r(" ^ Trace.Symbols.var s x ^ ")")
+  | Event.Write x -> add ("w(" ^ Trace.Symbols.var s x ^ ")")
+  | Event.Acquire l -> add ("acq(" ^ Trace.Symbols.lock s l ^ ")")
+  | Event.Release l -> add ("rel(" ^ Trace.Symbols.lock s l ^ ")")
+  | Event.Fork u -> add ("fork(" ^ Trace.Symbols.thread s u ^ ")")
+  | Event.Join u -> add ("join(" ^ Trace.Symbols.thread s u ^ ")")
+  | Event.Begin -> add "begin"
+  | Event.End -> add "end");
+  Buffer.add_char buf '\n'
+
+let default_symbols : Trace.Symbols.t = { threads = [||]; locks = [||]; vars = [||] }
+
+let to_string tr =
+  let symbols = Option.value ~default:default_symbols (Trace.symbols tr) in
+  let buf = Buffer.create (16 * Trace.length tr) in
+  Trace.iter (render_event symbols buf) tr;
+  Buffer.contents buf
+
+let to_channel oc tr = output_string oc (to_string tr)
+
+let to_file path tr =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> to_channel oc tr)
+
+let pp_error ppf e = Format.fprintf ppf "line %d: %s" e.line e.message

@@ -1,0 +1,47 @@
+(** Parser and printer for the textual trace format.
+
+    The format follows RAPID's [.std] logs: one event per line,
+    [thread|operation] with an optional third [|location] field that is
+    ignored.  Operations are [r(x)], [w(x)], [acq(l)], [rel(l)], [fork(t)],
+    [join(t)], [begin] ([⊲]) and [end] ([⊳]).  Thread, lock and variable
+    names are arbitrary tokens (no [|], [(], [)] or whitespace) and are
+    interned to dense ids in order of first appearance; the resulting
+    {!Trace.Symbols.t} is attached to the trace.  Blank lines and lines
+    starting with [#] are skipped.
+
+    Example:
+    {v
+    # trace rho2 from the paper
+    t1|begin
+    t2|begin
+    t1|w(x)
+    t2|r(x)|42
+    t2|w(y)
+    t1|r(y)
+    t1|end
+    t2|end
+    v} *)
+
+type error = { line : int; message : string }
+
+exception Parse_error of error
+
+val parse_string : string -> (Trace.t, error) result
+val parse_lines : string Seq.t -> (Trace.t, error) result
+
+val parse_file : string -> (Trace.t, error) result
+(** Reads the whole file; I/O exceptions propagate. *)
+
+val parse_string_exn : string -> Trace.t
+(** @raise Parse_error *)
+
+val parse_file_exn : string -> Trace.t
+
+val to_string : Trace.t -> string
+(** Renders a trace in the format above, using its symbol table when
+    present and [T0]/[L0]/[V0]-style names otherwise.  [parse_string_exn]
+    of the result is the identity on events. *)
+
+val to_channel : out_channel -> Trace.t -> unit
+val to_file : string -> Trace.t -> unit
+val pp_error : Format.formatter -> error -> unit

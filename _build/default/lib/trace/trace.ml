@@ -1,0 +1,113 @@
+open Ids
+
+module Symbols = struct
+  type t = { threads : string array; locks : string array; vars : string array }
+
+  let fallback prefix i names =
+    let i = (i : int) in
+    if i >= 0 && i < Array.length names then names.(i)
+    else prefix ^ string_of_int i
+
+  let thread t tid = fallback "T" (Tid.to_int tid) t.threads
+  let lock t lid = fallback "L" (Lid.to_int lid) t.locks
+  let var t vid = fallback "V" (Vid.to_int vid) t.vars
+end
+
+type t = {
+  events : Event.t array;
+  threads : int;
+  locks : int;
+  vars : int;
+  symbols : Symbols.t option;
+}
+
+(* Domain sizes are one past the largest id mentioned anywhere, including
+   fork/join targets: a forked thread with no events of its own still needs a
+   clock slot. *)
+let domains events =
+  let threads = ref 0 and locks = ref 0 and vars = ref 0 in
+  let see_thread t = threads := max !threads (Tid.to_int t + 1) in
+  let see_lock l = locks := max !locks (Lid.to_int l + 1) in
+  let see_var v = vars := max !vars (Vid.to_int v + 1) in
+  Array.iter
+    (fun (e : Event.t) ->
+      see_thread e.thread;
+      match e.op with
+      | Event.Read x | Event.Write x -> see_var x
+      | Event.Acquire l | Event.Release l -> see_lock l
+      | Event.Fork u | Event.Join u -> see_thread u
+      | Event.Begin | Event.End -> ())
+    events;
+  (!threads, !locks, !vars)
+
+let of_array ?symbols events =
+  let threads, locks, vars = domains events in
+  { events; threads; locks; vars; symbols }
+
+let of_events ?symbols events = of_array ?symbols (Array.of_list events)
+
+let empty = of_array [||]
+
+let length tr = Array.length tr.events
+let get tr i = tr.events.(i)
+let events tr = tr.events
+let threads tr = tr.threads
+let locks tr = tr.locks
+let vars tr = tr.vars
+let symbols tr = tr.symbols
+
+let iter f tr = Array.iter f tr.events
+let iteri f tr = Array.iteri f tr.events
+let fold f init tr = Array.fold_left f init tr.events
+let to_seq tr = Array.to_seq tr.events
+let to_list tr = Array.to_list tr.events
+
+let prefix tr n =
+  if n < 0 || n > length tr then invalid_arg "Trace.prefix: out of range";
+  { tr with events = Array.sub tr.events 0 n }
+
+let append tr more =
+  of_array ?symbols:tr.symbols
+    (Array.append tr.events (Array.of_list more))
+
+let concat trs =
+  of_array (Array.concat (List.map (fun tr -> tr.events) trs))
+
+let pp ppf tr =
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun i e -> Format.fprintf ppf "%4d  %a@," (i + 1) Event.pp e)
+    tr.events;
+  Format.fprintf ppf "@]"
+
+module Builder = struct
+  type t = { mutable buf : Event.t array; mutable len : int }
+
+  let dummy = Event.begin_ 0
+
+  let create ?(capacity = 256) () =
+    { buf = Array.make (max capacity 1) dummy; len = 0 }
+
+  let add b e =
+    if b.len = Array.length b.buf then begin
+      let buf = Array.make (2 * Array.length b.buf) dummy in
+      Array.blit b.buf 0 buf 0 b.len;
+      b.buf <- buf
+    end;
+    b.buf.(b.len) <- e;
+    b.len <- b.len + 1
+
+  let add_list b es = List.iter (add b) es
+  let read b t ~var = add b (Event.read t var)
+  let write b t ~var = add b (Event.write t var)
+  let acquire b t ~lock = add b (Event.acquire t lock)
+  let release b t ~lock = add b (Event.release t lock)
+  let fork b t ~child = add b (Event.fork t child)
+  let join b t ~child = add b (Event.join t child)
+  let begin_ b t = add b (Event.begin_ t)
+  let end_ b t = add b (Event.end_ t)
+
+  let length b = b.len
+
+  let build ?symbols b = of_array ?symbols (Array.sub b.buf 0 b.len)
+end

@@ -1,0 +1,98 @@
+(** Execution traces: finite sequences of events with known id domains.
+
+    A trace records its events together with the sizes of the three id
+    namespaces it draws from ([threads], [locks], [vars]); checkers size
+    their vector clocks and per-object state from these.  Optionally a trace
+    carries the symbolic names seen by the parser, so analyses can report
+    violations in the source program's vocabulary. *)
+
+open Ids
+
+module Symbols : sig
+  (** Symbolic names for ids, as recovered by the parser. *)
+
+  type t = { threads : string array; locks : string array; vars : string array }
+
+  val thread : t -> Tid.t -> string
+  val lock : t -> Lid.t -> string
+  val var : t -> Vid.t -> string
+end
+
+type t
+
+val of_events : ?symbols:Symbols.t -> Event.t list -> t
+(** Builds a trace from events.  Domain sizes are inferred as one more than
+    the largest id mentioned (targets of forks and joins included), so ids
+    need not be contiguous but state is allocated for the full range. *)
+
+val of_array : ?symbols:Symbols.t -> Event.t array -> t
+(** Like {!of_events}; takes ownership of the array (do not mutate it). *)
+
+val empty : t
+
+val length : t -> int
+val get : t -> int -> Event.t
+val events : t -> Event.t array
+(** The underlying array; treat as read-only. *)
+
+val threads : t -> int
+(** Number of thread ids, i.e. vector-clock dimension. *)
+
+val locks : t -> int
+val vars : t -> int
+val symbols : t -> Symbols.t option
+
+val iter : (Event.t -> unit) -> t -> unit
+val iteri : (int -> Event.t -> unit) -> t -> unit
+val fold : ('a -> Event.t -> 'a) -> 'a -> t -> 'a
+val to_seq : t -> Event.t Seq.t
+val to_list : t -> Event.t list
+
+val prefix : t -> int -> t
+(** [prefix tr n] is the trace of the first [n] events (domain sizes are
+    retained from [tr]).  @raise Invalid_argument if [n] is out of range. *)
+
+val append : t -> Event.t list -> t
+(** Trace extended with more events; domain sizes are re-inferred. *)
+
+val concat : t list -> t
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line rendering, one event per line, in the style of the paper's
+    figures (columns by thread are not drawn; each line shows index, thread
+    and operation). *)
+
+module Builder : sig
+  (** Imperative trace construction.  The builder tracks the id domains as
+      events are appended, and offers per-operation helpers so scenario code
+      reads close to the paper's figures:
+
+      {[
+        let b = Builder.create () in
+        Builder.begin_ b 0;
+        Builder.write b 0 ~var:0;
+        Builder.end_ b 0;
+        Builder.build b
+      ]} *)
+
+  type trace := t
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  val add : t -> Event.t -> unit
+  val add_list : t -> Event.t list -> unit
+  val read : t -> int -> var:int -> unit
+  val write : t -> int -> var:int -> unit
+  val acquire : t -> int -> lock:int -> unit
+  val release : t -> int -> lock:int -> unit
+  val fork : t -> int -> child:int -> unit
+  val join : t -> int -> child:int -> unit
+  val begin_ : t -> int -> unit
+  val end_ : t -> int -> unit
+
+  val length : t -> int
+
+  val build : ?symbols:Symbols.t -> t -> trace
+  (** Snapshot the builder's events as a trace.  The builder remains
+      usable; later events do not affect previously built traces. *)
+end

@@ -1,0 +1,108 @@
+open Ids
+
+type kind = Block | Unary
+
+type t = {
+  id : int;
+  thread : Tid.t;
+  kind : kind;
+  first : int;
+  last : int;
+  events : int list;
+  completed : bool;
+}
+
+type open_block = {
+  ob_id : int;
+  ob_first : int;
+  mutable ob_last : int;
+  mutable ob_events : int list;  (* reversed *)
+  mutable ob_depth : int;
+}
+
+let of_trace tr =
+  let next_id = ref 0 in
+  let fresh () =
+    let id = !next_id in
+    incr next_id;
+    id
+  in
+  let open_blocks : (int, open_block) Hashtbl.t = Hashtbl.create 16 in
+  let finished = ref [] in
+  let close ~completed t (ob : open_block) =
+    Hashtbl.remove open_blocks t;
+    finished :=
+      {
+        id = ob.ob_id;
+        thread = Tid.of_int t;
+        kind = Block;
+        first = ob.ob_first;
+        last = ob.ob_last;
+        events = List.rev ob.ob_events;
+        completed;
+      }
+      :: !finished
+  in
+  Trace.iteri
+    (fun i (e : Event.t) ->
+      let t = Tid.to_int e.thread in
+      match (Hashtbl.find_opt open_blocks t, e.op) with
+      | None, Event.Begin ->
+        Hashtbl.add open_blocks t
+          { ob_id = fresh (); ob_first = i; ob_last = i; ob_events = [ i ]; ob_depth = 1 }
+      | None, _ ->
+        finished :=
+          {
+            id = fresh ();
+            thread = e.thread;
+            kind = Unary;
+            first = i;
+            last = i;
+            events = [ i ];
+            completed = true;
+          }
+          :: !finished
+      | Some ob, Event.Begin ->
+        ob.ob_depth <- ob.ob_depth + 1;
+        ob.ob_last <- i;
+        ob.ob_events <- i :: ob.ob_events
+      | Some ob, Event.End ->
+        ob.ob_last <- i;
+        ob.ob_events <- i :: ob.ob_events;
+        ob.ob_depth <- ob.ob_depth - 1;
+        if ob.ob_depth = 0 then close ~completed:true t ob
+      | Some ob, _ ->
+        ob.ob_last <- i;
+        ob.ob_events <- i :: ob.ob_events)
+    tr;
+  Hashtbl.iter (fun t ob -> close ~completed:false t ob) open_blocks;
+  List.sort (fun a b -> Int.compare a.id b.id) !finished
+
+let count_blocks tr =
+  let depth = Hashtbl.create 16 in
+  let count = ref 0 in
+  Trace.iter
+    (fun (e : Event.t) ->
+      let t = Tid.to_int e.thread in
+      let d = Option.value ~default:0 (Hashtbl.find_opt depth t) in
+      match e.op with
+      | Event.Begin ->
+        if d = 0 then incr count;
+        Hashtbl.replace depth t (d + 1)
+      | Event.End -> Hashtbl.replace depth t (max 0 (d - 1))
+      | _ -> ())
+    tr;
+  !count
+
+let owner tr =
+  let owners = Array.make (Trace.length tr) (-1) in
+  List.iter
+    (fun txn -> List.iter (fun i -> owners.(i) <- txn.id) txn.events)
+    (of_trace tr);
+  owners
+
+let pp ppf txn =
+  Format.fprintf ppf "@[<h>txn#%d %a %s [%d..%d] %s@]" txn.id Tid.pp txn.thread
+    (match txn.kind with Block -> "block" | Unary -> "unary")
+    (txn.first + 1) (txn.last + 1)
+    (if txn.completed then "completed" else "active")

@@ -1,0 +1,35 @@
+(** Decomposition of a trace into transactions.
+
+    A transaction is a maximal subsequence of one thread's events delimited
+    by matching outermost [Begin]/[End] markers; nested blocks are folded
+    into the outermost one (Section 4.1.4).  Events outside any block form
+    {e unary} transactions of a single event.  The [Begin]/[End] markers of
+    nested blocks are attributed to the enclosing transaction. *)
+
+open Ids
+
+type kind =
+  | Block  (** delimited by an outermost [Begin]/[End] pair *)
+  | Unary  (** a single event outside any atomic block *)
+
+type t = {
+  id : int;  (** dense index in discovery (begin-event) order *)
+  thread : Tid.t;
+  kind : kind;
+  first : int;  (** index in the trace of the first event (the [Begin] for blocks) *)
+  last : int;  (** index of the last event seen; the matching [End] for completed blocks *)
+  events : int list;  (** trace indices of all member events, ascending *)
+  completed : bool;  (** false iff the block is still open when the trace ends *)
+}
+
+val of_trace : Trace.t -> t list
+(** All transactions in discovery order.  Every event of the trace belongs
+    to exactly one transaction. *)
+
+val count_blocks : Trace.t -> int
+(** Number of outermost [Begin] events — the paper's “Transactions” column. *)
+
+val owner : Trace.t -> int array
+(** [owner tr] maps each event index to the [id] of its transaction. *)
+
+val pp : Format.formatter -> t -> unit

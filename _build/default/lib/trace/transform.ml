@@ -1,0 +1,180 @@
+open Ids
+
+let apply_spec ~keep tr =
+  let txns = Transactions.of_trace tr in
+  (* indices of the outermost markers to keep *)
+  let keep_marker = Hashtbl.create 64 in
+  List.iter
+    (fun (t : Transactions.t) ->
+      if t.kind = Transactions.Block && keep t then begin
+        Hashtbl.replace keep_marker t.first ();
+        if t.completed then Hashtbl.replace keep_marker t.last ()
+      end)
+    txns;
+  let out = ref [] in
+  Trace.iteri
+    (fun i (e : Event.t) ->
+      match e.op with
+      | Event.Begin | Event.End ->
+        if Hashtbl.mem keep_marker i then out := e :: !out
+      | _ -> out := e :: !out)
+    tr;
+  Trace.of_events ?symbols:(Trace.symbols tr) (List.rev !out)
+
+let strip_markers tr = apply_spec ~keep:(fun _ -> false) tr
+
+let only_threads p tr =
+  let wanted (e : Event.t) =
+    p e.thread
+    &&
+    match e.op with
+    | Event.Fork u | Event.Join u -> p u
+    | _ -> true
+  in
+  Trace.of_events ?symbols:(Trace.symbols tr)
+    (List.filter wanted (Trace.to_list tr))
+
+let compact tr =
+  let threads = Interner.create ()
+  and locks = Interner.create ()
+  and vars = Interner.create () in
+  let tid t = Tid.of_int (Interner.intern threads (string_of_int (Tid.to_int t))) in
+  let lid l = Lid.of_int (Interner.intern locks (string_of_int (Lid.to_int l))) in
+  let vid v = Vid.of_int (Interner.intern vars (string_of_int (Vid.to_int v))) in
+  let events =
+    List.map
+      (fun (e : Event.t) ->
+        let op =
+          match e.op with
+          | Event.Read x -> Event.Read (vid x)
+          | Event.Write x -> Event.Write (vid x)
+          | Event.Acquire l -> Event.Acquire (lid l)
+          | Event.Release l -> Event.Release (lid l)
+          | Event.Fork u -> Event.Fork (tid u)
+          | Event.Join u -> Event.Join (tid u)
+          | (Event.Begin | Event.End) as op -> op
+        in
+        Event.make (tid e.thread) op)
+      (Trace.to_list tr)
+  in
+  let symbols =
+    Option.map
+      (fun (s : Trace.Symbols.t) ->
+        let permute old_names interner prefix =
+          Array.map
+            (fun name ->
+              let old = int_of_string name in
+              if old >= 0 && old < Array.length old_names then old_names.(old)
+              else prefix ^ name)
+            (Interner.names interner)
+        in
+        {
+          Trace.Symbols.threads = permute s.threads threads "T";
+          locks = permute s.locks locks "L";
+          vars = permute s.vars vars "V";
+        })
+      (Trace.symbols tr)
+  in
+  Trace.of_events ?symbols events
+
+let limit_window start len tr =
+  if start < 0 || len < 0 || start > Trace.length tr then
+    invalid_arg "Transform.limit_window: out of range";
+  let stop = min (Trace.length tr) (start + len) in
+  let slice = ref [] in
+  for i = stop - 1 downto start do
+    slice := Trace.get tr i :: !slice
+  done;
+  let slice = !slice in
+  (* pre-scan: first and last in-window event index per thread, for
+     fork/join repair *)
+  let first_seen = Hashtbl.create 16 and last_seen = Hashtbl.create 16 in
+  List.iteri
+    (fun i (e : Event.t) ->
+      let t = Tid.to_int e.thread in
+      if not (Hashtbl.mem first_seen t) then Hashtbl.replace first_seen t i;
+      Hashtbl.replace last_seen t i)
+    slice;
+  let depth = Hashtbl.create 16 in
+  let held = Hashtbl.create 16 in  (* lock -> (thread, count) *)
+  let forked = Hashtbl.create 16 in
+  let out = ref [] in
+  let emit e = out := e :: !out in
+  List.iteri
+    (fun i (e : Event.t) ->
+      let t = Tid.to_int e.thread in
+      let d = Option.value ~default:0 (Hashtbl.find_opt depth t) in
+      match e.op with
+      | Event.Begin ->
+        Hashtbl.replace depth t (d + 1);
+        emit e
+      | Event.End -> if d > 0 then begin Hashtbl.replace depth t (d - 1); emit e end
+      | Event.Acquire l -> (
+        let li = Lid.to_int l in
+        match Hashtbl.find_opt held li with
+        | Some (h, c) when h = t ->
+          Hashtbl.replace held li (h, c + 1);
+          emit e
+        | Some _ -> ()  (* inherited inconsistency: drop *)
+        | None ->
+          Hashtbl.replace held li (t, 1);
+          emit e)
+      | Event.Release l -> (
+        let li = Lid.to_int l in
+        match Hashtbl.find_opt held li with
+        | Some (h, c) when h = t ->
+          if c = 1 then Hashtbl.remove held li
+          else Hashtbl.replace held li (h, c - 1);
+          emit e
+        | Some _ | None -> ())
+      | Event.Fork u ->
+        let ui = Tid.to_int u in
+        let child_started =
+          match Hashtbl.find_opt first_seen ui with
+          | Some j -> j < i
+          | None -> false
+        in
+        if (not child_started) && not (Hashtbl.mem forked ui) then begin
+          Hashtbl.replace forked ui ();
+          emit e
+        end
+      | Event.Join u ->
+        let ui = Tid.to_int u in
+        let child_continues =
+          match Hashtbl.find_opt last_seen ui with
+          | Some j -> j > i
+          | None -> false
+        in
+        if not child_continues then emit e
+      | Event.Read _ | Event.Write _ -> emit e)
+    slice;
+  (* close what is still open, releases before ends per thread *)
+  Hashtbl.iter
+    (fun li (t, c) ->
+      for _ = 1 to c do
+        emit (Event.release t li)
+      done)
+    held;
+  Hashtbl.iter
+    (fun t d ->
+      for _ = 1 to d do
+        emit (Event.end_ t)
+      done)
+    depth;
+  (* The appended closers may invalidate joins kept above (the joined
+     thread "runs" again at the tail); drop such joins in a final pass. *)
+  let events = List.rev !out in
+  let last = Hashtbl.create 16 in
+  List.iteri
+    (fun i (e : Event.t) -> Hashtbl.replace last (Tid.to_int e.thread) i)
+    events;
+  let events =
+    List.filteri
+      (fun i (e : Event.t) ->
+        match e.op with
+        | Event.Join u ->
+          Option.value ~default:(-1) (Hashtbl.find_opt last (Tid.to_int u)) <= i
+        | _ -> true)
+      events
+  in
+  Trace.of_events ?symbols:(Trace.symbols tr) events

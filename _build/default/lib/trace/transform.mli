@@ -1,0 +1,41 @@
+(** Trace transformations.
+
+    The paper's pipeline logs {e all} method entries/exits and then applies
+    an atomicity specification that keeps only the blocks the developer
+    marked atomic (the artifact's [atom_spec.py] step); everything else
+    becomes plain unary events.  {!apply_spec} is that step for our traces.
+    The other transformations are utilities for slicing and normalizing
+    traces in analyses and tests. *)
+
+open Ids
+
+val apply_spec : keep:(Transactions.t -> bool) -> Trace.t -> Trace.t
+(** Remove the [Begin]/[End] markers of every outermost transaction for
+    which [keep] is false (its body events become unary); transactions
+    kept keep only their outermost markers (nested markers are dropped, as
+    the checkers ignore them anyway).  Unary transactions are unaffected
+    by [keep]. *)
+
+val strip_markers : Trace.t -> Trace.t
+(** Remove every [Begin]/[End]: the empty atomicity specification. *)
+
+val only_threads : (Tid.t -> bool) -> Trace.t -> Trace.t
+(** Keep only the events of selected threads (forks/joins of dropped
+    threads are removed too, including those performed {e by} kept
+    threads on dropped ones).  Note: the projection does not preserve
+    cross-thread ordering through dropped threads, so verdicts may
+    change; domain sizes are re-inferred. *)
+
+val compact : Trace.t -> Trace.t
+(** Renumber thread, lock and variable ids densely in order of first
+    appearance (fork/join targets count as appearances).  The result uses
+    exactly [0..n-1] for each namespace; symbolic names, when present, are
+    permuted accordingly. *)
+
+val limit_window : int -> int -> Trace.t -> Trace.t
+(** [limit_window start len tr] keeps events with indices in
+    [start .. start+len-1] and then repairs well-formedness: unmatched
+    [End]s and releases at the front are dropped, unmatched [Begin]s and
+    acquires at the back are closed, forks/joins of threads not seen in
+    the window are dropped.  Useful to re-check a region around a reported
+    violation. *)

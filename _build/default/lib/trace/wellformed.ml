@@ -1,0 +1,115 @@
+open Ids
+
+type error =
+  | Release_unheld of { index : int; thread : Tid.t; lock : Lid.t }
+  | Acquire_held_elsewhere of {
+      index : int;
+      thread : Tid.t;
+      lock : Lid.t;
+      holder : Tid.t;
+    }
+  | Unreleased_lock of { thread : Tid.t; lock : Lid.t }
+  | End_without_begin of { index : int; thread : Tid.t }
+  | Fork_self of { index : int; thread : Tid.t }
+  | Join_self of { index : int; thread : Tid.t }
+  | Fork_after_child_event of { index : int; thread : Tid.t; child : Tid.t }
+  | Double_fork of { index : int; thread : Tid.t; child : Tid.t }
+  | Join_before_child_end of { index : int; thread : Tid.t; child : Tid.t }
+
+let check ?(allow_open_blocks = true) ?(allow_held_locks = false) tr =
+  ignore allow_open_blocks;
+  let n = Trace.length tr in
+  (* Pre-scan: last event index of each thread, for the join-position rule. *)
+  let last_event = Array.make (max 1 (Trace.threads tr)) (-1) in
+  Trace.iteri (fun i (e : Event.t) -> last_event.(Tid.to_int e.thread) <- i) tr;
+  let errors = ref [] in
+  let report e = errors := e :: !errors in
+  (* holder.(l) = thread currently holding lock l, with re-entrancy depth. *)
+  let holder = Array.make (max 1 (Trace.locks tr)) None in
+  let block_depth = Array.make (max 1 (Trace.threads tr)) 0 in
+  let seen = Array.make (max 1 (Trace.threads tr)) false in
+  let forked = Array.make (max 1 (Trace.threads tr)) false in
+  for i = 0 to n - 1 do
+    let e = Trace.get tr i in
+    let t = Tid.to_int e.thread in
+    seen.(t) <- true;
+    match e.op with
+    | Event.Acquire l -> (
+      let li = Lid.to_int l in
+      match holder.(li) with
+      | None -> holder.(li) <- Some (t, 1)
+      | Some (h, d) when h = t -> holder.(li) <- Some (h, d + 1)
+      | Some (h, _) ->
+        report
+          (Acquire_held_elsewhere
+             { index = i; thread = e.thread; lock = l; holder = Tid.of_int h }))
+    | Event.Release l -> (
+      let li = Lid.to_int l in
+      match holder.(li) with
+      | Some (h, d) when h = t ->
+        holder.(li) <- (if d = 1 then None else Some (h, d - 1))
+      | Some _ | None ->
+        report (Release_unheld { index = i; thread = e.thread; lock = l }))
+    | Event.Begin -> block_depth.(t) <- block_depth.(t) + 1
+    | Event.End ->
+      if block_depth.(t) = 0 then
+        report (End_without_begin { index = i; thread = e.thread })
+      else block_depth.(t) <- block_depth.(t) - 1
+    | Event.Fork u ->
+      let ui = Tid.to_int u in
+      if ui = t then report (Fork_self { index = i; thread = e.thread })
+      else begin
+        if seen.(ui) then
+          report (Fork_after_child_event { index = i; thread = e.thread; child = u });
+        if forked.(ui) then
+          report (Double_fork { index = i; thread = e.thread; child = u });
+        forked.(ui) <- true
+      end
+    | Event.Join u ->
+      let ui = Tid.to_int u in
+      if ui = t then report (Join_self { index = i; thread = e.thread })
+      else if last_event.(ui) > i then
+        report (Join_before_child_end { index = i; thread = e.thread; child = u })
+    | Event.Read _ | Event.Write _ -> ()
+  done;
+  if not allow_held_locks then
+    Array.iteri
+      (fun li h ->
+        match h with
+        | Some (t, _) ->
+          report
+            (Unreleased_lock { thread = Tid.of_int t; lock = Lid.of_int li })
+        | None -> ())
+      holder;
+  List.rev !errors
+
+let is_wellformed ?allow_open_blocks ?allow_held_locks tr =
+  check ?allow_open_blocks ?allow_held_locks tr = []
+
+let pp_error ppf = function
+  | Release_unheld { index; thread; lock } ->
+    Format.fprintf ppf "event %d: %a releases %a which it does not hold"
+      (index + 1) Tid.pp thread Lid.pp lock
+  | Acquire_held_elsewhere { index; thread; lock; holder } ->
+    Format.fprintf ppf "event %d: %a acquires %a held by %a" (index + 1) Tid.pp
+      thread Lid.pp lock Tid.pp holder
+  | Unreleased_lock { thread; lock } ->
+    Format.fprintf ppf "trace end: %a still holds %a" Tid.pp thread Lid.pp lock
+  | End_without_begin { index; thread } ->
+    Format.fprintf ppf "event %d: %a ends a block it never began" (index + 1)
+      Tid.pp thread
+  | Fork_self { index; thread } ->
+    Format.fprintf ppf "event %d: %a forks itself" (index + 1) Tid.pp thread
+  | Join_self { index; thread } ->
+    Format.fprintf ppf "event %d: %a joins itself" (index + 1) Tid.pp thread
+  | Fork_after_child_event { index; thread; child } ->
+    Format.fprintf ppf "event %d: %a forks %a after the child already ran"
+      (index + 1) Tid.pp thread Tid.pp child
+  | Double_fork { index; thread; child } ->
+    Format.fprintf ppf "event %d: %a forks %a a second time" (index + 1) Tid.pp
+      thread Tid.pp child
+  | Join_before_child_end { index; thread; child } ->
+    Format.fprintf ppf "event %d: %a joins %a which still runs afterwards"
+      (index + 1) Tid.pp thread Tid.pp child
+
+let error_to_string e = Format.asprintf "%a" pp_error e

@@ -1,0 +1,42 @@
+(** Well-formedness of traces (Section 2).
+
+    A trace is well-formed when: lock acquires and releases are well matched
+    and a lock is held by at most one thread at a time (re-entrant
+    acquisition by the holder is allowed, as in Java); begin/end markers are
+    well matched per thread (blocks may remain open at the end of the
+    trace); a thread's fork event occurs before the first event of the child
+    thread and each thread is forked at most once; a join on a thread occurs
+    after that thread's last event; and no thread forks or joins itself. *)
+
+open Ids
+
+type error =
+  | Release_unheld of { index : int; thread : Tid.t; lock : Lid.t }
+      (** a [rel(ℓ)] by a thread that does not hold [ℓ] *)
+  | Acquire_held_elsewhere of {
+      index : int;
+      thread : Tid.t;
+      lock : Lid.t;
+      holder : Tid.t;
+    }  (** an [acq(ℓ)] while another thread holds [ℓ] *)
+  | Unreleased_lock of { thread : Tid.t; lock : Lid.t }
+      (** a lock still held when the trace ends *)
+  | End_without_begin of { index : int; thread : Tid.t }
+  | Fork_self of { index : int; thread : Tid.t }
+  | Join_self of { index : int; thread : Tid.t }
+  | Fork_after_child_event of { index : int; thread : Tid.t; child : Tid.t }
+      (** the child already performed an event before the fork *)
+  | Double_fork of { index : int; thread : Tid.t; child : Tid.t }
+  | Join_before_child_end of { index : int; thread : Tid.t; child : Tid.t }
+      (** the child performs an event after the join *)
+
+val check : ?allow_open_blocks:bool -> ?allow_held_locks:bool -> Trace.t -> error list
+(** All violations, in trace order.  With [allow_open_blocks] (default
+    [true]) transactions still active at the end of the trace are accepted;
+    with [allow_held_locks] (default [false]) locks still held at the end of
+    the trace are accepted. *)
+
+val is_wellformed : ?allow_open_blocks:bool -> ?allow_held_locks:bool -> Trace.t -> bool
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string

@@ -1,0 +1,1 @@
+lib/vclock/vtime.ml: Array Format List Stdlib Vector_clock

@@ -1,0 +1,1 @@
+lib/vclock/vtime.mli: Format Vector_clock

@@ -1,0 +1,85 @@
+type t = int array
+
+let create dim =
+  if dim < 0 then invalid_arg "Vector_clock.create: negative dimension";
+  Array.make dim 0
+
+let bottom = create
+
+let unit dim t =
+  if t < 0 || t >= dim then invalid_arg "Vector_clock.unit: thread out of range";
+  let v = create dim in
+  v.(t) <- 1;
+  v
+
+let dim = Array.length
+
+let get v t = v.(t)
+
+let set v t c =
+  if c < 0 then invalid_arg "Vector_clock.set: negative component";
+  v.(t) <- c
+
+let bump v t = v.(t) <- v.(t) + 1
+
+let check_dim name v1 v2 =
+  if Array.length v1 <> Array.length v2 then
+    invalid_arg (name ^ ": dimension mismatch")
+
+let join_into ~into v =
+  check_dim "Vector_clock.join_into" into v;
+  for t = 0 to Array.length into - 1 do
+    if v.(t) > into.(t) then into.(t) <- v.(t)
+  done
+
+let join_into_zeroed ~into v z =
+  check_dim "Vector_clock.join_into_zeroed" into v;
+  for t = 0 to Array.length into - 1 do
+    if t <> z && v.(t) > into.(t) then into.(t) <- v.(t)
+  done
+
+let assign ~into v =
+  check_dim "Vector_clock.assign" into v;
+  Array.blit v 0 into 0 (Array.length v)
+
+let assign_zeroed ~into v z =
+  assign ~into v;
+  if z >= 0 && z < Array.length into then into.(z) <- 0
+
+let copy = Array.copy
+
+let leq v1 v2 =
+  check_dim "Vector_clock.leq" v1 v2;
+  let rec go t = t >= Array.length v1 || (v1.(t) <= v2.(t) && go (t + 1)) in
+  go 0
+
+let equal v1 v2 =
+  check_dim "Vector_clock.equal" v1 v2;
+  v1 = v2
+
+let equal_except v1 v2 z =
+  check_dim "Vector_clock.equal_except" v1 v2;
+  let rec go t =
+    t >= Array.length v1 || ((t = z || v1.(t) = v2.(t)) && go (t + 1))
+  in
+  go 0
+
+let is_bottom v = Array.for_all (fun c -> c = 0) v
+
+let reset v = Array.fill v 0 (Array.length v) 0
+
+let to_list = Array.to_list
+
+let of_list cs =
+  if List.exists (fun c -> c < 0) cs then
+    invalid_arg "Vector_clock.of_list: negative component";
+  Array.of_list cs
+
+let pp ppf v =
+  Format.fprintf ppf "@[<h>⟨%a⟩@]"
+    (Format.pp_print_array
+       ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',')
+       Format.pp_print_int)
+    v
+
+let to_string v = Format.asprintf "%a" pp v

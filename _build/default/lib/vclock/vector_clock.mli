@@ -1,0 +1,85 @@
+(** Mutable vector clocks over a fixed set of threads.
+
+    A vector time is a map from thread indices [0 .. dim-1] to non-negative
+    integers (Section 4 of the paper).  This module provides the imperative
+    representation used by the checkers: clocks are updated in place so that
+    processing one event performs at most a constant number of [O(dim)]
+    operations.
+
+    The partial order is pointwise: [v1] is before [v2] ([leq v1 v2]) iff
+    every component of [v1] is less than or equal to the corresponding
+    component of [v2]. *)
+
+type t
+
+val create : int -> t
+(** [create dim] is the minimum vector time [⊥] of dimension [dim]: every
+    component is [0].  @raise Invalid_argument if [dim < 0]. *)
+
+val bottom : int -> t
+(** Alias for {!create}; matches the paper's [⊥_Thr] notation. *)
+
+val unit : int -> int -> t
+(** [unit dim t] is [⊥\[1/t\]]: zero everywhere except component [t], which
+    is [1].  This is the initial value of the thread clock [C_t]. *)
+
+val dim : t -> int
+(** Number of components. *)
+
+val get : t -> int -> int
+(** [get v t] is the [t]-th component [v(t)]. *)
+
+val set : t -> int -> int -> unit
+(** [set v t c] assigns component [t] to [c] in place. *)
+
+val bump : t -> int -> unit
+(** [bump v t] increments component [t] in place; used at transaction-begin
+    events ([C_t(t) := C_t(t) + 1]). *)
+
+val join_into : into:t -> t -> unit
+(** [join_into ~into v] sets [into := into ⊔ v] (pointwise maximum), in
+    place.  @raise Invalid_argument on dimension mismatch. *)
+
+val join_into_zeroed : into:t -> t -> int -> unit
+(** [join_into_zeroed ~into v t] sets [into := into ⊔ v\[0/t\]]: joins [v]
+    with its [t]-th component replaced by [0].  Used to maintain the check
+    clock [hR_x] of Algorithm 2 without materializing [v\[0/t\]]. *)
+
+val assign : into:t -> t -> unit
+(** [assign ~into v] copies the components of [v] into [into]. *)
+
+val assign_zeroed : into:t -> t -> int -> unit
+(** [assign_zeroed ~into v t] copies [v\[0/t\]] into [into]. *)
+
+val copy : t -> t
+(** Fresh clock with the same components. *)
+
+val leq : t -> t -> bool
+(** [leq v1 v2] is the pointwise order [v1 ⊑ v2].
+    @raise Invalid_argument on dimension mismatch. *)
+
+val equal : t -> t -> bool
+(** Pointwise equality. *)
+
+val equal_except : t -> t -> int -> bool
+(** [equal_except v1 v2 t] is true iff [v1] and [v2] agree on every component
+    other than [t], i.e. [v1\[0/t\] = v2\[0/t\]].  Used by the garbage
+    collection test [hasIncomingEdge] of Algorithm 3. *)
+
+val is_bottom : t -> bool
+(** True iff every component is [0]. *)
+
+val reset : t -> unit
+(** Set every component to [0] in place. *)
+
+val to_list : t -> int list
+(** Components in thread order. *)
+
+val of_list : int list -> t
+(** Build a clock from its components.
+    @raise Invalid_argument if any component is negative. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [⟨c0,c1,...⟩], mirroring the paper's figures. *)
+
+val to_string : t -> string

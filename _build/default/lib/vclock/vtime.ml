@@ -1,0 +1,69 @@
+type t = int array
+(* Invariant: arrays are never mutated after construction. *)
+
+let bottom dim =
+  if dim < 0 then invalid_arg "Vtime.bottom: negative dimension";
+  Array.make dim 0
+
+let unit dim t =
+  if t < 0 || t >= dim then invalid_arg "Vtime.unit: thread out of range";
+  let v = Array.make dim 0 in
+  v.(t) <- 1;
+  v
+
+let dim = Array.length
+
+let get v t = v.(t)
+
+let set v t c =
+  if c < 0 then invalid_arg "Vtime.set: negative component";
+  let v' = Array.copy v in
+  v'.(t) <- c;
+  v'
+
+let bump v t = set v t (v.(t) + 1)
+
+let check_dim name v1 v2 =
+  if Array.length v1 <> Array.length v2 then
+    invalid_arg (name ^ ": dimension mismatch")
+
+let join v1 v2 =
+  check_dim "Vtime.join" v1 v2;
+  Array.init (Array.length v1) (fun t -> max v1.(t) v2.(t))
+
+let zeroed v t = set v t 0
+
+let leq v1 v2 =
+  check_dim "Vtime.leq" v1 v2;
+  let rec go t = t >= Array.length v1 || (v1.(t) <= v2.(t) && go (t + 1)) in
+  go 0
+
+let equal v1 v2 =
+  check_dim "Vtime.equal" v1 v2;
+  v1 = v2
+
+let lt v1 v2 = leq v1 v2 && not (equal v1 v2)
+
+let compare = Stdlib.compare
+
+let concurrent v1 v2 = (not (leq v1 v2)) && not (leq v2 v1)
+
+let of_clock c = Array.of_list (Vector_clock.to_list c)
+
+let to_clock v = Vector_clock.of_list (Array.to_list v)
+
+let of_list cs =
+  if List.exists (fun c -> c < 0) cs then
+    invalid_arg "Vtime.of_list: negative component";
+  Array.of_list cs
+
+let to_list = Array.to_list
+
+let pp ppf v =
+  Format.fprintf ppf "@[<h>⟨%a⟩@]"
+    (Format.pp_print_array
+       ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',')
+       Format.pp_print_int)
+    v
+
+let to_string v = Format.asprintf "%a" pp v

@@ -1,0 +1,59 @@
+(** Persistent (immutable) vector times.
+
+    This is the mathematical counterpart of {!Vector_clock}: a value of type
+    {!t} never changes, so it can be stored, compared and replayed freely.
+    The reference checker used in tests and the differential-testing oracle
+    work with [Vtime.t] values, while the production checkers use the
+    in-place {!Vector_clock} representation; property tests assert that the
+    two agree operation by operation. *)
+
+type t
+
+val bottom : int -> t
+(** [bottom dim] is [⊥] of dimension [dim]. *)
+
+val unit : int -> int -> t
+(** [unit dim t] is [⊥\[1/t\]]. *)
+
+val dim : t -> int
+
+val get : t -> int -> int
+
+val set : t -> int -> int -> t
+(** [set v t c] is [v\[c/t\]]: the time equal to [v] except component [t]
+    is [c]. *)
+
+val bump : t -> int -> t
+(** [bump v t] is [v\[v(t)+1 / t\]]. *)
+
+val join : t -> t -> t
+(** Pointwise maximum [v1 ⊔ v2]. *)
+
+val zeroed : t -> int -> t
+(** [zeroed v t] is [v\[0/t\]]. *)
+
+val leq : t -> t -> bool
+(** Pointwise order. *)
+
+val lt : t -> t -> bool
+(** Strict order: [leq v1 v2 && not (equal v1 v2)]. *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** Total order extending {!equal} (lexicographic); for use in [Set]/[Map]
+    functors, not a refinement of {!leq}. *)
+
+val concurrent : t -> t -> bool
+(** [concurrent v1 v2] iff neither [leq v1 v2] nor [leq v2 v1]. *)
+
+val of_clock : Vector_clock.t -> t
+(** Snapshot of a mutable clock. *)
+
+val to_clock : t -> Vector_clock.t
+(** Fresh mutable clock with the same components. *)
+
+val of_list : int list -> t
+val to_list : t -> int list
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

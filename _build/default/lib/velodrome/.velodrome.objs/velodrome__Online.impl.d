@@ -1,0 +1,1 @@
+lib/velodrome/online.ml: Aerodrome Array Digraphs Event Hashtbl Ids Traces

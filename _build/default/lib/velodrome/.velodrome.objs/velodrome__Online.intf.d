@@ -1,0 +1,1 @@
+lib/velodrome/online.mli: Aerodrome

@@ -1,0 +1,1 @@
+lib/velodrome/reference.ml: Array Digraphs Event Trace Traces Transactions

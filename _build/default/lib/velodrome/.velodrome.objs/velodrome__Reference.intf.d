@@ -1,0 +1,1 @@
+lib/velodrome/reference.mli: Digraphs Traces

@@ -1,0 +1,54 @@
+(** The Velodrome baseline: transaction-graph cycle detection.
+
+    Re-implementation of the Flanagan–Freund–Yi algorithm (PLDI 2008) that
+    the paper compares against.  Transactions (including unary ones, one
+    per event outside an atomic block) are nodes of a directed graph; an
+    edge [T -> T'] is recorded when an event of [T'] conflicts with an
+    earlier event of [T].  Each new inter-transaction edge triggers a
+    reachability check back along the graph, so the worst-case running
+    time is cubic in the trace length — this is the baseline whose cost
+    AeroDrome's linear-time algorithm eliminates.
+
+    The garbage-collection optimization of [19] is implemented: a
+    completed transaction with no incoming edges can never lie on a cycle
+    (completed transactions acquire no new incoming edges), so it is
+    deleted from the graph, cascading to successors that become orphaned.
+    Ordering edges {e out of} a deleted transaction are dropped: any path
+    through the deleted node would need an incoming edge it cannot have.
+
+    The checker reports {!Aerodrome.Violation.Graph_cycle} with the witness cycle of
+    transaction ids. *)
+
+include Aerodrome.Checker.S
+
+type engine =
+  | Dfs  (** reachability check on every inserted edge — the published
+             algorithm's behaviour and the default *)
+  | Incremental
+      (** Pearce–Kelly dynamic topological order: a stronger baseline
+          whose per-edge cost is amortized by localized reordering *)
+
+val create_with : ?garbage_collect:bool -> ?engine:engine -> threads:int ->
+  locks:int -> vars:int -> unit -> t
+(** [create] is [create_with ~garbage_collect:true ~engine:Dfs]. *)
+
+val no_gc_checker : Aerodrome.Checker.t
+(** Velodrome without graph garbage collection, for the ablation bench. *)
+
+val pk_checker : Aerodrome.Checker.t
+(** Velodrome over the Pearce–Kelly engine, for the ablation bench. *)
+
+(** {1 Introspection} *)
+
+val live_nodes : t -> int
+(** Current number of transactions in the graph. *)
+
+val peak_nodes : t -> int
+(** Largest graph size reached so far — the quantity the paper reports to
+    explain Velodrome's slowdowns (e.g. ~9000 nodes for sunflow). *)
+
+val transactions_created : t -> int
+(** Total transactions allocated, unary ones included. *)
+
+val edges_added : t -> int
+(** Total inter-transaction edges inserted (deduplicated). *)

@@ -1,0 +1,27 @@
+open Traces
+module G = Digraphs.Digraph
+
+type verdict = Serializable | Violation of { witness : int list }
+
+let transaction_graph tr =
+  let owners = Transactions.owner tr in
+  let g = G.create () in
+  Array.iter (fun o -> G.add_node g o) owners;
+  let n = Trace.length tr in
+  for i = 0 to n - 1 do
+    let ei = Trace.get tr i in
+    for j = i + 1 to n - 1 do
+      let ej = Trace.get tr j in
+      if owners.(i) <> owners.(j) && Event.conflicts ei ej then
+        ignore (G.add_edge g owners.(i) owners.(j))
+    done
+  done;
+  g
+
+let check tr =
+  let g = transaction_graph tr in
+  match Digraphs.Topo.find_cycle g with
+  | None -> Serializable
+  | Some witness -> Violation { witness }
+
+let is_serializable tr = check tr = Serializable

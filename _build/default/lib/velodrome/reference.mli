@@ -1,0 +1,26 @@
+(** Offline reference decision procedure for conflict serializability.
+
+    This is the test oracle: a direct, independent implementation of
+    Definition 1 that shares no event-handling logic with the online
+    checkers.  It enumerates {e all} pairs of events, inserts a
+    transaction-graph edge for every conflicting pair that crosses
+    transactions (using {!Traces.Event.conflicts} verbatim), and decides
+    acyclicity with Tarjan's SCC.  Quadratic in the trace length — use on
+    small traces only.
+
+    A cycle in this graph is exactly a witness sequence of Definition 1,
+    because conflict-happens-before is the transitive closure of the
+    pairwise conflict edges, so transaction-level reachability coincides
+    in the two formulations. *)
+
+type verdict = Serializable | Violation of { witness : int list }
+(** [witness] is a cycle of transaction ids (as numbered by
+    {!Traces.Transactions.of_trace}). *)
+
+val check : Traces.Trace.t -> verdict
+
+val is_serializable : Traces.Trace.t -> bool
+
+val transaction_graph : Traces.Trace.t -> Digraphs.Digraph.t
+(** The full transaction graph (nodes are transaction ids, unary
+    transactions included), exposed for tests. *)

@@ -1,0 +1,1 @@
+lib/workloads/benchmarks.ml: Generator List Profile

@@ -1,0 +1,1 @@
+lib/workloads/generator.ml: Array Event Ids List Option Printf Queue Rng Trace Traces

@@ -1,0 +1,1 @@
+lib/workloads/generator.mli: Traces

@@ -1,0 +1,16 @@
+(** The benchmark suite: scaled stand-ins for every row of the paper's
+    Table 1 (DoubleChecker atomicity specifications) and Table 2 (naïve
+    specifications).  See DESIGN.md for the substitution rationale and
+    EXPERIMENTS.md for paper-vs-measured results. *)
+
+val table1 : Profile.t list
+(** avrora, elevator, hedc, luindex, lusearch, moldyn, montecarlo, philo,
+    pmd, raytracer, sor, sunflow, tsp, xalan. *)
+
+val table2 : Profile.t list
+(** batik, crypt, fop, lufact, series, sparsematmult, tomcat. *)
+
+val all : Profile.t list
+
+val find : string -> Profile.t option
+(** Look up a profile by benchmark name. *)

@@ -1,0 +1,473 @@
+open Traces
+
+type shape = Independent | Anchored
+
+type plan = Atomic | Violate_at of float
+
+type config = {
+  seed : int64;
+  threads : int;
+  locks : int;
+  vars : int;
+  events : int;
+  shape : shape;
+  plan : plan;
+  read_fraction : float;
+  ops_per_txn : int * int;
+  unary_fraction : float;
+  locked_fraction : float;
+}
+
+let default =
+  {
+    seed = 0xA5A5L;
+    threads = 3;
+    locks = 2;
+    vars = 256;
+    events = 10_000;
+    shape = Independent;
+    plan = Atomic;
+    read_fraction = 0.7;
+    ops_per_txn = (3, 8);
+    unary_fraction = 0.15;
+    locked_fraction = 0.5;
+  }
+
+(* Variable-pool layout.  Fresh variables are single-assignment handoffs;
+   never reusing them is what keeps the Anchored shape acyclic. *)
+type layout = {
+  inj : int;  (* 4 injection variables at [inj .. inj+3] *)
+  seeds : int;  (* one per thread at [seeds + t] *)
+  locals : int;  (* locals_per_thread per thread *)
+  locals_per_thread : int;
+  lock_shared : int;  (* shared_per_lock per lock *)
+  shared_per_lock : int;
+  fresh_lo : int;
+  fresh_hi : int;  (* exclusive *)
+}
+
+let make_layout cfg =
+  let locals_per_thread = 4 and shared_per_lock = 4 in
+  let inj = 0 in
+  let seeds = inj + 4 in
+  let locals = seeds + cfg.threads in
+  let lock_shared = locals + (cfg.threads * locals_per_thread) in
+  let fresh_lo = lock_shared + (cfg.locks * shared_per_lock) in
+  if cfg.vars < fresh_lo + 16 then
+    invalid_arg
+      (Printf.sprintf
+         "Generator: vars = %d too small for %d threads / %d locks (need >= %d)"
+         cfg.vars cfg.threads cfg.locks (fresh_lo + 16));
+  {
+    inj;
+    seeds;
+    locals;
+    locals_per_thread;
+    lock_shared;
+    shared_per_lock;
+    fresh_lo;
+    fresh_hi = cfg.vars;
+  }
+
+type role = Main | Anchor_b | Producer | Consumer | Worker
+
+type injection_phase =
+  | Not_started
+  | Wait_first of int  (* thread running the first injected script *)
+  | Wait_second of int
+  | Done
+
+type st = {
+  cfg : config;
+  lay : layout;
+  rng : Rng.t;
+  b : Trace.Builder.t;
+  roles : role array;
+  scripts : Event.t Queue.t array;
+  holder : int array;  (* lock -> holding thread, or -1 *)
+  open_txn : bool array;  (* outermost block currently open *)
+  busy : bool array;  (* reserved by the injection state machine *)
+  seeded : bool array;  (* producer consumed its seed read *)
+  ready_x : int Queue.t;  (* producer handoffs awaiting the main thread *)
+  ready_y : int array;  (* ring of main-written consumer variables *)
+  mutable ready_y_len : int;
+  mutable ready_y_pos : int;
+  mutable next_fresh : int;
+  mutable injection : injection_phase;
+}
+
+let fresh_var st =
+  if st.next_fresh < st.lay.fresh_hi then begin
+    let v = st.next_fresh in
+    st.next_fresh <- st.next_fresh + 1;
+    Some v
+  end
+  else None
+
+let local_var st t =
+  st.lay.locals + (t * st.lay.locals_per_thread)
+  + Rng.int st.rng st.lay.locals_per_thread
+
+let shared_var_of_lock st l =
+  st.lay.lock_shared + (l * st.lay.shared_per_lock)
+  + Rng.int st.rng st.lay.shared_per_lock
+
+let push_ready_y st v =
+  let cap = Array.length st.ready_y in
+  st.ready_y.(st.ready_y_pos) <- v;
+  st.ready_y_pos <- (st.ready_y_pos + 1) mod cap;
+  if st.ready_y_len < cap then st.ready_y_len <- st.ready_y_len + 1
+
+let pick_ready_y st =
+  if st.ready_y_len = 0 then None
+  else begin
+    let cap = Array.length st.ready_y in
+    let i = Rng.int st.rng st.ready_y_len in
+    (* index backwards from the write position *)
+    Some st.ready_y.((st.ready_y_pos - 1 - i + (2 * cap)) mod cap)
+  end
+
+(* Emit one event, maintaining lock-holder bookkeeping and the handoff
+   queues that coordinate producers, the main pipeline thread and
+   consumers. *)
+let emit st t (e : Event.t) =
+  (match e.op with
+  | Event.Acquire l -> st.holder.(Ids.Lid.to_int l) <- t
+  | Event.Release l -> st.holder.(Ids.Lid.to_int l) <- -1
+  | Event.Begin -> st.open_txn.(t) <- true
+  | Event.End -> st.open_txn.(t) <- false
+  | Event.Write x ->
+    let x = Ids.Vid.to_int x in
+    if x >= st.lay.fresh_lo then begin
+      match st.roles.(t) with
+      | Producer -> Queue.add x st.ready_x
+      | Main -> push_ready_y st x
+      | Anchor_b | Consumer | Worker -> ()
+    end
+  | Event.Read _ | Event.Fork _ | Event.Join _ -> ());
+  Trace.Builder.add st.b e
+
+(* Try to emit the head of thread t's script; false if blocked on a lock. *)
+let step_script st t =
+  match Queue.peek_opt st.scripts.(t) with
+  | None -> false
+  | Some e -> (
+    match e.op with
+    | Event.Acquire l
+      when st.holder.(Ids.Lid.to_int l) <> -1
+           && st.holder.(Ids.Lid.to_int l) <> t ->
+      false
+    | _ ->
+      emit st t (Queue.pop st.scripts.(t));
+      true)
+
+let enqueue st t es = List.iter (fun e -> Queue.add e st.scripts.(t)) es
+
+(* A handful of accesses to thread-local variables. *)
+let local_ops st t n =
+  List.init n (fun _ ->
+      let v = local_var st t in
+      if Rng.chance st.rng st.cfg.read_fraction then Event.read t v
+      else Event.write t v)
+
+(* One critical section on a single lock drawn from [pool], touching only
+   that lock's variables: the discipline that keeps generated transactions
+   conflict serializable. *)
+let locked_section st t pool n =
+  if Array.length pool = 0 then local_ops st t n
+  else begin
+    let l = Rng.pick st.rng pool in
+    let ops =
+      List.init (max n 1) (fun _ ->
+          let v = shared_var_of_lock st l in
+          if Rng.chance st.rng st.cfg.read_fraction then Event.read t v
+          else Event.write t v)
+    in
+    (Event.acquire t l :: ops) @ [ Event.release t l ]
+  end
+
+let txn_len st =
+  let lo, hi = st.cfg.ops_per_txn in
+  Rng.range st.rng lo hi
+
+(* Worker transaction for the Independent shape. *)
+let plan_worker st t pool =
+  if Rng.chance st.rng st.cfg.unary_fraction then
+    enqueue st t (local_ops st t (1 + Rng.int st.rng 2))
+  else begin
+    let n = txn_len st in
+    let body =
+      if Rng.chance st.rng st.cfg.locked_fraction then
+        locked_section st t pool n
+      else local_ops st t n
+    in
+    enqueue st t ((Event.begin_ t :: body) @ [ Event.end_ t ])
+  end
+
+(* Producer transaction: publish one fresh handoff variable; the first
+   transaction reads the seed written by anchor B so that the producer's
+   program-order chain stays anchored in the graph. *)
+let plan_producer st t pool =
+  let n = txn_len st in
+  let seed_read =
+    if st.seeded.(t) then []
+    else begin
+      st.seeded.(t) <- true;
+      [ Event.read t (st.lay.seeds + t) ]
+    end
+  in
+  let handoff =
+    match fresh_var st with
+    | Some v -> [ Event.write t v ]
+    | None -> []
+  in
+  let body =
+    if Rng.chance st.rng st.cfg.locked_fraction then
+      locked_section st t pool (max 1 (n - 1))
+    else local_ops st t (max 1 (n - 1))
+  in
+  enqueue st t ((Event.begin_ t :: seed_read) @ body @ handoff @ [ Event.end_ t ])
+
+(* Consumer transaction: read a few of the main thread's outputs. *)
+let plan_consumer st t pool =
+  let n = txn_len st in
+  let reads =
+    List.filter_map
+      (fun _ -> Option.map (fun v -> Event.read t v) (pick_ready_y st))
+      [ (); (); () ]
+  in
+  let body =
+    if Rng.chance st.rng st.cfg.locked_fraction then
+      locked_section st t pool (max 1 (n - List.length reads))
+    else local_ops st t (max 1 (n - List.length reads))
+  in
+  enqueue st t ((Event.begin_ t :: reads) @ body @ [ Event.end_ t ])
+
+(* Main pipeline step (Anchored): consume one producer handoff, publish one
+   output, inside the single long-running transaction. *)
+let plan_main_anchored st =
+  match Queue.take_opt st.ready_x with
+  | None ->
+    if Rng.chance st.rng 0.3 then enqueue st 0 (local_ops st 0 1)
+  | Some x ->
+    let out =
+      match fresh_var st with
+      | Some y -> [ Event.write 0 y ]
+      | None -> []
+    in
+    enqueue st 0 (Event.read 0 x :: out)
+
+let plan_anchor_b st =
+  if Rng.chance st.rng 0.1 then enqueue st 1 (local_ops st 1 1)
+
+let plan_activity st t pools =
+  if not st.busy.(t) then
+    match st.roles.(t) with
+    | Main -> if st.cfg.shape = Anchored then plan_main_anchored st
+    | Anchor_b -> plan_anchor_b st
+    | Producer -> plan_producer st t (fst pools)
+    | Consumer -> plan_consumer st t (snd pools)
+    | Worker -> plan_worker st t (fst pools)
+
+(* Injection state machines: plant one deliberate cycle. *)
+
+let injection_ready st =
+  match st.cfg.shape with
+  | Independent -> true
+  | Anchored -> st.ready_y_len > 0
+
+let start_injection st =
+  match st.cfg.shape with
+  | Anchored ->
+    (* A consumer transaction reads one of main's outputs and writes an
+       injection variable that main then reads: C -> T and T -> C. *)
+    let c =
+      let rec find t =
+        if t >= st.cfg.threads then 2 (* degenerate configs *)
+        else if st.roles.(t) = Consumer then t
+        else find (t + 1)
+      in
+      find 2
+    in
+    let y = Option.get (pick_ready_y st) in
+    st.busy.(c) <- true;
+    enqueue st c
+      [
+        Event.begin_ c;
+        Event.read c y;
+        Event.write c st.lay.inj;
+        Event.end_ c;
+      ];
+    st.injection <- Wait_first c
+  | Independent ->
+    (* The rho2 pattern across the first two workers. *)
+    let a = 1 and b = if st.cfg.threads > 2 then 2 else 0 in
+    st.busy.(a) <- true;
+    st.busy.(b) <- true;
+    enqueue st a [ Event.begin_ a; Event.write a st.lay.inj ];
+    st.injection <- Wait_first a
+
+let advance_injection st =
+  match st.injection with
+  | Not_started | Done -> ()
+  | Wait_first t when Queue.is_empty st.scripts.(t) -> (
+    match st.cfg.shape with
+    | Anchored ->
+      st.busy.(t) <- false;
+      (* main reads the injection variable inside its long transaction *)
+      enqueue st 0 [ Event.read 0 st.lay.inj ];
+      st.injection <- Wait_second 0
+    | Independent ->
+      let b = if st.cfg.threads > 2 then 2 else 0 in
+      enqueue st b
+        [
+          Event.begin_ b;
+          Event.read b st.lay.inj;
+          Event.write b (st.lay.inj + 1);
+          Event.end_ b;
+        ];
+      st.injection <- Wait_second b)
+  | Wait_second u when Queue.is_empty st.scripts.(u) -> (
+    match st.cfg.shape with
+    | Anchored ->
+      st.injection <- Done
+    | Independent ->
+      let a = 1 in
+      enqueue st a [ Event.read a (st.lay.inj + 1); Event.end_ a ];
+      st.busy.(a) <- false;
+      st.busy.(u) <- false;
+      st.injection <- Done)
+  | Wait_first _ | Wait_second _ -> ()
+
+let assign_roles cfg =
+  Array.init cfg.threads (fun t ->
+      match cfg.shape with
+      | Independent -> if t = 0 then Main else Worker
+      | Anchored ->
+        if t = 0 then Main
+        else if t = 1 then Anchor_b
+        else if t mod 2 = 0 then Producer
+        else Consumer)
+
+let lock_pools cfg =
+  let all = Array.init cfg.locks (fun l -> l) in
+  match cfg.shape with
+  | Independent -> (all, [||])
+  | Anchored ->
+    let producer = Array.of_list (List.filter (fun l -> l mod 2 = 0) (Array.to_list all)) in
+    let consumer = Array.of_list (List.filter (fun l -> l mod 2 = 1) (Array.to_list all)) in
+    (producer, consumer)
+
+let validate cfg =
+  if cfg.threads < 2 then invalid_arg "Generator: need at least 2 threads";
+  if cfg.shape = Anchored && cfg.threads < 4 then
+    invalid_arg "Generator: Anchored shape needs at least 4 threads";
+  if cfg.locks < 1 then invalid_arg "Generator: need at least 1 lock";
+  if cfg.events < 64 then invalid_arg "Generator: need at least 64 events";
+  (match cfg.plan with
+  | Violate_at f when f < 0.0 || f > 1.0 ->
+    invalid_arg "Generator: violation fraction out of [0,1]"
+  | _ -> ())
+
+let generate cfg =
+  validate cfg;
+  let lay = make_layout cfg in
+  let st =
+    {
+      cfg;
+      lay;
+      rng = Rng.create cfg.seed;
+      b = Trace.Builder.create ~capacity:(cfg.events + 1024) ();
+      roles = assign_roles cfg;
+      scripts = Array.init cfg.threads (fun _ -> Queue.create ());
+      holder = Array.make (max cfg.locks 1) (-1);
+      open_txn = Array.make cfg.threads false;
+      busy = Array.make cfg.threads false;
+      seeded = Array.make cfg.threads false;
+      ready_x = Queue.create ();
+      ready_y = Array.make 64 0;
+      ready_y_len = 0;
+      ready_y_pos = 0;
+      next_fresh = lay.fresh_lo;
+      injection = Not_started;
+    }
+  in
+  let pools = lock_pools cfg in
+  (* Prologue: main forks every other thread, then the anchors open. *)
+  for t = 1 to cfg.threads - 1 do
+    emit st 0 (Event.fork 0 t)
+  done;
+  (match cfg.shape with
+  | Anchored ->
+    (* Anchor B opens and writes every producer's seed variable. *)
+    emit st 1 (Event.begin_ 1);
+    for t = 2 to cfg.threads - 1 do
+      if st.roles.(t) = Producer then emit st 1 (Event.write 1 (lay.seeds + t))
+    done;
+    (* Main opens its long pipeline transaction. *)
+    emit st 0 (Event.begin_ 0)
+  | Independent -> ());
+  (* Body. *)
+  let trigger =
+    match cfg.plan with
+    | Atomic -> max_int
+    | Violate_at f -> int_of_float (f *. float_of_int cfg.events)
+  in
+  let stall = ref 0 in
+  while Trace.Builder.length st.b < cfg.events && !stall < 10_000 do
+    if
+      st.injection = Not_started
+      && Trace.Builder.length st.b >= trigger
+      && injection_ready st
+    then start_injection st;
+    advance_injection st;
+    let t = Rng.int st.rng cfg.threads in
+    if Queue.is_empty st.scripts.(t) then plan_activity st t pools;
+    if step_script st t then stall := 0 else incr stall
+  done;
+  (* If the trace budget ran out before the planned violation fired, force
+     it now so Violate_at traces are reliably violating. *)
+  let rec force_injection fuel =
+    if fuel > 0 && st.injection <> Done && trigger <> max_int then begin
+      if st.injection = Not_started && injection_ready st then
+        start_injection st;
+      advance_injection st;
+      let progressed = ref false in
+      for t = 0 to cfg.threads - 1 do
+        if step_script st t then progressed := true
+      done;
+      ignore !progressed;
+      force_injection (fuel - 1)
+    end
+  in
+  force_injection 100_000;
+  (* Drain all scripts (closing every planned transaction and section). *)
+  let rec drain fuel =
+    if fuel <= 0 then
+      failwith "Generator: drain stalled (deadlocked scripts?)";
+    let pending = ref false in
+    for t = 0 to cfg.threads - 1 do
+      if not (Queue.is_empty st.scripts.(t)) then begin
+        pending := true;
+        ignore (step_script st t)
+      end
+    done;
+    if !pending then drain (fuel - 1)
+  in
+  drain (10 * cfg.events);
+  (* Epilogue: close the anchors, then join every thread. *)
+  (match cfg.shape with
+  | Anchored ->
+    emit st 1 (Event.end_ 1);
+    emit st 0 (Event.end_ 0)
+  | Independent -> ());
+  for t = 0 to cfg.threads - 1 do
+    if st.open_txn.(t) then emit st t (Event.end_ t)
+  done;
+  for t = 1 to cfg.threads - 1 do
+    emit st 0 (Event.join 0 t)
+  done;
+  Trace.Builder.build st.b
+
+let scaling ?(config = default) sizes =
+  List.map (fun n -> (n, generate { config with events = n })) sizes

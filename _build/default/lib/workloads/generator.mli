@@ -1,0 +1,75 @@
+(** Synthetic concurrent-program trace generator.
+
+    This module stands in for the paper's trace-collection pipeline
+    (DaCaPo / Java Grande programs instrumented by RoadRunner): it
+    simulates a multi-threaded program and emits the well-formed event
+    trace the real pipeline would have logged.  Per-benchmark profiles
+    choose the parameters so that the generated traces exercise the same
+    algorithmic regimes as the paper's logs (see DESIGN.md §2).
+
+    {2 Shapes}
+
+    - {!shape.Independent}: worker threads run short, disjoint, properly
+      lock-disciplined transactions.  Completed transactions have no
+      incoming edges, so Velodrome's garbage collection keeps the
+      transaction graph tiny — the regime of Table 2 and of the Table 1
+      rows where Velodrome is competitive.
+    - {!shape.Anchored}: two long-running anchor transactions pin the
+      transaction graph.  Anchor B seeds a chain variable that {e producer}
+      threads read-modify-write under a lock; anchor A publishes a
+      read-mostly variable that {e consumer} threads read, and periodically
+      polls the chain variable.  Consumers hang off A, producers chain
+      back to B, so garbage collection can reclaim nothing and every poll
+      forces a graph traversal — the regime where Velodrome degrades to
+      quadratic/cubic behaviour and AeroDrome's linear pass dominates
+      (avrora, lusearch, sunflow, elevator, ...).
+
+    {2 Safety discipline}
+
+    Traces with [plan = Atomic] are conflict serializable by construction:
+    every shared variable is owned by exactly one lock, a transaction
+    accesses shared variables of at most one lock inside a single critical
+    section, chain updates are read-modify-writes under the chain lock,
+    and the anchor wiring is acyclic by design (producers ≺ A ≺ consumers,
+    B ≺ producers).  [Violate_at f] additionally injects one deliberate
+    cross-transaction cycle once the emitted-event count passes fraction
+    [f] of [events]. *)
+
+type shape = Independent | Anchored
+
+type plan =
+  | Atomic  (** serializable by construction *)
+  | Violate_at of float
+      (** inject the first violation at this fraction of the trace *)
+
+type config = {
+  seed : int64;
+  threads : int;  (** total threads, main included; at least 2 *)
+  locks : int;  (** lock pool; at least 2 *)
+  vars : int;  (** variable pool; at least [threads + locks + 8] *)
+  events : int;  (** target trace length (approximate) *)
+  shape : shape;
+  plan : plan;
+  read_fraction : float;  (** reads among generated accesses (default .7) *)
+  ops_per_txn : int * int;  (** accesses per transaction, inclusive range *)
+  unary_fraction : float;
+      (** fraction of worker activities that are unary accesses instead of
+          transactions *)
+  locked_fraction : float;
+      (** fraction of transactions that open a critical section on shared
+          data (the rest touch thread-local variables only) *)
+}
+
+val default : config
+(** Two worker threads, small pools, 10_000 events, [Independent],
+    [Atomic]. *)
+
+val generate : config -> Traces.Trace.t
+(** Deterministic in [config] (byte-identical for equal configs).  The
+    result is well-formed: {!Traces.Wellformed.check} returns no errors,
+    all forks/joins are placed correctly and all locks are released; all
+    transactions are completed. *)
+
+val scaling : ?config:config -> int list -> (int * Traces.Trace.t) list
+(** [scaling sizes] instantiates the same workload at several target
+    lengths (same seed), for the linear-vs-superlinear scaling bench. *)

@@ -1,0 +1,35 @@
+type paper_row = {
+  events : string;
+  threads : int;
+  locks : int;
+  variables : string;
+  transactions : string;
+  atomic : bool;
+  velodrome : string;
+  aerodrome : string;
+  speedup : string;
+}
+
+type t = {
+  name : string;
+  description : string;
+  table : int;
+  config : Generator.config;
+  paper : paper_row;
+}
+
+let scaled p s =
+  let events = max 64 (int_of_float (float_of_int p.config.events *. s)) in
+  { p.config with events }
+
+let generate ?(scale = 1.0) p = Generator.generate (scaled p scale)
+
+let expected_violating p =
+  match p.config.plan with
+  | Generator.Atomic -> false
+  | Generator.Violate_at _ -> true
+
+let pp ppf p =
+  Format.fprintf ppf "%s (table %d): %s — %d threads, %d locks, %d vars, %d events"
+    p.name p.table p.description p.config.threads p.config.locks p.config.vars
+    p.config.events

@@ -1,0 +1,38 @@
+(** Benchmark profiles: one per row of the paper's Tables 1 and 2.
+
+    A profile couples a generator configuration (scaled to laptop-size
+    traces) with the numbers the paper reports for the original benchmark,
+    so the harness can print paper-vs-measured comparisons. *)
+
+type paper_row = {
+  events : string;  (** as printed in the paper, e.g. ["2.4B"] *)
+  threads : int;
+  locks : int;
+  variables : string;
+  transactions : string;
+  atomic : bool;  (** ['✓'] rows *)
+  velodrome : string;  (** seconds, or ["TO"] *)
+  aerodrome : string;
+  speedup : string;
+}
+
+type t = {
+  name : string;
+  description : string;
+  table : int;  (** 1 or 2 *)
+  config : Generator.config;
+  paper : paper_row;
+}
+
+val scaled : t -> float -> Generator.config
+(** [scaled p s] multiplies the profile's target event count by [s]
+    (minimum 64 events). *)
+
+val generate : ?scale:float -> t -> Traces.Trace.t
+(** Generate the profile's trace (default scale 1.0). *)
+
+val expected_violating : t -> bool
+(** Whether the generated trace is expected to contain a violation
+    (i.e. the plan is [Violate_at _]). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,49 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = seed }
+let copy g = { state = g.state }
+
+(* splitmix64 (Steele, Lea, Flood 2014). *)
+let next64 g =
+  let open Int64 in
+  g.state <- add g.state 0x9E3779B97F4A7C15L;
+  let z = g.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let int g n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Masked rejection sampling for unbiased results. *)
+  let rec mask m = if m >= n - 1 then m else mask ((m lsl 1) lor 1) in
+  let m = mask 1 in
+  let rec draw () =
+    let v = Int64.to_int (next64 g) land m in
+    if v < n then v else draw ()
+  in
+  draw ()
+
+let float g f =
+  let bits = Int64.shift_right_logical (next64 g) 11 in
+  Int64.to_float bits /. 9007199254740992.0 *. f
+
+let bool g = Int64.logand (next64 g) 1L = 1L
+
+let chance g p =
+  if p <= 0.0 then false else if p >= 1.0 then true else float g 1.0 < p
+
+let range g lo hi =
+  if hi < lo then invalid_arg "Rng.range: empty range";
+  lo + int g (hi - lo + 1)
+
+let pick g a =
+  if Array.length a = 0 then invalid_arg "Rng.pick: empty array";
+  a.(int g (Array.length a))
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

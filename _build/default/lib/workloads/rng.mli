@@ -1,0 +1,37 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    The workload generator must produce byte-identical traces for a given
+    seed across runs and platforms, so it uses its own tiny PRNG instead of
+    [Stdlib.Random].  Splitmix64 passes BigCrush and is the standard
+    seeding generator; it is more than adequate for workload shaping. *)
+
+type t
+
+val create : int64 -> t
+(** Generator seeded with the given value. *)
+
+val copy : t -> t
+
+val next64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int g n] is uniform in [0 .. n-1].  @raise Invalid_argument if
+    [n <= 0]. *)
+
+val float : t -> float -> float
+(** [float g f] is uniform in [0 .. f). *)
+
+val bool : t -> bool
+
+val chance : t -> float -> bool
+(** [chance g p] is true with probability [p] (clamped to [0..1]). *)
+
+val range : t -> int -> int -> int
+(** [range g lo hi] is uniform in [lo .. hi] inclusive. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

@@ -1,0 +1,273 @@
+open Traces
+open Event
+
+(* Figure numbering of threads/variables: t1 = 0, x = 0, y = 1, z = 2. *)
+
+let rho1 =
+  Trace.of_events
+    [
+      begin_ 0;
+      write 0 0;
+      begin_ 1;
+      read 1 0;
+      end_ 1;
+      begin_ 2;
+      write 2 2;
+      end_ 2;
+      read 0 2;
+      end_ 0;
+    ]
+
+let rho2 =
+  Trace.of_events
+    [
+      begin_ 0;
+      begin_ 1;
+      write 0 0;
+      read 1 0;
+      write 1 1;
+      read 0 1;
+      end_ 0;
+      end_ 1;
+    ]
+
+let rho3 =
+  Trace.of_events
+    [
+      begin_ 0;
+      begin_ 1;
+      write 0 0;
+      write 1 1;
+      read 0 1;
+      read 1 0;
+      end_ 0;
+      end_ 1;
+    ]
+
+let rho4 =
+  Trace.of_events
+    [
+      begin_ 0;
+      write 0 0;
+      begin_ 1;
+      write 1 1;
+      read 1 0;
+      end_ 1;
+      begin_ 2;
+      read 2 1;
+      write 2 2;
+      end_ 2;
+      read 0 2;
+      end_ 0;
+    ]
+
+let lock_violation =
+  Trace.of_events
+    [
+      begin_ 0;
+      acquire 0 0;
+      release 0 0;
+      begin_ 1;
+      acquire 1 0;
+      release 1 0;
+      end_ 1;
+      acquire 0 0;
+      release 0 0;
+      end_ 0;
+    ]
+
+let lock_serial =
+  Trace.of_events
+    [
+      begin_ 0;
+      acquire 0 0;
+      release 0 0;
+      end_ 0;
+      begin_ 1;
+      acquire 1 0;
+      release 1 0;
+      end_ 1;
+    ]
+
+let fork_join_serial =
+  Trace.of_events
+    [
+      fork 0 1;
+      fork 0 2;
+      begin_ 1;
+      write 1 0;
+      end_ 1;
+      begin_ 2;
+      write 2 1;
+      end_ 2;
+      join 0 1;
+      join 0 2;
+    ]
+
+let fork_join_violation =
+  Trace.of_events
+    [
+      begin_ 0;
+      write 0 0;
+      fork 0 1;
+      begin_ 1;
+      read 1 0;
+      write 1 1;
+      end_ 1;
+      join 0 1;
+      read 0 1;
+      end_ 0;
+    ]
+
+let nested_ignored =
+  Trace.of_events
+    [
+      begin_ 0;
+      begin_ 0;
+      begin_ 1;
+      write 0 0;
+      end_ 0;
+      read 1 0;
+      write 1 1;
+      read 0 1;
+      end_ 0;
+      end_ 1;
+    ]
+
+let unary_no_report =
+  Trace.of_events [ write 0 0; read 1 0; write 1 0; read 0 0 ]
+
+let unary_flush_false_positive =
+  Trace.of_events
+    [
+      read 1 0;  (* unary r(x) *)
+      begin_ 0;
+      write 0 1;  (* w(y) *)
+      begin_ 1;
+      read 1 1;  (* r(y): t1's transaction learns t0's begin *)
+      write 0 0;  (* w(x): a lazy flush of the unary read would use t1's
+                     inflated current clock and report spuriously *)
+      end_ 0;
+      end_ 1;
+    ]
+
+(* Thread 0 runs one long transaction; thread 1 interacts with it twice.
+   Variables: a = 0, b = 1, v = 2. *)
+let gc_clock_equality_miss =
+  Trace.of_events
+    [
+      begin_ 0;
+      write 0 0;  (* w(a) *)
+      write 0 1;  (* w(b) *)
+      begin_ 1;
+      read 1 0;  (* r(a): absorbs thread 0's clock *)
+      end_ 1;
+      begin_ 1;
+      read 1 1;  (* r(b): an incoming edge, but the clock is unchanged *)
+      write 1 2;  (* w(v) *)
+      end_ 1;  (* printed Algorithm 3 garbage-collects this transaction *)
+      read 0 2;  (* r(v): closes the cycle T0 -> T1' -> T0 *)
+      end_ 0;
+    ]
+
+(* Threads: v = 0, u = 1, p = 2, w = 3; variables: p = 0, x = 1, z = 2,
+   q = 3.  Cycle V -> U -> P -> W -> V; the ordering W_x ⊒ C⊲_u is
+   established only when P ends (event 10), after W's write of x. *)
+let transitive_update_miss =
+  Trace.of_events
+    [
+      begin_ 2;
+      begin_ 3;
+      write 2 0;
+      read 3 0;
+      write 3 1;
+      end_ 3;
+      begin_ 1;
+      write 1 2;
+      read 2 2;
+      end_ 2;
+      begin_ 0;
+      write 0 3;
+      read 1 3;
+      end_ 1;
+      read 0 1;
+      end_ 0;
+    ]
+
+(* Unrepeatable read: the block's two reads of x straddle a unary write. *)
+let unrepeatable_read =
+  Trace.of_events
+    [ begin_ 0; read 0 0; write 1 0; read 0 0; end_ 0 ]
+
+(* T0 -> T1 via x, T1 -> T2 via the lock handoff, T2 -> T0 via y. *)
+let three_txn_lock_cycle =
+  Trace.of_events
+    [
+      begin_ 0;
+      write 0 0;  (* w(x) *)
+      begin_ 1;
+      read 1 0;  (* r(x): T0 -> T1 *)
+      acquire 1 0;
+      release 1 0;
+      end_ 1;
+      begin_ 2;
+      acquire 2 0;  (* T1 -> T2 *)
+      release 2 0;
+      write 2 1;  (* w(y) *)
+      end_ 2;
+      read 0 1;  (* r(y): T2 -> T0, closing the cycle *)
+      end_ 0;
+    ]
+
+(* Unary races everywhere; the single block writes a private variable and
+   reads shared data only before anyone overwrites it. *)
+let racy_but_serializable =
+  Trace.of_events
+    [
+      write 0 0;
+      write 1 0;  (* race on x *)
+      read 2 0;
+      begin_ 2;
+      read 2 0;
+      write 2 2;  (* private to the block *)
+      end_ 2;
+      write 0 0;  (* after the block: edges only out of it *)
+      read 1 2;
+      write 1 1;
+      read 0 1;
+    ]
+
+(* A strict token-passing chain of 16 blocks across 4 threads. *)
+let serial_chain =
+  let buf = Trace.Builder.create () in
+  let token = 0 in
+  for i = 0 to 15 do
+    let t = i mod 4 in
+    Trace.Builder.begin_ buf t;
+    Trace.Builder.read buf t ~var:token;
+    Trace.Builder.write buf t ~var:token;
+    Trace.Builder.write buf t ~var:(1 + i);  (* private result *)
+    Trace.Builder.end_ buf t
+  done;
+  Trace.Builder.build buf
+
+let all =
+  [
+    ("rho1", rho1, `Serializable);
+    ("rho2", rho2, `Violating);
+    ("rho3", rho3, `Violating);
+    ("rho4", rho4, `Violating);
+    ("lock_violation", lock_violation, `Violating);
+    ("lock_serial", lock_serial, `Serializable);
+    ("fork_join_serial", fork_join_serial, `Serializable);
+    ("fork_join_violation", fork_join_violation, `Violating);
+    ("nested_ignored", nested_ignored, `Violating);
+    ("unary_no_report", unary_no_report, `Serializable);
+    ("unary_flush_false_positive", unary_flush_false_positive, `Serializable);
+    ("unrepeatable_read", unrepeatable_read, `Violating);
+    ("three_txn_lock_cycle", three_txn_lock_cycle, `Violating);
+    ("racy_but_serializable", racy_but_serializable, `Serializable);
+    ("serial_chain", serial_chain, `Serializable);
+    ("gc_clock_equality_miss", gc_clock_equality_miss, `Violating);
+    ("transitive_update_miss", transitive_update_miss, `Violating);
+  ]

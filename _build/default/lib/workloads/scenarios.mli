@@ -1,0 +1,97 @@
+(** Hand-written traces: the paper's running examples and regression
+    scenarios discovered while reproducing the algorithms.
+
+    Thread, lock and variable numbering follows the figures: thread [t1] of
+    a figure is id 0, variable [x] is id 0, [y] is 1, [z] is 2. *)
+
+open Traces
+
+val rho1 : Trace.t
+(** Figure 1: three transactions, [T3 ⋖ T1 ⋖ T2]; conflict serializable. *)
+
+val rho2 : Trace.t
+(** Figure 2: two transactions with a CHB path that returns to the first
+    transaction; violation detected at event 6 ([⟨t1, r(y)⟩]). *)
+
+val rho3 : Trace.t
+(** Figure 3: a violation with no CHB path that starts and ends in the
+    same transaction; Algorithm 1 detects it at the end event e7. *)
+
+val rho4 : Trace.t
+(** Figure 4: a violation established through events of a transaction that
+    completed earlier ([T2]); detected at event 11 ([⟨t1, r(z)⟩]). *)
+
+val lock_violation : Trace.t
+(** Two transactions interleaving critical sections on the same lock so
+    that each is ordered before the other; a violation witnessed through
+    rel/acq conflict edges rather than variable accesses. *)
+
+val lock_serial : Trace.t
+(** The same two critical sections without the interleaving; conflict
+    serializable. *)
+
+val fork_join_serial : Trace.t
+(** A parent forks two children, each runs a transaction on its own data,
+    parent joins; serializable. *)
+
+val fork_join_violation : Trace.t
+(** A transaction that forks a child and joins it again within the same
+    atomic block: the child must run strictly inside the block, so the
+    block cannot execute serially — a cycle through fork and join edges,
+    detected at the join. *)
+
+val nested_ignored : Trace.t
+(** ρ2's violation wrapped in extra inner begin/end pairs: nested blocks
+    must be folded into the outermost transaction, leaving the verdict
+    unchanged. *)
+
+val unary_no_report : Trace.t
+(** A cycle-free trace whose only conflicts involve unary events; no
+    checker may report (unary transactions never declare violations). *)
+
+val unary_flush_false_positive : Trace.t
+(** Regression for the Algorithm 3 unary-read deviation: a unary read of
+    [x], then the same thread's later transaction observes another
+    transaction's write, then that other transaction writes [x].  The
+    printed pseudocode flushes the unary read with the inflated current
+    clock and reports a spurious violation; the trace is serializable. *)
+
+val gc_clock_equality_miss : Trace.t
+(** Regression for the Algorithm 3 garbage-collection deviation: a thread
+    interacts twice with the same long-running transaction.  Its second
+    transaction has an incoming edge (it reads the long transaction's
+    write) but its vector clock does not change — it already absorbed the
+    writer's knowledge during the first interaction — so the printed
+    [hasIncomingEdge] test garbage-collects it and the cycle closed by the
+    long transaction's final read is missed.  Violating. *)
+
+val transitive_update_miss : Trace.t
+(** Regression for the Algorithm 3 update-set deviation: a four-
+    transaction cycle [V → U → P → W → V] in which [W_x]'s coverage of
+    [U]'s begin is established only by [P]'s end event, after [W]'s write.
+    The printed pseudocode never refreshes [W_x] at [U]'s end and misses
+    the violation; Algorithm 1 reports it at the final read. *)
+
+val unrepeatable_read : Trace.t
+(** A single atomic block reads [x] twice with an unlocked unary write by
+    another thread in between — the minimal one-transaction violation
+    (cycle through a unary transaction). *)
+
+val three_txn_lock_cycle : Trace.t
+(** Three transactions on three threads, each ordered before the next by a
+    different mechanism (variable conflict, lock handoff, variable
+    conflict), with the last ordered before the first: a 3-cycle. *)
+
+val racy_but_serializable : Trace.t
+(** Heavy unsynchronized sharing — many data races — but every access is a
+    unary transaction except one block that no conflict returns to:
+    atomicity and race-freedom are different properties. *)
+
+val serial_chain : Trace.t
+(** Sixteen transactions that pass a token strictly one to the next;
+    serializable, and the regime where Velodrome's GC collapses the
+    graph. *)
+
+val all : (string * Trace.t * [ `Serializable | `Violating ]) list
+(** Every scenario with its expected verdict (for complete traces, where
+    all checkers agree on the verdict). *)

@@ -1,0 +1,31 @@
+  $ rapid generate --events 300 --threads 3 --seed 7 -o trace.std
+  $ rapid metainfo trace.std | head -3
+  $ rapid check -q trace.std
+  $ rapid check -q -a aerodrome-basic trace.std
+  $ rapid check -q -a velodrome trace.std
+  $ rapid generate --events 300 --threads 3 --seed 7 --violate-at 0.5 -o bad.std
+  $ rapid check -q bad.std
+  $ rapid check bad.std 2>&1 | sed 's/in [0-9.]*s/in TIME/'
+  $ rapid check -a velodrome bad.std 2>&1 | sed 's/in [0-9.]*s/in TIME/'
+  $ rapid check -a frobnicate trace.std
+  $ rapid generate --profile nope
+  $ rapid profiles | head -2
+  $ rapid profiles | wc -l
+  $ rapid generate --events 300 --threads 3 --seed 7 | head -4
+  $ cat > rho2.std <<DONE
+  > t1|begin
+  > t2|begin
+  > t1|w(x)
+  > t2|r(x)
+  > t2|w(y)
+  > t1|r(y)
+  > t1|end
+  > t2|end
+  > DONE
+  $ rapid clocks rho2.std
+  $ rapid convert rho2.std rho2.bin
+  $ rapid check -q rho2.bin
+  $ rapid metainfo rho2.bin | head -1
+  $ rapid convert --text rho2.bin back.std
+  $ rapid check -q back.std
+  $ rapid explain rho2.std

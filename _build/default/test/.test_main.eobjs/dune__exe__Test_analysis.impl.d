@@ -1,0 +1,1 @@
+test/test_analysis.ml: Aerodrome Alcotest Analysis Buffer Event Format Helpers List QCheck String Trace Traces Transactions Unix Workloads

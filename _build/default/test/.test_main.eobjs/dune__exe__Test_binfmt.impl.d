@@ -1,0 +1,1 @@
+test/test_binfmt.ml: Aerodrome Alcotest Analysis Binfmt Buffer Char Filename Fun Helpers List Parser QCheck Seq String Sys Trace Traces Unix Workloads

@@ -1,0 +1,1 @@
+test/test_chb.ml: Aerodrome Alcotest Array Event Fun Hashtbl Helpers Ids List Option QCheck Trace Traces Transactions Vclock Workloads

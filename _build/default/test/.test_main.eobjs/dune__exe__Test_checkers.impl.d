@@ -1,0 +1,1 @@
+test/test_checkers.ml: Aerodrome Alcotest Helpers List Option Printf QCheck Trace Traces Workloads

@@ -1,0 +1,1 @@
+test/test_digraph.ml: Alcotest Array Digraphs Helpers Int List Option Printf QCheck Random String

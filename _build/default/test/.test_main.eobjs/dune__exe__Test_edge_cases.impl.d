@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Aerodrome Alcotest Analysis Event Helpers List Seq Trace Traces Unix Vclock Wellformed Workloads

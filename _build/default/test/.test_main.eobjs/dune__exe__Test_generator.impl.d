@@ -1,0 +1,1 @@
+test/test_generator.ml: Aerodrome Alcotest Array Helpers List Option Trace Traces Transactions Velodrome Wellformed Workloads

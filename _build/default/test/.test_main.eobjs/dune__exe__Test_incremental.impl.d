@@ -1,0 +1,1 @@
+test/test_incremental.ml: Alcotest Digraphs Helpers List Printf QCheck Random String

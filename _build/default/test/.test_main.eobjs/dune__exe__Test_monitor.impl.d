@@ -1,0 +1,1 @@
+test/test_monitor.ml: Aerodrome Alcotest Analysis Event Format Helpers QCheck String Trace Traces Velodrome Workloads

@@ -1,0 +1,1 @@
+test/test_paper_traces.ml: Aerodrome Alcotest Digraphs Helpers Ids List Trace Traces Vclock Velodrome Workloads

@@ -1,0 +1,1 @@
+test/test_parser.ml: Aerodrome Alcotest Event Filename Fun Helpers Ids List Parser QCheck Sys Trace Traces Workloads

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Event Helpers Ids List Printf QCheck Seq Trace Traces Transactions Workloads

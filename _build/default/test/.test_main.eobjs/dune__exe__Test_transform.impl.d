@@ -1,0 +1,1 @@
+test/test_transform.ml: Aerodrome Alcotest Event Hashtbl Helpers Ids List Option QCheck Trace Traces Transactions Transform Wellformed Workloads

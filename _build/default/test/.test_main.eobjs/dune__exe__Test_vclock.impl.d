@@ -1,0 +1,1 @@
+test/test_vclock.ml: Alcotest Helpers List QCheck Random Vclock

@@ -1,0 +1,1 @@
+test/test_velodrome.ml: Aerodrome Alcotest Digraphs Event Helpers List QCheck Trace Traces Velodrome Workloads

@@ -1,0 +1,1 @@
+test/test_wellformed.ml: Alcotest Event Helpers List Printf QCheck Random String Trace Traces Wellformed Workloads

@@ -1,0 +1,101 @@
+The rapid CLI end to end.  Generate a small deterministic trace:
+
+  $ rapid generate --events 300 --threads 3 --seed 7 -o trace.std
+  wrote 313 events to trace.std
+
+Inspect it:
+
+  $ rapid metainfo trace.std | head -3
+  events:       313
+  reads/writes: 143 / 64
+  acq/rel:      16 / 16
+
+An atomic workload: every checker exits 0.
+
+  $ rapid check -q trace.std
+  $ rapid check -q -a aerodrome-basic trace.std
+  $ rapid check -q -a velodrome trace.std
+
+A violating workload: exit code 1 and a report naming the event.
+
+  $ rapid generate --events 300 --threads 3 --seed 7 --violate-at 0.5 -o bad.std
+  wrote 311 events to bad.std
+  $ rapid check -q bad.std
+  [1]
+  $ rapid check bad.std 2>&1 | sed 's/in [0-9.]*s/in TIME/'
+  aerodrome: violation @165 in TIME (311 events)
+  $ rapid check -a velodrome bad.std 2>&1 | sed 's/in [0-9.]*s/in TIME/'
+  velodrome: violation @165 in TIME (311 events)
+
+Unknown algorithms and profiles are rejected:
+
+  $ rapid check -a frobnicate trace.std
+  rapid: option '-a': unknown algorithm "frobnicate"
+  Usage: rapid check [--algorithm=ALGO] [--quiet] [--timeout=SECONDS] [OPTION]… TRACE
+  Try 'rapid check --help' or 'rapid --help' for more information.
+  [124]
+  $ rapid generate --profile nope
+  unknown profile "nope" (try: rapid profiles)
+  [2]
+
+Profiles are listed with their table and parameters:
+
+  $ rapid profiles | head -2
+  avrora (table 1): event-driven simulator: long-lived pipeline transaction, late violation — 7 threads, 8 locks, 80000 vars, 240000 events
+  elevator (table 1): discrete-event controller: atomic, graph never collapses — 5 threads, 50 locks, 40000 vars, 120000 events
+  $ rapid profiles | wc -l
+  21
+
+Round-trip: a written trace parses to the same rendering.
+
+  $ rapid generate --events 300 --threads 3 --seed 7 | head -4
+  T0|fork(T1)
+  T0|fork(T2)
+  T2|begin
+  T1|begin
+
+The clocks view replays Algorithm 1 and prints the evolving vector
+clocks, stopping at the violation (Figure 5 of the paper):
+
+  $ cat > rho2.std <<DONE
+  > t1|begin
+  > t2|begin
+  > t1|w(x)
+  > t2|r(x)
+  > t2|w(y)
+  > t1|r(y)
+  > t1|end
+  > t2|end
+  > DONE
+  $ rapid clocks rho2.std
+  event  operation                            C_0             C_1
+      1  t1:begin                       ⟨2,0⟩       ⟨0,1⟩
+      2  t2:begin                       ⟨2,0⟩       ⟨0,2⟩
+      3  t1:w(V0)                       ⟨2,0⟩       ⟨0,2⟩
+      4  t2:r(V0)                       ⟨2,0⟩       ⟨2,2⟩
+      5  t2:w(V1)                       ⟨2,0⟩       ⟨2,2⟩
+      6  t1:r(V1)                       ⟨2,0⟩       ⟨2,2⟩
+  conflict-serializability violation at event 6 (⟨T0,r(V1)⟩), at read (vs last write)
+
+Binary conversion round-trips and is auto-detected by every command:
+
+  $ rapid convert rho2.std rho2.bin
+  rho2.bin: 8 events, 64 -> 32 bytes
+  $ rapid check -q rho2.bin
+  [1]
+  $ rapid metainfo rho2.bin | head -1
+  events:       8
+  $ rapid convert --text rho2.bin back.std
+  back.std: 8 events, 32 -> 68 bytes
+  $ rapid check -q back.std
+  [1]
+
+Explain prints the baseline's witness cycle and a Proposition 1 pair:
+
+  $ rapid explain rho2.std
+  conflict-serializability violation at event 6 (⟨T0,r(V1)⟩), at read (vs last write)
+  
+  velodrome witness (at event 6): transactions 0 -> 1
+  prop-1 witness (indices in the 8-event window): e4 ->* e1 and e1 <=CHB e4
+    e4 = ⟨T1,r(V0)⟩
+    e1 = ⟨T0,begin⟩

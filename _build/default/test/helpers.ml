@@ -1,0 +1,160 @@
+(* Shared test utilities: checker inventory, verdict helpers, and QCheck
+   generators of random well-formed traces for differential testing. *)
+
+open Traces
+
+let online_checkers : (string * Aerodrome.Checker.t) list =
+  [
+    ("aerodrome-basic", (module Aerodrome.Basic));
+    ("aerodrome-reduced", (module Aerodrome.Reduced));
+    ("aerodrome", (module Aerodrome.Opt));
+    ("aerodrome-slow", Aerodrome.Opt.slow_checker);
+    ("velodrome", (module Velodrome.Online));
+    ("velodrome-nogc", Velodrome.Online.no_gc_checker);
+    ("velodrome-pk", Velodrome.Online.pk_checker);
+  ]
+
+let verdict checker tr = Option.is_some (Aerodrome.Checker.run checker tr)
+
+let violation_index checker tr =
+  Option.map
+    (fun v -> v.Aerodrome.Violation.index)
+    (Aerodrome.Checker.run checker tr)
+
+let reference_violating tr = not (Velodrome.Reference.is_serializable tr)
+
+let trace_testable =
+  Alcotest.testable
+    (fun ppf tr -> Format.pp_print_string ppf (Parser.to_string tr))
+    (fun a b -> Trace.to_list a = Trace.to_list b)
+
+let vtime = Alcotest.testable Vclock.Vtime.pp Vclock.Vtime.equal
+
+(* Random well-formed traces.
+
+   The generator simulates a small thread pool taking random legal actions:
+   begin/end (nesting bounded), reads and writes over a few variables,
+   acquire/release of a few locks (at most one lock held per thread, so the
+   final drain cannot deadlock), forks of not-yet-started threads and, in
+   the epilogue, joins.  With [complete = true] every transaction is closed
+   and every lock released before the trace ends, so all checkers and the
+   offline oracle must agree on the verdict (Theorem 3). *)
+
+type sim = {
+  rs : Random.State.t;
+  threads : int;
+  locks : int;
+  vars : int;
+  depth : int array;
+  held : int array;  (* thread -> lock held, or -1 (at most one) *)
+  holder : int array;  (* lock -> thread, or -1 *)
+  started : bool array;
+  stopped : bool array;
+  buf : Trace.Builder.t;
+}
+
+let random_event sim t =
+  let open Event in
+  let rand n = Random.State.int sim.rs n in
+  let var () = rand sim.vars in
+  (* Weighted action choice; illegal actions fall through to an access. *)
+  let action = rand 100 in
+  if action < 14 && sim.depth.(t) < 2 then begin
+    sim.depth.(t) <- sim.depth.(t) + 1;
+    begin_ t
+  end
+  else if action < 28 && sim.depth.(t) > 0 then begin
+    sim.depth.(t) <- sim.depth.(t) - 1;
+    end_ t
+  end
+  else if
+    action < 38 && sim.locks > 0 && sim.held.(t) = -1
+    && (let l = action mod sim.locks in
+        sim.holder.(l) = -1)
+  then begin
+    let l = action mod sim.locks in
+    sim.held.(t) <- l;
+    sim.holder.(l) <- t;
+    acquire t l
+  end
+  else if action < 48 && sim.held.(t) <> -1 then begin
+    let l = sim.held.(t) in
+    sim.held.(t) <- -1;
+    sim.holder.(l) <- -1;
+    release t l
+  end
+  else if action < 74 then read t (var ())
+  else write t (var ())
+
+let runnable sim =
+  let out = ref [] in
+  for t = sim.threads - 1 downto 0 do
+    if sim.started.(t) && not sim.stopped.(t) then out := t :: !out
+  done;
+  !out
+
+let gen_trace_events ~threads ~locks ~vars ~len ~complete rs =
+  let sim =
+    {
+      rs;
+      threads;
+      locks;
+      vars;
+      depth = Array.make threads 0;
+      held = Array.make threads (-1);
+      holder = Array.make (max locks 1) (-1);
+      started = Array.make threads false;
+      stopped = Array.make threads false;
+      buf = Trace.Builder.create ~capacity:(len + 16) ();
+    }
+  in
+  sim.started.(0) <- true;
+  for _ = 1 to len do
+    (* Occasionally fork a not-yet-started thread. *)
+    let unstarted = ref [] in
+    for t = threads - 1 downto 1 do
+      if not sim.started.(t) then unstarted := t :: !unstarted
+    done;
+    if !unstarted <> [] && Random.State.int rs 10 = 0 then begin
+      let u = List.nth !unstarted (Random.State.int rs (List.length !unstarted)) in
+      let parents = runnable sim in
+      let p = List.nth parents (Random.State.int rs (List.length parents)) in
+      sim.started.(u) <- true;
+      Trace.Builder.add sim.buf (Event.fork p u)
+    end
+    else begin
+      let ts = runnable sim in
+      let t = List.nth ts (Random.State.int rs (List.length ts)) in
+      Trace.Builder.add sim.buf (random_event sim t)
+    end
+  done;
+  if complete then begin
+    (* Drain: release locks, close transactions, then join the children. *)
+    for t = 0 to threads - 1 do
+      if sim.started.(t) then begin
+        if sim.held.(t) <> -1 then begin
+          Trace.Builder.release sim.buf t ~lock:sim.held.(t);
+          sim.holder.(sim.held.(t)) <- -1;
+          sim.held.(t) <- -1
+        end;
+        while sim.depth.(t) > 0 do
+          Trace.Builder.end_ sim.buf t;
+          sim.depth.(t) <- sim.depth.(t) - 1
+        done
+      end
+    done;
+    for t = 1 to threads - 1 do
+      if sim.started.(t) then Trace.Builder.join sim.buf 0 ~child:t
+    done
+  end;
+  Trace.Builder.build sim.buf
+
+let arb_trace ?(threads = 3) ?(locks = 2) ?(vars = 3) ?(max_len = 60)
+    ?(complete = true) () =
+  let gen rs =
+    let len = 1 + Random.State.int rs max_len in
+    gen_trace_events ~threads ~locks ~vars ~len ~complete rs
+  in
+  QCheck.make ~print:Parser.to_string gen
+
+let qcheck_tests cases = List.map QCheck_alcotest.to_alcotest cases

@@ -1,0 +1,1 @@
+test/stress/helpers.ml: Aerodrome Alcotest Array Event Format List Option Parser QCheck QCheck_alcotest Random Trace Traces Vclock Velodrome

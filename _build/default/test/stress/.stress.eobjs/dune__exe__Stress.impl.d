@@ -1,0 +1,1 @@
+test/stress/stress.ml: Aerodrome Array Helpers List Option Parser Printexc Printf Random Sys Traces Unix Velodrome

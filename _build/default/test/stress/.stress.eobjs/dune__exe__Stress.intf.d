@@ -1,0 +1,1 @@
+test/stress/stress.mli:

@@ -1,0 +1,60 @@
+(* Heavy randomized differential testing, runnable on demand:
+
+     dune exec test/stress/stress.exe -- [cases]
+
+   Every online checker is compared against the offline oracle on random
+   well-formed traces (complete and incomplete); any exception, verdict
+   disagreement on a complete trace, or false positive on a prefix is a
+   failure.  The low-count version of this property runs in the regular
+   test suite (test/test_checkers.ml); this executable cranks the volume. *)
+
+open Traces
+
+let checkers : (string * Aerodrome.Checker.t) list =
+  [
+    ("aerodrome-basic", (module Aerodrome.Basic));
+    ("aerodrome-reduced", (module Aerodrome.Reduced));
+    ("aerodrome", (module Aerodrome.Opt));
+    ("aerodrome-slow", Aerodrome.Opt.slow_checker);
+    ("velodrome", (module Velodrome.Online));
+    ("velodrome-nogc", Velodrome.Online.no_gc_checker);
+    ("velodrome-pk", Velodrome.Online.pk_checker);
+  ]
+
+let () =
+  let cases =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 100_000
+  in
+  let rs = Random.State.make [| 0xAE120D20 |] in
+  let bad = ref 0 in
+  let start = Unix.gettimeofday () in
+  for i = 1 to cases do
+    let threads = 2 + Random.State.int rs 4 in
+    let locks = Random.State.int rs 3 in
+    let vars = 1 + Random.State.int rs 3 in
+    let len = 5 + Random.State.int rs 70 in
+    let complete = Random.State.int rs 4 > 0 in
+    let tr = Helpers.gen_trace_events ~threads ~locks ~vars ~len ~complete rs in
+    let expected = not (Velodrome.Reference.is_serializable tr) in
+    List.iter
+      (fun (name, c) ->
+        let fail msg =
+          incr bad;
+          if !bad <= 5 then
+            Printf.printf "=== case %d, %s: %s (complete=%b oracle=%b)\n%s\n" i
+              name msg complete expected (Parser.to_string tr)
+        in
+        match Option.is_some (Aerodrome.Checker.run c tr) with
+        | verdict ->
+          if complete && verdict <> expected then
+            fail (Printf.sprintf "verdict=%b" verdict)
+          else if (not complete) && verdict && not expected then
+            fail "false positive on an incomplete trace"
+        | exception e -> fail ("exception: " ^ Printexc.to_string e))
+      checkers
+  done;
+  Printf.printf "stress: %d cases x %d checkers in %.1fs, %d failures\n" cases
+    (List.length checkers)
+    (Unix.gettimeofday () -. start)
+    !bad;
+  if !bad > 0 then exit 1

@@ -1,0 +1,171 @@
+(* The conflict-happens-before relation, and the paper's Examples 1–5. *)
+
+open Traces
+
+let check = Alcotest.check
+
+(* Example 1 (trace rho1): e2 and e4 conflict, e7 and e9 conflict, and
+   ≤CHB is transitive: e1 ≤CHB e5. *)
+let test_example1 () =
+  let chb = Aerodrome.Chb.compute Workloads.Scenarios.rho1 in
+  let hb i j = Aerodrome.Chb.happens_before chb (i - 1) (j - 1) in
+  check Alcotest.bool "e2 <= e4 (w(x)/r(x))" true (hb 2 4);
+  check Alcotest.bool "e7 <= e9 (w(z)/r(z))" true (hb 7 9);
+  check Alcotest.bool "e1 <= e5 (transitivity)" true (hb 1 5);
+  check Alcotest.bool "reflexive" true (hb 3 3);
+  check Alcotest.bool "no backwards order" false (hb 9 7);
+  (* events of different threads with no conflict path stay concurrent *)
+  check Alcotest.bool "e6 and e1 concurrent" true
+    (Aerodrome.Chb.concurrent chb 5 0)
+
+(* Example 3 (trace rho2): the CHB path e1 ≤ e4 ≤ e5 ≤ e7 starts and ends
+   in transaction T1 and passes through T2. *)
+let test_example3 () =
+  let chb = Aerodrome.Chb.compute Workloads.Scenarios.rho2 in
+  let hb i j = Aerodrome.Chb.happens_before chb (i - 1) (j - 1) in
+  check Alcotest.bool "e1 <= e4" true (hb 1 4);
+  check Alcotest.bool "e4 <= e5" true (hb 4 5);
+  check Alcotest.bool "e5 <= e7" true (hb 5 7);
+  check Alcotest.bool "e1 <= e7 via T2" true (hb 1 7)
+
+(* Example 4 (trace rho3): there is NO ≤CHB path that starts and ends in
+   the same transaction — e3 ≤ e6 and e4 ≤ e5 but nothing returns. *)
+let test_example4 () =
+  let tr = Workloads.Scenarios.rho3 in
+  let chb = Aerodrome.Chb.compute tr in
+  let hb i j = Aerodrome.Chb.happens_before chb (i - 1) (j - 1) in
+  check Alcotest.bool "e3 <= e6" true (hb 3 6);
+  check Alcotest.bool "e4 <= e5" true (hb 4 5);
+  let owners = Transactions.owner tr in
+  let n = Trace.length tr in
+  let same_txn_roundtrip = ref false in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      (* a CHB path leaving the transaction and coming back *)
+      if
+        i < j && owners.(i) = owners.(j)
+        && Aerodrome.Chb.happens_before chb i j
+        && List.exists
+             (fun k ->
+               owners.(k) <> owners.(i)
+               && Aerodrome.Chb.happens_before chb i k
+               && Aerodrome.Chb.happens_before chb k j)
+             (List.init n Fun.id)
+      then same_txn_roundtrip := true
+    done
+  done;
+  check Alcotest.bool "no same-transaction CHB roundtrip" false
+    !same_txn_roundtrip;
+  (* ... yet rho3 is violating: ≤CHB alone cannot witness it (the paper's
+     point), while the →* relation of Section 3 can *)
+  check Alcotest.bool "violating" true (Helpers.reference_violating tr);
+  check Alcotest.bool "Proposition 1 witness exists" true
+    (Option.is_some (Aerodrome.Chb.first_path_witness chb tr))
+
+(* Example 5: e1 ->* e4 in rho3 (through T1 and T2). *)
+let test_example5_path () =
+  let tr = Workloads.Scenarios.rho3 in
+  let chb = Aerodrome.Chb.compute tr in
+  check Alcotest.bool "e1 ->* e4" true
+    (Aerodrome.Chb.path_through_transactions chb tr 0 3);
+  check Alcotest.bool "e4 ->* e7" true
+    (Aerodrome.Chb.path_through_transactions chb tr 3 6)
+
+(* Proposition 1, as a property: a complete trace has a ->*/≤CHB witness
+   pair iff it is not conflict serializable. *)
+let prop_proposition1 =
+  QCheck.Test.make ~name:"Proposition 1: witness iff not serializable"
+    ~count:150
+    (Helpers.arb_trace ~threads:3 ~locks:2 ~vars:3 ~max_len:40 ())
+    (fun tr ->
+      let chb = Aerodrome.Chb.compute tr in
+      Option.is_some (Aerodrome.Chb.first_path_witness chb tr)
+      = Helpers.reference_violating tr)
+
+(* Locks and fork/join induce CHB order. *)
+let test_sync_order () =
+  let tr = Workloads.Scenarios.lock_violation in
+  let chb = Aerodrome.Chb.compute tr in
+  (* t1's first rel (e3) before t2's acq (e5) *)
+  check Alcotest.bool "rel <= acq" true (Aerodrome.Chb.happens_before chb 2 4);
+  let tr2 = Workloads.Scenarios.fork_join_serial in
+  let chb2 = Aerodrome.Chb.compute tr2 in
+  (* fork(1) at e1 before t1's begin at e3; t1's end (e5) before join (e9) *)
+  check Alcotest.bool "fork <= child" true
+    (Aerodrome.Chb.happens_before chb2 0 2);
+  check Alcotest.bool "child <= join" true
+    (Aerodrome.Chb.happens_before chb2 4 8)
+
+(* CHB is consistent with the conflict relation: conflicting pairs are
+   ordered by trace position. *)
+let prop_conflicts_ordered =
+  QCheck.Test.make ~name:"conflicting pairs are CHB ordered" ~count:150
+    (Helpers.arb_trace ~threads:4 ~locks:2 ~vars:3 ~max_len:50 ())
+    (fun tr ->
+      let chb = Aerodrome.Chb.compute tr in
+      let n = Trace.length tr in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          if
+            Event.conflicts (Trace.get tr i) (Trace.get tr j)
+            && not (Aerodrome.Chb.happens_before chb i j)
+          then ok := false
+        done
+      done;
+      !ok)
+
+(* ... and is antisymmetric on distinct events. *)
+let prop_antisymmetric =
+  QCheck.Test.make ~name:"CHB is antisymmetric" ~count:150
+    (Helpers.arb_trace ~threads:3 ~locks:1 ~vars:2 ~max_len:40 ())
+    (fun tr ->
+      let chb = Aerodrome.Chb.compute tr in
+      let n = Trace.length tr in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          if
+            Aerodrome.Chb.happens_before chb i j
+            && Aerodrome.Chb.happens_before chb j i
+          then ok := false
+        done
+      done;
+      !ok)
+
+(* Each thread's events carry strictly increasing local components, so
+   timestamps identify events uniquely within a thread. *)
+let prop_local_components_increase =
+  QCheck.Test.make ~name:"CHB local components strictly increase" ~count:100
+    (Helpers.arb_trace ~threads:3 ~locks:2 ~vars:3 ~max_len:60 ())
+    (fun tr ->
+      let chb = Aerodrome.Chb.compute tr in
+      let last = Hashtbl.create 4 in
+      let ok = ref true in
+      Trace.iteri
+        (fun i (e : Event.t) ->
+          let t = Ids.Tid.to_int e.thread in
+          let local = Vclock.Vtime.get (Aerodrome.Chb.timestamp chb i) t in
+          (match Hashtbl.find_opt last t with
+          | Some prev when local <= prev -> ok := false
+          | _ -> ());
+          Hashtbl.replace last t local)
+        tr;
+      !ok)
+
+let suite =
+  ( "chb",
+    [
+      Alcotest.test_case "example 1 (rho1)" `Quick test_example1;
+      Alcotest.test_case "example 3 (rho2)" `Quick test_example3;
+      Alcotest.test_case "example 4 (rho3)" `Quick test_example4;
+      Alcotest.test_case "example 5 (->* paths)" `Quick test_example5_path;
+      Alcotest.test_case "sync order" `Quick test_sync_order;
+    ]
+    @ Helpers.qcheck_tests
+        [
+          prop_proposition1;
+          prop_conflicts_ordered;
+          prop_antisymmetric;
+          prop_local_components_increase;
+        ] )

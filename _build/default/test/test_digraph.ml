@@ -1,0 +1,215 @@
+(* Directed-graph engine tests. *)
+
+module G = Digraphs.Digraph
+module Scc = Digraphs.Scc
+module Topo = Digraphs.Topo
+
+let check = Alcotest.check
+
+let of_edges edges =
+  let g = G.create () in
+  List.iter (fun (u, v) -> ignore (G.add_edge g u v)) edges;
+  g
+
+let test_nodes_edges () =
+  let g = G.create () in
+  G.add_node g 1;
+  G.add_node g 1;
+  check Alcotest.int "idempotent add" 1 (G.num_nodes g);
+  check Alcotest.bool "fresh edge" true (G.add_edge g 1 2);
+  check Alcotest.bool "duplicate edge" false (G.add_edge g 1 2);
+  check Alcotest.int "edges" 1 (G.num_edges g);
+  check Alcotest.int "auto node" 2 (G.num_nodes g);
+  check Alcotest.bool "mem" true (G.mem_edge g 1 2);
+  check Alcotest.bool "not reverse" false (G.mem_edge g 2 1);
+  check Alcotest.int "out" 1 (G.out_degree g 1);
+  check Alcotest.int "in" 1 (G.in_degree g 2)
+
+let test_remove_edge () =
+  let g = of_edges [ (1, 2); (2, 3) ] in
+  G.remove_edge g 1 2;
+  check Alcotest.int "edges" 1 (G.num_edges g);
+  check Alcotest.bool "gone" false (G.mem_edge g 1 2);
+  G.remove_edge g 1 2;
+  check Alcotest.int "idempotent" 1 (G.num_edges g)
+
+let test_remove_node () =
+  let g = of_edges [ (1, 2); (2, 3); (3, 1); (2, 2) ] in
+  G.remove_node g 2;
+  check Alcotest.int "nodes" 2 (G.num_nodes g);
+  check Alcotest.int "edges" 1 (G.num_edges g);
+  check Alcotest.bool "3->1 remains" true (G.mem_edge g 3 1);
+  check Alcotest.int "in-degree updated" 0 (G.in_degree g 3);
+  G.remove_node g 2;
+  check Alcotest.int "idempotent" 2 (G.num_nodes g)
+
+let test_self_loop () =
+  let g = of_edges [ (5, 5) ] in
+  check Alcotest.int "one edge" 1 (G.num_edges g);
+  check Alcotest.bool "cycle through" true (G.has_cycle_through g 5);
+  G.remove_node g 5;
+  check Alcotest.int "clean removal" 0 (G.num_edges g)
+
+let test_reaches () =
+  let g = of_edges [ (1, 2); (2, 3); (3, 4); (10, 11) ] in
+  check Alcotest.bool "path" true (G.reaches g 1 4);
+  check Alcotest.bool "no back path" false (G.reaches g 4 1);
+  check Alcotest.bool "self" true (G.reaches g 2 2);
+  check Alcotest.bool "disconnected" false (G.reaches g 1 11);
+  check Alcotest.bool "missing node" false (G.reaches g 1 99)
+
+let test_find_path () =
+  let g = of_edges [ (1, 2); (2, 3); (1, 3) ] in
+  (match G.find_path g 1 3 with
+  | Some (1 :: rest) ->
+    check Alcotest.int "ends at 3" 3 (List.nth rest (List.length rest - 1))
+  | _ -> Alcotest.fail "expected a path");
+  check (Alcotest.option (Alcotest.list Alcotest.int)) "self path" (Some [ 2 ])
+    (G.find_path g 2 2);
+  check (Alcotest.option (Alcotest.list Alcotest.int)) "no path" None
+    (G.find_path g 3 1)
+
+let test_deep_graph_no_stack_overflow () =
+  let g = G.create () in
+  for i = 0 to 99_999 do
+    ignore (G.add_edge g i (i + 1))
+  done;
+  check Alcotest.bool "long chain reachability" true (G.reaches g 0 100_000);
+  check Alcotest.int "sccs" 100_001 (List.length (Scc.compute g))
+
+let test_scc_basic () =
+  let g = of_edges [ (1, 2); (2, 3); (3, 1); (3, 4); (4, 5); (5, 4) ] in
+  let sccs = Scc.compute g in
+  let sizes = List.sort compare (List.map List.length sccs) in
+  check (Alcotest.list Alcotest.int) "component sizes" [ 2; 3 ] sizes;
+  check Alcotest.bool "cyclic" false (Scc.is_acyclic g);
+  check Alcotest.int "nontrivial" 2 (List.length (Scc.nontrivial g))
+
+let test_scc_topological_order () =
+  let g = of_edges [ (1, 2); (2, 3) ] in
+  match Scc.compute g with
+  | [ [ 1 ]; [ 2 ]; [ 3 ] ] -> ()
+  | other ->
+    Alcotest.failf "expected source-first order, got %d components"
+      (List.length other)
+
+let test_topo_sort () =
+  let g = of_edges [ (1, 2); (1, 3); (2, 4); (3, 4) ] in
+  (match Topo.sort g with
+  | None -> Alcotest.fail "expected a sort"
+  | Some order ->
+    let pos n = Option.get (List.find_index (Int.equal n) order) in
+    check Alcotest.bool "respects edges" true
+      (pos 1 < pos 2 && pos 1 < pos 3 && pos 2 < pos 4 && pos 3 < pos 4));
+  ignore (G.add_edge g 4 1);
+  check Alcotest.bool "cyclic" true (Topo.sort g = None)
+
+let test_find_cycle () =
+  let g = of_edges [ (1, 2); (2, 3); (3, 1); (0, 1) ] in
+  match Topo.find_cycle g with
+  | None -> Alcotest.fail "expected a cycle"
+  | Some cycle ->
+    check Alcotest.int "length" 3 (List.length cycle);
+    (* each consecutive pair (and the wrap-around) must be an edge *)
+    let arr = Array.of_list cycle in
+    Array.iteri
+      (fun i u ->
+        let v = arr.((i + 1) mod Array.length arr) in
+        check Alcotest.bool "edge" true (G.mem_edge g u v))
+      arr
+
+let test_find_cycle_self_loop () =
+  let g = of_edges [ (7, 7) ] in
+  check
+    (Alcotest.option (Alcotest.list Alcotest.int))
+    "self loop" (Some [ 7 ]) (Topo.find_cycle g)
+
+let test_copy () =
+  let g = of_edges [ (1, 2) ] in
+  let g' = G.copy g in
+  ignore (G.add_edge g' 2 1);
+  check Alcotest.int "copy isolated" 1 (G.num_edges g);
+  check Alcotest.int "copy grew" 2 (G.num_edges g')
+
+(* Random-graph properties. *)
+
+let arb_graph =
+  QCheck.make
+    ~print:(fun edges ->
+      String.concat ";" (List.map (fun (u, v) -> Printf.sprintf "%d->%d" u v) edges))
+    (fun rs ->
+      let n = 2 + Random.State.int rs 10 in
+      let m = Random.State.int rs 25 in
+      List.init m (fun _ -> (Random.State.int rs n, Random.State.int rs n)))
+
+let prop_scc_partition =
+  QCheck.Test.make ~name:"SCCs partition the nodes" ~count:200 arb_graph
+    (fun edges ->
+      let g = of_edges edges in
+      let sccs = Scc.compute g in
+      let all = List.concat sccs in
+      List.length all = G.num_nodes g
+      && List.sort_uniq compare all = List.sort compare all)
+
+let prop_acyclic_iff_topo =
+  QCheck.Test.make ~name:"acyclic iff topo sort exists" ~count:200 arb_graph
+    (fun edges ->
+      let g = of_edges edges in
+      Scc.is_acyclic g = Option.is_some (Topo.sort g))
+
+let prop_cycle_is_real =
+  QCheck.Test.make ~name:"find_cycle returns a genuine cycle" ~count:200
+    arb_graph
+    (fun edges ->
+      let g = of_edges edges in
+      match Topo.find_cycle g with
+      | None -> Scc.is_acyclic g
+      | Some cycle ->
+        cycle <> []
+        &&
+        let arr = Array.of_list cycle in
+        Array.for_all (fun x -> x = true)
+          (Array.mapi
+             (fun i u -> G.mem_edge g u arr.((i + 1) mod Array.length arr))
+             arr))
+
+let prop_reaches_transitive =
+  QCheck.Test.make ~name:"reachability is transitive" ~count:100 arb_graph
+    (fun edges ->
+      let g = of_edges edges in
+      let nodes = G.nodes g in
+      List.for_all
+        (fun a ->
+          List.for_all
+            (fun b ->
+              List.for_all
+                (fun c ->
+                  not (G.reaches g a b && G.reaches g b c) || G.reaches g a c)
+                nodes)
+            nodes)
+        nodes)
+
+let suite =
+  ( "digraph",
+    [
+      Alcotest.test_case "nodes and edges" `Quick test_nodes_edges;
+      Alcotest.test_case "remove edge" `Quick test_remove_edge;
+      Alcotest.test_case "remove node" `Quick test_remove_node;
+      Alcotest.test_case "self loop" `Quick test_self_loop;
+      Alcotest.test_case "reaches" `Quick test_reaches;
+      Alcotest.test_case "find_path" `Quick test_find_path;
+      Alcotest.test_case "deep graph" `Quick test_deep_graph_no_stack_overflow;
+      Alcotest.test_case "scc basic" `Quick test_scc_basic;
+      Alcotest.test_case "scc order" `Quick test_scc_topological_order;
+      Alcotest.test_case "topo sort" `Quick test_topo_sort;
+      Alcotest.test_case "find cycle" `Quick test_find_cycle;
+      Alcotest.test_case "self-loop cycle" `Quick test_find_cycle_self_loop;
+      Alcotest.test_case "copy" `Quick test_copy;
+    ]
+    @ Helpers.qcheck_tests
+        [
+          prop_scc_partition;
+          prop_acyclic_iff_topo;
+          prop_cycle_is_real;
+          prop_reaches_transitive;
+        ] )

@@ -1,0 +1,192 @@
+(* Workload generator tests: determinism, well-formedness, verdict plans,
+   shapes, and the benchmark profiles. *)
+
+open Traces
+
+let check = Alcotest.check
+
+let small cfg = { cfg with Workloads.Generator.events = 1_500; vars = 900 }
+
+let test_deterministic () =
+  let cfg = small Workloads.Generator.default in
+  let a = Workloads.Generator.generate cfg in
+  let b = Workloads.Generator.generate cfg in
+  Alcotest.check Helpers.trace_testable "same seed, same trace" a b;
+  let c =
+    Workloads.Generator.generate { cfg with Workloads.Generator.seed = 99L }
+  in
+  check Alcotest.bool "different seed, different trace" false
+    (Trace.to_list a = Trace.to_list c)
+
+let test_atomic_plans_are_serializable () =
+  List.iter
+    (fun shape ->
+      let cfg =
+        {
+          (small Workloads.Generator.default) with
+          Workloads.Generator.shape;
+          threads = 5;
+        }
+      in
+      let tr = Workloads.Generator.generate cfg in
+      check Alcotest.bool "oracle agrees" false (Helpers.reference_violating tr);
+      check Alcotest.bool "aerodrome agrees" false
+        (Helpers.verdict (module Aerodrome.Opt) tr))
+    [ Workloads.Generator.Independent; Workloads.Generator.Anchored ]
+
+let test_violate_plans_are_violating () =
+  List.iter
+    (fun shape ->
+      let cfg =
+        {
+          (small Workloads.Generator.default) with
+          Workloads.Generator.shape;
+          threads = 5;
+          plan = Workloads.Generator.Violate_at 0.5;
+        }
+      in
+      let tr = Workloads.Generator.generate cfg in
+      check Alcotest.bool "oracle sees the violation" true
+        (Helpers.reference_violating tr);
+      check Alcotest.bool "velodrome sees it" true
+        (Helpers.verdict (module Velodrome.Online) tr);
+      check Alcotest.bool "aerodrome sees it" true
+        (Helpers.verdict (module Aerodrome.Opt) tr))
+    [ Workloads.Generator.Independent; Workloads.Generator.Anchored ]
+
+let test_violation_position () =
+  let cfg =
+    {
+      (small Workloads.Generator.default) with
+      Workloads.Generator.plan = Workloads.Generator.Violate_at 0.5;
+      events = 4_000;
+      vars = 2_000;
+    }
+  in
+  let tr = Workloads.Generator.generate cfg in
+  match Helpers.violation_index (module Velodrome.Online) tr with
+  | None -> Alcotest.fail "expected a violation"
+  | Some i ->
+    let frac = float_of_int i /. float_of_int (Trace.length tr) in
+    check Alcotest.bool "within [0.4, 0.9] of the trace" true
+      (frac > 0.4 && frac < 0.9)
+
+let test_all_transactions_complete () =
+  let tr =
+    Workloads.Generator.generate
+      (small { Workloads.Generator.default with threads = 6 })
+  in
+  List.iter
+    (fun (t : Transactions.t) ->
+      check Alcotest.bool "completed" true t.completed)
+    (Transactions.of_trace tr)
+
+let test_event_budget_respected () =
+  let cfg = { Workloads.Generator.default with events = 5_000; vars = 2_000 } in
+  let tr = Workloads.Generator.generate cfg in
+  let n = Trace.length tr in
+  check Alcotest.bool "close to target" true (n >= 5_000 && n < 5_600)
+
+let test_validation () =
+  let expect_invalid cfg =
+    match Workloads.Generator.generate cfg with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  expect_invalid { Workloads.Generator.default with threads = 1 };
+  expect_invalid
+    { Workloads.Generator.default with shape = Workloads.Generator.Anchored; threads = 3 };
+  expect_invalid { Workloads.Generator.default with vars = 4 };
+  expect_invalid { Workloads.Generator.default with events = 10 };
+  expect_invalid
+    { Workloads.Generator.default with plan = Workloads.Generator.Violate_at 1.5 }
+
+let test_scaling_lengths () =
+  let pairs =
+    Workloads.Generator.scaling
+      ~config:(small Workloads.Generator.default)
+      [ 200; 400 ]
+  in
+  match pairs with
+  | [ (200, a); (400, b) ] ->
+    check Alcotest.bool "ordered lengths" true (Trace.length a < Trace.length b)
+  | _ -> Alcotest.fail "expected two sizes"
+
+let test_rng_determinism () =
+  let a = Workloads.Rng.create 42L and b = Workloads.Rng.create 42L in
+  let xs = List.init 50 (fun _ -> Workloads.Rng.int a 1000) in
+  let ys = List.init 50 (fun _ -> Workloads.Rng.int b 1000) in
+  check (Alcotest.list Alcotest.int) "same stream" xs ys
+
+let test_rng_bounds () =
+  let g = Workloads.Rng.create 7L in
+  for _ = 1 to 1000 do
+    let v = Workloads.Rng.int g 7 in
+    check Alcotest.bool "in range" true (v >= 0 && v < 7);
+    let r = Workloads.Rng.range g 3 9 in
+    check Alcotest.bool "range" true (r >= 3 && r <= 9);
+    let f = Workloads.Rng.float g 2.0 in
+    check Alcotest.bool "float" true (f >= 0.0 && f < 2.0)
+  done;
+  check Alcotest.bool "chance extremes" true
+    (Workloads.Rng.chance g 1.0 && not (Workloads.Rng.chance g 0.0))
+
+let test_rng_distribution () =
+  let g = Workloads.Rng.create 11L in
+  let counts = Array.make 4 0 in
+  for _ = 1 to 4000 do
+    counts.(Workloads.Rng.int g 4) <- counts.(Workloads.Rng.int g 4) + 1
+  done;
+  Array.iter
+    (fun c -> check Alcotest.bool "roughly uniform" true (c > 600 && c < 1400))
+    counts
+
+let test_profiles_valid () =
+  (* every profile must generate (at small scale) a well-formed trace whose
+     verdict matches its plan *)
+  List.iter
+    (fun (p : Workloads.Profile.t) ->
+      let tr = Workloads.Profile.generate ~scale:0.02 p in
+      check Alcotest.bool (p.name ^ " wellformed") true
+        (Wellformed.is_wellformed tr))
+    Workloads.Benchmarks.all
+
+let test_profiles_lookup () =
+  check Alcotest.bool "find avrora" true
+    (Option.is_some (Workloads.Benchmarks.find "avrora"));
+  check Alcotest.bool "find nothing" true
+    (Option.is_none (Workloads.Benchmarks.find "nope"));
+  check Alcotest.int "table 1 size" 14 (List.length Workloads.Benchmarks.table1);
+  check Alcotest.int "table 2 size" 7 (List.length Workloads.Benchmarks.table2)
+
+let test_profile_scaled () =
+  match Workloads.Benchmarks.find "philo" with
+  | None -> Alcotest.fail "philo missing"
+  | Some p ->
+    let cfg = Workloads.Profile.scaled p 2.0 in
+    check Alcotest.int "double events" (2 * p.config.events)
+      cfg.Workloads.Generator.events;
+    check Alcotest.bool "expected verdict flag" false
+      (Workloads.Profile.expected_violating p)
+
+let suite =
+  ( "generator",
+    [
+      Alcotest.test_case "deterministic" `Quick test_deterministic;
+      Alcotest.test_case "atomic plans serializable" `Quick
+        test_atomic_plans_are_serializable;
+      Alcotest.test_case "violate plans violating" `Quick
+        test_violate_plans_are_violating;
+      Alcotest.test_case "violation position" `Quick test_violation_position;
+      Alcotest.test_case "transactions complete" `Quick
+        test_all_transactions_complete;
+      Alcotest.test_case "event budget" `Quick test_event_budget_respected;
+      Alcotest.test_case "config validation" `Quick test_validation;
+      Alcotest.test_case "scaling" `Quick test_scaling_lengths;
+      Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+      Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
+      Alcotest.test_case "rng distribution" `Quick test_rng_distribution;
+      Alcotest.test_case "profiles generate" `Quick test_profiles_valid;
+      Alcotest.test_case "profiles lookup" `Quick test_profiles_lookup;
+      Alcotest.test_case "profile scaling" `Quick test_profile_scaled;
+    ] )

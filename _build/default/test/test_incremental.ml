@@ -1,0 +1,128 @@
+(* Pearce–Kelly incremental cycle detection. *)
+
+module I = Digraphs.Incremental
+module G = Digraphs.Digraph
+
+let check = Alcotest.check
+
+let test_forward_edges () =
+  let g = I.create () in
+  check Alcotest.bool "added" true (I.add_edge g 0 1 = `Added);
+  check Alcotest.bool "added2" true (I.add_edge g 1 2 = `Added);
+  check Alcotest.bool "exists" true (I.add_edge g 0 1 = `Exists);
+  check Alcotest.int "edges" 2 (I.num_edges g);
+  check Alcotest.int "nodes" 3 (I.num_nodes g);
+  check Alcotest.bool "order valid" true (I.is_valid_order g)
+
+let test_back_edge_reorder () =
+  let g = I.create () in
+  (* create nodes in an order that makes 2 -> 0 a back edge *)
+  I.add_node g 0;
+  I.add_node g 1;
+  I.add_node g 2;
+  check Alcotest.bool "back edge ok" true (I.add_edge g 2 0 = `Added);
+  check Alcotest.bool "reordered" true (I.order_index g 2 < I.order_index g 0);
+  check Alcotest.bool "order valid" true (I.is_valid_order g)
+
+let test_cycle_detected () =
+  let g = I.create () in
+  ignore (I.add_edge g 0 1);
+  ignore (I.add_edge g 1 2);
+  (match I.add_edge g 2 0 with
+  | `Cycle path ->
+    check Alcotest.bool "path starts at target" true (List.hd path = 0);
+    check Alcotest.bool "path ends at source" true
+      (List.nth path (List.length path - 1) = 2);
+    (* consecutive path elements are edges *)
+    let rec pairs = function
+      | a :: (b :: _ as rest) ->
+        check Alcotest.bool "edge" true (I.mem_edge g a b);
+        pairs rest
+      | _ -> ()
+    in
+    pairs path
+  | _ -> Alcotest.fail "expected a cycle");
+  (* the offending edge was not inserted *)
+  check Alcotest.bool "edge rejected" false (I.mem_edge g 2 0);
+  check Alcotest.bool "order still valid" true (I.is_valid_order g)
+
+let test_self_loop () =
+  let g = I.create () in
+  check Alcotest.bool "self" true (I.add_edge g 3 3 = `Cycle [ 3 ])
+
+let test_remove_node () =
+  let g = I.create () in
+  ignore (I.add_edge g 0 1);
+  ignore (I.add_edge g 1 2);
+  I.remove_node g 1;
+  check Alcotest.int "nodes" 2 (I.num_nodes g);
+  check Alcotest.int "edges" 0 (I.num_edges g);
+  check Alcotest.bool "gone" false (I.mem_node g 1);
+  (* 2 -> 0 is now allowed: the old path through 1 is gone *)
+  check Alcotest.bool "edge after removal" true (I.add_edge g 2 0 = `Added);
+  check Alcotest.bool "order valid" true (I.is_valid_order g)
+
+let test_degrees () =
+  let g = I.create () in
+  ignore (I.add_edge g 0 2);
+  ignore (I.add_edge g 1 2);
+  check Alcotest.int "in" 2 (I.in_degree g 2);
+  check Alcotest.int "out" 1 (I.out_degree g 0);
+  check (Alcotest.list Alcotest.int) "succs" [ 2 ] (I.succs g 0)
+
+let test_growth () =
+  let g = I.create ~initial_capacity:2 () in
+  for i = 0 to 999 do
+    ignore (I.add_edge g i (i + 1))
+  done;
+  check Alcotest.int "nodes" 1001 (I.num_nodes g);
+  check Alcotest.bool "long chain cycle" true
+    (match I.add_edge g 1000 0 with `Cycle _ -> true | _ -> false)
+
+(* Differential property: on a random edge stream, PK accepts exactly the
+   edges whose insertion keeps the DFS-checked graph acyclic, and the
+   maintained order stays valid throughout. *)
+let prop_matches_dfs =
+  QCheck.Test.make ~name:"PK agrees with DFS-checked insertion" ~count:300
+    (QCheck.make
+       ~print:(fun edges ->
+         String.concat ";"
+           (List.map (fun (u, v) -> Printf.sprintf "%d->%d" u v) edges))
+       (fun rs ->
+         let n = 2 + Random.State.int rs 8 in
+         List.init
+           (Random.State.int rs 30)
+           (fun _ -> (Random.State.int rs n, Random.State.int rs n))))
+    (fun edges ->
+      let pk = I.create () in
+      let dfs = G.create () in
+      List.for_all
+        (fun (u, v) ->
+          let dfs_cycle =
+            u = v
+            || (G.mem_node dfs u && G.mem_node dfs v && G.reaches dfs v u
+               && not (G.mem_edge dfs u v))
+          in
+          let pk_result = I.add_edge pk u v in
+          let agree =
+            match pk_result with
+            | `Cycle _ -> dfs_cycle
+            | `Added ->
+              (not dfs_cycle) && G.add_edge dfs u v
+            | `Exists -> G.mem_edge dfs u v
+          in
+          agree && I.is_valid_order pk)
+        edges)
+
+let suite =
+  ( "incremental",
+    [
+      Alcotest.test_case "forward edges" `Quick test_forward_edges;
+      Alcotest.test_case "back edge reorder" `Quick test_back_edge_reorder;
+      Alcotest.test_case "cycle detected" `Quick test_cycle_detected;
+      Alcotest.test_case "self loop" `Quick test_self_loop;
+      Alcotest.test_case "remove node" `Quick test_remove_node;
+      Alcotest.test_case "degrees" `Quick test_degrees;
+      Alcotest.test_case "growth" `Quick test_growth;
+    ]
+    @ Helpers.qcheck_tests [ prop_matches_dfs ] )

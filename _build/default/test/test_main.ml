@@ -1,0 +1,20 @@
+let () =
+  Alcotest.run "aerodrome"
+    [
+      Test_vclock.suite;
+      Test_trace.suite;
+      Test_parser.suite;
+      Test_wellformed.suite;
+      Test_transform.suite;
+      Test_binfmt.suite;
+      Test_digraph.suite;
+      Test_incremental.suite;
+      Test_paper_traces.suite;
+      Test_chb.suite;
+      Test_checkers.suite;
+      Test_monitor.suite;
+      Test_velodrome.suite;
+      Test_generator.suite;
+      Test_analysis.suite;
+      Test_edge_cases.suite;
+    ]

@@ -1,0 +1,111 @@
+(* The high-level Monitor wrapper. *)
+
+open Traces
+
+let check = Alcotest.check
+
+let test_stats_serializable () =
+  let m = Aerodrome.Monitor.of_trace_domains Workloads.Scenarios.rho1 in
+  let r = Aerodrome.Monitor.observe_all m (Trace.to_seq Workloads.Scenarios.rho1) in
+  check Alcotest.bool "no violation" true (r = None);
+  check Alcotest.bool "not violated" false (Aerodrome.Monitor.violated m);
+  let s = Aerodrome.Monitor.stats m in
+  check Alcotest.int "events" 10 s.events;
+  check Alcotest.int "reads" 2 s.reads;
+  check Alcotest.int "writes" 2 s.writes;
+  check Alcotest.int "started" 3 s.transactions_started;
+  check Alcotest.int "completed" 3 s.transactions_completed;
+  check Alcotest.int "active" 0 s.active_transactions
+
+let test_violation_report () =
+  let fired = ref 0 in
+  let m =
+    Aerodrome.Monitor.create ~threads:2 ~locks:0 ~vars:2
+      ~on_violation:(fun _ -> incr fired)
+      ()
+  in
+  match Aerodrome.Monitor.observe_all m (Trace.to_seq Workloads.Scenarios.rho2) with
+  | None -> Alcotest.fail "expected a violation"
+  | Some r ->
+    check Alcotest.int "callback fired once" 1 !fired;
+    check Alcotest.int "at e6" 6 (r.violation.Aerodrome.Violation.index + 1);
+    check Alcotest.string "thread name" "T0" r.thread_name;
+    check Alcotest.bool "description" true (String.length r.description > 0);
+    check Alcotest.int "stats at detection" 6 r.stats_at_detection.events;
+    check Alcotest.bool "violated" true (Aerodrome.Monitor.violated m);
+    check Alcotest.bool "report_to_string" true
+      (String.length (Aerodrome.Monitor.report_to_string r) > 0)
+
+let test_keeps_counting_after_violation () =
+  let m = Aerodrome.Monitor.create ~threads:2 ~locks:0 ~vars:2 () in
+  Trace.iter (fun e -> ignore (Aerodrome.Monitor.observe m e)) Workloads.Scenarios.rho2;
+  let s = Aerodrome.Monitor.stats m in
+  check Alcotest.int "all events counted" 8 s.events;
+  (* the stored report is the first one *)
+  match Aerodrome.Monitor.violation m with
+  | Some r -> check Alcotest.int "first report kept" 6 (r.violation.index + 1)
+  | None -> Alcotest.fail "expected a stored report"
+
+let test_symbol_names () =
+  let symbols : Trace.Symbols.t =
+    { threads = [| "ui"; "db" |]; locks = [||]; vars = [| "count"; "total" |] }
+  in
+  let m = Aerodrome.Monitor.create ~symbols ~threads:2 ~locks:0 ~vars:2 () in
+  match Aerodrome.Monitor.observe_all m (Trace.to_seq Workloads.Scenarios.rho2) with
+  | None -> Alcotest.fail "expected a violation"
+  | Some r ->
+    check Alcotest.string "named thread" "ui" r.thread_name;
+    check Alcotest.bool "named variable in description" true
+      (let s = r.description in
+       let n = String.length s and m = String.length "total" in
+       let rec go i = i + m <= n && (String.sub s i m = "total" || go (i + 1)) in
+       go 0)
+
+let test_alternate_checker () =
+  let m =
+    Aerodrome.Monitor.of_trace_domains
+      ~checker:(module Velodrome.Online : Aerodrome.Checker.S)
+      Workloads.Scenarios.rho2
+  in
+  match Aerodrome.Monitor.observe_all m (Trace.to_seq Workloads.Scenarios.rho2) with
+  | Some r -> (
+    match r.violation.Aerodrome.Violation.site with
+    | Aerodrome.Violation.Graph_cycle _ -> ()
+    | _ -> Alcotest.fail "expected a velodrome witness")
+  | None -> Alcotest.fail "expected a violation"
+
+let test_pp_stats () =
+  let m = Aerodrome.Monitor.create ~threads:1 ~locks:0 ~vars:1 () in
+  ignore (Aerodrome.Monitor.observe m (Event.begin_ 0));
+  ignore (Aerodrome.Monitor.observe m (Event.write 0 0));
+  let s = Format.asprintf "%a" Aerodrome.Monitor.pp_stats (Aerodrome.Monitor.stats m) in
+  check Alcotest.string "render" "2 events (0 reads, 1 writes, 0 sync); 1 transactions (0 completed, 1 active)" s
+
+let prop_stats_match_metainfo =
+  QCheck.Test.make ~name:"monitor statistics agree with Metainfo" ~count:100
+    (Helpers.arb_trace ~threads:4 ~locks:2 ~vars:3 ~max_len:80 ())
+    (fun tr ->
+      let m = Aerodrome.Monitor.of_trace_domains tr in
+      Trace.iter (fun e -> ignore (Aerodrome.Monitor.observe m e)) tr;
+      let s = Aerodrome.Monitor.stats m in
+      let mi = Analysis.Metainfo.analyze tr in
+      s.events = mi.Analysis.Metainfo.events
+      && s.reads = mi.Analysis.Metainfo.reads
+      && s.writes = mi.Analysis.Metainfo.writes
+      && s.transactions_started = mi.Analysis.Metainfo.transactions
+      && s.transactions_completed = mi.Analysis.Metainfo.ends
+      && s.syncs
+         = mi.Analysis.Metainfo.acquires + mi.Analysis.Metainfo.releases
+           + mi.Analysis.Metainfo.forks + mi.Analysis.Metainfo.joins)
+
+let suite =
+  ( "monitor",
+    [
+      Alcotest.test_case "stats on serializable trace" `Quick test_stats_serializable;
+      Alcotest.test_case "violation report" `Quick test_violation_report;
+      Alcotest.test_case "keeps counting" `Quick test_keeps_counting_after_violation;
+      Alcotest.test_case "symbolic names" `Quick test_symbol_names;
+      Alcotest.test_case "alternate checker" `Quick test_alternate_checker;
+      Alcotest.test_case "pp stats" `Quick test_pp_stats;
+    ]
+    @ Helpers.qcheck_tests [ prop_stats_match_metainfo ] )

@@ -1,0 +1,128 @@
+(* Parser / printer tests. *)
+
+open Traces
+
+let check = Alcotest.check
+
+let parse s =
+  match Parser.parse_string s with
+  | Ok tr -> tr
+  | Error e -> Alcotest.failf "unexpected parse error: %a" Parser.pp_error e
+
+let test_basic () =
+  let tr = parse "t1|begin\nt1|w(x)\nt2|r(x)\nt1|end\n" in
+  check Alcotest.int "events" 4 (Trace.length tr);
+  check Alcotest.int "threads" 2 (Trace.threads tr);
+  check Alcotest.int "vars" 1 (Trace.vars tr);
+  check Alcotest.bool "first is begin" true
+    (Event.equal (Trace.get tr 0) (Event.begin_ 0))
+
+let test_all_ops () =
+  let tr =
+    parse
+      "main|fork(w)\nw|begin\nw|acq(l)\nw|r(x)\nw|w(x)\nw|rel(l)\nw|end\nmain|join(w)\n"
+  in
+  check Alcotest.int "events" 8 (Trace.length tr);
+  check Alcotest.int "locks" 1 (Trace.locks tr);
+  let kinds =
+    Trace.fold
+      (fun acc (e : Event.t) ->
+        acc
+        ^
+        match e.op with
+        | Event.Fork _ -> "f"
+        | Event.Begin -> "b"
+        | Event.Acquire _ -> "a"
+        | Event.Read _ -> "r"
+        | Event.Write _ -> "w"
+        | Event.Release _ -> "l"
+        | Event.End -> "e"
+        | Event.Join _ -> "j")
+      "" tr
+  in
+  check Alcotest.string "order" "fbarwlej" kinds
+
+let test_aliases_and_extras () =
+  let tr =
+    parse
+      "# a comment\n\nt1|read(x)|42\nt1|write(x)|43\nt1|lock(m)\nt1|unlock(m)\nt1|b\nt1|e\n"
+  in
+  check Alcotest.int "events" 6 (Trace.length tr)
+
+let test_symbols_preserved () =
+  let tr = parse "alpha|w(count)\nbeta|r(count)\n" in
+  match Trace.symbols tr with
+  | None -> Alcotest.fail "expected symbols"
+  | Some s ->
+    check Alcotest.string "thread name" "alpha" (Trace.Symbols.thread s (Ids.Tid.of_int 0));
+    check Alcotest.string "var name" "count" (Trace.Symbols.var s (Ids.Vid.of_int 0))
+
+let test_errors () =
+  let expect_err s =
+    match Parser.parse_string s with
+    | Ok _ -> Alcotest.failf "expected error for %S" s
+    | Error e -> e
+  in
+  let e = expect_err "t1\n" in
+  check Alcotest.int "line" 1 e.Parser.line;
+  ignore (expect_err "t1|frobnicate(x)\n");
+  ignore (expect_err "t1|r(\n");
+  ignore (expect_err "t1|r()\n");
+  ignore (expect_err "|r(x)\n");
+  ignore (expect_err "t 1|r(x)\n")
+
+(* Parsing re-interns ids densely in order of first appearance, so a
+   print/parse cycle renames ids; after one such cycle the rendering is a
+   fixed point, and the renaming preserves verdicts. *)
+let test_roundtrip_scenarios () =
+  List.iter
+    (fun (name, tr, expected) ->
+      let tr' = Parser.parse_string_exn (Parser.to_string tr) in
+      Alcotest.check Alcotest.string (name ^ ": printing is a fixed point")
+        (Parser.to_string tr') (Parser.to_string (Parser.parse_string_exn (Parser.to_string tr')));
+      Alcotest.check Alcotest.int (name ^ ": same length") (Trace.length tr)
+        (Trace.length tr');
+      Alcotest.check Alcotest.bool (name ^ ": verdict preserved")
+        (expected = `Violating)
+        (Helpers.verdict (module Aerodrome.Opt) tr'))
+    Workloads.Scenarios.all
+
+let test_file_io () =
+  let path = Filename.temp_file "aerodrome" ".std" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Parser.to_file path Workloads.Scenarios.rho4;
+      let tr = Parser.parse_file_exn path in
+      Alcotest.check Alcotest.string "file roundtrip"
+        (Parser.to_string Workloads.Scenarios.rho4)
+        (Parser.to_string tr))
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"print/parse/print is a fixed point" ~count:100
+    (Helpers.arb_trace ~threads:4 ~locks:2 ~vars:4 ~max_len:80 ())
+    (fun tr ->
+      let once = Parser.to_string (Parser.parse_string_exn (Parser.to_string tr)) in
+      let twice = Parser.to_string (Parser.parse_string_exn once) in
+      once = twice)
+
+let prop_roundtrip_preserves_verdict =
+  QCheck.Test.make ~name:"id renaming preserves the verdict" ~count:100
+    (Helpers.arb_trace ~threads:4 ~locks:2 ~vars:4 ~max_len:80 ())
+    (fun tr ->
+      let tr' = Parser.parse_string_exn (Parser.to_string tr) in
+      Helpers.verdict (module Aerodrome.Opt) tr
+      = Helpers.verdict (module Aerodrome.Opt) tr')
+
+let suite =
+  ( "parser",
+    [
+      Alcotest.test_case "basic" `Quick test_basic;
+      Alcotest.test_case "all operations" `Quick test_all_ops;
+      Alcotest.test_case "aliases/comments/extras" `Quick test_aliases_and_extras;
+      Alcotest.test_case "symbols" `Quick test_symbols_preserved;
+      Alcotest.test_case "errors" `Quick test_errors;
+      Alcotest.test_case "scenario roundtrips" `Quick test_roundtrip_scenarios;
+      Alcotest.test_case "file io" `Quick test_file_io;
+    ]
+    @ Helpers.qcheck_tests [ prop_roundtrip; prop_roundtrip_preserves_verdict ] )

@@ -1,0 +1,183 @@
+(* Tests for ids, events and the trace container. *)
+
+open Traces
+
+let check = Alcotest.check
+
+(* --- Ids --- *)
+
+let test_interner () =
+  let i = Ids.Interner.create () in
+  check Alcotest.int "first" 0 (Ids.Interner.intern i "main");
+  check Alcotest.int "second" 1 (Ids.Interner.intern i "worker");
+  check Alcotest.int "repeat" 0 (Ids.Interner.intern i "main");
+  check Alcotest.int "count" 2 (Ids.Interner.count i);
+  check Alcotest.string "name" "worker" (Ids.Interner.name i 1);
+  check (Alcotest.option Alcotest.int) "find" (Some 1) (Ids.Interner.find i "worker");
+  check (Alcotest.option Alcotest.int) "find missing" None (Ids.Interner.find i "nope");
+  Alcotest.check_raises "out of range" (Invalid_argument "Interner.name: out of range")
+    (fun () -> ignore (Ids.Interner.name i 7))
+
+let test_interner_growth () =
+  let i = Ids.Interner.create () in
+  for k = 0 to 99 do
+    ignore (Ids.Interner.intern i (Printf.sprintf "name%d" k))
+  done;
+  check Alcotest.int "count" 100 (Ids.Interner.count i);
+  check Alcotest.string "name99" "name99" (Ids.Interner.name i 99);
+  check Alcotest.int "names array" 100 (Array.length (Ids.Interner.names i))
+
+let test_id_modules () =
+  check Alcotest.string "tid pp" "T3" (Ids.Tid.to_string (Ids.Tid.of_int 3));
+  check Alcotest.string "lid pp" "L0" (Ids.Lid.to_string (Ids.Lid.of_int 0));
+  check Alcotest.string "vid pp" "V17" (Ids.Vid.to_string (Ids.Vid.of_int 17));
+  Alcotest.check_raises "negative id" (Invalid_argument "T id: negative")
+    (fun () -> ignore (Ids.Tid.of_int (-1)))
+
+(* --- Event conflicts --- *)
+
+let test_conflicts () =
+  let t f = check Alcotest.bool "conflicts" true f
+  and f g = check Alcotest.bool "no conflict" false g in
+  t (Event.conflicts (Event.read 0 0) (Event.write 0 1));  (* same thread *)
+  t (Event.conflicts (Event.write 0 5) (Event.read 1 5));  (* w-r *)
+  t (Event.conflicts (Event.read 0 5) (Event.write 1 5));  (* r-w *)
+  t (Event.conflicts (Event.write 0 5) (Event.write 1 5));  (* w-w *)
+  f (Event.conflicts (Event.read 0 5) (Event.read 1 5));  (* r-r *)
+  f (Event.conflicts (Event.write 0 5) (Event.write 1 6));  (* distinct vars *)
+  t (Event.conflicts (Event.release 0 2) (Event.acquire 1 2));
+  f (Event.conflicts (Event.acquire 0 2) (Event.release 1 2));  (* ordered pair semantics *)
+  f (Event.conflicts (Event.release 0 2) (Event.acquire 1 3));
+  t (Event.conflicts (Event.fork 0 1) (Event.read 1 0));
+  f (Event.conflicts (Event.fork 0 1) (Event.read 2 0));
+  t (Event.conflicts (Event.write 1 0) (Event.join 0 1));
+  f (Event.conflicts (Event.write 2 0) (Event.join 0 1))
+
+let test_event_classes () =
+  check Alcotest.bool "access" true (Event.is_access (Event.read 0 0));
+  check Alcotest.bool "sync" true (Event.is_sync (Event.acquire 0 0));
+  check Alcotest.bool "marker" true (Event.is_marker (Event.begin_ 0));
+  check Alcotest.bool "not access" false (Event.is_access (Event.end_ 0));
+  check Alcotest.string "pp" "⟨T1,w(V2)⟩" (Event.to_string (Event.write 1 2))
+
+(* --- Trace container --- *)
+
+let sample =
+  [ Event.begin_ 0; Event.write 0 4; Event.fork 0 2; Event.acquire 2 1; Event.release 2 1; Event.end_ 0 ]
+
+let test_domains () =
+  let tr = Trace.of_events sample in
+  check Alcotest.int "threads (fork target counted)" 3 (Trace.threads tr);
+  check Alcotest.int "locks" 2 (Trace.locks tr);
+  check Alcotest.int "vars" 5 (Trace.vars tr);
+  check Alcotest.int "length" 6 (Trace.length tr)
+
+let test_accessors () =
+  let tr = Trace.of_events sample in
+  check Alcotest.bool "get" true (Event.equal (Trace.get tr 1) (Event.write 0 4));
+  check Alcotest.int "fold" 6 (Trace.fold (fun n _ -> n + 1) 0 tr);
+  check Alcotest.int "to_list" 6 (List.length (Trace.to_list tr));
+  check Alcotest.int "to_seq" 6 (Seq.length (Trace.to_seq tr))
+
+let test_prefix_append () =
+  let tr = Trace.of_events sample in
+  let p = Trace.prefix tr 2 in
+  check Alcotest.int "prefix len" 2 (Trace.length p);
+  check Alcotest.int "prefix keeps domains" 3 (Trace.threads p);
+  Alcotest.check_raises "prefix range" (Invalid_argument "Trace.prefix: out of range")
+    (fun () -> ignore (Trace.prefix tr 7));
+  let ext = Trace.append p [ Event.read 5 9 ] in
+  check Alcotest.int "append grows domains" 6 (Trace.threads ext);
+  check Alcotest.int "append vars" 10 (Trace.vars ext)
+
+let test_concat () =
+  let tr = Trace.concat [ Trace.of_events [ Event.read 0 0 ]; Trace.of_events [ Event.write 1 1 ] ] in
+  check Alcotest.int "concat" 2 (Trace.length tr);
+  check Alcotest.int "empty" 0 (Trace.length Trace.empty)
+
+let test_builder () =
+  let b = Trace.Builder.create ~capacity:1 () in
+  Trace.Builder.begin_ b 0;
+  Trace.Builder.read b 0 ~var:3;
+  Trace.Builder.write b 0 ~var:3;
+  Trace.Builder.acquire b 1 ~lock:0;
+  Trace.Builder.release b 1 ~lock:0;
+  Trace.Builder.fork b 0 ~child:2;
+  Trace.Builder.join b 0 ~child:2;
+  Trace.Builder.end_ b 0;
+  check Alcotest.int "length" 8 (Trace.Builder.length b);
+  let tr1 = Trace.Builder.build b in
+  Trace.Builder.write b 1 ~var:9;
+  let tr2 = Trace.Builder.build b in
+  check Alcotest.int "snapshot isolated" 8 (Trace.length tr1);
+  check Alcotest.int "builder still usable" 9 (Trace.length tr2)
+
+(* --- Transactions --- *)
+
+let test_transactions_basic () =
+  let tr = Workloads.Scenarios.rho1 in
+  let txns = Transactions.of_trace tr in
+  check Alcotest.int "three transactions" 3 (List.length txns);
+  check Alcotest.int "count_blocks" 3 (Transactions.count_blocks tr);
+  List.iter
+    (fun (t : Transactions.t) ->
+      check Alcotest.bool "completed" true t.completed;
+      check Alcotest.bool "block" true (t.kind = Transactions.Block))
+    txns
+
+let test_transactions_partition () =
+  let tr = Workloads.Scenarios.unary_no_report in
+  let txns = Transactions.of_trace tr in
+  check Alcotest.int "unary each" 4 (List.length txns);
+  List.iter
+    (fun (t : Transactions.t) ->
+      check Alcotest.bool "unary" true (t.kind = Transactions.Unary))
+    txns;
+  let owners = Transactions.owner tr in
+  Array.iter (fun o -> check Alcotest.bool "owned" true (o >= 0)) owners
+
+let test_transactions_nested () =
+  let tr = Workloads.Scenarios.nested_ignored in
+  check Alcotest.int "outermost only" 2 (Transactions.count_blocks tr);
+  let txns = Transactions.of_trace tr in
+  check Alcotest.int "two blocks" 2 (List.length txns)
+
+let test_transactions_active () =
+  let tr =
+    Trace.of_events [ Event.begin_ 0; Event.write 0 0; Event.begin_ 1 ]
+  in
+  let txns = Transactions.of_trace tr in
+  check Alcotest.int "two" 2 (List.length txns);
+  List.iter
+    (fun (t : Transactions.t) ->
+      check Alcotest.bool "active" false t.completed)
+    txns
+
+let prop_owner_partitions =
+  QCheck.Test.make ~name:"transactions partition the trace" ~count:100
+    (Helpers.arb_trace ~complete:false ())
+    (fun tr ->
+      let owners = Transactions.owner tr in
+      let txns = Transactions.of_trace tr in
+      let total = List.fold_left (fun n (t : Transactions.t) -> n + List.length t.events) 0 txns in
+      total = Trace.length tr && Array.for_all (fun o -> o >= 0) owners)
+
+let suite =
+  ( "trace",
+    [
+      Alcotest.test_case "interner" `Quick test_interner;
+      Alcotest.test_case "interner growth" `Quick test_interner_growth;
+      Alcotest.test_case "id modules" `Quick test_id_modules;
+      Alcotest.test_case "conflicts" `Quick test_conflicts;
+      Alcotest.test_case "event classes" `Quick test_event_classes;
+      Alcotest.test_case "domains" `Quick test_domains;
+      Alcotest.test_case "accessors" `Quick test_accessors;
+      Alcotest.test_case "prefix/append" `Quick test_prefix_append;
+      Alcotest.test_case "concat/empty" `Quick test_concat;
+      Alcotest.test_case "builder" `Quick test_builder;
+      Alcotest.test_case "transactions: rho1" `Quick test_transactions_basic;
+      Alcotest.test_case "transactions: unary" `Quick test_transactions_partition;
+      Alcotest.test_case "transactions: nesting" `Quick test_transactions_nested;
+      Alcotest.test_case "transactions: active" `Quick test_transactions_active;
+    ]
+    @ Helpers.qcheck_tests [ prop_owner_partitions ] )

@@ -1,0 +1,181 @@
+(* Trace transformations: atomicity-specification filtering, projection,
+   compaction and windowing. *)
+
+open Traces
+
+let check = Alcotest.check
+
+let ops_string tr =
+  Trace.fold
+    (fun acc (e : Event.t) ->
+      acc
+      ^
+      match e.op with
+      | Event.Begin -> "["
+      | Event.End -> "]"
+      | Event.Read _ -> "r"
+      | Event.Write _ -> "w"
+      | Event.Acquire _ -> "a"
+      | Event.Release _ -> "l"
+      | Event.Fork _ -> "f"
+      | Event.Join _ -> "j")
+    "" tr
+
+let nested_begins tr =
+  let depth = Hashtbl.create 4 and nested = ref 0 in
+  Trace.iter
+    (fun (e : Event.t) ->
+      let t = Ids.Tid.to_int e.thread in
+      let d = Option.value ~default:0 (Hashtbl.find_opt depth t) in
+      match e.op with
+      | Event.Begin ->
+        if d > 0 then incr nested;
+        Hashtbl.replace depth t (d + 1)
+      | Event.End -> Hashtbl.replace depth t (max 0 (d - 1))
+      | _ -> ())
+    tr;
+  !nested
+
+(* Applying an empty spec to rho2 removes the violation: all accesses
+   become unary and unary transactions never cycle on their own. *)
+let test_empty_spec_removes_violation () =
+  let tr = Workloads.Scenarios.rho2 in
+  check Alcotest.bool "originally violating" true
+    (Helpers.verdict (module Aerodrome.Opt) tr);
+  let stripped = Transform.strip_markers tr in
+  check Alcotest.string "markers gone" "wrwr" (ops_string stripped);
+  check Alcotest.bool "now serializable" false
+    (Helpers.verdict (module Aerodrome.Opt) stripped);
+  check Alcotest.bool "oracle agrees" false (Helpers.reference_violating stripped)
+
+(* Partial specs on rho2.  Keeping only T1's block still violates: T2's
+   now-unary accesses chain through program order back into T1 — a cycle
+   through one real transaction and unary ones (Section 4.1.4's point that
+   unary transactions participate in cycles, they just never report).
+   Keeping only T2's block is serializable: the unary events of T1 are
+   both completed before anything could cycle back into them. *)
+let test_partial_spec () =
+  let tr = Workloads.Scenarios.rho2 in
+  let keep_thread n (t : Transactions.t) = Ids.Tid.to_int t.thread = n in
+  let keep_t1 = Transform.apply_spec ~keep:(keep_thread 0) tr in
+  check Alcotest.int "one block left" 1 (Transactions.count_blocks keep_t1);
+  check Alcotest.bool "T1-only spec still violating" true
+    (Helpers.verdict (module Aerodrome.Opt) keep_t1);
+  check Alcotest.bool "oracle agrees (T1)" true
+    (Helpers.reference_violating keep_t1);
+  let keep_t2 = Transform.apply_spec ~keep:(keep_thread 1) tr in
+  check Alcotest.bool "T2-only spec serializable" false
+    (Helpers.verdict (module Aerodrome.Opt) keep_t2);
+  check Alcotest.bool "oracle agrees (T2)" false
+    (Helpers.reference_violating keep_t2)
+
+(* Nested markers of kept transactions are dropped; the verdict of
+   nested_ignored is preserved (checkers ignored them anyway). *)
+let test_spec_flattens_nesting () =
+  let tr = Workloads.Scenarios.nested_ignored in
+  let all = Transform.apply_spec ~keep:(fun _ -> true) tr in
+  check Alcotest.int "no nested begins" 0 (nested_begins all);
+  check Alcotest.bool "still violating" true
+    (Helpers.verdict (module Aerodrome.Opt) all)
+
+(* Open transactions keep their begin. *)
+let test_spec_open_block () =
+  let tr = Trace.of_events [ Event.begin_ 0; Event.write 0 0 ] in
+  let kept = Transform.apply_spec ~keep:(fun _ -> true) tr in
+  check Alcotest.string "begin kept" "[w" (ops_string kept)
+
+let test_only_threads () =
+  let tr = Workloads.Scenarios.fork_join_serial in
+  let projected =
+    Transform.only_threads (fun t -> Ids.Tid.to_int t <> 2) tr
+  in
+  (* thread 2's block and the fork/join involving it are gone *)
+  check Alcotest.string "projection" "f[w]j" (ops_string projected);
+  check Alcotest.bool "wellformed" true (Wellformed.is_wellformed projected)
+
+let test_compact () =
+  (* sparse ids: threads 5 and 9, var 7, lock 3 *)
+  let tr =
+    Trace.of_events
+      [
+        Event.begin_ 5;
+        Event.acquire 5 3;
+        Event.write 5 7;
+        Event.release 5 3;
+        Event.end_ 5;
+        Event.read 9 7;
+      ]
+  in
+  check Alcotest.int "threads before" 10 (Trace.threads tr);
+  let c = Transform.compact tr in
+  check Alcotest.int "threads after" 2 (Trace.threads c);
+  check Alcotest.int "locks after" 1 (Trace.locks c);
+  check Alcotest.int "vars after" 1 (Trace.vars c);
+  check Alcotest.string "structure preserved" (ops_string tr) (ops_string c)
+
+let test_compact_preserves_verdict () =
+  List.iter
+    (fun (name, tr, expected) ->
+      check Alcotest.bool name
+        (expected = `Violating)
+        (Helpers.verdict (module Aerodrome.Opt) (Transform.compact tr)))
+    Workloads.Scenarios.all
+
+let test_window_repair () =
+  let tr = Workloads.Scenarios.rho4 in
+  (* window covering events 3..10 cuts T1's block in half *)
+  let w = Transform.limit_window 2 8 tr in
+  check Alcotest.bool "wellformed after repair" true (Wellformed.is_wellformed w);
+  (* full window is the identity modulo nothing to repair *)
+  let full = Transform.limit_window 0 (Trace.length tr) tr in
+  check Alcotest.string "identity" (ops_string tr) (ops_string full)
+
+let test_window_closes_locks () =
+  let tr =
+    Trace.of_events
+      [ Event.acquire 0 0; Event.write 0 1; Event.release 0 0; Event.read 1 1 ]
+  in
+  let w = Transform.limit_window 0 2 tr in
+  check Alcotest.bool "lock closed" true (Wellformed.is_wellformed w);
+  check Alcotest.string "release appended" "awl" (ops_string w)
+
+let prop_window_wellformed =
+  QCheck.Test.make ~name:"windows of well-formed traces repair cleanly"
+    ~count:200
+    (QCheck.pair
+       (Helpers.arb_trace ~threads:4 ~locks:2 ~vars:3 ~max_len:60 ())
+       (QCheck.pair QCheck.small_nat QCheck.small_nat))
+    (fun (tr, (a, b)) ->
+      let start = min a (Trace.length tr) in
+      let w = Transform.limit_window start b tr in
+      Wellformed.is_wellformed w)
+
+let prop_spec_weakens =
+  QCheck.Test.make
+    ~name:"dropping transactions from the spec never adds violations"
+    ~count:150
+    (Helpers.arb_trace ~threads:3 ~locks:2 ~vars:3 ~max_len:60 ())
+    (fun tr ->
+      (* keep an arbitrary half of the transactions *)
+      let filtered =
+        Transform.apply_spec ~keep:(fun t -> t.Transactions.id mod 2 = 0) tr
+      in
+      (not (Helpers.reference_violating filtered))
+      || Helpers.reference_violating tr)
+
+let suite =
+  ( "transform",
+    [
+      Alcotest.test_case "empty spec removes violation" `Quick
+        test_empty_spec_removes_violation;
+      Alcotest.test_case "partial spec" `Quick test_partial_spec;
+      Alcotest.test_case "spec flattens nesting" `Quick test_spec_flattens_nesting;
+      Alcotest.test_case "spec keeps open begins" `Quick test_spec_open_block;
+      Alcotest.test_case "thread projection" `Quick test_only_threads;
+      Alcotest.test_case "compact ids" `Quick test_compact;
+      Alcotest.test_case "compact preserves verdicts" `Quick
+        test_compact_preserves_verdict;
+      Alcotest.test_case "window repair" `Quick test_window_repair;
+      Alcotest.test_case "window closes locks" `Quick test_window_closes_locks;
+    ]
+    @ Helpers.qcheck_tests [ prop_window_wellformed; prop_spec_weakens ] )

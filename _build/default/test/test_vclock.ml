@@ -1,0 +1,180 @@
+(* Unit and property tests for the vector-clock substrate. *)
+
+module VC = Vclock.Vector_clock
+module VT = Vclock.Vtime
+
+let check = Alcotest.check
+let vt = Helpers.vtime
+
+(* --- Vector_clock unit tests --- *)
+
+let test_create () =
+  let v = VC.create 3 in
+  check Alcotest.int "dim" 3 (VC.dim v);
+  check Alcotest.bool "bottom" true (VC.is_bottom v);
+  check (Alcotest.list Alcotest.int) "components" [ 0; 0; 0 ] (VC.to_list v)
+
+let test_unit () =
+  let v = VC.unit 3 1 in
+  check (Alcotest.list Alcotest.int) "unit" [ 0; 1; 0 ] (VC.to_list v);
+  Alcotest.check_raises "out of range" (Invalid_argument "Vector_clock.unit: thread out of range")
+    (fun () -> ignore (VC.unit 2 5))
+
+let test_set_get_bump () =
+  let v = VC.create 3 in
+  VC.set v 0 7;
+  VC.bump v 0;
+  VC.bump v 2;
+  check Alcotest.int "set+bump" 8 (VC.get v 0);
+  check Alcotest.int "bump from zero" 1 (VC.get v 2);
+  Alcotest.check_raises "negative" (Invalid_argument "Vector_clock.set: negative component")
+    (fun () -> VC.set v 1 (-1))
+
+let test_join_into () =
+  let a = VC.of_list [ 1; 5; 0 ] and b = VC.of_list [ 3; 2; 0 ] in
+  VC.join_into ~into:a b;
+  check (Alcotest.list Alcotest.int) "join" [ 3; 5; 0 ] (VC.to_list a);
+  check (Alcotest.list Alcotest.int) "arg unchanged" [ 3; 2; 0 ] (VC.to_list b)
+
+let test_join_into_zeroed () =
+  let a = VC.of_list [ 1; 1; 1 ] and b = VC.of_list [ 9; 9; 9 ] in
+  VC.join_into_zeroed ~into:a b 1;
+  check (Alcotest.list Alcotest.int) "zeroed join" [ 9; 1; 9 ] (VC.to_list a)
+
+let test_assign () =
+  let a = VC.create 3 and b = VC.of_list [ 4; 5; 6 ] in
+  VC.assign ~into:a b;
+  check (Alcotest.list Alcotest.int) "assign" [ 4; 5; 6 ] (VC.to_list a);
+  VC.assign_zeroed ~into:a b 2;
+  check (Alcotest.list Alcotest.int) "assign zeroed" [ 4; 5; 0 ] (VC.to_list a)
+
+let test_leq () =
+  let a = VC.of_list [ 1; 2; 3 ] and b = VC.of_list [ 1; 3; 3 ] in
+  check Alcotest.bool "a<=b" true (VC.leq a b);
+  check Alcotest.bool "b<=a" false (VC.leq b a);
+  check Alcotest.bool "refl" true (VC.leq a a);
+  Alcotest.check_raises "dim mismatch" (Invalid_argument "Vector_clock.leq: dimension mismatch")
+    (fun () -> ignore (VC.leq a (VC.create 2)))
+
+let test_equal_except () =
+  let a = VC.of_list [ 1; 2; 3 ] and b = VC.of_list [ 1; 9; 3 ] in
+  check Alcotest.bool "equal except 1" true (VC.equal_except a b 1);
+  check Alcotest.bool "not equal except 0" false (VC.equal_except a b 0);
+  check Alcotest.bool "equal" false (VC.equal a b)
+
+let test_copy_reset () =
+  let a = VC.of_list [ 1; 2 ] in
+  let b = VC.copy a in
+  VC.reset a;
+  check Alcotest.bool "reset" true (VC.is_bottom a);
+  check (Alcotest.list Alcotest.int) "copy unaffected" [ 1; 2 ] (VC.to_list b)
+
+let test_pp () =
+  check Alcotest.string "pp" "⟨1,2,3⟩" (VC.to_string (VC.of_list [ 1; 2; 3 ]))
+
+(* --- Vtime unit tests --- *)
+
+let test_vtime_basics () =
+  let v = VT.of_list [ 1; 2 ] in
+  check vt "set" (VT.of_list [ 1; 7 ]) (VT.set v 1 7);
+  check vt "original unchanged" (VT.of_list [ 1; 2 ]) v;
+  check vt "bump" (VT.of_list [ 2; 2 ]) (VT.bump v 0);
+  check vt "zeroed" (VT.of_list [ 0; 2 ]) (VT.zeroed v 0);
+  check vt "join" (VT.of_list [ 3; 2 ]) (VT.join v (VT.of_list [ 3; 0 ]))
+
+let test_vtime_orders () =
+  let a = VT.of_list [ 1; 0 ] and b = VT.of_list [ 0; 1 ] in
+  check Alcotest.bool "concurrent" true (VT.concurrent a b);
+  check Alcotest.bool "lt" true (VT.lt a (VT.of_list [ 2; 0 ]));
+  check Alcotest.bool "not lt self" false (VT.lt a a)
+
+let test_vtime_clock_conversion () =
+  let v = VT.of_list [ 3; 1; 4 ] in
+  check vt "roundtrip" v (VT.of_clock (VT.to_clock v))
+
+(* --- Properties --- *)
+
+let arb_vt dim =
+  QCheck.make
+    ~print:(fun v -> VT.to_string v)
+    (fun rs ->
+      VT.of_list (List.init dim (fun _ -> Random.State.int rs 8)))
+
+let prop_join_comm =
+  QCheck.Test.make ~name:"vtime join commutative" ~count:200
+    (QCheck.pair (arb_vt 4) (arb_vt 4))
+    (fun (a, b) -> VT.equal (VT.join a b) (VT.join b a))
+
+let prop_join_assoc =
+  QCheck.Test.make ~name:"vtime join associative" ~count:200
+    (QCheck.triple (arb_vt 4) (arb_vt 4) (arb_vt 4))
+    (fun (a, b, c) -> VT.equal (VT.join a (VT.join b c)) (VT.join (VT.join a b) c))
+
+let prop_join_idem =
+  QCheck.Test.make ~name:"vtime join idempotent" ~count:200 (arb_vt 4)
+    (fun a -> VT.equal (VT.join a a) a)
+
+let prop_join_upper_bound =
+  QCheck.Test.make ~name:"join is least upper bound" ~count:200
+    (QCheck.triple (arb_vt 4) (arb_vt 4) (arb_vt 4))
+    (fun (a, b, c) ->
+      let j = VT.join a b in
+      VT.leq a j && VT.leq b j
+      && ((not (VT.leq a c && VT.leq b c)) || VT.leq j c))
+
+let prop_leq_antisym =
+  QCheck.Test.make ~name:"leq antisymmetric" ~count:200
+    (QCheck.pair (arb_vt 4) (arb_vt 4))
+    (fun (a, b) -> (not (VT.leq a b && VT.leq b a)) || VT.equal a b)
+
+let prop_leq_trans =
+  QCheck.Test.make ~name:"leq transitive" ~count:200
+    (QCheck.triple (arb_vt 3) (arb_vt 3) (arb_vt 3))
+    (fun (a, b, c) -> (not (VT.leq a b && VT.leq b c)) || VT.leq a c)
+
+let prop_mutable_matches_persistent =
+  QCheck.Test.make ~name:"Vector_clock.join_into agrees with Vtime.join"
+    ~count:200
+    (QCheck.pair (arb_vt 5) (arb_vt 5))
+    (fun (a, b) ->
+      let ca = VT.to_clock a in
+      VC.join_into ~into:ca (VT.to_clock b);
+      VT.equal (VT.of_clock ca) (VT.join a b))
+
+let prop_zeroed_join_matches =
+  QCheck.Test.make ~name:"join_into_zeroed agrees with Vtime.zeroed + join"
+    ~count:200
+    (QCheck.pair (arb_vt 5) (arb_vt 5))
+    (fun (a, b) ->
+      let ca = VT.to_clock a in
+      VC.join_into_zeroed ~into:ca (VT.to_clock b) 2;
+      VT.equal (VT.of_clock ca) (VT.join a (VT.zeroed b 2)))
+
+let suite =
+  ( "vclock",
+    [
+      Alcotest.test_case "create/bottom" `Quick test_create;
+      Alcotest.test_case "unit" `Quick test_unit;
+      Alcotest.test_case "set/get/bump" `Quick test_set_get_bump;
+      Alcotest.test_case "join_into" `Quick test_join_into;
+      Alcotest.test_case "join_into_zeroed" `Quick test_join_into_zeroed;
+      Alcotest.test_case "assign" `Quick test_assign;
+      Alcotest.test_case "leq" `Quick test_leq;
+      Alcotest.test_case "equal_except" `Quick test_equal_except;
+      Alcotest.test_case "copy/reset" `Quick test_copy_reset;
+      Alcotest.test_case "pp" `Quick test_pp;
+      Alcotest.test_case "vtime basics" `Quick test_vtime_basics;
+      Alcotest.test_case "vtime orders" `Quick test_vtime_orders;
+      Alcotest.test_case "vtime<->clock" `Quick test_vtime_clock_conversion;
+    ]
+    @ Helpers.qcheck_tests
+        [
+          prop_join_comm;
+          prop_join_assoc;
+          prop_join_idem;
+          prop_join_upper_bound;
+          prop_leq_antisym;
+          prop_leq_trans;
+          prop_mutable_matches_persistent;
+          prop_zeroed_join_matches;
+        ] )

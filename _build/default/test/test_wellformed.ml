@@ -1,0 +1,133 @@
+(* Well-formedness checker tests. *)
+
+open Traces
+
+let check = Alcotest.check
+
+let errors ?allow_open_blocks ?allow_held_locks evs =
+  Wellformed.check ?allow_open_blocks ?allow_held_locks (Trace.of_events evs)
+
+let count = List.length
+
+let test_clean () =
+  List.iter
+    (fun (name, tr, _) ->
+      check Alcotest.int name 0 (count (Wellformed.check tr)))
+    Workloads.Scenarios.all
+
+let test_release_unheld () =
+  match errors [ Event.release 0 0 ] with
+  | [ Wellformed.Release_unheld { index = 0; _ } ] -> ()
+  | es -> Alcotest.failf "unexpected: %d errors" (count es)
+
+let test_release_other_holder () =
+  match errors [ Event.acquire 0 0; Event.release 1 0; Event.release 0 0 ] with
+  | [ Wellformed.Release_unheld { index = 1; _ } ] -> ()
+  | es -> Alcotest.failf "unexpected: %d errors" (count es)
+
+let test_acquire_held () =
+  match errors [ Event.acquire 0 0; Event.acquire 1 0 ] with
+  | [ Wellformed.Acquire_held_elsewhere { index = 1; _ };
+      Wellformed.Unreleased_lock _ ] -> ()
+  | es -> Alcotest.failf "unexpected: %d errors" (count es)
+
+let test_reentrant_ok () =
+  check Alcotest.int "reentrant" 0
+    (count
+       (errors
+          [ Event.acquire 0 0; Event.acquire 0 0; Event.release 0 0; Event.release 0 0 ]))
+
+let test_unreleased () =
+  (match errors [ Event.acquire 0 0 ] with
+  | [ Wellformed.Unreleased_lock _ ] -> ()
+  | es -> Alcotest.failf "unexpected: %d errors" (count es));
+  check Alcotest.int "allowed" 0
+    (count (errors ~allow_held_locks:true [ Event.acquire 0 0 ]))
+
+let test_end_without_begin () =
+  match errors [ Event.end_ 0 ] with
+  | [ Wellformed.End_without_begin { index = 0; _ } ] -> ()
+  | es -> Alcotest.failf "unexpected: %d errors" (count es)
+
+let test_open_block_allowed () =
+  check Alcotest.int "open ok" 0 (count (errors [ Event.begin_ 0 ]))
+
+let test_fork_errors () =
+  (match errors [ Event.fork 0 0 ] with
+  | [ Wellformed.Fork_self _ ] -> ()
+  | es -> Alcotest.failf "fork self: %d errors" (count es));
+  (match errors [ Event.read 1 0; Event.fork 0 1 ] with
+  | [ Wellformed.Fork_after_child_event { index = 1; _ } ] -> ()
+  | es -> Alcotest.failf "late fork: %d errors" (count es));
+  match errors [ Event.fork 0 1; Event.read 1 0; Event.fork 2 1 ] with
+  | [ Wellformed.Fork_after_child_event _; Wellformed.Double_fork _ ] -> ()
+  | es -> Alcotest.failf "double fork: %d errors" (count es)
+
+let test_join_errors () =
+  (match errors [ Event.join 0 0 ] with
+  | [ Wellformed.Join_self _ ] -> ()
+  | es -> Alcotest.failf "join self: %d errors" (count es));
+  match errors [ Event.fork 0 1; Event.join 0 1; Event.read 1 0 ] with
+  | [ Wellformed.Join_before_child_end { index = 1; _ } ] -> ()
+  | es -> Alcotest.failf "early join: %d errors" (count es)
+
+let test_error_messages () =
+  List.iter
+    (fun e ->
+      check Alcotest.bool "nonempty message" true
+        (String.length (Wellformed.error_to_string e) > 0))
+    (errors [ Event.release 0 0; Event.end_ 0; Event.fork 1 1; Event.join 2 2 ])
+
+let prop_generator_wellformed =
+  QCheck.Test.make ~name:"random complete traces are well-formed" ~count:100
+    (Helpers.arb_trace ~threads:4 ~locks:2 ~vars:4 ~max_len:120 ())
+    (fun tr -> Wellformed.is_wellformed tr)
+
+let prop_workload_wellformed =
+  QCheck.Test.make ~name:"workload generator emits well-formed traces"
+    ~count:12
+    (QCheck.make
+       ~print:(fun (shape, seed, plan) ->
+         Printf.sprintf "shape=%s seed=%Ld violate=%b"
+           (match shape with
+           | Workloads.Generator.Independent -> "independent"
+           | Workloads.Generator.Anchored -> "anchored")
+           seed plan)
+       (fun rs ->
+         ( (if Random.State.bool rs then Workloads.Generator.Independent
+            else Workloads.Generator.Anchored),
+           Random.State.int64 rs 1000L,
+           Random.State.bool rs )))
+    (fun (shape, seed, violate) ->
+      let cfg =
+        {
+          Workloads.Generator.default with
+          shape;
+          seed;
+          threads = 5;
+          events = 2_000;
+          vars = 1_200;
+          plan =
+            (if violate then Workloads.Generator.Violate_at 0.5
+             else Workloads.Generator.Atomic);
+        }
+      in
+      Wellformed.is_wellformed (Workloads.Generator.generate cfg))
+
+let suite =
+  ( "wellformed",
+    [
+      Alcotest.test_case "scenarios clean" `Quick test_clean;
+      Alcotest.test_case "release unheld" `Quick test_release_unheld;
+      Alcotest.test_case "release by non-holder" `Quick test_release_other_holder;
+      Alcotest.test_case "acquire held elsewhere" `Quick test_acquire_held;
+      Alcotest.test_case "re-entrant locking" `Quick test_reentrant_ok;
+      Alcotest.test_case "unreleased lock" `Quick test_unreleased;
+      Alcotest.test_case "end without begin" `Quick test_end_without_begin;
+      Alcotest.test_case "open block allowed" `Quick test_open_block_allowed;
+      Alcotest.test_case "fork errors" `Quick test_fork_errors;
+      Alcotest.test_case "join errors" `Quick test_join_errors;
+      Alcotest.test_case "error messages" `Quick test_error_messages;
+    ]
+    @ Helpers.qcheck_tests [ prop_generator_wellformed; prop_workload_wellformed ]
+  )
