@@ -1,0 +1,235 @@
+(* Schema validator for the bench harness's --json output
+   (schema "aerodrome-bench/1").  Exits 0 and prints "ok" when the file
+   parses and carries the expected structure; prints a diagnostic and
+   exits 1 otherwise.  Used by the cram test so the emitter cannot rot.
+
+   The parser is a minimal self-contained JSON reader (objects, arrays,
+   strings, numbers, true/false/null) — no external dependencies. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of json list
+  | Obj of (string * json) list
+
+exception Bad of string
+
+let bad fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
+
+let parse (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then s.[!pos] else '\255' in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | ' ' | '\t' | '\n' | '\r' ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    if peek () <> c then bad "offset %d: expected %C, got %C" !pos c (peek ());
+    advance ()
+  in
+  let literal word value =
+    String.iter expect word;
+    value
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | '"' -> advance ()
+      | '\\' ->
+        advance ();
+        (match peek () with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'u' ->
+          (* \uXXXX: decoded as a raw byte when < 0x100, else '?' *)
+          let hex = String.sub s (!pos + 1) 4 in
+          let code = int_of_string ("0x" ^ hex) in
+          pos := !pos + 4;
+          Buffer.add_char buf (if code < 0x100 then Char.chr code else '?')
+        | c -> bad "offset %d: bad escape %C" !pos c);
+        advance ();
+        go ()
+      | '\255' -> bad "unterminated string"
+      | c ->
+        Buffer.add_char buf c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let numchar c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while numchar (peek ()) do
+      advance ()
+    done;
+    let text = String.sub s start (!pos - start) in
+    match float_of_string_opt text with
+    | Some f -> Num f
+    | None -> bad "offset %d: bad number %S" start text
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = '}' then (
+        advance ();
+        Obj [])
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let key = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' ->
+            advance ();
+            members ((key, v) :: acc)
+          | '}' ->
+            advance ();
+            Obj (List.rev ((key, v) :: acc))
+          | c -> bad "offset %d: expected ',' or '}', got %C" !pos c
+        in
+        members []
+      end
+    | '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = ']' then (
+        advance ();
+        List [])
+      else begin
+        let rec elements acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' ->
+            advance ();
+            elements (v :: acc)
+          | ']' ->
+            advance ();
+            List (List.rev (v :: acc))
+          | c -> bad "offset %d: expected ',' or ']', got %C" !pos c
+        in
+        elements []
+      end
+    | '"' -> Str (parse_string ())
+    | 't' -> literal "true" (Bool true)
+    | 'f' -> literal "false" (Bool false)
+    | 'n' -> literal "null" Null
+    | _ -> parse_number ()
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then bad "trailing garbage at offset %d" !pos;
+  v
+
+(* --- schema checks --- *)
+
+let field obj key =
+  match obj with
+  | Obj kvs -> (
+    match List.assoc_opt key kvs with
+    | Some v -> v
+    | None -> bad "missing field %S" key)
+  | _ -> bad "expected an object around field %S" key
+
+let as_num what = function Num f -> f | _ -> bad "%s: expected a number" what
+let as_str what = function Str s -> s | _ -> bad "%s: expected a string" what
+let as_list what = function List l -> l | _ -> bad "%s: expected an array" what
+
+let check_sample ~where s =
+  let name = as_str (where ^ ".name") (field s "name") in
+  let seconds = as_num (where ^ ".seconds") (field s "seconds") in
+  let fed = as_num (where ^ ".events_fed") (field s "events_fed") in
+  let eps = as_num (where ^ ".events_per_sec") (field s "events_per_sec") in
+  let verdict = as_str (where ^ ".verdict") (field s "verdict") in
+  ignore (as_num (where ^ ".allocated_mwords") (field s "allocated_mwords"));
+  ignore (as_num (where ^ ".top_heap_words") (field s "top_heap_words"));
+  if name = "" then bad "%s: empty checker name" where;
+  if seconds < 0. then bad "%s: negative seconds" where;
+  if fed < 0. then bad "%s: negative events_fed" where;
+  if eps < 0. then bad "%s: negative events_per_sec" where;
+  match verdict with
+  | "serializable" | "violation" | "timeout" -> ()
+  | v -> bad "%s: unknown verdict %S" where v
+
+let check_row ~where r =
+  let name = as_str (where ^ ".name") (field r "name") in
+  let events = as_num (where ^ ".events") (field r "events") in
+  ignore (as_num (where ^ ".threads") (field r "threads"));
+  ignore (as_num (where ^ ".locks") (field r "locks"));
+  ignore (as_num (where ^ ".vars") (field r "vars"));
+  let checkers = as_list (where ^ ".checkers") (field r "checkers") in
+  if name = "" then bad "%s: empty row name" where;
+  if events < 0. then bad "%s: negative events" where;
+  if checkers = [] then bad "%s: no checker samples" where;
+  List.iteri
+    (fun i s -> check_sample ~where:(Printf.sprintf "%s.checkers[%d]" where i) s)
+    checkers
+
+let check_root j =
+  let schema = as_str "schema" (field j "schema") in
+  if schema <> "aerodrome-bench/1" then bad "unknown schema %S" schema;
+  ignore (as_num "scale" (field j "scale"));
+  ignore (as_num "timeout" (field j "timeout"));
+  let tables = as_list "tables" (field j "tables") in
+  let micro = as_list "micro" (field j "micro") in
+  List.iteri
+    (fun i t ->
+      let where = Printf.sprintf "tables[%d]" i in
+      ignore (as_num (where ^ ".table") (field t "table"));
+      let rows = as_list (where ^ ".rows") (field t "rows") in
+      if rows = [] then bad "%s: empty rows" where;
+      List.iteri
+        (fun k r -> check_row ~where:(Printf.sprintf "%s.rows[%d]" where k) r)
+        rows)
+    tables;
+  List.iteri
+    (fun i r -> check_row ~where:(Printf.sprintf "micro[%d]" i) r)
+    micro;
+  if tables = [] && micro = [] then bad "no tables and no micro results"
+
+let () =
+  let path =
+    match Sys.argv with
+    | [| _; path |] -> path
+    | _ ->
+      prerr_endline "usage: validate_json FILE";
+      exit 2
+  in
+  let contents =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match check_root (parse contents) with
+  | () -> print_endline "ok"
+  | exception Bad msg ->
+    Printf.eprintf "%s: %s\n" path msg;
+    exit 1

@@ -77,14 +77,15 @@ let check_cmd =
     Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Only set the exit code.")
   in
   let run checker timeout quiet path =
-    (* binary traces are analyzed streaming; text traces are materialized *)
+    (* both formats stream: no Trace.t is materialized *)
     let r =
-      if Traces.Binfmt.is_binary path then
-        try Analysis.Runner.run_binary_file ?timeout checker path
-        with Traces.Binfmt.Corrupt msg ->
-          Format.eprintf "%s@." msg;
-          exit 2
-      else Analysis.Runner.run ?timeout checker (read_trace path)
+      try Analysis.Runner.run_stream ?timeout checker path with
+      | Traces.Binfmt.Corrupt msg ->
+        Format.eprintf "%s@." msg;
+        exit 2
+      | Traces.Parser.Parse_error e ->
+        Format.eprintf "%s: %a@." path Traces.Parser.pp_error e;
+        exit 2
     in
     if not quiet then Format.printf "%a@." Analysis.Runner.pp r;
     match r.Analysis.Runner.outcome with

@@ -79,6 +79,49 @@ let run_binary_file ?timeout checker path =
         ~locks:header.Traces.Binfmt.locks ~vars:header.Traces.Binfmt.vars
         events)
 
+let run_stream ?timeout (module C : Aerodrome.Checker.S) path =
+  if Traces.Binfmt.is_binary path then
+    run_binary_file ?timeout (module C) path
+  else begin
+    (* text: Parser.fold_file announces the domains (pass 1) before any
+       event reaches the checker (pass 2), so no Trace.t is built *)
+    let st = ref None in
+    let started = ref 0.0 in
+    let deadline = ref None in
+    let timed_out = ref false in
+    let fed = ref 0 in
+    (try
+       ignore
+         (Traces.Parser.fold_file_exn path
+            ~init:(fun ~threads ~locks ~vars ->
+              let s = C.create ~threads ~locks ~vars in
+              st := Some s;
+              started := Unix.gettimeofday ();
+              deadline := Option.map (fun b -> !started +. b) timeout;
+              s)
+            ~f:(fun s e ->
+              ignore (C.feed s e);
+              incr fed;
+              (if !fed land (check_interval - 1) = 0 then
+                 match !deadline with
+                 | Some d when Unix.gettimeofday () > d ->
+                   timed_out := true;
+                   raise Exit
+                 | _ -> ());
+              s))
+     with Exit -> ());
+    match !st with
+    | None -> assert false (* [init] runs before the first event *)
+    | Some s ->
+      {
+        checker = C.name;
+        outcome =
+          (if !timed_out then Timed_out else Verdict (C.violation s));
+        seconds = Unix.gettimeofday () -. !started;
+        events_fed = !fed;
+      }
+  end
+
 let violating r =
   match r.outcome with Verdict (Some _) -> true | Verdict None | Timed_out -> false
 

@@ -34,6 +34,16 @@ val run_binary_file :
 (** [run_seq] over a binary trace file, domains from its header.
     @raise Traces.Binfmt.Corrupt *)
 
+val run_stream : ?timeout:float -> Aerodrome.Checker.t -> string -> result
+(** Analyze a trace file without materializing it, auto-detecting the
+    format: binary files stream in one pass (domains from the header),
+    text files via {!Traces.Parser.fold_file} (two passes, since the text
+    format only reveals its domains once scanned).  Peak memory is the
+    checker's state plus an I/O buffer, independent of the trace length.
+    For text traces [seconds] excludes the interning pass.
+    @raise Traces.Binfmt.Corrupt on a corrupt binary trace,
+    [Traces.Parser.Parse_error] on a malformed text trace. *)
+
 val violating : result -> bool
 (** True iff the run finished with a violation. *)
 

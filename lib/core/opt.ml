@@ -1,35 +1,53 @@
 open Traces
-module VC = Vclock.Vector_clock
+module AC = Vclock.Aclock
 
 let name = "aerodrome"
 
 let nil = -1
 
-(* Small integer sets over a fixed universe [0..n-1] with O(1) membership
-   and O(size) iteration/clearing: a list of members plus a byte map. *)
+(* Small integer sets over a fixed universe [0..n-1] with O(1) amortized
+   add/remove/clear: a push-only member array plus a byte map.  [remove]
+   only clears the membership byte (lazy deletion); the stale array entry
+   is swept by the next [drain] or [clear], so no operation ever scans the
+   member list looking for one element. *)
 module Iset = struct
-  type t = { mutable elems : int list; mem : Bytes.t }
+  type t = { mutable elems : int array; mutable n : int; mem : Bytes.t }
 
-  let create n = { elems = []; mem = Bytes.make (max n 1) '\000' }
+  let create n = { elems = Array.make 16 0; n = 0; mem = Bytes.make (max n 1) '\000' }
   let mem s i = Bytes.unsafe_get s.mem i <> '\000'
+
+  let push s i =
+    if s.n = Array.length s.elems then begin
+      let bigger = Array.make (2 * s.n) 0 in
+      Array.blit s.elems 0 bigger 0 s.n;
+      s.elems <- bigger
+    end;
+    Array.unsafe_set s.elems s.n i;
+    s.n <- s.n + 1
 
   let add s i =
     if not (mem s i) then begin
       Bytes.unsafe_set s.mem i '\001';
-      s.elems <- i :: s.elems
+      push s i
     end
 
-  let remove s i =
-    if mem s i then begin
-      Bytes.unsafe_set s.mem i '\000';
-      s.elems <- List.filter (fun j -> j <> i) s.elems
-    end
+  let remove s i = Bytes.unsafe_set s.mem i '\000'
 
-  let clear s =
-    List.iter (fun i -> Bytes.unsafe_set s.mem i '\000') s.elems;
-    s.elems <- []
 
-  let iter f s = List.iter f s.elems
+  (* Iterate the members and leave the set empty; entries invalidated by
+     [remove] (and duplicates they enable) are skipped.  [f] must not add
+     to the set being drained (the checker only ever adds to *other*
+     threads' sets from inside a drain). *)
+  let drain f s =
+    let n = s.n in
+    s.n <- 0;
+    for k = 0 to n - 1 do
+      let i = Array.unsafe_get s.elems k in
+      if mem s i then begin
+        Bytes.unsafe_set s.mem i '\000';
+        f i
+      end
+    done
 end
 
 type t = {
@@ -38,19 +56,33 @@ type t = {
   vars : int;
   fast_checks : bool;
   faithful : bool;
-  c : VC.t array;
-  cb : VC.t array;
-  l : VC.t array;
-  w : VC.t array;
-  r : VC.t array;  (* R_x *)
-  hr : VC.t array;  (* hR_x *)
+  c : AC.t array;
+  cb : AC.t array;
+  l : AC.t array;
+  w : AC.t array;
+  r : AC.t array;  (* R_x *)
+  hr : AC.t array;  (* hR_x *)
   last_rel_thr : int array;
   last_w_thr : int array;
   stale_w : Bytes.t;  (* Stale^w_x: is W_x lazily represented by C_lastWThr? *)
   stale_r : Iset.t array;  (* Stale^r_x: readers not yet flushed into R_x *)
   upd_r : Iset.t array;  (* UpdateSet^r_t *)
   upd_w : Iset.t array;  (* UpdateSet^w_t *)
+  upd_l : Iset.t array;  (* locks whose clock may contain t's begin *)
+  rel_locks : Iset.t array;  (* locks t last released (may be stale) *)
   depth : int array;
+  (* Bitmask acceleration of [propagate_update_sets] (threads <= 62 only):
+     [covers.(t)] caches {u | C⊲_u ⊑ C_t} as a bitmask, recomputed lazily
+     when [covers_dirty] says C_t grew (C_t is monotone, so the cached
+     mask stays exact in between) or some thread began a transaction
+     (fresh C⊲_u).  [active_mask] has bit u set while u is inside an
+     outermost transaction. *)
+  masked : bool;
+  covers : int array;
+  covers_dirty : Bytes.t;
+  mutable active_mask : int;
+  cb_own : int array;  (* cb_own.(u) = C⊲_u(u), the only component the
+                          fast checks read — flat for cache-friendliness *)
   seq : int array;  (* outermost-transaction sequence number per thread *)
   parent : (int * int) option array;  (* forking (thread, seq), per thread *)
   mutable violation : Violation.t option;
@@ -66,19 +98,26 @@ let create_with ?(fast_checks = true) ?(faithful = false) ~threads ~locks
     vars;
     fast_checks;
     faithful;
-    c = Array.init dim (fun t -> VC.unit dim t);
-    cb = Array.init dim (fun _ -> VC.bottom dim);
-    l = Array.init (max locks 0) (fun _ -> VC.bottom dim);
-    w = Array.init (max vars 0) (fun _ -> VC.bottom dim);
-    r = Array.init (max vars 0) (fun _ -> VC.bottom dim);
-    hr = Array.init (max vars 0) (fun _ -> VC.bottom dim);
+    c = Array.init dim (fun t -> AC.unit dim t);
+    cb = Array.init dim (fun _ -> AC.bottom dim);
+    l = Array.init (max locks 0) (fun _ -> AC.bottom dim);
+    w = Array.init (max vars 0) (fun _ -> AC.bottom dim);
+    r = Array.init (max vars 0) (fun _ -> AC.bottom dim);
+    hr = Array.init (max vars 0) (fun _ -> AC.bottom dim);
     last_rel_thr = Array.make (max locks 0) nil;
     last_w_thr = Array.make (max vars 0) nil;
     stale_w = Bytes.make (max vars 1) '\000';
     stale_r = Array.init (max vars 0) (fun _ -> Iset.create dim);
     upd_r = Array.init dim (fun _ -> Iset.create (max vars 1));
     upd_w = Array.init dim (fun _ -> Iset.create (max vars 1));
+    upd_l = Array.init dim (fun _ -> Iset.create (max locks 1));
+    rel_locks = Array.init dim (fun _ -> Iset.create (max locks 1));
     depth = Array.make dim 0;
+    masked = dim <= 62;
+    covers = Array.make dim 0;
+    covers_dirty = Bytes.make dim '\001';
+    active_mask = 0;
+    cb_own = Array.make dim 0;
     seq = Array.make dim 0;
     parent = Array.make dim None;
     violation = None;
@@ -96,44 +135,113 @@ let set_stale_w st x b = Bytes.unsafe_set st.stale_w x (if b then '\001' else '\
 
 (* C⊲_t ⊑ clk, in O(1) when the whole-clock-join invariant allows it. *)
 let begin_leq st t clk =
-  if st.fast_checks then VC.get st.cb.(t) t <= VC.get clk t
-  else VC.leq st.cb.(t) clk
+  if st.fast_checks then Array.unsafe_get st.cb_own t <= AC.unsafe_get clk t
+  else AC.leq st.cb.(t) clk
+
+(* C_t grew (or C⊲_t changed): the cached covers mask is stale. *)
+let note_c_grew st t = Bytes.unsafe_set st.covers_dirty t '\001'
+
+let join_c st t src =
+  if AC.join_into_grew ~into:st.c.(t) src then note_c_grew st t
+
+(* {u | C⊲_u ⊑ C_t} as a bitmask, from cache when C_t has not grown since
+   the last recomputation. *)
+let covers_of st t =
+  if Bytes.unsafe_get st.covers_dirty t <> '\000' then begin
+    let m = ref 0 in
+    let c_t = st.c.(t) in
+    if st.fast_checks then
+      for u = 0 to st.threads - 1 do
+        if Array.unsafe_get st.cb_own u <= AC.unsafe_get c_t u then
+          m := !m lor (1 lsl u)
+      done
+    else
+      for u = 0 to st.threads - 1 do
+        if begin_leq st u c_t then m := !m lor (1 lsl u)
+      done;
+    st.covers.(t) <- !m;
+    Bytes.unsafe_set st.covers_dirty t '\000'
+  end;
+  st.covers.(t)
+
+let rec ntz_loop x n = if x land 1 = 1 then n else ntz_loop (x lsr 1) (n + 1)
+let ntz x = ntz_loop x 0
 
 exception Found of Violation.site
 
 (* checkAndGet(clk1, clk2, t) of Algorithm 3. *)
 let check_and_get st clk1 clk2 t site =
   if active st t && begin_leq st t clk1 then raise (Found site);
-  VC.join_into ~into:st.c.(t) clk2
+  join_c st t clk2
 
 (* The hR_x check compares only the t-component, independently of
    [fast_checks]: hR_x zeroes each reader's own component, so the full
    pointwise order is the wrong comparison for it (see Reduced). *)
 let check_read_and_get st t x site =
-  if active st t && VC.get st.cb.(t) t <= VC.get st.hr.(x) t then
-    raise (Found site);
-  VC.join_into ~into:st.c.(t) st.r.(x)
+  if active st t && Array.unsafe_get st.cb_own t <= AC.unsafe_get st.hr.(x) t
+  then raise (Found site);
+  join_c st t st.r.(x)
 
-(* After [clk] (the value just folded into W_x or R_x) grew the variable's
-   clock, record x in the update set of every other active transaction the
-   new value covers, so that transaction's end refreshes the clock too.
-   Algorithm 3 runs this loop at reads and writes only; running it at ends
-   as well closes the transitive-ordering gap (see the .mli). *)
-let propagate_update_sets st upd x ~skip clk =
-  for u = 0 to st.threads - 1 do
-    if u <> skip && active st u && begin_leq st u clk then Iset.add upd.(u) x
-  done
+(* After C_{of_} (the value just folded into W_x or R_x) grew the
+   variable's clock, record x in the update set of every other active
+   transaction the new value covers, so that transaction's end refreshes
+   the clock too.  Algorithm 3 runs this loop at reads and writes only;
+   running it at ends as well closes the transitive-ordering gap (see the
+   .mli).
+
+   Every call site passes the *calling thread's* clock, so with <= 62
+   threads the scan collapses to iterating the set bits of the cached
+   covers mask — usually none or one. *)
+let propagate_update_sets st upd x ~of_ ~skip clk =
+  if st.masked then begin
+    let m = ref (covers_of st of_ land st.active_mask) in
+    if skip >= 0 then m := !m land lnot (1 lsl skip);
+    while !m <> 0 do
+      Iset.add upd.(ntz !m) x;
+      m := !m land (!m - 1)
+    done
+  end
+  else begin
+    (* Epoch fast path: while [clk] is flat, every component other than
+       its owner's is zero, and an *active* transaction has C⊲_u(u) >= 1,
+       so no other thread can satisfy [begin_leq] (in either check mode:
+       the full pointwise order already fails at component [u]) — one
+       check instead of a thread scan. *)
+    let owner = AC.flat_owner clk in
+    if owner >= 0 then begin
+      let u = owner in
+      if u <> skip && active st u && begin_leq st u clk then Iset.add upd.(u) x
+    end
+    else
+      for u = 0 to st.threads - 1 do
+        if u <> skip && active st u && begin_leq st u clk then
+          Iset.add upd.(u) x
+      done
+  end
 
 let handle_acquire st t l =
   if st.last_rel_thr.(l) <> t then
     check_and_get st st.l.(l) st.l.(l) t Violation.At_acquire
 
+(* Record that [l]'s clock just took the value/growth [clk]: any active
+   transaction whose begin [clk] covers must re-examine [l] at its end.
+   This mirrors [propagate_update_sets] for variables and makes the end
+   handlers O(locks touched) instead of O(locks).  Only exact under
+   [fast_checks]: with the full pointwise order, C⊲_u ⊑ L_l can become
+   true through a join combining components of the old L_l and [clk]
+   without holding against either alone, so the Slow variant keeps the
+   original whole-table scan at ends. *)
+let propagate_lock_update st l ~of_ ~skip clk =
+  if st.fast_checks then propagate_update_sets st st.upd_l l ~of_ ~skip clk
+
 let handle_release st t l =
-  VC.assign ~into:st.l.(l) st.c.(t);
-  st.last_rel_thr.(l) <- t
+  AC.assign ~into:st.l.(l) st.c.(t);
+  st.last_rel_thr.(l) <- t;
+  Iset.add st.rel_locks.(t) l;
+  propagate_lock_update st l ~of_:t ~skip:nil st.c.(t)
 
 let handle_fork st t u =
-  VC.join_into ~into:st.c.(u) st.c.(t);
+  join_c st u st.c.(t);
   st.parent.(u) <- (if active st t then Some (t, st.seq.(t)) else None)
 
 let handle_join st t u =
@@ -157,24 +265,23 @@ let handle_read st t x =
     Iset.add st.stale_r.(x) t;
     (* Algorithm 3 lines 34–36: every covered active transaction must
        refresh R_x at its end; the reader's own transaction qualifies. *)
-    propagate_update_sets st st.upd_r x ~skip:nil st.c.(t)
+    propagate_update_sets st st.upd_r x ~of_:t ~skip:nil st.c.(t)
   end
   else begin
     (* Unary read: update eagerly.  The printed algorithm leaves it in
        Stale^r_x, where a later flush would use this thread's clock as
        inflated by its subsequent transactions — a false positive. *)
-    VC.join_into ~into:st.r.(x) st.c.(t);
-    VC.join_into_zeroed ~into:st.hr.(x) st.c.(t) t;
-    propagate_update_sets st st.upd_r x ~skip:nil st.c.(t)
+    AC.join_into ~into:st.r.(x) st.c.(t);
+    AC.join_into_zeroed ~into:st.hr.(x) st.c.(t) t;
+    propagate_update_sets st st.upd_r x ~of_:t ~skip:nil st.c.(t)
   end
 
 let flush_stale_readers st x =
-  Iset.iter
+  Iset.drain
     (fun u ->
-      VC.join_into ~into:st.r.(x) st.c.(u);
-      VC.join_into_zeroed ~into:st.hr.(x) st.c.(u) u)
-    st.stale_r.(x);
-  Iset.clear st.stale_r.(x)
+      AC.join_into ~into:st.r.(x) st.c.(u);
+      AC.join_into_zeroed ~into:st.hr.(x) st.c.(u) u)
+    st.stale_r.(x)
 
 let handle_write st t x =
   check_vs_last_write st t x Violation.At_write_vs_write;
@@ -183,18 +290,25 @@ let handle_write st t x =
   if active st t || st.faithful then set_stale_w st x true
   else begin
     (* Unary write: materialize eagerly (same rationale as unary reads). *)
-    VC.assign ~into:st.w.(x) st.c.(t);
+    AC.assign ~into:st.w.(x) st.c.(t);
     set_stale_w st x false
   end;
   st.last_w_thr.(x) <- t;
-  propagate_update_sets st st.upd_w x ~skip:nil st.c.(t)
+  propagate_update_sets st st.upd_w x ~of_:t ~skip:nil st.c.(t)
 
 let handle_begin st t =
   st.depth.(t) <- st.depth.(t) + 1;
   if st.depth.(t) = 1 then begin
     st.seq.(t) <- st.seq.(t) + 1;
-    VC.bump st.c.(t) t;
-    VC.assign ~into:st.cb.(t) st.c.(t)
+    AC.bump st.c.(t) t;
+    AC.assign ~into:st.cb.(t) st.c.(t);
+    st.cb_own.(t) <- AC.unsafe_get st.cb.(t) t;
+    if st.masked then begin
+      st.active_mask <- st.active_mask lor (1 lsl t);
+      (* a fresh C⊲_t invalidates bit t of every cached covers mask (and
+         C_t grew, invalidating t's own) *)
+      Bytes.fill st.covers_dirty 0 st.threads '\001'
+    end
   end
 
 let parent_alive st t =
@@ -223,13 +337,13 @@ let parent_alive st t =
    behaviour. *)
 let has_incoming_edge st t =
   if st.faithful then
-    parent_alive st t || not (VC.equal_except st.cb.(t) st.c.(t) t)
+    parent_alive st t || not (AC.equal_except st.cb.(t) st.c.(t) t)
   else begin
     let c_t = st.c.(t) in
     let rec knows_active_foreign u =
       u < st.threads
       && ((u <> t && st.depth.(u) > 0
-           && VC.get c_t u >= VC.get st.cb.(u) u)
+           && AC.get c_t u >= AC.get st.cb.(u) u)
          || knows_active_foreign (u + 1))
     in
     knows_active_foreign 0
@@ -241,49 +355,62 @@ let end_with_incoming_edge st t =
     if u <> t && begin_leq st t st.c.(u) then
       check_and_get st c_t c_t u (Violation.At_end (Ids.Tid.of_int u))
   done;
-  for l = 0 to st.locks - 1 do
-    if begin_leq st t st.l.(l) then VC.join_into ~into:st.l.(l) c_t
-  done;
-  Iset.iter
+  (* Refresh the lock clocks the transaction reached.  [upd_l.(t)] holds
+     every lock for which [begin_leq] may hold (entries can be stale — a
+     later release overwrites L_l — hence the re-check); the Slow variant
+     scans the whole table, see [propagate_lock_update]. *)
+  if st.fast_checks then
+    Iset.drain
+      (fun l ->
+        if begin_leq st t st.l.(l) then begin
+          AC.join_into ~into:st.l.(l) c_t;
+          propagate_lock_update st l ~of_:t ~skip:t c_t
+        end)
+      st.upd_l.(t)
+  else
+    for l = 0 to st.locks - 1 do
+      if begin_leq st t st.l.(l) then AC.join_into ~into:st.l.(l) c_t
+    done;
+  Iset.drain
     (fun x ->
       if (not (is_stale_w st x)) || st.last_w_thr.(x) = t then begin
-        VC.join_into ~into:st.w.(x) c_t;
+        AC.join_into ~into:st.w.(x) c_t;
         if not st.faithful then
-          propagate_update_sets st st.upd_w x ~skip:t c_t
+          propagate_update_sets st st.upd_w x ~of_:t ~skip:t c_t
       end;
       if st.last_w_thr.(x) = t then set_stale_w st x false)
     st.upd_w.(t);
-  Iset.clear st.upd_w.(t);
-  Iset.iter
+  Iset.drain
     (fun x ->
-      VC.join_into ~into:st.r.(x) c_t;
-      VC.join_into_zeroed ~into:st.hr.(x) c_t t;
+      AC.join_into ~into:st.r.(x) c_t;
+      AC.join_into_zeroed ~into:st.hr.(x) c_t t;
       Iset.remove st.stale_r.(x) t;
-      if not st.faithful then propagate_update_sets st st.upd_r x ~skip:t c_t)
-    st.upd_r.(t);
-  Iset.clear st.upd_r.(t)
+      if not st.faithful then
+        propagate_update_sets st st.upd_r x ~of_:t ~skip:t c_t)
+    st.upd_r.(t)
 
 let end_garbage_collect st t =
-  Iset.iter (fun x -> Iset.remove st.stale_r.(x) t) st.upd_r.(t);
-  Iset.clear st.upd_r.(t);
-  Iset.iter
+  Iset.drain (fun x -> Iset.remove st.stale_r.(x) t) st.upd_r.(t);
+  Iset.drain
     (fun x ->
       if st.last_w_thr.(x) = t then begin
         set_stale_w st x false;
         st.last_w_thr.(x) <- nil
       end)
     st.upd_w.(t);
-  Iset.clear st.upd_w.(t);
-  for l = 0 to st.locks - 1 do
-    if st.last_rel_thr.(l) = t then st.last_rel_thr.(l) <- nil
-  done
+  Iset.drain (fun _ -> ()) st.upd_l.(t);
+  Iset.drain
+    (fun l -> if st.last_rel_thr.(l) = t then st.last_rel_thr.(l) <- nil)
+    st.rel_locks.(t)
 
 let handle_end st t =
   if st.depth.(t) > 0 then begin
     st.depth.(t) <- st.depth.(t) - 1;
-    if st.depth.(t) = 0 then
+    if st.depth.(t) = 0 then begin
+      if st.masked then st.active_mask <- st.active_mask land lnot (1 lsl t);
       if has_incoming_edge st t then end_with_incoming_edge st t
       else end_garbage_collect st t
+    end
   end
 
 let feed st (e : Event.t) =
@@ -340,7 +467,7 @@ let slow_checker : Checker.t = (module Slow)
 
 (* Introspection *)
 
-let snapshot clk = Vclock.Vtime.of_clock clk
+let snapshot clk = Vclock.Vtime.of_list (AC.to_list clk)
 let thread_clock st t = snapshot st.c.(t)
 let begin_clock st t = snapshot st.cb.(t)
 let write_clock st x = snapshot st.w.(x)

@@ -1,5 +1,5 @@
 open Traces
-module VC = Vclock.Vector_clock
+module AC = Vclock.Aclock
 
 let name = "aerodrome-reduced"
 
@@ -9,12 +9,12 @@ type t = {
   threads : int;
   locks : int;
   vars : int;
-  c : VC.t array;
-  cb : VC.t array;
-  l : VC.t array;
-  w : VC.t array;
-  r : VC.t array;  (* R_x = ⊔_u R_{u,x} *)
-  hr : VC.t array;  (* hR_x = ⊔_u R_{u,x}[0/u] *)
+  c : AC.t array;
+  cb : AC.t array;
+  l : AC.t array;
+  w : AC.t array;
+  r : AC.t array;  (* R_x = ⊔_u R_{u,x} *)
+  hr : AC.t array;  (* hR_x = ⊔_u R_{u,x}[0/u] *)
   last_rel_thr : int array;
   last_w_thr : int array;
   depth : int array;
@@ -28,12 +28,12 @@ let create ~threads ~locks ~vars =
     threads = dim;
     locks;
     vars;
-    c = Array.init dim (fun t -> VC.unit dim t);
-    cb = Array.init dim (fun _ -> VC.bottom dim);
-    l = Array.init (max locks 0) (fun _ -> VC.bottom dim);
-    w = Array.init (max vars 0) (fun _ -> VC.bottom dim);
-    r = Array.init (max vars 0) (fun _ -> VC.bottom dim);
-    hr = Array.init (max vars 0) (fun _ -> VC.bottom dim);
+    c = Array.init dim (fun t -> AC.unit dim t);
+    cb = Array.init dim (fun _ -> AC.bottom dim);
+    l = Array.init (max locks 0) (fun _ -> AC.bottom dim);
+    w = Array.init (max vars 0) (fun _ -> AC.bottom dim);
+    r = Array.init (max vars 0) (fun _ -> AC.bottom dim);
+    hr = Array.init (max vars 0) (fun _ -> AC.bottom dim);
     last_rel_thr = Array.make (max locks 0) nil;
     last_w_thr = Array.make (max vars 0) nil;
     depth = Array.make dim 0;
@@ -49,8 +49,8 @@ exception Found of Violation.site
 
 (* checkAndGet(clk1, clk2, t): check against clk1, join clk2 into C_t. *)
 let check_and_get st clk1 clk2 t site =
-  if active st t && VC.leq st.cb.(t) clk1 then raise (Found site);
-  VC.join_into ~into:st.c.(t) clk2
+  if active st t && AC.leq st.cb.(t) clk1 then raise (Found site);
+  AC.join_into ~into:st.c.(t) clk2
 
 (* The check against hR_x must compare only the t-component: hR_x is the
    join of reader clocks with each reader's own component zeroed, so a full
@@ -59,19 +59,19 @@ let check_and_get st clk1 clk2 t site =
    C⊲_t(t) ≤ hR_x(t), equivalent — by the whole-clock-join invariant — to
    ∃u≠t. C⊲_t ⊑ R_{u,x}, which is Algorithm 1's check. *)
 let check_read_and_get st t x site =
-  if active st t && VC.get st.cb.(t) t <= VC.get st.hr.(x) t then
+  if active st t && AC.get st.cb.(t) t <= AC.get st.hr.(x) t then
     raise (Found site);
-  VC.join_into ~into:st.c.(t) st.r.(x)
+  AC.join_into ~into:st.c.(t) st.r.(x)
 
 let handle_acquire st t l =
   if st.last_rel_thr.(l) <> t then
     check_and_get st st.l.(l) st.l.(l) t Violation.At_acquire
 
 let handle_release st t l =
-  VC.assign ~into:st.l.(l) st.c.(t);
+  AC.assign ~into:st.l.(l) st.c.(t);
   st.last_rel_thr.(l) <- t
 
-let handle_fork st t u = VC.join_into ~into:st.c.(u) st.c.(t)
+let handle_fork st t u = AC.join_into ~into:st.c.(u) st.c.(t)
 
 let handle_join st t u =
   check_and_get st st.c.(u) st.c.(u) t Violation.At_join
@@ -79,21 +79,21 @@ let handle_join st t u =
 let handle_read st t x =
   if st.last_w_thr.(x) <> t then
     check_and_get st st.w.(x) st.w.(x) t Violation.At_read;
-  VC.join_into ~into:st.r.(x) st.c.(t);
-  VC.join_into_zeroed ~into:st.hr.(x) st.c.(t) t
+  AC.join_into ~into:st.r.(x) st.c.(t);
+  AC.join_into_zeroed ~into:st.hr.(x) st.c.(t) t
 
 let handle_write st t x =
   if st.last_w_thr.(x) <> t then
     check_and_get st st.w.(x) st.w.(x) t Violation.At_write_vs_write;
   check_read_and_get st t x Violation.At_write_vs_read;
-  VC.assign ~into:st.w.(x) st.c.(t);
+  AC.assign ~into:st.w.(x) st.c.(t);
   st.last_w_thr.(x) <- t
 
 let handle_begin st t =
   st.depth.(t) <- st.depth.(t) + 1;
   if st.depth.(t) = 1 then begin
-    VC.bump st.c.(t) t;
-    VC.assign ~into:st.cb.(t) st.c.(t)
+    AC.bump st.c.(t) t;
+    AC.assign ~into:st.cb.(t) st.c.(t)
   end
 
 let handle_end st t =
@@ -102,17 +102,17 @@ let handle_end st t =
     if st.depth.(t) = 0 then begin
       let cb_t = st.cb.(t) and c_t = st.c.(t) in
       for u = 0 to st.threads - 1 do
-        if u <> t && VC.leq cb_t st.c.(u) then
+        if u <> t && AC.leq cb_t st.c.(u) then
           check_and_get st c_t c_t u (Violation.At_end (Ids.Tid.of_int u))
       done;
       for l = 0 to st.locks - 1 do
-        if VC.leq cb_t st.l.(l) then VC.join_into ~into:st.l.(l) c_t
+        if AC.leq cb_t st.l.(l) then AC.join_into ~into:st.l.(l) c_t
       done;
       for x = 0 to st.vars - 1 do
-        if VC.leq cb_t st.w.(x) then VC.join_into ~into:st.w.(x) c_t;
-        if VC.leq cb_t st.r.(x) then begin
-          VC.join_into ~into:st.r.(x) c_t;
-          VC.join_into_zeroed ~into:st.hr.(x) c_t t
+        if AC.leq cb_t st.w.(x) then AC.join_into ~into:st.w.(x) c_t;
+        if AC.leq cb_t st.r.(x) then begin
+          AC.join_into ~into:st.r.(x) c_t;
+          AC.join_into_zeroed ~into:st.hr.(x) c_t t
         end
       done
     end
@@ -141,7 +141,7 @@ let feed st (e : Event.t) =
       st.violation <- Some v;
       Some v)
 
-let snapshot clk = Vclock.Vtime.of_clock clk
+let snapshot clk = Vclock.Vtime.of_list (AC.to_list clk)
 let thread_clock st t = snapshot st.c.(t)
 let begin_clock st t = snapshot st.cb.(t)
 let lock_clock st l = snapshot st.l.(l)

@@ -33,6 +33,13 @@ val read_header : string -> header
 val read_file : string -> Trace.t
 (** Materialize the whole trace.  @raise Corrupt *)
 
+val fold : string -> init:'a -> f:('a -> Event.t -> 'a) -> header * 'a
+(** [fold path ~init ~f] folds [f] over the file's events in order without
+    materializing a {!Trace.t}: the file is read in 64 KiB chunks and
+    events are decoded one at a time, so memory use is constant in the
+    trace length.  Returns the header alongside the final accumulator.
+    @raise Corrupt *)
+
 val read_seq : string -> header * (Event.t Seq.t * (unit -> unit))
 (** [read_seq path] is the header, a lazily-read event sequence, and a
     [close] function releasing the file descriptor (also called

@@ -50,6 +50,19 @@ let parse_op line ~threads ~locks ~vars s =
   | "end" | "e" -> Event.End
   | other -> fail line "unknown operation %S" other
 
+(* One raw line against the interners; [None] for blanks and comments. *)
+let parse_event_line ~threads ~locks ~vars lineno raw =
+  let line = String.trim raw in
+  if line = "" || line.[0] = '#' then None
+  else
+    match split_fields line with
+    | thread :: op :: _ ->
+      check_name lineno "thread" thread;
+      let tid = Tid.of_int (Interner.intern threads thread) in
+      let op = parse_op lineno ~threads ~locks ~vars op in
+      Some (Event.make tid op)
+    | _ -> fail lineno "expected thread|operation, got %S" line
+
 let parse_lines_exn lines =
   let threads = Interner.create ()
   and locks = Interner.create ()
@@ -59,16 +72,9 @@ let parse_lines_exn lines =
   Seq.iter
     (fun raw ->
       incr lineno;
-      let line = String.trim raw in
-      if line <> "" && not (String.length line > 0 && line.[0] = '#') then begin
-        match split_fields line with
-        | thread :: op :: _ ->
-          check_name !lineno "thread" thread;
-          let tid = Tid.of_int (Interner.intern threads thread) in
-          let op = parse_op !lineno ~threads ~locks ~vars op in
-          events := Event.make tid op :: !events
-        | _ -> fail !lineno "expected thread|operation, got %S" line
-      end)
+      match parse_event_line ~threads ~locks ~vars !lineno raw with
+      | Some e -> events := e :: !events
+      | None -> ())
     lines;
   let symbols : Trace.Symbols.t =
     {
@@ -97,6 +103,53 @@ let read_file path =
 
 let parse_file path = parse_string (read_file path)
 let parse_file_exn path = parse_string_exn (read_file path)
+
+(* Fold [f acc lineno raw] over the file's lines without loading the file:
+   one [In_channel.input_line] at a time, constant memory. *)
+let fold_raw_lines path f init =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let lineno = ref 0 in
+      let rec go acc =
+        match In_channel.input_line ic with
+        | None -> acc
+        | Some raw ->
+          incr lineno;
+          go (f acc !lineno raw)
+      in
+      go init)
+
+(* Streaming parse.  The domain sizes live at arbitrary points of a text
+   trace (a name's id is its order of first appearance), so a single pass
+   cannot announce them before the first event; we read the file twice
+   instead: pass 1 interns every name, pass 2 replays the (now-complete)
+   interners and folds the events.  Memory is the symbol tables plus one
+   line, independent of the event count. *)
+let fold_file_exn path ~init ~f =
+  let threads = Interner.create ()
+  and locks = Interner.create ()
+  and vars = Interner.create () in
+  fold_raw_lines path
+    (fun () lineno raw ->
+      ignore (parse_event_line ~threads ~locks ~vars lineno raw))
+    ();
+  let acc =
+    init ~threads:(Interner.count threads) ~locks:(Interner.count locks)
+      ~vars:(Interner.count vars)
+  in
+  fold_raw_lines path
+    (fun acc lineno raw ->
+      match parse_event_line ~threads ~locks ~vars lineno raw with
+      | Some e -> f acc e
+      | None -> acc)
+    acc
+
+let fold_file path ~init ~f =
+  match fold_file_exn path ~init ~f with
+  | acc -> Ok acc
+  | exception Parse_error e -> Error e
 
 let render_event symbols buf (e : Event.t) =
   let add = Buffer.add_string buf in

@@ -37,6 +37,27 @@ val parse_string_exn : string -> Trace.t
 
 val parse_file_exn : string -> Trace.t
 
+val fold_file :
+  string ->
+  init:(threads:int -> locks:int -> vars:int -> 'a) ->
+  f:('a -> Event.t -> 'a) ->
+  ('a, error) result
+(** [fold_file path ~init ~f] parses the file in streaming fashion, never
+    materializing a {!Trace.t}: memory use is the symbol tables plus one
+    line, independent of the event count.  Because a text trace only
+    reveals its domain sizes once fully scanned, the file is read twice —
+    pass 1 interns every name, then [init] is called with the domain
+    sizes (e.g. to create a checker), then pass 2 folds [f] over the
+    events.  The file must not change between the passes.  I/O exceptions
+    propagate. *)
+
+val fold_file_exn :
+  string ->
+  init:(threads:int -> locks:int -> vars:int -> 'a) ->
+  f:('a -> Event.t -> 'a) ->
+  'a
+(** @raise Parse_error *)
+
 val to_string : Trace.t -> string
 (** Renders a trace in the format above, using its symbol table when
     present and [T0]/[L0]/[V0]-style names otherwise.  [parse_string_exn]

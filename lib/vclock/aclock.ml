@@ -1,0 +1,243 @@
+(* Adaptive vector clocks: epoch (packed scalar) representation while the
+   clock's value is ⊥[c/t]-shaped, inflating to a full vector on the first
+   cross-thread join.  Representation changes are invisible: every
+   operation computes exactly the same vector value the eager
+   Vector_clock code would. *)
+
+type t = {
+  mutable ep : Epoch.t;
+      (* when [is_none ep] is false the represented value is ⊥[clock/tid]
+         and [vec] is stale; otherwise [vec] is authoritative *)
+  mutable vec : int array;  (* [||] until the first inflation *)
+  dim : int;
+}
+
+let dim a = a.dim
+
+let create dim =
+  if dim < 0 then invalid_arg "Aclock.create: negative dimension";
+  { ep = Epoch.bottom; vec = [||]; dim }
+
+let bottom = create
+
+let unit dim t =
+  if t < 0 || t >= dim then invalid_arg "Aclock.unit: thread out of range";
+  { ep = Epoch.make ~tid:t ~clock:1; vec = [||]; dim }
+
+let is_flat a = not (Epoch.is_none a.ep)
+
+let flat_owner a = if Epoch.is_none a.ep then -1 else Epoch.tid a.ep
+
+let check_dim name a b =
+  if a.dim <> b.dim then invalid_arg (name ^ ": dimension mismatch")
+
+let check_index name a t =
+  if t < 0 || t >= a.dim then invalid_arg (name ^ ": thread out of range")
+
+(* Materialize the current (flat) value into [vec] and switch
+   representation.  No-op when already inflated. *)
+let inflate a =
+  if not (Epoch.is_none a.ep) then begin
+    if Array.length a.vec <> a.dim then a.vec <- Array.make a.dim 0
+    else Array.fill a.vec 0 a.dim 0;
+    let c = Epoch.clock a.ep in
+    if c > 0 then a.vec.(Epoch.tid a.ep) <- c;
+    a.ep <- Epoch.none
+  end
+
+let get a t =
+  check_index "Aclock.get" a t;
+  if Epoch.is_none a.ep then Array.unsafe_get a.vec t
+  else if Epoch.tid a.ep = t then Epoch.clock a.ep
+  else 0
+
+let unsafe_get a t =
+  if Epoch.is_none a.ep then Array.unsafe_get a.vec t
+  else if Epoch.tid a.ep = t then Epoch.clock a.ep
+  else 0
+
+let set a t c =
+  if c < 0 then invalid_arg "Aclock.set: negative component";
+  check_index "Aclock.set" a t;
+  if Epoch.is_none a.ep then a.vec.(t) <- c
+  else if Epoch.tid a.ep = t then a.ep <- Epoch.make ~tid:t ~clock:c
+  else if Epoch.clock a.ep = 0 then a.ep <- Epoch.make ~tid:t ~clock:c
+  else begin
+    inflate a;
+    a.vec.(t) <- c
+  end
+
+let bump a t =
+  check_index "Aclock.bump" a t;
+  if Epoch.is_none a.ep then a.vec.(t) <- a.vec.(t) + 1
+  else if Epoch.tid a.ep = t then a.ep <- Epoch.bump a.ep
+  else if Epoch.clock a.ep = 0 then a.ep <- Epoch.make ~tid:t ~clock:1
+  else begin
+    inflate a;
+    a.vec.(t) <- a.vec.(t) + 1
+  end
+
+(* into := into ⊔ v, reporting whether [into] changed.  O(1) whenever [v]
+   is flat. *)
+let join_into_grew ~into v =
+  check_dim "Aclock.join_into_grew" into v;
+  if Epoch.is_none v.ep then begin
+    inflate into;
+    let iv = into.vec and vv = v.vec in
+    let grew = ref false in
+    for t = 0 to into.dim - 1 do
+      let c = Array.unsafe_get vv t in
+      if c > Array.unsafe_get iv t then begin
+        Array.unsafe_set iv t c;
+        grew := true
+      end
+    done;
+    !grew
+  end
+  else begin
+    let c = Epoch.clock v.ep in
+    c > 0
+    &&
+    let u = Epoch.tid v.ep in
+    if Epoch.is_none into.ep then
+      c > Array.unsafe_get into.vec u
+      && begin
+           Array.unsafe_set into.vec u c;
+           true
+         end
+    else if Epoch.clock into.ep = 0 then begin
+      into.ep <- v.ep;
+      true
+    end
+    else if Epoch.tid into.ep = u then
+      c > Epoch.clock into.ep
+      && begin
+           into.ep <- v.ep;
+           true
+         end
+    else begin
+      inflate into;
+      into.vec.(u) <- c;
+      true
+    end
+  end
+
+let join_into ~into v = ignore (join_into_grew ~into v)
+
+(* into := into ⊔ v[0/z].  O(1) whenever [v] is flat (and a no-op when its
+   only non-zero component is the zeroed one). *)
+let join_into_zeroed ~into v z =
+  check_dim "Aclock.join_into_zeroed" into v;
+  check_index "Aclock.join_into_zeroed" v z;
+  if Epoch.is_none v.ep then begin
+    inflate into;
+    let iv = into.vec and vv = v.vec in
+    for t = 0 to into.dim - 1 do
+      if t <> z then begin
+        let c = Array.unsafe_get vv t in
+        if c > Array.unsafe_get iv t then Array.unsafe_set iv t c
+      end
+    done
+  end
+  else begin
+    let u = Epoch.tid v.ep and c = Epoch.clock v.ep in
+    if u <> z && c > 0 then begin
+      if Epoch.is_none into.ep then begin
+        if c > Array.unsafe_get into.vec u then Array.unsafe_set into.vec u c
+      end
+      else if Epoch.clock into.ep = 0 then into.ep <- v.ep
+      else if Epoch.tid into.ep = u then begin
+        if c > Epoch.clock into.ep then into.ep <- v.ep
+      end
+      else begin
+        inflate into;
+        into.vec.(u) <- c
+      end
+    end
+  end
+
+let assign ~into v =
+  check_dim "Aclock.assign" into v;
+  if Epoch.is_none v.ep then begin
+    if Array.length into.vec <> into.dim then into.vec <- Array.copy v.vec
+    else Array.blit v.vec 0 into.vec 0 into.dim;
+    into.ep <- Epoch.none
+  end
+  else into.ep <- v.ep
+
+let assign_zeroed ~into v z =
+  check_index "Aclock.assign_zeroed" v z;
+  assign ~into v;
+  if Epoch.is_none into.ep then into.vec.(z) <- 0
+  else if Epoch.tid into.ep = z then into.ep <- Epoch.bottom
+
+let copy a =
+  if Epoch.is_none a.ep then { ep = Epoch.none; vec = Array.copy a.vec; dim = a.dim }
+  else { ep = a.ep; vec = [||]; dim = a.dim }
+
+(* v1 ⊑ v2, O(1) whenever [v1] is flat. *)
+let leq v1 v2 =
+  check_dim "Aclock.leq" v1 v2;
+  if not (Epoch.is_none v1.ep) then begin
+    let c = Epoch.clock v1.ep in
+    c = 0 || c <= get v2 (Epoch.tid v1.ep)
+  end
+  else if not (Epoch.is_none v2.ep) then begin
+    (* full vector ⊑ ⊥[c/u]: v1 must be zero outside u and ≤ c at u *)
+    let u = Epoch.tid v2.ep and c = Epoch.clock v2.ep in
+    let a = v1.vec in
+    let rec go t =
+      t >= v1.dim
+      || ((if t = u then Array.unsafe_get a t <= c else Array.unsafe_get a t = 0)
+         && go (t + 1))
+    in
+    go 0
+  end
+  else begin
+    let a = v1.vec and b = v2.vec in
+    let rec go t =
+      t >= v1.dim || (Array.unsafe_get a t <= Array.unsafe_get b t && go (t + 1))
+    in
+    go 0
+  end
+
+let equal v1 v2 =
+  check_dim "Aclock.equal" v1 v2;
+  match (Epoch.is_none v1.ep, Epoch.is_none v2.ep) with
+  | false, false ->
+    let c1 = Epoch.clock v1.ep and c2 = Epoch.clock v2.ep in
+    c1 = c2 && (c1 = 0 || Epoch.tid v1.ep = Epoch.tid v2.ep)
+  | _ ->
+    let rec go t = t >= v1.dim || (get v1 t = get v2 t && go (t + 1)) in
+    go 0
+
+let equal_except v1 v2 z =
+  check_dim "Aclock.equal_except" v1 v2;
+  let rec go t =
+    t >= v1.dim || ((t = z || get v1 t = get v2 t) && go (t + 1))
+  in
+  go 0
+
+let is_bottom a =
+  if Epoch.is_none a.ep then Array.for_all (fun c -> c = 0) a.vec
+  else Epoch.clock a.ep = 0
+
+let reset a =
+  a.ep <- Epoch.bottom (* vec (if any) becomes stale; kept for reuse *)
+
+let to_list a = List.init a.dim (fun t -> get a t)
+
+let of_list cs =
+  if List.exists (fun c -> c < 0) cs then
+    invalid_arg "Aclock.of_list: negative component";
+  let vec = Array.of_list cs in
+  { ep = Epoch.none; vec; dim = Array.length vec }
+
+let pp ppf a =
+  Format.fprintf ppf "@[<h>⟨%a⟩@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',')
+       Format.pp_print_int)
+    (to_list a)
+
+let to_string a = Format.asprintf "%a" pp a

@@ -1,0 +1,83 @@
+(** Adaptive vector clocks: {!Epoch} scalar while single-writer, full
+    vector after a cross-thread join.
+
+    An [Aclock.t] denotes exactly the same mathematical vector time as a
+    {!Vector_clock.t}; only the representation adapts.  A clock whose
+    value is [⊥\[c/t\]] — zero everywhere except component [t] — is kept
+    as the packed epoch [c@@t], so the overwhelmingly common single-writer
+    operations (thread-local reads and writes, re-acquires, own-transaction
+    updates) cost O(1) and allocate nothing.  The first operation whose
+    result is not epoch-shaped {e inflates} the clock to a plain [int
+    array] of dimension [dim]; inflation is permanent and the array is
+    reused thereafter.
+
+    Every operation computes the same value the eager {!Vector_clock}
+    code would; [test/test_vclock.ml] checks this by differential
+    property testing, and the checkers' verdicts are bit-for-bit
+    unchanged.  See DESIGN.md, section "Clock representations". *)
+
+type t
+
+val create : int -> t
+(** [create dim] is [⊥] of dimension [dim], in epoch form.
+    @raise Invalid_argument if [dim < 0]. *)
+
+val bottom : int -> t
+(** Alias for {!create}. *)
+
+val unit : int -> int -> t
+(** [unit dim t] is [⊥\[1/t\]] in epoch form: the initial thread clock. *)
+
+val dim : t -> int
+
+val is_flat : t -> bool
+(** True while the clock is in epoch form. *)
+
+val flat_owner : t -> int
+(** The epoch's thread id while flat, [-1] once inflated.  While flat,
+    every component other than [flat_owner] is zero — callers use this to
+    collapse O(threads) scans to a single-component check. *)
+
+val get : t -> int -> int
+(** O(1) in both representations. *)
+
+val unsafe_get : t -> int -> int
+(** {!get} without the bounds check; the index must be in [0..dim-1].
+    For the checkers' per-event hot loops. *)
+
+val set : t -> int -> int -> unit
+val bump : t -> int -> unit
+
+val join_into : into:t -> t -> unit
+(** [into := into ⊔ v], O(1) whenever [v] is flat.  Inflates [into] only
+    when the result is not epoch-shaped. *)
+
+val join_into_grew : into:t -> t -> bool
+(** Like {!join_into}, additionally reporting whether [into] changed —
+    the checkers use this to invalidate caches keyed on a clock's
+    value. *)
+
+val join_into_zeroed : into:t -> t -> int -> unit
+(** [into := into ⊔ v\[0/z\]]; a no-op when [v] is flat and owned by [z]
+    (the read-own-write fast path of the checkers' [hR_x] updates). *)
+
+val assign : into:t -> t -> unit
+(** Copy [v]'s value; O(1) when [v] is flat. *)
+
+val assign_zeroed : into:t -> t -> int -> unit
+val copy : t -> t
+
+val leq : t -> t -> bool
+(** Pointwise order; O(1) whenever the left clock is flat. *)
+
+val equal : t -> t -> bool
+val equal_except : t -> t -> int -> bool
+val is_bottom : t -> bool
+
+val reset : t -> unit
+(** Back to [⊥] (and back to epoch form). *)
+
+val to_list : t -> int list
+val of_list : int list -> t
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

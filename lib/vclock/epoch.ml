@@ -1,0 +1,27 @@
+let tid_bits = 20
+let max_tid = (1 lsl tid_bits) - 1
+let max_clock = max_int lsr tid_bits
+
+type t = int
+
+let none = -1
+let is_none e = e < 0
+
+let make ~tid ~clock =
+  if tid < 0 || tid > max_tid then invalid_arg "Epoch.make: thread out of range";
+  if clock < 0 || clock > max_clock then invalid_arg "Epoch.make: clock out of range";
+  (clock lsl tid_bits) lor tid
+
+let bottom = 0 (* 0 @ T0: the ⊥ value, owner irrelevant *)
+let tid e = e land max_tid
+let clock e = e lsr tid_bits
+let bump e = e + (1 lsl tid_bits)
+let with_tid ~tid e = (e land lnot max_tid) lor tid
+
+let equal (a : t) (b : t) = a = b
+
+let pp ppf e =
+  if is_none e then Format.pp_print_string ppf "<none>"
+  else Format.fprintf ppf "%d@@%d" (clock e) (tid e)
+
+let to_string e = Format.asprintf "%a" pp e

@@ -1,0 +1,45 @@
+(** Packed scalar clocks [c@@t] in the FastTrack tradition.
+
+    An epoch is a [(thread, clock)] pair packed into a single immediate
+    integer: the low {!tid_bits} bits hold the thread id, the remaining
+    bits the clock value.  Epochs are the O(1) representation used by
+    {!Aclock} while a clock has a single writer; all operations here are
+    constant-time and allocation-free.
+
+    An epoch [c@@t] denotes the vector time [⊥\[c/t\]] — zero everywhere
+    except component [t], which is [c].  The reserved value {!none} marks
+    an {!Aclock} that has inflated to a full vector. *)
+
+val tid_bits : int
+(** Bits reserved for the thread id (20: up to ~1M threads). *)
+
+val max_tid : int
+val max_clock : int
+
+type t = private int
+(** A packed epoch, or {!none}.  [private] so the packing can only be
+    built through {!make} / {!bump} but still compares as an immediate. *)
+
+val none : t
+(** Sentinel for "not an epoch" (negative). *)
+
+val is_none : t -> bool
+
+val make : tid:int -> clock:int -> t
+(** @raise Invalid_argument if either field is out of range. *)
+
+val bottom : t
+(** [0@@0], denoting the vector time [⊥]. *)
+
+val tid : t -> int
+val clock : t -> int
+
+val bump : t -> t
+(** Increment the clock component; the thread id is unchanged. *)
+
+val with_tid : tid:int -> t -> t
+(** Replace the thread id, keeping the clock. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

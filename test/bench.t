@@ -1,0 +1,15 @@
+The bench harness emits machine-readable results with --json; the file
+must satisfy the aerodrome-bench/1 schema (validate_json exits non-zero
+and prints a diagnostic otherwise).
+
+  $ ../bench/main.exe --table 1 --scale 0.05 --timeout 1 --no-micro \
+  >   --no-ablation --no-scaling --json bench.json > /dev/null 2>&1
+  $ ../bench/validate_json.exe bench.json
+  ok
+
+A missing file or a schema violation is rejected:
+
+  $ echo '{"schema":"aerodrome-bench/1","scale":1,"timeout":1,"tables":[],"micro":[]}' > bad.json
+  $ ../bench/validate_json.exe bad.json
+  bad.json: no tables and no micro results
+  [1]

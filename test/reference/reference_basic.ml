@@ -1,7 +1,9 @@
 open Traces
-module AC = Vclock.Aclock
+module Violation = Aerodrome.Violation
+module Checker = Aerodrome.Checker
+module VC = Vclock.Vector_clock
 
-let name = "aerodrome-basic"
+let name = "aerodrome-basic-preepoch"
 
 let nil = -1
 
@@ -9,11 +11,11 @@ type t = {
   threads : int;
   locks : int;
   vars : int;
-  c : AC.t array;  (* C_t: timestamp of thread t's last event *)
-  cb : AC.t array;  (* C⊲_t: timestamp of thread t's last begin *)
-  l : AC.t array;  (* L_ℓ: timestamp of the last rel(ℓ) *)
-  w : AC.t array;  (* W_x: timestamp of the last w(x) *)
-  r : AC.t option array array;  (* r.(x).(t) = R_{t,x}, allocated lazily *)
+  c : VC.t array;  (* C_t: timestamp of thread t's last event *)
+  cb : VC.t array;  (* C⊲_t: timestamp of thread t's last begin *)
+  l : VC.t array;  (* L_ℓ: timestamp of the last rel(ℓ) *)
+  w : VC.t array;  (* W_x: timestamp of the last w(x) *)
+  r : VC.t option array array;  (* r.(x).(t) = R_{t,x}, allocated lazily *)
   last_rel_thr : int array;  (* lastRelThr_ℓ *)
   last_w_thr : int array;  (* lastWThr_x *)
   depth : int array;  (* begin/end nesting depth per thread *)
@@ -27,10 +29,10 @@ let create ~threads ~locks ~vars =
     threads = dim;
     locks;
     vars;
-    c = Array.init dim (fun t -> AC.unit dim t);
-    cb = Array.init dim (fun _ -> AC.bottom dim);
-    l = Array.init (max locks 0) (fun _ -> AC.bottom dim);
-    w = Array.init (max vars 0) (fun _ -> AC.bottom dim);
+    c = Array.init dim (fun t -> VC.unit dim t);
+    cb = Array.init dim (fun _ -> VC.bottom dim);
+    l = Array.init (max locks 0) (fun _ -> VC.bottom dim);
+    w = Array.init (max vars 0) (fun _ -> VC.bottom dim);
     r = Array.make (max vars 0) [||];
     last_rel_thr = Array.make (max locks 0) nil;
     last_w_thr = Array.make (max vars 0) nil;
@@ -51,8 +53,8 @@ exception Found of Violation.site
    ordered after the begin event of t's active transaction, otherwise join
    clk into C_t. *)
 let check_and_get st clk t site =
-  if active st t && AC.leq st.cb.(t) clk then raise (Found site);
-  AC.join_into ~into:st.c.(t) clk
+  if active st t && VC.leq st.cb.(t) clk then raise (Found site);
+  VC.join_into ~into:st.c.(t) clk
 
 let read_row st x =
   if st.r.(x) = [||] then st.r.(x) <- Array.make st.threads None;
@@ -63,7 +65,7 @@ let read_clock_ref st t x =
   match row.(t) with
   | Some clk -> clk
   | None ->
-    let clk = AC.bottom st.threads in
+    let clk = VC.bottom st.threads in
     row.(t) <- Some clk;
     clk
 
@@ -72,17 +74,17 @@ let handle_acquire st t l =
     check_and_get st st.l.(l) t Violation.At_acquire
 
 let handle_release st t l =
-  AC.assign ~into:st.l.(l) st.c.(t);
+  VC.assign ~into:st.l.(l) st.c.(t);
   st.last_rel_thr.(l) <- t
 
-let handle_fork st t u = AC.join_into ~into:st.c.(u) st.c.(t)
+let handle_fork st t u = VC.join_into ~into:st.c.(u) st.c.(t)
 
 let handle_join st t u = check_and_get st st.c.(u) t Violation.At_join
 
 let handle_read st t x =
   if st.last_w_thr.(x) <> t then
     check_and_get st st.w.(x) t Violation.At_read;
-  AC.assign ~into:(read_clock_ref st t x) st.c.(t)
+  VC.assign ~into:(read_clock_ref st t x) st.c.(t)
 
 let handle_write st t x =
   if st.last_w_thr.(x) <> t then
@@ -94,14 +96,14 @@ let handle_write st t x =
       | Some r_ux -> check_and_get st r_ux t Violation.At_write_vs_read
       | None -> ()
   done;
-  AC.assign ~into:st.w.(x) st.c.(t);
+  VC.assign ~into:st.w.(x) st.c.(t);
   st.last_w_thr.(x) <- t
 
 let handle_begin st t =
   st.depth.(t) <- st.depth.(t) + 1;
   if st.depth.(t) = 1 then begin
-    AC.bump st.c.(t) t;
-    AC.assign ~into:st.cb.(t) st.c.(t)
+    VC.bump st.c.(t) t;
+    VC.assign ~into:st.cb.(t) st.c.(t)
   end
 
 (* End of an outermost transaction: propagate the transaction's final
@@ -112,19 +114,19 @@ let handle_end st t =
     if st.depth.(t) = 0 then begin
       let cb_t = st.cb.(t) and c_t = st.c.(t) in
       for u = 0 to st.threads - 1 do
-        if u <> t && AC.leq cb_t st.c.(u) then
+        if u <> t && VC.leq cb_t st.c.(u) then
           check_and_get st c_t u (Violation.At_end (Ids.Tid.of_int u))
       done;
       for l = 0 to st.locks - 1 do
-        if AC.leq cb_t st.l.(l) then AC.join_into ~into:st.l.(l) c_t
+        if VC.leq cb_t st.l.(l) then VC.join_into ~into:st.l.(l) c_t
       done;
       for x = 0 to st.vars - 1 do
-        if AC.leq cb_t st.w.(x) then AC.join_into ~into:st.w.(x) c_t;
+        if VC.leq cb_t st.w.(x) then VC.join_into ~into:st.w.(x) c_t;
         let row = st.r.(x) in
         if row <> [||] then
           for u = 0 to st.threads - 1 do
             match row.(u) with
-            | Some r_ux when AC.leq cb_t r_ux -> AC.join_into ~into:r_ux c_t
+            | Some r_ux when VC.leq cb_t r_ux -> VC.join_into ~into:r_ux c_t
             | Some _ | None -> ()
           done
       done
@@ -156,7 +158,7 @@ let feed st (e : Event.t) =
 
 (* Introspection *)
 
-let snapshot clk = Vclock.Vtime.of_list (AC.to_list clk)
+let snapshot clk = Vclock.Vtime.of_clock clk
 let thread_clock st t = snapshot st.c.(t)
 let begin_clock st t = snapshot st.cb.(t)
 let lock_clock st l = snapshot st.l.(l)

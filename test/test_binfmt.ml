@@ -125,6 +125,23 @@ let test_runner_streaming () =
           a.Aerodrome.Violation.index
       | _ -> Alcotest.fail "expected verdicts")
 
+let test_large_roundtrip () =
+  (* >=100k events: exercises many buffered-reader refills (64 KiB chunks)
+     and the chunk boundaries falling inside multi-byte records *)
+  let tr =
+    Workloads.Generator.generate
+      { Workloads.Generator.default with events = 120_000; vars = 5_000 }
+  in
+  tmp (fun path ->
+      Binfmt.write_file path tr;
+      let tr' = Binfmt.read_file path in
+      check Alcotest.bool "120k-event roundtrip" true
+        (Trace.to_list tr = Trace.to_list tr');
+      let h, rev = Binfmt.fold path ~init:[] ~f:(fun acc e -> e :: acc) in
+      check Alcotest.int "header count" (Trace.length tr) h.Binfmt.events;
+      check Alcotest.bool "fold sees the same events" true
+        (List.rev rev = Trace.to_list tr))
+
 let prop_roundtrip =
   QCheck.Test.make ~name:"binary roundtrip" ~count:100
     (Helpers.arb_trace ~threads:4 ~locks:2 ~vars:4 ~max_len:100 ~complete:false ())
@@ -159,5 +176,6 @@ let suite =
       Alcotest.test_case "text detection" `Quick test_not_binary;
       Alcotest.test_case "corruption" `Quick test_corruption;
       Alcotest.test_case "streaming runner" `Quick test_runner_streaming;
+      Alcotest.test_case "large roundtrip" `Quick test_large_roundtrip;
     ]
     @ Helpers.qcheck_tests [ prop_roundtrip ] )

@@ -12,6 +12,8 @@ let () =
       Test_paper_traces.suite;
       Test_chb.suite;
       Test_checkers.suite;
+      Test_differential.suite;
+      Test_streaming.suite;
       Test_monitor.suite;
       Test_velodrome.suite;
       Test_generator.suite;

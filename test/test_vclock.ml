@@ -2,6 +2,7 @@
 
 module VC = Vclock.Vector_clock
 module VT = Vclock.Vtime
+module AC = Vclock.Aclock
 
 let check = Alcotest.check
 let vt = Helpers.vtime
@@ -150,6 +151,118 @@ let prop_zeroed_join_matches =
       VC.join_into_zeroed ~into:ca (VT.to_clock b) 2;
       VT.equal (VT.of_clock ca) (VT.join a (VT.zeroed b 2)))
 
+(* --- Aclock vs Vector_clock: the adaptive representation is exact --- *)
+
+(* Random operation sequences over a small bank of clocks, applied in
+   lock-step to an Aclock and a Vector_clock.  The values must stay
+   identical after every operation, whatever mix of epoch-form and
+   inflated clocks the sequence produces. *)
+
+type aop =
+  | Bump of int * int
+  | Set of int * int * int
+  | Join of int * int
+  | Join_zeroed of int * int * int
+  | Assign of int * int
+  | Assign_zeroed of int * int * int
+  | Reset of int
+
+let pp_aop = function
+  | Bump (a, t) -> Printf.sprintf "bump %d %d" a t
+  | Set (a, t, c) -> Printf.sprintf "set %d %d %d" a t c
+  | Join (a, b) -> Printf.sprintf "join %d %d" a b
+  | Join_zeroed (a, b, z) -> Printf.sprintf "join0 %d %d %d" a b z
+  | Assign (a, b) -> Printf.sprintf "assign %d %d" a b
+  | Assign_zeroed (a, b, z) -> Printf.sprintf "assign0 %d %d %d" a b z
+  | Reset a -> Printf.sprintf "reset %d" a
+
+let bank = 4
+let adim = 4
+
+let arb_aops =
+  let gen rs =
+    let rand n = Random.State.int rs n in
+    List.init
+      (10 + rand 50)
+      (fun _ ->
+        match rand 7 with
+        | 0 -> Bump (rand bank, rand adim)
+        | 1 -> Set (rand bank, rand adim, rand 8)
+        | 2 -> Join (rand bank, rand bank)
+        | 3 -> Join_zeroed (rand bank, rand bank, rand adim)
+        | 4 -> Assign (rand bank, rand bank)
+        | 5 -> Assign_zeroed (rand bank, rand bank, rand adim)
+        | _ -> Reset (rand bank))
+  in
+  QCheck.make
+    ~print:(fun ops -> String.concat "; " (List.map pp_aop ops))
+    gen
+
+let prop_aclock_matches_vector_clock =
+  QCheck.Test.make ~name:"Aclock tracks Vector_clock exactly" ~count:500
+    arb_aops
+    (fun ops ->
+      let acs =
+        Array.init bank (fun i ->
+            if i < 2 then AC.unit adim i else AC.create adim)
+      in
+      let vcs = Array.map (fun a -> VC.of_list (AC.to_list a)) acs in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          (match op with
+          | Bump (a, t) ->
+            AC.bump acs.(a) t;
+            VC.bump vcs.(a) t
+          | Set (a, t, c) ->
+            AC.set acs.(a) t c;
+            VC.set vcs.(a) t c
+          | Join (a, b) ->
+            let before = AC.to_list acs.(a) in
+            let grew = AC.join_into_grew ~into:acs.(a) acs.(b) in
+            VC.join_into ~into:vcs.(a) vcs.(b);
+            if grew <> (AC.to_list acs.(a) <> before) then ok := false
+          | Join_zeroed (a, b, z) ->
+            AC.join_into_zeroed ~into:acs.(a) acs.(b) z;
+            VC.join_into_zeroed ~into:vcs.(a) vcs.(b) z
+          | Assign (a, b) ->
+            AC.assign ~into:acs.(a) acs.(b);
+            VC.assign ~into:vcs.(a) vcs.(b)
+          | Assign_zeroed (a, b, z) ->
+            AC.assign_zeroed ~into:acs.(a) acs.(b) z;
+            VC.assign_zeroed ~into:vcs.(a) vcs.(b) z
+          | Reset a ->
+            AC.reset acs.(a);
+            VC.reset vcs.(a));
+          for i = 0 to bank - 1 do
+            if AC.to_list acs.(i) <> VC.to_list vcs.(i) then ok := false;
+            (* while flat, every non-owner component is zero *)
+            if AC.is_flat acs.(i) then begin
+              let owner = AC.flat_owner acs.(i) in
+              for t = 0 to adim - 1 do
+                if t <> owner && AC.get acs.(i) t <> 0 then ok := false
+              done
+            end
+            else if AC.flat_owner acs.(i) <> -1 then ok := false
+          done)
+        ops;
+      (* the order and equality queries agree on the final bank *)
+      for i = 0 to bank - 1 do
+        for j = 0 to bank - 1 do
+          if AC.leq acs.(i) acs.(j) <> VC.leq vcs.(i) vcs.(j) then ok := false;
+          if AC.equal acs.(i) acs.(j) <> VC.equal vcs.(i) vcs.(j) then
+            ok := false;
+          if
+            AC.equal_except acs.(i) acs.(j) 1
+            <> VC.equal_except vcs.(i) vcs.(j) 1
+          then ok := false;
+          for t = 0 to adim - 1 do
+            if AC.get acs.(i) t <> AC.unsafe_get acs.(i) t then ok := false
+          done
+        done
+      done;
+      !ok)
+
 let suite =
   ( "vclock",
     [
@@ -177,4 +290,5 @@ let suite =
           prop_leq_trans;
           prop_mutable_matches_persistent;
           prop_zeroed_join_matches;
+          prop_aclock_matches_vector_clock;
         ] )
