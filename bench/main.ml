@@ -1,15 +1,23 @@
 (* Benchmark harness: regenerates the paper's Table 1 and Table 2 (scaled),
-   plus two ablations (checker variants; linear-vs-superlinear scaling) and
-   a micro-benchmark of per-event throughput on Table-1-style workloads at
-   high thread counts.
+   plus two ablations (checker variants; linear-vs-superlinear scaling), a
+   micro-benchmark of per-event throughput on Table-1-style workloads at
+   high thread counts, and a multicore section (corpus fan-out across a
+   domain pool; pipelined vs sequential single-trace streaming).
+
+   With [--jobs N] trace generation and the corpus fan-out use a fixed
+   pool of N domains.  Timed per-checker runs are never co-tenant: table
+   rows serialize their timed regions, each on a dedicated domain, so
+   per-checker numbers stay honest while the untimed work overlaps.
 
    With [--json FILE] the harness also emits a machine-readable summary
-   (schema "aerodrome-bench/1": per-checker events/sec, Gc statistics) so
-   committed BENCH_*.json files can track the performance trajectory.
+   (schema "aerodrome-bench/2": per-checker events/sec, Gc statistics,
+   parallel wall-clock + speedup) so committed BENCH_*.json files can
+   track the performance trajectory.
 
-   Usage: dune exec bench/main.exe -- [--table 1|2] [--scale F]
-          [--timeout S] [--only NAME] [--no-micro] [--micro-fast] [--no-ablation]
-          [--no-scaling] [--json FILE] [--markdown] *)
+   Usage: dune exec bench/main.exe -- [--table 1|2] [--no-tables] [--scale F]
+          [--jobs N] [--timeout S] [--only NAME] [--no-micro] [--micro-fast]
+          [--no-ablation] [--no-scaling] [--no-parallel] [--json FILE]
+          [--markdown] *)
 
 open Traces
 
@@ -23,9 +31,11 @@ type options = {
   mutable micro : bool;
   mutable ablation : bool;
   mutable scaling : bool;
+  mutable parallel : bool;
   mutable markdown : bool;
   mutable json : string option;
   mutable micro_fast : bool;
+  mutable jobs : int;
 }
 
 let opts =
@@ -37,9 +47,11 @@ let opts =
     micro = true;
     ablation = true;
     scaling = true;
+    parallel = true;
     markdown = false;
     json = None;
     micro_fast = false;
+    jobs = 1;
   }
 
 let parse_args () =
@@ -69,6 +81,15 @@ let parse_args () =
       go rest
     | "--no-scaling" :: rest ->
       opts.scaling <- false;
+      go rest
+    | "--no-parallel" :: rest ->
+      opts.parallel <- false;
+      go rest
+    | "--no-tables" :: rest ->
+      opts.tables <- [];
+      go rest
+    | "--jobs" :: n :: rest ->
+      opts.jobs <- max 1 (int_of_string n);
       go rest
     | "--markdown" :: rest ->
       opts.markdown <- true;
@@ -111,7 +132,7 @@ type sample_row = {
   samples : checker_sample list;
 }
 
-let json_tables : (int * sample_row list) list ref = ref []
+let json_tables : (int * float * sample_row list) list ref = ref []
 let json_micro : sample_row list ref = ref []
 
 let verdict_string (r : Analysis.Runner.result) =
@@ -167,17 +188,20 @@ let sample_pair ~reps c1 c2 tr =
   ( finish_sample ~alloc_words:((alloc1 -. alloc0) /. 8.) !best1,
     finish_sample ~alloc_words:((alloc2 -. alloc1) /. 8.) !best2 )
 
-let sample_of_result (r : Analysis.Runner.result) =
-  {
-    cname = r.Analysis.Runner.checker;
-    seconds = r.Analysis.Runner.seconds;
-    events_fed = r.Analysis.Runner.events_fed;
-    events_per_sec =
-      float_of_int r.Analysis.Runner.events_fed /. max r.Analysis.Runner.seconds 1e-9;
-    verdict = verdict_string r;
-    allocated_mwords = 0.;
-    top_heap_words = (Gc.quick_stat ()).Gc.top_heap_words;
-  }
+(* One timed run with real allocation figures: [Gc.allocated_bytes]
+   deltas taken immediately around the run, in the domain that executes
+   it (the counters are domain-local in OCaml 5).  [dedicated] runs the
+   measurement on a fresh domain of its own — the parallel-mode table
+   path, where the calling domain's counters would mix in whatever else
+   it has been doing. *)
+let timed_sample ?(dedicated = false) checker tr =
+  let measure () =
+    let a0 = Gc.allocated_bytes () in
+    let r = Analysis.Runner.run ~timeout:opts.timeout checker tr in
+    let a1 = Gc.allocated_bytes () in
+    (r, finish_sample ~alloc_words:((a1 -. a0) /. 8.) r)
+  in
+  if dedicated then Domain.join (Domain.spawn measure) else measure ()
 
 let row_of_trace name tr samples =
   {
@@ -191,14 +215,20 @@ let row_of_trace name tr samples =
 
 (* --- tables --- *)
 
-let bench_profile (p : Workloads.Profile.t) =
+(* Untimed per-row work (trace generation, metainfo): this is what
+   [--jobs] overlaps across the pool.  The timed checker runs happen
+   afterwards, strictly one at a time, so they never share the machine
+   with another timed run. *)
+let prepare_profile (p : Workloads.Profile.t) =
   let tr = Workloads.Profile.generate ~scale:opts.scale p in
-  let meta = Analysis.Metainfo.analyze tr in
-  let v = Analysis.Runner.run ~timeout:opts.timeout velodrome tr in
-  let a = Analysis.Runner.run ~timeout:opts.timeout aerodrome tr in
+  (p, tr, Analysis.Metainfo.analyze tr)
+
+let bench_profile ~dedicated ((p : Workloads.Profile.t), tr, meta) =
+  let v, vs = timed_sample ~dedicated velodrome tr in
+  let a, as_ = timed_sample ~dedicated aerodrome tr in
   (* Sanity: the verdict must match the profile's plan whenever the run
      completed. *)
-  (match (a.outcome, Workloads.Profile.expected_violating p) with
+  (match (a.Analysis.Runner.outcome, Workloads.Profile.expected_violating p) with
   | Analysis.Runner.Verdict verdict, expected ->
     if Option.is_some verdict <> expected then
       Format.fprintf fmt
@@ -207,9 +237,7 @@ let bench_profile (p : Workloads.Profile.t) =
         (if Option.is_some verdict then "violating" else "serializable")
         (if expected then "violating" else "serializable")
   | Analysis.Runner.Timed_out, _ -> ());
-  let row =
-    row_of_trace p.name tr [ sample_of_result v; sample_of_result a ]
-  in
+  let row = row_of_trace p.name tr [ vs; as_ ] in
   ( Analysis.Report.make_row ~name:p.name ~meta ~velodrome:v ~aerodrome:a
       ~timeout:opts.timeout ~paper:p.paper (),
     row )
@@ -221,9 +249,12 @@ let run_table n =
            match opts.only with None -> true | Some name -> p.name = name)
   in
   if profiles <> [] then begin
-    let pairs = List.map bench_profile profiles in
+    let wall0 = Unix.gettimeofday () in
+    let prepared = Parallel.Pool.run ~jobs:opts.jobs prepare_profile profiles in
+    let pairs = List.map (bench_profile ~dedicated:(opts.jobs > 1)) prepared in
+    let wall = Unix.gettimeofday () -. wall0 in
     let rows = List.map fst pairs in
-    json_tables := !json_tables @ [ (n, List.map snd pairs) ];
+    json_tables := !json_tables @ [ (n, wall, List.map snd pairs) ];
     let title =
       if n = 1 then
         "Table 1: benchmarks with realistic atomicity specifications \
@@ -423,7 +454,157 @@ let run_micro () =
         @ [ row_of_trace wname tr_fast (s_epoch :: s_base :: slow_samples) ])
     (micro_workloads ())
 
-(* --- JSON emitter (schema "aerodrome-bench/1") --- *)
+(* --- Multicore: corpus fan-out and pipelined ingestion ---
+
+   Fan-out: a deterministic corpus of independent traces (the service
+   workload: many users submit traces, the pool drains the queue) is
+   checked at --jobs 1 and at --jobs N on a fixed domain pool; each
+   trace's checker is the unmodified sequential one, so the per-trace
+   verdicts cannot differ — the harness asserts they do not — and the
+   interesting number is aggregate wall-clock events/sec.
+
+   Pipelined: one large trace streamed from a binary file with and
+   without the producer-domain ring buffer (interleaved repetitions,
+   best of each), reported as a speedup with byte-identical verdicts. *)
+
+type parallel_run = {
+  pr_jobs : int;
+  pr_wall : float;
+  pr_eps : float;  (* aggregate events/sec over the whole corpus *)
+  pr_speedup : float;  (* vs the jobs=1 run of the same corpus *)
+  pr_match : bool;  (* verdicts identical to the jobs=1 run *)
+}
+
+type parallel_summary = {
+  corpus_traces : int;
+  corpus_events : int;
+  corpus_runs : parallel_run list;
+  pipe_events : int;
+  pipe_seq_seconds : float;
+  pipe_seconds : float;
+  pipe_speedup : float;
+  pipe_match : bool;
+}
+
+let json_parallel : parallel_summary option ref = ref None
+
+let run_parallel () =
+  (* corpus fan-out *)
+  let traces = 16 in
+  let events_total = int_of_float (2_400_000. *. opts.scale) in
+  let corpus = Workloads.Corpus.generate ~traces ~events_total () in
+  let corpus_events =
+    List.fold_left (fun acc (_, tr) -> acc + Trace.length tr) 0 corpus
+  in
+  Format.fprintf fmt
+    "@.Multicore: corpus fan-out (%d traces, %d events total, aerodrome \
+     per trace)@."
+    traces corpus_events;
+  let fingerprint (r : Analysis.Runner.result) =
+    ( r.Analysis.Runner.checker,
+      verdict_string r,
+      r.Analysis.Runner.events_fed,
+      match r.Analysis.Runner.outcome with
+      | Analysis.Runner.Verdict (Some v) -> Some v.Aerodrome.Violation.index
+      | _ -> None )
+  in
+  let check_corpus jobs =
+    let t0 = Unix.gettimeofday () in
+    let rs =
+      Parallel.Pool.run ~jobs
+        (fun (_, tr) -> Analysis.Runner.run ~timeout:opts.timeout aerodrome tr)
+        corpus
+    in
+    (Unix.gettimeofday () -. t0, List.map fingerprint rs)
+  in
+  let baseline_wall, baseline = check_corpus 1 in
+  let runs =
+    List.map
+      (fun jobs ->
+        let wall, fps =
+          if jobs = 1 then (baseline_wall, baseline) else check_corpus jobs
+        in
+        let pr_match = fps = baseline in
+        if not pr_match then
+          Format.fprintf fmt
+            "!! corpus fan-out at --jobs %d: verdicts differ from --jobs 1@."
+            jobs;
+        {
+          pr_jobs = jobs;
+          pr_wall = wall;
+          pr_eps = float_of_int corpus_events /. max wall 1e-9;
+          pr_speedup = baseline_wall /. max wall 1e-9;
+          pr_match;
+        })
+      (List.sort_uniq compare [ 1; opts.jobs ])
+  in
+  List.iter
+    (fun r ->
+      Format.fprintf fmt
+        "  --jobs %-2d  %8.3fs wall  %10.1f Kev/s aggregate  %.2fx vs 1 job%s@."
+        r.pr_jobs r.pr_wall (r.pr_eps /. 1e3) r.pr_speedup
+        (if r.pr_match then "" else "  [MISMATCH]"))
+    runs;
+  (* pipelined single-trace streaming *)
+  let big =
+    Workloads.Generator.generate
+      {
+        Workloads.Generator.default with
+        events = int_of_float (400_000. *. opts.scale);
+        threads = 8;
+        locks = 8;
+        vars = int_of_float (150_000. *. opts.scale) + 256;
+      }
+  in
+  let path = Filename.temp_file "aerodrome-bench" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Traces.Binfmt.write_file path big;
+      let run pipelined =
+        Analysis.Runner.run_stream ~timeout:opts.timeout ~pipelined aerodrome
+          path
+      in
+      (* interleaved repetitions, best of each mode *)
+      let best_seq = ref (run false) in
+      let best_pipe = ref (run true) in
+      for _ = 2 to 3 do
+        let s = run false in
+        if s.Analysis.Runner.seconds < !best_seq.Analysis.Runner.seconds then
+          best_seq := s;
+        let p = run true in
+        if p.Analysis.Runner.seconds < !best_pipe.Analysis.Runner.seconds then
+          best_pipe := p
+      done;
+      let pipe_match = fingerprint !best_seq = fingerprint !best_pipe in
+      if not pipe_match then
+        Format.fprintf fmt "!! pipelined stream: verdict differs from sequential@.";
+      let speedup =
+        !best_seq.Analysis.Runner.seconds
+        /. max !best_pipe.Analysis.Runner.seconds 1e-9
+      in
+      Format.fprintf fmt
+        "@.Multicore: pipelined ingestion (%d-event binary trace, best of 3)@."
+        (Trace.length big);
+      Format.fprintf fmt
+        "  sequential %8.3fs   pipelined %8.3fs   %.2fx%s@."
+        !best_seq.Analysis.Runner.seconds !best_pipe.Analysis.Runner.seconds
+        speedup
+        (if pipe_match then "" else "  [MISMATCH]");
+      json_parallel :=
+        Some
+          {
+            corpus_traces = traces;
+            corpus_events;
+            corpus_runs = runs;
+            pipe_events = Trace.length big;
+            pipe_seq_seconds = !best_seq.Analysis.Runner.seconds;
+            pipe_seconds = !best_pipe.Analysis.Runner.seconds;
+            pipe_speedup = speedup;
+            pipe_match;
+          })
+
+(* --- JSON emitter (schema "aerodrome-bench/2") --- *)
 
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in
@@ -464,18 +645,34 @@ let emit_json path =
     sep_list emit_sample r.samples;
     add "]}"
   in
-  add "{\"schema\":\"aerodrome-bench/1\",";
-  add "\"scale\":%g,\"timeout\":%g," opts.scale opts.timeout;
+  add "{\"schema\":\"aerodrome-bench/2\",";
+  add "\"scale\":%g,\"timeout\":%g,\"jobs\":%d," opts.scale opts.timeout
+    opts.jobs;
   add "\"tables\":[";
   sep_list
-    (fun (n, rows) ->
-      add "{\"table\":%d,\"rows\":[" n;
+    (fun (n, wall, rows) ->
+      add "{\"table\":%d,\"wall_seconds\":%.6f,\"rows\":[" n wall;
       sep_list emit_row rows;
       add "]}")
     !json_tables;
   add "],\"micro\":[";
   sep_list emit_row !json_micro;
-  add "]}";
+  add "],\"parallel\":";
+  (match !json_parallel with
+  | None -> add "null"
+  | Some p ->
+    add "{\"corpus\":{\"traces\":%d,\"events_total\":%d,\"runs\":["
+      p.corpus_traces p.corpus_events;
+    sep_list
+      (fun r ->
+        add
+          "{\"jobs\":%d,\"wall_seconds\":%.6f,\"events_per_sec\":%.1f,\"speedup_vs_jobs1\":%.3f,\"verdicts_match\":%b}"
+          r.pr_jobs r.pr_wall r.pr_eps r.pr_speedup r.pr_match)
+      p.corpus_runs;
+    add "]},\"pipelined\":{\"events\":%d,\"sequential_seconds\":%.6f,\"pipelined_seconds\":%.6f,\"speedup\":%.3f,\"reports_match\":%b}}"
+      p.pipe_events p.pipe_seq_seconds p.pipe_seconds p.pipe_speedup
+      p.pipe_match);
+  add "}";
   Buffer.add_char buf '\n';
   let oc = open_out path in
   Fun.protect
@@ -486,11 +683,12 @@ let emit_json path =
 let () =
   parse_args ();
   Format.fprintf fmt
-    "AeroDrome reproduction benchmarks (scale %.2f, timeout %.1fs)@."
-    opts.scale opts.timeout;
+    "AeroDrome reproduction benchmarks (scale %.2f, timeout %.1fs, jobs %d)@."
+    opts.scale opts.timeout opts.jobs;
   List.iter run_table opts.tables;
   if opts.ablation && opts.only = None then run_ablation ();
   if opts.scaling && opts.only = None then run_scaling ();
   if opts.micro && opts.only = None then run_micro ();
+  if opts.parallel && opts.only = None then run_parallel ();
   Option.iter emit_json opts.json;
   Format.pp_print_flush fmt ()

@@ -1,5 +1,5 @@
 (* Schema validator for the bench harness's --json output
-   (schema "aerodrome-bench/1").  Exits 0 and prints "ok" when the file
+   (schema "aerodrome-bench/2").  Exits 0 and prints "ok" when the file
    parses and carries the expected structure; prints a diagnostic and
    exits 1 otherwise.  Used by the cram test so the emitter cannot rot.
 
@@ -192,17 +192,60 @@ let check_row ~where r =
     (fun i s -> check_sample ~where:(Printf.sprintf "%s.checkers[%d]" where i) s)
     checkers
 
+let as_bool what = function
+  | Bool b -> b
+  | _ -> bad "%s: expected a boolean" what
+
+let check_parallel = function
+  | Null -> ()
+  | p ->
+    let corpus = field p "corpus" in
+    ignore (as_num "parallel.corpus.traces" (field corpus "traces"));
+    let events_total =
+      as_num "parallel.corpus.events_total" (field corpus "events_total")
+    in
+    if events_total < 0. then bad "parallel.corpus: negative events_total";
+    let runs = as_list "parallel.corpus.runs" (field corpus "runs") in
+    if runs = [] then bad "parallel.corpus: no runs";
+    List.iteri
+      (fun i r ->
+        let where = Printf.sprintf "parallel.corpus.runs[%d]" i in
+        let jobs = as_num (where ^ ".jobs") (field r "jobs") in
+        if jobs < 1. then bad "%s: jobs < 1" where;
+        if as_num (where ^ ".wall_seconds") (field r "wall_seconds") < 0. then
+          bad "%s: negative wall_seconds" where;
+        ignore (as_num (where ^ ".events_per_sec") (field r "events_per_sec"));
+        ignore
+          (as_num (where ^ ".speedup_vs_jobs1") (field r "speedup_vs_jobs1"));
+        if not (as_bool (where ^ ".verdicts_match") (field r "verdicts_match"))
+        then bad "%s: parallel verdicts diverged from sequential" where)
+      runs;
+    let pipe = field p "pipelined" in
+    ignore (as_num "parallel.pipelined.events" (field pipe "events"));
+    ignore
+      (as_num "parallel.pipelined.sequential_seconds"
+         (field pipe "sequential_seconds"));
+    ignore
+      (as_num "parallel.pipelined.pipelined_seconds"
+         (field pipe "pipelined_seconds"));
+    ignore (as_num "parallel.pipelined.speedup" (field pipe "speedup"));
+    if not (as_bool "parallel.pipelined.reports_match" (field pipe "reports_match"))
+    then bad "parallel.pipelined: report diverged from sequential"
+
 let check_root j =
   let schema = as_str "schema" (field j "schema") in
-  if schema <> "aerodrome-bench/1" then bad "unknown schema %S" schema;
+  if schema <> "aerodrome-bench/2" then bad "unknown schema %S" schema;
   ignore (as_num "scale" (field j "scale"));
   ignore (as_num "timeout" (field j "timeout"));
+  if as_num "jobs" (field j "jobs") < 1. then bad "jobs < 1";
   let tables = as_list "tables" (field j "tables") in
   let micro = as_list "micro" (field j "micro") in
   List.iteri
     (fun i t ->
       let where = Printf.sprintf "tables[%d]" i in
       ignore (as_num (where ^ ".table") (field t "table"));
+      if as_num (where ^ ".wall_seconds") (field t "wall_seconds") < 0. then
+        bad "%s: negative wall_seconds" where;
       let rows = as_list (where ^ ".rows") (field t "rows") in
       if rows = [] then bad "%s: empty rows" where;
       List.iteri
@@ -212,7 +255,10 @@ let check_root j =
   List.iteri
     (fun i r -> check_row ~where:(Printf.sprintf "micro[%d]" i) r)
     micro;
-  if tables = [] && micro = [] then bad "no tables and no micro results"
+  let parallel = field j "parallel" in
+  check_parallel parallel;
+  if tables = [] && micro = [] && parallel = Null then
+    bad "no tables and no micro results"
 
 let () =
   let path =

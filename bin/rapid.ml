@@ -76,29 +76,81 @@ let check_cmd =
   let quiet =
     Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Only set the exit code.")
   in
-  let run checker timeout quiet path =
-    (* both formats stream: no Trace.t is materialized *)
-    let r =
-      try Analysis.Runner.run_stream ?timeout checker path with
-      | Traces.Binfmt.Corrupt msg ->
-        Format.eprintf "%s@." msg;
-        exit 2
-      | Traces.Parser.Parse_error e ->
-        Format.eprintf "%s: %a@." path Traces.Parser.pp_error e;
-        exit 2
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Check up to $(docv) trace files in parallel on a fixed domain \
+             pool.  Reports are printed in argument order regardless of \
+             completion order; each file's checker is the exact sequential \
+             one, so verdicts are identical to $(b,--jobs) 1.")
+  in
+  let pipelined =
+    Arg.(
+      value & flag
+      & info [ "pipelined" ]
+          ~doc:
+            "Overlap trace ingestion (read, decode, intern) with checking: \
+             a producer domain streams event batches through a bounded \
+             ring buffer to the checker.  Verdicts are identical to the \
+             sequential stream.")
+  in
+  (* the positionals are plain strings, not Arg.file: a missing file must
+     produce a per-file error and leave the remaining files checked *)
+  let traces =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"TRACE" ~doc:"Trace files in the rapid .std or binary format.")
+  in
+  let run checker timeout quiet jobs pipelined paths =
+    let reports =
+      Analysis.Runner.run_many ?timeout ~pipelined ~jobs checker paths
     in
-    if not quiet then Format.printf "%a@." Analysis.Runner.pp r;
-    match r.Analysis.Runner.outcome with
-    | Analysis.Runner.Verdict (Some _) -> exit 1
-    | Analysis.Runner.Verdict None -> exit 0
-    | Analysis.Runner.Timed_out -> exit 3
+    let single = match paths with [ _ ] -> true | _ -> false in
+    List.iter
+      (fun fr ->
+        match fr.Analysis.Runner.report with
+        | Ok r ->
+          if not quiet then
+            if single then Format.printf "%a@." Analysis.Runner.pp r
+            else Format.printf "%a@." Analysis.Runner.pp_file_report fr
+        | Error msg -> Format.eprintf "%s@." msg)
+      reports;
+    let has f =
+      List.exists
+        (fun fr ->
+          match fr.Analysis.Runner.report with
+          | Ok r -> f (Some r)
+          | Error _ -> f None)
+        reports
+    in
+    let errored = has (function None -> true | Some _ -> false) in
+    let timed_out =
+      has (function
+        | Some { Analysis.Runner.outcome = Analysis.Runner.Timed_out; _ } ->
+          true
+        | _ -> false)
+    in
+    let violated =
+      has (function
+        | Some { Analysis.Runner.outcome = Analysis.Runner.Verdict (Some _); _ }
+          ->
+          true
+        | _ -> false)
+    in
+    if errored then exit 2
+    else if timed_out then exit 3
+    else if violated then exit 1
+    else exit 0
   in
   Cmd.v
     (Cmd.info "check"
        ~doc:
-         "Check a trace for conflict-serializability violations (exit code: \
-          0 serializable, 1 violation, 3 timeout)")
-    Term.(const run $ algo $ timeout $ quiet $ trace_arg)
+         "Check trace files for conflict-serializability violations (exit \
+          code: 0 all serializable, 1 violation, 2 unreadable/malformed \
+          file, 3 timeout)")
+    Term.(const run $ algo $ timeout $ quiet $ jobs $ pipelined $ traces)
 
 (* generate *)
 

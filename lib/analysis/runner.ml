@@ -79,7 +79,7 @@ let run_binary_file ?timeout checker path =
         ~locks:header.Traces.Binfmt.locks ~vars:header.Traces.Binfmt.vars
         events)
 
-let run_stream ?timeout (module C : Aerodrome.Checker.S) path =
+let run_stream_seq ?timeout (module C : Aerodrome.Checker.S) path =
   if Traces.Binfmt.is_binary path then
     run_binary_file ?timeout (module C) path
   else begin
@@ -122,6 +122,133 @@ let run_stream ?timeout (module C : Aerodrome.Checker.S) path =
       }
   end
 
+(* --- pipelined ingestion ---
+
+   A producer domain reads, decodes and interns the trace file and pushes
+   event batches through a bounded SPSC ring; the calling domain pops
+   batches and feeds the checker, so I/O + decode overlap vector-clock
+   work.  The checker sees exactly the event sequence the sequential path
+   sees, in order, so verdicts and violation indices are identical. *)
+
+type stream_msg =
+  | Domains of { threads : int; locks : int; vars : int }
+  | Batch of Traces.Event.t array
+
+let batch_size = 8192
+let ring_capacity = 8
+
+exception Stop_producing
+
+let produce_file path ~push =
+  let push_or_stop m = if not (push m) then raise Stop_producing in
+  let scratch = Array.make batch_size (Traces.Event.begin_ 0) in
+  let fill = ref 0 in
+  let flush () =
+    if !fill > 0 then begin
+      push_or_stop (Batch (Array.sub scratch 0 !fill));
+      fill := 0
+    end
+  in
+  let feed () e =
+    scratch.(!fill) <- e;
+    incr fill;
+    if !fill = batch_size then flush ()
+  in
+  try
+    (if Traces.Binfmt.is_binary path then begin
+       let h = Traces.Binfmt.read_header path in
+       push_or_stop
+         (Domains
+            {
+              threads = h.Traces.Binfmt.threads;
+              locks = h.Traces.Binfmt.locks;
+              vars = h.Traces.Binfmt.vars;
+            });
+       ignore (Traces.Binfmt.fold path ~init:() ~f:feed)
+     end
+     else
+       Traces.Parser.fold_file_exn path
+         ~init:(fun ~threads ~locks ~vars ->
+           push_or_stop (Domains { threads; locks; vars }))
+         ~f:feed);
+    flush ()
+  with Stop_producing -> ()
+
+let run_stream_pipelined ?timeout (module C : Aerodrome.Checker.S) path =
+  Parallel.Pipeline.run ~capacity:ring_capacity
+    ~produce:(fun ~push -> produce_file path ~push)
+    ~consume:(fun ~pop ->
+      match pop () with
+      | None ->
+        (* the producer failed before announcing the domains (bad header,
+           malformed text, unreadable file); Pipeline.run re-raises its
+           exception and this placeholder is discarded *)
+        {
+          checker = C.name;
+          outcome = Verdict None;
+          seconds = 0.;
+          events_fed = 0;
+        }
+      | Some (Batch _) -> assert false (* producer announces domains first *)
+      | Some (Domains { threads; locks; vars }) ->
+        let st = C.create ~threads ~locks ~vars in
+        let started = Unix.gettimeofday () in
+        let deadline = Option.map (fun b -> started +. b) timeout in
+        let timed_out = ref false in
+        let fed = ref 0 in
+        (try
+           let rec loop () =
+             match pop () with
+             | None -> ()
+             | Some (Domains _) -> assert false
+             | Some (Batch events) ->
+               Array.iter
+                 (fun e ->
+                   ignore (C.feed st e);
+                   incr fed;
+                   if !fed land (check_interval - 1) = 0 then
+                     match deadline with
+                     | Some d when Unix.gettimeofday () > d ->
+                       timed_out := true;
+                       raise Exit
+                     | _ -> ())
+                 events;
+               loop ()
+           in
+           loop ()
+         with Exit -> ());
+        {
+          checker = C.name;
+          outcome = (if !timed_out then Timed_out else Verdict (C.violation st));
+          seconds = Unix.gettimeofday () -. started;
+          events_fed = !fed;
+        })
+    ()
+
+let run_stream ?timeout ?(pipelined = false) checker path =
+  if pipelined then run_stream_pipelined ?timeout checker path
+  else run_stream_seq ?timeout checker path
+
+(* --- multi-file fan-out --- *)
+
+type file_report = {
+  file : string;
+  report : (result, string) Stdlib.result;
+}
+
+let run_file ?timeout ?(pipelined = false) checker path =
+  match run_stream ?timeout ~pipelined checker path with
+  | r -> Ok r
+  | exception Traces.Binfmt.Corrupt msg -> Error msg
+  | exception Traces.Parser.Parse_error e ->
+    Error (Format.asprintf "%s: %a" path Traces.Parser.pp_error e)
+  | exception Sys_error msg -> Error msg
+
+let run_many ?timeout ?(pipelined = false) ?(jobs = 1) checker paths =
+  Parallel.Pool.run ~jobs
+    (fun path -> { file = path; report = run_file ?timeout ~pipelined checker path })
+    paths
+
 let violating r =
   match r.outcome with Verdict (Some _) -> true | Verdict None | Timed_out -> false
 
@@ -140,3 +267,8 @@ let pp ppf r =
   in
   Format.fprintf ppf "%s: %s in %.3fs (%d events)" r.checker outcome r.seconds
     r.events_fed
+
+let pp_file_report ppf fr =
+  match fr.report with
+  | Ok r -> Format.fprintf ppf "%s: %a" fr.file pp r
+  | Error msg -> Format.fprintf ppf "%s: error: %s" fr.file msg

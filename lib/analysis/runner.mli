@@ -34,15 +34,54 @@ val run_binary_file :
 (** [run_seq] over a binary trace file, domains from its header.
     @raise Traces.Binfmt.Corrupt *)
 
-val run_stream : ?timeout:float -> Aerodrome.Checker.t -> string -> result
+val run_stream :
+  ?timeout:float -> ?pipelined:bool -> Aerodrome.Checker.t -> string -> result
 (** Analyze a trace file without materializing it, auto-detecting the
     format: binary files stream in one pass (domains from the header),
     text files via {!Traces.Parser.fold_file} (two passes, since the text
     format only reveals its domains once scanned).  Peak memory is the
     checker's state plus an I/O buffer, independent of the trace length.
     For text traces [seconds] excludes the interning pass.
+
+    With [~pipelined:true] ingestion (read + decode + intern) runs on a
+    dedicated producer domain and feeds the checker through a bounded
+    ring of event batches, overlapping I/O with vector-clock work; the
+    checker consumes the identical event sequence, so the verdict,
+    violation index and [events_fed] match the sequential path exactly
+    ([seconds] measures the consumer's wall clock from checker creation
+    to verdict, so it includes any stall waiting for the producer).
     @raise Traces.Binfmt.Corrupt on a corrupt binary trace,
     [Traces.Parser.Parse_error] on a malformed text trace. *)
+
+type file_report = {
+  file : string;
+  report : (result, string) Stdlib.result;
+      (** [Error msg] when the file could not be analyzed (unreadable,
+          corrupt binary, malformed text); [msg] is the rendered
+          diagnostic. *)
+}
+
+val run_file :
+  ?timeout:float -> ?pipelined:bool -> Aerodrome.Checker.t -> string ->
+  (result, string) Stdlib.result
+(** {!run_stream} with per-file error capture instead of exceptions:
+    [Sys_error], {!Traces.Binfmt.Corrupt} and
+    {!Traces.Parser.Parse_error} become [Error msg]. *)
+
+val run_many :
+  ?timeout:float -> ?pipelined:bool -> ?jobs:int -> Aerodrome.Checker.t ->
+  string list -> file_report list
+(** Check many trace files, one {!file_report} per input path {e in input
+    order}.  A failing file yields its [Error] report and the remaining
+    files are still checked.  With [jobs > 1] the files fan out across a
+    fixed pool of [jobs] domains ({!Parallel.Pool}); result ordering is
+    deterministic and identical to [jobs = 1], and each file's checker
+    runs single-threaded on one domain (the exact sequential checker —
+    verdicts cannot differ).  [jobs <= 1] runs sequentially in the
+    calling domain with no pool. *)
+
+val pp_file_report : Format.formatter -> file_report -> unit
+(** ["path: <report>"] or ["path: error: <msg>"]. *)
 
 val violating : result -> bool
 (** True iff the run finished with a violation. *)

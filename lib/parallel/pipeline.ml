@@ -1,0 +1,25 @@
+let run ?(capacity = 8) ~produce ~consume () =
+  let ring = Ring.create capacity in
+  let producer_error = Atomic.make None in
+  let producer =
+    Domain.spawn (fun () ->
+        (try produce ~push:(fun v -> Ring.push ring v)
+         with e -> Atomic.set producer_error (Some e));
+        Ring.close ring)
+  in
+  (* Cancelling after a clean drain is a no-op; after an early consumer
+     return it unblocks the producer's pending push. *)
+  let finish () =
+    Ring.cancel ring;
+    Domain.join producer
+  in
+  let result =
+    match consume ~pop:(fun () -> Ring.pop ring) with
+    | r -> Ok r
+    | exception e -> Error e
+  in
+  finish ();
+  match (Atomic.get producer_error, result) with
+  | Some e, _ -> raise e
+  | None, Ok r -> r
+  | None, Error e -> raise e

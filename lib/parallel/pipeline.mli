@@ -1,0 +1,31 @@
+(** Two-stage producer/consumer pipeline over a bounded {!Ring}.
+
+    [run ~produce ~consume ()] spawns one producer domain running
+    [produce ~push] while [consume ~pop] runs in the calling domain; the
+    two overlap, bounded by the ring capacity.  The runner uses this to
+    overlap trace ingestion (read, decode, intern) with checking.
+
+    Contracts:
+    - [produce] calls [push] for each item, in order.  When [push]
+      returns [false] the consumer has stopped early and [produce]
+      should return promptly (remaining items are dropped).
+    - [consume] calls [pop] until it returns [None] (stream complete),
+      or stops early by simply returning.
+    - An exception raised by [produce] closes the stream: [consume]
+      sees [None] at that point, its result is discarded, and the
+      producer's exception is re-raised in the calling domain — exactly
+      where the sequential code path would have raised it.
+    - An exception raised by [consume] cancels the producer and is
+      re-raised (unless the producer also failed, which wins as above).
+
+    The pipeline is single-shot; item granularity is the caller's
+    choice — batching events into arrays keeps the per-item mutex
+    traffic negligible. *)
+
+val run :
+  ?capacity:int ->
+  produce:(push:('a -> bool) -> unit) ->
+  consume:(pop:(unit -> 'a option) -> 'b) ->
+  unit ->
+  'b
+(** [capacity] is the ring size in items (default 8). *)

@@ -1,0 +1,103 @@
+type t = {
+  mu : Mutex.t;
+  work_available : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable stop : bool;
+  mutable workers : unit Domain.t array;  (* [||] once joined *)
+}
+
+let worker_loop pool =
+  let rec next () =
+    Mutex.lock pool.mu;
+    while Queue.is_empty pool.queue && not pool.stop do
+      Condition.wait pool.work_available pool.mu
+    done;
+    let task =
+      if Queue.is_empty pool.queue then None else Some (Queue.pop pool.queue)
+    in
+    Mutex.unlock pool.mu;
+    match task with
+    | Some f ->
+      f ();
+      next ()
+    | None -> ()  (* stop, queue drained *)
+  in
+  next ()
+
+let create jobs =
+  if jobs < 1 then invalid_arg "Pool.create: size must be >= 1";
+  let pool =
+    {
+      mu = Mutex.create ();
+      work_available = Condition.create ();
+      queue = Queue.create ();
+      stop = false;
+      workers = [||];
+    }
+  in
+  pool.workers <- Array.init jobs (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let size pool = Array.length pool.workers
+
+let submit pool task =
+  Mutex.lock pool.mu;
+  if pool.stop then begin
+    Mutex.unlock pool.mu;
+    invalid_arg "Pool: used after shutdown"
+  end;
+  Queue.push task pool.queue;
+  Condition.signal pool.work_available;
+  Mutex.unlock pool.mu
+
+let map pool f items =
+  let n = Array.length items in
+  if n = 0 then [||]
+  else begin
+    let results = Array.make n None in
+    let failures = Array.make n None in
+    let remaining = ref n in
+    let done_mu = Mutex.create () in
+    let all_done = Condition.create () in
+    Array.iteri
+      (fun i item ->
+        submit pool (fun () ->
+            (match f item with
+            | v -> results.(i) <- Some v
+            | exception e -> failures.(i) <- Some e);
+            Mutex.lock done_mu;
+            decr remaining;
+            if !remaining = 0 then Condition.signal all_done;
+            Mutex.unlock done_mu))
+      items;
+    Mutex.lock done_mu;
+    while !remaining > 0 do
+      Condition.wait all_done done_mu
+    done;
+    Mutex.unlock done_mu;
+    Array.iter (function Some e -> raise e | None -> ()) failures;
+    Array.map (fun r -> Option.get r) results
+  end
+
+let map_list pool f items =
+  Array.to_list (map pool f (Array.of_list items))
+
+let shutdown pool =
+  Mutex.lock pool.mu;
+  pool.stop <- true;
+  Condition.broadcast pool.work_available;
+  Mutex.unlock pool.mu;
+  let workers = pool.workers in
+  pool.workers <- [||];
+  Array.iter Domain.join workers
+
+let with_pool jobs f =
+  let pool = create jobs in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+let run ~jobs f items =
+  match items with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | _ when jobs <= 1 -> List.map f items
+  | _ -> with_pool (min jobs (List.length items)) (fun p -> map_list p f items)

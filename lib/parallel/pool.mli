@@ -1,0 +1,48 @@
+(** Fixed-size domain pool with a mutex/condvar work queue.
+
+    [create jobs] spawns [jobs] worker domains that block on a shared
+    queue; {!map} fans an array of independent items out to them and
+    collects results {e by input index}, so the output ordering (and any
+    raised exception — the one belonging to the smallest failing index)
+    is deterministic regardless of how the OS schedules the workers.
+
+    The pool is sized once and reused: spawning a domain costs a few
+    hundred microseconds and a per-domain minor heap, so a long-lived
+    pool amortises that across many batches (the bench harness runs all
+    its fan-outs on one pool).  Workers run arbitrary closures; the
+    closures must not themselves assume a particular worker identity.
+
+    Nested {!map} calls from inside a worker would deadlock a fully
+    loaded pool and are not supported. *)
+
+type t
+
+val create : int -> t
+(** [create jobs] spawns [jobs] worker domains ([jobs >= 1]).
+    @raise Invalid_argument on a non-positive size. *)
+
+val size : t -> int
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map pool f items] runs [f] on every item on the worker domains and
+    returns the results in input order.  Blocks the calling domain until
+    every item has finished.  If one or more applications raise, the
+    exception of the smallest input index is re-raised (after all items
+    have finished, so the pool stays usable). *)
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+(** {!map} over a list, same ordering and error contract. *)
+
+val shutdown : t -> unit
+(** Finish queued work, then join every worker.  Idempotent; using the
+    pool after shutdown raises [Invalid_argument]. *)
+
+val with_pool : int -> (t -> 'a) -> 'a
+(** [with_pool jobs f] runs [f] on a fresh pool and shuts it down on the
+    way out (also on exception). *)
+
+val run : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** One-shot convenience: [jobs <= 1] (or fewer than two items) runs
+    sequentially in the calling domain with no pool at all — the exact
+    sequential code path — otherwise a temporary pool of
+    [min jobs (length items)] workers is created, used and shut down. *)

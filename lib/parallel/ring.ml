@@ -1,0 +1,80 @@
+type 'a t = {
+  slots : 'a option array;
+  mutable head : int;  (* next pop index *)
+  mutable tail : int;  (* next push index *)
+  mutable count : int;
+  mutable closed : bool;
+  mutable cancelled : bool;
+  mu : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+}
+
+let create capacity =
+  if capacity < 1 then invalid_arg "Ring.create: capacity must be >= 1";
+  {
+    slots = Array.make capacity None;
+    head = 0;
+    tail = 0;
+    count = 0;
+    closed = false;
+    cancelled = false;
+    mu = Mutex.create ();
+    not_empty = Condition.create ();
+    not_full = Condition.create ();
+  }
+
+let capacity r = Array.length r.slots
+
+let length r =
+  Mutex.lock r.mu;
+  let n = r.count in
+  Mutex.unlock r.mu;
+  n
+
+let with_lock r f =
+  Mutex.lock r.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock r.mu) f
+
+let push r v =
+  with_lock r (fun () ->
+      if r.closed then invalid_arg "Ring.push: ring is closed";
+      while r.count = Array.length r.slots && not r.cancelled do
+        Condition.wait r.not_full r.mu
+      done;
+      if r.cancelled then false
+      else begin
+        r.slots.(r.tail) <- Some v;
+        r.tail <- (r.tail + 1) mod Array.length r.slots;
+        r.count <- r.count + 1;
+        Condition.signal r.not_empty;
+        true
+      end)
+
+let close r =
+  with_lock r (fun () ->
+      r.closed <- true;
+      Condition.signal r.not_empty)
+
+let pop r =
+  with_lock r (fun () ->
+      while r.count = 0 && not r.closed && not r.cancelled do
+        Condition.wait r.not_empty r.mu
+      done;
+      if r.cancelled || r.count = 0 then None
+      else begin
+        let v = r.slots.(r.head) in
+        r.slots.(r.head) <- None;
+        r.head <- (r.head + 1) mod Array.length r.slots;
+        r.count <- r.count - 1;
+        Condition.signal r.not_full;
+        v
+      end)
+
+let cancel r =
+  with_lock r (fun () ->
+      r.cancelled <- true;
+      Array.fill r.slots 0 (Array.length r.slots) None;
+      r.count <- 0;
+      Condition.signal r.not_full;
+      Condition.signal r.not_empty)

@@ -1,0 +1,48 @@
+(** Bounded single-producer single-consumer ring buffer.
+
+    The pipelined trace checker ({!Analysis.Runner.run_stream}) decouples
+    ingestion (read + decode + intern, the producer domain) from
+    vector-clock work (the consumer domain) through one of these rings,
+    carrying {e batches} of events so synchronisation cost is paid once
+    per few thousand events rather than once per event.
+
+    Blocking is implemented with a mutex and two condition variables
+    (OCaml 5 stdlib); the ring stores slots in a circular array, so a
+    producer that stays [capacity] batches ahead of the consumer never
+    allocates.  Exactly one domain may push and one may pop; the two may
+    be (and usually are) different domains.
+
+    Shutdown is two-sided: the producer {!close}s the ring when the
+    stream ends (the consumer then drains the remaining slots and sees
+    [None]); the consumer {!cancel}s it to stop early (further pushes
+    return [false] so the producer can abandon the stream). *)
+
+type 'a t
+
+val create : int -> 'a t
+(** [create capacity] with [capacity >= 1] slots.
+    @raise Invalid_argument on a non-positive capacity. *)
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+(** Slots currently occupied (racy snapshot; exact when only the calling
+    domain is active). *)
+
+val push : 'a t -> 'a -> bool
+(** Producer side.  Blocks while the ring is full; [true] once the value
+    is enqueued, [false] if the consumer cancelled (the value is dropped
+    and the producer should stop).
+    @raise Invalid_argument if the ring is already closed. *)
+
+val close : 'a t -> unit
+(** Producer side: no more pushes.  Idempotent.  The consumer still
+    drains the slots already enqueued. *)
+
+val pop : 'a t -> 'a option
+(** Consumer side.  Blocks while the ring is empty and not closed;
+    [None] once the ring is closed and drained, or cancelled. *)
+
+val cancel : 'a t -> unit
+(** Consumer side: drop all buffered slots and make every pending and
+    future {!push} return [false].  Idempotent. *)

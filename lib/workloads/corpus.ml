@@ -1,0 +1,39 @@
+let configs ?(seed = 0xC0DEL) ~traces ~events_total () =
+  if traces < 1 then invalid_arg "Corpus.configs: traces must be >= 1";
+  let base = max 64 (events_total / traces) in
+  List.init traces (fun i ->
+      let shape =
+        if i mod 2 = 0 then Generator.Independent else Generator.Anchored
+      in
+      (* ±50% around the base, deterministic in the index *)
+      let events = base + base * ((i * 7919 mod 101) - 50) / 100 in
+      let plan =
+        if i mod 5 = 4 then Generator.Violate_at 0.75 else Generator.Atomic
+      in
+      let name =
+        Printf.sprintf "corpus-%02d-%s%s" i
+          (match shape with
+          | Generator.Independent -> "ind"
+          | Generator.Anchored -> "anc")
+          (match plan with Generator.Atomic -> "" | _ -> "-viol")
+      in
+      let threads = 4 + (i * 3 mod 9) in
+      let locks = 4 + (i * 5 mod 13) in
+      let config =
+        {
+          Generator.default with
+          seed = Int64.add seed (Int64.of_int (i * 1_000_003));
+          threads;
+          locks;
+          events;
+          vars = max 256 (events / 3);
+          shape;
+          plan;
+        }
+      in
+      (name, config))
+
+let generate ?seed ~traces ~events_total () =
+  List.map
+    (fun (name, config) -> (name, Generator.generate config))
+    (configs ?seed ~traces ~events_total ())

@@ -1,0 +1,24 @@
+(** Multi-trace corpora for the fan-out benchmark.
+
+    A corpus is a deterministic batch of independent traces of mixed
+    shapes and sizes — the workload of a checking {e service} draining a
+    queue of submitted traces, where throughput comes from checking many
+    traces concurrently rather than from parallelising the (inherently
+    sequential) per-trace algorithm.  The mix interleaves the generator's
+    two shapes, varies thread/lock pools, and plants a violation in
+    every fifth trace so the fan-out path exercises early-freeze
+    checkers too. *)
+
+val configs :
+  ?seed:int64 -> traces:int -> events_total:int -> unit ->
+  (string * Generator.config) list
+(** [configs ~traces ~events_total ()] is [traces] named generator
+    configurations whose event counts vary around
+    [events_total / traces] (±50%, deterministic in the index) and sum
+    to roughly [events_total].  Deterministic in [seed] (default a fixed
+    corpus seed distinct from {!Generator.default}'s). *)
+
+val generate :
+  ?seed:int64 -> traces:int -> events_total:int -> unit ->
+  (string * Traces.Trace.t) list
+(** The generated corpus, in configuration order. *)

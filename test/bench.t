@@ -1,5 +1,5 @@
 The bench harness emits machine-readable results with --json; the file
-must satisfy the aerodrome-bench/1 schema (validate_json exits non-zero
+must satisfy the aerodrome-bench/2 schema (validate_json exits non-zero
 and prints a diagnostic otherwise).
 
   $ ../bench/main.exe --table 1 --scale 0.05 --timeout 1 --no-micro \
@@ -7,9 +7,22 @@ and prints a diagnostic otherwise).
   $ ../bench/validate_json.exe bench.json
   ok
 
+The multicore section ships a parallel summary (corpus fan-out wall
+clock + speedup, pipelined ingestion) and the sequential/parallel
+verdict cross-check; a divergence is a schema error by design:
+
+  $ ../bench/main.exe --table 2 --scale 0.05 --timeout 1 --no-micro \
+  >   --no-ablation --no-scaling --jobs 2 --json jobs.json > /dev/null 2>&1
+  $ ../bench/validate_json.exe jobs.json
+  ok
+
 A missing file or a schema violation is rejected:
 
-  $ echo '{"schema":"aerodrome-bench/1","scale":1,"timeout":1,"tables":[],"micro":[]}' > bad.json
+  $ echo '{"schema":"aerodrome-bench/1","scale":1,"timeout":1,"tables":[],"micro":[]}' > old.json
+  $ ../bench/validate_json.exe old.json
+  old.json: unknown schema "aerodrome-bench/1"
+  [1]
+  $ echo '{"schema":"aerodrome-bench/2","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null}' > bad.json
   $ ../bench/validate_json.exe bad.json
   bad.json: no tables and no micro results
   [1]

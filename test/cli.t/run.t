@@ -31,7 +31,7 @@ Unknown algorithms and profiles are rejected:
 
   $ rapid check -a frobnicate trace.std
   rapid: option '-a': unknown algorithm "frobnicate"
-  Usage: rapid check [--algorithm=ALGO] [--quiet] [--timeout=SECONDS] [OPTION]… TRACE
+  Usage: rapid check [OPTION]… TRACE…
   Try 'rapid check --help' or 'rapid --help' for more information.
   [124]
   $ rapid generate --profile nope

@@ -23,6 +23,11 @@ let violation_index checker tr =
 
 let reference_violating tr = not (Velodrome.Reference.is_serializable tr)
 
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+  m = 0 || at 0
+
 let trace_testable =
   Alcotest.testable
     (fun ppf tr -> Format.pp_print_string ppf (Parser.to_string tr))

@@ -1,0 +1,61 @@
+The multicore check path: several files fan out across a domain pool,
+reports come back in argument order (never completion order), and the
+verdicts are the sequential ones.
+
+  $ rapid generate --events 400 --threads 3 --seed 11 -o big.std
+  wrote 413 events to big.std
+  $ rapid generate --events 120 --threads 3 --seed 12 -o small.std
+  wrote 132 events to small.std
+  $ rapid generate --events 300 --threads 3 --seed 7 --violate-at 0.5 -o bad.std
+  wrote 311 events to bad.std
+
+  $ rapid check --jobs 2 big.std small.std bad.std 2>&1 | sed 's/in [0-9.]*s/in TIME/'
+  big.std: aerodrome: serializable in TIME (413 events)
+  small.std: aerodrome: serializable in TIME (132 events)
+  bad.std: aerodrome: violation @165 in TIME (311 events)
+
+A violation anywhere in the batch sets exit code 1:
+
+  $ rapid check -q --jobs 2 big.std small.std bad.std
+  [1]
+  $ rapid check -q --jobs 2 big.std small.std
+
+The ordering and verdicts are identical without the pool:
+
+  $ rapid check --jobs 1 big.std small.std bad.std 2>&1 | sed 's/in [0-9.]*s/in TIME/'
+  big.std: aerodrome: serializable in TIME (413 events)
+  small.std: aerodrome: serializable in TIME (132 events)
+  bad.std: aerodrome: violation @165 in TIME (311 events)
+
+A malformed or missing file yields a per-file error on stderr, the
+remaining files are still checked, and the exit code is 2:
+
+  $ cat > broken.std <<DONE
+  > t1|begin
+  > t1|wat
+  > DONE
+  $ rapid check --jobs 2 big.std broken.std missing.std bad.std 2>&1 | sed 's/in [0-9.]*s/in TIME/'
+  big.std: aerodrome: serializable in TIME (413 events)
+  broken.std: line 2: unknown operation "wat"
+  missing.std: No such file or directory
+  bad.std: aerodrome: violation @165 in TIME (311 events)
+
+The pipelined single-file path (ingestion on a producer domain, checking
+on the consumer) reports exactly what the sequential stream reports:
+
+  $ rapid check --pipelined big.std 2>&1 | sed 's/in [0-9.]*s/in TIME/'
+  aerodrome: serializable in TIME (413 events)
+  $ rapid check --pipelined bad.std 2>&1 | sed 's/in [0-9.]*s/in TIME/'
+  aerodrome: violation @165 in TIME (311 events)
+  $ rapid convert bad.std bad.bin
+  bad.bin: 311 events, 3004 -> 874 bytes
+  $ rapid check --pipelined bad.bin 2>&1 | sed 's/in [0-9.]*s/in TIME/'
+  aerodrome: violation @165 in TIME (311 events)
+  $ rapid check -q --pipelined bad.bin
+  [1]
+
+Quiet mode still prints the errors (they explain the exit code):
+
+  $ rapid check -q --jobs 2 big.std missing.std
+  missing.std: No such file or directory
+  [2]

@@ -18,5 +18,6 @@ let () =
       Test_velodrome.suite;
       Test_generator.suite;
       Test_analysis.suite;
+      Test_parallel.suite;
       Test_edge_cases.suite;
     ]
