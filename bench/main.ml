@@ -10,14 +10,14 @@
    per-checker numbers stay honest while the untimed work overlaps.
 
    With [--json FILE] the harness also emits a machine-readable summary
-   (schema "aerodrome-bench/2": per-checker events/sec, Gc statistics,
-   parallel wall-clock + speedup) so committed BENCH_*.json files can
-   track the performance trajectory.
+   (schema "aerodrome-bench/3": per-checker events/sec, Gc statistics,
+   parallel wall-clock + speedup, telemetry overhead + metric snapshot)
+   so committed BENCH_*.json files can track the performance trajectory.
 
    Usage: dune exec bench/main.exe -- [--table 1|2] [--no-tables] [--scale F]
           [--jobs N] [--timeout S] [--only NAME] [--no-micro] [--micro-fast]
-          [--no-ablation] [--no-scaling] [--no-parallel] [--json FILE]
-          [--markdown] *)
+          [--no-ablation] [--no-scaling] [--no-parallel] [--no-telemetry]
+          [--json FILE] [--markdown] *)
 
 open Traces
 
@@ -32,6 +32,7 @@ type options = {
   mutable ablation : bool;
   mutable scaling : bool;
   mutable parallel : bool;
+  mutable telemetry : bool;
   mutable markdown : bool;
   mutable json : string option;
   mutable micro_fast : bool;
@@ -48,6 +49,7 @@ let opts =
     ablation = true;
     scaling = true;
     parallel = true;
+    telemetry = true;
     markdown = false;
     json = None;
     micro_fast = false;
@@ -84,6 +86,9 @@ let parse_args () =
       go rest
     | "--no-parallel" :: rest ->
       opts.parallel <- false;
+      go rest
+    | "--no-telemetry" :: rest ->
+      opts.telemetry <- false;
       go rest
     | "--no-tables" :: rest ->
       opts.tables <- [];
@@ -604,7 +609,79 @@ let run_parallel () =
             pipe_match;
           })
 
-(* --- JSON emitter (schema "aerodrome-bench/2") --- *)
+(* --- Telemetry overhead guard ---
+
+   The observability layer must be close to free when disabled: every
+   hot-path metric update hides behind one [Obs.on ()] branch.  This
+   section measures it directly — the same trace checked with telemetry
+   off and on, repetitions interleaved so machine drift hits both modes
+   equally, best repetition each — and embeds the enabled run's metric
+   snapshot in the JSON so committed BENCH files carry the counter shape
+   alongside the throughput trajectory.  The overhead lands in
+   [telemetry.overhead_pct]; the build treats > 5% as a regression to
+   investigate (the reported number is noisy on small --scale runs). *)
+
+type telemetry_summary = {
+  tel_events : int;
+  tel_disabled_eps : float;
+  tel_enabled_eps : float;
+  tel_overhead_pct : float;
+  tel_metrics : Obs.Snapshot.t;
+}
+
+let json_telemetry : telemetry_summary option ref = ref None
+
+let run_telemetry () =
+  let tr =
+    Workloads.Generator.generate
+      {
+        Workloads.Generator.default with
+        events = int_of_float (200_000. *. opts.scale);
+        threads = 8;
+        locks = 8;
+        vars = 80_000;
+      }
+  in
+  let was_on = Obs.on () in
+  let best_dis = ref infinity in
+  let best_en = ref infinity in
+  let metrics = ref Obs.Snapshot.empty in
+  for _ = 1 to 5 do
+    Obs.disable ();
+    let d = Analysis.Runner.run ~timeout:opts.timeout aerodrome tr in
+    if d.Analysis.Runner.seconds < !best_dis then
+      best_dis := d.Analysis.Runner.seconds;
+    Obs.enable ();
+    let e = Analysis.Runner.run ~timeout:opts.timeout aerodrome tr in
+    if e.Analysis.Runner.seconds < !best_en then begin
+      best_en := e.Analysis.Runner.seconds;
+      metrics := e.Analysis.Runner.metrics
+    end
+  done;
+  if was_on then Obs.enable () else Obs.disable ();
+  let n = Trace.length tr in
+  let eps s = float_of_int n /. Float.max s 1e-9 in
+  let dis_eps = eps !best_dis and en_eps = eps !best_en in
+  let overhead = (dis_eps -. en_eps) /. Float.max dis_eps 1e-9 *. 100. in
+  Format.fprintf fmt
+    "@.Telemetry overhead (aerodrome, %d events, best of 5 interleaved \
+     reps)@."
+    n;
+  Format.fprintf fmt
+    "  disabled %10.1f Kev/s   enabled %10.1f Kev/s   overhead %+.1f%%%s@."
+    (dis_eps /. 1e3) (en_eps /. 1e3) overhead
+    (if overhead > 5.0 then "  [> 5% — investigate]" else "");
+  json_telemetry :=
+    Some
+      {
+        tel_events = n;
+        tel_disabled_eps = dis_eps;
+        tel_enabled_eps = en_eps;
+        tel_overhead_pct = overhead;
+        tel_metrics = !metrics;
+      }
+
+(* --- JSON emitter (schema "aerodrome-bench/3") --- *)
 
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in
@@ -645,7 +722,7 @@ let emit_json path =
     sep_list emit_sample r.samples;
     add "]}"
   in
-  add "{\"schema\":\"aerodrome-bench/2\",";
+  add "{\"schema\":\"aerodrome-bench/3\",";
   add "\"scale\":%g,\"timeout\":%g,\"jobs\":%d," opts.scale opts.timeout
     opts.jobs;
   add "\"tables\":[";
@@ -672,6 +749,14 @@ let emit_json path =
     add "]},\"pipelined\":{\"events\":%d,\"sequential_seconds\":%.6f,\"pipelined_seconds\":%.6f,\"speedup\":%.3f,\"reports_match\":%b}}"
       p.pipe_events p.pipe_seq_seconds p.pipe_seconds p.pipe_speedup
       p.pipe_match);
+  add ",\"telemetry\":";
+  (match !json_telemetry with
+  | None -> add "null"
+  | Some t ->
+    add
+      "{\"events\":%d,\"disabled_events_per_sec\":%.1f,\"enabled_events_per_sec\":%.1f,\"overhead_pct\":%.2f,\"metrics\":%s}"
+      t.tel_events t.tel_disabled_eps t.tel_enabled_eps t.tel_overhead_pct
+      (Obs.Json.to_string (Obs.Snapshot.to_json t.tel_metrics)));
   add "}";
   Buffer.add_char buf '\n';
   let oc = open_out path in
@@ -690,5 +775,6 @@ let () =
   if opts.scaling && opts.only = None then run_scaling ();
   if opts.micro && opts.only = None then run_micro ();
   if opts.parallel && opts.only = None then run_parallel ();
+  if opts.telemetry && opts.only = None then run_telemetry ();
   Option.iter emit_json opts.json;
   Format.pp_print_flush fmt ()

@@ -1,154 +1,16 @@
 (* Schema validator for the bench harness's --json output
-   (schema "aerodrome-bench/2").  Exits 0 and prints "ok" when the file
+   (schema "aerodrome-bench/3").  Exits 0 and prints "ok" when the file
    parses and carries the expected structure; prints a diagnostic and
    exits 1 otherwise.  Used by the cram test so the emitter cannot rot.
 
-   The parser is a minimal self-contained JSON reader (objects, arrays,
-   strings, numbers, true/false/null) — no external dependencies. *)
+   Parsing is [Obs.Json] (the library superseded this file's private
+   JSON reader); the schema checks below stay local to the bench. *)
 
-type json =
-  | Null
-  | Bool of bool
-  | Num of float
-  | Str of string
-  | List of json list
-  | Obj of (string * json) list
+open Obs.Json
 
 exception Bad of string
 
 let bad fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
-
-let parse (s : string) : json =
-  let n = String.length s in
-  let pos = ref 0 in
-  let peek () = if !pos < n then s.[!pos] else '\255' in
-  let advance () = incr pos in
-  let rec skip_ws () =
-    match peek () with
-    | ' ' | '\t' | '\n' | '\r' ->
-      advance ();
-      skip_ws ()
-    | _ -> ()
-  in
-  let expect c =
-    if peek () <> c then bad "offset %d: expected %C, got %C" !pos c (peek ());
-    advance ()
-  in
-  let literal word value =
-    String.iter expect word;
-    value
-  in
-  let parse_string () =
-    expect '"';
-    let buf = Buffer.create 16 in
-    let rec go () =
-      match peek () with
-      | '"' -> advance ()
-      | '\\' ->
-        advance ();
-        (match peek () with
-        | '"' -> Buffer.add_char buf '"'
-        | '\\' -> Buffer.add_char buf '\\'
-        | '/' -> Buffer.add_char buf '/'
-        | 'n' -> Buffer.add_char buf '\n'
-        | 't' -> Buffer.add_char buf '\t'
-        | 'r' -> Buffer.add_char buf '\r'
-        | 'b' -> Buffer.add_char buf '\b'
-        | 'f' -> Buffer.add_char buf '\012'
-        | 'u' ->
-          (* \uXXXX: decoded as a raw byte when < 0x100, else '?' *)
-          let hex = String.sub s (!pos + 1) 4 in
-          let code = int_of_string ("0x" ^ hex) in
-          pos := !pos + 4;
-          Buffer.add_char buf (if code < 0x100 then Char.chr code else '?')
-        | c -> bad "offset %d: bad escape %C" !pos c);
-        advance ();
-        go ()
-      | '\255' -> bad "unterminated string"
-      | c ->
-        Buffer.add_char buf c;
-        advance ();
-        go ()
-    in
-    go ();
-    Buffer.contents buf
-  in
-  let parse_number () =
-    let start = !pos in
-    let numchar c =
-      match c with
-      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-      | _ -> false
-    in
-    while numchar (peek ()) do
-      advance ()
-    done;
-    let text = String.sub s start (!pos - start) in
-    match float_of_string_opt text with
-    | Some f -> Num f
-    | None -> bad "offset %d: bad number %S" start text
-  in
-  let rec parse_value () =
-    skip_ws ();
-    match peek () with
-    | '{' ->
-      advance ();
-      skip_ws ();
-      if peek () = '}' then (
-        advance ();
-        Obj [])
-      else begin
-        let rec members acc =
-          skip_ws ();
-          let key = parse_string () in
-          skip_ws ();
-          expect ':';
-          let v = parse_value () in
-          skip_ws ();
-          match peek () with
-          | ',' ->
-            advance ();
-            members ((key, v) :: acc)
-          | '}' ->
-            advance ();
-            Obj (List.rev ((key, v) :: acc))
-          | c -> bad "offset %d: expected ',' or '}', got %C" !pos c
-        in
-        members []
-      end
-    | '[' ->
-      advance ();
-      skip_ws ();
-      if peek () = ']' then (
-        advance ();
-        List [])
-      else begin
-        let rec elements acc =
-          let v = parse_value () in
-          skip_ws ();
-          match peek () with
-          | ',' ->
-            advance ();
-            elements (v :: acc)
-          | ']' ->
-            advance ();
-            List (List.rev (v :: acc))
-          | c -> bad "offset %d: expected ',' or ']', got %C" !pos c
-        in
-        elements []
-      end
-    | '"' -> Str (parse_string ())
-    | 't' -> literal "true" (Bool true)
-    | 'f' -> literal "false" (Bool false)
-    | 'n' -> literal "null" Null
-    | _ -> parse_number ()
-  in
-  let v = parse_value () in
-  skip_ws ();
-  if !pos <> n then bad "trailing garbage at offset %d" !pos;
-  v
-
-(* --- schema checks --- *)
 
 let field obj key =
   match obj with
@@ -232,9 +94,45 @@ let check_parallel = function
     if not (as_bool "parallel.pipelined.reports_match" (field pipe "reports_match"))
     then bad "parallel.pipelined: report diverged from sequential"
 
+(* The telemetry section carries the instrumented-vs-uninstrumented
+   throughput comparison and the enabled run's metric snapshot; the
+   snapshot must include the core per-event counters so a BENCH file
+   cannot silently lose them. *)
+let telemetry_required_metrics =
+  [ "events.total"; "events.read"; "events.write"; "vc.joins" ]
+
+let check_telemetry = function
+  | Null -> ()
+  | t ->
+    let events = as_num "telemetry.events" (field t "events") in
+    if events < 0. then bad "telemetry: negative events";
+    let dis =
+      as_num "telemetry.disabled_events_per_sec"
+        (field t "disabled_events_per_sec")
+    in
+    let en =
+      as_num "telemetry.enabled_events_per_sec"
+        (field t "enabled_events_per_sec")
+    in
+    if dis <= 0. then bad "telemetry: disabled_events_per_sec <= 0";
+    if en <= 0. then bad "telemetry: enabled_events_per_sec <= 0";
+    let overhead = as_num "telemetry.overhead_pct" (field t "overhead_pct") in
+    if Float.is_nan overhead then bad "telemetry: overhead_pct is NaN";
+    let metrics = field t "metrics" in
+    (match metrics with
+    | Obj _ -> ()
+    | _ -> bad "telemetry.metrics: expected an object");
+    List.iter
+      (fun key ->
+        if as_num (Printf.sprintf "telemetry.metrics[%S]" key)
+             (field metrics key)
+           < 0.
+        then bad "telemetry.metrics[%S]: negative" key)
+      telemetry_required_metrics
+
 let check_root j =
   let schema = as_str "schema" (field j "schema") in
-  if schema <> "aerodrome-bench/2" then bad "unknown schema %S" schema;
+  if schema <> "aerodrome-bench/3" then bad "unknown schema %S" schema;
   ignore (as_num "scale" (field j "scale"));
   ignore (as_num "timeout" (field j "timeout"));
   if as_num "jobs" (field j "jobs") < 1. then bad "jobs < 1";
@@ -255,9 +153,9 @@ let check_root j =
   List.iteri
     (fun i r -> check_row ~where:(Printf.sprintf "micro[%d]" i) r)
     micro;
-  let parallel = field j "parallel" in
-  check_parallel parallel;
-  if tables = [] && micro = [] && parallel = Null then
+  check_parallel (field j "parallel");
+  check_telemetry (field j "telemetry");
+  if tables = [] && micro = [] && field j "parallel" = Null then
     bad "no tables and no micro results"
 
 let () =
@@ -274,8 +172,11 @@ let () =
       ~finally:(fun () -> close_in_noerr ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   in
-  match check_root (parse contents) with
+  match check_root (parse_exn contents) with
   | () -> print_endline "ok"
   | exception Bad msg ->
+    Printf.eprintf "%s: %s\n" path msg;
+    exit 1
+  | exception Obs.Json.Parse_error msg ->
     Printf.eprintf "%s: %s\n" path msg;
     exit 1

@@ -1,0 +1,161 @@
+(* Validator for the telemetry artifacts `rapid check` writes:
+
+     validate_stats stats [--pipelined] FILE
+       FILE is a --stats-json document (schema "aerodrome-stats/1");
+       with --pipelined every successful file entry must also carry the
+       ring-buffer counters.
+
+     validate_stats trace FILE
+       FILE is a --trace-out Chrome trace-event document.
+
+   Prints "ok" and exits 0 on success; prints a diagnostic and exits 1
+   otherwise.  The cram tests run both modes so the CLI exporters and
+   their documented key sets cannot drift apart. *)
+
+open Obs.Json
+
+exception Bad of string
+
+let bad fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
+
+let field obj key =
+  match obj with
+  | Obj kvs -> (
+    match List.assoc_opt key kvs with
+    | Some v -> v
+    | None -> bad "missing field %S" key)
+  | _ -> bad "expected an object around field %S" key
+
+let as_num what = function Num f -> f | _ -> bad "%s: expected a number" what
+let as_str what = function Str s -> s | _ -> bad "%s: expected a string" what
+let as_list what = function List l -> l | _ -> bad "%s: expected an array" what
+
+let as_obj what = function
+  | Obj kvs -> kvs
+  | _ -> bad "%s: expected an object" what
+
+(* Counters every checker contributes through Aerodrome.Cmetrics; their
+   presence is the documented contract of --stats-json. *)
+let required_metrics =
+  [
+    "events.total";
+    "events.read";
+    "events.write";
+    "txn.begins";
+    "txn.commits";
+    "vc.joins";
+    "violation.index";
+  ]
+
+let ring_metrics =
+  [
+    "ring.capacity";
+    "ring.occupancy_hwm";
+    "ring.producer_stalls";
+    "ring.consumer_stalls";
+  ]
+
+let metric_value ~where metrics key =
+  match List.assoc_opt key metrics with
+  | Some (Num f) -> f
+  | Some (Obj _) -> bad "%s[%S]: expected a number, got a histogram" where key
+  | Some _ -> bad "%s[%S]: expected a number" where key
+  | None -> bad "%s: missing metric %S" where key
+
+let check_stats_file ~pipelined ~where f =
+  ignore (as_str (where ^ ".file") (field f "file"));
+  match List.assoc_opt "error" (as_obj where f) with
+  | Some (Str msg) -> if msg = "" then bad "%s: empty error message" where
+  | Some _ -> bad "%s.error: expected a string" where
+  | None ->
+    let verdict = as_str (where ^ ".verdict") (field f "verdict") in
+    (match verdict with
+    | "serializable" | "timeout" | "violation" -> ()
+    | v -> bad "%s: unknown verdict %S" where v);
+    if as_num (where ^ ".seconds") (field f "seconds") < 0. then
+      bad "%s: negative seconds" where;
+    let fed = as_num (where ^ ".events_fed") (field f "events_fed") in
+    if fed < 0. then bad "%s: negative events_fed" where;
+    let metrics = as_obj (where ^ ".metrics") (field f "metrics") in
+    let mwhere = where ^ ".metrics" in
+    List.iter
+      (fun key -> ignore (metric_value ~where:mwhere metrics key))
+      required_metrics;
+    let total = metric_value ~where:mwhere metrics "events.total" in
+    (* The runner feeds the whole trace even after a violation, but the
+       checker's own counters freeze at the violating event — so strict
+       equality only holds for clean verdicts. *)
+    (match verdict with
+    | "violation" ->
+      let idx = as_num (where ^ ".violation_index") (field f "violation_index") in
+      if idx < 1. then bad "%s: violation_index < 1" where;
+      if total < idx || total > fed then
+        bad "%s: events.total (%.0f) outside [violation_index, events_fed]"
+          where total
+    | _ ->
+      if total <> fed then
+        bad "%s: events.total (%.0f) <> events_fed (%.0f)" where total fed);
+    if pipelined then
+      List.iter
+        (fun key -> ignore (metric_value ~where:mwhere metrics key))
+        ring_metrics
+
+let check_stats ~pipelined j =
+  let schema = as_str "schema" (field j "schema") in
+  if schema <> "aerodrome-stats/1" then bad "unknown schema %S" schema;
+  if as_str "checker" (field j "checker") = "" then bad "empty checker name";
+  let files = as_list "files" (field j "files") in
+  if files = [] then bad "no file entries";
+  List.iteri
+    (fun i f ->
+      check_stats_file ~pipelined ~where:(Printf.sprintf "files[%d]" i) f)
+    files;
+  ignore (as_obj "process.global" (field (field j "process") "global"))
+
+let check_trace j =
+  let events = as_list "traceEvents" (field j "traceEvents") in
+  if events = [] then bad "empty traceEvents";
+  List.iteri
+    (fun i e ->
+      let where = Printf.sprintf "traceEvents[%d]" i in
+      let ph = as_str (where ^ ".ph") (field e "ph") in
+      if as_str (where ^ ".name") (field e "name") = "" then
+        bad "%s: empty name" where;
+      if as_num (where ^ ".ts") (field e "ts") < 0. then
+        bad "%s: negative ts" where;
+      ignore (as_num (where ^ ".pid") (field e "pid"));
+      ignore (as_num (where ^ ".tid") (field e "tid"));
+      match ph with
+      | "X" ->
+        if as_num (where ^ ".dur") (field e "dur") < 0. then
+          bad "%s: negative dur" where
+      | "i" -> ignore (as_str (where ^ ".s") (field e "s"))
+      | p -> bad "%s: unknown phase %S" where p)
+    events
+
+let usage () =
+  prerr_endline "usage: validate_stats stats [--pipelined] FILE | validate_stats trace FILE";
+  exit 2
+
+let () =
+  let check, path =
+    match Array.to_list Sys.argv with
+    | [ _; "stats"; path ] -> (check_stats ~pipelined:false, path)
+    | [ _; "stats"; "--pipelined"; path ] -> (check_stats ~pipelined:true, path)
+    | [ _; "trace"; path ] -> (check_trace, path)
+    | _ -> usage ()
+  in
+  let contents =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match check (parse_exn contents) with
+  | () -> print_endline "ok"
+  | exception Bad msg ->
+    Printf.eprintf "%s: %s\n" path msg;
+    exit 1
+  | exception Obs.Json.Parse_error msg ->
+    Printf.eprintf "%s: %s\n" path msg;
+    exit 1

@@ -47,13 +47,21 @@ let trace_arg =
 (* metainfo *)
 
 let metainfo_cmd =
-  let run path =
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the statistics as a flat JSON object.")
+  in
+  let run json path =
     let tr = read_trace path in
-    Format.printf "%a@." Analysis.Metainfo.pp (Analysis.Metainfo.analyze tr)
+    let m = Analysis.Metainfo.analyze tr in
+    if json then
+      print_endline (Obs.Json.to_string (Analysis.Metainfo.to_json m))
+    else Format.printf "%a@." Analysis.Metainfo.pp m
   in
   Cmd.v
     (Cmd.info "metainfo" ~doc:"Print statistics of a trace file")
-    Term.(const run $ trace_arg)
+    Term.(const run $ json $ trace_arg)
 
 (* check *)
 
@@ -96,6 +104,41 @@ let check_cmd =
              ring buffer to the checker.  Verdicts are identical to the \
              sequential stream.")
   in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Collect telemetry and print per-file and process-wide metric \
+             snapshots after the reports (printed even with $(b,--quiet)).")
+  in
+  let stats_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stats-json" ] ~docv:"FILE"
+          ~doc:
+            "Collect telemetry and write an $(b,aerodrome-stats/1) JSON \
+             document to $(docv) ($(b,-) for stdout).")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Record a Chrome trace-event timeline (ingestion and checking \
+             spans) to $(docv); open it in Perfetto or chrome://tracing.")
+  in
+  let progress =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "progress" ] ~docv:"M"
+          ~doc:
+            "Print a heartbeat line to stderr every $(docv) million events \
+             (events/sec and, when the total is known, an ETA).")
+  in
   (* the positionals are plain strings, not Arg.file: a missing file must
      produce a per-file error and leave the remaining files checked *)
   let traces =
@@ -103,9 +146,28 @@ let check_cmd =
       non_empty & pos_all string []
       & info [] ~docv:"TRACE" ~doc:"Trace files in the rapid .std or binary format.")
   in
-  let run checker timeout quiet jobs pipelined paths =
+  let run checker timeout quiet jobs pipelined stats stats_json trace_out
+      progress paths =
+    let (module C : Aerodrome.Checker.S) = checker in
+    if stats || stats_json <> None || trace_out <> None then Obs.enable ();
+    let collector =
+      match trace_out with
+      | Some _ -> Some (Obs.Chrome_trace.start ())
+      | None -> None
+    in
+    let heartbeat =
+      Option.map
+        (fun m ->
+          Obs.Heartbeat.create
+            ~every:(max 1 (int_of_float (m *. 1e6)))
+            ~label:"check" ())
+        progress
+    in
+    let pool_busy = ref None in
     let reports =
-      Analysis.Runner.run_many ?timeout ~pipelined ~jobs checker paths
+      Analysis.Runner.run_many ?timeout ?heartbeat ~pipelined ~jobs
+        ~on_pool:(fun b -> pool_busy := Some b)
+        checker paths
     in
     let single = match paths with [ _ ] -> true | _ -> false in
     List.iter
@@ -117,6 +179,96 @@ let check_cmd =
             else Format.printf "%a@." Analysis.Runner.pp_file_report fr
         | Error msg -> Format.eprintf "%s@." msg)
       reports;
+    let process_snapshot () = Obs.Registry.snapshot Obs.Registry.global in
+    if stats then begin
+      List.iter
+        (fun fr ->
+          match fr.Analysis.Runner.report with
+          | Ok r when r.Analysis.Runner.metrics <> [] ->
+            Format.printf "%s metrics:@.%a" fr.Analysis.Runner.file
+              Obs.Snapshot.pp r.Analysis.Runner.metrics
+          | _ -> ())
+        reports;
+      let g = process_snapshot () in
+      if g <> [] then Format.printf "process metrics:@.%a" Obs.Snapshot.pp g;
+      (match !pool_busy with
+      | Some busy ->
+        Array.iteri
+          (fun i s -> Format.printf "  pool.worker%d.busy_seconds  %.3f@." i s)
+          busy
+      | None -> ())
+    end;
+    (match stats_json with
+    | None -> ()
+    | Some dest ->
+      let file_json (fr : Analysis.Runner.file_report) =
+        match fr.report with
+        | Error msg ->
+          Obs.Json.Obj
+            [ ("file", Obs.Json.Str fr.file); ("error", Obs.Json.Str msg) ]
+        | Ok r ->
+          let verdict, extra =
+            match r.outcome with
+            | Analysis.Runner.Timed_out -> ("timeout", [])
+            | Analysis.Runner.Verdict None -> ("serializable", [])
+            | Analysis.Runner.Verdict (Some v) ->
+              ( "violation",
+                [
+                  ( "violation_index",
+                    Obs.Json.Num
+                      (float_of_int (v.Aerodrome.Violation.index + 1)) );
+                ] )
+          in
+          Obs.Json.Obj
+            ([
+               ("file", Obs.Json.Str fr.file);
+               ("verdict", Obs.Json.Str verdict);
+             ]
+            @ extra
+            @ [
+                ("seconds", Obs.Json.Num r.seconds);
+                ("events_fed", Obs.Json.Num (float_of_int r.events_fed));
+                ("metrics", Obs.Snapshot.to_json r.metrics);
+              ])
+      in
+      let process =
+        let fields =
+          [ ("global", Obs.Snapshot.to_json (process_snapshot ())) ]
+        in
+        match !pool_busy with
+        | Some busy ->
+          fields
+          @ [
+              ( "pool_busy_seconds",
+                Obs.Json.List
+                  (Array.to_list busy |> List.map (fun s -> Obs.Json.Num s)) );
+            ]
+        | None -> fields
+      in
+      let doc =
+        Obs.Json.Obj
+          [
+            ("schema", Obs.Json.Str "aerodrome-stats/1");
+            ("checker", Obs.Json.Str C.name);
+            ("files", Obs.Json.List (List.map file_json reports));
+            ("process", Obs.Json.Obj process);
+          ]
+      in
+      let text = Obs.Json.to_string doc in
+      if dest = "-" then print_endline text
+      else begin
+        let oc = open_out dest in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () ->
+            output_string oc text;
+            output_char oc '\n')
+      end);
+    (match (trace_out, collector) with
+    | Some path, Some c ->
+      Obs.Chrome_trace.stop ();
+      Obs.Chrome_trace.write_file path c
+    | _ -> ());
     let has f =
       List.exists
         (fun fr ->
@@ -150,7 +302,9 @@ let check_cmd =
          "Check trace files for conflict-serializability violations (exit \
           code: 0 all serializable, 1 violation, 2 unreadable/malformed \
           file, 3 timeout)")
-    Term.(const run $ algo $ timeout $ quiet $ jobs $ pipelined $ traces)
+    Term.(
+      const run $ algo $ timeout $ quiet $ jobs $ pipelined $ stats
+      $ stats_json $ trace_out $ progress $ traces)
 
 (* generate *)
 

@@ -86,6 +86,28 @@ let analyze tr =
     max_nesting = !max_nesting;
   }
 
+let to_json m : Obs.Json.t =
+  let num n = Obs.Json.Num (float_of_int n) in
+  Obs.Json.Obj
+    [
+      ("events", num m.events);
+      ("reads", num m.reads);
+      ("writes", num m.writes);
+      ("acquires", num m.acquires);
+      ("releases", num m.releases);
+      ("forks", num m.forks);
+      ("joins", num m.joins);
+      ("begins", num m.begins);
+      ("ends", num m.ends);
+      ("nested_begins", num m.nested_begins);
+      ("threads", num m.threads);
+      ("locks", num m.locks);
+      ("variables", num m.variables);
+      ("transactions", num m.transactions);
+      ("unary_events", num m.unary_events);
+      ("max_nesting", num m.max_nesting);
+    ]
+
 let pp ppf m =
   Format.fprintf ppf
     "@[<v>events:       %d@,\

@@ -25,5 +25,8 @@ type t = {
 
 val analyze : Traces.Trace.t -> t
 
+val to_json : t -> Obs.Json.t
+(** One flat object, one field per statistic, in declaration order. *)
+
 val pp : Format.formatter -> t -> unit
 (** Multi-line human-readable rendering. *)

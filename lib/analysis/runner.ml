@@ -7,120 +7,205 @@ type result = {
   outcome : outcome;
   seconds : float;
   events_fed : int;
+  metrics : Obs.Snapshot.t;
 }
 
 let check_interval = 4096
 
-let run ?timeout (module C : Aerodrome.Checker.S) tr =
-  let st =
-    C.create ~threads:(Trace.threads tr) ~locks:(Trace.locks tr)
-      ~vars:(Trace.vars tr)
-  in
-  let n = Trace.length tr in
-  let deadline =
-    Option.map (fun budget -> Unix.gettimeofday () +. budget) timeout
-  in
-  let started = Unix.gettimeofday () in
-  let timed_out = ref false in
-  let i = ref 0 in
-  (try
-     while !i < n do
-       ignore (C.feed st (Trace.get tr !i));
-       incr i;
-       if !i land (check_interval - 1) = 0 then
-         match deadline with
-         | Some d when Unix.gettimeofday () > d ->
-           timed_out := true;
-           raise Exit
-         | _ -> ()
-     done
-   with Exit -> ());
-  let seconds = Unix.gettimeofday () -. started in
-  {
-    checker = C.name;
-    outcome = (if !timed_out then Timed_out else Verdict (C.violation st));
-    seconds;
-    events_fed = !i;
-  }
+(* --- telemetry plumbing ---
 
-let run_seq ?timeout (module C : Aerodrome.Checker.S) ~threads ~locks ~vars
-    events =
-  let st = C.create ~threads ~locks ~vars in
-  let deadline =
-    Option.map (fun budget -> Unix.gettimeofday () +. budget) timeout
-  in
-  let started = Unix.gettimeofday () in
-  let timed_out = ref false in
-  let fed = ref 0 in
-  let rec go events =
-    match Seq.uncons events with
-    | None -> ()
-    | Some (e, rest) -> (
-      ignore (C.feed st e);
-      incr fed;
-      if !fed land (check_interval - 1) = 0 then
-        match deadline with
-        | Some d when Unix.gettimeofday () > d -> timed_out := true
-        | _ -> go rest
-      else go rest)
-  in
-  go events;
-  {
-    checker = C.name;
-    outcome = (if !timed_out then Timed_out else Verdict (C.violation st));
-    seconds = Unix.gettimeofday () -. started;
-    events_fed = !fed;
-  }
+   Each run executes under an ambient {!Obs.Scope} when telemetry is
+   enabled: the checker constructor attaches its {!Aerodrome.Cmetrics}
+   registry to the scope, and the harvested snapshot lands in
+   [result.metrics] without the checker signature changing.  The inner
+   run functions put any runner-level entries (ingest sizes, ring
+   telemetry, time-to-first-violation) in [metrics] themselves; the
+   scope snapshot is prepended.  With telemetry off the scope machinery
+   is skipped entirely and [metrics] is whatever the inner function
+   produced (normally {!Obs.Snapshot.empty}). *)
 
-let run_binary_file ?timeout checker path =
-  let header, (events, close) = Traces.Binfmt.read_seq path in
-  Fun.protect ~finally:close (fun () ->
-      run_seq ?timeout checker ~threads:header.Traces.Binfmt.threads
-        ~locks:header.Traces.Binfmt.locks ~vars:header.Traces.Binfmt.vars
-        events)
+let collected f =
+  if Obs.on () then
+    let r, snap = Obs.Scope.collect f in
+    { r with metrics = snap @ r.metrics }
+  else f ()
 
-let run_stream_seq ?timeout (module C : Aerodrome.Checker.S) path =
-  if Traces.Binfmt.is_binary path then
-    run_binary_file ?timeout (module C) path
-  else begin
-    (* text: Parser.fold_file announces the domains (pass 1) before any
-       event reaches the checker (pass 2), so no Trace.t is built *)
-    let st = ref None in
-    let started = ref 0.0 in
-    let deadline = ref None in
-    let timed_out = ref false in
-    let fed = ref 0 in
-    (try
-       ignore
-         (Traces.Parser.fold_file_exn path
-            ~init:(fun ~threads ~locks ~vars ->
-              let s = C.create ~threads ~locks ~vars in
-              st := Some s;
-              started := Unix.gettimeofday ();
-              deadline := Option.map (fun b -> !started +. b) timeout;
-              s)
-            ~f:(fun s e ->
-              ignore (C.feed s e);
-              incr fed;
-              (if !fed land (check_interval - 1) = 0 then
-                 match !deadline with
-                 | Some d when Unix.gettimeofday () > d ->
-                   timed_out := true;
-                   raise Exit
-                 | _ -> ());
-              s))
-     with Exit -> ());
-    match !st with
-    | None -> assert false (* [init] runs before the first event *)
-    | Some s ->
+let arm_heartbeat heartbeat ~total =
+  match heartbeat with
+  | None -> ()
+  | Some hb ->
+    Obs.Heartbeat.restart hb;
+    Option.iter (Obs.Heartbeat.set_total hb) total
+
+let tick heartbeat n =
+  match heartbeat with None -> () | Some hb -> Obs.Heartbeat.tick hb n
+
+(* First time the checker reports a violation, stamp the elapsed seconds
+   and drop an instant marker on the trace timeline.  The checkers
+   freeze at their first violation (feed keeps returning it), so the
+   negative sentinel makes this fire once. *)
+let note_violation viol_at ~started =
+  if !viol_at < 0.0 then begin
+    viol_at := Unix.gettimeofday () -. started;
+    Obs.Chrome_trace.instant ~cat:"checker" "violation"
+  end
+
+let runner_entries ?file_bytes viol_at =
+  let entries =
+    if !viol_at >= 0.0 then
+      [ Obs.Snapshot.entry "violation.seconds" (Obs.Snapshot.Float !viol_at) ]
+    else []
+  in
+  match file_bytes with
+  | Some b when Obs.on () ->
+    Obs.Snapshot.entry "ingest.file_bytes" (Obs.Snapshot.Int b) :: entries
+  | _ -> entries
+
+let file_size path =
+  match Unix.stat path with
+  | { Unix.st_size; _ } -> Some st_size
+  | exception Unix.Unix_error _ -> None
+
+let run ?timeout ?heartbeat (module C : Aerodrome.Checker.S) tr =
+  collected (fun () ->
+      let st =
+        C.create ~threads:(Trace.threads tr) ~locks:(Trace.locks tr)
+          ~vars:(Trace.vars tr)
+      in
+      let n = Trace.length tr in
+      arm_heartbeat heartbeat ~total:(Some n);
+      let deadline =
+        Option.map (fun budget -> Unix.gettimeofday () +. budget) timeout
+      in
+      let started = Unix.gettimeofday () in
+      let timed_out = ref false in
+      let viol_at = ref (-1.0) in
+      let i = ref 0 in
+      (try
+         while !i < n do
+           (match C.feed st (Trace.get tr !i) with
+           | Some _ -> note_violation viol_at ~started
+           | None -> ());
+           incr i;
+           if !i land (check_interval - 1) = 0 then begin
+             tick heartbeat !i;
+             match deadline with
+             | Some d when Unix.gettimeofday () > d ->
+               timed_out := true;
+               raise Exit
+             | _ -> ()
+           end
+         done
+       with Exit -> ());
+      let seconds = Unix.gettimeofday () -. started in
       {
         checker = C.name;
-        outcome =
-          (if !timed_out then Timed_out else Verdict (C.violation s));
-        seconds = Unix.gettimeofday () -. !started;
+        outcome = (if !timed_out then Timed_out else Verdict (C.violation st));
+        seconds;
+        events_fed = !i;
+        metrics = runner_entries viol_at;
+      })
+
+let run_seq ?timeout ?heartbeat ?total (module C : Aerodrome.Checker.S)
+    ~threads ~locks ~vars events =
+  collected (fun () ->
+      let st = C.create ~threads ~locks ~vars in
+      arm_heartbeat heartbeat ~total;
+      let deadline =
+        Option.map (fun budget -> Unix.gettimeofday () +. budget) timeout
+      in
+      let started = Unix.gettimeofday () in
+      let timed_out = ref false in
+      let viol_at = ref (-1.0) in
+      let fed = ref 0 in
+      let rec go events =
+        match Seq.uncons events with
+        | None -> ()
+        | Some (e, rest) -> (
+          (match C.feed st e with
+          | Some _ -> note_violation viol_at ~started
+          | None -> ());
+          incr fed;
+          if !fed land (check_interval - 1) = 0 then begin
+            tick heartbeat !fed;
+            match deadline with
+            | Some d when Unix.gettimeofday () > d -> timed_out := true
+            | _ -> go rest
+          end
+          else go rest)
+      in
+      go events;
+      {
+        checker = C.name;
+        outcome = (if !timed_out then Timed_out else Verdict (C.violation st));
+        seconds = Unix.gettimeofday () -. started;
         events_fed = !fed;
-      }
-  end
+        metrics = runner_entries viol_at;
+      })
+
+let run_binary_file ?timeout ?heartbeat checker path =
+  let header, (events, close) = Traces.Binfmt.read_seq path in
+  Fun.protect ~finally:close (fun () ->
+      let r =
+        run_seq ?timeout ?heartbeat ~total:header.Traces.Binfmt.events checker
+          ~threads:header.Traces.Binfmt.threads
+          ~locks:header.Traces.Binfmt.locks ~vars:header.Traces.Binfmt.vars
+          events
+      in
+      {
+        r with
+        metrics = r.metrics @ runner_entries ?file_bytes:(file_size path) (ref (-1.0));
+      })
+
+let run_stream_seq ?timeout ?heartbeat (module C : Aerodrome.Checker.S) path =
+  if Traces.Binfmt.is_binary path then
+    run_binary_file ?timeout ?heartbeat (module C) path
+  else
+    collected (fun () ->
+        (* text: Parser.fold_file announces the domains (pass 1) before any
+           event reaches the checker (pass 2), so no Trace.t is built *)
+        let st = ref None in
+        let started = ref 0.0 in
+        let deadline = ref None in
+        let timed_out = ref false in
+        let viol_at = ref (-1.0) in
+        let fed = ref 0 in
+        (try
+           ignore
+             (Traces.Parser.fold_file_exn path
+                ~init:(fun ~threads ~locks ~vars ->
+                  let s = C.create ~threads ~locks ~vars in
+                  st := Some s;
+                  arm_heartbeat heartbeat ~total:None;
+                  started := Unix.gettimeofday ();
+                  deadline := Option.map (fun b -> !started +. b) timeout;
+                  s)
+                ~f:(fun s e ->
+                  (match C.feed s e with
+                  | Some _ -> note_violation viol_at ~started:!started
+                  | None -> ());
+                  incr fed;
+                  (if !fed land (check_interval - 1) = 0 then begin
+                     tick heartbeat !fed;
+                     match !deadline with
+                     | Some d when Unix.gettimeofday () > d ->
+                       timed_out := true;
+                       raise Exit
+                     | _ -> ()
+                   end);
+                  s))
+         with Exit -> ());
+        match !st with
+        | None -> assert false (* [init] runs before the first event *)
+        | Some s ->
+          {
+            checker = C.name;
+            outcome =
+              (if !timed_out then Timed_out else Verdict (C.violation s));
+            seconds = Unix.gettimeofday () -. !started;
+            events_fed = !fed;
+            metrics = runner_entries ?file_bytes:(file_size path) viol_at;
+          })
 
 (* --- pipelined ingestion ---
 
@@ -131,7 +216,12 @@ let run_stream_seq ?timeout (module C : Aerodrome.Checker.S) path =
    sees, in order, so verdicts and violation indices are identical. *)
 
 type stream_msg =
-  | Domains of { threads : int; locks : int; vars : int }
+  | Domains of {
+      threads : int;
+      locks : int;
+      vars : int;
+      events : int option;  (* total, when the format knows it upfront *)
+    }
   | Batch of Traces.Event.t array
 
 let batch_size = 8192
@@ -143,10 +233,21 @@ let produce_file path ~push =
   let push_or_stop m = if not (push m) then raise Stop_producing in
   let scratch = Array.make batch_size (Traces.Event.begin_ 0) in
   let fill = ref 0 in
+  (* Spans cover read + decode + intern of one batch; the (possibly
+     blocking) push is excluded so producer stalls show as gaps between
+     spans rather than inflating decode time. *)
+  let trace_on = Obs.Chrome_trace.active () in
+  let batch_t0 = ref (if trace_on then Obs.now_us () else 0.0) in
   let flush () =
     if !fill > 0 then begin
+      if trace_on then
+        Obs.Chrome_trace.add_span ~cat:"ingest" ~name:"decode-batch"
+          ~ts_us:!batch_t0
+          ~dur_us:(Obs.now_us () -. !batch_t0)
+          ();
       push_or_stop (Batch (Array.sub scratch 0 !fill));
-      fill := 0
+      fill := 0;
+      if trace_on then batch_t0 := Obs.now_us ()
     end
   in
   let feed () e =
@@ -163,71 +264,103 @@ let produce_file path ~push =
               threads = h.Traces.Binfmt.threads;
               locks = h.Traces.Binfmt.locks;
               vars = h.Traces.Binfmt.vars;
+              events = Some h.Traces.Binfmt.events;
             });
        ignore (Traces.Binfmt.fold path ~init:() ~f:feed)
      end
      else
        Traces.Parser.fold_file_exn path
          ~init:(fun ~threads ~locks ~vars ->
-           push_or_stop (Domains { threads; locks; vars }))
+           push_or_stop (Domains { threads; locks; vars; events = None }))
          ~f:feed);
     flush ()
   with Stop_producing -> ()
 
-let run_stream_pipelined ?timeout (module C : Aerodrome.Checker.S) path =
-  Parallel.Pipeline.run ~capacity:ring_capacity
-    ~produce:(fun ~push -> produce_file path ~push)
-    ~consume:(fun ~pop ->
-      match pop () with
-      | None ->
-        (* the producer failed before announcing the domains (bad header,
-           malformed text, unreadable file); Pipeline.run re-raises its
-           exception and this placeholder is discarded *)
-        {
-          checker = C.name;
-          outcome = Verdict None;
-          seconds = 0.;
-          events_fed = 0;
-        }
-      | Some (Batch _) -> assert false (* producer announces domains first *)
-      | Some (Domains { threads; locks; vars }) ->
-        let st = C.create ~threads ~locks ~vars in
-        let started = Unix.gettimeofday () in
-        let deadline = Option.map (fun b -> started +. b) timeout in
-        let timed_out = ref false in
-        let fed = ref 0 in
-        (try
-           let rec loop () =
-             match pop () with
-             | None -> ()
-             | Some (Domains _) -> assert false
-             | Some (Batch events) ->
-               Array.iter
-                 (fun e ->
-                   ignore (C.feed st e);
-                   incr fed;
-                   if !fed land (check_interval - 1) = 0 then
-                     match deadline with
-                     | Some d when Unix.gettimeofday () > d ->
-                       timed_out := true;
-                       raise Exit
-                     | _ -> ())
-                 events;
-               loop ()
-           in
-           loop ()
-         with Exit -> ());
-        {
-          checker = C.name;
-          outcome = (if !timed_out then Timed_out else Verdict (C.violation st));
-          seconds = Unix.gettimeofday () -. started;
-          events_fed = !fed;
-        })
-    ()
+let ring_entries (s : Parallel.Ring.stats) =
+  Obs.Snapshot.
+    [
+      entry "ring.capacity" (Int s.Parallel.Ring.st_capacity);
+      entry "ring.occupancy_hwm" (Int s.Parallel.Ring.occupancy_hwm);
+      entry "ring.producer_stalls" (Int s.Parallel.Ring.producer_stalls);
+      entry "ring.consumer_stalls" (Int s.Parallel.Ring.consumer_stalls);
+    ]
 
-let run_stream ?timeout ?(pipelined = false) checker path =
-  if pipelined then run_stream_pipelined ?timeout checker path
-  else run_stream_seq ?timeout checker path
+let run_stream_pipelined ?timeout ?heartbeat (module C : Aerodrome.Checker.S)
+    path =
+  collected (fun () ->
+      let ring_stats = ref None in
+      let r =
+        Parallel.Pipeline.run ~capacity:ring_capacity
+          ~on_stats:(fun s -> ring_stats := Some s)
+          ~produce:(fun ~push -> produce_file path ~push)
+          ~consume:(fun ~pop ->
+            match pop () with
+            | None ->
+              (* the producer failed before announcing the domains (bad
+                 header, malformed text, unreadable file); Pipeline.run
+                 re-raises its exception and this placeholder is
+                 discarded *)
+              {
+                checker = C.name;
+                outcome = Verdict None;
+                seconds = 0.;
+                events_fed = 0;
+                metrics = Obs.Snapshot.empty;
+              }
+            | Some (Batch _) ->
+              assert false (* producer announces domains first *)
+            | Some (Domains { threads; locks; vars; events }) ->
+              let st = C.create ~threads ~locks ~vars in
+              arm_heartbeat heartbeat ~total:events;
+              let started = Unix.gettimeofday () in
+              let deadline = Option.map (fun b -> started +. b) timeout in
+              let timed_out = ref false in
+              let viol_at = ref (-1.0) in
+              let fed = ref 0 in
+              (try
+                 let rec loop () =
+                   match pop () with
+                   | None -> ()
+                   | Some (Domains _) -> assert false
+                   | Some (Batch events) ->
+                     Obs.Chrome_trace.span ~cat:"check" "feed-batch"
+                       (fun () ->
+                         Array.iter
+                           (fun e ->
+                             (match C.feed st e with
+                             | Some _ -> note_violation viol_at ~started
+                             | None -> ());
+                             incr fed;
+                             if !fed land (check_interval - 1) = 0 then begin
+                               tick heartbeat !fed;
+                               match deadline with
+                               | Some d when Unix.gettimeofday () > d ->
+                                 timed_out := true;
+                                 raise Exit
+                               | _ -> ()
+                             end)
+                           events);
+                     loop ()
+                 in
+                 loop ()
+               with Exit -> ());
+              {
+                checker = C.name;
+                outcome =
+                  (if !timed_out then Timed_out else Verdict (C.violation st));
+                seconds = Unix.gettimeofday () -. started;
+                events_fed = !fed;
+                metrics = runner_entries ?file_bytes:(file_size path) viol_at;
+              })
+          ()
+      in
+      match !ring_stats with
+      | Some s when Obs.on () -> { r with metrics = r.metrics @ ring_entries s }
+      | _ -> r)
+
+let run_stream ?timeout ?heartbeat ?(pipelined = false) checker path =
+  if pipelined then run_stream_pipelined ?timeout ?heartbeat checker path
+  else run_stream_seq ?timeout ?heartbeat checker path
 
 (* --- multi-file fan-out --- *)
 
@@ -236,17 +369,24 @@ type file_report = {
   report : (result, string) Stdlib.result;
 }
 
-let run_file ?timeout ?(pipelined = false) checker path =
-  match run_stream ?timeout ~pipelined checker path with
+let run_file ?timeout ?heartbeat ?(pipelined = false) checker path =
+  match run_stream ?timeout ?heartbeat ~pipelined checker path with
   | r -> Ok r
   | exception Traces.Binfmt.Corrupt msg -> Error msg
   | exception Traces.Parser.Parse_error e ->
     Error (Format.asprintf "%s: %a" path Traces.Parser.pp_error e)
   | exception Sys_error msg -> Error msg
 
-let run_many ?timeout ?(pipelined = false) ?(jobs = 1) checker paths =
-  Parallel.Pool.run ~jobs
-    (fun path -> { file = path; report = run_file ?timeout ~pipelined checker path })
+let run_many ?timeout ?heartbeat ?(pipelined = false) ?(jobs = 1) ?on_pool
+    checker paths =
+  (* A shared heartbeat would interleave lines from concurrent workers;
+     drop it when the files actually fan out. *)
+  let heartbeat =
+    if jobs > 1 && List.compare_length_with paths 1 > 0 then None else heartbeat
+  in
+  Parallel.Pool.run ?report:on_pool ~jobs
+    (fun path ->
+      { file = path; report = run_file ?timeout ?heartbeat ~pipelined checker path })
     paths
 
 let violating r =

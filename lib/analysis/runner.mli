@@ -3,7 +3,28 @@
     The paper runs each analysis with a 10-hour timeout and reports [TO]
     where it is exceeded; this runner does the same at laptop scale.  Time
     is checked every few thousand events so the overhead on the measured
-    loop is negligible. *)
+    loop is negligible.
+
+    {2 Telemetry}
+
+    When telemetry is enabled ({!Obs.enable}) each run opens an ambient
+    {!Obs.Scope}: the checker's {!Aerodrome.Cmetrics} registry attaches
+    to it and its snapshot is returned in [result.metrics], together
+    with runner-level entries —
+
+    - ["violation.seconds"]: elapsed seconds to the first violation;
+    - ["ingest.file_bytes"]: size of the trace file (file-based runs);
+    - ["ring.capacity"], ["ring.occupancy_hwm"], ["ring.producer_stalls"],
+      ["ring.consumer_stalls"]: {!Parallel.Ring} occupancy telemetry
+      (pipelined runs only).
+
+    With telemetry disabled [metrics] is {!Obs.Snapshot.empty} and the
+    per-event cost of the plumbing is one branch.  A [heartbeat]
+    (ticked from the existing 4096-event timeout checkpoint) emits
+    progress lines independently of the metric scope.  When a
+    {!Obs.Chrome_trace} collector is active, pipelined runs record
+    producer decode spans, consumer feed spans, and an instant marker
+    at the first violation. *)
 
 type outcome =
   | Verdict of Aerodrome.Violation.t option
@@ -17,25 +38,36 @@ type result = {
   seconds : float;  (** wall-clock analysis time (trace generation and
                         I/O excluded) *)
   events_fed : int;
+  metrics : Obs.Snapshot.t;
+      (** per-run metric snapshot; empty when telemetry is disabled *)
 }
 
-val run : ?timeout:float -> Aerodrome.Checker.t -> Traces.Trace.t -> result
-(** [timeout] in seconds; default: none. *)
+val run :
+  ?timeout:float -> ?heartbeat:Obs.Heartbeat.t -> Aerodrome.Checker.t ->
+  Traces.Trace.t -> result
+(** [timeout] in seconds; default: none.  [heartbeat] is restarted, given
+    the trace length as total, and ticked as the run progresses. *)
 
 val run_seq :
-  ?timeout:float -> Aerodrome.Checker.t -> threads:int -> locks:int ->
-  vars:int -> Traces.Event.t Seq.t -> result
+  ?timeout:float -> ?heartbeat:Obs.Heartbeat.t -> ?total:int ->
+  Aerodrome.Checker.t -> threads:int -> locks:int -> vars:int ->
+  Traces.Event.t Seq.t -> result
 (** Streaming variant: analyze an event sequence without materializing it
     (e.g. {!Traces.Binfmt.read_seq} of a file larger than memory).  The
-    sequence is consumed up to the violation or the timeout. *)
+    sequence is consumed up to the violation or the timeout.  [total]
+    (when the caller knows the event count upfront) only feeds the
+    heartbeat's ETA. *)
 
 val run_binary_file :
-  ?timeout:float -> Aerodrome.Checker.t -> string -> result
-(** [run_seq] over a binary trace file, domains from its header.
+  ?timeout:float -> ?heartbeat:Obs.Heartbeat.t -> Aerodrome.Checker.t ->
+  string -> result
+(** [run_seq] over a binary trace file, domains and total event count
+    from its header.
     @raise Traces.Binfmt.Corrupt *)
 
 val run_stream :
-  ?timeout:float -> ?pipelined:bool -> Aerodrome.Checker.t -> string -> result
+  ?timeout:float -> ?heartbeat:Obs.Heartbeat.t -> ?pipelined:bool ->
+  Aerodrome.Checker.t -> string -> result
 (** Analyze a trace file without materializing it, auto-detecting the
     format: binary files stream in one pass (domains from the header),
     text files via {!Traces.Parser.fold_file} (two passes, since the text
@@ -62,14 +94,15 @@ type file_report = {
 }
 
 val run_file :
-  ?timeout:float -> ?pipelined:bool -> Aerodrome.Checker.t -> string ->
-  (result, string) Stdlib.result
+  ?timeout:float -> ?heartbeat:Obs.Heartbeat.t -> ?pipelined:bool ->
+  Aerodrome.Checker.t -> string -> (result, string) Stdlib.result
 (** {!run_stream} with per-file error capture instead of exceptions:
     [Sys_error], {!Traces.Binfmt.Corrupt} and
     {!Traces.Parser.Parse_error} become [Error msg]. *)
 
 val run_many :
-  ?timeout:float -> ?pipelined:bool -> ?jobs:int -> Aerodrome.Checker.t ->
+  ?timeout:float -> ?heartbeat:Obs.Heartbeat.t -> ?pipelined:bool ->
+  ?jobs:int -> ?on_pool:(float array -> unit) -> Aerodrome.Checker.t ->
   string list -> file_report list
 (** Check many trace files, one {!file_report} per input path {e in input
     order}.  A failing file yields its [Error] report and the remaining
@@ -78,7 +111,13 @@ val run_many :
     deterministic and identical to [jobs = 1], and each file's checker
     runs single-threaded on one domain (the exact sequential checker —
     verdicts cannot differ).  [jobs <= 1] runs sequentially in the
-    calling domain with no pool. *)
+    calling domain with no pool.
+
+    [heartbeat] is forwarded to each file's run, except when files fan
+    out across a pool (concurrent workers would interleave its lines).
+    [on_pool] receives {!Parallel.Pool.busy_seconds} — seconds each
+    worker spent checking, by worker index — after the pool is joined;
+    it is not called on the sequential path. *)
 
 val pp_file_report : Format.formatter -> file_report -> unit
 (** ["path: <report>"] or ["path: error: <msg>"]. *)

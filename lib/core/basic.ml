@@ -19,6 +19,7 @@ type t = {
   depth : int array;  (* begin/end nesting depth per thread *)
   mutable violation : Violation.t option;
   mutable processed : int;
+  m : Cmetrics.t;
 }
 
 let create ~threads ~locks ~vars =
@@ -37,10 +38,12 @@ let create ~threads ~locks ~vars =
     depth = Array.make dim 0;
     violation = None;
     processed = 0;
+    m = Cmetrics.create ();
   }
 
 let violation st = st.violation
 let processed st = st.processed
+let metrics st = Cmetrics.snapshot st.m
 
 let active st t = st.depth.(t) > 0
 let in_transaction = active
@@ -52,6 +55,7 @@ exception Found of Violation.site
    clk into C_t. *)
 let check_and_get st clk t site =
   if active st t && AC.leq st.cb.(t) clk then raise (Found site);
+  if Obs.on () then Cmetrics.vc_join st.m;
   AC.join_into ~into:st.c.(t) clk
 
 let read_row st x =
@@ -75,7 +79,9 @@ let handle_release st t l =
   AC.assign ~into:st.l.(l) st.c.(t);
   st.last_rel_thr.(l) <- t
 
-let handle_fork st t u = AC.join_into ~into:st.c.(u) st.c.(t)
+let handle_fork st t u =
+  if Obs.on () then Cmetrics.vc_join st.m;
+  AC.join_into ~into:st.c.(u) st.c.(t)
 
 let handle_join st t u = check_and_get st st.c.(u) t Violation.At_join
 
@@ -100,6 +106,7 @@ let handle_write st t x =
 let handle_begin st t =
   st.depth.(t) <- st.depth.(t) + 1;
   if st.depth.(t) = 1 then begin
+    if Obs.on () then Cmetrics.txn_begin st.m;
     AC.bump st.c.(t) t;
     AC.assign ~into:st.cb.(t) st.c.(t)
   end
@@ -110,16 +117,23 @@ let handle_end st t =
   if st.depth.(t) > 0 then begin
     st.depth.(t) <- st.depth.(t) - 1;
     if st.depth.(t) = 0 then begin
+      if Obs.on () then Cmetrics.txn_commit st.m;
       let cb_t = st.cb.(t) and c_t = st.c.(t) in
       for u = 0 to st.threads - 1 do
         if u <> t && AC.leq cb_t st.c.(u) then
           check_and_get st c_t u (Violation.At_end (Ids.Tid.of_int u))
       done;
       for l = 0 to st.locks - 1 do
-        if AC.leq cb_t st.l.(l) then AC.join_into ~into:st.l.(l) c_t
+        if AC.leq cb_t st.l.(l) then begin
+          if Obs.on () then Cmetrics.vc_join st.m;
+          AC.join_into ~into:st.l.(l) c_t
+        end
       done;
       for x = 0 to st.vars - 1 do
-        if AC.leq cb_t st.w.(x) then AC.join_into ~into:st.w.(x) c_t;
+        if AC.leq cb_t st.w.(x) then begin
+          if Obs.on () then Cmetrics.vc_join st.m;
+          AC.join_into ~into:st.w.(x) c_t
+        end;
         let row = st.r.(x) in
         if row <> [||] then
           for u = 0 to st.threads - 1 do
@@ -136,6 +150,7 @@ let feed st (e : Event.t) =
   | Some _ as v -> v
   | None -> (
     st.processed <- st.processed + 1;
+    if Obs.on () then Cmetrics.count st.m e.op;
     let t = Ids.Tid.to_int e.thread in
     match
       (match e.op with
@@ -151,6 +166,7 @@ let feed st (e : Event.t) =
     | () -> None
     | exception Found site ->
       let v = Violation.make ~index:(st.processed - 1) ~event:e ~site in
+      if Obs.on () then Cmetrics.found_violation st.m (st.processed - 1);
       st.violation <- Some v;
       Some v)
 

@@ -37,3 +37,6 @@ val read_clock : t -> thread:int -> var:int -> Vclock.Vtime.t
 
 val in_transaction : t -> int -> bool
 (** Does the thread have an active (outermost) transaction? *)
+
+val metrics : t -> Obs.Snapshot.t
+(** Current reading of this instance's {!Cmetrics} registry. *)

@@ -25,13 +25,12 @@ type t = {
   symbols : Trace.Symbols.t option;
   on_violation : report -> unit;
   depth : int array;
-  mutable events : int;
-  mutable reads : int;
-  mutable writes : int;
-  mutable syncs : int;
-  mutable started : int;
-  mutable completed : int;
-  mutable active : int;
+  (* One counter source of truth: the same Cmetrics registry the
+     checkers use, updated unconditionally — Monitor.stats predates the
+     Obs.on gate and its counts must not depend on the flag.  Not
+     attached to the ambient scope: the wrapped checker already
+     contributes its own registry there. *)
+  m : Cmetrics.t;
   mutable report : report option;
 }
 
@@ -46,13 +45,7 @@ let create ?(checker = default_checker) ?symbols ?(on_violation = fun _ -> ())
     symbols;
     on_violation;
     depth = Array.make (max threads 1) 0;
-    events = 0;
-    reads = 0;
-    writes = 0;
-    syncs = 0;
-    started = 0;
-    completed = 0;
-    active = 0;
+    m = Cmetrics.create ~attach:false ();
     report = None;
   }
 
@@ -61,16 +54,25 @@ let of_trace_domains ?checker ?on_violation tr =
     ~threads:(Trace.threads tr) ~locks:(Trace.locks tr) ~vars:(Trace.vars tr)
     ()
 
+(* Thin view over the registry counters, kept for compatibility. *)
 let stats m =
+  let v = Obs.Counter.value in
+  let cm = m.m in
+  let started = v cm.Cmetrics.txn_begins in
+  let completed = v cm.Cmetrics.txn_commits in
   {
-    events = m.events;
-    reads = m.reads;
-    writes = m.writes;
-    syncs = m.syncs;
-    transactions_started = m.started;
-    transactions_completed = m.completed;
-    active_transactions = m.active;
+    events = v cm.Cmetrics.events;
+    reads = v cm.Cmetrics.reads;
+    writes = v cm.Cmetrics.writes;
+    syncs =
+      v cm.Cmetrics.acquires + v cm.Cmetrics.releases + v cm.Cmetrics.forks
+      + v cm.Cmetrics.joins;
+    transactions_started = started;
+    transactions_completed = completed;
+    active_transactions = started - completed;
   }
+
+let metrics m = Cmetrics.snapshot m.m
 
 let thread_name m tid =
   match m.symbols with
@@ -112,26 +114,17 @@ let describe m (v : Violation.t) =
 
 let count m (e : Event.t) =
   let t = Ids.Tid.to_int e.thread in
-  m.events <- m.events + 1;
+  Cmetrics.count m.m e.op;
   match e.op with
-  | Event.Read _ -> m.reads <- m.reads + 1
-  | Event.Write _ -> m.writes <- m.writes + 1
-  | Event.Acquire _ | Event.Release _ | Event.Fork _ | Event.Join _ ->
-    m.syncs <- m.syncs + 1
   | Event.Begin ->
-    if m.depth.(t) = 0 then begin
-      m.started <- m.started + 1;
-      m.active <- m.active + 1
-    end;
+    if m.depth.(t) = 0 then Cmetrics.txn_begin m.m;
     m.depth.(t) <- m.depth.(t) + 1
   | Event.End ->
     if m.depth.(t) > 0 then begin
       m.depth.(t) <- m.depth.(t) - 1;
-      if m.depth.(t) = 0 then begin
-        m.completed <- m.completed + 1;
-        m.active <- m.active - 1
-      end
+      if m.depth.(t) = 0 then Cmetrics.txn_commit m.m
     end
+  | _ -> ()
 
 let observe m e =
   count m e;

@@ -60,6 +60,13 @@ val observe_all : t -> Event.t Seq.t -> report option
 
 val violation : t -> report option
 val violated : t -> bool
+
 val stats : t -> stats
+(** Thin view over the monitor's {!Cmetrics} registry (one counter
+    source of truth); counting is unconditional, independent of
+    [Obs.on]. *)
+
+(** [metrics m] is the same counters as a registry snapshot. *)
+val metrics : t -> Obs.Snapshot.t
 val pp_stats : Format.formatter -> stats -> unit
 val report_to_string : report -> string

@@ -11,10 +11,18 @@ let nil = -1
    is swept by the next [drain] or [clear], so no operation ever scans the
    member list looking for one element. *)
 module Iset = struct
-  type t = { mutable elems : int array; mutable n : int; mem : Bytes.t }
+  type t = {
+    mutable elems : int array;
+    mutable n : int;
+    mutable live : int; (* exact member count; n over-approximates it *)
+    mem : Bytes.t;
+  }
 
-  let create n = { elems = Array.make 16 0; n = 0; mem = Bytes.make (max n 1) '\000' }
+  let create n =
+    { elems = Array.make 16 0; n = 0; live = 0; mem = Bytes.make (max n 1) '\000' }
+
   let mem s i = Bytes.unsafe_get s.mem i <> '\000'
+  let size s = s.live
 
   let push s i =
     if s.n = Array.length s.elems then begin
@@ -28,10 +36,15 @@ module Iset = struct
   let add s i =
     if not (mem s i) then begin
       Bytes.unsafe_set s.mem i '\001';
+      s.live <- s.live + 1;
       push s i
     end
 
-  let remove s i = Bytes.unsafe_set s.mem i '\000'
+  let remove s i =
+    if mem s i then begin
+      Bytes.unsafe_set s.mem i '\000';
+      s.live <- s.live - 1
+    end
 
 
   (* Iterate the members and leave the set empty; entries invalidated by
@@ -45,6 +58,7 @@ module Iset = struct
       let i = Array.unsafe_get s.elems k in
       if mem s i then begin
         Bytes.unsafe_set s.mem i '\000';
+        s.live <- s.live - 1;
         f i
       end
     done
@@ -87,6 +101,7 @@ type t = {
   parent : (int * int) option array;  (* forking (thread, seq), per thread *)
   mutable violation : Violation.t option;
   mutable processed : int;
+  m : Cmetrics.t;
 }
 
 let create_with ?(fast_checks = true) ?(faithful = false) ~threads ~locks
@@ -122,9 +137,11 @@ let create_with ?(fast_checks = true) ?(faithful = false) ~threads ~locks
     parent = Array.make dim None;
     violation = None;
     processed = 0;
+    m = Cmetrics.create ();
   }
 
 let create ~threads ~locks ~vars = create_with ~threads ~locks ~vars ()
+let metrics st = Cmetrics.snapshot st.m
 
 let violation st = st.violation
 let processed st = st.processed
@@ -142,6 +159,7 @@ let begin_leq st t clk =
 let note_c_grew st t = Bytes.unsafe_set st.covers_dirty t '\001'
 
 let join_c st t src =
+  if Obs.on () then Cmetrics.vc_join st.m;
   if AC.join_into_grew ~into:st.c.(t) src then note_c_grew st t
 
 (* {u | C⊲_u ⊑ C_t} as a bitmask, from cache when C_t has not grown since
@@ -279,12 +297,14 @@ let handle_read st t x =
 let flush_stale_readers st x =
   Iset.drain
     (fun u ->
+      if Obs.on () then Cmetrics.vc_joins_add st.m 2;
       AC.join_into ~into:st.r.(x) st.c.(u);
       AC.join_into_zeroed ~into:st.hr.(x) st.c.(u) u)
     st.stale_r.(x)
 
 let handle_write st t x =
   check_vs_last_write st t x Violation.At_write_vs_write;
+  if Obs.on () then Cmetrics.observe_stale_readers st.m (Iset.size st.stale_r.(x));
   flush_stale_readers st x;
   check_read_and_get st t x Violation.At_write_vs_read;
   if active st t || st.faithful then set_stale_w st x true
@@ -299,6 +319,7 @@ let handle_write st t x =
 let handle_begin st t =
   st.depth.(t) <- st.depth.(t) + 1;
   if st.depth.(t) = 1 then begin
+    if Obs.on () then Cmetrics.txn_begin st.m;
     st.seq.(t) <- st.seq.(t) + 1;
     AC.bump st.c.(t) t;
     AC.assign ~into:st.cb.(t) st.c.(t);
@@ -359,14 +380,17 @@ let end_with_incoming_edge st t =
      every lock for which [begin_leq] may hold (entries can be stale — a
      later release overwrites L_l — hence the re-check); the Slow variant
      scans the whole table, see [propagate_lock_update]. *)
-  if st.fast_checks then
+  if st.fast_checks then begin
+    if Obs.on () then Cmetrics.observe_lock_updates st.m (Iset.size st.upd_l.(t));
     Iset.drain
       (fun l ->
         if begin_leq st t st.l.(l) then begin
+          if Obs.on () then Cmetrics.vc_join st.m;
           AC.join_into ~into:st.l.(l) c_t;
           propagate_lock_update st l ~of_:t ~skip:t c_t
         end)
       st.upd_l.(t)
+  end
   else
     for l = 0 to st.locks - 1 do
       if begin_leq st t st.l.(l) then AC.join_into ~into:st.l.(l) c_t
@@ -407,6 +431,7 @@ let handle_end st t =
   if st.depth.(t) > 0 then begin
     st.depth.(t) <- st.depth.(t) - 1;
     if st.depth.(t) = 0 then begin
+      if Obs.on () then Cmetrics.txn_commit st.m;
       if st.masked then st.active_mask <- st.active_mask land lnot (1 lsl t);
       if has_incoming_edge st t then end_with_incoming_edge st t
       else end_garbage_collect st t
@@ -418,6 +443,7 @@ let feed st (e : Event.t) =
   | Some _ as v -> v
   | None -> (
     st.processed <- st.processed + 1;
+    if Obs.on () then Cmetrics.count st.m e.op;
     let t = Ids.Tid.to_int e.thread in
     match
       (match e.op with
@@ -433,6 +459,7 @@ let feed st (e : Event.t) =
     | () -> None
     | exception Found site ->
       let v = Violation.make ~index:(st.processed - 1) ~event:e ~site in
+      if Obs.on () then Cmetrics.found_violation st.m (st.processed - 1);
       st.violation <- Some v;
       Some v)
 

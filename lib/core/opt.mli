@@ -82,3 +82,7 @@ val write_is_stale : t -> int -> bool
 
 val last_writer : t -> int -> int option
 val in_transaction : t -> int -> bool
+
+val metrics : t -> Obs.Snapshot.t
+(** Current reading of this instance's {!Cmetrics} registry.  Counters
+    only advance while [Obs.on ()] — see {!Cmetrics}. *)

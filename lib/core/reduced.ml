@@ -20,6 +20,7 @@ type t = {
   depth : int array;
   mutable violation : Violation.t option;
   mutable processed : int;
+  m : Cmetrics.t;
 }
 
 let create ~threads ~locks ~vars =
@@ -39,10 +40,12 @@ let create ~threads ~locks ~vars =
     depth = Array.make dim 0;
     violation = None;
     processed = 0;
+    m = Cmetrics.create ();
   }
 
 let violation st = st.violation
 let processed st = st.processed
+let metrics st = Cmetrics.snapshot st.m
 let active st t = st.depth.(t) > 0
 
 exception Found of Violation.site
@@ -50,6 +53,7 @@ exception Found of Violation.site
 (* checkAndGet(clk1, clk2, t): check against clk1, join clk2 into C_t. *)
 let check_and_get st clk1 clk2 t site =
   if active st t && AC.leq st.cb.(t) clk1 then raise (Found site);
+  if Obs.on () then Cmetrics.vc_join st.m;
   AC.join_into ~into:st.c.(t) clk2
 
 (* The check against hR_x must compare only the t-component: hR_x is the
@@ -61,6 +65,7 @@ let check_and_get st clk1 clk2 t site =
 let check_read_and_get st t x site =
   if active st t && AC.get st.cb.(t) t <= AC.get st.hr.(x) t then
     raise (Found site);
+  if Obs.on () then Cmetrics.vc_join st.m;
   AC.join_into ~into:st.c.(t) st.r.(x)
 
 let handle_acquire st t l =
@@ -71,7 +76,9 @@ let handle_release st t l =
   AC.assign ~into:st.l.(l) st.c.(t);
   st.last_rel_thr.(l) <- t
 
-let handle_fork st t u = AC.join_into ~into:st.c.(u) st.c.(t)
+let handle_fork st t u =
+  if Obs.on () then Cmetrics.vc_join st.m;
+  AC.join_into ~into:st.c.(u) st.c.(t)
 
 let handle_join st t u =
   check_and_get st st.c.(u) st.c.(u) t Violation.At_join
@@ -92,6 +99,7 @@ let handle_write st t x =
 let handle_begin st t =
   st.depth.(t) <- st.depth.(t) + 1;
   if st.depth.(t) = 1 then begin
+    if Obs.on () then Cmetrics.txn_begin st.m;
     AC.bump st.c.(t) t;
     AC.assign ~into:st.cb.(t) st.c.(t)
   end
@@ -100,17 +108,25 @@ let handle_end st t =
   if st.depth.(t) > 0 then begin
     st.depth.(t) <- st.depth.(t) - 1;
     if st.depth.(t) = 0 then begin
+      if Obs.on () then Cmetrics.txn_commit st.m;
       let cb_t = st.cb.(t) and c_t = st.c.(t) in
       for u = 0 to st.threads - 1 do
         if u <> t && AC.leq cb_t st.c.(u) then
           check_and_get st c_t c_t u (Violation.At_end (Ids.Tid.of_int u))
       done;
       for l = 0 to st.locks - 1 do
-        if AC.leq cb_t st.l.(l) then AC.join_into ~into:st.l.(l) c_t
+        if AC.leq cb_t st.l.(l) then begin
+          if Obs.on () then Cmetrics.vc_join st.m;
+          AC.join_into ~into:st.l.(l) c_t
+        end
       done;
       for x = 0 to st.vars - 1 do
-        if AC.leq cb_t st.w.(x) then AC.join_into ~into:st.w.(x) c_t;
+        if AC.leq cb_t st.w.(x) then begin
+          if Obs.on () then Cmetrics.vc_join st.m;
+          AC.join_into ~into:st.w.(x) c_t
+        end;
         if AC.leq cb_t st.r.(x) then begin
+          if Obs.on () then Cmetrics.vc_joins_add st.m 2;
           AC.join_into ~into:st.r.(x) c_t;
           AC.join_into_zeroed ~into:st.hr.(x) c_t t
         end
@@ -123,6 +139,7 @@ let feed st (e : Event.t) =
   | Some _ as v -> v
   | None -> (
     st.processed <- st.processed + 1;
+    if Obs.on () then Cmetrics.count st.m e.op;
     let t = Ids.Tid.to_int e.thread in
     match
       (match e.op with
@@ -138,6 +155,7 @@ let feed st (e : Event.t) =
     | () -> None
     | exception Found site ->
       let v = Violation.make ~index:(st.processed - 1) ~event:e ~site in
+      if Obs.on () then Cmetrics.found_violation st.m (st.processed - 1);
       st.violation <- Some v;
       Some v)
 

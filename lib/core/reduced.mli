@@ -32,3 +32,6 @@ val read_clock_joined : t -> int -> Vclock.Vtime.t
 
 val read_clock_check : t -> int -> Vclock.Vtime.t
 (** Current [hR_x = ⊔_u R_{u,x}\[0/u\]]. *)
+
+val metrics : t -> Obs.Snapshot.t
+(** Current reading of this instance's {!Cmetrics} registry. *)

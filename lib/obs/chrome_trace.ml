@@ -1,0 +1,116 @@
+(* Chrome trace-event (Catapult) span collection.  The output file is a
+   JSON object {"traceEvents": [...]} of complete ("ph":"X") spans and
+   instant ("ph":"i") markers, loadable in Perfetto or chrome://tracing.
+
+   A single process-wide collector is installed with [start] before any
+   worker domain is spawned; spans from all domains funnel into it under
+   a mutex (span recording happens at batch granularity — thousands of
+   events per span — so the lock is cold).  [tid] is the recording
+   domain's id, which is how producer/consumer/pool lanes separate in
+   the viewer. *)
+
+type event = {
+  name : string;
+  cat : string;
+  ph : [ `Span of float (* duration us *) | `Instant ];
+  ts_us : float;
+  tid : int;
+}
+
+type t = {
+  mu : Mutex.t;
+  limit : int;
+  t0_us : float;  (* collection start; ts rebases to it on export, since
+                     epoch microseconds (~1.8e15) would lose sub-us
+                     precision through the JSON float formatter *)
+  mutable events : event list; (* newest first *)
+  mutable count : int;
+  mutable dropped : int;
+}
+
+(* The collector reference is written once before domains spawn and read
+   thereafter; the value behind it is mutex-protected. *)
+let current : t option ref = ref None
+
+let start ?(limit = 200_000) () =
+  let c =
+    {
+      mu = Mutex.create ();
+      limit;
+      t0_us = Control.now_us ();
+      events = [];
+      count = 0;
+      dropped = 0;
+    }
+  in
+  current := Some c;
+  c
+
+let stop () = current := None
+let active () = Option.is_some !current
+let self_tid () = (Domain.self () :> int)
+
+let record c ev =
+  Mutex.lock c.mu;
+  if c.count < c.limit then begin
+    c.events <- ev :: c.events;
+    c.count <- c.count + 1
+  end
+  else c.dropped <- c.dropped + 1;
+  Mutex.unlock c.mu
+
+let add_span ?(cat = "") ~name ~ts_us ~dur_us () =
+  match !current with
+  | None -> ()
+  | Some c -> record c { name; cat; ph = `Span dur_us; ts_us; tid = self_tid () }
+
+let instant ?(cat = "") name =
+  match !current with
+  | None -> ()
+  | Some c ->
+    record c { name; cat; ph = `Instant; ts_us = Control.now_us (); tid = self_tid () }
+
+(* Time [f] and record it as a span; free when no collector is active. *)
+let span ?cat name f =
+  match !current with
+  | None -> f ()
+  | Some _ ->
+    let t0 = Control.now_us () in
+    Fun.protect
+      ~finally:(fun () -> add_span ?cat ~name ~ts_us:t0 ~dur_us:(Control.now_us () -. t0) ())
+      f
+
+let dropped c = c.dropped
+
+let to_json (c : t) : Json.t =
+  let evs = List.rev c.events in
+  let event_json e =
+    let common =
+      [
+        ("name", Json.Str e.name);
+        ("cat", Json.Str (if e.cat = "" then "default" else e.cat));
+        ("ts", Json.Num (Float.max 0.0 (e.ts_us -. c.t0_us)));
+        ("pid", Json.Num 1.0);
+        ("tid", Json.Num (float_of_int e.tid));
+      ]
+    in
+    match e.ph with
+    | `Span dur ->
+      Json.Obj (("ph", Json.Str "X") :: common @ [ ("dur", Json.Num dur) ])
+    | `Instant -> Json.Obj (("ph", Json.Str "i") :: ("s", Json.Str "t") :: common)
+  in
+  Json.Obj
+    [
+      ("displayTimeUnit", Json.Str "ms");
+      ("traceEvents", Json.List (List.map event_json evs));
+    ]
+
+let write_channel oc c = output_string oc (Json.to_string (to_json c))
+
+let write_file path c =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      write_channel oc c;
+      output_char oc '\n')

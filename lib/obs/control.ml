@@ -1,0 +1,17 @@
+(* Process-wide switch for the optional instrumentation.
+
+   Metric primitives (Counter.inc, Histogram.observe, ...) are ungated;
+   call sites on per-event hot paths guard with [if Control.on () then ...]
+   so a disabled run costs one ref load and a predictable branch per
+   event.  The flag is a plain [bool ref]: it is flipped once at startup
+   (CLI flag parsing, bench harness) before any worker domain is spawned,
+   never concurrently with checking. *)
+
+let enabled = ref false
+let enable () = enabled := true
+let disable () = enabled := false
+let on () = !enabled
+
+(* Wall-clock helpers shared by spans, heartbeats and runners. *)
+let now () = Unix.gettimeofday ()
+let now_us () = Unix.gettimeofday () *. 1e6

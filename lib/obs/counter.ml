@@ -1,0 +1,15 @@
+(* Monotonic counter, domain-local.  The increment is deliberately
+   unguarded — gating on [Control.on] belongs at the call site, where the
+   branch can cover several updates at once. *)
+
+type t = {
+  name : string;
+  mutable n : int;
+}
+
+let make name = { name; n = 0 }
+let name c = c.name
+let inc c = c.n <- c.n + 1
+let add c k = c.n <- c.n + k
+let value c = c.n
+let reset c = c.n <- 0

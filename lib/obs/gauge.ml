@@ -1,0 +1,15 @@
+(* Point-in-time value.  [set_max] keeps a running high-water mark for
+   gauges that report peaks (ring occupancy, peak node counts). *)
+
+type t = {
+  name : string;
+  mutable v : float;
+}
+
+let make ?(init = 0.0) name = { name; v = init }
+let name g = g.name
+let set g x = g.v <- x
+let set_int g x = g.v <- float_of_int x
+let set_max g x = if x > g.v then g.v <- x
+let add g x = g.v <- g.v +. x
+let value g = g.v

@@ -1,0 +1,74 @@
+(* Progress heartbeat for long streaming runs: a line on stderr every
+   [every] events with instantaneous and average events/sec, plus an ETA
+   when the total event count is known (binary traces carry it in the
+   header).  [tick] is called from the runner's existing periodic
+   checkpoint (every 4096 events), so its own cost is one compare on the
+   hot path side. *)
+
+type t = {
+  label : string;
+  every : int; (* events between emitted lines *)
+  out : Format.formatter;
+  mutable total : int option;
+  mutable started : float;
+  mutable last_time : float;
+  mutable last_events : int;
+  mutable next_at : int;
+}
+
+let create ?(out = Format.err_formatter) ?total ~every ~label () =
+  let every = max 1 every in
+  let now = Control.now () in
+  {
+    label;
+    every;
+    out;
+    total;
+    started = now;
+    last_time = now;
+    last_events = 0;
+    next_at = every;
+  }
+
+let set_total hb total = hb.total <- Some total
+
+(* Re-arm for a new file/run when the same heartbeat is reused across a
+   multi-file invocation. *)
+let restart hb =
+  let now = Control.now () in
+  hb.total <- None;
+  hb.started <- now;
+  hb.last_time <- now;
+  hb.last_events <- 0;
+  hb.next_at <- hb.every
+
+let humanize n =
+  let f = float_of_int n in
+  if n < 10_000 then string_of_int n
+  else if f < 1e6 then Printf.sprintf "%.1fK" (f /. 1e3)
+  else if f < 1e9 then Printf.sprintf "%.1fM" (f /. 1e6)
+  else Printf.sprintf "%.2fB" (f /. 1e9)
+
+let rate_string r =
+  if r < 1e3 then Printf.sprintf "%.0f ev/s" r
+  else if r < 1e6 then Printf.sprintf "%.1fK ev/s" (r /. 1e3)
+  else Printf.sprintf "%.2fM ev/s" (r /. 1e6)
+
+let tick hb n =
+  if n < hb.last_events then restart hb;
+  if n >= hb.next_at then begin
+    let now = Control.now () in
+    let inst = float_of_int (n - hb.last_events) /. Float.max (now -. hb.last_time) 1e-9 in
+    let avg = float_of_int n /. Float.max (now -. hb.started) 1e-9 in
+    let eta =
+      match hb.total with
+      | Some total when total > n && avg > 0.0 ->
+        Printf.sprintf "  eta %.0fs" (float_of_int (total - n) /. avg)
+      | _ -> ""
+    in
+    Format.fprintf hb.out "[%s] %s events  %s inst  %s avg%s@." hb.label (humanize n)
+      (rate_string inst) (rate_string avg) eta;
+    hb.last_time <- now;
+    hb.last_events <- n;
+    hb.next_at <- n + hb.every
+  end

@@ -1,0 +1,45 @@
+(* Fixed-bucket histogram over non-negative integers, Prometheus-style
+   upper-inclusive bounds: observation [v] lands in the first bucket [i]
+   with [v <= bounds.(i)], or in the trailing overflow bucket.  Bounds
+   are fixed at creation so [observe] is a small branch-free-ish scan —
+   bucket counts are tiny arrays (typically <= 10 entries). *)
+
+type t = {
+  name : string;
+  bounds : int array; (* strictly increasing upper bounds *)
+  counts : int array; (* length = Array.length bounds + 1, last = overflow *)
+  mutable total : int;
+  mutable sum : int;
+}
+
+let default_bounds = [| 0; 1; 2; 4; 8; 16; 32; 64; 128 |]
+
+let make ?(bounds = default_bounds) name =
+  if Array.length bounds = 0 then invalid_arg "Histogram.make: empty bounds";
+  for i = 1 to Array.length bounds - 1 do
+    if bounds.(i - 1) >= bounds.(i) then
+      invalid_arg "Histogram.make: bounds must be strictly increasing"
+  done;
+  { name; bounds; counts = Array.make (Array.length bounds + 1) 0; total = 0; sum = 0 }
+
+let name h = h.name
+
+let bucket_index bounds v =
+  let n = Array.length bounds in
+  let i = ref 0 in
+  while !i < n && v > bounds.(!i) do
+    incr i
+  done;
+  !i
+
+let observe h v =
+  let i = bucket_index h.bounds v in
+  h.counts.(i) <- h.counts.(i) + 1;
+  h.total <- h.total + 1;
+  h.sum <- h.sum + v
+
+let total h = h.total
+let sum h = h.sum
+let bounds h = Array.copy h.bounds
+let counts h = Array.copy h.counts
+let mean h = if h.total = 0 then 0.0 else float_of_int h.sum /. float_of_int h.total

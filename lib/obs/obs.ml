@@ -1,0 +1,23 @@
+(* Telemetry library: metrics registry, snapshots, progress heartbeats
+   and Chrome trace-event span export.  Dependency-free apart from Unix
+   (wall-clock time).
+
+   Design in DESIGN.md §11.  The short version:
+   - metric primitives are ungated; hot paths guard updates with
+     [if Obs.on () then ...] so a disabled run pays one branch per event;
+   - per-checker metrics live in per-instance registries collected
+     through the domain-local ambient [Scope];
+   - cross-domain metrics (ingestion, epoch transitions) are atomic
+     counters in [Registry.global]. *)
+
+include Control
+module Counter = Counter
+module Shared_counter = Shared_counter
+module Gauge = Gauge
+module Histogram = Histogram
+module Snapshot = Snapshot
+module Registry = Registry
+module Scope = Scope
+module Json = Json
+module Heartbeat = Heartbeat
+module Chrome_trace = Chrome_trace

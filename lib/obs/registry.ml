@@ -1,0 +1,77 @@
+(* A registry is an ordered bag of metrics that can be snapshotted
+   together.  Checkers own one registry per instance; process-wide
+   metrics (ingestion byte counts, epoch promote/demote) live in
+   [global].  Registration is rare and mutex-protected; reading a metric
+   for snapshot only happens between runs, so plain field reads are
+   fine for domain-local metrics and [Atomic.get] covers the shared
+   ones. *)
+
+type metric =
+  | Counter of Counter.t
+  | Shared of Shared_counter.t
+  | Gauge of Gauge.t
+  | Histogram of Histogram.t
+  | Probe of string * (unit -> Snapshot.value)
+      (* sampled lazily at snapshot time — used to expose existing
+         structure statistics (graph node counts, ...) without keeping a
+         parallel copy up to date on the hot path *)
+
+type t = {
+  mu : Mutex.t;
+  mutable metrics : metric list; (* newest first; snapshot reverses *)
+}
+
+let create () = { mu = Mutex.create (); metrics = [] }
+
+let register reg m =
+  Mutex.lock reg.mu;
+  reg.metrics <- m :: reg.metrics;
+  Mutex.unlock reg.mu
+
+let counter reg name =
+  let c = Counter.make name in
+  register reg (Counter c);
+  c
+
+let shared_counter reg name =
+  let c = Shared_counter.make name in
+  register reg (Shared c);
+  c
+
+let gauge ?init reg name =
+  let g = Gauge.make ?init name in
+  register reg (Gauge g);
+  g
+
+let histogram ?bounds reg name =
+  let h = Histogram.make ?bounds name in
+  register reg (Histogram h);
+  h
+
+let probe reg name f = register reg (Probe (name, f))
+
+let snapshot reg : Snapshot.t =
+  Mutex.lock reg.mu;
+  let metrics = List.rev reg.metrics in
+  Mutex.unlock reg.mu;
+  List.map
+    (fun m ->
+      match m with
+      | Counter c -> Snapshot.entry (Counter.name c) (Snapshot.Int (Counter.value c))
+      | Shared c ->
+        Snapshot.entry (Shared_counter.name c) (Snapshot.Int (Shared_counter.value c))
+      | Gauge g -> Snapshot.entry (Gauge.name g) (Snapshot.Float (Gauge.value g))
+      | Histogram h ->
+        Snapshot.entry (Histogram.name h)
+          (Snapshot.Hist
+             {
+               bounds = Histogram.bounds h;
+               counts = Histogram.counts h;
+               total = Histogram.total h;
+               sum = Histogram.sum h;
+             })
+      | Probe (name, f) -> Snapshot.entry name (f ()))
+    metrics
+
+(* Process-wide registry for metrics that outlive any single run. *)
+let global = create ()

@@ -1,0 +1,39 @@
+(* Ambient per-run metric collection.
+
+   The checkers all ascribe to [Checker.S], and the verbatim reference
+   copies under test/reference must keep compiling against that
+   signature — so the runner cannot ask a checker for its metrics
+   through the functor interface.  Instead, [collect f] installs a
+   domain-local scope for the duration of [f]; any registry created
+   while it is active (each [Cmetrics.create] in a checker constructor)
+   calls [attach] and is snapshotted when [f] returns.
+
+   Scopes are domain-local (Domain.DLS), so a pipelined producer domain
+   or pool worker never leaks its registries into another run — each
+   worker's [run_file] call opens its own scope on its own domain. *)
+
+type scope = { mutable registries : Registry.t list (* newest first *) }
+
+let key : scope option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let attach reg =
+  match !(Domain.DLS.get key) with
+  | None -> ()
+  | Some s -> s.registries <- reg :: s.registries
+
+let active () = Option.is_some !(Domain.DLS.get key)
+
+let collect (f : unit -> 'a) : 'a * Snapshot.t =
+  let cell = Domain.DLS.get key in
+  let saved = !cell in
+  let scope = { registries = [] } in
+  cell := Some scope;
+  let finish () = cell := saved in
+  match f () with
+  | v ->
+    finish ();
+    (v, List.concat_map Registry.snapshot (List.rev scope.registries))
+  | exception e ->
+    finish ();
+    raise e

@@ -1,0 +1,16 @@
+(* Atomic counter for metrics updated from more than one domain
+   (trace ingestion on the producer domain, epoch promote/demote in
+   clocks shared across pool workers).  Registered in [Registry.global]
+   rather than a per-run registry. *)
+
+type t = {
+  name : string;
+  n : int Atomic.t;
+}
+
+let make name = { name; n = Atomic.make 0 }
+let name c = c.name
+let inc c = Atomic.incr c.n
+let add c k = ignore (Atomic.fetch_and_add c.n k)
+let value c = Atomic.get c.n
+let reset c = Atomic.set c.n 0

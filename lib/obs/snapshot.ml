@@ -1,0 +1,106 @@
+(* Immutable point-in-time reading of a registry: ordered (name, value)
+   pairs.  Snapshots are what crosses module boundaries — runners attach
+   them to results, exporters render them, and [diff] subtracts a
+   baseline so interval metrics fall out of two snapshots. *)
+
+type value =
+  | Int of int
+  | Float of float
+  | Hist of {
+      bounds : int array;
+      counts : int array;
+      total : int;
+      sum : int;
+    }
+
+type entry = {
+  name : string;
+  value : value;
+}
+
+type t = entry list
+
+let empty : t = []
+let entry name value = { name; value }
+let find (t : t) name = List.find_opt (fun e -> e.name = name) t
+
+let get_int t name =
+  match find t name with
+  | Some { value = Int n; _ } -> Some n
+  | _ -> None
+
+let get_float t name =
+  match find t name with
+  | Some { value = Float f; _ } -> Some f
+  | Some { value = Int n; _ } -> Some (float_of_int n)
+  | _ -> None
+
+(* [diff ~before ~after] keeps [after]'s order and subtracts any
+   matching entry of [before]; entries missing from [before] count from
+   zero.  Floats (gauges, timings) are point-in-time readings and pass
+   through unchanged. *)
+let diff ~(before : t) ~(after : t) : t =
+  List.map
+    (fun e ->
+      match e.value, Option.map (fun b -> b.value) (find before e.name) with
+      | Int a, Some (Int b) -> { e with value = Int (a - b) }
+      | Hist h, Some (Hist hb) when h.bounds = hb.bounds ->
+        {
+          e with
+          value =
+            Hist
+              {
+                bounds = h.bounds;
+                counts = Array.mapi (fun i c -> c - hb.counts.(i)) h.counts;
+                total = h.total - hb.total;
+                sum = h.sum - hb.sum;
+              };
+        }
+      | _ -> e)
+    after
+
+let value_to_json = function
+  | Int n -> Json.Num (float_of_int n)
+  | Float f -> Json.Num f
+  | Hist { bounds; counts; total; sum } ->
+    Json.Obj
+      [
+        ("total", Json.Num (float_of_int total));
+        ("sum", Json.Num (float_of_int sum));
+        ( "bounds",
+          Json.List (Array.to_list bounds |> List.map (fun b -> Json.Num (float_of_int b))) );
+        ( "counts",
+          Json.List (Array.to_list counts |> List.map (fun c -> Json.Num (float_of_int c))) );
+      ]
+
+let to_json (t : t) : Json.t = Json.Obj (List.map (fun e -> (e.name, value_to_json e.value)) t)
+
+let pp_value ppf = function
+  | Int n -> Format.fprintf ppf "%d" n
+  | Float f ->
+    if Float.is_integer f && Float.abs f < 1e15 then Format.fprintf ppf "%.0f" f
+    else Format.fprintf ppf "%.3f" f
+  | Hist { bounds; counts; total; sum } ->
+    Format.fprintf ppf "total=%d sum=%d" total sum;
+    if total > 0 then begin
+      Format.fprintf ppf " [";
+      let first = ref true in
+      Array.iteri
+        (fun i c ->
+          if c > 0 then begin
+            if not !first then Format.fprintf ppf " ";
+            first := false;
+            if i < Array.length bounds then Format.fprintf ppf "<=%d:%d" bounds.(i) c
+            else Format.fprintf ppf ">%d:%d" bounds.(Array.length bounds - 1) c
+          end)
+        counts;
+      Format.fprintf ppf "]"
+    end
+
+let pp ppf (t : t) =
+  let width =
+    List.fold_left (fun acc e -> max acc (String.length e.name)) 0 t
+  in
+  List.iter
+    (fun e -> Format.fprintf ppf "  %-*s  %a@." width e.name pp_value e.value)
+    t

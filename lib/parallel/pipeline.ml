@@ -1,4 +1,4 @@
-let run ?(capacity = 8) ~produce ~consume () =
+let run ?(capacity = 8) ?on_stats ~produce ~consume () =
   let ring = Ring.create capacity in
   let producer_error = Atomic.make None in
   let producer =
@@ -19,6 +19,9 @@ let run ?(capacity = 8) ~produce ~consume () =
     | exception e -> Error e
   in
   finish ();
+  (* Stall counters survive the cancel; report them once both sides have
+     stopped touching the ring. *)
+  (match on_stats with Some f -> f (Ring.stats ring) | None -> ());
   match (Atomic.get producer_error, result) with
   | Some e, _ -> raise e
   | None, Ok r -> r

@@ -24,8 +24,11 @@
 
 val run :
   ?capacity:int ->
+  ?on_stats:(Ring.stats -> unit) ->
   produce:(push:('a -> bool) -> unit) ->
   consume:(pop:(unit -> 'a option) -> 'b) ->
   unit ->
   'b
-(** [capacity] is the ring size in items (default 8). *)
+(** [capacity] is the ring size in items (default 8).  [on_stats] is
+    called once, after the producer has been joined, with the ring's
+    occupancy/stall telemetry for the whole run. *)

@@ -4,9 +4,12 @@ type t = {
   queue : (unit -> unit) Queue.t;
   mutable stop : bool;
   mutable workers : unit Domain.t array;  (* [||] once joined *)
+  busy : float array;  (* per-worker seconds spent inside tasks; each
+                          slot is written only by its own worker, read
+                          after {!shutdown} joins it *)
 }
 
-let worker_loop pool =
+let worker_loop pool idx =
   let rec next () =
     Mutex.lock pool.mu;
     while Queue.is_empty pool.queue && not pool.stop do
@@ -18,7 +21,9 @@ let worker_loop pool =
     Mutex.unlock pool.mu;
     match task with
     | Some f ->
+      let t0 = Unix.gettimeofday () in
       f ();
+      pool.busy.(idx) <- pool.busy.(idx) +. (Unix.gettimeofday () -. t0);
       next ()
     | None -> ()  (* stop, queue drained *)
   in
@@ -33,9 +38,10 @@ let create jobs =
       queue = Queue.create ();
       stop = false;
       workers = [||];
+      busy = Array.make jobs 0.0;
     }
   in
-  pool.workers <- Array.init jobs (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool.workers <- Array.init jobs (fun i -> Domain.spawn (fun () -> worker_loop pool i));
   pool
 
 let size pool = Array.length pool.workers
@@ -91,13 +97,29 @@ let shutdown pool =
   pool.workers <- [||];
   Array.iter Domain.join workers
 
+let busy_seconds pool = Array.copy pool.busy
+
 let with_pool jobs f =
   let pool = create jobs in
   Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
 
-let run ~jobs f items =
+let run ?report ~jobs f items =
   match items with
   | [] -> []
   | [ x ] -> [ f x ]
   | _ when jobs <= 1 -> List.map f items
-  | _ -> with_pool (min jobs (List.length items)) (fun p -> map_list p f items)
+  | _ ->
+    let pool = create (min jobs (List.length items)) in
+    let results =
+      match map_list pool f items with
+      | r ->
+        shutdown pool;
+        r
+      | exception e ->
+        shutdown pool;
+        raise e
+    in
+    (* After shutdown: the joins order every worker's busy writes before
+       this read. *)
+    (match report with Some g -> g (busy_seconds pool) | None -> ());
+    results

@@ -37,12 +37,19 @@ val shutdown : t -> unit
 (** Finish queued work, then join every worker.  Idempotent; using the
     pool after shutdown raises [Invalid_argument]. *)
 
+val busy_seconds : t -> float array
+(** Seconds each worker has spent inside tasks, by worker index.  Only
+    meaningful once {!shutdown} has joined the workers (each slot is
+    written by its own worker without synchronisation). *)
+
 val with_pool : int -> (t -> 'a) -> 'a
 (** [with_pool jobs f] runs [f] on a fresh pool and shuts it down on the
     way out (also on exception). *)
 
-val run : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+val run : ?report:(float array -> unit) -> jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** One-shot convenience: [jobs <= 1] (or fewer than two items) runs
     sequentially in the calling domain with no pool at all — the exact
     sequential code path — otherwise a temporary pool of
-    [min jobs (length items)] workers is created, used and shut down. *)
+    [min jobs (length items)] workers is created, used and shut down.
+    [report] (pool path only) receives {!busy_seconds} after the workers
+    have been joined. *)

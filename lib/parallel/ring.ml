@@ -5,9 +5,21 @@ type 'a t = {
   mutable count : int;
   mutable closed : bool;
   mutable cancelled : bool;
+  (* Occupancy telemetry, maintained under [mu] (free: the lock is
+     already held at every update site). *)
+  mutable hwm : int;  (* occupancy high-water mark *)
+  mutable push_waits : int;  (* pushes that found the ring full *)
+  mutable pop_waits : int;  (* pops that found the ring empty *)
   mu : Mutex.t;
   not_empty : Condition.t;
   not_full : Condition.t;
+}
+
+type stats = {
+  st_capacity : int;
+  occupancy_hwm : int;
+  producer_stalls : int;
+  consumer_stalls : int;
 }
 
 let create capacity =
@@ -19,6 +31,9 @@ let create capacity =
     count = 0;
     closed = false;
     cancelled = false;
+    hwm = 0;
+    push_waits = 0;
+    pop_waits = 0;
     mu = Mutex.create ();
     not_empty = Condition.create ();
     not_full = Condition.create ();
@@ -39,6 +54,8 @@ let with_lock r f =
 let push r v =
   with_lock r (fun () ->
       if r.closed then invalid_arg "Ring.push: ring is closed";
+      if r.count = Array.length r.slots && not r.cancelled then
+        r.push_waits <- r.push_waits + 1;
       while r.count = Array.length r.slots && not r.cancelled do
         Condition.wait r.not_full r.mu
       done;
@@ -47,6 +64,7 @@ let push r v =
         r.slots.(r.tail) <- Some v;
         r.tail <- (r.tail + 1) mod Array.length r.slots;
         r.count <- r.count + 1;
+        if r.count > r.hwm then r.hwm <- r.count;
         Condition.signal r.not_empty;
         true
       end)
@@ -58,6 +76,8 @@ let close r =
 
 let pop r =
   with_lock r (fun () ->
+      if r.count = 0 && not r.closed && not r.cancelled then
+        r.pop_waits <- r.pop_waits + 1;
       while r.count = 0 && not r.closed && not r.cancelled do
         Condition.wait r.not_empty r.mu
       done;
@@ -78,3 +98,12 @@ let cancel r =
       r.count <- 0;
       Condition.signal r.not_full;
       Condition.signal r.not_empty)
+
+let stats r =
+  with_lock r (fun () ->
+      {
+        st_capacity = Array.length r.slots;
+        occupancy_hwm = r.hwm;
+        producer_stalls = r.push_waits;
+        consumer_stalls = r.pop_waits;
+      })

@@ -46,3 +46,15 @@ val pop : 'a t -> 'a option
 val cancel : 'a t -> unit
 (** Consumer side: drop all buffered slots and make every pending and
     future {!push} return [false].  Idempotent. *)
+
+type stats = {
+  st_capacity : int;
+  occupancy_hwm : int;  (** highest occupancy ever reached *)
+  producer_stalls : int;  (** pushes that found the ring full and waited *)
+  consumer_stalls : int;  (** pops that found the ring empty and waited *)
+}
+
+val stats : 'a t -> stats
+(** Occupancy telemetry, maintained for free under the ring lock.  A
+    high [occupancy_hwm] with [producer_stalls] means the consumer is
+    the bottleneck; [consumer_stalls] means ingestion is. *)

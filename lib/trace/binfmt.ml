@@ -146,6 +146,23 @@ let rec reader_next r () =
     reader_next r ()
   end
 
+(* Process-wide ingestion counters (the pipelined runner decodes on a
+   producer domain, hence atomic).  Updated in bulk per file/stream so
+   the per-event decode loop stays branch-free; [pos_in] over-counts by
+   at most one read-ahead chunk, which is the honest "bytes read from
+   the file" figure. *)
+let events_decoded =
+  Obs.Registry.shared_counter Obs.Registry.global "ingest.binary.events_decoded"
+
+let bytes_read =
+  Obs.Registry.shared_counter Obs.Registry.global "ingest.binary.bytes_read"
+
+let note_ingest ic n =
+  if Obs.on () then begin
+    Obs.Shared_counter.add events_decoded n;
+    Obs.Shared_counter.add bytes_read (try pos_in ic with Sys_error _ -> 0)
+  end
+
 let read_header_ic path ic =
   let m = really_input_string ic (String.length magic) in
   if m <> magic then corrupt "%s: bad magic (not a binary trace)" path;
@@ -183,6 +200,7 @@ let read_file path =
             corrupt "%s: expected %d events, found %d" path header.events n
       in
       go 0;
+      note_ingest ic header.events;
       Trace.Builder.build b)
 
 let fold path ~init ~f =
@@ -200,7 +218,9 @@ let fold path ~init ~f =
             corrupt "%s: expected %d events, found %d" path header.events n;
           acc
       in
-      (header, go 0 init))
+      let acc = go 0 init in
+      note_ingest ic header.events;
+      (header, acc))
 
 let read_seq path =
   let ic = open_in_bin path in
@@ -215,9 +235,11 @@ let read_seq path =
       raise e
   in
   let closed = ref false in
+  let decoded = ref 0 in
   let close () =
     if not !closed then begin
       closed := true;
+      note_ingest ic !decoded;
       close_in_noerr ic
     end
   in
@@ -226,7 +248,9 @@ let read_seq path =
     if !closed then Seq.Nil
     else
       match decode_event next with
-      | Some e -> Seq.Cons (e, seq (n + 1))
+      | Some e ->
+        if Obs.on () then decoded := n + 1;
+        Seq.Cons (e, seq (n + 1))
       | None ->
         close ();
         if n <> header.events then

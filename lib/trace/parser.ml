@@ -127,6 +127,14 @@ let fold_raw_lines path f init =
    instead: pass 1 interns every name, pass 2 replays the (now-complete)
    interners and folds the events.  Memory is the symbol tables plus one
    line, independent of the event count. *)
+(* Process-wide ingestion counters; bulk-updated after pass 2 so the
+   line loop itself only pays local ref updates while telemetry is on. *)
+let events_parsed =
+  Obs.Registry.shared_counter Obs.Registry.global "ingest.text.events_parsed"
+
+let lines_read =
+  Obs.Registry.shared_counter Obs.Registry.global "ingest.text.lines_read"
+
 let fold_file_exn path ~init ~f =
   let threads = Interner.create ()
   and locks = Interner.create ()
@@ -139,12 +147,24 @@ let fold_file_exn path ~init ~f =
     init ~threads:(Interner.count threads) ~locks:(Interner.count locks)
       ~vars:(Interner.count vars)
   in
-  fold_raw_lines path
-    (fun acc lineno raw ->
-      match parse_event_line ~threads ~locks ~vars lineno raw with
-      | Some e -> f acc e
-      | None -> acc)
-    acc
+  let counting = Obs.on () in
+  let nlines = ref 0 and nevents = ref 0 in
+  let acc =
+    fold_raw_lines path
+      (fun acc lineno raw ->
+        if counting then nlines := lineno;
+        match parse_event_line ~threads ~locks ~vars lineno raw with
+        | Some e ->
+          if counting then incr nevents;
+          f acc e
+        | None -> acc)
+      acc
+  in
+  if counting then begin
+    Obs.Shared_counter.add lines_read !nlines;
+    Obs.Shared_counter.add events_parsed !nevents
+  end;
+  acc
 
 let fold_file path ~init ~f =
   match fold_file_exn path ~init ~f with

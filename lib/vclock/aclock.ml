@@ -34,10 +34,22 @@ let check_dim name a b =
 let check_index name a t =
   if t < 0 || t >= a.dim then invalid_arg (name ^ ": thread out of range")
 
+(* Epoch representation churn, process-wide (clocks can live on pool
+   worker domains, so the counters are atomic).  Updated only while
+   telemetry is on. *)
+let promotions = Obs.Registry.shared_counter Obs.Registry.global "vclock.epoch_promotions"
+let demotions = Obs.Registry.shared_counter Obs.Registry.global "vclock.epoch_demotions"
+
+(* A clock that was inflated takes a flat value again: representation
+   returns to epoch form. *)
+let note_demotion a =
+  if Obs.on () && Epoch.is_none a.ep then Obs.Shared_counter.inc demotions
+
 (* Materialize the current (flat) value into [vec] and switch
    representation.  No-op when already inflated. *)
 let inflate a =
   if not (Epoch.is_none a.ep) then begin
+    if Obs.on () then Obs.Shared_counter.inc promotions;
     if Array.length a.vec <> a.dim then a.vec <- Array.make a.dim 0
     else Array.fill a.vec 0 a.dim 0;
     let c = Epoch.clock a.ep in
@@ -163,7 +175,10 @@ let assign ~into v =
     else Array.blit v.vec 0 into.vec 0 into.dim;
     into.ep <- Epoch.none
   end
-  else into.ep <- v.ep
+  else begin
+    note_demotion into;
+    into.ep <- v.ep
+  end
 
 let assign_zeroed ~into v z =
   check_index "Aclock.assign_zeroed" v z;

@@ -74,33 +74,50 @@ type t = {
   mutable edges_added : int;
   mutable violation : Aerodrome.Violation.t option;
   mutable processed : int;
+  m : Aerodrome.Cmetrics.t;
 }
 
 let create_with ?(garbage_collect = true) ?(engine = Dfs) ~threads ~locks
     ~vars () =
   let dim = max threads 1 in
-  {
-    threads = dim;
-    locks;
-    vars;
-    gc = garbage_collect;
-    graph = (match engine with Dfs -> dfs_ops () | Incremental -> pk_ops ());
-    next_txn = 0;
-    completed = Hashtbl.create 64;
-    cur_txn = Array.make dim nil;
-    last_txn = Array.make dim nil;
-    depth = Array.make dim 0;
-    pending_parent = Array.make dim nil;
-    last_writer = Array.make (max vars 0) nil;
-    readers = Array.make (max vars 0) [||];
-    last_releaser = Array.make (max locks 0) nil;
-    peak_nodes = 0;
-    edges_added = 0;
-    violation = None;
-    processed = 0;
-  }
+  let st =
+    {
+      threads = dim;
+      locks;
+      vars;
+      gc = garbage_collect;
+      graph = (match engine with Dfs -> dfs_ops () | Incremental -> pk_ops ());
+      next_txn = 0;
+      completed = Hashtbl.create 64;
+      cur_txn = Array.make dim nil;
+      last_txn = Array.make dim nil;
+      depth = Array.make dim 0;
+      pending_parent = Array.make dim nil;
+      last_writer = Array.make (max vars 0) nil;
+      readers = Array.make (max vars 0) [||];
+      last_releaser = Array.make (max locks 0) nil;
+      peak_nodes = 0;
+      edges_added = 0;
+      violation = None;
+      processed = 0;
+      m = Aerodrome.Cmetrics.create ();
+    }
+  in
+  (* Graph shape as snapshot-time probes: the structure already tracks
+     these, no parallel hot-path copies needed. *)
+  let reg = Aerodrome.Cmetrics.registry st.m in
+  Obs.Registry.probe reg "graph.live_nodes" (fun () ->
+      Obs.Snapshot.Int (st.graph.eng_num_nodes ()));
+  Obs.Registry.probe reg "graph.peak_nodes" (fun () ->
+      Obs.Snapshot.Int st.peak_nodes);
+  Obs.Registry.probe reg "graph.edges_added" (fun () ->
+      Obs.Snapshot.Int st.edges_added);
+  Obs.Registry.probe reg "graph.transactions_created" (fun () ->
+      Obs.Snapshot.Int st.next_txn);
+  st
 
 let create ~threads ~locks ~vars = create_with ~threads ~locks ~vars ()
+let metrics st = Aerodrome.Cmetrics.snapshot st.m
 
 let violation st = st.violation
 let processed st = st.processed
@@ -230,12 +247,16 @@ let handle_join st t u =
 
 let handle_begin st t =
   st.depth.(t) <- st.depth.(t) + 1;
-  if st.depth.(t) = 1 then st.cur_txn.(t) <- fresh_txn st t
+  if st.depth.(t) = 1 then begin
+    if Obs.on () then Aerodrome.Cmetrics.txn_begin st.m;
+    st.cur_txn.(t) <- fresh_txn st t
+  end
 
 let handle_end st t =
   if st.depth.(t) > 0 then begin
     st.depth.(t) <- st.depth.(t) - 1;
     if st.depth.(t) = 0 then begin
+      if Obs.on () then Aerodrome.Cmetrics.txn_commit st.m;
       let n = st.cur_txn.(t) in
       st.cur_txn.(t) <- nil;
       if n <> nil then complete st n
@@ -247,6 +268,7 @@ let feed st (e : Event.t) =
   | Some _ as v -> v
   | None -> (
     st.processed <- st.processed + 1;
+    if Obs.on () then Aerodrome.Cmetrics.count st.m e.op;
     let t = Ids.Tid.to_int e.thread in
     match
       (match e.op with
@@ -265,6 +287,7 @@ let feed st (e : Event.t) =
         Aerodrome.Violation.make ~index:(st.processed - 1) ~event:e
           ~site:(Aerodrome.Violation.Graph_cycle cycle)
       in
+      if Obs.on () then Aerodrome.Cmetrics.found_violation st.m (st.processed - 1);
       st.violation <- Some v;
       Some v)
 

@@ -52,3 +52,7 @@ val transactions_created : t -> int
 
 val edges_added : t -> int
 (** Total inter-transaction edges inserted (deduplicated). *)
+
+val metrics : t -> Obs.Snapshot.t
+(** Current reading of this instance's {!Aerodrome.Cmetrics} registry,
+    including graph-shape probes sampled at snapshot time. *)

@@ -1,5 +1,5 @@
 The bench harness emits machine-readable results with --json; the file
-must satisfy the aerodrome-bench/2 schema (validate_json exits non-zero
+must satisfy the aerodrome-bench/3 schema (validate_json exits non-zero
 and prints a diagnostic otherwise).
 
   $ ../bench/main.exe --table 1 --scale 0.05 --timeout 1 --no-micro \
@@ -16,13 +16,30 @@ verdict cross-check; a divergence is a schema error by design:
   $ ../bench/validate_json.exe jobs.json
   ok
 
+The telemetry section (instrumented-vs-uninstrumented throughput and
+the enabled run's metric snapshot) can be disabled; the schema treats
+it as nullable:
+
+  $ ../bench/main.exe --table 1 --scale 0.05 --timeout 1 --no-micro \
+  >   --no-ablation --no-scaling --no-parallel --no-telemetry \
+  >   --json none.json > /dev/null 2>&1
+  $ ../bench/validate_json.exe none.json
+  ok
+
 A missing file or a schema violation is rejected:
 
-  $ echo '{"schema":"aerodrome-bench/1","scale":1,"timeout":1,"tables":[],"micro":[]}' > old.json
+  $ echo '{"schema":"aerodrome-bench/2","scale":1,"timeout":1,"tables":[],"micro":[]}' > old.json
   $ ../bench/validate_json.exe old.json
-  old.json: unknown schema "aerodrome-bench/1"
+  old.json: unknown schema "aerodrome-bench/2"
   [1]
-  $ echo '{"schema":"aerodrome-bench/2","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null}' > bad.json
+  $ echo '{"schema":"aerodrome-bench/3","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null}' > bad.json
   $ ../bench/validate_json.exe bad.json
   bad.json: no tables and no micro results
+  [1]
+
+A telemetry section that lost its counter snapshot is rejected too:
+
+  $ echo '{"schema":"aerodrome-bench/3","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":{"events":10,"disabled_events_per_sec":1,"enabled_events_per_sec":1,"overhead_pct":0,"metrics":{}}}' > notel.json
+  $ ../bench/validate_json.exe notel.json
+  notel.json: missing field "events.total"
   [1]

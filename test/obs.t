@@ -1,0 +1,105 @@
+The telemetry surface of `rapid check`: machine-readable stats
+documents, human-readable snapshots, progress heartbeats and Chrome
+trace timelines.  validate_stats enforces the documented key sets so
+the exporters cannot silently drift.
+
+  $ rapid generate --events 300 --threads 3 --seed 7 -o trace.std
+  wrote 313 events to trace.std
+  $ rapid generate --events 300 --threads 3 --seed 7 --violate-at 0.5 -o bad.std
+  wrote 311 events to bad.std
+
+--stats-json writes an aerodrome-stats/1 document with the per-checker
+counter contract; all three checker families satisfy it:
+
+  $ rapid check -q --stats-json stats.json trace.std
+  $ ../bench/validate_stats.exe stats stats.json
+  ok
+  $ rapid check -q -a aerodrome-basic --stats-json basic.json trace.std
+  $ ../bench/validate_stats.exe stats basic.json
+  ok
+  $ rapid check -q -a aerodrome-reduced --stats-json reduced.json trace.std
+  $ ../bench/validate_stats.exe stats reduced.json
+  ok
+  $ rapid check -q -a velodrome --stats-json velo.json trace.std
+  $ ../bench/validate_stats.exe stats velo.json
+  ok
+
+"-" sends the document to stdout; the check exit code is preserved:
+
+  $ rapid check -q --stats-json - trace.std > out.json
+  $ ../bench/validate_stats.exe stats out.json
+  ok
+
+A violating run records the verdict and a 1-based violation index:
+
+  $ rapid check -q --stats-json viol.json bad.std
+  [1]
+  $ ../bench/validate_stats.exe stats viol.json
+  ok
+  $ grep -o '"verdict":"violation","violation_index":165' viol.json
+  "verdict":"violation","violation_index":165
+
+--stats prints the same snapshots for humans.  The counters are exact
+event counts, so the output is deterministic:
+
+  $ rapid check -q --stats trace.std 2>&1
+  trace.std metrics:
+    violation.index     -1
+    sets.lock_updates   total=0 sum=0
+    sets.stale_readers  total=64 sum=17 [<=0:47 <=1:17]
+    vc.joins            290
+    txn.commits         35
+    txn.begins          35
+    events.end          35
+    events.begin        35
+    events.join         2
+    events.fork         2
+    events.release      16
+    events.acquire      16
+    events.write        64
+    events.read         143
+    events.total        313
+    ingest.file_bytes   3030
+  process metrics:
+    ingest.text.events_parsed     313
+    ingest.text.lines_read        313
+    ingest.binary.events_decoded  0
+    ingest.binary.bytes_read      0
+    vclock.epoch_promotions       31
+    vclock.epoch_demotions        0
+
+The pipelined path adds ring-buffer counters to the file entry, and
+--trace-out records a Chrome trace-event timeline of the ingestion and
+checking spans:
+
+  $ rapid convert trace.std trace.bin
+  trace.bin: 313 events, 3030 -> 882 bytes
+  $ rapid check -q --pipelined --stats-json pipe.json --trace-out timeline.json trace.bin
+  $ ../bench/validate_stats.exe stats --pipelined pipe.json
+  ok
+  $ ../bench/validate_stats.exe trace timeline.json
+  ok
+  $ grep -o '"ring.capacity":8' pipe.json
+  "ring.capacity":8
+
+--progress emits a heartbeat on stderr every M million events (here
+0.005M = 5000, hit at the runner's 4096-event checkpoints).  Rates
+vary run to run; the event counts do not.  Binary traces carry the
+total event count in the header, so they also get an ETA:
+
+  $ rapid generate --events 20000 --threads 4 --seed 3 -o big.std
+  wrote 20018 events to big.std
+  $ rapid check -q --progress 0.005 big.std 2>&1 | sed -E 's/[0-9.]+[KMB]? ev\/s/R/g'
+  [check] 8192 events  R inst  R avg
+  [check] 16.4K events  R inst  R avg
+  $ rapid convert big.std big.bin
+  big.bin: 20018 events, 193458 -> 55540 bytes
+  $ rapid check -q --progress 0.005 big.bin 2>&1 \
+  >   | sed -E 's/[0-9.]+[KMB]? ev\/s/R/g; s/eta [0-9]+s/eta N/'
+  [check] 8192 events  R inst  R avg  eta N
+  [check] 16.4K events  R inst  R avg  eta N
+
+rapid metainfo --json emits the trace statistics as a flat object:
+
+  $ rapid metainfo --json trace.std
+  {"events":313,"reads":143,"writes":64,"acquires":16,"releases":16,"forks":2,"joins":2,"begins":35,"ends":35,"nested_begins":0,"threads":3,"locks":2,"variables":16,"transactions":35,"unary_events":13,"max_nesting":1}

@@ -82,7 +82,13 @@ let test_runner_timeout () =
 
 let test_speedup () =
   let mk outcome seconds =
-    { Analysis.Runner.checker = "x"; outcome; seconds; events_fed = 0 }
+    {
+      Analysis.Runner.checker = "x";
+      outcome;
+      seconds;
+      events_fed = 0;
+      metrics = Obs.Snapshot.empty;
+    }
   in
   let fin = mk (Analysis.Runner.Verdict None) in
   check (Alcotest.option (Alcotest.float 0.001)) "ratio" (Some 4.0)
@@ -95,18 +101,32 @@ let test_speedup () =
 (* --- Report --- *)
 
 let test_humanize () =
+  check Alcotest.string "zero" "0" (Analysis.Report.humanize 0);
   check Alcotest.string "small" "640" (Analysis.Report.humanize 640);
+  check Alcotest.string "1000 stays plain" "1000" (Analysis.Report.humanize 1000);
   check Alcotest.string "9999" "9999" (Analysis.Report.humanize 9999);
+  check Alcotest.string "first K" "10K" (Analysis.Report.humanize 10_000);
   check Alcotest.string "K" "22.6K" (Analysis.Report.humanize 22_600);
   check Alcotest.string "round K" "280K" (Analysis.Report.humanize 280_000);
+  check Alcotest.string "exact M" "1M" (Analysis.Report.humanize 1_000_000);
   check Alcotest.string "M" "1.2M" (Analysis.Report.humanize 1_200_000);
-  check Alcotest.string "B" "2.4B" (Analysis.Report.humanize 2_400_000_000)
+  check Alcotest.string "exact B" "1B" (Analysis.Report.humanize 1_000_000_000);
+  check Alcotest.string "B" "2.4B" (Analysis.Report.humanize 2_400_000_000);
+  (* negative counts never reach the unit branches *)
+  check Alcotest.string "negative" "-5" (Analysis.Report.humanize (-5))
 
 let test_time_string () =
   check Alcotest.string "TO" "TO" (Analysis.Report.time_string (Analysis.Report.Timeout 5.0));
+  check Alcotest.string "TO ignores budget" "TO"
+    (Analysis.Report.time_string (Analysis.Report.Timeout 0.0));
   check Alcotest.string "ms" "250ms" (Analysis.Report.time_string (Analysis.Report.Time 0.25));
+  check Alcotest.string "just under 1s" "999ms"
+    (Analysis.Report.time_string (Analysis.Report.Time 0.999));
+  check Alcotest.string "exact 1s" "1.00s"
+    (Analysis.Report.time_string (Analysis.Report.Time 1.0));
   check Alcotest.string "s" "1.50s" (Analysis.Report.time_string (Analysis.Report.Time 1.5));
-  check Alcotest.string "tiny" "<1ms" (Analysis.Report.time_string (Analysis.Report.Time 0.0001))
+  check Alcotest.string "tiny" "<1ms" (Analysis.Report.time_string (Analysis.Report.Time 0.0001));
+  check Alcotest.string "zero" "<1ms" (Analysis.Report.time_string (Analysis.Report.Time 0.0))
 
 let sample_row velodrome aerodrome =
   {

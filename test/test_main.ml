@@ -18,6 +18,7 @@ let () =
       Test_velodrome.suite;
       Test_generator.suite;
       Test_analysis.suite;
+      Test_obs.suite;
       Test_parallel.suite;
       Test_edge_cases.suite;
     ]
