@@ -10,14 +10,15 @@
    per-checker numbers stay honest while the untimed work overlaps.
 
    With [--json FILE] the harness also emits a machine-readable summary
-   (schema "aerodrome-bench/3": per-checker events/sec, Gc statistics,
-   parallel wall-clock + speedup, telemetry overhead + metric snapshot)
-   so committed BENCH_*.json files can track the performance trajectory.
+   (schema "aerodrome-bench/4": per-checker events/sec, Gc statistics,
+   parallel wall-clock + speedup, telemetry overhead + metric snapshot,
+   peak-memory with and without state reclamation) so committed
+   BENCH_*.json files can track the performance trajectory.
 
    Usage: dune exec bench/main.exe -- [--table 1|2] [--no-tables] [--scale F]
           [--jobs N] [--timeout S] [--only NAME] [--no-micro] [--micro-fast]
           [--no-ablation] [--no-scaling] [--no-parallel] [--no-telemetry]
-          [--json FILE] [--markdown] *)
+          [--no-reclaim] [--json FILE] [--markdown] *)
 
 open Traces
 
@@ -33,6 +34,7 @@ type options = {
   mutable scaling : bool;
   mutable parallel : bool;
   mutable telemetry : bool;
+  mutable reclaim : bool;
   mutable markdown : bool;
   mutable json : string option;
   mutable micro_fast : bool;
@@ -50,6 +52,7 @@ let opts =
     scaling = true;
     parallel = true;
     telemetry = true;
+    reclaim = true;
     markdown = false;
     json = None;
     micro_fast = false;
@@ -89,6 +92,9 @@ let parse_args () =
       go rest
     | "--no-telemetry" :: rest ->
       opts.telemetry <- false;
+      go rest
+    | "--no-reclaim" :: rest ->
+      opts.reclaim <- false;
       go rest
     | "--no-tables" :: rest ->
       opts.tables <- [];
@@ -681,7 +687,131 @@ let run_telemetry () =
         tel_metrics = !metrics;
       }
 
-(* --- JSON emitter (schema "aerodrome-bench/3") --- *)
+(* --- Peak-memory axis: state reclamation on a phased trace ---
+
+   A phased trace confines each variable's lifetime to one of many
+   back-to-back phases, the shape where a last-use oracle shines: with
+   [--reclaim] (the default everywhere else in the repo) the checker
+   releases a phase's entire clock state before the next phase begins,
+   so peak live heap is one phase's state, not the whole trace's.  Both
+   sides stream the same binary file (whose footer carries the oracle),
+   [Gc.compact] settles the heap before each run, and peak live words =
+   the run's [heap.peak_words] high-water mark minus the settled
+   baseline.  Verdicts must be byte-identical; the interesting numbers
+   are the peak reduction and the unchanged events/sec. *)
+
+type reclaim_side = {
+  rm_seconds : float;
+  rm_eps : float;
+  rm_peak_live_words : float;
+}
+
+type reclaim_summary = {
+  rc_events : int;
+  rc_threads : int;
+  rc_vars : int;
+  rc_off : reclaim_side;
+  rc_on : reclaim_side;
+  rc_pool_hits : int;
+  rc_pool_misses : int;
+  rc_pool_hit_rate : float;
+  rc_reclaimed_states : int;
+  rc_peak_reduction_pct : float;
+  rc_match : bool;
+}
+
+let json_reclaim : reclaim_summary option ref = ref None
+
+let run_reclaim () =
+  let phases = 32 in
+  let events_total = int_of_float (1_200_000. *. opts.scale) in
+  let tr = Workloads.Corpus.phased ~phases ~events_total () in
+  let path = Filename.temp_file "aerodrome-bench" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Traces.Binfmt.write_file path tr;
+      let was_on = Obs.on () in
+      Obs.enable ();
+      let side reclaim =
+        Gc.compact ();
+        let settled = float_of_int (Gc.quick_stat ()).Gc.heap_words in
+        let r =
+          Analysis.Runner.run_stream ~timeout:opts.timeout ~reclaim aerodrome
+            path
+        in
+        let peak =
+          match
+            Obs.Snapshot.get_float r.Analysis.Runner.metrics "heap.peak_words"
+          with
+          | Some p -> p
+          | None -> float_of_int (Gc.quick_stat ()).Gc.heap_words
+        in
+        ( r,
+          {
+            rm_seconds = r.Analysis.Runner.seconds;
+            rm_eps =
+              float_of_int r.Analysis.Runner.events_fed
+              /. Float.max r.Analysis.Runner.seconds 1e-9;
+            rm_peak_live_words = Float.max 0. (peak -. settled);
+          } )
+      in
+      let r_off, off = side false in
+      let r_on, on_ = side true in
+      if was_on then Obs.enable () else Obs.disable ();
+      let fingerprint (r : Analysis.Runner.result) =
+        ( verdict_string r,
+          r.Analysis.Runner.events_fed,
+          match r.Analysis.Runner.outcome with
+          | Analysis.Runner.Verdict (Some v) -> Some v.Aerodrome.Violation.index
+          | _ -> None )
+      in
+      let rc_match = fingerprint r_off = fingerprint r_on in
+      if not rc_match then
+        Format.fprintf fmt "!! reclamation: verdict differs from --no-reclaim@.";
+      let geti name =
+        Option.value ~default:0
+          (Obs.Snapshot.get_int r_on.Analysis.Runner.metrics name)
+      in
+      let hits = geti "pool.hits" and misses = geti "pool.misses" in
+      let reduction =
+        (off.rm_peak_live_words -. on_.rm_peak_live_words)
+        /. Float.max off.rm_peak_live_words 1. *. 100.
+      in
+      Format.fprintf fmt
+        "@.Memory: state reclamation (phased trace, %d events, %d vars, \
+         streamed with last-use footer)@."
+        (Trace.length tr) (Trace.vars tr);
+      let line label (s : reclaim_side) extra =
+        Format.fprintf fmt
+          "  %-12s %8.3fs  %10.1f Kev/s   peak live %11.0f words%s@." label
+          s.rm_seconds (s.rm_eps /. 1e3) s.rm_peak_live_words extra
+      in
+      line "no-reclaim" off "";
+      line "reclaim" on_
+        (Printf.sprintf "   (%d states reclaimed, pool hit rate %.1f%%)"
+           (geti "reclaim.states")
+           (float_of_int hits /. float_of_int (max (hits + misses) 1) *. 100.));
+      Format.fprintf fmt "  peak reduction %.1f%%%s@." reduction
+        (if rc_match then "" else "  [MISMATCH]");
+      json_reclaim :=
+        Some
+          {
+            rc_events = Trace.length tr;
+            rc_threads = Trace.threads tr;
+            rc_vars = Trace.vars tr;
+            rc_off = off;
+            rc_on = on_;
+            rc_pool_hits = hits;
+            rc_pool_misses = misses;
+            rc_pool_hit_rate =
+              float_of_int hits /. float_of_int (max (hits + misses) 1);
+            rc_reclaimed_states = geti "reclaim.states";
+            rc_peak_reduction_pct = reduction;
+            rc_match;
+          })
+
+(* --- JSON emitter (schema "aerodrome-bench/4") --- *)
 
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in
@@ -722,7 +852,7 @@ let emit_json path =
     sep_list emit_sample r.samples;
     add "]}"
   in
-  add "{\"schema\":\"aerodrome-bench/3\",";
+  add "{\"schema\":\"aerodrome-bench/4\",";
   add "\"scale\":%g,\"timeout\":%g,\"jobs\":%d," opts.scale opts.timeout
     opts.jobs;
   add "\"tables\":[";
@@ -757,6 +887,22 @@ let emit_json path =
       "{\"events\":%d,\"disabled_events_per_sec\":%.1f,\"enabled_events_per_sec\":%.1f,\"overhead_pct\":%.2f,\"metrics\":%s}"
       t.tel_events t.tel_disabled_eps t.tel_enabled_eps t.tel_overhead_pct
       (Obs.Json.to_string (Obs.Snapshot.to_json t.tel_metrics)));
+  add ",\"reclaim\":";
+  (match !json_reclaim with
+  | None -> add "null"
+  | Some rc ->
+    add "{\"events\":%d,\"threads\":%d,\"vars\":%d," rc.rc_events rc.rc_threads
+      rc.rc_vars;
+    add
+      "\"off\":{\"seconds\":%.6f,\"events_per_sec\":%.1f,\"peak_live_words\":%.0f},"
+      rc.rc_off.rm_seconds rc.rc_off.rm_eps rc.rc_off.rm_peak_live_words;
+    add
+      "\"on\":{\"seconds\":%.6f,\"events_per_sec\":%.1f,\"peak_live_words\":%.0f,\"pool_hits\":%d,\"pool_misses\":%d,\"pool_hit_rate\":%.4f,\"reclaimed_states\":%d},"
+      rc.rc_on.rm_seconds rc.rc_on.rm_eps rc.rc_on.rm_peak_live_words
+      rc.rc_pool_hits rc.rc_pool_misses rc.rc_pool_hit_rate
+      rc.rc_reclaimed_states;
+    add "\"peak_reduction_pct\":%.2f,\"verdicts_match\":%b}"
+      rc.rc_peak_reduction_pct rc.rc_match);
   add "}";
   Buffer.add_char buf '\n';
   let oc = open_out path in
@@ -776,5 +922,6 @@ let () =
   if opts.micro && opts.only = None then run_micro ();
   if opts.parallel && opts.only = None then run_parallel ();
   if opts.telemetry && opts.only = None then run_telemetry ();
+  if opts.reclaim && opts.only = None then run_reclaim ();
   Option.iter emit_json opts.json;
   Format.pp_print_flush fmt ()

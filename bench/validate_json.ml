@@ -1,5 +1,5 @@
 (* Schema validator for the bench harness's --json output
-   (schema "aerodrome-bench/3").  Exits 0 and prints "ok" when the file
+   (schema "aerodrome-bench/4").  Exits 0 and prints "ok" when the file
    parses and carries the expected structure; prints a diagnostic and
    exits 1 otherwise.  Used by the cram test so the emitter cannot rot.
 
@@ -130,9 +130,47 @@ let check_telemetry = function
         then bad "telemetry.metrics[%S]: negative" key)
       telemetry_required_metrics
 
+(* The reclaim section is the peak-memory axis: both sides must carry
+   their peak figure, verdicts must match, and reclamation may never
+   *increase* the peak — the cram smoke run enforces the reduction. *)
+let check_reclaim = function
+  | Null -> ()
+  | rc ->
+    if as_num "reclaim.events" (field rc "events") <= 0. then
+      bad "reclaim: events <= 0";
+    ignore (as_num "reclaim.threads" (field rc "threads"));
+    ignore (as_num "reclaim.vars" (field rc "vars"));
+    let side where s =
+      if as_num (where ^ ".seconds") (field s "seconds") < 0. then
+        bad "%s: negative seconds" where;
+      if as_num (where ^ ".events_per_sec") (field s "events_per_sec") < 0.
+      then bad "%s: negative events_per_sec" where;
+      let peak = as_num (where ^ ".peak_live_words") (field s "peak_live_words") in
+      if peak < 0. then bad "%s: negative peak_live_words" where;
+      peak
+    in
+    let off = side "reclaim.off" (field rc "off") in
+    let on_ = field rc "on" in
+    let on_peak = side "reclaim.on" on_ in
+    let hits = as_num "reclaim.on.pool_hits" (field on_ "pool_hits") in
+    let misses = as_num "reclaim.on.pool_misses" (field on_ "pool_misses") in
+    if hits < 0. || misses < 0. then bad "reclaim.on: negative pool counters";
+    let rate = as_num "reclaim.on.pool_hit_rate" (field on_ "pool_hit_rate") in
+    if rate < 0. || rate > 1. then
+      bad "reclaim.on: pool_hit_rate outside [0, 1]";
+    if as_num "reclaim.on.reclaimed_states" (field on_ "reclaimed_states") < 0.
+    then bad "reclaim.on: negative reclaimed_states";
+    ignore
+      (as_num "reclaim.peak_reduction_pct" (field rc "peak_reduction_pct"));
+    if not (as_bool "reclaim.verdicts_match" (field rc "verdicts_match")) then
+      bad "reclaim: verdicts diverged between reclaim modes";
+    if on_peak > off then
+      bad "reclaim: peak_live_words grew with reclamation on (%.0f > %.0f)"
+        on_peak off
+
 let check_root j =
   let schema = as_str "schema" (field j "schema") in
-  if schema <> "aerodrome-bench/3" then bad "unknown schema %S" schema;
+  if schema <> "aerodrome-bench/4" then bad "unknown schema %S" schema;
   ignore (as_num "scale" (field j "scale"));
   ignore (as_num "timeout" (field j "timeout"));
   if as_num "jobs" (field j "jobs") < 1. then bad "jobs < 1";
@@ -155,6 +193,7 @@ let check_root j =
     micro;
   check_parallel (field j "parallel");
   check_telemetry (field j "telemetry");
+  check_reclaim (field j "reclaim");
   if tables = [] && micro = [] && field j "parallel" = Null then
     bad "no tables and no micro results"
 

@@ -86,13 +86,36 @@ let check_cmd =
   in
   let jobs =
     Arg.(
-      value & opt int 1
+      value
+      & opt int (Domain.recommended_domain_count ())
       & info [ "j"; "jobs" ] ~docv:"N"
           ~doc:
             "Check up to $(docv) trace files in parallel on a fixed domain \
-             pool.  Reports are printed in argument order regardless of \
-             completion order; each file's checker is the exact sequential \
-             one, so verdicts are identical to $(b,--jobs) 1.")
+             pool (default: the number of available cores).  Reports are \
+             printed in argument order regardless of completion order; each \
+             file's checker is the exact sequential one, so verdicts are \
+             identical to $(b,--jobs) 1.")
+  in
+  let reclaim =
+    Arg.(
+      value
+      & vflag true
+          [
+            ( true,
+              info [ "reclaim" ]
+                ~doc:
+                  "Release each variable's clock state at its last access \
+                   (the default): a last-use index — computed during text \
+                   interning, or read from a binary trace's footer — makes \
+                   peak memory proportional to live variables.  Streams \
+                   with no index fall back to periodically collapsing \
+                   inactive state.  Verdicts are identical either way." );
+            ( false,
+              info [ "no-reclaim" ]
+                ~doc:
+                  "Keep every variable's clock state for the whole run \
+                   (the pre-reclamation behaviour)." );
+          ])
   in
   let pipelined =
     Arg.(
@@ -146,9 +169,14 @@ let check_cmd =
       non_empty & pos_all string []
       & info [] ~docv:"TRACE" ~doc:"Trace files in the rapid .std or binary format.")
   in
-  let run checker timeout quiet jobs pipelined stats stats_json trace_out
-      progress paths =
+  let run checker timeout quiet jobs reclaim pipelined stats stats_json
+      trace_out progress paths =
     let (module C : Aerodrome.Checker.S) = checker in
+    let cores = Domain.recommended_domain_count () in
+    if jobs > cores then
+      Format.eprintf "rapid: warning: --jobs %d exceeds %d available core%s@."
+        jobs cores
+        (if cores = 1 then "" else "s");
     if stats || stats_json <> None || trace_out <> None then Obs.enable ();
     let collector =
       match trace_out with
@@ -165,7 +193,7 @@ let check_cmd =
     in
     let pool_busy = ref None in
     let reports =
-      Analysis.Runner.run_many ?timeout ?heartbeat ~pipelined ~jobs
+      Analysis.Runner.run_many ?timeout ?heartbeat ~pipelined ~reclaim ~jobs
         ~on_pool:(fun b -> pool_busy := Some b)
         checker paths
     in
@@ -303,7 +331,7 @@ let check_cmd =
           code: 0 all serializable, 1 violation, 2 unreadable/malformed \
           file, 3 timeout)")
     Term.(
-      const run $ algo $ timeout $ quiet $ jobs $ pipelined $ stats
+      const run $ algo $ timeout $ quiet $ jobs $ reclaim $ pipelined $ stats
       $ stats_json $ trace_out $ progress $ traces)
 
 (* generate *)

@@ -66,12 +66,53 @@ let file_size path =
   | { Unix.st_size; _ } -> Some st_size
   | exception Unix.Unix_error _ -> None
 
-let run ?timeout ?heartbeat (module C : Aerodrome.Checker.S) tr =
+(* --- state reclamation ---
+
+   [reclaim] selects the checkers' state-lifetime policy (installed
+   ambiently around checker creation, see {!Aerodrome.Reclaim}): with a
+   last-use oracle — computed from the materialized trace, read from a
+   v2 binary footer, or built by the text parser's interning pass —
+   variables are released exactly at their final access; without one,
+   streaming runs fall back to the inactivity heuristic. *)
+
+let policy ~reclaim oracle =
+  if not reclaim then Aerodrome.Reclaim.Off
+  else
+    match oracle with
+    | Some lt -> Aerodrome.Reclaim.Oracle lt
+    | None ->
+      Aerodrome.Reclaim.Inactivity
+        { horizon = Aerodrome.Reclaim.default_horizon }
+
+(* High-water mark of the major heap, sampled at the same 4096-event
+   checkpoints as the timeout — the per-run memory axis the bench
+   harness compares across reclamation settings.  Registers its own
+   scope-attached registry so the gauge lands in [result.metrics]
+   alongside the checker's counters. *)
+let heap_sampler () =
+  if Obs.on () then begin
+    let reg = Obs.Registry.create () in
+    Obs.Scope.attach reg;
+    let g = Obs.Registry.gauge reg "heap.peak_words" in
+    let sample () =
+      Obs.Gauge.set_max g (float_of_int (Gc.quick_stat ()).Gc.heap_words)
+    in
+    sample ();
+    sample
+  end
+  else fun () -> ()
+
+let run ?timeout ?heartbeat ?(reclaim = true) (module C : Aerodrome.Checker.S)
+    tr =
   collected (fun () ->
+      (* the oracle pass runs before the timer starts, like trace I/O *)
+      let oracle = if reclaim then Some (Lifetime.of_trace tr) else None in
       let st =
-        C.create ~threads:(Trace.threads tr) ~locks:(Trace.locks tr)
-          ~vars:(Trace.vars tr)
+        Aerodrome.Reclaim.with_policy (policy ~reclaim oracle) (fun () ->
+            C.create ~threads:(Trace.threads tr) ~locks:(Trace.locks tr)
+              ~vars:(Trace.vars tr))
       in
+      let sample_heap = heap_sampler () in
       let n = Trace.length tr in
       arm_heartbeat heartbeat ~total:(Some n);
       let deadline =
@@ -89,6 +130,7 @@ let run ?timeout ?heartbeat (module C : Aerodrome.Checker.S) tr =
            incr i;
            if !i land (check_interval - 1) = 0 then begin
              tick heartbeat !i;
+             sample_heap ();
              match deadline with
              | Some d when Unix.gettimeofday () > d ->
                timed_out := true;
@@ -97,6 +139,7 @@ let run ?timeout ?heartbeat (module C : Aerodrome.Checker.S) tr =
            end
          done
        with Exit -> ());
+      sample_heap ();
       let seconds = Unix.gettimeofday () -. started in
       {
         checker = C.name;
@@ -106,10 +149,14 @@ let run ?timeout ?heartbeat (module C : Aerodrome.Checker.S) tr =
         metrics = runner_entries viol_at;
       })
 
-let run_seq ?timeout ?heartbeat ?total (module C : Aerodrome.Checker.S)
-    ~threads ~locks ~vars events =
+let run_seq ?timeout ?heartbeat ?total ?(reclaim = true) ?last_use
+    (module C : Aerodrome.Checker.S) ~threads ~locks ~vars events =
   collected (fun () ->
-      let st = C.create ~threads ~locks ~vars in
+      let st =
+        Aerodrome.Reclaim.with_policy (policy ~reclaim last_use) (fun () ->
+            C.create ~threads ~locks ~vars)
+      in
+      let sample_heap = heap_sampler () in
       arm_heartbeat heartbeat ~total;
       let deadline =
         Option.map (fun budget -> Unix.gettimeofday () +. budget) timeout
@@ -128,6 +175,7 @@ let run_seq ?timeout ?heartbeat ?total (module C : Aerodrome.Checker.S)
           incr fed;
           if !fed land (check_interval - 1) = 0 then begin
             tick heartbeat !fed;
+            sample_heap ();
             match deadline with
             | Some d when Unix.gettimeofday () > d -> timed_out := true
             | _ -> go rest
@@ -135,6 +183,7 @@ let run_seq ?timeout ?heartbeat ?total (module C : Aerodrome.Checker.S)
           else go rest)
       in
       go events;
+      sample_heap ();
       {
         checker = C.name;
         outcome = (if !timed_out then Timed_out else Verdict (C.violation st));
@@ -143,12 +192,15 @@ let run_seq ?timeout ?heartbeat ?total (module C : Aerodrome.Checker.S)
         metrics = runner_entries viol_at;
       })
 
-let run_binary_file ?timeout ?heartbeat checker path =
+let run_binary_file ?timeout ?heartbeat ?(reclaim = true) checker path =
+  (* v2 files carry the oracle in their footer, one seek away; a corrupt
+     footer raises here, before any event is fed *)
+  let last_use = if reclaim then Traces.Binfmt.read_last_use path else None in
   let header, (events, close) = Traces.Binfmt.read_seq path in
   Fun.protect ~finally:close (fun () ->
       let r =
-        run_seq ?timeout ?heartbeat ~total:header.Traces.Binfmt.events checker
-          ~threads:header.Traces.Binfmt.threads
+        run_seq ?timeout ?heartbeat ~total:header.Traces.Binfmt.events ~reclaim
+          ?last_use checker ~threads:header.Traces.Binfmt.threads
           ~locks:header.Traces.Binfmt.locks ~vars:header.Traces.Binfmt.vars
           events
       in
@@ -157,25 +209,37 @@ let run_binary_file ?timeout ?heartbeat checker path =
         metrics = r.metrics @ runner_entries ?file_bytes:(file_size path) (ref (-1.0));
       })
 
-let run_stream_seq ?timeout ?heartbeat (module C : Aerodrome.Checker.S) path =
+let run_stream_seq ?timeout ?heartbeat ?(reclaim = true)
+    (module C : Aerodrome.Checker.S) path =
   if Traces.Binfmt.is_binary path then
-    run_binary_file ?timeout ?heartbeat (module C) path
+    run_binary_file ?timeout ?heartbeat ~reclaim (module C) path
   else
     collected (fun () ->
         (* text: Parser.fold_file announces the domains (pass 1) before any
-           event reaches the checker (pass 2), so no Trace.t is built *)
+           event reaches the checker (pass 2), so no Trace.t is built.
+           The interning pass hands over the last-use oracle for free. *)
         let st = ref None in
         let started = ref 0.0 in
         let deadline = ref None in
         let timed_out = ref false in
         let viol_at = ref (-1.0) in
         let fed = ref 0 in
+        let oracle = ref None in
+        let sample_heap = ref (fun () -> ()) in
         (try
            ignore
-             (Traces.Parser.fold_file_exn path
+             (Traces.Parser.fold_file_exn
+                ?last_use:
+                  (if reclaim then Some (fun lt -> oracle := Some lt)
+                   else None)
+                path
                 ~init:(fun ~threads ~locks ~vars ->
-                  let s = C.create ~threads ~locks ~vars in
+                  let s =
+                    Aerodrome.Reclaim.with_policy (policy ~reclaim !oracle)
+                      (fun () -> C.create ~threads ~locks ~vars)
+                  in
                   st := Some s;
+                  sample_heap := heap_sampler ();
                   arm_heartbeat heartbeat ~total:None;
                   started := Unix.gettimeofday ();
                   deadline := Option.map (fun b -> !started +. b) timeout;
@@ -187,6 +251,7 @@ let run_stream_seq ?timeout ?heartbeat (module C : Aerodrome.Checker.S) path =
                   incr fed;
                   (if !fed land (check_interval - 1) = 0 then begin
                      tick heartbeat !fed;
+                     !sample_heap ();
                      match !deadline with
                      | Some d when Unix.gettimeofday () > d ->
                        timed_out := true;
@@ -195,6 +260,7 @@ let run_stream_seq ?timeout ?heartbeat (module C : Aerodrome.Checker.S) path =
                    end);
                   s))
          with Exit -> ());
+        !sample_heap ();
         match !st with
         | None -> assert false (* [init] runs before the first event *)
         | Some s ->
@@ -221,6 +287,7 @@ type stream_msg =
       locks : int;
       vars : int;
       events : int option;  (* total, when the format knows it upfront *)
+      last_use : Traces.Lifetime.t option;  (* oracle, when available *)
     }
   | Batch of Traces.Event.t array
 
@@ -229,7 +296,7 @@ let ring_capacity = 8
 
 exception Stop_producing
 
-let produce_file path ~push =
+let produce_file path ~reclaim ~push =
   let push_or_stop m = if not (push m) then raise Stop_producing in
   let scratch = Array.make batch_size (Traces.Event.begin_ 0) in
   let fill = ref 0 in
@@ -258,6 +325,9 @@ let produce_file path ~push =
   try
     (if Traces.Binfmt.is_binary path then begin
        let h = Traces.Binfmt.read_header path in
+       let last_use =
+         if reclaim then Traces.Binfmt.read_last_use path else None
+       in
        push_or_stop
          (Domains
             {
@@ -265,14 +335,22 @@ let produce_file path ~push =
               locks = h.Traces.Binfmt.locks;
               vars = h.Traces.Binfmt.vars;
               events = Some h.Traces.Binfmt.events;
+              last_use;
             });
        ignore (Traces.Binfmt.fold path ~init:() ~f:feed)
      end
-     else
-       Traces.Parser.fold_file_exn path
+     else begin
+       (* the last-use callback fires after pass 1, before [init] *)
+       let oracle = ref None in
+       Traces.Parser.fold_file_exn
+         ?last_use:
+           (if reclaim then Some (fun lt -> oracle := Some lt) else None)
+         path
          ~init:(fun ~threads ~locks ~vars ->
-           push_or_stop (Domains { threads; locks; vars; events = None }))
-         ~f:feed);
+           push_or_stop
+             (Domains { threads; locks; vars; events = None; last_use = !oracle }))
+         ~f:feed
+     end);
     flush ()
   with Stop_producing -> ()
 
@@ -285,14 +363,14 @@ let ring_entries (s : Parallel.Ring.stats) =
       entry "ring.consumer_stalls" (Int s.Parallel.Ring.consumer_stalls);
     ]
 
-let run_stream_pipelined ?timeout ?heartbeat (module C : Aerodrome.Checker.S)
-    path =
+let run_stream_pipelined ?timeout ?heartbeat ?(reclaim = true)
+    (module C : Aerodrome.Checker.S) path =
   collected (fun () ->
       let ring_stats = ref None in
       let r =
         Parallel.Pipeline.run ~capacity:ring_capacity
           ~on_stats:(fun s -> ring_stats := Some s)
-          ~produce:(fun ~push -> produce_file path ~push)
+          ~produce:(fun ~push -> produce_file path ~reclaim ~push)
           ~consume:(fun ~pop ->
             match pop () with
             | None ->
@@ -309,8 +387,12 @@ let run_stream_pipelined ?timeout ?heartbeat (module C : Aerodrome.Checker.S)
               }
             | Some (Batch _) ->
               assert false (* producer announces domains first *)
-            | Some (Domains { threads; locks; vars; events }) ->
-              let st = C.create ~threads ~locks ~vars in
+            | Some (Domains { threads; locks; vars; events; last_use }) ->
+              let st =
+                Aerodrome.Reclaim.with_policy (policy ~reclaim last_use)
+                  (fun () -> C.create ~threads ~locks ~vars)
+              in
+              let sample_heap = heap_sampler () in
               arm_heartbeat heartbeat ~total:events;
               let started = Unix.gettimeofday () in
               let deadline = Option.map (fun b -> started +. b) timeout in
@@ -333,6 +415,7 @@ let run_stream_pipelined ?timeout ?heartbeat (module C : Aerodrome.Checker.S)
                              incr fed;
                              if !fed land (check_interval - 1) = 0 then begin
                                tick heartbeat !fed;
+                               sample_heap ();
                                match deadline with
                                | Some d when Unix.gettimeofday () > d ->
                                  timed_out := true;
@@ -344,6 +427,7 @@ let run_stream_pipelined ?timeout ?heartbeat (module C : Aerodrome.Checker.S)
                  in
                  loop ()
                with Exit -> ());
+              sample_heap ();
               {
                 checker = C.name;
                 outcome =
@@ -358,9 +442,11 @@ let run_stream_pipelined ?timeout ?heartbeat (module C : Aerodrome.Checker.S)
       | Some s when Obs.on () -> { r with metrics = r.metrics @ ring_entries s }
       | _ -> r)
 
-let run_stream ?timeout ?heartbeat ?(pipelined = false) checker path =
-  if pipelined then run_stream_pipelined ?timeout ?heartbeat checker path
-  else run_stream_seq ?timeout ?heartbeat checker path
+let run_stream ?timeout ?heartbeat ?(pipelined = false) ?(reclaim = true)
+    checker path =
+  if pipelined then
+    run_stream_pipelined ?timeout ?heartbeat ~reclaim checker path
+  else run_stream_seq ?timeout ?heartbeat ~reclaim checker path
 
 (* --- multi-file fan-out --- *)
 
@@ -369,16 +455,17 @@ type file_report = {
   report : (result, string) Stdlib.result;
 }
 
-let run_file ?timeout ?heartbeat ?(pipelined = false) checker path =
-  match run_stream ?timeout ?heartbeat ~pipelined checker path with
+let run_file ?timeout ?heartbeat ?(pipelined = false) ?(reclaim = true) checker
+    path =
+  match run_stream ?timeout ?heartbeat ~pipelined ~reclaim checker path with
   | r -> Ok r
   | exception Traces.Binfmt.Corrupt msg -> Error msg
   | exception Traces.Parser.Parse_error e ->
     Error (Format.asprintf "%s: %a" path Traces.Parser.pp_error e)
   | exception Sys_error msg -> Error msg
 
-let run_many ?timeout ?heartbeat ?(pipelined = false) ?(jobs = 1) ?on_pool
-    checker paths =
+let run_many ?timeout ?heartbeat ?(pipelined = false) ?(reclaim = true)
+    ?(jobs = 1) ?on_pool checker paths =
   (* A shared heartbeat would interleave lines from concurrent workers;
      drop it when the files actually fan out. *)
   let heartbeat =
@@ -386,7 +473,10 @@ let run_many ?timeout ?heartbeat ?(pipelined = false) ?(jobs = 1) ?on_pool
   in
   Parallel.Pool.run ?report:on_pool ~jobs
     (fun path ->
-      { file = path; report = run_file ?timeout ?heartbeat ~pipelined checker path })
+      {
+        file = path;
+        report = run_file ?timeout ?heartbeat ~pipelined ~reclaim checker path;
+      })
     paths
 
 let violating r =

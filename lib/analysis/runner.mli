@@ -24,7 +24,21 @@
     progress lines independently of the metric scope.  When a
     {!Obs.Chrome_trace} collector is active, pipelined runs record
     producer decode spans, consumer feed spans, and an instant marker
-    at the first violation. *)
+    at the first violation.
+
+    {2 State reclamation}
+
+    Every run function takes [?reclaim] (default [true]), selecting the
+    checkers' state-lifetime policy ({!Aerodrome.Reclaim}): when a
+    last-use oracle is available — computed from a materialized trace,
+    read from a version-2 binary footer, or built by the text parser's
+    interning pass — each variable's clock state is released back to the
+    pool at its final access, making peak memory proportional to live
+    variables; a stream with no oracle falls back to the inactivity
+    heuristic (periodic epoch-collapse of cold state).  Verdicts and
+    violation indices are identical either way.  With telemetry on, runs
+    additionally report ["heap.peak_words"], the major-heap high-water
+    mark sampled at the 4096-event checkpoints. *)
 
 type outcome =
   | Verdict of Aerodrome.Violation.t option
@@ -43,31 +57,35 @@ type result = {
 }
 
 val run :
-  ?timeout:float -> ?heartbeat:Obs.Heartbeat.t -> Aerodrome.Checker.t ->
-  Traces.Trace.t -> result
+  ?timeout:float -> ?heartbeat:Obs.Heartbeat.t -> ?reclaim:bool ->
+  Aerodrome.Checker.t -> Traces.Trace.t -> result
 (** [timeout] in seconds; default: none.  [heartbeat] is restarted, given
-    the trace length as total, and ticked as the run progresses. *)
+    the trace length as total, and ticked as the run progresses.  With
+    [reclaim] (the default) the last-use oracle is computed from the
+    trace before the timer starts. *)
 
 val run_seq :
   ?timeout:float -> ?heartbeat:Obs.Heartbeat.t -> ?total:int ->
-  Aerodrome.Checker.t -> threads:int -> locks:int -> vars:int ->
-  Traces.Event.t Seq.t -> result
+  ?reclaim:bool -> ?last_use:Traces.Lifetime.t -> Aerodrome.Checker.t ->
+  threads:int -> locks:int -> vars:int -> Traces.Event.t Seq.t -> result
 (** Streaming variant: analyze an event sequence without materializing it
     (e.g. {!Traces.Binfmt.read_seq} of a file larger than memory).  The
     sequence is consumed up to the violation or the timeout.  [total]
     (when the caller knows the event count upfront) only feeds the
-    heartbeat's ETA. *)
+    heartbeat's ETA.  [last_use] is the reclamation oracle if the caller
+    has one; without it a reclaiming run uses the inactivity
+    heuristic. *)
 
 val run_binary_file :
-  ?timeout:float -> ?heartbeat:Obs.Heartbeat.t -> Aerodrome.Checker.t ->
-  string -> result
+  ?timeout:float -> ?heartbeat:Obs.Heartbeat.t -> ?reclaim:bool ->
+  Aerodrome.Checker.t -> string -> result
 (** [run_seq] over a binary trace file, domains and total event count
-    from its header.
+    from its header; a version-2 footer supplies the reclamation oracle.
     @raise Traces.Binfmt.Corrupt *)
 
 val run_stream :
   ?timeout:float -> ?heartbeat:Obs.Heartbeat.t -> ?pipelined:bool ->
-  Aerodrome.Checker.t -> string -> result
+  ?reclaim:bool -> Aerodrome.Checker.t -> string -> result
 (** Analyze a trace file without materializing it, auto-detecting the
     format: binary files stream in one pass (domains from the header),
     text files via {!Traces.Parser.fold_file} (two passes, since the text
@@ -95,15 +113,16 @@ type file_report = {
 
 val run_file :
   ?timeout:float -> ?heartbeat:Obs.Heartbeat.t -> ?pipelined:bool ->
-  Aerodrome.Checker.t -> string -> (result, string) Stdlib.result
+  ?reclaim:bool -> Aerodrome.Checker.t -> string ->
+  (result, string) Stdlib.result
 (** {!run_stream} with per-file error capture instead of exceptions:
     [Sys_error], {!Traces.Binfmt.Corrupt} and
     {!Traces.Parser.Parse_error} become [Error msg]. *)
 
 val run_many :
   ?timeout:float -> ?heartbeat:Obs.Heartbeat.t -> ?pipelined:bool ->
-  ?jobs:int -> ?on_pool:(float array -> unit) -> Aerodrome.Checker.t ->
-  string list -> file_report list
+  ?reclaim:bool -> ?jobs:int -> ?on_pool:(float array -> unit) ->
+  Aerodrome.Checker.t -> string list -> file_report list
 (** Check many trace files, one {!file_report} per input path {e in input
     order}.  A failing file yields its [Error] report and the remaining
     files are still checked.  With [jobs > 1] the files fan out across a

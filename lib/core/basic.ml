@@ -5,6 +5,16 @@ let name = "aerodrome-basic"
 
 let nil = -1
 
+(* Per-variable state: W_x plus the per-thread read row R_{t,x}, the row
+   itself still allocated on the first read.  Rows and clocks are
+   recycled when a variable is released at its last access. *)
+type vstate = {
+  bw : AC.t;  (* W_x: timestamp of the last w(x) *)
+  mutable brow : AC.t option array;  (* R_{t,x}, [||] until the first read *)
+  mutable blast_w : int;  (* lastWThr_x *)
+  mutable btouch : int;
+}
+
 type t = {
   threads : int;
   locks : int;
@@ -12,34 +22,61 @@ type t = {
   c : AC.t array;  (* C_t: timestamp of thread t's last event *)
   cb : AC.t array;  (* C⊲_t: timestamp of thread t's last begin *)
   l : AC.t array;  (* L_ℓ: timestamp of the last rel(ℓ) *)
-  w : AC.t array;  (* W_x: timestamp of the last w(x) *)
-  r : AC.t option array array;  (* r.(x).(t) = R_{t,x}, allocated lazily *)
+  v : vstate option array;  (* None: untouched, or released after last use *)
   last_rel_thr : int array;  (* lastRelThr_ℓ *)
-  last_w_thr : int array;  (* lastWThr_x *)
   depth : int array;  (* begin/end nesting depth per thread *)
+  pool : AC.Pool.t;
+  mutable row_free : AC.t option array list;  (* recycled read rows *)
+  reclaim : Reclaim.policy;
+  mutable reclaimed : int;
+  mutable next_sweep : int;
   mutable violation : Violation.t option;
   mutable processed : int;
   m : Cmetrics.t;
 }
 
+let register_reclaim_probes st =
+  let reg = Cmetrics.registry st.m in
+  Obs.Registry.probe reg "pool.hits" (fun () ->
+      Obs.Snapshot.Int (AC.Pool.hits st.pool));
+  Obs.Registry.probe reg "pool.misses" (fun () ->
+      Obs.Snapshot.Int (AC.Pool.misses st.pool));
+  Obs.Registry.probe reg "reclaim.states" (fun () ->
+      Obs.Snapshot.Int st.reclaimed);
+  Obs.Registry.probe reg "reclaim.collapsed" (fun () ->
+      Obs.Snapshot.Int (AC.Pool.collapsed st.pool))
+
 let create ~threads ~locks ~vars =
   let dim = max threads 1 in
-  {
-    threads = dim;
-    locks;
-    vars;
-    c = Array.init dim (fun t -> AC.unit dim t);
-    cb = Array.init dim (fun _ -> AC.bottom dim);
-    l = Array.init (max locks 0) (fun _ -> AC.bottom dim);
-    w = Array.init (max vars 0) (fun _ -> AC.bottom dim);
-    r = Array.make (max vars 0) [||];
-    last_rel_thr = Array.make (max locks 0) nil;
-    last_w_thr = Array.make (max vars 0) nil;
-    depth = Array.make dim 0;
-    violation = None;
-    processed = 0;
-    m = Cmetrics.create ();
-  }
+  let reclaim = Reclaim.ambient () in
+  let st =
+    {
+      threads = dim;
+      locks;
+      vars;
+      c = Array.init dim (fun t -> AC.unit dim t);
+      cb = Array.init dim (fun _ -> AC.bottom dim);
+      l = Array.init (max locks 0) (fun _ -> AC.bottom dim);
+      v = Array.make (max vars 0) None;
+      last_rel_thr = Array.make (max locks 0) nil;
+      depth = Array.make dim 0;
+      pool = AC.Pool.create dim;
+      row_free = [];
+      reclaim;
+      reclaimed = 0;
+      next_sweep =
+        (match reclaim with
+        | Reclaim.Inactivity { horizon } -> horizon
+        | Reclaim.Off | Reclaim.Oracle _ -> max_int);
+      violation = None;
+      processed = 0;
+      m = Cmetrics.create ();
+    }
+  in
+  (match reclaim with
+  | Reclaim.Off -> ()
+  | Reclaim.Oracle _ | Reclaim.Inactivity _ -> register_reclaim_probes st);
+  st
 
 let violation st = st.violation
 let processed st = st.processed
@@ -47,6 +84,62 @@ let metrics st = Cmetrics.snapshot st.m
 
 let active st t = st.depth.(t) > 0
 let in_transaction = active
+
+let vget st x =
+  match Array.unsafe_get st.v x with
+  | Some vs -> vs
+  | None ->
+    let vs =
+      { bw = AC.Pool.alloc st.pool; brow = [||]; blast_w = nil; btouch = 0 }
+    in
+    st.v.(x) <- Some vs;
+    vs
+
+let release_var st x vs =
+  AC.Pool.release st.pool vs.bw;
+  let row = vs.brow in
+  if row <> [||] then begin
+    for u = 0 to Array.length row - 1 do
+      match row.(u) with
+      | Some clk ->
+        AC.Pool.release st.pool clk;
+        row.(u) <- None
+      | None -> ()
+    done;
+    st.row_free <- row :: st.row_free
+  end;
+  st.v.(x) <- None;
+  st.reclaimed <- st.reclaimed + 1
+
+(* See [Opt.reclaim_after_access]. *)
+let reclaim_after_access st x vs =
+  match st.reclaim with
+  | Reclaim.Off -> ()
+  | Reclaim.Oracle lt ->
+    if Lifetime.last_var lt x = st.processed - 1 then release_var st x vs
+  | Reclaim.Inactivity _ -> vs.btouch <- st.processed
+
+let sweep st =
+  match st.reclaim with
+  | Reclaim.Off | Reclaim.Oracle _ -> ()
+  | Reclaim.Inactivity { horizon } ->
+    let cutoff = st.processed - horizon in
+    for x = 0 to Array.length st.v - 1 do
+      match Array.unsafe_get st.v x with
+      | Some vs when vs.btouch <= cutoff ->
+        ignore (AC.Pool.collapse st.pool vs.bw);
+        let row = vs.brow in
+        for u = 0 to Array.length row - 1 do
+          match row.(u) with
+          | Some clk -> ignore (AC.Pool.collapse st.pool clk)
+          | None -> ()
+        done
+      | Some _ | None -> ()
+    done;
+    for l = 0 to st.locks - 1 do
+      ignore (AC.Pool.collapse st.pool st.l.(l))
+    done;
+    st.next_sweep <- st.processed + horizon
 
 exception Found of Violation.site
 
@@ -58,16 +151,22 @@ let check_and_get st clk t site =
   if Obs.on () then Cmetrics.vc_join st.m;
   AC.join_into ~into:st.c.(t) clk
 
-let read_row st x =
-  if st.r.(x) = [||] then st.r.(x) <- Array.make st.threads None;
-  st.r.(x)
+let read_row st vs =
+  if vs.brow = [||] then
+    vs.brow <-
+      (match st.row_free with
+      | row :: rest ->
+        st.row_free <- rest;
+        row
+      | [] -> Array.make st.threads None);
+  vs.brow
 
-let read_clock_ref st t x =
-  let row = read_row st x in
+let read_clock_ref st t vs =
+  let row = read_row st vs in
   match row.(t) with
   | Some clk -> clk
   | None ->
-    let clk = AC.bottom st.threads in
+    let clk = AC.Pool.alloc st.pool in
     row.(t) <- Some clk;
     clk
 
@@ -86,22 +185,26 @@ let handle_fork st t u =
 let handle_join st t u = check_and_get st st.c.(u) t Violation.At_join
 
 let handle_read st t x =
-  if st.last_w_thr.(x) <> t then
-    check_and_get st st.w.(x) t Violation.At_read;
-  AC.assign ~into:(read_clock_ref st t x) st.c.(t)
+  let vs = vget st x in
+  if vs.blast_w <> t then
+    check_and_get st vs.bw t Violation.At_read;
+  AC.assign ~into:(read_clock_ref st t vs) st.c.(t);
+  reclaim_after_access st x vs
 
 let handle_write st t x =
-  if st.last_w_thr.(x) <> t then
-    check_and_get st st.w.(x) t Violation.At_write_vs_write;
-  let row = read_row st x in
-  for u = 0 to st.threads - 1 do
+  let vs = vget st x in
+  if vs.blast_w <> t then
+    check_and_get st vs.bw t Violation.At_write_vs_write;
+  let row = vs.brow in
+  for u = 0 to Array.length row - 1 do
     if u <> t then
       match row.(u) with
       | Some r_ux -> check_and_get st r_ux t Violation.At_write_vs_read
       | None -> ()
   done;
-  AC.assign ~into:st.w.(x) st.c.(t);
-  st.last_w_thr.(x) <- t
+  AC.assign ~into:vs.bw st.c.(t);
+  vs.blast_w <- t;
+  reclaim_after_access st x vs
 
 let handle_begin st t =
   st.depth.(t) <- st.depth.(t) + 1;
@@ -112,7 +215,10 @@ let handle_begin st t =
   end
 
 (* End of an outermost transaction: propagate the transaction's final
-   timestamp to every clock that knows its begin event (lines 38–46). *)
+   timestamp to every clock that knows its begin event (lines 38–46).
+   Untouched variables read as ⊥ (never ⊒ an active begin clock), and
+   released variables have no future access their refresh could feed, so
+   both are skipped. *)
 let handle_end st t =
   if st.depth.(t) > 0 then begin
     st.depth.(t) <- st.depth.(t) - 1;
@@ -129,18 +235,21 @@ let handle_end st t =
           AC.join_into ~into:st.l.(l) c_t
         end
       done;
-      for x = 0 to st.vars - 1 do
-        if AC.leq cb_t st.w.(x) then begin
-          if Obs.on () then Cmetrics.vc_join st.m;
-          AC.join_into ~into:st.w.(x) c_t
-        end;
-        let row = st.r.(x) in
-        if row <> [||] then
-          for u = 0 to st.threads - 1 do
-            match row.(u) with
-            | Some r_ux when AC.leq cb_t r_ux -> AC.join_into ~into:r_ux c_t
-            | Some _ | None -> ()
-          done
+      for x = 0 to Array.length st.v - 1 do
+        match Array.unsafe_get st.v x with
+        | None -> ()
+        | Some vs ->
+          if AC.leq cb_t vs.bw then begin
+            if Obs.on () then Cmetrics.vc_join st.m;
+            AC.join_into ~into:vs.bw c_t
+          end;
+          let row = vs.brow in
+          if row <> [||] then
+            for u = 0 to st.threads - 1 do
+              match row.(u) with
+              | Some r_ux when AC.leq cb_t r_ux -> AC.join_into ~into:r_ux c_t
+              | Some _ | None -> ()
+            done
       done
     end
   end
@@ -150,6 +259,7 @@ let feed st (e : Event.t) =
   | Some _ as v -> v
   | None -> (
     st.processed <- st.processed + 1;
+    if st.processed >= st.next_sweep then sweep st;
     if Obs.on () then Cmetrics.count st.m e.op;
     let t = Ids.Tid.to_int e.thread in
     match
@@ -176,12 +286,19 @@ let snapshot clk = Vclock.Vtime.of_list (AC.to_list clk)
 let thread_clock st t = snapshot st.c.(t)
 let begin_clock st t = snapshot st.cb.(t)
 let lock_clock st l = snapshot st.l.(l)
-let write_clock st x = snapshot st.w.(x)
+
+let write_clock st x =
+  match st.v.(x) with
+  | Some vs -> snapshot vs.bw
+  | None -> Vclock.Vtime.bottom st.threads
 
 let read_clock st ~thread ~var =
-  let row = st.r.(var) in
-  if row = [||] then Vclock.Vtime.bottom st.threads
-  else
-    match row.(thread) with
-    | Some clk -> snapshot clk
-    | None -> Vclock.Vtime.bottom st.threads
+  match st.v.(var) with
+  | None -> Vclock.Vtime.bottom st.threads
+  | Some vs ->
+    let row = vs.brow in
+    if row = [||] then Vclock.Vtime.bottom st.threads
+    else (
+      match row.(thread) with
+      | Some clk -> snapshot clk
+      | None -> Vclock.Vtime.bottom st.threads)

@@ -1,0 +1,79 @@
+(* Small integer sets over a fixed universe [0..n-1] with O(1) amortized
+   add/remove/clear: a push-only member array plus a byte map.  [remove]
+   only clears the membership byte (lazy deletion); the stale array entry
+   is swept by the next [drain] or [clear], so no operation ever scans the
+   member list looking for one element.  When removals leave the member
+   array more than half dead, it is compacted in place (preserving
+   insertion order, so [drain] sequences are unaffected) — without this a
+   long-lived set that keeps a few live members through many add/remove
+   cycles would re-scan its dead entries at every drain forever. *)
+
+type t = {
+  mutable elems : int array;
+  mutable n : int;
+  mutable live : int; (* exact member count; n over-approximates it *)
+  mem : Bytes.t;
+}
+
+let compact_min = 16
+
+let create n =
+  { elems = Array.make 16 0; n = 0; live = 0; mem = Bytes.make (max n 1) '\000' }
+
+let mem s i = Bytes.unsafe_get s.mem i <> '\000'
+let size s = s.live
+
+let push s i =
+  if s.n = Array.length s.elems then begin
+    let bigger = Array.make (2 * s.n) 0 in
+    Array.blit s.elems 0 bigger 0 s.n;
+    s.elems <- bigger
+  end;
+  Array.unsafe_set s.elems s.n i;
+  s.n <- s.n + 1
+
+let add s i =
+  if not (mem s i) then begin
+    Bytes.unsafe_set s.mem i '\001';
+    s.live <- s.live + 1;
+    push s i
+  end
+
+(* Keep the live entries, in order, at the front. *)
+let compact s =
+  let k = ref 0 in
+  for j = 0 to s.n - 1 do
+    let i = Array.unsafe_get s.elems j in
+    if mem s i then begin
+      Array.unsafe_set s.elems !k i;
+      incr k
+    end
+  done;
+  s.n <- !k
+
+let remove s i =
+  if mem s i then begin
+    Bytes.unsafe_set s.mem i '\000';
+    s.live <- s.live - 1;
+    if s.n >= compact_min && 2 * s.live < s.n then compact s
+  end
+
+(* Iterate the members and leave the set empty; entries invalidated by
+   [remove] (and duplicates they enable) are skipped.  [f] must not add
+   to the set being drained (the checkers only ever add to *other*
+   threads' sets from inside a drain). *)
+let drain f s =
+  let n = s.n in
+  s.n <- 0;
+  for k = 0 to n - 1 do
+    let i = Array.unsafe_get s.elems k in
+    if mem s i then begin
+      Bytes.unsafe_set s.mem i '\000';
+      s.live <- s.live - 1;
+      f i
+    end
+  done
+
+let clear s = drain (fun _ -> ()) s
+
+let raw_length s = s.n

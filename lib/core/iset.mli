@@ -1,0 +1,38 @@
+(** Small integer sets over a fixed universe [0..n-1], built for the
+    checkers' update-set traffic: O(1) amortized add/remove, and a
+    destructive {!drain} that visits the members in insertion order.
+
+    Removal is lazy (a membership byte is cleared; the member-array entry
+    stays until the next drain), but the array is compacted in place once
+    more than half its entries are dead, so a long-lived set cycling
+    through a few members never accumulates an unbounded dead tail. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the empty set over universe [0..n-1]. *)
+
+val mem : t -> int -> bool
+
+val size : t -> int
+(** Exact member count. *)
+
+val add : t -> int -> unit
+(** No-op if already a member. *)
+
+val remove : t -> int -> unit
+(** No-op if not a member. *)
+
+val drain : (int -> unit) -> t -> unit
+(** [drain f s] calls [f] on every member in insertion order and leaves
+    [s] empty.  [f] must not add to [s] itself (adding to other sets is
+    fine). *)
+
+val clear : t -> unit
+(** Empty the set. *)
+
+(**/**)
+
+val raw_length : t -> int
+(** Member-array length including dead entries — exposed so the unit
+    tests can observe the compaction threshold. *)

@@ -5,64 +5,19 @@ let name = "aerodrome"
 
 let nil = -1
 
-(* Small integer sets over a fixed universe [0..n-1] with O(1) amortized
-   add/remove/clear: a push-only member array plus a byte map.  [remove]
-   only clears the membership byte (lazy deletion); the stale array entry
-   is swept by the next [drain] or [clear], so no operation ever scans the
-   member list looking for one element. *)
-module Iset = struct
-  type t = {
-    mutable elems : int array;
-    mutable n : int;
-    mutable live : int; (* exact member count; n over-approximates it *)
-    mem : Bytes.t;
-  }
-
-  let create n =
-    { elems = Array.make 16 0; n = 0; live = 0; mem = Bytes.make (max n 1) '\000' }
-
-  let mem s i = Bytes.unsafe_get s.mem i <> '\000'
-  let size s = s.live
-
-  let push s i =
-    if s.n = Array.length s.elems then begin
-      let bigger = Array.make (2 * s.n) 0 in
-      Array.blit s.elems 0 bigger 0 s.n;
-      s.elems <- bigger
-    end;
-    Array.unsafe_set s.elems s.n i;
-    s.n <- s.n + 1
-
-  let add s i =
-    if not (mem s i) then begin
-      Bytes.unsafe_set s.mem i '\001';
-      s.live <- s.live + 1;
-      push s i
-    end
-
-  let remove s i =
-    if mem s i then begin
-      Bytes.unsafe_set s.mem i '\000';
-      s.live <- s.live - 1
-    end
-
-
-  (* Iterate the members and leave the set empty; entries invalidated by
-     [remove] (and duplicates they enable) are skipped.  [f] must not add
-     to the set being drained (the checker only ever adds to *other*
-     threads' sets from inside a drain). *)
-  let drain f s =
-    let n = s.n in
-    s.n <- 0;
-    for k = 0 to n - 1 do
-      let i = Array.unsafe_get s.elems k in
-      if mem s i then begin
-        Bytes.unsafe_set s.mem i '\000';
-        s.live <- s.live - 1;
-        f i
-      end
-    done
-end
+(* Per-variable clock state, allocated on first access and recycled
+   through the pool.  Keeping W_x/R_x/hR_x and the lazy-update metadata
+   in one record (instead of seven parallel dense arrays) is what lets a
+   variable's whole footprint be released the moment it dies. *)
+type vstate = {
+  vw : AC.t;  (* W_x *)
+  vr : AC.t;  (* R_x *)
+  vhr : AC.t;  (* hR_x *)
+  vstale_r : Iset.t;  (* Stale^r_x: readers not yet flushed into R_x *)
+  mutable vlast_w : int;
+  mutable vstale_w : bool;  (* Stale^w_x: is W_x represented by C_lastW? *)
+  mutable vtouch : int;  (* processed-count of the last access (Inactivity) *)
+}
 
 type t = {
   threads : int;
@@ -73,13 +28,8 @@ type t = {
   c : AC.t array;
   cb : AC.t array;
   l : AC.t array;
-  w : AC.t array;
-  r : AC.t array;  (* R_x *)
-  hr : AC.t array;  (* hR_x *)
+  v : vstate option array;  (* None: untouched, or released after last use *)
   last_rel_thr : int array;
-  last_w_thr : int array;
-  stale_w : Bytes.t;  (* Stale^w_x: is W_x lazily represented by C_lastWThr? *)
-  stale_r : Iset.t array;  (* Stale^r_x: readers not yet flushed into R_x *)
   upd_r : Iset.t array;  (* UpdateSet^r_t *)
   upd_w : Iset.t array;  (* UpdateSet^w_t *)
   upd_l : Iset.t array;  (* locks whose clock may contain t's begin *)
@@ -99,46 +49,72 @@ type t = {
                           fast checks read — flat for cache-friendliness *)
   seq : int array;  (* outermost-transaction sequence number per thread *)
   parent : (int * int) option array;  (* forking (thread, seq), per thread *)
+  pool : AC.Pool.t;
+  mutable iset_free : Iset.t list;  (* recycled Stale^r sets *)
+  reclaim : Reclaim.policy;
+  mutable reclaimed : int;  (* vstates released at their last access *)
+  mutable next_sweep : int;  (* processed-count of the next inactivity sweep *)
   mutable violation : Violation.t option;
   mutable processed : int;
   m : Cmetrics.t;
 }
 
+let register_reclaim_probes st =
+  let reg = Cmetrics.registry st.m in
+  Obs.Registry.probe reg "pool.hits" (fun () ->
+      Obs.Snapshot.Int (AC.Pool.hits st.pool));
+  Obs.Registry.probe reg "pool.misses" (fun () ->
+      Obs.Snapshot.Int (AC.Pool.misses st.pool));
+  Obs.Registry.probe reg "reclaim.states" (fun () ->
+      Obs.Snapshot.Int st.reclaimed);
+  Obs.Registry.probe reg "reclaim.collapsed" (fun () ->
+      Obs.Snapshot.Int (AC.Pool.collapsed st.pool))
+
 let create_with ?(fast_checks = true) ?(faithful = false) ~threads ~locks
     ~vars () =
   let dim = max threads 1 in
-  {
-    threads = dim;
-    locks;
-    vars;
-    fast_checks;
-    faithful;
-    c = Array.init dim (fun t -> AC.unit dim t);
-    cb = Array.init dim (fun _ -> AC.bottom dim);
-    l = Array.init (max locks 0) (fun _ -> AC.bottom dim);
-    w = Array.init (max vars 0) (fun _ -> AC.bottom dim);
-    r = Array.init (max vars 0) (fun _ -> AC.bottom dim);
-    hr = Array.init (max vars 0) (fun _ -> AC.bottom dim);
-    last_rel_thr = Array.make (max locks 0) nil;
-    last_w_thr = Array.make (max vars 0) nil;
-    stale_w = Bytes.make (max vars 1) '\000';
-    stale_r = Array.init (max vars 0) (fun _ -> Iset.create dim);
-    upd_r = Array.init dim (fun _ -> Iset.create (max vars 1));
-    upd_w = Array.init dim (fun _ -> Iset.create (max vars 1));
-    upd_l = Array.init dim (fun _ -> Iset.create (max locks 1));
-    rel_locks = Array.init dim (fun _ -> Iset.create (max locks 1));
-    depth = Array.make dim 0;
-    masked = dim <= 62;
-    covers = Array.make dim 0;
-    covers_dirty = Bytes.make dim '\001';
-    active_mask = 0;
-    cb_own = Array.make dim 0;
-    seq = Array.make dim 0;
-    parent = Array.make dim None;
-    violation = None;
-    processed = 0;
-    m = Cmetrics.create ();
-  }
+  let reclaim = Reclaim.ambient () in
+  let st =
+    {
+      threads = dim;
+      locks;
+      vars;
+      fast_checks;
+      faithful;
+      c = Array.init dim (fun t -> AC.unit dim t);
+      cb = Array.init dim (fun _ -> AC.bottom dim);
+      l = Array.init (max locks 0) (fun _ -> AC.bottom dim);
+      v = Array.make (max vars 0) None;
+      last_rel_thr = Array.make (max locks 0) nil;
+      upd_r = Array.init dim (fun _ -> Iset.create (max vars 1));
+      upd_w = Array.init dim (fun _ -> Iset.create (max vars 1));
+      upd_l = Array.init dim (fun _ -> Iset.create (max locks 1));
+      rel_locks = Array.init dim (fun _ -> Iset.create (max locks 1));
+      depth = Array.make dim 0;
+      masked = dim <= 62;
+      covers = Array.make dim 0;
+      covers_dirty = Bytes.make dim '\001';
+      active_mask = 0;
+      cb_own = Array.make dim 0;
+      seq = Array.make dim 0;
+      parent = Array.make dim None;
+      pool = AC.Pool.create dim;
+      iset_free = [];
+      reclaim;
+      reclaimed = 0;
+      next_sweep =
+        (match reclaim with
+        | Reclaim.Inactivity { horizon } -> horizon
+        | Reclaim.Off | Reclaim.Oracle _ -> max_int);
+      violation = None;
+      processed = 0;
+      m = Cmetrics.create ();
+    }
+  in
+  (match reclaim with
+  | Reclaim.Off -> ()
+  | Reclaim.Oracle _ | Reclaim.Inactivity _ -> register_reclaim_probes st);
+  st
 
 let create ~threads ~locks ~vars = create_with ~threads ~locks ~vars ()
 let metrics st = Cmetrics.snapshot st.m
@@ -147,8 +123,73 @@ let violation st = st.violation
 let processed st = st.processed
 let active st t = st.depth.(t) > 0
 
-let is_stale_w st x = Bytes.unsafe_get st.stale_w x <> '\000'
-let set_stale_w st x b = Bytes.unsafe_set st.stale_w x (if b then '\001' else '\000')
+let vget st x =
+  match Array.unsafe_get st.v x with
+  | Some vs -> vs
+  | None ->
+    let vstale_r =
+      match st.iset_free with
+      | s :: rest ->
+        st.iset_free <- rest;
+        s
+      | [] -> Iset.create st.threads
+    in
+    let vs =
+      {
+        vw = AC.Pool.alloc st.pool;
+        vr = AC.Pool.alloc st.pool;
+        vhr = AC.Pool.alloc st.pool;
+        vstale_r;
+        vlast_w = nil;
+        vstale_w = false;
+        vtouch = 0;
+      }
+    in
+    st.v.(x) <- Some vs;
+    vs
+
+let release_var st x vs =
+  AC.Pool.release st.pool vs.vw;
+  AC.Pool.release st.pool vs.vr;
+  AC.Pool.release st.pool vs.vhr;
+  Iset.clear vs.vstale_r;
+  st.iset_free <- vs.vstale_r :: st.iset_free;
+  st.v.(x) <- None;
+  st.reclaimed <- st.reclaimed + 1
+
+(* Called after every successful read/write of [x].  Oracle: releasing at
+   the recorded last access is exact — x is never accessed again, and the
+   end-of-transaction drains skip released variables (their refreshes
+   could only feed checks at later accesses of x, of which there are
+   none).  Inactivity: just stamp the access; the sweep in [feed] demotes
+   cold state. *)
+let reclaim_after_access st x vs =
+  match st.reclaim with
+  | Reclaim.Off -> ()
+  | Reclaim.Oracle lt ->
+    if Lifetime.last_var lt x = st.processed - 1 then release_var st x vs
+  | Reclaim.Inactivity _ -> vs.vtouch <- st.processed
+
+(* Inactivity sweep: collapse the clocks of variables untouched for a full
+   horizon (and of all locks) back to epoch form where their value allows
+   it.  Pure representation change — no verdict or counter drift. *)
+let sweep st =
+  match st.reclaim with
+  | Reclaim.Off | Reclaim.Oracle _ -> ()
+  | Reclaim.Inactivity { horizon } ->
+    let cutoff = st.processed - horizon in
+    for x = 0 to Array.length st.v - 1 do
+      match Array.unsafe_get st.v x with
+      | Some vs when vs.vtouch <= cutoff ->
+        ignore (AC.Pool.collapse st.pool vs.vw);
+        ignore (AC.Pool.collapse st.pool vs.vr);
+        ignore (AC.Pool.collapse st.pool vs.vhr)
+      | Some _ | None -> ()
+    done;
+    for l = 0 to st.locks - 1 do
+      ignore (AC.Pool.collapse st.pool st.l.(l))
+    done;
+    st.next_sweep <- st.processed + horizon
 
 (* C⊲_t ⊑ clk, in O(1) when the whole-clock-join invariant allows it. *)
 let begin_leq st t clk =
@@ -195,10 +236,10 @@ let check_and_get st clk1 clk2 t site =
 (* The hR_x check compares only the t-component, independently of
    [fast_checks]: hR_x zeroes each reader's own component, so the full
    pointwise order is the wrong comparison for it (see Reduced). *)
-let check_read_and_get st t x site =
-  if active st t && Array.unsafe_get st.cb_own t <= AC.unsafe_get st.hr.(x) t
+let check_read_and_get st t vs site =
+  if active st t && Array.unsafe_get st.cb_own t <= AC.unsafe_get vs.vhr t
   then raise (Found site);
-  join_c st t st.r.(x)
+  join_c st t vs.vr
 
 (* After C_{of_} (the value just folded into W_x or R_x) grew the
    variable's clock, record x in the update set of every other active
@@ -268,19 +309,20 @@ let handle_join st t u =
 (* Check a read or write against the last write: against the writer's live
    clock while its transaction is active (W_x stale), against the
    materialized W_x otherwise. *)
-let check_vs_last_write st t x site =
-  if st.last_w_thr.(x) <> t then begin
-    if is_stale_w st x then begin
-      let wt = st.last_w_thr.(x) in
+let check_vs_last_write st t vs site =
+  if vs.vlast_w <> t then begin
+    if vs.vstale_w then begin
+      let wt = vs.vlast_w in
       check_and_get st st.c.(wt) st.c.(wt) t site
     end
-    else check_and_get st st.w.(x) st.w.(x) t site
+    else check_and_get st vs.vw vs.vw t site
   end
 
 let handle_read st t x =
-  check_vs_last_write st t x Violation.At_read;
+  let vs = vget st x in
+  check_vs_last_write st t vs Violation.At_read;
   if active st t || st.faithful then begin
-    Iset.add st.stale_r.(x) t;
+    Iset.add vs.vstale_r t;
     (* Algorithm 3 lines 34–36: every covered active transaction must
        refresh R_x at its end; the reader's own transaction qualifies. *)
     propagate_update_sets st st.upd_r x ~of_:t ~skip:nil st.c.(t)
@@ -289,32 +331,35 @@ let handle_read st t x =
     (* Unary read: update eagerly.  The printed algorithm leaves it in
        Stale^r_x, where a later flush would use this thread's clock as
        inflated by its subsequent transactions — a false positive. *)
-    AC.join_into ~into:st.r.(x) st.c.(t);
-    AC.join_into_zeroed ~into:st.hr.(x) st.c.(t) t;
+    AC.join_into ~into:vs.vr st.c.(t);
+    AC.join_into_zeroed ~into:vs.vhr st.c.(t) t;
     propagate_update_sets st st.upd_r x ~of_:t ~skip:nil st.c.(t)
-  end
+  end;
+  reclaim_after_access st x vs
 
-let flush_stale_readers st x =
+let flush_stale_readers st vs =
   Iset.drain
     (fun u ->
       if Obs.on () then Cmetrics.vc_joins_add st.m 2;
-      AC.join_into ~into:st.r.(x) st.c.(u);
-      AC.join_into_zeroed ~into:st.hr.(x) st.c.(u) u)
-    st.stale_r.(x)
+      AC.join_into ~into:vs.vr st.c.(u);
+      AC.join_into_zeroed ~into:vs.vhr st.c.(u) u)
+    vs.vstale_r
 
 let handle_write st t x =
-  check_vs_last_write st t x Violation.At_write_vs_write;
-  if Obs.on () then Cmetrics.observe_stale_readers st.m (Iset.size st.stale_r.(x));
-  flush_stale_readers st x;
-  check_read_and_get st t x Violation.At_write_vs_read;
-  if active st t || st.faithful then set_stale_w st x true
+  let vs = vget st x in
+  check_vs_last_write st t vs Violation.At_write_vs_write;
+  if Obs.on () then Cmetrics.observe_stale_readers st.m (Iset.size vs.vstale_r);
+  flush_stale_readers st vs;
+  check_read_and_get st t vs Violation.At_write_vs_read;
+  if active st t || st.faithful then vs.vstale_w <- true
   else begin
     (* Unary write: materialize eagerly (same rationale as unary reads). *)
-    AC.assign ~into:st.w.(x) st.c.(t);
-    set_stale_w st x false
+    AC.assign ~into:vs.vw st.c.(t);
+    vs.vstale_w <- false
   end;
-  st.last_w_thr.(x) <- t;
-  propagate_update_sets st st.upd_w x ~of_:t ~skip:nil st.c.(t)
+  vs.vlast_w <- t;
+  propagate_update_sets st st.upd_w x ~of_:t ~skip:nil st.c.(t);
+  reclaim_after_access st x vs
 
 let handle_begin st t =
   st.depth.(t) <- st.depth.(t) + 1;
@@ -370,6 +415,11 @@ let has_incoming_edge st t =
     knows_active_foreign 0
   end
 
+(* The end-of-transaction drains skip variables whose state was released
+   at their last access: a refresh of a dead variable's clocks could only
+   feed a check at a later access of that variable, and there are none.
+   (These joins are uncounted in the seed code too, so the skip leaves
+   every metric counter unchanged.) *)
 let end_with_incoming_edge st t =
   let c_t = st.c.(t) in
   for u = 0 to st.threads - 1 do
@@ -397,30 +447,44 @@ let end_with_incoming_edge st t =
     done;
   Iset.drain
     (fun x ->
-      if (not (is_stale_w st x)) || st.last_w_thr.(x) = t then begin
-        AC.join_into ~into:st.w.(x) c_t;
-        if not st.faithful then
-          propagate_update_sets st st.upd_w x ~of_:t ~skip:t c_t
-      end;
-      if st.last_w_thr.(x) = t then set_stale_w st x false)
+      match Array.unsafe_get st.v x with
+      | None -> ()
+      | Some vs ->
+        if (not vs.vstale_w) || vs.vlast_w = t then begin
+          AC.join_into ~into:vs.vw c_t;
+          if not st.faithful then
+            propagate_update_sets st st.upd_w x ~of_:t ~skip:t c_t
+        end;
+        if vs.vlast_w = t then vs.vstale_w <- false)
     st.upd_w.(t);
   Iset.drain
     (fun x ->
-      AC.join_into ~into:st.r.(x) c_t;
-      AC.join_into_zeroed ~into:st.hr.(x) c_t t;
-      Iset.remove st.stale_r.(x) t;
-      if not st.faithful then
-        propagate_update_sets st st.upd_r x ~of_:t ~skip:t c_t)
+      match Array.unsafe_get st.v x with
+      | None -> ()
+      | Some vs ->
+        AC.join_into ~into:vs.vr c_t;
+        AC.join_into_zeroed ~into:vs.vhr c_t t;
+        Iset.remove vs.vstale_r t;
+        if not st.faithful then
+          propagate_update_sets st st.upd_r x ~of_:t ~skip:t c_t)
     st.upd_r.(t)
 
 let end_garbage_collect st t =
-  Iset.drain (fun x -> Iset.remove st.stale_r.(x) t) st.upd_r.(t);
   Iset.drain
     (fun x ->
-      if st.last_w_thr.(x) = t then begin
-        set_stale_w st x false;
-        st.last_w_thr.(x) <- nil
-      end)
+      match Array.unsafe_get st.v x with
+      | None -> ()
+      | Some vs -> Iset.remove vs.vstale_r t)
+    st.upd_r.(t);
+  Iset.drain
+    (fun x ->
+      match Array.unsafe_get st.v x with
+      | None -> ()
+      | Some vs ->
+        if vs.vlast_w = t then begin
+          vs.vstale_w <- false;
+          vs.vlast_w <- nil
+        end)
     st.upd_w.(t);
   Iset.drain (fun _ -> ()) st.upd_l.(t);
   Iset.drain
@@ -443,6 +507,7 @@ let feed st (e : Event.t) =
   | Some _ as v -> v
   | None -> (
     st.processed <- st.processed + 1;
+    if st.processed >= st.next_sweep then sweep st;
     if Obs.on () then Cmetrics.count st.m e.op;
     let t = Ids.Tid.to_int e.thread in
     match
@@ -492,14 +557,29 @@ end
 let faithful_checker : Checker.t = (module Faithful)
 let slow_checker : Checker.t = (module Slow)
 
-(* Introspection *)
+(* Introspection.  Untouched (or released) variables read as ⊥/absent,
+   matching the seed's pre-allocated-⊥ answers for untouched ones. *)
 
 let snapshot clk = Vclock.Vtime.of_list (AC.to_list clk)
+let bottom_time st = snapshot (AC.bottom st.threads)
 let thread_clock st t = snapshot st.c.(t)
 let begin_clock st t = snapshot st.cb.(t)
-let write_clock st x = snapshot st.w.(x)
-let read_clock_joined st x = snapshot st.r.(x)
-let read_clock_check st x = snapshot st.hr.(x)
-let write_is_stale st x = is_stale_w st x
-let last_writer st x = if st.last_w_thr.(x) = nil then None else Some st.last_w_thr.(x)
+
+let write_clock st x =
+  match st.v.(x) with Some vs -> snapshot vs.vw | None -> bottom_time st
+
+let read_clock_joined st x =
+  match st.v.(x) with Some vs -> snapshot vs.vr | None -> bottom_time st
+
+let read_clock_check st x =
+  match st.v.(x) with Some vs -> snapshot vs.vhr | None -> bottom_time st
+
+let write_is_stale st x =
+  match st.v.(x) with Some vs -> vs.vstale_w | None -> false
+
+let last_writer st x =
+  match st.v.(x) with
+  | Some vs when vs.vlast_w <> nil -> Some vs.vlast_w
+  | Some _ | None -> None
+
 let in_transaction st t = active st t

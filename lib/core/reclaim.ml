@@ -1,0 +1,21 @@
+type policy =
+  | Off
+  | Oracle of Traces.Lifetime.t
+  | Inactivity of { horizon : int }
+
+let default_horizon = 65536
+
+(* Ambient policy, like [Obs.Scope]: [Checker.S.create] cannot take extra
+   arguments without widening the signature every seed copy implements,
+   so the runner installs the policy in domain-local storage around the
+   [create] call and the checkers read it there.  Per-domain, so parallel
+   pool workers each see the policy installed on their own domain. *)
+let key : policy ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref Off)
+
+let ambient () = !(Domain.DLS.get key)
+
+let with_policy p f =
+  let cell = Domain.DLS.get key in
+  let saved = !cell in
+  cell := p;
+  Fun.protect ~finally:(fun () -> cell := saved) f

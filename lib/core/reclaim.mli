@@ -1,0 +1,32 @@
+(** State-reclamation policy, installed ambiently around checker creation.
+
+    The checkers pre-allocate nothing per variable under reclamation:
+    per-variable clock state is pooled ({!Vclock.Aclock.Pool}), allocated
+    on first touch, and — depending on the policy — released at the
+    variable's last access ([Oracle], exact) or demoted to epoch form
+    after a period of inactivity ([Inactivity], heuristic, for streaming
+    input where no last-use index exists).
+
+    Like {!Obs.Scope}, the policy travels through domain-local storage
+    rather than through {!Checker.S.create} (whose signature is frozen by
+    the differential-reference seed copies): {!with_policy} installs it
+    for the duration of a callback, and a checker's [create] reads
+    {!ambient} once.  The policy is per-domain, matching the parallel
+    runner's one-checker-per-worker layout. *)
+
+type policy =
+  | Off  (** Dense pre-allocated state, the pre-reclamation behaviour. *)
+  | Oracle of Traces.Lifetime.t
+      (** Release a variable's whole state at its recorded last access. *)
+  | Inactivity of { horizon : int }
+      (** No oracle: every [horizon] events, collapse the clock state of
+          variables untouched for [horizon] events back to epoch form. *)
+
+val default_horizon : int
+
+val ambient : unit -> policy
+(** The policy installed on the current domain ([Off] by default). *)
+
+val with_policy : policy -> (unit -> 'a) -> 'a
+(** Run the callback with the given ambient policy, restoring the
+    previous one afterwards (also on exceptions). *)

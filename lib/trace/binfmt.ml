@@ -4,9 +4,24 @@ exception Corrupt of string
 
 let corrupt fmt = Format.kasprintf (fun s -> raise (Corrupt s)) fmt
 
+(* Version 1 files are a header and event records and nothing else; the
+   reader decodes until EOF.  Version 2 appends a last-use footer after
+   the records: one varint per variable then per lock (1 + the index of
+   its final access, 0 = never accessed), an 8-byte little-endian length
+   of that varint section, and a trailing magic.  The length + magic
+   tail lets {!read_last_use} locate the footer by seeking from the end
+   without touching the event section. *)
 let magic = "AERODRM1"
+let magic_v2 = "AERODRM2"
+let footer_magic = "AERODRMF"
 
-type header = { threads : int; locks : int; vars : int; events : int }
+type header = {
+  threads : int;
+  locks : int;
+  vars : int;
+  events : int;
+  last_use : bool;
+}
 
 (* LEB128, unsigned. *)
 let put_uint buf n =
@@ -93,26 +108,50 @@ let decode_event next =
     else if op = op_end then event Event.End
     else corrupt "unknown opcode %d" op
 
-let write_channel oc tr =
+let add_u64_le buf n =
+  for k = 0 to 7 do
+    Buffer.add_char buf (Char.chr ((n lsr (8 * k)) land 0xff))
+  done
+
+let write_channel ?(last_use = true) oc tr =
   let buf = Buffer.create 65536 in
-  Buffer.add_string buf magic;
+  Buffer.add_string buf (if last_use then magic_v2 else magic);
   put_uint buf (Trace.threads tr);
   put_uint buf (Trace.locks tr);
   put_uint buf (Trace.vars tr);
   put_uint buf (Trace.length tr);
+  let lt =
+    if last_use then
+      Some (Lifetime.create ~vars:(Trace.vars tr) ~locks:(Trace.locks tr))
+    else None
+  in
+  let i = ref 0 in
   Trace.iter
     (fun e ->
+      (match lt with Some lt -> Lifetime.note lt !i e | None -> ());
+      incr i;
       encode_event buf e;
       if Buffer.length buf > 60000 then begin
         Buffer.output_buffer oc buf;
         Buffer.clear buf
       end)
     tr;
+  (match lt with
+  | None -> ()
+  | Some lt ->
+    let fb = Buffer.create 4096 in
+    Array.iter (fun i -> put_uint fb (i + 1)) lt.Lifetime.vars;
+    Array.iter (fun i -> put_uint fb (i + 1)) lt.Lifetime.locks;
+    Buffer.add_buffer buf fb;
+    add_u64_le buf (Buffer.length fb);
+    Buffer.add_string buf footer_magic);
   Buffer.output_buffer oc buf
 
-let write_file path tr =
+let write_file ?last_use path tr =
   let oc = open_out_bin path in
-  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> write_channel oc tr)
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> write_channel ?last_use oc tr)
 
 let channel_next ic () = try input_byte ic with End_of_file -> -1
 
@@ -165,13 +204,17 @@ let note_ingest ic n =
 
 let read_header_ic path ic =
   let m = really_input_string ic (String.length magic) in
-  if m <> magic then corrupt "%s: bad magic (not a binary trace)" path;
+  let last_use =
+    if m = magic then false
+    else if m = magic_v2 then true
+    else corrupt "%s: bad magic (not a binary trace)" path
+  in
   let next = channel_next ic in
   let threads = get_uint next in
   let locks = get_uint next in
   let vars = get_uint next in
   let events = get_uint next in
-  { threads; locks; vars; events }
+  { threads; locks; vars; events; last_use }
 
 let with_file path f =
   let ic = open_in_bin path in
@@ -182,6 +225,92 @@ let read_header path =
       try read_header_ic path ic
       with End_of_file -> corrupt "%s: truncated header" path)
 
+(* --- footer decoding --- *)
+
+let read_u64_le next path =
+  let v = ref 0 in
+  for k = 0 to 7 do
+    match next () with
+    | -1 -> corrupt "%s: truncated footer" path
+    | b -> v := !v lor (b lsl (8 * k))
+  done;
+  !v
+
+(* The varint entries of a last-use footer, with the bytes consumed (the
+   8-byte length field is cross-checked against it). *)
+let decode_footer_entries next path header =
+  let counted = ref 0 in
+  let cnext () =
+    let b = next () in
+    if b >= 0 then incr counted;
+    b
+  in
+  let entry what i =
+    match get_uint cnext with
+    | exception Corrupt _ -> corrupt "%s: truncated footer" path
+    | v ->
+      if v > header.events then
+        corrupt "%s: last-use index out of range for %s %d" path what i;
+      v - 1
+  in
+  let vars = Array.make (max header.vars 0) Lifetime.never in
+  for x = 0 to header.vars - 1 do
+    vars.(x) <- entry "variable" x
+  done;
+  let locks = Array.make (max header.locks 0) Lifetime.never in
+  for l = 0 to header.locks - 1 do
+    locks.(l) <- entry "lock" l
+  done;
+  ({ Lifetime.vars; locks }, !counted)
+
+(* Validate (and skip) the footer that must follow the last event record
+   of a v2 file.  Raises [Corrupt] on any truncation, so a v2 file cut
+   anywhere — events, entries, length, trailing magic — is rejected even
+   by readers that do not use the index. *)
+let read_footer_tail next path header =
+  let lt, counted = decode_footer_entries next path header in
+  let flen = read_u64_le next path in
+  if flen <> counted then corrupt "%s: footer length mismatch" path;
+  String.iter
+    (fun c ->
+      match next () with
+      | -1 -> corrupt "%s: truncated footer" path
+      | b -> if Char.chr b <> c then corrupt "%s: bad footer magic" path)
+    footer_magic;
+  lt
+
+(* Decode exactly [header.events] records through [f].  v2 files then
+   carry the footer (validated here) and nothing else; v1 files end at
+   EOF, so decoding continues until [None] and the count is checked
+   after the fact. *)
+let decode_events path header next f =
+  let n = ref 0 in
+  if header.last_use then begin
+    while !n < header.events do
+      match decode_event next with
+      | Some e ->
+        incr n;
+        f e
+      | None ->
+        corrupt "%s: expected %d events, found %d" path header.events !n
+    done;
+    ignore (read_footer_tail next path header);
+    if next () <> -1 then corrupt "%s: trailing garbage after footer" path
+  end
+  else begin
+    let rec go () =
+      match decode_event next with
+      | Some e ->
+        incr n;
+        f e;
+        go ()
+      | None ->
+        if !n <> header.events then
+          corrupt "%s: expected %d events, found %d" path header.events !n
+    in
+    go ()
+  end
+
 let read_file path =
   with_file path (fun ic ->
       let header =
@@ -190,16 +319,7 @@ let read_file path =
       in
       let next = reader_next (reader_of_channel ic) in
       let b = Trace.Builder.create ~capacity:(header.events + 1) () in
-      let rec go n =
-        match decode_event next with
-        | Some e ->
-          Trace.Builder.add b e;
-          go (n + 1)
-        | None ->
-          if n <> header.events then
-            corrupt "%s: expected %d events, found %d" path header.events n
-      in
-      go 0;
+      decode_events path header next (Trace.Builder.add b);
       note_ingest ic header.events;
       Trace.Builder.build b)
 
@@ -210,17 +330,10 @@ let fold path ~init ~f =
         with End_of_file -> corrupt "%s: truncated header" path
       in
       let next = reader_next (reader_of_channel ic) in
-      let rec go n acc =
-        match decode_event next with
-        | Some e -> go (n + 1) (f acc e)
-        | None ->
-          if n <> header.events then
-            corrupt "%s: expected %d events, found %d" path header.events n;
-          acc
-      in
-      let acc = go 0 init in
+      let acc = ref init in
+      decode_events path header next (fun e -> acc := f !acc e);
       note_ingest ic header.events;
-      (header, acc))
+      (header, !acc))
 
 let read_seq path =
   let ic = open_in_bin path in
@@ -244,27 +357,84 @@ let read_seq path =
     end
   in
   let next = reader_next (reader_of_channel ic) in
+  let finish n =
+    if header.last_use then begin
+      if n <> header.events then
+        corrupt "%s: expected %d events, found %d" path header.events n;
+      ignore (read_footer_tail next path header);
+      if next () <> -1 then corrupt "%s: trailing garbage after footer" path
+    end
+    else if n <> header.events then
+      corrupt "%s: expected %d events, found %d" path header.events n
+  in
   let rec seq n () =
     if !closed then Seq.Nil
+    else if header.last_use && n = header.events then begin
+      match finish n with
+      | () ->
+        close ();
+        Seq.Nil
+      | exception e ->
+        close ();
+        raise e
+    end
     else
       match decode_event next with
       | Some e ->
         if Obs.on () then decoded := n + 1;
         Seq.Cons (e, seq (n + 1))
-      | None ->
-        close ();
-        if n <> header.events then
-          corrupt "%s: expected %d events, found %d" path header.events n;
-        Seq.Nil
+      | None -> (
+        match finish n with
+        | () ->
+          close ();
+          Seq.Nil
+        | exception e ->
+          close ();
+          raise e)
       | exception e ->
         close ();
         raise e
   in
   (header, (seq 0, close))
 
+let read_last_use path =
+  with_file path (fun ic ->
+      let header =
+        try read_header_ic path ic
+        with End_of_file -> corrupt "%s: truncated header" path
+      in
+      if not header.last_use then None
+      else begin
+        let hdr_end = pos_in ic in
+        let total = in_channel_length ic in
+        let tail = 8 + String.length footer_magic in
+        if total - hdr_end < tail then corrupt "%s: truncated footer" path;
+        seek_in ic (total - tail);
+        let flen = read_u64_le (channel_next ic) path in
+        let m = really_input_string ic (String.length footer_magic) in
+        if m <> footer_magic then corrupt "%s: bad footer magic" path;
+        let start = total - tail - flen in
+        if flen < 0 || start < hdr_end then
+          corrupt "%s: footer length out of range" path;
+        seek_in ic start;
+        let remaining = ref flen in
+        let next () =
+          if !remaining <= 0 then -1
+          else begin
+            decr remaining;
+            channel_next ic ()
+          end
+        in
+        let lt, counted = decode_footer_entries next path header in
+        if counted <> flen then corrupt "%s: footer length mismatch" path;
+        Some lt
+      end)
+
 let is_binary path =
   try
     with_file path (fun ic ->
         in_channel_length ic >= String.length magic
-        && really_input_string ic (String.length magic) = magic)
+        &&
+        let m = really_input_string ic (String.length magic) in
+        m = magic || m = magic_v2)
   with _ -> false

@@ -7,6 +7,14 @@
     LEB128-encoded ids.  Typical traces encode in 2–4 bytes per event,
     an order of magnitude smaller than the text format.
 
+    Version 2 files additionally carry a {b last-use footer} after the
+    event records: one varint per variable and per lock giving the index
+    of its final access (see {!Lifetime}).  The footer ends with an
+    8-byte little-endian length and a trailing magic, so
+    {!read_last_use} can locate it by seeking from the end of the file
+    without decoding the events.  Version 1 files (no footer) remain
+    fully readable.
+
     Reading is streaming: {!read_seq} exposes the events as a [Seq.t]
     backed by a buffered channel, so a checker can analyze a file without
     materializing the trace ({!Analysis.Runner.run_events} composes with
@@ -15,23 +23,44 @@
 
 exception Corrupt of string
 (** Raised by readers on malformed input (bad magic, truncated record,
-    unknown opcode, id overflow). *)
+    unknown opcode, id overflow, damaged footer). *)
 
 val magic : string
-(** The 8-byte file magic, ["AERODRM1"]. *)
+(** The 8-byte version-1 file magic, ["AERODRM1"] (no footer). *)
 
-type header = { threads : int; locks : int; vars : int; events : int }
+val magic_v2 : string
+(** The 8-byte version-2 file magic, ["AERODRM2"] (last-use footer). *)
 
-val write_file : string -> Trace.t -> unit
-(** Serialize a trace.  Symbol tables are not stored (ids only). *)
+val footer_magic : string
+(** The 8-byte trailer ending a version-2 file, ["AERODRMF"]. *)
 
-val write_channel : out_channel -> Trace.t -> unit
+type header = {
+  threads : int;
+  locks : int;
+  vars : int;
+  events : int;
+  last_use : bool;  (** does the file carry a last-use footer? *)
+}
+
+val write_file : ?last_use:bool -> string -> Trace.t -> unit
+(** Serialize a trace.  Symbol tables are not stored (ids only).
+    [last_use] (default [true]) appends the last-use footer and writes a
+    version-2 magic; [~last_use:false] reproduces the version-1 format
+    byte for byte. *)
+
+val write_channel : ?last_use:bool -> out_channel -> Trace.t -> unit
 
 val read_header : string -> header
 (** Header of a binary trace file.  @raise Corrupt *)
 
 val read_file : string -> Trace.t
 (** Materialize the whole trace.  @raise Corrupt *)
+
+val read_last_use : string -> Lifetime.t option
+(** The last-use index of a version-2 file, read by seeking to the
+    footer — O(vars + locks), independent of the event count.  [None]
+    for version-1 files.  @raise Corrupt if the footer is truncated or
+    inconsistent. *)
 
 val fold : string -> init:'a -> f:('a -> Event.t -> 'a) -> header * 'a
 (** [fold path ~init ~f] folds [f] over the file's events in order without
@@ -48,8 +77,8 @@ val read_seq : string -> header * (Event.t Seq.t * (unit -> unit))
     in the stream raises during traversal. *)
 
 val is_binary : string -> bool
-(** Does the file start with {!magic}?  (Used by the CLI to auto-detect
-    the format.) *)
+(** Does the file start with {!magic} or {!magic_v2}?  (Used by the CLI
+    to auto-detect the format.) *)
 
 (**/**)
 

@@ -135,14 +135,59 @@ let events_parsed =
 let lines_read =
   Obs.Registry.shared_counter Obs.Registry.global "ingest.text.lines_read"
 
-let fold_file_exn path ~init ~f =
+(* Growable last-access array for pass 1: ids are interned on the fly,
+   so the domain sizes are unknown until the pass ends. *)
+let ensure a i =
+  let n = Array.length !a in
+  if i >= n then begin
+    let grown = Array.make (max (2 * n) (i + 1)) Lifetime.never in
+    Array.blit !a 0 grown 0 n;
+    a := grown
+  end
+
+let shrink a count =
+  Array.init count (fun i -> if i < Array.length !a then !a.(i) else Lifetime.never)
+
+let fold_file_exn ?last_use path ~init ~f =
   let threads = Interner.create ()
   and locks = Interner.create ()
   and vars = Interner.create () in
-  fold_raw_lines path
-    (fun () lineno raw ->
-      ignore (parse_event_line ~threads ~locks ~vars lineno raw))
-    ();
+  (match last_use with
+  | None ->
+    fold_raw_lines path
+      (fun () lineno raw ->
+        ignore (parse_event_line ~threads ~locks ~vars lineno raw))
+      ()
+  | Some notify ->
+    (* The interning pass already decodes every event, so the last-use
+       index comes for free: record the running event index per id. *)
+    let last_v = ref (Array.make 64 Lifetime.never)
+    and last_l = ref (Array.make 16 Lifetime.never) in
+    let n =
+      fold_raw_lines path
+        (fun n lineno raw ->
+          match parse_event_line ~threads ~locks ~vars lineno raw with
+          | None -> n
+          | Some e ->
+            (match e.Event.op with
+            | Event.Read x | Event.Write x ->
+              let x = Ids.Vid.to_int x in
+              ensure last_v x;
+              !last_v.(x) <- n
+            | Event.Acquire l | Event.Release l ->
+              let l = Ids.Lid.to_int l in
+              ensure last_l l;
+              !last_l.(l) <- n
+            | Event.Fork _ | Event.Join _ | Event.Begin | Event.End -> ());
+            n + 1)
+        0
+    in
+    ignore n;
+    notify
+      {
+        Lifetime.vars = shrink last_v (Interner.count vars);
+        locks = shrink last_l (Interner.count locks);
+      });
   let acc =
     init ~threads:(Interner.count threads) ~locks:(Interner.count locks)
       ~vars:(Interner.count vars)
@@ -166,8 +211,8 @@ let fold_file_exn path ~init ~f =
   end;
   acc
 
-let fold_file path ~init ~f =
-  match fold_file_exn path ~init ~f with
+let fold_file ?last_use path ~init ~f =
+  match fold_file_exn ?last_use path ~init ~f with
   | acc -> Ok acc
   | exception Parse_error e -> Error e
 

@@ -38,6 +38,7 @@ val parse_string_exn : string -> Trace.t
 val parse_file_exn : string -> Trace.t
 
 val fold_file :
+  ?last_use:(Lifetime.t -> unit) ->
   string ->
   init:(threads:int -> locks:int -> vars:int -> 'a) ->
   f:('a -> Event.t -> 'a) ->
@@ -49,9 +50,15 @@ val fold_file :
     pass 1 interns every name, then [init] is called with the domain
     sizes (e.g. to create a checker), then pass 2 folds [f] over the
     events.  The file must not change between the passes.  I/O exceptions
-    propagate. *)
+    propagate.
+
+    When [last_use] is given, the interning pass additionally builds the
+    {!Lifetime} index (final access of every variable and lock) and hands
+    it to the callback after pass 1, before [init] runs — at no extra
+    I/O cost, since pass 1 decodes every event anyway. *)
 
 val fold_file_exn :
+  ?last_use:(Lifetime.t -> unit) ->
   string ->
   init:(threads:int -> locks:int -> vars:int -> 'a) ->
   f:('a -> Event.t -> 'a) ->

@@ -248,6 +248,123 @@ let of_list cs =
   let vec = Array.of_list cs in
   { ep = Epoch.none; vec; dim = Array.length vec }
 
+module Pool = struct
+  type clock = t
+
+  (* Inflated vectors stripped by [collapse] are kept for reuse too, but
+     bounded: a long inactivity sweep over millions of variables must not
+     turn the pool itself into the leak it exists to prevent. *)
+  let spare_cap = 4096
+
+  type t = {
+    dim : int;
+    mutable free : clock list;
+    mutable free_n : int;
+    mutable spare : int array list;
+    mutable spare_n : int;
+    mutable hits : int;
+    mutable misses : int;
+    mutable released : int;
+    mutable collapsed : int;
+  }
+
+  let create dim =
+    if dim < 0 then invalid_arg "Aclock.Pool.create: negative dimension";
+    {
+      dim;
+      free = [];
+      free_n = 0;
+      spare = [];
+      spare_n = 0;
+      hits = 0;
+      misses = 0;
+      released = 0;
+      collapsed = 0;
+    }
+
+  let dim p = p.dim
+
+  let stash p v =
+    if Array.length v = p.dim && p.spare_n < spare_cap then begin
+      p.spare <- v :: p.spare;
+      p.spare_n <- p.spare_n + 1
+    end
+
+  let alloc p =
+    match p.free with
+    | c :: rest ->
+      p.free <- rest;
+      p.free_n <- p.free_n - 1;
+      p.hits <- p.hits + 1;
+      c
+    | [] ->
+      p.misses <- p.misses + 1;
+      let vec =
+        match p.spare with
+        | v :: rest ->
+          p.spare <- rest;
+          p.spare_n <- p.spare_n - 1;
+          v
+        | [] -> [||]
+      in
+      (* the spare vector is stale under epoch form; [inflate] zero-fills
+         it before first use, exactly as after [reset] *)
+      { ep = Epoch.bottom; vec; dim = p.dim }
+
+  let release p (c : clock) =
+    if c.dim <> p.dim then invalid_arg "Aclock.Pool.release: dimension mismatch";
+    c.ep <- Epoch.bottom;
+    (* vec stays in the record: a recycled clock re-inflates without
+       allocating *)
+    p.free <- c :: p.free;
+    p.free_n <- p.free_n + 1;
+    p.released <- p.released + 1
+
+  let collapse p (c : clock) =
+    if c.dim <> p.dim then invalid_arg "Aclock.Pool.collapse: dimension mismatch";
+    if Epoch.is_none c.ep then begin
+      (* inflated: the value is epoch-shaped iff ≤ 1 nonzero component *)
+      let v = c.vec in
+      let owner = ref (-1) and shaped = ref true in
+      (try
+         for t = 0 to c.dim - 1 do
+           if Array.unsafe_get v t > 0 then
+             if !owner < 0 then owner := t
+             else begin
+               shaped := false;
+               raise Exit
+             end
+         done
+       with Exit -> ());
+      !shaped
+      && begin
+           c.ep <-
+             (if !owner < 0 then Epoch.bottom
+              else Epoch.make ~tid:!owner ~clock:v.(!owner));
+           stash p v;
+           c.vec <- [||];
+           p.collapsed <- p.collapsed + 1;
+           if Obs.on () then Obs.Shared_counter.inc demotions;
+           true
+         end
+    end
+    else if Array.length c.vec > 0 then begin
+      (* epoch form dragging a stale vector from an earlier inflation:
+         hand the array back (no value change, so no demotion counted) *)
+      stash p c.vec;
+      c.vec <- [||];
+      p.collapsed <- p.collapsed + 1;
+      true
+    end
+    else false
+
+  let hits p = p.hits
+  let misses p = p.misses
+  let released p = p.released
+  let collapsed p = p.collapsed
+  let in_pool p = p.free_n
+end
+
 let pp ppf a =
   Format.fprintf ppf "@[<h>⟨%a⟩@]"
     (Format.pp_print_list

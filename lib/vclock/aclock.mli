@@ -81,3 +81,53 @@ val to_list : t -> int list
 val of_list : int list -> t
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
+
+(** Recycling arena for per-variable clocks.
+
+    A checker that releases a dead variable's clocks here instead of
+    dropping them turns its steady-state allocation rate into pool
+    traffic: [alloc] pops a previously released clock (a {e hit}) and
+    only falls back to a fresh record on an empty pool (a {e miss}).
+    Released clocks keep their inflated vector inside the record, so a
+    recycled clock re-inflates without allocating.  [collapse] is the
+    demotion path for streaming mode: it returns a clock whose value is
+    epoch-shaped to the packed representation and reclaims its vector
+    (bounded stash, reused by later inflations).
+
+    Pools are single-domain, like the checkers that own them. *)
+module Pool : sig
+  type clock := t
+
+  type t
+
+  val create : int -> t
+  (** [create dim] recycles clocks of dimension [dim] only. *)
+
+  val dim : t -> int
+
+  val alloc : t -> clock
+  (** A [⊥] clock of the pool's dimension, recycled when possible. *)
+
+  val release : t -> clock -> unit
+  (** Reset the clock to [⊥] and make it available to [alloc].  The
+      caller must not use the clock afterwards.
+      @raise Invalid_argument on dimension mismatch. *)
+
+  val collapse : t -> clock -> bool
+  (** Shrink the clock's representation without changing its value:
+      an inflated clock whose value is epoch-shaped returns to epoch
+      form (counted as a demotion), and an epoch-form clock dragging a
+      stale vector from an earlier inflation drops it.  The freed array
+      feeds later inflations.  Returns whether anything shrank. *)
+
+  val hits : t -> int
+
+  val misses : t -> int
+
+  val released : t -> int
+
+  val collapsed : t -> int
+
+  val in_pool : t -> int
+  (** Clocks currently available to [alloc]. *)
+end

@@ -37,3 +37,39 @@ let generate ?seed ~traces ~events_total () =
   List.map
     (fun (name, config) -> (name, Generator.generate config))
     (configs ?seed ~traces ~events_total ())
+
+let phased ?(seed = 0xC0DEL) ~phases ~events_total () =
+  if phases < 1 then invalid_arg "Corpus.phased: phases must be >= 1";
+  let open Traces in
+  let b = Trace.Builder.create ~capacity:(events_total + 64) () in
+  let per_phase = max 256 (events_total / phases) in
+  let offset = ref 0 in
+  for i = 0 to phases - 1 do
+    let config =
+      {
+        Generator.default with
+        seed = Int64.add seed (Int64.of_int ((i + 17) * 1_000_003));
+        threads = 4;
+        locks = 4;
+        events = per_phase;
+        vars = max 256 (per_phase / 3);
+        shape = Generator.Independent;
+        plan = Generator.Atomic;
+      }
+    in
+    let tr = Generator.generate config in
+    let off = !offset in
+    Trace.iter
+      (fun (e : Event.t) ->
+        let op =
+          match e.Event.op with
+          | Event.Read x -> Event.Read (Ids.Vid.of_int (Ids.Vid.to_int x + off))
+          | Event.Write x ->
+            Event.Write (Ids.Vid.of_int (Ids.Vid.to_int x + off))
+          | op -> op
+        in
+        Trace.Builder.add b { e with Event.op })
+      tr;
+    offset := off + Trace.vars tr
+  done;
+  Trace.Builder.build b

@@ -22,3 +22,15 @@ val generate :
   ?seed:int64 -> traces:int -> events_total:int -> unit ->
   (string * Traces.Trace.t) list
 (** The generated corpus, in configuration order. *)
+
+val phased :
+  ?seed:int64 -> phases:int -> events_total:int -> unit -> Traces.Trace.t
+(** [phased ~phases ~events_total ()] is one long serializable trace made
+    of [phases] back-to-back independent phases: each phase is an
+    [Independent]/[Atomic] generator run over a {e fresh} block of
+    variables (ids are offset per phase; threads and locks are shared).
+    Every variable's lifetime is confined to its phase, so a last-use
+    oracle can release a phase's entire state before the next begins —
+    the workload for the peak-memory benchmark axis.  Serial composition
+    of serializable phases over disjoint variables stays serializable,
+    and the trace is deterministic in [seed]. *)

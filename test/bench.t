@@ -1,11 +1,16 @@
 The bench harness emits machine-readable results with --json; the file
-must satisfy the aerodrome-bench/3 schema (validate_json exits non-zero
-and prints a diagnostic otherwise).
+must satisfy the aerodrome-bench/4 schema (validate_json exits non-zero
+and prints a diagnostic otherwise).  The reclaim section — peak live
+heap with and without last-use state reclamation — rides along by
+default, and the validator enforces matching verdicts and a
+non-increasing peak, so this run doubles as the memory smoke test:
 
   $ ../bench/main.exe --table 1 --scale 0.05 --timeout 1 --no-micro \
   >   --no-ablation --no-scaling --json bench.json > /dev/null 2>&1
   $ ../bench/validate_json.exe bench.json
   ok
+  $ grep -c '"reclaim":{"events"' bench.json
+  1
 
 The multicore section ships a parallel summary (corpus fan-out wall
 clock + speedup, pipelined ingestion) and the sequential/parallel
@@ -16,30 +21,47 @@ verdict cross-check; a divergence is a schema error by design:
   $ ../bench/validate_json.exe jobs.json
   ok
 
-The telemetry section (instrumented-vs-uninstrumented throughput and
-the enabled run's metric snapshot) can be disabled; the schema treats
-it as nullable:
+The telemetry and reclaim sections can be disabled; the schema treats
+them as nullable:
 
   $ ../bench/main.exe --table 1 --scale 0.05 --timeout 1 --no-micro \
   >   --no-ablation --no-scaling --no-parallel --no-telemetry \
-  >   --json none.json > /dev/null 2>&1
+  >   --no-reclaim --json none.json > /dev/null 2>&1
   $ ../bench/validate_json.exe none.json
   ok
+  $ grep -c '"reclaim":null' none.json
+  1
 
-A missing file or a schema violation is rejected:
+A missing file, an outdated schema or a schema violation is rejected:
 
   $ echo '{"schema":"aerodrome-bench/2","scale":1,"timeout":1,"tables":[],"micro":[]}' > old.json
   $ ../bench/validate_json.exe old.json
   old.json: unknown schema "aerodrome-bench/2"
   [1]
-  $ echo '{"schema":"aerodrome-bench/3","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null}' > bad.json
+  $ echo '{"schema":"aerodrome-bench/3","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null}' > prev.json
+  $ ../bench/validate_json.exe prev.json
+  prev.json: unknown schema "aerodrome-bench/3"
+  [1]
+  $ echo '{"schema":"aerodrome-bench/4","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":null}' > bad.json
   $ ../bench/validate_json.exe bad.json
   bad.json: no tables and no micro results
   [1]
 
 A telemetry section that lost its counter snapshot is rejected too:
 
-  $ echo '{"schema":"aerodrome-bench/3","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":{"events":10,"disabled_events_per_sec":1,"enabled_events_per_sec":1,"overhead_pct":0,"metrics":{}}}' > notel.json
+  $ echo '{"schema":"aerodrome-bench/4","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":{"events":10,"disabled_events_per_sec":1,"enabled_events_per_sec":1,"overhead_pct":0,"metrics":{}},"reclaim":null}' > notel.json
   $ ../bench/validate_json.exe notel.json
   notel.json: missing field "events.total"
+  [1]
+
+So is a reclaim section whose verdicts diverged, or whose peak grew
+with reclamation on:
+
+  $ echo '{"schema":"aerodrome-bench/4","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":{"events":10,"threads":2,"vars":4,"off":{"seconds":0.1,"events_per_sec":100,"peak_live_words":1000},"on":{"seconds":0.1,"events_per_sec":100,"peak_live_words":500,"pool_hits":1,"pool_misses":1,"pool_hit_rate":0.5,"reclaimed_states":2},"peak_reduction_pct":50,"verdicts_match":false}}' > diverge.json
+  $ ../bench/validate_json.exe diverge.json
+  diverge.json: reclaim: verdicts diverged between reclaim modes
+  [1]
+  $ echo '{"schema":"aerodrome-bench/4","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":{"events":10,"threads":2,"vars":4,"off":{"seconds":0.1,"events_per_sec":100,"peak_live_words":1000},"on":{"seconds":0.1,"events_per_sec":100,"peak_live_words":2000,"pool_hits":1,"pool_misses":1,"pool_hit_rate":0.5,"reclaimed_states":2},"peak_reduction_pct":-100,"verdicts_match":true}}' > grew.json
+  $ ../bench/validate_json.exe grew.json
+  grew.json: reclaim: peak_live_words grew with reclamation on (2000 > 1000)
   [1]

@@ -80,13 +80,13 @@ clocks, stopping at the violation (Figure 5 of the paper):
 Binary conversion round-trips and is auto-detected by every command:
 
   $ rapid convert rho2.std rho2.bin
-  rho2.bin: 8 events, 64 -> 32 bytes
+  rho2.bin: 8 events, 64 -> 50 bytes
   $ rapid check -q rho2.bin
   [1]
   $ rapid metainfo rho2.bin | head -1
   events:       8
   $ rapid convert --text rho2.bin back.std
-  back.std: 8 events, 32 -> 68 bytes
+  back.std: 8 events, 50 -> 68 bytes
   $ rapid check -q back.std
   [1]
 

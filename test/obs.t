@@ -40,9 +40,10 @@ A violating run records the verdict and a 1-based violation index:
   "verdict":"violation","violation_index":165
 
 --stats prints the same snapshots for humans.  The counters are exact
-event counts, so the output is deterministic:
+event counts, so the output is deterministic — except the heap
+high-water gauge, a Gc reading normalized away here:
 
-  $ rapid check -q --stats trace.std 2>&1
+  $ rapid check -q --stats trace.std 2>&1 | sed -E 's/^(  heap.peak_words +)[0-9]+$/\1H/'
   trace.std metrics:
     violation.index     -1
     sets.lock_updates   total=0 sum=0
@@ -59,6 +60,11 @@ event counts, so the output is deterministic:
     events.write        64
     events.read         143
     events.total        313
+    pool.hits           0
+    pool.misses         48
+    reclaim.states      16
+    reclaim.collapsed   0
+    heap.peak_words     H
     ingest.file_bytes   3030
   process metrics:
     ingest.text.events_parsed     313
@@ -73,7 +79,7 @@ The pipelined path adds ring-buffer counters to the file entry, and
 checking spans:
 
   $ rapid convert trace.std trace.bin
-  trace.bin: 313 events, 3030 -> 882 bytes
+  trace.bin: 313 events, 3030 -> 934 bytes
   $ rapid check -q --pipelined --stats-json pipe.json --trace-out timeline.json trace.bin
   $ ../bench/validate_stats.exe stats --pipelined pipe.json
   ok
@@ -93,7 +99,7 @@ total event count in the header, so they also get an ETA:
   [check] 8192 events  R inst  R avg
   [check] 16.4K events  R inst  R avg
   $ rapid convert big.std big.bin
-  big.bin: 20018 events, 193458 -> 55540 bytes
+  big.bin: 20018 events, 193458 -> 55622 bytes
   $ rapid check -q --progress 0.005 big.bin 2>&1 \
   >   | sed -E 's/[0-9.]+[KMB]? ev\/s/R/g; s/eta [0-9]+s/eta N/'
   [check] 8192 events  R inst  R avg  eta N

@@ -10,6 +10,7 @@ verdicts are the sequential ones.
   wrote 311 events to bad.std
 
   $ rapid check --jobs 2 big.std small.std bad.std 2>&1 | sed 's/in [0-9.]*s/in TIME/'
+  rapid: warning: --jobs 2 exceeds 1 available core
   big.std: aerodrome: serializable in TIME (413 events)
   small.std: aerodrome: serializable in TIME (132 events)
   bad.std: aerodrome: violation @165 in TIME (311 events)
@@ -17,8 +18,10 @@ verdicts are the sequential ones.
 A violation anywhere in the batch sets exit code 1:
 
   $ rapid check -q --jobs 2 big.std small.std bad.std
+  rapid: warning: --jobs 2 exceeds 1 available core
   [1]
   $ rapid check -q --jobs 2 big.std small.std
+  rapid: warning: --jobs 2 exceeds 1 available core
 
 The ordering and verdicts are identical without the pool:
 
@@ -35,6 +38,7 @@ remaining files are still checked, and the exit code is 2:
   > t1|wat
   > DONE
   $ rapid check --jobs 2 big.std broken.std missing.std bad.std 2>&1 | sed 's/in [0-9.]*s/in TIME/'
+  rapid: warning: --jobs 2 exceeds 1 available core
   big.std: aerodrome: serializable in TIME (413 events)
   broken.std: line 2: unknown operation "wat"
   missing.std: No such file or directory
@@ -48,7 +52,7 @@ on the consumer) reports exactly what the sequential stream reports:
   $ rapid check --pipelined bad.std 2>&1 | sed 's/in [0-9.]*s/in TIME/'
   aerodrome: violation @165 in TIME (311 events)
   $ rapid convert bad.std bad.bin
-  bad.bin: 311 events, 3004 -> 874 bytes
+  bad.bin: 311 events, 3004 -> 930 bytes
   $ rapid check --pipelined bad.bin 2>&1 | sed 's/in [0-9.]*s/in TIME/'
   aerodrome: violation @165 in TIME (311 events)
   $ rapid check -q --pipelined bad.bin
@@ -57,5 +61,6 @@ on the consumer) reports exactly what the sequential stream reports:
 Quiet mode still prints the errors (they explain the exit code):
 
   $ rapid check -q --jobs 2 big.std missing.std
+  rapid: warning: --jobs 2 exceeds 1 available core
   missing.std: No such file or directory
   [2]

@@ -100,6 +100,54 @@ let test_corruption () =
   (* empty file *)
   tmp (fun path -> expect_corrupt (fun () -> Binfmt.read_file path))
 
+let test_last_use_roundtrip () =
+  let tr =
+    Workloads.Generator.generate
+      { Workloads.Generator.default with events = 3_000; vars = 1_200 }
+  in
+  tmp (fun path ->
+      Binfmt.write_file path tr;
+      let h = Binfmt.read_header path in
+      check Alcotest.bool "v2 header carries the flag" true h.Binfmt.last_use;
+      match Binfmt.read_last_use path with
+      | None -> Alcotest.fail "expected a last-use footer"
+      | Some lt ->
+        let expect = Lifetime.of_trace tr in
+        check Alcotest.bool "vars match of_trace" true
+          (lt.Lifetime.vars = expect.Lifetime.vars);
+        check Alcotest.bool "locks match of_trace" true
+          (lt.Lifetime.locks = expect.Lifetime.locks))
+
+let test_no_footer_compat () =
+  (* version-1 files (no footer) parse unchanged and report no oracle *)
+  List.iter
+    (fun (name, tr, _) ->
+      tmp (fun path ->
+          Binfmt.write_file ~last_use:false path tr;
+          let h = Binfmt.read_header path in
+          check Alcotest.bool (name ^ ": v1 flag off") false h.Binfmt.last_use;
+          check Alcotest.bool (name ^ ": no oracle") true
+            (Binfmt.read_last_use path = None);
+          let tr' = Binfmt.read_file path in
+          check Alcotest.bool (name ^ ": events intact") true
+            (Trace.to_list tr = Trace.to_list tr')))
+    Workloads.Scenarios.all
+
+let test_truncated_footer () =
+  tmp (fun path ->
+      Binfmt.write_file path Workloads.Scenarios.rho4;
+      let size = (Unix.stat path).Unix.st_size in
+      (* cut into the footer trailer: both full reads and the footer
+         seek must refuse *)
+      List.iter
+        (fun cut ->
+          let fd = Unix.openfile path [ Unix.O_WRONLY ] 0 in
+          Unix.ftruncate fd (size - cut);
+          Unix.close fd;
+          expect_corrupt (fun () -> Binfmt.read_file path);
+          expect_corrupt (fun () -> ignore (Binfmt.read_last_use path)))
+        [ 1; 9; 15 ])
+
 let test_runner_streaming () =
   let tr =
     Workloads.Generator.generate
@@ -175,6 +223,9 @@ let suite =
       Alcotest.test_case "compactness" `Quick test_compactness;
       Alcotest.test_case "text detection" `Quick test_not_binary;
       Alcotest.test_case "corruption" `Quick test_corruption;
+      Alcotest.test_case "last-use roundtrip" `Quick test_last_use_roundtrip;
+      Alcotest.test_case "no-footer compat" `Quick test_no_footer_compat;
+      Alcotest.test_case "truncated footer" `Quick test_truncated_footer;
       Alcotest.test_case "streaming runner" `Quick test_runner_streaming;
       Alcotest.test_case "large roundtrip" `Quick test_large_roundtrip;
     ]

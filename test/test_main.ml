@@ -7,6 +7,8 @@ let () =
       Test_wellformed.suite;
       Test_transform.suite;
       Test_binfmt.suite;
+      Test_iset.suite;
+      Test_reclaim.suite;
       Test_digraph.suite;
       Test_incremental.suite;
       Test_paper_traces.suite;
