@@ -10,15 +10,16 @@
    per-checker numbers stay honest while the untimed work overlaps.
 
    With [--json FILE] the harness also emits a machine-readable summary
-   (schema "aerodrome-bench/4": per-checker events/sec, Gc statistics,
+   (schema "aerodrome-bench/5": per-checker events/sec, Gc statistics,
    parallel wall-clock + speedup, telemetry overhead + metric snapshot,
-   peak-memory with and without state reclamation) so committed
+   peak-memory with and without state reclamation, trace-reduction
+   throughput with the prefilter off/exact/online) so committed
    BENCH_*.json files can track the performance trajectory.
 
    Usage: dune exec bench/main.exe -- [--table 1|2] [--no-tables] [--scale F]
           [--jobs N] [--timeout S] [--only NAME] [--no-micro] [--micro-fast]
           [--no-ablation] [--no-scaling] [--no-parallel] [--no-telemetry]
-          [--no-reclaim] [--json FILE] [--markdown] *)
+          [--no-reclaim] [--no-prefilter] [--json FILE] [--markdown] *)
 
 open Traces
 
@@ -35,6 +36,7 @@ type options = {
   mutable parallel : bool;
   mutable telemetry : bool;
   mutable reclaim : bool;
+  mutable prefilter : bool;
   mutable markdown : bool;
   mutable json : string option;
   mutable micro_fast : bool;
@@ -53,6 +55,7 @@ let opts =
     parallel = true;
     telemetry = true;
     reclaim = true;
+    prefilter = true;
     markdown = false;
     json = None;
     micro_fast = false;
@@ -95,6 +98,9 @@ let parse_args () =
       go rest
     | "--no-reclaim" :: rest ->
       opts.reclaim <- false;
+      go rest
+    | "--no-prefilter" :: rest ->
+      opts.prefilter <- false;
       go rest
     | "--no-tables" :: rest ->
       opts.tables <- [];
@@ -811,7 +817,118 @@ let run_reclaim () =
             rc_match;
           })
 
-(* --- JSON emitter (schema "aerodrome-bench/4") --- *)
+(* --- trace reduction: checking throughput with the prefilter off,
+   exact (v3 footer statistics), and online (single-pass) ---
+
+   The workload is the mixed corpus trace: ~55% shared traffic plus ~45%
+   traffic the filter can elide (thread-local variables, a read-only
+   pool, redundant re-accesses, private locks).  Throughput is measured
+   against the *input* event count on every side — the claim is that the
+   same logical trace checks faster, not that fewer events per second
+   are processed.  Verdicts must agree across all three sides (event
+   indices are renumbered by the reduction, so only the verdict itself
+   is compared). *)
+
+type prefilter_side = {
+  pf_seconds : float;
+  pf_eps : float;  (* input events per second *)
+  pf_events_fed : int;  (* events that reached the checker *)
+}
+
+type prefilter_summary = {
+  pf_events_in : int;
+  pf_threads : int;
+  pf_vars : int;
+  pf_events_out : int;
+  pf_tl : int;
+  pf_ro : int;
+  pf_red : int;
+  pf_ll : int;
+  pf_off : prefilter_side;
+  pf_exact : prefilter_side;
+  pf_online : prefilter_side;
+  pf_speedup_exact : float;
+  pf_speedup_online : float;
+  pf_match : bool;
+}
+
+let json_prefilter : prefilter_summary option ref = ref None
+
+let run_prefilter () =
+  let events_total = int_of_float (1_500_000. *. opts.scale) in
+  let tr = Workloads.Corpus.mixed ~events_total () in
+  let events_in = Trace.length tr in
+  let path = Filename.temp_file "aerodrome-bench" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Traces.Binfmt.write_file path tr;
+      (* untimed dry run for the per-rule breakdown *)
+      let _, c = Traces.Prefilter.run_trace `Exact tr in
+      let side prefilter =
+        let r =
+          Analysis.Runner.run_stream ~timeout:opts.timeout ~prefilter aerodrome
+            path
+        in
+        ( r,
+          {
+            pf_seconds = r.Analysis.Runner.seconds;
+            pf_eps =
+              float_of_int events_in /. Float.max r.Analysis.Runner.seconds 1e-9;
+            pf_events_fed = r.Analysis.Runner.events_fed;
+          } )
+      in
+      let r_off, off = side Analysis.Runner.Off in
+      let r_exact, exact = side Analysis.Runner.Exact in
+      let r_online, online = side Analysis.Runner.Online in
+      let pf_match =
+        verdict_string r_off = verdict_string r_exact
+        && verdict_string r_off = verdict_string r_online
+      in
+      if not pf_match then
+        Format.fprintf fmt "!! prefilter: verdict differs from --no-prefilter@.";
+      let speedup (s : prefilter_side) = off.pf_seconds /. Float.max s.pf_seconds 1e-9 in
+      Format.fprintf fmt
+        "@.Trace reduction: prefilter (mixed trace, %d events, %d vars; %d \
+         elidable = %.1f%%)@."
+        events_in (Trace.vars tr)
+        (Traces.Prefilter.elided c)
+        (float_of_int (Traces.Prefilter.elided c)
+        /. float_of_int (max events_in 1)
+        *. 100.);
+      Format.fprintf fmt
+        "  elided: %d thread-local, %d read-only, %d redundant, %d lock-local@."
+        c.Traces.Prefilter.thread_local c.Traces.Prefilter.read_only
+        c.Traces.Prefilter.redundant c.Traces.Prefilter.lock_local;
+      let line label (s : prefilter_side) sp =
+        Format.fprintf fmt
+          "  %-12s %8.3fs  %10.1f Kev/s   %8d events to checker%s@." label
+          s.pf_seconds (s.pf_eps /. 1e3) s.pf_events_fed sp
+      in
+      line "off" off "";
+      line "exact" exact (Printf.sprintf "   (%.2fx)" (speedup exact));
+      line "online" online (Printf.sprintf "   (%.2fx)" (speedup online));
+      if not pf_match then Format.fprintf fmt "  [MISMATCH]@.";
+      json_prefilter :=
+        Some
+          {
+            pf_events_in = events_in;
+            pf_threads = Trace.threads tr;
+            pf_vars = Trace.vars tr;
+            pf_events_out = c.Traces.Prefilter.kept;
+            pf_tl = c.Traces.Prefilter.thread_local;
+            pf_ro = c.Traces.Prefilter.read_only;
+            pf_red = c.Traces.Prefilter.redundant;
+            pf_ll = c.Traces.Prefilter.lock_local;
+            pf_off = off;
+            pf_exact = exact;
+            pf_online = online;
+            pf_speedup_exact = speedup exact;
+            pf_speedup_online = speedup online;
+            pf_match;
+          })
+
+(* --- JSON emitter (schema "aerodrome-bench/5") --- *)
 
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in
@@ -852,7 +969,7 @@ let emit_json path =
     sep_list emit_sample r.samples;
     add "]}"
   in
-  add "{\"schema\":\"aerodrome-bench/4\",";
+  add "{\"schema\":\"aerodrome-bench/5\",";
   add "\"scale\":%g,\"timeout\":%g,\"jobs\":%d," opts.scale opts.timeout
     opts.jobs;
   add "\"tables\":[";
@@ -903,6 +1020,27 @@ let emit_json path =
       rc.rc_reclaimed_states;
     add "\"peak_reduction_pct\":%.2f,\"verdicts_match\":%b}"
       rc.rc_peak_reduction_pct rc.rc_match);
+  add ",\"prefilter\":";
+  (match !json_prefilter with
+  | None -> add "null"
+  | Some p ->
+    add "{\"events_in\":%d,\"events_out\":%d,\"threads\":%d,\"vars\":%d,"
+      p.pf_events_in p.pf_events_out p.pf_threads p.pf_vars;
+    add
+      "\"elided\":{\"thread_local\":%d,\"read_only\":%d,\"redundant\":%d,\"lock_local\":%d},"
+      p.pf_tl p.pf_ro p.pf_red p.pf_ll;
+    let side name (s : prefilter_side) =
+      add
+        "\"%s\":{\"seconds\":%.6f,\"events_per_sec\":%.1f,\"events_fed\":%d}"
+        name s.pf_seconds s.pf_eps s.pf_events_fed
+    in
+    side "off" p.pf_off;
+    add ",";
+    side "exact" p.pf_exact;
+    add ",";
+    side "online" p.pf_online;
+    add ",\"speedup_exact\":%.3f,\"speedup_online\":%.3f,\"verdicts_match\":%b}"
+      p.pf_speedup_exact p.pf_speedup_online p.pf_match);
   add "}";
   Buffer.add_char buf '\n';
   let oc = open_out path in
@@ -923,5 +1061,6 @@ let () =
   if opts.parallel && opts.only = None then run_parallel ();
   if opts.telemetry && opts.only = None then run_telemetry ();
   if opts.reclaim && opts.only = None then run_reclaim ();
+  if opts.prefilter && opts.only = None then run_prefilter ();
   Option.iter emit_json opts.json;
   Format.pp_print_flush fmt ()

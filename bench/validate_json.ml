@@ -1,5 +1,5 @@
 (* Schema validator for the bench harness's --json output
-   (schema "aerodrome-bench/4").  Exits 0 and prints "ok" when the file
+   (schema "aerodrome-bench/5").  Exits 0 and prints "ok" when the file
    parses and carries the expected structure; prints a diagnostic and
    exits 1 otherwise.  Used by the cram test so the emitter cannot rot.
 
@@ -168,9 +168,54 @@ let check_reclaim = function
       bad "reclaim: peak_live_words grew with reclamation on (%.0f > %.0f)"
         on_peak off
 
+(* The prefilter section is the trace-reduction axis: the reduction may
+   never grow the trace, the per-rule breakdown must account for every
+   elided event, and the checker verdict must be identical with the
+   filter off, exact, and online. *)
+let check_prefilter = function
+  | Null -> ()
+  | p ->
+    let events_in = as_num "prefilter.events_in" (field p "events_in") in
+    let events_out = as_num "prefilter.events_out" (field p "events_out") in
+    if events_in <= 0. then bad "prefilter: events_in <= 0";
+    if events_out < 0. then bad "prefilter: negative events_out";
+    if events_out > events_in then
+      bad "prefilter: events_out grew (%.0f > %.0f)" events_out events_in;
+    ignore (as_num "prefilter.threads" (field p "threads"));
+    ignore (as_num "prefilter.vars" (field p "vars"));
+    let elided = field p "elided" in
+    let rule key =
+      let v = as_num (Printf.sprintf "prefilter.elided.%s" key) (field elided key) in
+      if v < 0. then bad "prefilter.elided.%s: negative" key;
+      v
+    in
+    let total =
+      rule "thread_local" +. rule "read_only" +. rule "redundant"
+      +. rule "lock_local"
+    in
+    if events_out +. total <> events_in then
+      bad "prefilter: events_out + elided <> events_in (%.0f + %.0f <> %.0f)"
+        events_out total events_in;
+    let side where s =
+      if as_num (where ^ ".seconds") (field s "seconds") < 0. then
+        bad "%s: negative seconds" where;
+      if as_num (where ^ ".events_per_sec") (field s "events_per_sec") < 0.
+      then bad "%s: negative events_per_sec" where;
+      as_num (where ^ ".events_fed") (field s "events_fed")
+    in
+    let off_fed = side "prefilter.off" (field p "off") in
+    let exact_fed = side "prefilter.exact" (field p "exact") in
+    ignore (side "prefilter.online" (field p "online"));
+    if exact_fed > off_fed then
+      bad "prefilter: exact side fed more events than the unfiltered run";
+    ignore (as_num "prefilter.speedup_exact" (field p "speedup_exact"));
+    ignore (as_num "prefilter.speedup_online" (field p "speedup_online"));
+    if not (as_bool "prefilter.verdicts_match" (field p "verdicts_match")) then
+      bad "prefilter: verdicts diverged between filter modes"
+
 let check_root j =
   let schema = as_str "schema" (field j "schema") in
-  if schema <> "aerodrome-bench/4" then bad "unknown schema %S" schema;
+  if schema <> "aerodrome-bench/5" then bad "unknown schema %S" schema;
   ignore (as_num "scale" (field j "scale"));
   ignore (as_num "timeout" (field j "timeout"));
   if as_num "jobs" (field j "jobs") < 1. then bad "jobs < 1";
@@ -194,6 +239,7 @@ let check_root j =
   check_parallel (field j "parallel");
   check_telemetry (field j "telemetry");
   check_reclaim (field j "reclaim");
+  check_prefilter (field j "prefilter");
   if tables = [] && micro = [] && field j "parallel" = Null then
     bad "no tables and no micro results"
 

@@ -127,6 +127,32 @@ let check_cmd =
              ring buffer to the checker.  Verdicts are identical to the \
              sequential stream.")
   in
+  let prefilter =
+    Arg.(
+      value
+      & vflag Analysis.Runner.Off
+          [
+            ( Analysis.Runner.Auto,
+              info [ "prefilter" ]
+                ~doc:
+                  "Drop events that provably cannot change the verdict \
+                   before they reach the checker: accesses to thread-local \
+                   and read-only variables, redundant in-transaction \
+                   re-accesses, and operations on single-threaded locks.  \
+                   Uses exact whole-trace statistics when they come for \
+                   free (text traces, v3 binary footers) and single-pass \
+                   adaptive buffering otherwise.  The verdict is identical; \
+                   violation indices refer to the reduced stream." );
+            ( Analysis.Runner.Online,
+              info [ "prefilter-online" ]
+                ~doc:
+                  "Force the single-pass adaptive mode even when exact \
+                   statistics are available." );
+            ( Analysis.Runner.Off,
+              info [ "no-prefilter" ]
+                ~doc:"Feed the checker every event (the default)." );
+          ])
+  in
   let stats =
     Arg.(
       value & flag
@@ -169,8 +195,8 @@ let check_cmd =
       non_empty & pos_all string []
       & info [] ~docv:"TRACE" ~doc:"Trace files in the rapid .std or binary format.")
   in
-  let run checker timeout quiet jobs reclaim pipelined stats stats_json
-      trace_out progress paths =
+  let run checker timeout quiet jobs reclaim pipelined prefilter stats
+      stats_json trace_out progress paths =
     let (module C : Aerodrome.Checker.S) = checker in
     let cores = Domain.recommended_domain_count () in
     if jobs > cores then
@@ -193,7 +219,8 @@ let check_cmd =
     in
     let pool_busy = ref None in
     let reports =
-      Analysis.Runner.run_many ?timeout ?heartbeat ~pipelined ~reclaim ~jobs
+      Analysis.Runner.run_many ?timeout ?heartbeat ~pipelined ~reclaim
+        ~prefilter ~jobs
         ~on_pool:(fun b -> pool_busy := Some b)
         checker paths
     in
@@ -331,8 +358,8 @@ let check_cmd =
           code: 0 all serializable, 1 violation, 2 unreadable/malformed \
           file, 3 timeout)")
     Term.(
-      const run $ algo $ timeout $ quiet $ jobs $ reclaim $ pipelined $ stats
-      $ stats_json $ trace_out $ progress $ traces)
+      const run $ algo $ timeout $ quiet $ jobs $ reclaim $ pipelined
+      $ prefilter $ stats $ stats_json $ trace_out $ progress $ traces)
 
 (* generate *)
 
@@ -463,6 +490,80 @@ let convert_cmd =
     (Cmd.info "convert"
        ~doc:"Convert a trace between the textual and binary formats")
     Term.(const run $ to_text $ trace_arg $ out)
+
+(* filter: write the prefiltered trace *)
+
+let filter_cmd =
+  let out =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"OUT" ~doc:"Output file.")
+  in
+  let to_text =
+    Arg.(
+      value & flag
+      & info [ "text" ] ~doc:"Write the textual format (default: binary).")
+  in
+  let mode =
+    Arg.(
+      value
+      & opt (enum [ ("exact", `Exact); ("online", `Online) ]) `Exact
+      & info [ "m"; "mode" ] ~docv:"MODE"
+          ~doc:
+            "$(b,exact) (default) classifies variables and locks from \
+             whole-trace statistics; $(b,online) replays the single-pass \
+             adaptive filter, which keeps more events (it can only drop \
+             what it could drop without seeing the future).")
+  in
+  let window =
+    let parse s =
+      match String.index_opt s ':' with
+      | Some i -> (
+        match
+          ( int_of_string_opt (String.sub s 0 i),
+            int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1))
+          )
+        with
+        | Some start, Some len when start >= 0 && len >= 0 -> Ok (start, len)
+        | _ -> Error (`Msg (Printf.sprintf "invalid window %S" s)))
+      | None -> Error (`Msg (Printf.sprintf "invalid window %S (want START:LEN)" s))
+    in
+    let print ppf (start, len) = Format.fprintf ppf "%d:%d" start len in
+    Arg.(
+      value
+      & opt (some (conv (parse, print))) None
+      & info [ "window" ] ~docv:"START:LEN"
+          ~doc:
+            "First restrict the trace to the $(docv) event window \
+             (transaction markers repaired as in the checker), then \
+             filter the window.")
+  in
+  let run to_text mode window path out =
+    let tr = read_trace path in
+    let tr =
+      match window with
+      | None -> tr
+      | Some (start, len) -> Traces.Transform.limit_window start len tr
+    in
+    let reduced, c = Traces.Prefilter.run_trace mode tr in
+    if to_text then Traces.Parser.to_file out reduced
+    else Traces.Binfmt.write_file out reduced;
+    Format.printf
+      "%s: %d -> %d events (-%d: %d thread-local, %d read-only, %d \
+       redundant, %d lock-local)@."
+      out c.Traces.Prefilter.events_in c.Traces.Prefilter.kept
+      (Traces.Prefilter.elided c)
+      c.Traces.Prefilter.thread_local c.Traces.Prefilter.read_only
+      c.Traces.Prefilter.redundant c.Traces.Prefilter.lock_local
+  in
+  Cmd.v
+    (Cmd.info "filter"
+       ~doc:
+         "Write a reduced trace with the same conflict-serializability \
+          verdict: thread-local, read-only, redundant and lock-local \
+          events elided")
+    Term.(const run $ to_text $ mode $ window $ trace_arg $ out)
 
 (* explain: everything we know about a trace's first violation *)
 
@@ -632,4 +733,4 @@ let table_cmd =
 let () =
   let doc = "dynamic atomicity checking (AeroDrome / Velodrome)" in
   let info = Cmd.info "rapid" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ metainfo_cmd; check_cmd; generate_cmd; convert_cmd; explain_cmd; clocks_cmd; profiles_cmd; table_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ metainfo_cmd; check_cmd; generate_cmd; convert_cmd; filter_cmd; explain_cmd; clocks_cmd; profiles_cmd; table_cmd ]))

@@ -1,5 +1,16 @@
 open Traces
 
+type reducibility = {
+  thread_local_vars : int;
+  read_only_vars : int;
+  thread_local_locks : int;
+  elided_thread_local : int;
+  elided_read_only : int;
+  elided_redundant : int;
+  elided_lock_local : int;
+  reduced_events : int;
+}
+
 type t = {
   events : int;
   reads : int;
@@ -17,7 +28,36 @@ type t = {
   transactions : int;
   unary_events : int;
   max_nesting : int;
+  reducibility : reducibility;
 }
+
+(* How much of the trace the exact prefilter would elide: the accessor
+   statistics classify the variables and locks, a dry filtering run counts
+   the per-rule drops (rule (c) — redundant in-transaction accesses — only
+   shows up in the dry run). *)
+let reducibility_of tr =
+  let vs = Varstats.of_trace tr in
+  let thread_local_vars = ref 0
+  and read_only_vars = ref 0
+  and thread_local_locks = ref 0 in
+  for x = 0 to Varstats.vars vs - 1 do
+    if Varstats.var_single_threaded vs x then incr thread_local_vars
+    else if Varstats.var_read_only vs x then incr read_only_vars
+  done;
+  for l = 0 to Varstats.locks vs - 1 do
+    if Varstats.lock_single_threaded vs l then incr thread_local_locks
+  done;
+  let _, c = Prefilter.run_trace `Exact tr in
+  {
+    thread_local_vars = !thread_local_vars;
+    read_only_vars = !read_only_vars;
+    thread_local_locks = !thread_local_locks;
+    elided_thread_local = c.Prefilter.thread_local;
+    elided_read_only = c.Prefilter.read_only;
+    elided_redundant = c.Prefilter.redundant;
+    elided_lock_local = c.Prefilter.lock_local;
+    reduced_events = c.Prefilter.kept;
+  }
 
 let analyze tr =
   let reads = ref 0
@@ -84,6 +124,7 @@ let analyze tr =
     transactions = !begins;
     unary_events = !unary_events;
     max_nesting = !max_nesting;
+    reducibility = reducibility_of tr;
   }
 
 let to_json m : Obs.Json.t =
@@ -106,9 +147,28 @@ let to_json m : Obs.Json.t =
       ("transactions", num m.transactions);
       ("unary_events", num m.unary_events);
       ("max_nesting", num m.max_nesting);
+      ( "reducibility",
+        let r = m.reducibility in
+        Obs.Json.Obj
+          [
+            ("thread_local_vars", num r.thread_local_vars);
+            ("read_only_vars", num r.read_only_vars);
+            ("thread_local_locks", num r.thread_local_locks);
+            ("elided_thread_local", num r.elided_thread_local);
+            ("elided_read_only", num r.elided_read_only);
+            ("elided_redundant", num r.elided_redundant);
+            ("elided_lock_local", num r.elided_lock_local);
+            ("reduced_events", num r.reduced_events);
+          ] );
     ]
 
 let pp ppf m =
+  let r = m.reducibility in
+  let elided = m.events - r.reduced_events in
+  let pct n =
+    if m.events = 0 then 0.0
+    else 100.0 *. float_of_int n /. float_of_int m.events
+  in
   Format.fprintf ppf
     "@[<v>events:       %d@,\
      reads/writes: %d / %d@,\
@@ -118,7 +178,11 @@ let pp ppf m =
      unary events: %d@,\
      threads:      %d@,\
      locks:        %d@,\
-     variables:    %d@]"
+     variables:    %d (%d thread-local, %d read-only; %d thread-local locks)@,\
+     reducible:    %d/%d events (%.1f%%): %d thread-local, %d read-only, \
+     %d redundant, %d lock-local@]"
     m.events m.reads m.writes m.acquires m.releases m.forks m.joins
     m.transactions m.ends m.nested_begins m.max_nesting m.unary_events
-    m.threads m.locks m.variables
+    m.threads m.locks m.variables r.thread_local_vars r.read_only_vars
+    r.thread_local_locks elided m.events (pct elided) r.elided_thread_local
+    r.elided_read_only r.elided_redundant r.elided_lock_local

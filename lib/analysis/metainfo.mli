@@ -2,7 +2,20 @@
 
     Produces the per-trace columns of the paper's tables: event count,
     distinct threads / locks / variables actually appearing in the trace,
-    and the number of (outermost, non-unary) transactions. *)
+    and the number of (outermost, non-unary) transactions — plus a
+    {!reducibility} block measuring how much of the trace the exact
+    {!Traces.Prefilter} would elide. *)
+
+type reducibility = {
+  thread_local_vars : int;  (** variables touched by a single thread *)
+  read_only_vars : int;  (** never-written variables (multi-thread) *)
+  thread_local_locks : int;  (** locks only ever held by one thread *)
+  elided_thread_local : int;  (** rule (a) drops in an exact dry run *)
+  elided_read_only : int;  (** rule (b) drops *)
+  elided_redundant : int;  (** rule (c) drops *)
+  elided_lock_local : int;  (** rule (d) drops *)
+  reduced_events : int;  (** events surviving the filter *)
+}
 
 type t = {
   events : int;
@@ -21,6 +34,7 @@ type t = {
   transactions : int;  (** outermost atomic blocks — the paper's column 6 *)
   unary_events : int;  (** events outside any atomic block *)
   max_nesting : int;
+  reducibility : reducibility;
 }
 
 val analyze : Traces.Trace.t -> t

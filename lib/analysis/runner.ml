@@ -10,6 +10,8 @@ type result = {
   metrics : Obs.Snapshot.t;
 }
 
+type prefilter = Off | Exact | Online | Auto
+
 let check_interval = 4096
 
 (* --- telemetry plumbing ---
@@ -84,6 +86,31 @@ let policy ~reclaim oracle =
       Aerodrome.Reclaim.Inactivity
         { horizon = Aerodrome.Reclaim.default_horizon }
 
+(* --- trace prefiltering ---
+
+   [prefilter] inserts a {!Traces.Prefilter} between ingestion and the
+   checker, dropping events that provably cannot change the verdict.
+   [Exact] wants whole-trace accessor statistics ({!Traces.Varstats}) —
+   from a materialized trace, a v3 binary footer, the text parser's
+   interning pass, or a dedicated pre-scan — and [Auto] picks the best
+   mode the input affords: exact when the statistics come for free,
+   online (single-pass adaptive buffering) otherwise.
+
+   Composition with [reclaim] is sound as-is: the oracle releases a
+   variable when the checker's event index equals the recorded last-use
+   index, and dropped events only ever make filtered indices {e smaller}
+   than the original ones, so a mid-lifetime access can never collide
+   with the original last-use index (equality forces the access to be
+   the final one).  Releases may fire late or not at all on a filtered
+   stream, never early; [run] sidesteps even that by computing the
+   oracle on the already-filtered trace. *)
+
+let prefilter_mode ~prefilter ~stats =
+  match (prefilter, stats) with
+  | Off, _ -> None
+  | (Exact | Auto), Some vs -> Some (Prefilter.Exact vs)
+  | Online, _ | (Exact | Auto), None -> Some Prefilter.Online
+
 (* High-water mark of the major heap, sampled at the same 4096-event
    checkpoints as the timeout — the per-run memory axis the bench
    harness compares across reclamation settings.  Registers its own
@@ -102,10 +129,18 @@ let heap_sampler () =
   end
   else fun () -> ()
 
-let run ?timeout ?heartbeat ?(reclaim = true) (module C : Aerodrome.Checker.S)
-    tr =
+let run ?timeout ?heartbeat ?(reclaim = true) ?(prefilter = Off)
+    (module C : Aerodrome.Checker.S) tr =
   collected (fun () ->
-      (* the oracle pass runs before the timer starts, like trace I/O *)
+      (* filtering and the oracle pass run before the timer starts, like
+         trace I/O; the oracle is computed on the filtered trace so its
+         indices match what the checker sees *)
+      let tr =
+        match prefilter with
+        | Off -> tr
+        | Exact | Auto -> fst (Prefilter.run_trace `Exact tr)
+        | Online -> fst (Prefilter.run_trace `Online tr)
+      in
       let oracle = if reclaim then Some (Lifetime.of_trace tr) else None in
       let st =
         Aerodrome.Reclaim.with_policy (policy ~reclaim oracle) (fun () ->
@@ -150,8 +185,14 @@ let run ?timeout ?heartbeat ?(reclaim = true) (module C : Aerodrome.Checker.S)
       })
 
 let run_seq ?timeout ?heartbeat ?total ?(reclaim = true) ?last_use
-    (module C : Aerodrome.Checker.S) ~threads ~locks ~vars events =
+    ?(prefilter = Off) ?stats (module C : Aerodrome.Checker.S) ~threads ~locks
+    ~vars events =
   collected (fun () ->
+      let events =
+        match prefilter_mode ~prefilter ~stats with
+        | None -> events
+        | Some mode -> Prefilter.filter_seq (Prefilter.create mode) events
+      in
       let st =
         Aerodrome.Reclaim.with_policy (policy ~reclaim last_use) (fun () ->
             C.create ~threads ~locks ~vars)
@@ -192,15 +233,37 @@ let run_seq ?timeout ?heartbeat ?total ?(reclaim = true) ?last_use
         metrics = runner_entries viol_at;
       })
 
-let run_binary_file ?timeout ?heartbeat ?(reclaim = true) checker path =
+(* Accessor statistics for a binary file: the v3 footer is one seek away;
+   an explicit [Exact] request on a v1/v2 file (no statistics footer) is
+   honored with a dedicated pre-scan — a full decode pass, so [Auto]
+   prefers the online mode there instead. *)
+let binary_stats ~prefilter path =
+  match prefilter with
+  | Off | Online -> None
+  | Exact | Auto -> (
+    match Traces.Binfmt.read_stats path with
+    | Some _ as s -> s
+    | None when prefilter = Exact ->
+      let h = Traces.Binfmt.read_header path in
+      let vs =
+        Varstats.create ~vars:h.Traces.Binfmt.vars ~locks:h.Traces.Binfmt.locks
+      in
+      ignore (Traces.Binfmt.fold path ~init:() ~f:(fun () e -> Varstats.note vs e));
+      Some vs
+    | None -> None)
+
+let run_binary_file ?timeout ?heartbeat ?(reclaim = true) ?(prefilter = Off)
+    checker path =
   (* v2 files carry the oracle in their footer, one seek away; a corrupt
      footer raises here, before any event is fed *)
   let last_use = if reclaim then Traces.Binfmt.read_last_use path else None in
+  let stats = binary_stats ~prefilter path in
   let header, (events, close) = Traces.Binfmt.read_seq path in
   Fun.protect ~finally:close (fun () ->
       let r =
         run_seq ?timeout ?heartbeat ~total:header.Traces.Binfmt.events ~reclaim
-          ?last_use checker ~threads:header.Traces.Binfmt.threads
+          ?last_use ~prefilter ?stats checker
+          ~threads:header.Traces.Binfmt.threads
           ~locks:header.Traces.Binfmt.locks ~vars:header.Traces.Binfmt.vars
           events
       in
@@ -209,15 +272,16 @@ let run_binary_file ?timeout ?heartbeat ?(reclaim = true) checker path =
         metrics = r.metrics @ runner_entries ?file_bytes:(file_size path) (ref (-1.0));
       })
 
-let run_stream_seq ?timeout ?heartbeat ?(reclaim = true)
+let run_stream_seq ?timeout ?heartbeat ?(reclaim = true) ?(prefilter = Off)
     (module C : Aerodrome.Checker.S) path =
   if Traces.Binfmt.is_binary path then
-    run_binary_file ?timeout ?heartbeat ~reclaim (module C) path
+    run_binary_file ?timeout ?heartbeat ~reclaim ~prefilter (module C) path
   else
     collected (fun () ->
         (* text: Parser.fold_file announces the domains (pass 1) before any
            event reaches the checker (pass 2), so no Trace.t is built.
-           The interning pass hands over the last-use oracle for free. *)
+           The interning pass hands over the last-use oracle — and, when
+           filtering, the accessor statistics — for free. *)
         let st = ref None in
         let started = ref 0.0 in
         let deadline = ref None in
@@ -225,13 +289,34 @@ let run_stream_seq ?timeout ?heartbeat ?(reclaim = true)
         let viol_at = ref (-1.0) in
         let fed = ref 0 in
         let oracle = ref None in
+        let stats = ref None in
+        let pf = ref None in
         let sample_heap = ref (fun () -> ()) in
+        let feed_one s e =
+          (match C.feed s e with
+          | Some _ -> note_violation viol_at ~started:!started
+          | None -> ());
+          incr fed;
+          if !fed land (check_interval - 1) = 0 then begin
+            tick heartbeat !fed;
+            !sample_heap ();
+            match !deadline with
+            | Some d when Unix.gettimeofday () > d ->
+              timed_out := true;
+              raise Exit
+            | _ -> ()
+          end
+        in
         (try
            ignore
              (Traces.Parser.fold_file_exn
                 ?last_use:
                   (if reclaim then Some (fun lt -> oracle := Some lt)
                    else None)
+                ?stats:
+                  (match prefilter with
+                  | Off | Online -> None
+                  | Exact | Auto -> Some (fun vs -> stats := Some vs))
                 path
                 ~init:(fun ~threads ~locks ~vars ->
                   let s =
@@ -239,27 +324,28 @@ let run_stream_seq ?timeout ?heartbeat ?(reclaim = true)
                       (fun () -> C.create ~threads ~locks ~vars)
                   in
                   st := Some s;
+                  (match prefilter_mode ~prefilter ~stats:!stats with
+                  | None -> ()
+                  | Some mode -> pf := Some (Prefilter.create mode));
                   sample_heap := heap_sampler ();
                   arm_heartbeat heartbeat ~total:None;
                   started := Unix.gettimeofday ();
                   deadline := Option.map (fun b -> !started +. b) timeout;
                   s)
                 ~f:(fun s e ->
-                  (match C.feed s e with
-                  | Some _ -> note_violation viol_at ~started:!started
-                  | None -> ());
-                  incr fed;
-                  (if !fed land (check_interval - 1) = 0 then begin
-                     tick heartbeat !fed;
-                     !sample_heap ();
-                     match !deadline with
-                     | Some d when Unix.gettimeofday () > d ->
-                       timed_out := true;
-                       raise Exit
-                     | _ -> ()
-                   end);
+                  (match !pf with
+                  | None -> feed_one s e
+                  | Some p -> Prefilter.feed p e (feed_one s));
                   s))
          with Exit -> ());
+        (* end of stream: drop/flush whatever the filter still buffers and
+           publish its counters ([finish] emits nothing in practice — the
+           online mode's pending events are exactly the droppable ones) *)
+        (match !pf with
+        | None -> ()
+        | Some p ->
+          let emit e = match !st with Some s -> feed_one s e | None -> () in
+          (try Prefilter.finish p emit with Exit -> ()));
         !sample_heap ();
         match !st with
         | None -> assert false (* [init] runs before the first event *)
@@ -288,6 +374,7 @@ type stream_msg =
       vars : int;
       events : int option;  (* total, when the format knows it upfront *)
       last_use : Traces.Lifetime.t option;  (* oracle, when available *)
+      stats : Varstats.t option;  (* prefilter oracle, when available *)
     }
   | Batch of Traces.Event.t array
 
@@ -296,7 +383,7 @@ let ring_capacity = 8
 
 exception Stop_producing
 
-let produce_file path ~reclaim ~push =
+let produce_file path ~reclaim ~prefilter ~push =
   let push_or_stop m = if not (push m) then raise Stop_producing in
   let scratch = Array.make batch_size (Traces.Event.begin_ 0) in
   let fill = ref 0 in
@@ -328,6 +415,7 @@ let produce_file path ~reclaim ~push =
        let last_use =
          if reclaim then Traces.Binfmt.read_last_use path else None
        in
+       let stats = binary_stats ~prefilter path in
        push_or_stop
          (Domains
             {
@@ -336,19 +424,33 @@ let produce_file path ~reclaim ~push =
               vars = h.Traces.Binfmt.vars;
               events = Some h.Traces.Binfmt.events;
               last_use;
+              stats;
             });
        ignore (Traces.Binfmt.fold path ~init:() ~f:feed)
      end
      else begin
-       (* the last-use callback fires after pass 1, before [init] *)
+       (* the last-use and stats callbacks fire after pass 1, before [init] *)
        let oracle = ref None in
+       let vstats = ref None in
        Traces.Parser.fold_file_exn
          ?last_use:
            (if reclaim then Some (fun lt -> oracle := Some lt) else None)
+         ?stats:
+           (match prefilter with
+           | Off | Online -> None
+           | Exact | Auto -> Some (fun vs -> vstats := Some vs))
          path
          ~init:(fun ~threads ~locks ~vars ->
            push_or_stop
-             (Domains { threads; locks; vars; events = None; last_use = !oracle }))
+             (Domains
+                {
+                  threads;
+                  locks;
+                  vars;
+                  events = None;
+                  last_use = !oracle;
+                  stats = !vstats;
+                }))
          ~f:feed
      end);
     flush ()
@@ -364,13 +466,13 @@ let ring_entries (s : Parallel.Ring.stats) =
     ]
 
 let run_stream_pipelined ?timeout ?heartbeat ?(reclaim = true)
-    (module C : Aerodrome.Checker.S) path =
+    ?(prefilter = Off) (module C : Aerodrome.Checker.S) path =
   collected (fun () ->
       let ring_stats = ref None in
       let r =
         Parallel.Pipeline.run ~capacity:ring_capacity
           ~on_stats:(fun s -> ring_stats := Some s)
-          ~produce:(fun ~push -> produce_file path ~reclaim ~push)
+          ~produce:(fun ~push -> produce_file path ~reclaim ~prefilter ~push)
           ~consume:(fun ~pop ->
             match pop () with
             | None ->
@@ -387,10 +489,17 @@ let run_stream_pipelined ?timeout ?heartbeat ?(reclaim = true)
               }
             | Some (Batch _) ->
               assert false (* producer announces domains first *)
-            | Some (Domains { threads; locks; vars; events; last_use }) ->
+            | Some (Domains { threads; locks; vars; events; last_use; stats })
+              ->
               let st =
                 Aerodrome.Reclaim.with_policy (policy ~reclaim last_use)
                   (fun () -> C.create ~threads ~locks ~vars)
+              in
+              (* the filter runs on the consumer so its counters publish
+                 into this run's ambient scope; the producer only supplies
+                 the statistics *)
+              let pf =
+                Option.map Prefilter.create (prefilter_mode ~prefilter ~stats)
               in
               let sample_heap = heap_sampler () in
               arm_heartbeat heartbeat ~total:events;
@@ -399,6 +508,21 @@ let run_stream_pipelined ?timeout ?heartbeat ?(reclaim = true)
               let timed_out = ref false in
               let viol_at = ref (-1.0) in
               let fed = ref 0 in
+              let feed_one e =
+                (match C.feed st e with
+                | Some _ -> note_violation viol_at ~started
+                | None -> ());
+                incr fed;
+                if !fed land (check_interval - 1) = 0 then begin
+                  tick heartbeat !fed;
+                  sample_heap ();
+                  match deadline with
+                  | Some d when Unix.gettimeofday () > d ->
+                    timed_out := true;
+                    raise Exit
+                  | _ -> ()
+                end
+              in
               (try
                  let rec loop () =
                    match pop () with
@@ -409,24 +533,17 @@ let run_stream_pipelined ?timeout ?heartbeat ?(reclaim = true)
                        (fun () ->
                          Array.iter
                            (fun e ->
-                             (match C.feed st e with
-                             | Some _ -> note_violation viol_at ~started
-                             | None -> ());
-                             incr fed;
-                             if !fed land (check_interval - 1) = 0 then begin
-                               tick heartbeat !fed;
-                               sample_heap ();
-                               match deadline with
-                               | Some d when Unix.gettimeofday () > d ->
-                                 timed_out := true;
-                                 raise Exit
-                               | _ -> ()
-                             end)
+                             match pf with
+                             | None -> feed_one e
+                             | Some p -> Prefilter.feed p e feed_one)
                            events);
                      loop ()
                  in
                  loop ()
                with Exit -> ());
+              (match pf with
+              | None -> ()
+              | Some p -> ( try Prefilter.finish p feed_one with Exit -> ()));
               sample_heap ();
               {
                 checker = C.name;
@@ -443,10 +560,10 @@ let run_stream_pipelined ?timeout ?heartbeat ?(reclaim = true)
       | _ -> r)
 
 let run_stream ?timeout ?heartbeat ?(pipelined = false) ?(reclaim = true)
-    checker path =
+    ?(prefilter = Off) checker path =
   if pipelined then
-    run_stream_pipelined ?timeout ?heartbeat ~reclaim checker path
-  else run_stream_seq ?timeout ?heartbeat ~reclaim checker path
+    run_stream_pipelined ?timeout ?heartbeat ~reclaim ~prefilter checker path
+  else run_stream_seq ?timeout ?heartbeat ~reclaim ~prefilter checker path
 
 (* --- multi-file fan-out --- *)
 
@@ -455,9 +572,11 @@ type file_report = {
   report : (result, string) Stdlib.result;
 }
 
-let run_file ?timeout ?heartbeat ?(pipelined = false) ?(reclaim = true) checker
-    path =
-  match run_stream ?timeout ?heartbeat ~pipelined ~reclaim checker path with
+let run_file ?timeout ?heartbeat ?(pipelined = false) ?(reclaim = true)
+    ?(prefilter = Off) checker path =
+  match
+    run_stream ?timeout ?heartbeat ~pipelined ~reclaim ~prefilter checker path
+  with
   | r -> Ok r
   | exception Traces.Binfmt.Corrupt msg -> Error msg
   | exception Traces.Parser.Parse_error e ->
@@ -465,7 +584,7 @@ let run_file ?timeout ?heartbeat ?(pipelined = false) ?(reclaim = true) checker
   | exception Sys_error msg -> Error msg
 
 let run_many ?timeout ?heartbeat ?(pipelined = false) ?(reclaim = true)
-    ?(jobs = 1) ?on_pool checker paths =
+    ?(prefilter = Off) ?(jobs = 1) ?on_pool checker paths =
   (* A shared heartbeat would interleave lines from concurrent workers;
      drop it when the files actually fan out. *)
   let heartbeat =
@@ -475,7 +594,9 @@ let run_many ?timeout ?heartbeat ?(pipelined = false) ?(reclaim = true)
     (fun path ->
       {
         file = path;
-        report = run_file ?timeout ?heartbeat ~pipelined ~reclaim checker path;
+        report =
+          run_file ?timeout ?heartbeat ~pipelined ~reclaim ~prefilter checker
+            path;
       })
     paths
 

@@ -52,40 +52,67 @@ type result = {
   seconds : float;  (** wall-clock analysis time (trace generation and
                         I/O excluded) *)
   events_fed : int;
+      (** events the checker actually processed — with a prefilter this is
+          the {e reduced} count, as are violation indices *)
   metrics : Obs.Snapshot.t;
       (** per-run metric snapshot; empty when telemetry is disabled *)
 }
 
+type prefilter =
+  | Off  (** feed the checker every event (the default) *)
+  | Exact
+      (** {!Traces.Prefilter.Exact}: whole-trace accessor statistics — from
+          the materialized trace, a v3 binary footer, the text parser's
+          interning pass, or (binary v1/v2) a dedicated pre-scan; a bare
+          event sequence with no [stats] falls back to the online mode *)
+  | Online  (** {!Traces.Prefilter.Online}: single-pass adaptive buffering *)
+  | Auto
+      (** exact when the statistics come for free, online otherwise
+          (binary v1/v2 files, bare sequences) *)
+(** Sound trace reduction between ingestion and the checker
+    ({!Traces.Prefilter}): drops thread-local, read-only, redundant and
+    lock-local events.  Verdicts are preserved; violation indices refer
+    to the reduced stream.  Composes with [reclaim]: the last-use oracle
+    can only fire late on a filtered stream, never early (and {!run}
+    recomputes it on the filtered trace).  With telemetry on, the
+    per-rule elision counters land in [metrics] as [prefilter.*]. *)
+
 val run :
   ?timeout:float -> ?heartbeat:Obs.Heartbeat.t -> ?reclaim:bool ->
-  Aerodrome.Checker.t -> Traces.Trace.t -> result
+  ?prefilter:prefilter -> Aerodrome.Checker.t -> Traces.Trace.t -> result
 (** [timeout] in seconds; default: none.  [heartbeat] is restarted, given
     the trace length as total, and ticked as the run progresses.  With
     [reclaim] (the default) the last-use oracle is computed from the
-    trace before the timer starts. *)
+    trace before the timer starts; filtering likewise runs pre-timer,
+    and the oracle is computed on the already-filtered trace. *)
 
 val run_seq :
   ?timeout:float -> ?heartbeat:Obs.Heartbeat.t -> ?total:int ->
-  ?reclaim:bool -> ?last_use:Traces.Lifetime.t -> Aerodrome.Checker.t ->
+  ?reclaim:bool -> ?last_use:Traces.Lifetime.t -> ?prefilter:prefilter ->
+  ?stats:Traces.Varstats.t -> Aerodrome.Checker.t ->
   threads:int -> locks:int -> vars:int -> Traces.Event.t Seq.t -> result
 (** Streaming variant: analyze an event sequence without materializing it
     (e.g. {!Traces.Binfmt.read_seq} of a file larger than memory).  The
     sequence is consumed up to the violation or the timeout.  [total]
     (when the caller knows the event count upfront) only feeds the
     heartbeat's ETA.  [last_use] is the reclamation oracle if the caller
-    has one; without it a reclaiming run uses the inactivity
-    heuristic. *)
+    has one; without it a reclaiming run uses the inactivity heuristic.
+    [stats] likewise supplies the exact-mode prefilter oracle; an [Exact]
+    or [Auto] prefilter without it runs in online mode. *)
 
 val run_binary_file :
   ?timeout:float -> ?heartbeat:Obs.Heartbeat.t -> ?reclaim:bool ->
-  Aerodrome.Checker.t -> string -> result
+  ?prefilter:prefilter -> Aerodrome.Checker.t -> string -> result
 (** [run_seq] over a binary trace file, domains and total event count
-    from its header; a version-2 footer supplies the reclamation oracle.
+    from its header; a version-2/3 footer supplies the reclamation
+    oracle, a version-3 footer also the prefilter statistics ([Exact] on
+    an older file falls back to a pre-scan, [Auto] to the online mode).
     @raise Traces.Binfmt.Corrupt *)
 
 val run_stream :
   ?timeout:float -> ?heartbeat:Obs.Heartbeat.t -> ?pipelined:bool ->
-  ?reclaim:bool -> Aerodrome.Checker.t -> string -> result
+  ?reclaim:bool -> ?prefilter:prefilter -> Aerodrome.Checker.t -> string ->
+  result
 (** Analyze a trace file without materializing it, auto-detecting the
     format: binary files stream in one pass (domains from the header),
     text files via {!Traces.Parser.fold_file} (two passes, since the text
@@ -113,7 +140,7 @@ type file_report = {
 
 val run_file :
   ?timeout:float -> ?heartbeat:Obs.Heartbeat.t -> ?pipelined:bool ->
-  ?reclaim:bool -> Aerodrome.Checker.t -> string ->
+  ?reclaim:bool -> ?prefilter:prefilter -> Aerodrome.Checker.t -> string ->
   (result, string) Stdlib.result
 (** {!run_stream} with per-file error capture instead of exceptions:
     [Sys_error], {!Traces.Binfmt.Corrupt} and
@@ -121,8 +148,9 @@ val run_file :
 
 val run_many :
   ?timeout:float -> ?heartbeat:Obs.Heartbeat.t -> ?pipelined:bool ->
-  ?reclaim:bool -> ?jobs:int -> ?on_pool:(float array -> unit) ->
-  Aerodrome.Checker.t -> string list -> file_report list
+  ?reclaim:bool -> ?prefilter:prefilter -> ?jobs:int ->
+  ?on_pool:(float array -> unit) -> Aerodrome.Checker.t -> string list ->
+  file_report list
 (** Check many trace files, one {!file_report} per input path {e in input
     order}.  A failing file yields its [Error] report and the remaining
     files are still checked.  With [jobs > 1] the files fan out across a

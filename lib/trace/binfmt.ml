@@ -10,9 +10,14 @@ let corrupt fmt = Format.kasprintf (fun s -> raise (Corrupt s)) fmt
    its final access, 0 = never accessed), an 8-byte little-endian length
    of that varint section, and a trailing magic.  The length + magic
    tail lets {!read_last_use} locate the footer by seeking from the end
-   without touching the event section. *)
+   without touching the event section.  Version 3 extends the varint
+   section with accessor statistics — per variable an accessor-thread
+   bitmask and a write count, per lock an accessor-thread bitmask —
+   after the last-use entries; the length field covers both, so the
+   seek-from-EOF trick is unchanged and v1/v2 files stay readable. *)
 let magic = "AERODRM1"
 let magic_v2 = "AERODRM2"
+let magic_v3 = "AERODRM3"
 let footer_magic = "AERODRMF"
 
 type header = {
@@ -20,7 +25,9 @@ type header = {
   locks : int;
   vars : int;
   events : int;
+  version : int;
   last_use : bool;
+  stats : bool;
 }
 
 (* LEB128, unsigned. *)
@@ -113,9 +120,11 @@ let add_u64_le buf n =
     Buffer.add_char buf (Char.chr ((n lsr (8 * k)) land 0xff))
   done
 
-let write_channel ?(last_use = true) oc tr =
+let write_channel ?(last_use = true) ?(stats = true) oc tr =
+  let stats = last_use && stats in
   let buf = Buffer.create 65536 in
-  Buffer.add_string buf (if last_use then magic_v2 else magic);
+  Buffer.add_string buf
+    (if stats then magic_v3 else if last_use then magic_v2 else magic);
   put_uint buf (Trace.threads tr);
   put_uint buf (Trace.locks tr);
   put_uint buf (Trace.vars tr);
@@ -125,10 +134,15 @@ let write_channel ?(last_use = true) oc tr =
       Some (Lifetime.create ~vars:(Trace.vars tr) ~locks:(Trace.locks tr))
     else None
   in
+  let vs =
+    if stats then Some (Varstats.create ~vars:(Trace.vars tr) ~locks:(Trace.locks tr))
+    else None
+  in
   let i = ref 0 in
   Trace.iter
     (fun e ->
       (match lt with Some lt -> Lifetime.note lt !i e | None -> ());
+      (match vs with Some vs -> Varstats.note vs e | None -> ());
       incr i;
       encode_event buf e;
       if Buffer.length buf > 60000 then begin
@@ -142,16 +156,26 @@ let write_channel ?(last_use = true) oc tr =
     let fb = Buffer.create 4096 in
     Array.iter (fun i -> put_uint fb (i + 1)) lt.Lifetime.vars;
     Array.iter (fun i -> put_uint fb (i + 1)) lt.Lifetime.locks;
+    (match vs with
+    | None -> ()
+    | Some vs ->
+      for x = 0 to Trace.vars tr - 1 do
+        put_uint fb (Varstats.var_mask vs x);
+        put_uint fb (Varstats.var_writes vs x)
+      done;
+      for l = 0 to Trace.locks tr - 1 do
+        put_uint fb (Varstats.lock_mask vs l)
+      done);
     Buffer.add_buffer buf fb;
     add_u64_le buf (Buffer.length fb);
     Buffer.add_string buf footer_magic);
   Buffer.output_buffer oc buf
 
-let write_file ?last_use path tr =
+let write_file ?last_use ?stats path tr =
   let oc = open_out_bin path in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> write_channel ?last_use oc tr)
+    (fun () -> write_channel ?last_use ?stats oc tr)
 
 let channel_next ic () = try input_byte ic with End_of_file -> -1
 
@@ -204,9 +228,10 @@ let note_ingest ic n =
 
 let read_header_ic path ic =
   let m = really_input_string ic (String.length magic) in
-  let last_use =
-    if m = magic then false
-    else if m = magic_v2 then true
+  let version =
+    if m = magic then 1
+    else if m = magic_v2 then 2
+    else if m = magic_v3 then 3
     else corrupt "%s: bad magic (not a binary trace)" path
   in
   let next = channel_next ic in
@@ -214,7 +239,15 @@ let read_header_ic path ic =
   let locks = get_uint next in
   let vars = get_uint next in
   let events = get_uint next in
-  { threads; locks; vars; events; last_use }
+  {
+    threads;
+    locks;
+    vars;
+    events;
+    version;
+    last_use = version >= 2;
+    stats = version >= 3;
+  }
 
 let with_file path f =
   let ic = open_in_bin path in
@@ -263,12 +296,46 @@ let decode_footer_entries next path header =
   done;
   ({ Lifetime.vars; locks }, !counted)
 
+(* The v3 accessor-statistics entries that follow the last-use section. *)
+let decode_stats_entries next path header =
+  let counted = ref 0 in
+  let cnext () =
+    let b = next () in
+    if b >= 0 then incr counted;
+    b
+  in
+  let entry () =
+    match get_uint cnext with
+    | exception Corrupt _ -> corrupt "%s: truncated footer" path
+    | v -> v
+  in
+  let nvars = max header.vars 0 in
+  let var_mask = Array.make (max nvars 1) 0 in
+  let var_writes = Array.make (max nvars 1) 0 in
+  for x = 0 to nvars - 1 do
+    var_mask.(x) <- entry ();
+    var_writes.(x) <- entry ()
+  done;
+  let nlocks = max header.locks 0 in
+  let lock_mask = Array.make (max nlocks 1) 0 in
+  for l = 0 to nlocks - 1 do
+    lock_mask.(l) <- entry ()
+  done;
+  (Varstats.of_arrays ~var_mask ~var_writes ~lock_mask, !counted)
+
 (* Validate (and skip) the footer that must follow the last event record
-   of a v2 file.  Raises [Corrupt] on any truncation, so a v2 file cut
+   of a v2/v3 file.  Raises [Corrupt] on any truncation, so a file cut
    anywhere — events, entries, length, trailing magic — is rejected even
    by readers that do not use the index. *)
 let read_footer_tail next path header =
   let lt, counted = decode_footer_entries next path header in
+  let stats, counted =
+    if header.stats then begin
+      let vs, c = decode_stats_entries next path header in
+      (Some vs, counted + c)
+    end
+    else (None, counted)
+  in
   let flen = read_u64_le next path in
   if flen <> counted then corrupt "%s: footer length mismatch" path;
   String.iter
@@ -277,7 +344,7 @@ let read_footer_tail next path header =
       | -1 -> corrupt "%s: truncated footer" path
       | b -> if Char.chr b <> c then corrupt "%s: bad footer magic" path)
     footer_magic;
-  lt
+  (lt, stats)
 
 (* Decode exactly [header.events] records through [f].  v2 files then
    carry the footer (validated here) and nothing else; v1 files end at
@@ -397,7 +464,9 @@ let read_seq path =
   in
   (header, (seq 0, close))
 
-let read_last_use path =
+(* Seek from EOF to the footer varints and decode them (last-use, plus
+   accessor statistics for v3) without touching the event section. *)
+let read_footer_seek path =
   with_file path (fun ic ->
       let header =
         try read_header_ic path ic
@@ -426,9 +495,19 @@ let read_last_use path =
           end
         in
         let lt, counted = decode_footer_entries next path header in
+        let stats, counted =
+          if header.stats then begin
+            let vs, c = decode_stats_entries next path header in
+            (Some vs, counted + c)
+          end
+          else (None, counted)
+        in
         if counted <> flen then corrupt "%s: footer length mismatch" path;
-        Some lt
+        Some (lt, stats)
       end)
+
+let read_last_use path = Option.map fst (read_footer_seek path)
+let read_stats path = Option.bind (read_footer_seek path) snd
 
 let is_binary path =
   try
@@ -436,5 +515,5 @@ let is_binary path =
         in_channel_length ic >= String.length magic
         &&
         let m = really_input_string ic (String.length magic) in
-        m = magic || m = magic_v2)
+        m = magic || m = magic_v2 || m = magic_v3)
   with _ -> false

@@ -12,8 +12,12 @@
     of its final access (see {!Lifetime}).  The footer ends with an
     8-byte little-endian length and a trailing magic, so
     {!read_last_use} can locate it by seeking from the end of the file
-    without decoding the events.  Version 1 files (no footer) remain
-    fully readable.
+    without decoding the events.  Version 3 files extend the footer with
+    {b accessor statistics} (see {!Varstats}): per variable an
+    accessor-thread bitmask and a write count, per lock an
+    accessor-thread bitmask, which lets {!read_stats} hand the
+    {!Prefilter} its exact-mode oracle without a pre-scan.  Version 1
+    and 2 files (no or shorter footer) remain fully readable.
 
     Reading is streaming: {!read_seq} exposes the events as a [Seq.t]
     backed by a buffered channel, so a checker can analyze a file without
@@ -31,24 +35,31 @@ val magic : string
 val magic_v2 : string
 (** The 8-byte version-2 file magic, ["AERODRM2"] (last-use footer). *)
 
+val magic_v3 : string
+(** The 8-byte version-3 file magic, ["AERODRM3"] (last-use + accessor
+    statistics footer). *)
+
 val footer_magic : string
-(** The 8-byte trailer ending a version-2 file, ["AERODRMF"]. *)
+(** The 8-byte trailer ending a version-2/3 file, ["AERODRMF"]. *)
 
 type header = {
   threads : int;
   locks : int;
   vars : int;
   events : int;
+  version : int;  (** 1, 2 or 3 *)
   last_use : bool;  (** does the file carry a last-use footer? *)
+  stats : bool;  (** does the footer carry accessor statistics? *)
 }
 
-val write_file : ?last_use:bool -> string -> Trace.t -> unit
-(** Serialize a trace.  Symbol tables are not stored (ids only).
-    [last_use] (default [true]) appends the last-use footer and writes a
-    version-2 magic; [~last_use:false] reproduces the version-1 format
-    byte for byte. *)
+val write_file : ?last_use:bool -> ?stats:bool -> string -> Trace.t -> unit
+(** Serialize a trace.  Symbol tables are not stored (ids only).  With
+    the defaults the file is version 3 (last-use footer + accessor
+    statistics).  [~stats:false] writes version 2; [~last_use:false]
+    reproduces the version-1 format byte for byte (implies no
+    statistics). *)
 
-val write_channel : ?last_use:bool -> out_channel -> Trace.t -> unit
+val write_channel : ?last_use:bool -> ?stats:bool -> out_channel -> Trace.t -> unit
 
 val read_header : string -> header
 (** Header of a binary trace file.  @raise Corrupt *)
@@ -57,10 +68,15 @@ val read_file : string -> Trace.t
 (** Materialize the whole trace.  @raise Corrupt *)
 
 val read_last_use : string -> Lifetime.t option
-(** The last-use index of a version-2 file, read by seeking to the
+(** The last-use index of a version-2/3 file, read by seeking to the
     footer — O(vars + locks), independent of the event count.  [None]
     for version-1 files.  @raise Corrupt if the footer is truncated or
     inconsistent. *)
+
+val read_stats : string -> Varstats.t option
+(** The accessor statistics of a version-3 file, read by seeking to the
+    footer.  [None] for version-1/2 files.  @raise Corrupt if the footer
+    is truncated or inconsistent. *)
 
 val fold : string -> init:'a -> f:('a -> Event.t -> 'a) -> header * 'a
 (** [fold path ~init ~f] folds [f] over the file's events in order without
@@ -77,8 +93,8 @@ val read_seq : string -> header * (Event.t Seq.t * (unit -> unit))
     in the stream raises during traversal. *)
 
 val is_binary : string -> bool
-(** Does the file start with {!magic} or {!magic_v2}?  (Used by the CLI
-    to auto-detect the format.) *)
+(** Does the file start with {!magic}, {!magic_v2} or {!magic_v3}?
+    (Used by the CLI to auto-detect the format.) *)
 
 (**/**)
 

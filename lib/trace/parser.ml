@@ -148,27 +148,34 @@ let ensure a i =
 let shrink a count =
   Array.init count (fun i -> if i < Array.length !a then !a.(i) else Lifetime.never)
 
-let fold_file_exn ?last_use path ~init ~f =
+let fold_file_exn ?last_use ?stats path ~init ~f =
   let threads = Interner.create ()
   and locks = Interner.create ()
   and vars = Interner.create () in
-  (match last_use with
-  | None ->
+  (match (last_use, stats) with
+  | None, None ->
     fold_raw_lines path
       (fun () lineno raw ->
         ignore (parse_event_line ~threads ~locks ~vars lineno raw))
       ()
-  | Some notify ->
+  | _ ->
     (* The interning pass already decodes every event, so the last-use
-       index comes for free: record the running event index per id. *)
+       index and the accessor statistics come for free: record the
+       running event index (and accessor masks) per id. *)
     let last_v = ref (Array.make 64 Lifetime.never)
     and last_l = ref (Array.make 16 Lifetime.never) in
+    let vs =
+      match stats with
+      | None -> None
+      | Some _ -> Some (Varstats.create ~vars:64 ~locks:16)
+    in
     let n =
       fold_raw_lines path
         (fun n lineno raw ->
           match parse_event_line ~threads ~locks ~vars lineno raw with
           | None -> n
           | Some e ->
+            (match vs with Some vs -> Varstats.note vs e | None -> ());
             (match e.Event.op with
             | Event.Read x | Event.Write x ->
               let x = Ids.Vid.to_int x in
@@ -183,11 +190,17 @@ let fold_file_exn ?last_use path ~init ~f =
         0
     in
     ignore n;
-    notify
-      {
-        Lifetime.vars = shrink last_v (Interner.count vars);
-        locks = shrink last_l (Interner.count locks);
-      });
+    (match last_use with
+    | None -> ()
+    | Some notify ->
+      notify
+        {
+          Lifetime.vars = shrink last_v (Interner.count vars);
+          locks = shrink last_l (Interner.count locks);
+        });
+    match (stats, vs) with
+    | Some notify, Some vs -> notify vs
+    | _ -> ());
   let acc =
     init ~threads:(Interner.count threads) ~locks:(Interner.count locks)
       ~vars:(Interner.count vars)
@@ -211,8 +224,8 @@ let fold_file_exn ?last_use path ~init ~f =
   end;
   acc
 
-let fold_file ?last_use path ~init ~f =
-  match fold_file_exn ?last_use path ~init ~f with
+let fold_file ?last_use ?stats path ~init ~f =
+  match fold_file_exn ?last_use ?stats path ~init ~f with
   | acc -> Ok acc
   | exception Parse_error e -> Error e
 

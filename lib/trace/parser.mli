@@ -39,6 +39,7 @@ val parse_file_exn : string -> Trace.t
 
 val fold_file :
   ?last_use:(Lifetime.t -> unit) ->
+  ?stats:(Varstats.t -> unit) ->
   string ->
   init:(threads:int -> locks:int -> vars:int -> 'a) ->
   f:('a -> Event.t -> 'a) ->
@@ -55,10 +56,13 @@ val fold_file :
     When [last_use] is given, the interning pass additionally builds the
     {!Lifetime} index (final access of every variable and lock) and hands
     it to the callback after pass 1, before [init] runs — at no extra
-    I/O cost, since pass 1 decodes every event anyway. *)
+    I/O cost, since pass 1 decodes every event anyway.  [stats] likewise
+    receives the {!Varstats} accessor statistics (the exact-mode
+    prefilter oracle) gathered during pass 1. *)
 
 val fold_file_exn :
   ?last_use:(Lifetime.t -> unit) ->
+  ?stats:(Varstats.t -> unit) ->
   string ->
   init:(threads:int -> locks:int -> vars:int -> 'a) ->
   f:('a -> Event.t -> 'a) ->

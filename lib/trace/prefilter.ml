@@ -1,0 +1,444 @@
+open Ids
+
+type mode = Exact of Varstats.t | Online
+
+type counts = {
+  mutable events_in : int;
+  mutable kept : int;
+  mutable thread_local : int;
+  mutable read_only : int;
+  mutable redundant : int;
+  mutable lock_local : int;
+  mutable flushed : int;
+  mutable pending_hwm : int;
+}
+
+let elided c = c.thread_local + c.read_only + c.redundant + c.lock_local
+
+(* Rule (c) bookkeeping.  [wstamp]/[astamp] count *retained* writes and
+   accesses per variable; a stamp records their values at the owning
+   thread's last retained access in the current transaction.  An access
+   is covered — adds no conflict edge beyond the earlier one's — iff the
+   relevant counter has not moved since:
+
+   - read: no retained write (by anyone) since my last retained read or
+     since my own last retained write;
+   - write: no retained access by another thread since my last retained
+     write (my own retained reads in between are counted out via
+     [own_since]; a read of mine does not conflict with my write and the
+     edges it witnesses are witnessed by the earlier write too).
+
+   Counting retained events only is self-consistent: if an interposing
+   access was itself elided, the access covering it is retained and
+   interposes equally.
+
+   Stamps live in generation-tagged parallel arrays: entry x is valid
+   iff [sgen.(x) = gen], and ending an outermost transaction bumps
+   [gen] instead of clearing anything — O(1) reset, no hashing on the
+   per-event path. *)
+type tstate = {
+  mutable depth : int;  (* open begin-markers *)
+  buf : Event.t Queue.t;  (* online: pending events, in thread order *)
+  mutable held_vars : int list;  (* vars with pending accesses in buf *)
+  mutable held_locks : int list;
+  (* rule (c), current outermost transaction *)
+  mutable gen : int;
+  mutable sgen : int array;  (* generation at which entry x was written *)
+  mutable s_last_rw : int array;  (* wstamp at my last retained read *)
+  mutable s_last_ww : int array;  (* wstamp after my last retained write *)
+  mutable s_last_wa : int array;  (* astamp after my last retained write *)
+  mutable s_own : int array;  (* my retained reads since my last write *)
+}
+
+type t = {
+  mode : mode;
+  cap : int;
+  c : counts;
+  mutable threads : tstate option array;
+  (* per-variable (grown on demand); owner/holder are online-mode only *)
+  mutable vowner : int array;  (* -1 unseen, -2 shared, else sole thread *)
+  mutable vwritten : int array;
+  mutable vholder : int array;  (* thread whose buffer holds x's events *)
+  mutable wstamp : int array;
+  mutable astamp : int array;
+  (* per-lock *)
+  mutable lowner : int array;
+  mutable lholder : int array;
+  mutable lcompromised : int array;
+      (* 1 once any of the lock's ops was force-emitted: later ops are
+         emitted too, so acquire/release matching survives filtering *)
+}
+
+let new_tstate ~vars () =
+  let n = max vars 16 in
+  {
+    depth = 0;
+    buf = Queue.create ();
+    held_vars = [];
+    held_locks = [];
+    gen = 1;
+    sgen = Array.make n 0;
+    s_last_rw = Array.make n 0;
+    s_last_ww = Array.make n 0;
+    s_last_wa = Array.make n 0;
+    s_own = Array.make n 0;
+  }
+
+let create ?(cap = 32768) mode =
+  let vars, locks =
+    match mode with Exact s -> (Varstats.vars s, Varstats.locks s) | Online -> (16, 4)
+  in
+  {
+    mode;
+    cap = max cap 1;
+    c =
+      {
+        events_in = 0;
+        kept = 0;
+        thread_local = 0;
+        read_only = 0;
+        redundant = 0;
+        lock_local = 0;
+        flushed = 0;
+        pending_hwm = 0;
+      };
+    threads = Array.make 8 None;
+    vowner = Array.make (max vars 1) (-1);
+    vwritten = Array.make (max vars 1) 0;
+    vholder = Array.make (max vars 1) (-1);
+    wstamp = Array.make (max vars 1) 0;
+    astamp = Array.make (max vars 1) 0;
+    lowner = Array.make (max locks 1) (-1);
+    lholder = Array.make (max locks 1) (-1);
+    lcompromised = Array.make (max locks 1) 0;
+  }
+
+let counts t = t.c
+
+let grow a n fill =
+  let cap = Array.length a in
+  if n <= cap then a
+  else begin
+    let a' = Array.make (max n (2 * cap)) fill in
+    Array.blit a 0 a' 0 cap;
+    a'
+  end
+
+let ensure_var t x =
+  if x >= Array.length t.vowner then begin
+    t.vowner <- grow t.vowner (x + 1) (-1);
+    t.vwritten <- grow t.vwritten (x + 1) 0;
+    t.vholder <- grow t.vholder (x + 1) (-1);
+    t.wstamp <- grow t.wstamp (x + 1) 0;
+    t.astamp <- grow t.astamp (x + 1) 0
+  end
+
+let ensure_lock t l =
+  if l >= Array.length t.lowner then begin
+    t.lowner <- grow t.lowner (l + 1) (-1);
+    t.lholder <- grow t.lholder (l + 1) (-1);
+    t.lcompromised <- grow t.lcompromised (l + 1) 0
+  end
+
+let tstate t tid =
+  if tid >= Array.length t.threads then begin
+    let a = Array.make (max (tid + 1) (2 * Array.length t.threads)) None in
+    Array.blit t.threads 0 a 0 (Array.length t.threads);
+    t.threads <- a
+  end;
+  match t.threads.(tid) with
+  | Some ts -> ts
+  | None ->
+    let ts = new_tstate ~vars:(Array.length t.vowner) () in
+    t.threads.(tid) <- Some ts;
+    ts
+
+let keep t e emit =
+  t.c.kept <- t.c.kept + 1;
+  emit e
+
+(* An access that survived rules (a)/(b)/(d): apply rule (c), then emit. *)
+let retained_access t ts x ~w e emit =
+  if ts.depth > 0 then begin
+    if x >= Array.length ts.sgen then begin
+      ts.sgen <- grow ts.sgen (x + 1) 0;
+      ts.s_last_rw <- grow ts.s_last_rw (x + 1) 0;
+      ts.s_last_ww <- grow ts.s_last_ww (x + 1) 0;
+      ts.s_last_wa <- grow ts.s_last_wa (x + 1) 0;
+      ts.s_own <- grow ts.s_own (x + 1) 0
+    end;
+    if ts.sgen.(x) <> ts.gen then begin
+      ts.sgen.(x) <- ts.gen;
+      ts.s_last_rw.(x) <- -1;
+      ts.s_last_ww.(x) <- -1;
+      ts.s_last_wa.(x) <- -1;
+      ts.s_own.(x) <- 0
+    end;
+    let covered =
+      if w then
+        ts.s_last_wa.(x) >= 0 && ts.s_last_wa.(x) + ts.s_own.(x) = t.astamp.(x)
+      else
+        (ts.s_last_rw.(x) >= 0 && ts.s_last_rw.(x) = t.wstamp.(x))
+        || (ts.s_last_ww.(x) >= 0 && ts.s_last_ww.(x) = t.wstamp.(x))
+    in
+    if covered then t.c.redundant <- t.c.redundant + 1
+    else begin
+      t.astamp.(x) <- t.astamp.(x) + 1;
+      if w then begin
+        t.wstamp.(x) <- t.wstamp.(x) + 1;
+        ts.s_last_ww.(x) <- t.wstamp.(x);
+        ts.s_last_wa.(x) <- t.astamp.(x);
+        ts.s_own.(x) <- 0
+      end
+      else begin
+        ts.s_last_rw.(x) <- t.wstamp.(x);
+        ts.s_own.(x) <- ts.s_own.(x) + 1
+      end;
+      keep t e emit
+    end
+  end
+  else begin
+    (* unary access: a singleton transaction, nothing to cover it *)
+    t.astamp.(x) <- t.astamp.(x) + 1;
+    if w then t.wstamp.(x) <- t.wstamp.(x) + 1;
+    keep t e emit
+  end
+
+let feed_exact t s (e : Event.t) emit =
+  let ts () = tstate t (Tid.to_int e.thread) in
+  match e.op with
+  | Event.Read x ->
+    let x = Vid.to_int x in
+    if Varstats.var_single_threaded s x then
+      t.c.thread_local <- t.c.thread_local + 1
+    else if Varstats.var_read_only s x then t.c.read_only <- t.c.read_only + 1
+    else begin
+      ensure_var t x;
+      retained_access t (ts ()) x ~w:false e emit
+    end
+  | Event.Write x ->
+    let x = Vid.to_int x in
+    if Varstats.var_single_threaded s x then
+      t.c.thread_local <- t.c.thread_local + 1
+    else begin
+      ensure_var t x;
+      retained_access t (ts ()) x ~w:true e emit
+    end
+  | Event.Acquire l | Event.Release l ->
+    if Varstats.lock_single_threaded s (Lid.to_int l) then
+      t.c.lock_local <- t.c.lock_local + 1
+    else keep t e emit
+  | Event.Fork _ | Event.Join _ -> keep t e emit
+  | Event.Begin ->
+    let ts = ts () in
+    ts.depth <- ts.depth + 1;
+    keep t e emit
+  | Event.End ->
+    let ts = ts () in
+    ts.depth <- max 0 (ts.depth - 1);
+    if ts.depth = 0 then ts.gen <- ts.gen + 1;
+    keep t e emit
+
+(* Online mode.  Pending (buffered) events are not counted in
+   wstamp/astamp until the moment they are flushed; while a variable or
+   lock still qualifies, all its events sit in its sole owner's buffer,
+   so no rule-(c) decision ever runs against a variable with uncounted
+   pending events. *)
+
+let flush_thread t h emit =
+  if h < Array.length t.threads then
+    match t.threads.(h) with
+    | None -> ()
+    | Some ts ->
+      let n = Queue.length ts.buf in
+      if n > 0 then begin
+        t.c.flushed <- t.c.flushed + n;
+        while not (Queue.is_empty ts.buf) do
+          let e = Queue.pop ts.buf in
+          (match e.Event.op with
+          | Event.Read x ->
+            let x = Vid.to_int x in
+            t.astamp.(x) <- t.astamp.(x) + 1
+          | Event.Write x ->
+            let x = Vid.to_int x in
+            t.astamp.(x) <- t.astamp.(x) + 1;
+            t.wstamp.(x) <- t.wstamp.(x) + 1
+          | Event.Acquire _ | Event.Release _ -> ()
+          | _ -> assert false);
+          keep t e emit
+        done;
+        List.iter (fun x -> if t.vholder.(x) = h then t.vholder.(x) <- -1) ts.held_vars;
+        List.iter
+          (fun l ->
+            if t.lholder.(l) = h then begin
+              t.lholder.(l) <- -1;
+              t.lcompromised.(l) <- 1
+            end)
+          ts.held_locks;
+        ts.held_vars <- [];
+        ts.held_locks <- []
+      end
+
+let push_pending t ts tid e emit =
+  Queue.add e ts.buf;
+  let n = Queue.length ts.buf in
+  if n > t.c.pending_hwm then t.c.pending_hwm <- n;
+  if n >= t.cap then flush_thread t tid emit
+
+let feed_online t (e : Event.t) emit =
+  let tid = Tid.to_int e.thread in
+  let ts = tstate t tid in
+  match e.op with
+  | Event.Read x | Event.Write x ->
+    let w = match e.op with Event.Write _ -> true | _ -> false in
+    let x = Vid.to_int x in
+    ensure_var t x;
+    let owner = t.vowner.(x) in
+    if owner = -1 || owner = tid then begin
+      (* still single-owner: defer the verdict on this event *)
+      t.vowner.(x) <- tid;
+      if w then t.vwritten.(x) <- 1;
+      if t.vholder.(x) <> tid then begin
+        t.vholder.(x) <- tid;
+        ts.held_vars <- x :: ts.held_vars
+      end;
+      push_pending t ts tid e emit
+    end
+    else begin
+      (* the pending events this one conflicts with must reach the
+         checker first, in their original order *)
+      if owner >= 0 then begin
+        if (w || t.vwritten.(x) = 1) && t.vholder.(x) >= 0 then
+          flush_thread t t.vholder.(x) emit;
+        t.vowner.(x) <- -2
+      end
+      else if w && t.vwritten.(x) = 0 && t.vholder.(x) >= 0 then
+        flush_thread t t.vholder.(x) emit;
+      if w then t.vwritten.(x) <- 1;
+      retained_access t ts x ~w e emit
+    end
+  | Event.Acquire l | Event.Release l ->
+    let l = Lid.to_int l in
+    ensure_lock t l;
+    let owner = t.lowner.(l) in
+    if (owner = -1 || owner = tid) && t.lcompromised.(l) = 0 then begin
+      t.lowner.(l) <- tid;
+      if t.lholder.(l) <> tid then begin
+        t.lholder.(l) <- tid;
+        ts.held_locks <- l :: ts.held_locks
+      end;
+      push_pending t ts tid e emit
+    end
+    else begin
+      if owner >= 0 && owner <> tid then begin
+        if t.lholder.(l) >= 0 then flush_thread t t.lholder.(l) emit;
+        t.lowner.(l) <- -2
+      end;
+      keep t e emit
+    end
+  | Event.Fork _ -> keep t e emit
+  | Event.Join u ->
+    (* if the child's pending events are ever emitted, it must be
+       before this join *)
+    flush_thread t (Tid.to_int u) emit;
+    keep t e emit
+  | Event.Begin ->
+    (* pending events belong to the closing unary stretch: emitting
+       them later, inside the new block, would reattribute them *)
+    if ts.depth = 0 then flush_thread t tid emit;
+    ts.depth <- ts.depth + 1;
+    keep t e emit
+  | Event.End ->
+    ts.depth <- max 0 (ts.depth - 1);
+    if ts.depth = 0 then begin
+      flush_thread t tid emit;
+      ts.gen <- ts.gen + 1
+    end;
+    keep t e emit
+
+let feed t e emit =
+  t.c.events_in <- t.c.events_in + 1;
+  match t.mode with
+  | Exact s -> feed_exact t s e emit
+  | Online -> feed_online t e emit
+
+let publish t =
+  if Obs.on () && Obs.Scope.active () then begin
+    let reg = Obs.Registry.create () in
+    let add name v = Obs.Counter.add (Obs.Registry.counter reg name) v in
+    add "prefilter.events_in" t.c.events_in;
+    add "prefilter.events_out" t.c.kept;
+    add "prefilter.elided.thread_local" t.c.thread_local;
+    add "prefilter.elided.read_only" t.c.read_only;
+    add "prefilter.elided.redundant" t.c.redundant;
+    add "prefilter.elided.lock_local" t.c.lock_local;
+    (match t.mode with
+    | Online ->
+      add "prefilter.online.flushed" t.c.flushed;
+      add "prefilter.online.pending_hwm" t.c.pending_hwm
+    | Exact _ -> ());
+    Obs.Scope.attach reg
+  end
+
+let finish t _emit =
+  (match t.mode with
+  | Exact _ -> ()
+  | Online ->
+    (* everything still pending is on an object that stayed
+       single-owner (or read-only) through end of trace: droppable *)
+    Array.iter
+      (function
+        | None -> ()
+        | Some ts ->
+          Queue.iter
+            (fun (e : Event.t) ->
+              match e.op with
+              | Event.Read x ->
+                if t.vwritten.(Vid.to_int x) = 1 then
+                  t.c.thread_local <- t.c.thread_local + 1
+                else t.c.read_only <- t.c.read_only + 1
+              | Event.Write _ -> t.c.thread_local <- t.c.thread_local + 1
+              | Event.Acquire _ | Event.Release _ ->
+                t.c.lock_local <- t.c.lock_local + 1
+              | _ -> assert false)
+            ts.buf;
+          Queue.clear ts.buf;
+          ts.held_vars <- [];
+          ts.held_locks <- [])
+      t.threads);
+  publish t
+
+let filter_seq t src =
+  let q = Queue.create () in
+  let push e = Queue.add e q in
+  let src = ref src in
+  let finished = ref false in
+  let rec pull () =
+    match Queue.take_opt q with
+    | Some e -> Seq.Cons (e, pull)
+    | None ->
+      if !finished then Seq.Nil
+      else begin
+        match !src () with
+        | Seq.Nil ->
+          finished := true;
+          finish t push;
+          pull ()
+        | Seq.Cons (e, rest) ->
+          src := rest;
+          feed t e push;
+          pull ()
+      end
+  in
+  pull
+
+let run_trace mode tr =
+  let m =
+    match mode with `Exact -> Exact (Varstats.of_trace tr) | `Online -> Online
+  in
+  let t = create m in
+  let b = Trace.Builder.create ~capacity:(Trace.length tr) () in
+  let emit e = Trace.Builder.add b e in
+  Trace.iter (fun e -> feed t e emit) tr;
+  finish t emit;
+  (Trace.Builder.build ?symbols:(Trace.symbols tr) b, t.c)

@@ -38,6 +38,87 @@ let generate ?seed ~traces ~events_total () =
     (fun (name, config) -> (name, Generator.generate config))
     (configs ?seed ~traces ~events_total ())
 
+(* Mixed reducible workload: a shared-traffic base trace interleaved with
+   traffic the prefilter can elide — per-thread private variables, a pool
+   of never-written variables read by every thread, immediate in-transaction
+   re-accesses, and a private lock per thread.  All insertions preserve
+   well-formedness (lock pairs are adjacent, private ids are fresh blocks
+   beyond the base trace's) and the serializability verdict (private and
+   read-only accesses add no conflict edge; a duplicated access only
+   repeats edges between the same transaction pair). *)
+let mixed ?(seed = 0xC0DEL) ?(threads = 8) ~events_total () =
+  let open Traces in
+  (* ~55% base shared traffic, ~45% inserted reducible traffic *)
+  let base_events = max 1_000 (events_total * 11 / 20) in
+  let config =
+    {
+      Generator.default with
+      seed;
+      threads;
+      locks = 8;
+      events = base_events;
+      vars = max 256 (base_events / 4);
+      shape = Generator.Independent;
+      plan = Generator.Atomic;
+    }
+  in
+  let base = Generator.generate config in
+  let nvars = Trace.vars base
+  and nlocks = Trace.locks base
+  and nthreads = Trace.threads base in
+  let ro_pool = 64 in
+  let ro_var i = Ids.Vid.of_int (nvars + (i mod ro_pool)) in
+  let tl_var t = Ids.Vid.of_int (nvars + ro_pool + t) in
+  let tl_lock t = Ids.Lid.of_int (nlocks + t) in
+  let budget = ref (max 0 (events_total - Trace.length base)) in
+  let b = Trace.Builder.create ~capacity:(events_total + 64) () in
+  (* xorshift, deterministic in [seed]; cheap per-event choice *)
+  let rng = ref (Int64.to_int seed land 0x3FFFFFFF lor 1) in
+  let rand bound =
+    let x = !rng in
+    let x = x lxor (x lsl 13) land max_int in
+    let x = x lxor (x lsr 7) in
+    let x = x lxor (x lsl 17) land max_int in
+    rng := x;
+    x mod bound
+  in
+  let depth = Array.make nthreads 0 in
+  Trace.iter
+    (fun (e : Event.t) ->
+      Trace.Builder.add b e;
+      let t = Ids.Tid.to_int e.Event.thread in
+      (match e.Event.op with
+      | Event.Begin -> depth.(t) <- depth.(t) + 1
+      | Event.End -> depth.(t) <- max 0 (depth.(t) - 1)
+      | _ -> ());
+      (* splice reducible traffic after in-transaction accesses *)
+      match e.Event.op with
+      | (Event.Read _ | Event.Write _) when depth.(t) > 0 && !budget > 0 ->
+        let add op =
+          Trace.Builder.add b (Event.make e.Event.thread op);
+          decr budget
+        in
+        (* up to two insertions per access so the budget actually drains *)
+        for _ = 1 to 2 do
+          if !budget > 0 then
+            match rand 10 with
+            | 0 | 1 | 2 -> add (Event.Read (tl_var t))
+            | 3 -> add (Event.Write (tl_var t))
+            | 4 | 5 -> add (Event.Read (ro_var (rand ro_pool)))
+            | 6 | 7 ->
+              (* immediate same-transaction re-access: redundant, rule (c) *)
+              add e.Event.op
+            | _ ->
+              if !budget > 1 then begin
+                add (Event.Acquire (tl_lock t));
+                add (Event.Release (tl_lock t))
+              end
+              else add (Event.Read (tl_var t))
+        done
+      | _ -> ())
+    base;
+  Trace.Builder.build b
+
 let phased ?(seed = 0xC0DEL) ~phases ~events_total () =
   if phases < 1 then invalid_arg "Corpus.phased: phases must be >= 1";
   let open Traces in

@@ -23,6 +23,18 @@ val generate :
   (string * Traces.Trace.t) list
 (** The generated corpus, in configuration order. *)
 
+val mixed :
+  ?seed:int64 -> ?threads:int -> events_total:int -> unit -> Traces.Trace.t
+(** [mixed ~events_total ()] is one trace of roughly [events_total]
+    events: ~55% shared multi-thread traffic (an [Independent]/[Atomic]
+    generator run) interleaved with ~45% traffic the {!Traces.Prefilter}
+    can elide — per-thread private variables, a pool of never-written
+    variables read by every thread, immediate in-transaction re-accesses,
+    and a private lock per thread.  The insertions preserve
+    well-formedness and the serializability verdict; the trace is
+    deterministic in [seed].  The workload for the prefilter benchmark
+    axis. *)
+
 val phased :
   ?seed:int64 -> phases:int -> events_total:int -> unit -> Traces.Trace.t
 (** [phased ~phases ~events_total ()] is one long serializable trace made

@@ -1,15 +1,19 @@
 The bench harness emits machine-readable results with --json; the file
-must satisfy the aerodrome-bench/4 schema (validate_json exits non-zero
+must satisfy the aerodrome-bench/5 schema (validate_json exits non-zero
 and prints a diagnostic otherwise).  The reclaim section — peak live
-heap with and without last-use state reclamation — rides along by
-default, and the validator enforces matching verdicts and a
-non-increasing peak, so this run doubles as the memory smoke test:
+heap with and without last-use state reclamation — and the prefilter
+section — checking throughput with the trace reduction off, exact, and
+online — ride along by default, and the validator enforces matching
+verdicts on both axes, a non-increasing peak, and a non-growing
+reduction, so this run doubles as the memory and reduction smoke test:
 
   $ ../bench/main.exe --table 1 --scale 0.05 --timeout 1 --no-micro \
   >   --no-ablation --no-scaling --json bench.json > /dev/null 2>&1
   $ ../bench/validate_json.exe bench.json
   ok
   $ grep -c '"reclaim":{"events"' bench.json
+  1
+  $ grep -c '"prefilter":{"events_in"' bench.json
   1
 
 The multicore section ships a parallel summary (corpus fan-out wall
@@ -21,15 +25,17 @@ verdict cross-check; a divergence is a schema error by design:
   $ ../bench/validate_json.exe jobs.json
   ok
 
-The telemetry and reclaim sections can be disabled; the schema treats
-them as nullable:
+The telemetry, reclaim and prefilter sections can be disabled; the
+schema treats them as nullable:
 
   $ ../bench/main.exe --table 1 --scale 0.05 --timeout 1 --no-micro \
   >   --no-ablation --no-scaling --no-parallel --no-telemetry \
-  >   --no-reclaim --json none.json > /dev/null 2>&1
+  >   --no-reclaim --no-prefilter --json none.json > /dev/null 2>&1
   $ ../bench/validate_json.exe none.json
   ok
   $ grep -c '"reclaim":null' none.json
+  1
+  $ grep -c '"prefilter":null' none.json
   1
 
 A missing file, an outdated schema or a schema violation is rejected:
@@ -38,18 +44,18 @@ A missing file, an outdated schema or a schema violation is rejected:
   $ ../bench/validate_json.exe old.json
   old.json: unknown schema "aerodrome-bench/2"
   [1]
-  $ echo '{"schema":"aerodrome-bench/3","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null}' > prev.json
+  $ echo '{"schema":"aerodrome-bench/4","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":null}' > prev.json
   $ ../bench/validate_json.exe prev.json
-  prev.json: unknown schema "aerodrome-bench/3"
+  prev.json: unknown schema "aerodrome-bench/4"
   [1]
-  $ echo '{"schema":"aerodrome-bench/4","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":null}' > bad.json
+  $ echo '{"schema":"aerodrome-bench/5","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":null,"prefilter":null}' > bad.json
   $ ../bench/validate_json.exe bad.json
   bad.json: no tables and no micro results
   [1]
 
 A telemetry section that lost its counter snapshot is rejected too:
 
-  $ echo '{"schema":"aerodrome-bench/4","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":{"events":10,"disabled_events_per_sec":1,"enabled_events_per_sec":1,"overhead_pct":0,"metrics":{}},"reclaim":null}' > notel.json
+  $ echo '{"schema":"aerodrome-bench/5","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":{"events":10,"disabled_events_per_sec":1,"enabled_events_per_sec":1,"overhead_pct":0,"metrics":{}},"reclaim":null,"prefilter":null}' > notel.json
   $ ../bench/validate_json.exe notel.json
   notel.json: missing field "events.total"
   [1]
@@ -57,11 +63,23 @@ A telemetry section that lost its counter snapshot is rejected too:
 So is a reclaim section whose verdicts diverged, or whose peak grew
 with reclamation on:
 
-  $ echo '{"schema":"aerodrome-bench/4","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":{"events":10,"threads":2,"vars":4,"off":{"seconds":0.1,"events_per_sec":100,"peak_live_words":1000},"on":{"seconds":0.1,"events_per_sec":100,"peak_live_words":500,"pool_hits":1,"pool_misses":1,"pool_hit_rate":0.5,"reclaimed_states":2},"peak_reduction_pct":50,"verdicts_match":false}}' > diverge.json
+  $ echo '{"schema":"aerodrome-bench/5","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":{"events":10,"threads":2,"vars":4,"off":{"seconds":0.1,"events_per_sec":100,"peak_live_words":1000},"on":{"seconds":0.1,"events_per_sec":100,"peak_live_words":500,"pool_hits":1,"pool_misses":1,"pool_hit_rate":0.5,"reclaimed_states":2},"peak_reduction_pct":50,"verdicts_match":false},"prefilter":null}' > diverge.json
   $ ../bench/validate_json.exe diverge.json
   diverge.json: reclaim: verdicts diverged between reclaim modes
   [1]
-  $ echo '{"schema":"aerodrome-bench/4","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":{"events":10,"threads":2,"vars":4,"off":{"seconds":0.1,"events_per_sec":100,"peak_live_words":1000},"on":{"seconds":0.1,"events_per_sec":100,"peak_live_words":2000,"pool_hits":1,"pool_misses":1,"pool_hit_rate":0.5,"reclaimed_states":2},"peak_reduction_pct":-100,"verdicts_match":true}}' > grew.json
+  $ echo '{"schema":"aerodrome-bench/5","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":{"events":10,"threads":2,"vars":4,"off":{"seconds":0.1,"events_per_sec":100,"peak_live_words":1000},"on":{"seconds":0.1,"events_per_sec":100,"peak_live_words":2000,"pool_hits":1,"pool_misses":1,"pool_hit_rate":0.5,"reclaimed_states":2},"peak_reduction_pct":-100,"verdicts_match":true},"prefilter":null}' > grew.json
   $ ../bench/validate_json.exe grew.json
   grew.json: reclaim: peak_live_words grew with reclamation on (2000 > 1000)
+  [1]
+
+And a prefilter section whose verdicts diverged across filter modes,
+or whose "reduction" grew the trace:
+
+  $ echo '{"schema":"aerodrome-bench/5","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":null,"prefilter":{"events_in":100,"events_out":60,"threads":2,"vars":4,"elided":{"thread_local":20,"read_only":10,"redundant":5,"lock_local":5},"off":{"seconds":0.2,"events_per_sec":500,"events_fed":100},"exact":{"seconds":0.1,"events_per_sec":1000,"events_fed":60},"online":{"seconds":0.15,"events_per_sec":666,"events_fed":70},"speedup_exact":2,"speedup_online":1.33,"verdicts_match":false}}' > pfdiverge.json
+  $ ../bench/validate_json.exe pfdiverge.json
+  pfdiverge.json: prefilter: verdicts diverged between filter modes
+  [1]
+  $ echo '{"schema":"aerodrome-bench/5","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":null,"prefilter":{"events_in":100,"events_out":120,"threads":2,"vars":4,"elided":{"thread_local":0,"read_only":0,"redundant":0,"lock_local":0},"off":{"seconds":0.2,"events_per_sec":500,"events_fed":100},"exact":{"seconds":0.1,"events_per_sec":1000,"events_fed":120},"online":{"seconds":0.15,"events_per_sec":666,"events_fed":100},"speedup_exact":2,"speedup_online":1.33,"verdicts_match":true}}' > pfgrew.json
+  $ ../bench/validate_json.exe pfgrew.json
+  pfgrew.json: prefilter: events_out grew (120 > 100)
   [1]

@@ -80,13 +80,13 @@ clocks, stopping at the violation (Figure 5 of the paper):
 Binary conversion round-trips and is auto-detected by every command:
 
   $ rapid convert rho2.std rho2.bin
-  rho2.bin: 8 events, 64 -> 50 bytes
+  rho2.bin: 8 events, 64 -> 54 bytes
   $ rapid check -q rho2.bin
   [1]
   $ rapid metainfo rho2.bin | head -1
   events:       8
   $ rapid convert --text rho2.bin back.std
-  back.std: 8 events, 50 -> 68 bytes
+  back.std: 8 events, 54 -> 68 bytes
   $ rapid check -q back.std
   [1]
 
@@ -99,3 +99,75 @@ Explain prints the baseline's witness cycle and a Proposition 1 pair:
   prop-1 witness (indices in the 8-event window): e4 ->* e1 and e1 <=CHB e4
     e4 = ⟨T1,r(V0)⟩
     e1 = ⟨T0,begin⟩
+
+Trace reduction.  A trace with a private variable, a read-only
+variable, an immediate re-read, and a single-threaded lock; metainfo
+classifies the reducible traffic, and filter drops it (the exact mode
+needs whole-trace statistics, which the text reader collects in its
+interning pass):
+
+  $ cat > red.std <<'TRACE'
+  > t1|begin
+  > t1|r(x)
+  > t1|w(x)
+  > t1|r(priv)
+  > t1|w(priv)
+  > t1|r(x)
+  > t1|acq(solo)
+  > t1|rel(solo)
+  > t1|r(ro)
+  > t1|end
+  > t2|begin
+  > t2|w(x)
+  > t2|r(ro)
+  > t2|end
+  > TRACE
+  $ rapid metainfo red.std | tail -2
+  variables:    3 (1 thread-local, 1 read-only; 1 thread-local locks)
+  reducible:    7/14 events (50.0%): 2 thread-local, 2 read-only, 1 redundant, 2 lock-local
+  $ rapid filter red.std red-out.std --text
+  red-out.std: 14 -> 7 events (-7: 2 thread-local, 2 read-only, 1 redundant, 2 lock-local)
+  $ cat red-out.std
+  t1|begin
+  t1|r(x)
+  t1|w(x)
+  t1|end
+  t2|begin
+  t2|w(x)
+  t2|end
+
+The online mode buffers per thread and flushes at transaction
+boundaries, so on a trace whose transactions all close it keeps
+everything — it only elides objects that stay private to the end of
+the stream:
+
+  $ rapid filter -m online red.std red-online.std --text
+  red-online.std: 14 -> 14 events (-0: 0 thread-local, 0 read-only, 0 redundant, 0 lock-local)
+
+check --prefilter composes the reduction with the streaming checker
+and reports what it elided; the verdict is unchanged, the violation
+index is relative to the reduced stream:
+
+  $ rapid check -q --prefilter --stats red.std 2>&1 | grep prefilter
+    prefilter.events_in            14
+    prefilter.events_out           7
+    prefilter.elided.thread_local  2
+    prefilter.elided.read_only     2
+    prefilter.elided.redundant     1
+    prefilter.elided.lock_local    2
+  $ rapid check --prefilter bad.std 2>&1 | sed 's/in [0-9.]*s/in TIME/'
+  aerodrome: violation @87 in TIME (174 events)
+  $ rapid check -q --prefilter bad.std
+  [1]
+  $ rapid check -q --prefilter-online bad.std
+  [1]
+
+filter --window restricts to an event window first (markers repaired),
+then filters the window; inside a t1-only window everything shared
+becomes thread-local:
+
+  $ rapid filter --window 0:10 red.std win.std --text
+  win.std: 10 -> 2 events (-8: 6 thread-local, 0 read-only, 0 redundant, 2 lock-local)
+  $ cat win.std
+  t1|begin
+  t1|end

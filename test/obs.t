@@ -79,7 +79,7 @@ The pipelined path adds ring-buffer counters to the file entry, and
 checking spans:
 
   $ rapid convert trace.std trace.bin
-  trace.bin: 313 events, 3030 -> 934 bytes
+  trace.bin: 313 events, 3030 -> 968 bytes
   $ rapid check -q --pipelined --stats-json pipe.json --trace-out timeline.json trace.bin
   $ ../bench/validate_stats.exe stats --pipelined pipe.json
   ok
@@ -99,7 +99,7 @@ total event count in the header, so they also get an ETA:
   [check] 8192 events  R inst  R avg
   [check] 16.4K events  R inst  R avg
   $ rapid convert big.std big.bin
-  big.bin: 20018 events, 193458 -> 55622 bytes
+  big.bin: 20018 events, 193458 -> 55684 bytes
   $ rapid check -q --progress 0.005 big.bin 2>&1 \
   >   | sed -E 's/[0-9.]+[KMB]? ev\/s/R/g; s/eta [0-9]+s/eta N/'
   [check] 8192 events  R inst  R avg  eta N
@@ -108,4 +108,4 @@ total event count in the header, so they also get an ETA:
 rapid metainfo --json emits the trace statistics as a flat object:
 
   $ rapid metainfo --json trace.std
-  {"events":313,"reads":143,"writes":64,"acquires":16,"releases":16,"forks":2,"joins":2,"begins":35,"ends":35,"nested_begins":0,"threads":3,"locks":2,"variables":16,"transactions":35,"unary_events":13,"max_nesting":1}
+  {"events":313,"reads":143,"writes":64,"acquires":16,"releases":16,"forks":2,"joins":2,"begins":35,"ends":35,"nested_begins":0,"threads":3,"locks":2,"variables":16,"transactions":35,"unary_events":13,"max_nesting":1,"reducibility":{"thread_local_vars":8,"read_only_vars":0,"thread_local_locks":0,"elided_thread_local":120,"elided_read_only":0,"elided_redundant":30,"elided_lock_local":0,"reduced_events":163}}

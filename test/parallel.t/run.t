@@ -52,7 +52,7 @@ on the consumer) reports exactly what the sequential stream reports:
   $ rapid check --pipelined bad.std 2>&1 | sed 's/in [0-9.]*s/in TIME/'
   aerodrome: violation @165 in TIME (311 events)
   $ rapid convert bad.std bad.bin
-  bad.bin: 311 events, 3004 -> 930 bytes
+  bad.bin: 311 events, 3004 -> 968 bytes
   $ rapid check --pipelined bad.bin 2>&1 | sed 's/in [0-9.]*s/in TIME/'
   aerodrome: violation @165 in TIME (311 events)
   $ rapid check -q --pipelined bad.bin

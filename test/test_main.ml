@@ -16,6 +16,7 @@ let () =
       Test_checkers.suite;
       Test_differential.suite;
       Test_streaming.suite;
+      Test_prefilter.suite;
       Test_monitor.suite;
       Test_velodrome.suite;
       Test_generator.suite;

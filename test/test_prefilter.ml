@@ -1,0 +1,322 @@
+(* The prefilter must be invisible to the checkers: on every trace the
+   reduced stream has a conflict-serializability violation iff the
+   original does — for all three AeroDrome algorithms, in both filter
+   modes, composed with reclamation and pipelined ingestion.  Structural
+   properties: filtering is idempotent, preserves well-formedness, and
+   never grows a trace; the online mode is at least as conservative as
+   the exact one (it keeps a superset of the events). *)
+
+open Traces
+
+let check = Alcotest.check
+
+let tmp suffix body =
+  let path = Filename.temp_file "aerodrome_prefilter" suffix in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> body path)
+
+let events_of tr = Trace.to_list tr
+
+let violating_opt tr = Aerodrome.Checker.run (module Aerodrome.Opt) tr <> None
+
+let checkers : (string * Aerodrome.Checker.t) list =
+  [
+    ("basic", (module Aerodrome.Basic));
+    ("reduced", (module Aerodrome.Reduced));
+    ("opt", (module Aerodrome.Opt));
+  ]
+
+let corpus ?(traces = 170) () =
+  (* 170 traces x 3 checkers = 510 differential instances per mode pair *)
+  Workloads.Corpus.generate ~traces ~events_total:120_000 ()
+
+(* --- structural properties --- *)
+
+(* Exact mode is a pure per-event function of whole-trace statistics plus
+   retained-only counters, so a second pass changes nothing.  Online mode
+   is deliberately not idempotent: its flush unit is the per-thread
+   buffer, so an event on a still-qualifying variable is emitted unchecked
+   whenever a disqualified variable shares its buffer — a second pass may
+   elide it.  Each pass is independently sound (see test_differential), so
+   what must hold is that re-filtering only shrinks the trace and keeps
+   the verdict. *)
+let test_idempotent () =
+  List.iter
+    (fun (name, tr) ->
+      let once, _ = Prefilter.run_trace `Exact tr in
+      let twice, c2 = Prefilter.run_trace `Exact once in
+      check Alcotest.bool
+        (name ^ ": second exact pass drops nothing")
+        true
+        (events_of once = events_of twice);
+      check Alcotest.int (name ^ ": second exact pass elides 0") 0
+        (Prefilter.elided c2))
+    (corpus ~traces:60 ())
+
+let test_online_refilter_sound () =
+  List.iter
+    (fun (name, tr) ->
+      let once, c1 = Prefilter.run_trace `Online tr in
+      let twice, c2 = Prefilter.run_trace `Online once in
+      check Alcotest.bool
+        (name ^ ": online re-filter only shrinks")
+        true
+        (c2.Prefilter.kept <= c1.Prefilter.kept);
+      check Alcotest.bool
+        (name ^ ": online re-filter keeps verdict")
+        (violating_opt tr) (violating_opt twice))
+    (corpus ~traces:40 ())
+
+let test_wellformed_preserved () =
+  List.iter
+    (fun mode ->
+      List.iter
+        (fun (name, tr) ->
+          let reduced, _ = Prefilter.run_trace mode tr in
+          check Alcotest.bool
+            (name ^ ": reduced trace well-formed")
+            true
+            (Wellformed.is_wellformed reduced))
+        (corpus ~traces:60 ()))
+    [ `Exact; `Online ]
+
+let test_counts_consistent () =
+  List.iter
+    (fun (name, tr) ->
+      List.iter
+        (fun mode ->
+          let reduced, c = Prefilter.run_trace mode tr in
+          check Alcotest.int
+            (name ^ ": events_in is the trace length")
+            (Trace.length tr) c.Prefilter.events_in;
+          check Alcotest.int
+            (name ^ ": kept is the reduced length")
+            (Trace.length reduced) c.Prefilter.kept;
+          check Alcotest.int
+            (name ^ ": kept + elided = events_in")
+            c.Prefilter.events_in
+            (c.Prefilter.kept + Prefilter.elided c))
+        [ `Exact; `Online ])
+    (corpus ~traces:40 ())
+
+let test_online_keeps_superset () =
+  (* the single-pass mode can only drop events the exact mode also drops:
+     every event it emits, the exact filter of the same trace either also
+     emits or classifies under a rule the online mode applies lazily;
+     cheap proxy — the online reduction never beats the exact one *)
+  List.iter
+    (fun (name, tr) ->
+      let _, ce = Prefilter.run_trace `Exact tr in
+      let _, co = Prefilter.run_trace `Online tr in
+      check Alcotest.bool
+        (name ^ ": online keeps at least as many events")
+        true
+        (co.Prefilter.kept >= ce.Prefilter.kept))
+    (corpus ~traces:40 ())
+
+(* --- verdict preservation: >= 500 instances per mode --- *)
+
+let test_differential () =
+  List.iter
+    (fun (tname, tr) ->
+      let exact, _ = Prefilter.run_trace `Exact tr in
+      let online, _ = Prefilter.run_trace `Online tr in
+      List.iter
+        (fun (cname, checker) ->
+          let where = tname ^ "/" ^ cname in
+          let v = Aerodrome.Checker.run checker tr <> None in
+          check Alcotest.bool (where ^ ": exact verdict") v
+            (Aerodrome.Checker.run checker exact <> None);
+          check Alcotest.bool (where ^ ": online verdict") v
+            (Aerodrome.Checker.run checker online <> None))
+        checkers)
+    (corpus ())
+
+(* the mixed bench workload: well-formed, substantially reducible, and
+   verdict-preserving under both modes *)
+let test_mixed_workload () =
+  let tr = Workloads.Corpus.mixed ~events_total:60_000 () in
+  check Alcotest.bool "mixed trace well-formed" true
+    (Wellformed.is_wellformed tr);
+  let reduced, c = Prefilter.run_trace `Exact tr in
+  let frac =
+    float_of_int (Prefilter.elided c) /. float_of_int c.Prefilter.events_in
+  in
+  check Alcotest.bool "mixed trace >= 30% reducible" true (frac >= 0.30);
+  check Alcotest.bool "mixed verdict preserved" (violating_opt tr)
+    (violating_opt reduced)
+
+(* --- runner composition: prefilter x reclaim x pipelined --- *)
+
+let test_runner_composition () =
+  let traces =
+    [
+      ("atomic", Workloads.Corpus.mixed ~events_total:20_000 ());
+      ( "violating",
+        Workloads.Generator.generate
+          {
+            Workloads.Generator.default with
+            events = 20_000;
+            threads = 6;
+            vars = 2_000;
+            plan = Workloads.Generator.Violate_at 0.6;
+          } );
+    ]
+  in
+  List.iter
+    (fun (tname, tr) ->
+      let base = violating_opt tr in
+      (* materialized runs *)
+      List.iter
+        (fun (mname, pf) ->
+          let r =
+            Analysis.Runner.run ~prefilter:pf (module Aerodrome.Opt) tr
+          in
+          check Alcotest.bool
+            (tname ^ "/run " ^ mname ^ ": verdict")
+            base
+            (Analysis.Runner.violating r))
+        [ ("exact", Analysis.Runner.Exact); ("online", Analysis.Runner.Online) ];
+      (* file-based runs: text and binary (v3 footer), sequential and
+         pipelined, reclaim on and off *)
+      let stream_cases path =
+        List.iter
+          (fun (pipelined, reclaim, pf, label) ->
+            let r =
+              Analysis.Runner.run_stream ~pipelined ~reclaim ~prefilter:pf
+                (module Aerodrome.Opt) path
+            in
+            check Alcotest.bool
+              (tname ^ "/" ^ Filename.extension path ^ " " ^ label
+             ^ ": verdict")
+              base
+              (Analysis.Runner.violating r))
+          [
+            (false, true, Analysis.Runner.Auto, "seq+reclaim+auto");
+            (false, false, Analysis.Runner.Auto, "seq+noreclaim+auto");
+            (false, true, Analysis.Runner.Online, "seq+reclaim+online");
+            (true, true, Analysis.Runner.Auto, "pipe+reclaim+auto");
+            (true, true, Analysis.Runner.Online, "pipe+reclaim+online");
+            (true, false, Analysis.Runner.Exact, "pipe+noreclaim+exact");
+          ]
+      in
+      tmp ".std" (fun path ->
+          Parser.to_file path tr;
+          stream_cases path);
+      tmp ".bin" (fun path ->
+          Binfmt.write_file path tr;
+          stream_cases path);
+      (* v1 binary: no footer — Auto degrades to online, Exact pre-scans *)
+      tmp ".bin" (fun path ->
+          Binfmt.write_file ~last_use:false path tr;
+          List.iter
+            (fun pf ->
+              let r =
+                Analysis.Runner.run_stream ~prefilter:pf
+                  (module Aerodrome.Opt) path
+              in
+              check Alcotest.bool
+                (tname ^ "/v1 binary: verdict")
+                base
+                (Analysis.Runner.violating r))
+            [ Analysis.Runner.Auto; Analysis.Runner.Exact ]))
+    traces
+
+(* --- windowing composition ---
+
+   Filtering is defined on whole traces; a window sees different accessor
+   sets, so filter and window do not commute in general (a variable
+   multi-threaded in the full trace can be thread-local inside the
+   window).  What must hold: (1) checking a filtered window agrees with
+   checking the window, for any window — the filter is sound on whatever
+   trace it is given; (2) on the full-trace window the two orders agree
+   exactly, since window repair does nothing and both sides filter the
+   same trace. *)
+
+let test_windowing () =
+  let tr = Workloads.Corpus.mixed ~events_total:30_000 () in
+  let n = Trace.length tr in
+  List.iter
+    (fun (start, len) ->
+      let w = Transform.limit_window start len tr in
+      let fw, _ = Prefilter.run_trace `Exact w in
+      check Alcotest.bool
+        (Printf.sprintf "window [%d,%d): filter preserves verdict" start
+           (start + len))
+        (violating_opt w) (violating_opt fw))
+    [ (0, n / 2); (n / 4, n / 2); (n / 2, n / 2); (0, n) ];
+  (* the full window is the identity, so the orders commute exactly *)
+  let full = Transform.limit_window 0 n tr in
+  let filter_then_window =
+    Transform.limit_window 0 n (fst (Prefilter.run_trace `Exact tr))
+  in
+  let window_then_filter = fst (Prefilter.run_trace `Exact full) in
+  check Alcotest.bool "full window: orders commute event-for-event" true
+    (events_of filter_then_window = events_of window_then_filter)
+
+(* hand-written soundness corner cases *)
+let test_corner_cases () =
+  let t tr = Parser.parse_string_exn tr in
+  (* a read-only variable's reads carry no conflict even across threads *)
+  let ro =
+    t
+      "t1|begin\n\
+       t1|r(x)\n\
+       t1|end\n\
+       t2|begin\n\
+       t2|r(x)\n\
+       t2|end\n"
+  in
+  let reduced, c = Prefilter.run_trace `Exact ro in
+  check Alcotest.int "read-only reads elided" 2 c.Prefilter.read_only;
+  check Alcotest.bool "read-only reduction serializable" false
+    (violating_opt reduced);
+  (* rule (c) must NOT elide a re-read with an interposed foreign write:
+     the classic rho cycle survives filtering *)
+  let rho =
+    t
+      "t1|begin\n\
+       t1|r(y)\n\
+       t1|w(x)\n\
+       t2|begin\n\
+       t2|r(x)\n\
+       t2|w(y)\n\
+       t2|end\n\
+       t1|r(y)\n\
+       t1|end\n"
+  in
+  check Alcotest.bool "rho violating before" true (violating_opt rho);
+  List.iter
+    (fun mode ->
+      let reduced, _ = Prefilter.run_trace mode rho in
+      check Alcotest.bool "rho violating after" true (violating_opt reduced))
+    [ `Exact; `Online ];
+  (* a lock held by two threads is never elided; one held by one thread is *)
+  let locks =
+    t
+      "t1|acq(solo)\n\
+       t1|rel(solo)\n\
+       t1|acq(shared)\n\
+       t1|rel(shared)\n\
+       t2|acq(shared)\n\
+       t2|rel(shared)\n"
+  in
+  let _, c = Prefilter.run_trace `Exact locks in
+  check Alcotest.int "solo lock ops elided" 2 c.Prefilter.lock_local
+
+let suite =
+  ( "prefilter",
+    [
+      Alcotest.test_case "exact idempotent" `Quick test_idempotent;
+      Alcotest.test_case "online re-filter sound" `Quick
+        test_online_refilter_sound;
+      Alcotest.test_case "wellformed preserved" `Quick
+        test_wellformed_preserved;
+      Alcotest.test_case "counts consistent" `Quick test_counts_consistent;
+      Alcotest.test_case "online keeps superset" `Quick
+        test_online_keeps_superset;
+      Alcotest.test_case "differential 500+" `Slow test_differential;
+      Alcotest.test_case "mixed workload" `Quick test_mixed_workload;
+      Alcotest.test_case "runner composition" `Slow test_runner_composition;
+      Alcotest.test_case "windowing" `Quick test_windowing;
+      Alcotest.test_case "corner cases" `Quick test_corner_cases;
+    ] )
