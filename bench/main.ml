@@ -10,16 +10,19 @@
    per-checker numbers stay honest while the untimed work overlaps.
 
    With [--json FILE] the harness also emits a machine-readable summary
-   (schema "aerodrome-bench/5": per-checker events/sec, Gc statistics,
+   (schema "aerodrome-bench/6": per-checker events/sec, Gc statistics,
    parallel wall-clock + speedup, telemetry overhead + metric snapshot,
    peak-memory with and without state reclamation, trace-reduction
-   throughput with the prefilter off/exact/online) so committed
-   BENCH_*.json files can track the performance trajectory.
+   throughput with the prefilter off/exact/online, and the packed-arena
+   axis — boxed vs zero-copy packed ingestion end to end, plus the
+   ingestion micro-benchmark rows in "micro") so committed BENCH_*.json
+   files can track the performance trajectory.
 
    Usage: dune exec bench/main.exe -- [--table 1|2] [--no-tables] [--scale F]
           [--jobs N] [--timeout S] [--only NAME] [--no-micro] [--micro-fast]
           [--no-ablation] [--no-scaling] [--no-parallel] [--no-telemetry]
-          [--no-reclaim] [--no-prefilter] [--json FILE] [--markdown] *)
+          [--no-reclaim] [--no-prefilter] [--no-arena] [--json FILE]
+          [--markdown] *)
 
 open Traces
 
@@ -37,6 +40,7 @@ type options = {
   mutable telemetry : bool;
   mutable reclaim : bool;
   mutable prefilter : bool;
+  mutable arena : bool;
   mutable markdown : bool;
   mutable json : string option;
   mutable micro_fast : bool;
@@ -56,6 +60,7 @@ let opts =
     telemetry = true;
     reclaim = true;
     prefilter = true;
+    arena = true;
     markdown = false;
     json = None;
     micro_fast = false;
@@ -101,6 +106,9 @@ let parse_args () =
       go rest
     | "--no-prefilter" :: rest ->
       opts.prefilter <- false;
+      go rest
+    | "--no-arena" :: rest ->
+      opts.arena <- false;
       go rest
     | "--no-tables" :: rest ->
       opts.tables <- [];
@@ -928,7 +936,203 @@ let run_prefilter () =
             pf_match;
           })
 
-(* --- JSON emitter (schema "aerodrome-bench/5") --- *)
+(* --- Packed-arena axis: zero-copy ingestion vs the boxed reference ---
+
+   The same mixed-corpus binary trace (v3, so the exact prefilter is
+   free on both sides; [Auto] selects it) checked end to end by the
+   linear-time checker through the boxed [Event.t] reference reader and
+   through the packed path: mmap -> packed words -> packed rule engine
+   -> [feed_packed], no per-event heap allocation between the file and
+   the vector-clock work, and elided events never materialized at all.
+   Repetitions are interleaved so machine drift hits both sides
+   equally; allocation figures are [Gc.allocated_bytes] deltas around
+   the first repetition of each side.  Verdicts and reports must be
+   byte-identical — the packed path is an optimization, never a
+   different checker.
+
+   The same file also feeds the ingestion micro-benchmark (decode-only,
+   no checker): boxed record decoding vs the packed mmap cursor,
+   reported as events/sec and words allocated per 100K events.  The
+   rows land in the JSON "micro" section with verdict "n/a". *)
+
+type arena_side = {
+  ar_seconds : float;
+  ar_eps : float;  (* input events per second *)
+  ar_events_fed : int;
+  ar_alloc_mwords : float;
+}
+
+type arena_summary = {
+  ar_events : int;
+  ar_threads : int;
+  ar_vars : int;
+  ar_file_bytes : int;
+  ar_boxed : arena_side;
+  ar_packed : arena_side;
+  ar_speedup : float;
+  ar_alloc_reduction : float;
+  ar_verdicts_match : bool;
+  ar_reports_match : bool;
+}
+
+let json_arena : arena_summary option ref = ref None
+
+let run_ingest_micro path events_in =
+  let boxed () =
+    let t0 = Unix.gettimeofday () in
+    let a0 = Gc.allocated_bytes () in
+    let _, n = Traces.Binfmt.fold path ~init:0 ~f:(fun n _ -> n + 1) in
+    let a1 = Gc.allocated_bytes () in
+    (Unix.gettimeofday () -. t0, (a1 -. a0) /. 8., n)
+  in
+  let packed () =
+    let t0 = Unix.gettimeofday () in
+    let a0 = Gc.allocated_bytes () in
+    let _, n = Traces.Binfmt.fold_packed path ~init:0 ~f:(fun n _ -> n + 1) in
+    let a1 = Gc.allocated_bytes () in
+    (Unix.gettimeofday () -. t0, (a1 -. a0) /. 8., n)
+  in
+  (* interleaved, best time of 3; allocation from the first repetition *)
+  let best_b = ref (boxed ()) in
+  let best_p = ref (packed ()) in
+  let _, b_alloc, _ = !best_b in
+  let _, p_alloc, _ = !best_p in
+  for _ = 2 to 3 do
+    let ((bs, _, _) as b) = boxed () in
+    let bbs, _, _ = !best_b in
+    if bs < bbs then best_b := b;
+    let ((ps, _, _) as p) = packed () in
+    let bps, _, _ = !best_p in
+    if ps < bps then best_p := p
+  done;
+  let sample cname (seconds, _, n) alloc =
+    {
+      cname;
+      seconds;
+      events_fed = n;
+      events_per_sec = float_of_int n /. max seconds 1e-9;
+      verdict = "n/a";
+      allocated_mwords = alloc /. 1e6;
+      top_heap_words = (Gc.quick_stat ()).Gc.top_heap_words;
+    }
+  in
+  let sb = sample "ingest-boxed-decode" !best_b b_alloc in
+  let sp = sample "ingest-packed-mmap-cursor" !best_p p_alloc in
+  Format.fprintf fmt
+    "@.Ingestion micro (decode only, %d events, best of 3 interleaved \
+     reps)@."
+    events_in;
+  let line (s : checker_sample) alloc =
+    Format.fprintf fmt
+      "  %-26s %10.1f Kev/s   %12.0f words alloc / 100K events@." s.cname
+      (s.events_per_sec /. 1e3)
+      (alloc /. float_of_int (max events_in 1) *. 1e5)
+  in
+  line sb b_alloc;
+  line sp p_alloc;
+  json_micro :=
+    !json_micro
+    @ [
+        {
+          rname = "ingestion";
+          events = events_in;
+          threads = 0;
+          locks = 0;
+          vars = 0;
+          samples = [ sb; sp ];
+        };
+      ]
+
+let run_arena () =
+  let events_total = int_of_float (1_500_000. *. opts.scale) in
+  let tr = Workloads.Corpus.mixed ~events_total () in
+  let events_in = Trace.length tr in
+  let path = Filename.temp_file "aerodrome-bench" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Traces.Binfmt.write_file path tr;
+      let file_bytes = (Unix.stat path).Unix.st_size in
+      let run packed =
+        Analysis.Runner.run_stream ~timeout:opts.timeout ~packed
+          ~prefilter:Analysis.Runner.Auto aerodrome path
+      in
+      let measured packed =
+        let a0 = Gc.allocated_bytes () in
+        let r = run packed in
+        let a1 = Gc.allocated_bytes () in
+        (r, (a1 -. a0) /. 8e6)
+      in
+      let r_boxed0, alloc_boxed = measured false in
+      let r_packed0, alloc_packed = measured true in
+      let best_boxed = ref r_boxed0 in
+      let best_packed = ref r_packed0 in
+      for _ = 2 to 5 do
+        let b = run false in
+        if b.Analysis.Runner.seconds < !best_boxed.Analysis.Runner.seconds
+        then best_boxed := b;
+        let p = run true in
+        if p.Analysis.Runner.seconds < !best_packed.Analysis.Runner.seconds
+        then best_packed := p
+      done;
+      let verdicts_match =
+        verdict_string !best_boxed = verdict_string !best_packed
+      in
+      let reports_match =
+        !best_boxed.Analysis.Runner.outcome
+        = !best_packed.Analysis.Runner.outcome
+        && !best_boxed.Analysis.Runner.events_fed
+           = !best_packed.Analysis.Runner.events_fed
+      in
+      if not (verdicts_match && reports_match) then
+        Format.fprintf fmt "!! arena: packed report differs from boxed@.";
+      let side (r : Analysis.Runner.result) alloc =
+        {
+          ar_seconds = r.Analysis.Runner.seconds;
+          ar_eps =
+            float_of_int events_in /. Float.max r.Analysis.Runner.seconds 1e-9;
+          ar_events_fed = r.Analysis.Runner.events_fed;
+          ar_alloc_mwords = alloc;
+        }
+      in
+      let boxed = side !best_boxed alloc_boxed in
+      let packed = side !best_packed alloc_packed in
+      let speedup = boxed.ar_seconds /. Float.max packed.ar_seconds 1e-9 in
+      let alloc_reduction =
+        boxed.ar_alloc_mwords /. Float.max packed.ar_alloc_mwords 1e-3
+      in
+      Format.fprintf fmt
+        "@.Packed arena: ingestion path end to end (mixed trace, %d events, \
+         %d bytes on disk, best of 5)@."
+        events_in file_bytes;
+      let line label (s : arena_side) extra =
+        Format.fprintf fmt
+          "  %-12s %8.3fs  %10.1f Kev/s   %10.3f Mwords allocated%s@." label
+          s.ar_seconds (s.ar_eps /. 1e3) s.ar_alloc_mwords extra
+      in
+      line "boxed" boxed "";
+      line "packed" packed
+        (Printf.sprintf "   (%.2fx, %.0fx less allocation)" speedup
+           alloc_reduction);
+      if not (verdicts_match && reports_match) then
+        Format.fprintf fmt "  [MISMATCH]@.";
+      json_arena :=
+        Some
+          {
+            ar_events = events_in;
+            ar_threads = Trace.threads tr;
+            ar_vars = Trace.vars tr;
+            ar_file_bytes = file_bytes;
+            ar_boxed = boxed;
+            ar_packed = packed;
+            ar_speedup = speedup;
+            ar_alloc_reduction = alloc_reduction;
+            ar_verdicts_match = verdicts_match;
+            ar_reports_match = reports_match;
+          };
+      run_ingest_micro path events_in)
+
+(* --- JSON emitter (schema "aerodrome-bench/6") --- *)
 
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in
@@ -969,7 +1173,7 @@ let emit_json path =
     sep_list emit_sample r.samples;
     add "]}"
   in
-  add "{\"schema\":\"aerodrome-bench/5\",";
+  add "{\"schema\":\"aerodrome-bench/6\",";
   add "\"scale\":%g,\"timeout\":%g,\"jobs\":%d," opts.scale opts.timeout
     opts.jobs;
   add "\"tables\":[";
@@ -1041,6 +1245,23 @@ let emit_json path =
     side "online" p.pf_online;
     add ",\"speedup_exact\":%.3f,\"speedup_online\":%.3f,\"verdicts_match\":%b}"
       p.pf_speedup_exact p.pf_speedup_online p.pf_match);
+  add ",\"arena\":";
+  (match !json_arena with
+  | None -> add "null"
+  | Some a ->
+    add "{\"events\":%d,\"threads\":%d,\"vars\":%d,\"file_bytes\":%d,"
+      a.ar_events a.ar_threads a.ar_vars a.ar_file_bytes;
+    let side name (s : arena_side) =
+      add
+        "\"%s\":{\"seconds\":%.6f,\"events_per_sec\":%.1f,\"events_fed\":%d,\"allocated_mwords\":%.3f}"
+        name s.ar_seconds s.ar_eps s.ar_events_fed s.ar_alloc_mwords
+    in
+    side "boxed" a.ar_boxed;
+    add ",";
+    side "packed" a.ar_packed;
+    add
+      ",\"speedup\":%.3f,\"alloc_reduction\":%.1f,\"verdicts_match\":%b,\"reports_match\":%b}"
+      a.ar_speedup a.ar_alloc_reduction a.ar_verdicts_match a.ar_reports_match);
   add "}";
   Buffer.add_char buf '\n';
   let oc = open_out path in
@@ -1062,5 +1283,6 @@ let () =
   if opts.telemetry && opts.only = None then run_telemetry ();
   if opts.reclaim && opts.only = None then run_reclaim ();
   if opts.prefilter && opts.only = None then run_prefilter ();
+  if opts.arena && opts.only = None then run_arena ();
   Option.iter emit_json opts.json;
   Format.pp_print_flush fmt ()

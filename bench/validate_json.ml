@@ -1,5 +1,5 @@
 (* Schema validator for the bench harness's --json output
-   (schema "aerodrome-bench/5").  Exits 0 and prints "ok" when the file
+   (schema "aerodrome-bench/6").  Exits 0 and prints "ok" when the file
    parses and carries the expected structure; prints a diagnostic and
    exits 1 otherwise.  Used by the cram test so the emitter cannot rot.
 
@@ -38,6 +38,7 @@ let check_sample ~where s =
   if eps < 0. then bad "%s: negative events_per_sec" where;
   match verdict with
   | "serializable" | "violation" | "timeout" -> ()
+  | "n/a" -> ()  (* decode-only ingestion micro rows: no checker ran *)
   | v -> bad "%s: unknown verdict %S" where v
 
 let check_row ~where r =
@@ -213,9 +214,47 @@ let check_prefilter = function
     if not (as_bool "prefilter.verdicts_match" (field p "verdicts_match")) then
       bad "prefilter: verdicts diverged between filter modes"
 
+(* The arena section is the zero-copy ingestion axis: the packed path
+   must report the same verdict and the same events_fed as the boxed
+   reference, and may never allocate more than it. *)
+let check_arena = function
+  | Null -> ()
+  | a ->
+    if as_num "arena.events" (field a "events") <= 0. then
+      bad "arena: events <= 0";
+    ignore (as_num "arena.threads" (field a "threads"));
+    ignore (as_num "arena.vars" (field a "vars"));
+    if as_num "arena.file_bytes" (field a "file_bytes") < 0. then
+      bad "arena: negative file_bytes";
+    let side where s =
+      if as_num (where ^ ".seconds") (field s "seconds") < 0. then
+        bad "%s: negative seconds" where;
+      if as_num (where ^ ".events_per_sec") (field s "events_per_sec") < 0.
+      then bad "%s: negative events_per_sec" where;
+      if as_num (where ^ ".events_fed") (field s "events_fed") < 0. then
+        bad "%s: negative events_fed" where;
+      let alloc =
+        as_num (where ^ ".allocated_mwords") (field s "allocated_mwords")
+      in
+      if alloc < 0. then bad "%s: negative allocated_mwords" where;
+      alloc
+    in
+    let boxed_alloc = side "arena.boxed" (field a "boxed") in
+    let packed_alloc = side "arena.packed" (field a "packed") in
+    if as_num "arena.speedup" (field a "speedup") < 0. then
+      bad "arena: negative speedup";
+    ignore (as_num "arena.alloc_reduction" (field a "alloc_reduction"));
+    if not (as_bool "arena.verdicts_match" (field a "verdicts_match")) then
+      bad "arena: packed verdict diverged from boxed";
+    if not (as_bool "arena.reports_match" (field a "reports_match")) then
+      bad "arena: packed report diverged from boxed";
+    if packed_alloc > boxed_alloc then
+      bad "arena: packed path allocated more than boxed (%.3f > %.3f Mwords)"
+        packed_alloc boxed_alloc
+
 let check_root j =
   let schema = as_str "schema" (field j "schema") in
-  if schema <> "aerodrome-bench/5" then bad "unknown schema %S" schema;
+  if schema <> "aerodrome-bench/6" then bad "unknown schema %S" schema;
   ignore (as_num "scale" (field j "scale"));
   ignore (as_num "timeout" (field j "timeout"));
   if as_num "jobs" (field j "jobs") < 1. then bad "jobs < 1";
@@ -240,6 +279,7 @@ let check_root j =
   check_telemetry (field j "telemetry");
   check_reclaim (field j "reclaim");
   check_prefilter (field j "prefilter");
+  check_arena (field j "arena");
   if tables = [] && micro = [] && field j "parallel" = Null then
     bad "no tables and no micro results"
 

@@ -92,9 +92,11 @@ let policy ~reclaim oracle =
    checker, dropping events that provably cannot change the verdict.
    [Exact] wants whole-trace accessor statistics ({!Traces.Varstats}) —
    from a materialized trace, a v3 binary footer, the text parser's
-   interning pass, or a dedicated pre-scan — and [Auto] picks the best
-   mode the input affords: exact when the statistics come for free,
-   online (single-pass adaptive buffering) otherwise.
+   interning pass, or a dedicated pre-scan — and [Auto] applies the
+   exact mode when the statistics come for free and otherwise runs
+   unfiltered: the online mode's buffering costs more than it saves on
+   checker-rate workloads (BENCH_2026-08-05 measured it at 0.74x), so
+   it only ever runs on explicit request.
 
    Composition with [reclaim] is sound as-is: the oracle releases a
    variable when the checker's event index equals the recorded last-use
@@ -109,7 +111,8 @@ let prefilter_mode ~prefilter ~stats =
   match (prefilter, stats) with
   | Off, _ -> None
   | (Exact | Auto), Some vs -> Some (Prefilter.Exact vs)
-  | Online, _ | (Exact | Auto), None -> Some Prefilter.Online
+  | Online, _ | Exact, None -> Some Prefilter.Online
+  | Auto, None -> None
 
 (* High-water mark of the major heap, sampled at the same 4096-event
    checkpoints as the timeout — the per-run memory axis the bench
@@ -272,10 +275,89 @@ let run_binary_file ?timeout ?heartbeat ?(reclaim = true) ?(prefilter = Off)
         metrics = r.metrics @ runner_entries ?file_bytes:(file_size path) (ref (-1.0));
       })
 
+(* --- packed ingestion ---
+
+   The default path for binary inputs: {!Traces.Binfmt.fold_packed}
+   mmaps the file and decodes each record into one packed int word
+   ({!Traces.Packed}), fed to the checker's [feed_packed] entry — no
+   per-event heap allocation between the file and the vector-clock
+   work.  The exact-mode prefilter runs on the packed words too, so
+   elided events are never materialized.  The boxed [run_binary_file]
+   remains the reference implementation: verdicts, violation indices
+   and [events_fed] are differential-tested identical. *)
+
+let packable ~prefilter (h : Traces.Binfmt.header) =
+  Traces.Packed.fits ~threads:h.Traces.Binfmt.threads
+    ~locks:h.Traces.Binfmt.locks ~vars:h.Traces.Binfmt.vars
+  (* online buffering is inherently boxed; honor an explicit request on
+     the boxed path rather than unpack/repack every event *)
+  && prefilter <> Online
+
+let run_packed_file ?timeout ?heartbeat ~reclaim ~prefilter
+    (module C : Aerodrome.Checker.S) path (header : Traces.Binfmt.header) =
+  collected (fun () ->
+      let last_use =
+        if reclaim then Traces.Binfmt.read_last_use path else None
+      in
+      let stats = binary_stats ~prefilter path in
+      let st =
+        Aerodrome.Reclaim.with_policy (policy ~reclaim last_use) (fun () ->
+            C.create ~threads:header.Traces.Binfmt.threads
+              ~locks:header.Traces.Binfmt.locks
+              ~vars:header.Traces.Binfmt.vars)
+      in
+      let pf = Option.map Prefilter.create (prefilter_mode ~prefilter ~stats) in
+      let sample_heap = heap_sampler () in
+      arm_heartbeat heartbeat ~total:(Some header.Traces.Binfmt.events);
+      let started = Unix.gettimeofday () in
+      let deadline = Option.map (fun b -> started +. b) timeout in
+      let timed_out = ref false in
+      let viol_at = ref (-1.0) in
+      let fed = ref 0 in
+      let feed_one w =
+        (match C.feed_packed st w with
+        | Some _ -> note_violation viol_at ~started
+        | None -> ());
+        incr fed;
+        if !fed land (check_interval - 1) = 0 then begin
+          tick heartbeat !fed;
+          sample_heap ();
+          match deadline with
+          | Some d when Unix.gettimeofday () > d ->
+            timed_out := true;
+            raise Exit
+          | _ -> ()
+        end
+      in
+      (try
+         ignore
+           (Traces.Binfmt.fold_packed path ~init:()
+              ~f:
+                (match pf with
+                | None -> fun () w -> feed_one w
+                | Some p -> fun () w -> Prefilter.feed_packed p w feed_one))
+       with Exit -> ());
+      (match pf with
+      | None -> ()
+      | Some p -> ( try Prefilter.finish_packed p feed_one with Exit -> ()));
+      sample_heap ();
+      {
+        checker = C.name;
+        outcome = (if !timed_out then Timed_out else Verdict (C.violation st));
+        seconds = Unix.gettimeofday () -. started;
+        events_fed = !fed;
+        metrics = runner_entries ?file_bytes:(file_size path) viol_at;
+      })
+
 let run_stream_seq ?timeout ?heartbeat ?(reclaim = true) ?(prefilter = Off)
-    (module C : Aerodrome.Checker.S) path =
-  if Traces.Binfmt.is_binary path then
-    run_binary_file ?timeout ?heartbeat ~reclaim ~prefilter (module C) path
+    ?(packed = true) (module C : Aerodrome.Checker.S) path =
+  if Traces.Binfmt.is_binary path then begin
+    let header = Traces.Binfmt.read_header path in
+    if packed && packable ~prefilter header then
+      run_packed_file ?timeout ?heartbeat ~reclaim ~prefilter (module C) path
+        header
+    else run_binary_file ?timeout ?heartbeat ~reclaim ~prefilter (module C) path
+  end
   else
     collected (fun () ->
         (* text: Parser.fold_file announces the domains (pass 1) before any
@@ -377,13 +459,16 @@ type stream_msg =
       stats : Varstats.t option;  (* prefilter oracle, when available *)
     }
   | Batch of Traces.Event.t array
+  | Packed_batch of Traces.Packed.chunk * int
+      (* a filled arena chunk and its length: one batch = one chunk, so
+         batch boundaries align with chunk boundaries by construction *)
 
 let batch_size = 8192
 let ring_capacity = 8
 
 exception Stop_producing
 
-let produce_file path ~reclaim ~prefilter ~push =
+let produce_file path ~reclaim ~prefilter ~packed ~push =
   let push_or_stop m = if not (push m) then raise Stop_producing in
   let scratch = Array.make batch_size (Traces.Event.begin_ 0) in
   let fill = ref 0 in
@@ -426,7 +511,34 @@ let produce_file path ~reclaim ~prefilter ~push =
               last_use;
               stats;
             });
-       ignore (Traces.Binfmt.fold path ~init:() ~f:feed)
+       if packed && packable ~prefilter h then begin
+         (* decode straight into packed chunks; a full chunk is pushed
+            as-is (chunks are off-heap and immutable once handed over,
+            so sharing them with the consumer domain is safe) *)
+         let cw = batch_size in
+         let chunk = ref (Traces.Packed.make_chunk cw) in
+         let cfill = ref 0 in
+         let flush_packed () =
+           if !cfill > 0 then begin
+             if trace_on then
+               Obs.Chrome_trace.add_span ~cat:"ingest" ~name:"decode-batch"
+                 ~ts_us:!batch_t0
+                 ~dur_us:(Obs.now_us () -. !batch_t0)
+                 ();
+             push_or_stop (Packed_batch (!chunk, !cfill));
+             chunk := Traces.Packed.make_chunk cw;
+             cfill := 0;
+             if trace_on then batch_t0 := Obs.now_us ()
+           end
+         in
+         ignore
+           (Traces.Binfmt.fold_packed path ~init:() ~f:(fun () w ->
+                Bigarray.Array1.unsafe_set !chunk !cfill w;
+                incr cfill;
+                if !cfill = cw then flush_packed ()));
+         flush_packed ()
+       end
+       else ignore (Traces.Binfmt.fold path ~init:() ~f:feed)
      end
      else begin
        (* the last-use and stats callbacks fire after pass 1, before [init] *)
@@ -466,13 +578,14 @@ let ring_entries (s : Parallel.Ring.stats) =
     ]
 
 let run_stream_pipelined ?timeout ?heartbeat ?(reclaim = true)
-    ?(prefilter = Off) (module C : Aerodrome.Checker.S) path =
+    ?(prefilter = Off) ?(packed = true) (module C : Aerodrome.Checker.S) path =
   collected (fun () ->
       let ring_stats = ref None in
       let r =
         Parallel.Pipeline.run ~capacity:ring_capacity
           ~on_stats:(fun s -> ring_stats := Some s)
-          ~produce:(fun ~push -> produce_file path ~reclaim ~prefilter ~push)
+          ~produce:(fun ~push ->
+            produce_file path ~reclaim ~prefilter ~packed ~push)
           ~consume:(fun ~pop ->
             match pop () with
             | None ->
@@ -487,7 +600,7 @@ let run_stream_pipelined ?timeout ?heartbeat ?(reclaim = true)
                 events_fed = 0;
                 metrics = Obs.Snapshot.empty;
               }
-            | Some (Batch _) ->
+            | Some (Batch _ | Packed_batch _) ->
               assert false (* producer announces domains first *)
             | Some (Domains { threads; locks; vars; events; last_use; stats })
               ->
@@ -508,10 +621,7 @@ let run_stream_pipelined ?timeout ?heartbeat ?(reclaim = true)
               let timed_out = ref false in
               let viol_at = ref (-1.0) in
               let fed = ref 0 in
-              let feed_one e =
-                (match C.feed st e with
-                | Some _ -> note_violation viol_at ~started
-                | None -> ());
+              let checkpoint () =
                 incr fed;
                 if !fed land (check_interval - 1) = 0 then begin
                   tick heartbeat !fed;
@@ -522,6 +632,18 @@ let run_stream_pipelined ?timeout ?heartbeat ?(reclaim = true)
                     raise Exit
                   | _ -> ()
                 end
+              in
+              let feed_one e =
+                (match C.feed st e with
+                | Some _ -> note_violation viol_at ~started
+                | None -> ());
+                checkpoint ()
+              in
+              let feed_one_packed w =
+                (match C.feed_packed st w with
+                | Some _ -> note_violation viol_at ~started
+                | None -> ());
+                checkpoint ()
               in
               (try
                  let rec loop () =
@@ -537,6 +659,17 @@ let run_stream_pipelined ?timeout ?heartbeat ?(reclaim = true)
                              | None -> feed_one e
                              | Some p -> Prefilter.feed p e feed_one)
                            events);
+                     loop ()
+                   | Some (Packed_batch (chunk, len)) ->
+                     Obs.Chrome_trace.span ~cat:"check" "feed-batch"
+                       (fun () ->
+                         for i = 0 to len - 1 do
+                           let w = Bigarray.Array1.unsafe_get chunk i in
+                           match pf with
+                           | None -> feed_one_packed w
+                           | Some p ->
+                             Prefilter.feed_packed p w feed_one_packed
+                         done);
                      loop ()
                  in
                  loop ()
@@ -560,10 +693,12 @@ let run_stream_pipelined ?timeout ?heartbeat ?(reclaim = true)
       | _ -> r)
 
 let run_stream ?timeout ?heartbeat ?(pipelined = false) ?(reclaim = true)
-    ?(prefilter = Off) checker path =
+    ?(prefilter = Off) ?(packed = true) checker path =
   if pipelined then
-    run_stream_pipelined ?timeout ?heartbeat ~reclaim ~prefilter checker path
-  else run_stream_seq ?timeout ?heartbeat ~reclaim ~prefilter checker path
+    run_stream_pipelined ?timeout ?heartbeat ~reclaim ~prefilter ~packed
+      checker path
+  else
+    run_stream_seq ?timeout ?heartbeat ~reclaim ~prefilter ~packed checker path
 
 (* --- multi-file fan-out --- *)
 
@@ -573,9 +708,10 @@ type file_report = {
 }
 
 let run_file ?timeout ?heartbeat ?(pipelined = false) ?(reclaim = true)
-    ?(prefilter = Off) checker path =
+    ?(prefilter = Off) ?(packed = true) checker path =
   match
-    run_stream ?timeout ?heartbeat ~pipelined ~reclaim ~prefilter checker path
+    run_stream ?timeout ?heartbeat ~pipelined ~reclaim ~prefilter ~packed
+      checker path
   with
   | r -> Ok r
   | exception Traces.Binfmt.Corrupt msg -> Error msg
@@ -584,7 +720,7 @@ let run_file ?timeout ?heartbeat ?(pipelined = false) ?(reclaim = true)
   | exception Sys_error msg -> Error msg
 
 let run_many ?timeout ?heartbeat ?(pipelined = false) ?(reclaim = true)
-    ?(prefilter = Off) ?(jobs = 1) ?on_pool checker paths =
+    ?(prefilter = Off) ?(packed = true) ?(jobs = 1) ?on_pool checker paths =
   (* A shared heartbeat would interleave lines from concurrent workers;
      drop it when the files actually fan out. *)
   let heartbeat =
@@ -595,8 +731,8 @@ let run_many ?timeout ?heartbeat ?(pipelined = false) ?(reclaim = true)
       {
         file = path;
         report =
-          run_file ?timeout ?heartbeat ~pipelined ~reclaim ~prefilter checker
-            path;
+          run_file ?timeout ?heartbeat ~pipelined ~reclaim ~prefilter ~packed
+            checker path;
       })
     paths
 

@@ -65,10 +65,15 @@ type prefilter =
           the materialized trace, a v3 binary footer, the text parser's
           interning pass, or (binary v1/v2) a dedicated pre-scan; a bare
           event sequence with no [stats] falls back to the online mode *)
-  | Online  (** {!Traces.Prefilter.Online}: single-pass adaptive buffering *)
+  | Online
+      (** {!Traces.Prefilter.Online}: single-pass adaptive buffering.  Only
+          ever used on explicit request — its buffering overhead outweighs
+          the reduction on checker-rate workloads (measured at 0.74x the
+          unfiltered throughput, BENCH_2026-08-05) *)
   | Auto
-      (** exact when the statistics come for free, online otherwise
-          (binary v1/v2 files, bare sequences) *)
+      (** exact when the statistics come for free (materialized trace, v3
+          binary footer, text interning pass), {e off} otherwise (binary
+          v1/v2 files, bare sequences) — never online *)
 (** Sound trace reduction between ingestion and the checker
     ({!Traces.Prefilter}): drops thread-local, read-only, redundant and
     lock-local events.  Verdicts are preserved; violation indices refer
@@ -111,14 +116,25 @@ val run_binary_file :
 
 val run_stream :
   ?timeout:float -> ?heartbeat:Obs.Heartbeat.t -> ?pipelined:bool ->
-  ?reclaim:bool -> ?prefilter:prefilter -> Aerodrome.Checker.t -> string ->
-  result
+  ?reclaim:bool -> ?prefilter:prefilter -> ?packed:bool ->
+  Aerodrome.Checker.t -> string -> result
 (** Analyze a trace file without materializing it, auto-detecting the
     format: binary files stream in one pass (domains from the header),
     text files via {!Traces.Parser.fold_file} (two passes, since the text
     format only reveals its domains once scanned).  Peak memory is the
     checker's state plus an I/O buffer, independent of the trace length.
     For text traces [seconds] excludes the interning pass.
+
+    Binary inputs default to the {e packed} ingestion path
+    ({!Traces.Binfmt.fold_packed}): the file is memory-mapped and each
+    record decodes into one {!Traces.Packed} int word fed to the
+    checker's [feed_packed] entry, with no per-event heap allocation;
+    the exact-mode prefilter also runs over the packed words.  The
+    boxed decoder remains the reference implementation and is used with
+    [~packed:false], for id domains beyond {!Traces.Packed.fits}, and
+    for an explicit [Online] prefilter (whose buffering is boxed).
+    Verdicts, violation indices and [events_fed] are identical on
+    either path.
 
     With [~pipelined:true] ingestion (read + decode + intern) runs on a
     dedicated producer domain and feeds the checker through a bounded
@@ -140,15 +156,15 @@ type file_report = {
 
 val run_file :
   ?timeout:float -> ?heartbeat:Obs.Heartbeat.t -> ?pipelined:bool ->
-  ?reclaim:bool -> ?prefilter:prefilter -> Aerodrome.Checker.t -> string ->
-  (result, string) Stdlib.result
+  ?reclaim:bool -> ?prefilter:prefilter -> ?packed:bool ->
+  Aerodrome.Checker.t -> string -> (result, string) Stdlib.result
 (** {!run_stream} with per-file error capture instead of exceptions:
     [Sys_error], {!Traces.Binfmt.Corrupt} and
     {!Traces.Parser.Parse_error} become [Error msg]. *)
 
 val run_many :
   ?timeout:float -> ?heartbeat:Obs.Heartbeat.t -> ?pipelined:bool ->
-  ?reclaim:bool -> ?prefilter:prefilter -> ?jobs:int ->
+  ?reclaim:bool -> ?prefilter:prefilter -> ?packed:bool -> ?jobs:int ->
   ?on_pool:(float array -> unit) -> Aerodrome.Checker.t -> string list ->
   file_report list
 (** Check many trace files, one {!file_report} per input path {e in input

@@ -6,6 +6,7 @@ module type S = sig
   val name : string
   val create : threads:int -> locks:int -> vars:int -> t
   val feed : t -> Event.t -> Violation.t option
+  val feed_packed : t -> int -> Violation.t option
   val violation : t -> Violation.t option
   val processed : t -> int
 end
@@ -38,3 +39,13 @@ let run_events (module C : S) ~threads ~locks ~vars events =
   go events
 
 let is_serializable checker tr = Option.is_none (run checker tr)
+
+let run_arena (module C : S) ~threads ~locks ~vars arena =
+  let st = C.create ~threads ~locks ~vars in
+  let cur = Packed.Cursor.of_arena arena in
+  let rec go () =
+    let w = Packed.Cursor.next cur in
+    if w < 0 then None
+    else match C.feed_packed st w with Some v -> Some v | None -> go ()
+  in
+  go ()

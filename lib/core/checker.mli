@@ -23,6 +23,12 @@ module type S = sig
       checker is frozen and [feed] keeps returning it without processing
       further events. *)
 
+  val feed_packed : t -> int -> Violation.t option
+  (** {!feed} over a {!Traces.Packed} word — the zero-allocation entry
+      the binary ingestion hot path uses.  Behaviorally identical to
+      packing the word's event through [feed]; the flagship checkers
+      dispatch natively on the bit slices, others unpack and delegate. *)
+
   val violation : t -> Violation.t option
   (** The stored first violation, if any. *)
 
@@ -43,3 +49,8 @@ val run_events :
 
 val is_serializable : (module S) -> Trace.t -> bool
 (** [run] finds no violation. *)
+
+val run_arena :
+  (module S) -> threads:int -> locks:int -> vars:int -> Packed.Arena.t ->
+  Violation.t option
+(** Feed a packed arena through {!S.feed_packed} via a {!Packed.Cursor}. *)

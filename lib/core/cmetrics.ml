@@ -57,6 +57,20 @@ let count m (op : Event.op) =
   | Event.Begin -> Obs.Counter.inc m.begins
   | Event.End -> Obs.Counter.inc m.ends
 
+(* The packed hot path counts by opcode int ({!Traces.Packed} order,
+   = the binfmt record opcodes).  Only ever reached with telemetry on. *)
+let count_op m op =
+  Obs.Counter.inc m.events;
+  Obs.Counter.inc
+    (if op <= Packed.op_write then
+       if op = Packed.op_read then m.reads else m.writes
+     else if op <= Packed.op_release then
+       if op = Packed.op_acquire then m.acquires else m.releases
+     else if op <= Packed.op_join then
+       if op = Packed.op_fork then m.forks else m.joins
+     else if op = Packed.op_begin then m.begins
+     else m.ends)
+
 let txn_begin m = Obs.Counter.inc m.txn_begins
 let txn_commit m = Obs.Counter.inc m.txn_commits
 let vc_join m = Obs.Counter.inc m.vc_joins

@@ -39,6 +39,11 @@ val create : ?attach:bool -> unit -> t
     ambient {!Obs.Scope} when one is active. *)
 
 val count : t -> Event.op -> unit
+
+val count_op : t -> int -> unit
+(** [count] by packed opcode ({!Traces.Packed}); the packed hot path's
+    sibling of {!count}. *)
+
 val txn_begin : t -> unit
 val txn_commit : t -> unit
 val vc_join : t -> unit

@@ -528,6 +528,36 @@ let feed st (e : Event.t) =
       st.violation <- Some v;
       Some v)
 
+(* The packed-word twin of [feed]: same handlers, ids straight from the
+   bit slices, the boxed event materialized only at a violation. *)
+let feed_packed st w =
+  match st.violation with
+  | Some _ as v -> v
+  | None -> (
+    st.processed <- st.processed + 1;
+    if st.processed >= st.next_sweep then sweep st;
+    if Obs.on () then Cmetrics.count_op st.m (Packed.opcode w);
+    let t = Packed.tid w in
+    let d = Packed.target w in
+    match
+      (let op = Packed.opcode w in
+       if op = Packed.op_read then handle_read st t d
+       else if op = Packed.op_write then handle_write st t d
+       else if op = Packed.op_acquire then handle_acquire st t d
+       else if op = Packed.op_release then handle_release st t d
+       else if op = Packed.op_fork then handle_fork st t d
+       else if op = Packed.op_join then handle_join st t d
+       else if op = Packed.op_begin then handle_begin st t
+       else handle_end st t)
+    with
+    | () -> None
+    | exception Found site ->
+      let e = Packed.to_event w in
+      let v = Violation.make ~index:(st.processed - 1) ~event:e ~site in
+      if Obs.on () then Cmetrics.found_violation st.m (st.processed - 1);
+      st.violation <- Some v;
+      Some v)
+
 module Faithful : Checker.S = struct
   type nonrec t = t
 
@@ -537,6 +567,7 @@ module Faithful : Checker.S = struct
     create_with ~faithful:true ~threads ~locks ~vars ()
 
   let feed = feed
+  let feed_packed = feed_packed
   let violation = violation
   let processed = processed
 end
@@ -550,6 +581,7 @@ module Slow : Checker.S = struct
     create_with ~fast_checks:false ~threads ~locks ~vars ()
 
   let feed = feed
+  let feed_packed = feed_packed
   let violation = violation
   let processed = processed
 end

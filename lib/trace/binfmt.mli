@@ -96,6 +96,29 @@ val is_binary : string -> bool
 (** Does the file start with {!magic}, {!magic_v2} or {!magic_v3}?
     (Used by the CLI to auto-detect the format.) *)
 
+(** {1 Zero-copy packed ingestion}
+
+    The packed readers decode the event section straight into {!Packed}
+    words: the file is memory-mapped ([Unix.map_file]) and records are
+    decoded in place — no read syscalls past the page cache and no
+    per-event heap allocation between the file and a checker's
+    [feed_packed] entry.  Inputs that cannot be mapped (pipes, special
+    files, empty files) transparently fall back to the buffered channel
+    reader, still producing packed words.  Footer validation and error
+    behavior match the boxed readers, so hostile inputs fail identically
+    on either path. *)
+
+val fold_packed : string -> init:'a -> f:('a -> int -> 'a) -> header * 'a
+(** [fold_packed path ~init ~f] folds [f] over the file's events as
+    packed words, in order, memory-mapping the file when possible.
+    Ids beyond the packed ranges ({!Packed.max_tid}/{!Packed.max_target})
+    raise [Corrupt]; callers gate on {!Packed.fits} against the header
+    before choosing this path.  @raise Corrupt *)
+
+val read_packed : string -> header * Packed.Arena.t
+(** Materialize the whole event section as a packed arena.
+    @raise Corrupt *)
+
 (**/**)
 
 (* exposed for the round-trip property tests *)

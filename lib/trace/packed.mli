@@ -1,0 +1,113 @@
+(** Flat packed event representation for the ingestion hot path.
+
+    One event is one immediate OCaml int — opcode, thread id and target
+    id bit-sliced into a single nonnegative word:
+
+    {v
+    bit 63  62  61 ............. 24  23 ............ 3  2 ... 0
+    (sign)  0   target (38 bits)     tid (21 bits)     op
+    v}
+
+    Bit 62 (the sign bit of a 63-bit int) stays clear, so every packed
+    word is nonnegative and [-1] is an unambiguous end-of-stream
+    sentinel.
+
+    Decoding binfmt straight into packed words ({!Binfmt.fold_packed})
+    and feeding them to a checker's [feed_packed] entry removes every
+    per-event heap allocation between the file and the vector-clock
+    work.  The boxed {!Event.t} path remains the reference
+    implementation; packed and boxed are differential-tested for
+    identical verdicts and reports.
+
+    Packed words are nonnegative, so [-1] serves as the end-of-stream
+    sentinel ({!Cursor.next}).  Traces whose id domains exceed the slice
+    widths use the boxed path — {!fits} is the guard. *)
+
+(** {1 Opcodes}
+
+    Identical to the binfmt record opcodes. *)
+
+val op_read : int
+val op_write : int
+val op_acquire : int
+val op_release : int
+val op_fork : int
+val op_join : int
+val op_begin : int
+val op_end : int
+
+(** {1 Word codec} *)
+
+val max_tid : int
+(** Largest encodable thread id, [2^21 - 1]. *)
+
+val max_target : int
+(** Largest encodable variable/lock/thread target id, [2^38 - 1]. *)
+
+val target_shift : int
+(** Bit position of the target slice (the layout constant callers on the
+    decode hot path use to assemble words without a {!pack} call). *)
+
+val fits : threads:int -> locks:int -> vars:int -> bool
+(** Do id domains of these sizes pack losslessly? *)
+
+val pack : op:int -> tid:int -> target:int -> int
+(** Assemble a word.  Ids must be within {!max_tid}/{!max_target} and
+    [op] within [0..7]; out-of-range values silently corrupt the word
+    (the binary reader range-checks before packing). *)
+
+val opcode : int -> int
+val tid : int -> int
+val target : int -> int
+
+val of_event : Event.t -> int
+(** Pack a boxed event ([Begin]/[End] get target 0).  The event's ids
+    must satisfy {!fits}. *)
+
+val to_event : int -> Event.t
+(** Materialize the boxed event (allocates; the packed hot paths only
+    call this at a violation or when bridging to a boxed-only
+    consumer). *)
+
+type chunk = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** A fixed-size block of packed words, off the OCaml heap.  A full
+    chunk is immutable and may be handed to another domain (the
+    pipelined runner's batches are arena chunks). *)
+
+val make_chunk : int -> chunk
+
+(** Growable flat event store: appended chunks, never copied. *)
+module Arena : sig
+  type nonrec chunk = chunk
+
+  type t
+
+  val create : ?chunk_words:int -> unit -> t
+  (** [chunk_words] (default [65536]) is rounded up to a power of two. *)
+
+  val chunk_words : t -> int
+  val push : t -> int -> unit
+  val length : t -> int
+
+  val capacity_words : t -> int
+  (** Words of chunk storage held (≥ {!length}). *)
+
+  val get : t -> int -> int
+  (** Random access; [Invalid_argument] out of range. *)
+
+  val iter : t -> (int -> unit) -> unit
+
+  val iter_chunks : t -> (chunk -> int -> unit) -> unit
+  (** Chunks in order with their filled lengths; only the final chunk
+      may be partially filled. *)
+end
+
+(** Sequential reader over an arena. *)
+module Cursor : sig
+  type t
+
+  val of_arena : Arena.t -> t
+
+  val next : t -> int
+  (** The next packed word, or [-1] at end of stream. *)
+end

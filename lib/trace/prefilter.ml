@@ -54,6 +54,14 @@ type t = {
   mode : mode;
   cap : int;
   c : counts;
+  (* exact mode: the per-object rule-(a)/(b)/(d) verdicts, folded from
+     the {!Varstats} once at creation so the packed hot path pays one
+     byte load instead of mask arithmetic per event.  Entries: 0 =
+     retain, 1 = thread-local, 2 = read-only (variables only).  Objects
+     past the table (ids the statistics never saw) are retained, the
+     conservative direction — matching {!Varstats.var_mask} = 0. *)
+  vclass : Bytes.t;
+  lclass : Bytes.t;
   mutable threads : tstate option array;
   (* per-variable (grown on demand); owner/holder are online-mode only *)
   mutable vowner : int array;  (* -1 unseen, -2 shared, else sole thread *)
@@ -88,9 +96,26 @@ let create ?(cap = 32768) mode =
   let vars, locks =
     match mode with Exact s -> (Varstats.vars s, Varstats.locks s) | Online -> (16, 4)
   in
+  let vclass, lclass =
+    match mode with
+    | Online -> (Bytes.empty, Bytes.empty)
+    | Exact s ->
+      let vc = Bytes.make (Varstats.vars s) '\000' in
+      for x = 0 to Bytes.length vc - 1 do
+        if Varstats.var_single_threaded s x then Bytes.unsafe_set vc x '\001'
+        else if Varstats.var_read_only s x then Bytes.unsafe_set vc x '\002'
+      done;
+      let lc = Bytes.make (Varstats.locks s) '\000' in
+      for l = 0 to Bytes.length lc - 1 do
+        if Varstats.lock_single_threaded s l then Bytes.unsafe_set lc l '\001'
+      done;
+      (vc, lc)
+  in
   {
     mode;
     cap = max cap 1;
+    vclass;
+    lclass;
     c =
       {
         events_in = 0;
@@ -157,8 +182,11 @@ let keep t e emit =
   t.c.kept <- t.c.kept + 1;
   emit e
 
-(* An access that survived rules (a)/(b)/(d): apply rule (c), then emit. *)
-let retained_access t ts x ~w e emit =
+(* An access that survived rules (a)/(b)/(d): the rule-(c) decision.
+   Returns [true] if the access must be retained (stamps updated),
+   [false] if it is covered and elided — representation-agnostic, so the
+   boxed and packed feeds share it. *)
+let retained_decision t ts x ~w =
   if ts.depth > 0 then begin
     if x >= Array.length ts.sgen then begin
       ts.sgen <- grow ts.sgen (x + 1) 0;
@@ -181,7 +209,10 @@ let retained_access t ts x ~w e emit =
         (ts.s_last_rw.(x) >= 0 && ts.s_last_rw.(x) = t.wstamp.(x))
         || (ts.s_last_ww.(x) >= 0 && ts.s_last_ww.(x) = t.wstamp.(x))
     in
-    if covered then t.c.redundant <- t.c.redundant + 1
+    if covered then begin
+      t.c.redundant <- t.c.redundant + 1;
+      false
+    end
     else begin
       t.astamp.(x) <- t.astamp.(x) + 1;
       if w then begin
@@ -194,15 +225,18 @@ let retained_access t ts x ~w e emit =
         ts.s_last_rw.(x) <- t.wstamp.(x);
         ts.s_own.(x) <- ts.s_own.(x) + 1
       end;
-      keep t e emit
+      true
     end
   end
   else begin
     (* unary access: a singleton transaction, nothing to cover it *)
     t.astamp.(x) <- t.astamp.(x) + 1;
     if w then t.wstamp.(x) <- t.wstamp.(x) + 1;
-    keep t e emit
+    true
   end
+
+let retained_access t ts x ~w e emit =
+  if retained_decision t ts x ~w then keep t e emit
 
 let feed_exact t s (e : Event.t) emit =
   let ts () = tstate t (Tid.to_int e.thread) in
@@ -362,6 +396,62 @@ let feed t e emit =
   | Exact s -> feed_exact t s e emit
   | Online -> feed_online t e emit
 
+(* Exact-mode decisions over packed words: rules (a)/(b)/(d) read only
+   the opcode and the target id, rule (c) shares [retained_decision], so
+   elided events are never materialized as [Event.t]. *)
+let feed_exact_packed t w emit =
+  let op = Packed.opcode w in
+  if op <= Packed.op_write then begin
+    let x = Packed.target w in
+    let wr = op = Packed.op_write in
+    let cls =
+      if x < Bytes.length t.vclass then
+        Char.code (Bytes.unsafe_get t.vclass x)
+      else 0
+    in
+    if cls = 1 then t.c.thread_local <- t.c.thread_local + 1
+    else if cls = 2 && not wr then t.c.read_only <- t.c.read_only + 1
+    else begin
+      ensure_var t x;
+      if retained_decision t (tstate t (Packed.tid w)) x ~w:wr then begin
+        t.c.kept <- t.c.kept + 1;
+        emit w
+      end
+    end
+  end
+  else if op <= Packed.op_release then begin
+    let l = Packed.target w in
+    if l < Bytes.length t.lclass && Bytes.unsafe_get t.lclass l = '\001' then
+      t.c.lock_local <- t.c.lock_local + 1
+    else begin
+      t.c.kept <- t.c.kept + 1;
+      emit w
+    end
+  end
+  else begin
+    (if op = Packed.op_begin then begin
+       let ts = tstate t (Packed.tid w) in
+       ts.depth <- ts.depth + 1
+     end
+     else if op = Packed.op_end then begin
+       let ts = tstate t (Packed.tid w) in
+       ts.depth <- max 0 (ts.depth - 1);
+       if ts.depth = 0 then ts.gen <- ts.gen + 1
+     end);
+    t.c.kept <- t.c.kept + 1;
+    emit w
+  end
+
+let feed_packed t w emit =
+  t.c.events_in <- t.c.events_in + 1;
+  match t.mode with
+  | Exact _ -> feed_exact_packed t w emit
+  | Online ->
+    (* online buffering is inherently boxed (per-thread event queues);
+       the runner only routes packed streams here when the user forced
+       online mode explicitly *)
+    feed_online t (Packed.to_event w) (fun e -> emit (Packed.of_event e))
+
 let publish t =
   if Obs.on () && Obs.Scope.active () then begin
     let reg = Obs.Registry.create () in
@@ -407,6 +497,9 @@ let finish t _emit =
           ts.held_locks <- [])
       t.threads);
   publish t
+
+let finish_packed t emit =
+  finish t (fun e -> emit (Packed.of_event e))
 
 let filter_seq t src =
   let q = Queue.create () in

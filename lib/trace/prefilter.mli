@@ -69,6 +69,17 @@ val finish : t -> (Event.t -> unit) -> unit
     the per-rule counters to the ambient {!Obs.Scope} (when telemetry is
     enabled) as [prefilter.*] entries. *)
 
+val feed_packed : t -> int -> (int -> unit) -> unit
+(** {!feed} over {!Packed} words.  In exact mode the rule engine runs
+    entirely on the bit slices — elided events are never materialized as
+    {!Event.t}.  Online mode buffers boxed events internally (per-thread
+    queues), so packed callers pay an unpack/repack per event there; the
+    runner only routes a packed stream through online mode when the user
+    forced it explicitly. *)
+
+val finish_packed : t -> (int -> unit) -> unit
+(** {!finish} for packed consumers. *)
+
 val counts : t -> counts
 
 val filter_seq : t -> Event.t Seq.t -> Event.t Seq.t

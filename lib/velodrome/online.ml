@@ -291,6 +291,9 @@ let feed st (e : Event.t) =
       st.violation <- Some v;
       Some v)
 
+(* unpack-and-delegate: this checker is not on the packed hot path *)
+let feed_packed st w = feed st (Traces.Packed.to_event w)
+
 module No_gc : Aerodrome.Checker.S = struct
   type nonrec t = t
 
@@ -300,6 +303,7 @@ module No_gc : Aerodrome.Checker.S = struct
     create_with ~garbage_collect:false ~threads ~locks ~vars ()
 
   let feed = feed
+  let feed_packed = feed_packed
   let violation = violation
   let processed = processed
 end
@@ -315,6 +319,7 @@ module Pk_engine : Aerodrome.Checker.S = struct
     create_with ~engine:Incremental ~threads ~locks ~vars ()
 
   let feed = feed
+  let feed_packed = feed_packed
   let violation = violation
   let processed = processed
 end

@@ -1,11 +1,14 @@
 The bench harness emits machine-readable results with --json; the file
-must satisfy the aerodrome-bench/5 schema (validate_json exits non-zero
+must satisfy the aerodrome-bench/6 schema (validate_json exits non-zero
 and prints a diagnostic otherwise).  The reclaim section — peak live
-heap with and without last-use state reclamation — and the prefilter
+heap with and without last-use state reclamation — the prefilter
 section — checking throughput with the trace reduction off, exact, and
-online — ride along by default, and the validator enforces matching
-verdicts on both axes, a non-increasing peak, and a non-growing
-reduction, so this run doubles as the memory and reduction smoke test:
+online — and the arena section — boxed vs zero-copy packed ingestion
+end to end, which also contributes the decode-only ingestion rows to
+"micro" — ride along by default, and the validator enforces matching
+verdicts on every axis, a non-increasing peak, a non-growing reduction,
+and a packed path that never allocates more than the boxed reference,
+so this run doubles as the memory, reduction and ingestion smoke test:
 
   $ ../bench/main.exe --table 1 --scale 0.05 --timeout 1 --no-micro \
   >   --no-ablation --no-scaling --json bench.json > /dev/null 2>&1
@@ -14,6 +17,10 @@ reduction, so this run doubles as the memory and reduction smoke test:
   $ grep -c '"reclaim":{"events"' bench.json
   1
   $ grep -c '"prefilter":{"events_in"' bench.json
+  1
+  $ grep -c '"arena":{"events"' bench.json
+  1
+  $ grep -c '"ingest-packed-mmap-cursor"' bench.json
   1
 
 The multicore section ships a parallel summary (corpus fan-out wall
@@ -25,17 +32,19 @@ verdict cross-check; a divergence is a schema error by design:
   $ ../bench/validate_json.exe jobs.json
   ok
 
-The telemetry, reclaim and prefilter sections can be disabled; the
-schema treats them as nullable:
+The telemetry, reclaim, prefilter and arena sections can be disabled;
+the schema treats them as nullable:
 
   $ ../bench/main.exe --table 1 --scale 0.05 --timeout 1 --no-micro \
   >   --no-ablation --no-scaling --no-parallel --no-telemetry \
-  >   --no-reclaim --no-prefilter --json none.json > /dev/null 2>&1
+  >   --no-reclaim --no-prefilter --no-arena --json none.json > /dev/null 2>&1
   $ ../bench/validate_json.exe none.json
   ok
   $ grep -c '"reclaim":null' none.json
   1
   $ grep -c '"prefilter":null' none.json
+  1
+  $ grep -c '"arena":null' none.json
   1
 
 A missing file, an outdated schema or a schema violation is rejected:
@@ -44,18 +53,18 @@ A missing file, an outdated schema or a schema violation is rejected:
   $ ../bench/validate_json.exe old.json
   old.json: unknown schema "aerodrome-bench/2"
   [1]
-  $ echo '{"schema":"aerodrome-bench/4","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":null}' > prev.json
+  $ echo '{"schema":"aerodrome-bench/5","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":null,"prefilter":null}' > prev.json
   $ ../bench/validate_json.exe prev.json
-  prev.json: unknown schema "aerodrome-bench/4"
+  prev.json: unknown schema "aerodrome-bench/5"
   [1]
-  $ echo '{"schema":"aerodrome-bench/5","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":null,"prefilter":null}' > bad.json
+  $ echo '{"schema":"aerodrome-bench/6","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":null,"prefilter":null,"arena":null}' > bad.json
   $ ../bench/validate_json.exe bad.json
   bad.json: no tables and no micro results
   [1]
 
 A telemetry section that lost its counter snapshot is rejected too:
 
-  $ echo '{"schema":"aerodrome-bench/5","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":{"events":10,"disabled_events_per_sec":1,"enabled_events_per_sec":1,"overhead_pct":0,"metrics":{}},"reclaim":null,"prefilter":null}' > notel.json
+  $ echo '{"schema":"aerodrome-bench/6","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":{"events":10,"disabled_events_per_sec":1,"enabled_events_per_sec":1,"overhead_pct":0,"metrics":{}},"reclaim":null,"prefilter":null,"arena":null}' > notel.json
   $ ../bench/validate_json.exe notel.json
   notel.json: missing field "events.total"
   [1]
@@ -63,11 +72,11 @@ A telemetry section that lost its counter snapshot is rejected too:
 So is a reclaim section whose verdicts diverged, or whose peak grew
 with reclamation on:
 
-  $ echo '{"schema":"aerodrome-bench/5","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":{"events":10,"threads":2,"vars":4,"off":{"seconds":0.1,"events_per_sec":100,"peak_live_words":1000},"on":{"seconds":0.1,"events_per_sec":100,"peak_live_words":500,"pool_hits":1,"pool_misses":1,"pool_hit_rate":0.5,"reclaimed_states":2},"peak_reduction_pct":50,"verdicts_match":false},"prefilter":null}' > diverge.json
+  $ echo '{"schema":"aerodrome-bench/6","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":{"events":10,"threads":2,"vars":4,"off":{"seconds":0.1,"events_per_sec":100,"peak_live_words":1000},"on":{"seconds":0.1,"events_per_sec":100,"peak_live_words":500,"pool_hits":1,"pool_misses":1,"pool_hit_rate":0.5,"reclaimed_states":2},"peak_reduction_pct":50,"verdicts_match":false},"prefilter":null,"arena":null}' > diverge.json
   $ ../bench/validate_json.exe diverge.json
   diverge.json: reclaim: verdicts diverged between reclaim modes
   [1]
-  $ echo '{"schema":"aerodrome-bench/5","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":{"events":10,"threads":2,"vars":4,"off":{"seconds":0.1,"events_per_sec":100,"peak_live_words":1000},"on":{"seconds":0.1,"events_per_sec":100,"peak_live_words":2000,"pool_hits":1,"pool_misses":1,"pool_hit_rate":0.5,"reclaimed_states":2},"peak_reduction_pct":-100,"verdicts_match":true},"prefilter":null}' > grew.json
+  $ echo '{"schema":"aerodrome-bench/6","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":{"events":10,"threads":2,"vars":4,"off":{"seconds":0.1,"events_per_sec":100,"peak_live_words":1000},"on":{"seconds":0.1,"events_per_sec":100,"peak_live_words":2000,"pool_hits":1,"pool_misses":1,"pool_hit_rate":0.5,"reclaimed_states":2},"peak_reduction_pct":-100,"verdicts_match":true},"prefilter":null,"arena":null}' > grew.json
   $ ../bench/validate_json.exe grew.json
   grew.json: reclaim: peak_live_words grew with reclamation on (2000 > 1000)
   [1]
@@ -75,11 +84,23 @@ with reclamation on:
 And a prefilter section whose verdicts diverged across filter modes,
 or whose "reduction" grew the trace:
 
-  $ echo '{"schema":"aerodrome-bench/5","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":null,"prefilter":{"events_in":100,"events_out":60,"threads":2,"vars":4,"elided":{"thread_local":20,"read_only":10,"redundant":5,"lock_local":5},"off":{"seconds":0.2,"events_per_sec":500,"events_fed":100},"exact":{"seconds":0.1,"events_per_sec":1000,"events_fed":60},"online":{"seconds":0.15,"events_per_sec":666,"events_fed":70},"speedup_exact":2,"speedup_online":1.33,"verdicts_match":false}}' > pfdiverge.json
+  $ echo '{"schema":"aerodrome-bench/6","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":null,"prefilter":{"events_in":100,"events_out":60,"threads":2,"vars":4,"elided":{"thread_local":20,"read_only":10,"redundant":5,"lock_local":5},"off":{"seconds":0.2,"events_per_sec":500,"events_fed":100},"exact":{"seconds":0.1,"events_per_sec":1000,"events_fed":60},"online":{"seconds":0.15,"events_per_sec":666,"events_fed":70},"speedup_exact":2,"speedup_online":1.33,"verdicts_match":false},"arena":null}' > pfdiverge.json
   $ ../bench/validate_json.exe pfdiverge.json
   pfdiverge.json: prefilter: verdicts diverged between filter modes
   [1]
-  $ echo '{"schema":"aerodrome-bench/5","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":null,"prefilter":{"events_in":100,"events_out":120,"threads":2,"vars":4,"elided":{"thread_local":0,"read_only":0,"redundant":0,"lock_local":0},"off":{"seconds":0.2,"events_per_sec":500,"events_fed":100},"exact":{"seconds":0.1,"events_per_sec":1000,"events_fed":120},"online":{"seconds":0.15,"events_per_sec":666,"events_fed":100},"speedup_exact":2,"speedup_online":1.33,"verdicts_match":true}}' > pfgrew.json
+  $ echo '{"schema":"aerodrome-bench/6","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":null,"prefilter":{"events_in":100,"events_out":120,"threads":2,"vars":4,"elided":{"thread_local":0,"read_only":0,"redundant":0,"lock_local":0},"off":{"seconds":0.2,"events_per_sec":500,"events_fed":100},"exact":{"seconds":0.1,"events_per_sec":1000,"events_fed":120},"online":{"seconds":0.15,"events_per_sec":666,"events_fed":100},"speedup_exact":2,"speedup_online":1.33,"verdicts_match":true},"arena":null}' > pfgrew.json
   $ ../bench/validate_json.exe pfgrew.json
   pfgrew.json: prefilter: events_out grew (120 > 100)
+  [1]
+
+And an arena section where the packed path's report diverged from the
+boxed reference, or where "zero-copy" somehow allocated more:
+
+  $ echo '{"schema":"aerodrome-bench/6","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":null,"prefilter":null,"arena":{"events":100,"threads":2,"vars":4,"file_bytes":300,"boxed":{"seconds":0.2,"events_per_sec":500,"events_fed":100,"allocated_mwords":1.5},"packed":{"seconds":0.1,"events_per_sec":1000,"events_fed":90,"allocated_mwords":0.01},"speedup":2,"alloc_reduction":150,"verdicts_match":true,"reports_match":false}}' > ardiverge.json
+  $ ../bench/validate_json.exe ardiverge.json
+  ardiverge.json: arena: packed report diverged from boxed
+  [1]
+  $ echo '{"schema":"aerodrome-bench/6","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":null,"prefilter":null,"arena":{"events":100,"threads":2,"vars":4,"file_bytes":300,"boxed":{"seconds":0.2,"events_per_sec":500,"events_fed":100,"allocated_mwords":0.5},"packed":{"seconds":0.1,"events_per_sec":1000,"events_fed":100,"allocated_mwords":1.5},"speedup":2,"alloc_reduction":0.33,"verdicts_match":true,"reports_match":true}}' > argrew.json
+  $ ../bench/validate_json.exe argrew.json
+  argrew.json: arena: packed path allocated more than boxed (1.500 > 0.500 Mwords)
   [1]

@@ -171,3 +171,34 @@ becomes thread-local:
   $ cat win.std
   t1|begin
   t1|end
+
+Binary inputs ride the zero-copy packed reader by default; --no-packed
+selects the boxed reference reader, and the two must agree byte for
+byte on the report:
+
+  $ rapid convert bad.std bad.bin
+  bad.bin: 311 events, 3004 -> 968 bytes
+  $ rapid check bad.bin 2>&1 | sed 's/in [0-9.]*s/in TIME/' > packed.out
+  $ rapid check --no-packed bad.bin 2>&1 | sed 's/in [0-9.]*s/in TIME/' > boxed.out
+  $ cmp packed.out boxed.out && cat packed.out
+  aerodrome: violation @165 in TIME (311 events)
+
+Hostile binary inputs fail with a clean diagnostic and exit 2 on
+either reader — truncated mid-header, mid-event-section, or into the
+footer trailer:
+
+  $ head -c 10 bad.bin > hostile.bin
+  $ rapid check hostile.bin
+  truncated integer
+  [2]
+  $ head -c 300 bad.bin > hostile.bin
+  $ rapid check hostile.bin
+  hostile.bin: declared event count 311 exceeds file size
+  [2]
+  $ head -c $(($(wc -c < bad.bin) - 4)) bad.bin > hostile.bin
+  $ rapid check hostile.bin
+  hostile.bin: bad footer magic
+  [2]
+  $ rapid check --no-packed hostile.bin
+  hostile.bin: bad footer magic
+  [2]

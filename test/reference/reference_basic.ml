@@ -171,3 +171,6 @@ let read_clock st ~thread ~var =
     match row.(thread) with
     | Some clk -> snapshot clk
     | None -> Vclock.Vtime.bottom st.threads
+
+(* unpack-and-delegate (reference copies stay off the packed hot path) *)
+let feed_packed st w = feed st (Packed.to_event w)

@@ -311,6 +311,9 @@ let feed st (e : Event.t) =
       st.violation <- Some v;
       Some v)
 
+(* unpack-and-delegate (reference copies stay off the packed hot path) *)
+let feed_packed st w = feed st (Packed.to_event w)
+
 module Faithful : Checker.S = struct
   type nonrec t = t
 
@@ -320,6 +323,7 @@ module Faithful : Checker.S = struct
     create_with ~faithful:true ~threads ~locks ~vars ()
 
   let feed = feed
+  let feed_packed = feed_packed
   let violation = violation
   let processed = processed
 end
@@ -333,6 +337,7 @@ module Slow : Checker.S = struct
     create_with ~fast_checks:false ~threads ~locks ~vars ()
 
   let feed = feed
+  let feed_packed = feed_packed
   let violation = violation
   let processed = processed
 end

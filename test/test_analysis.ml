@@ -57,6 +57,10 @@ let slow_checker : Aerodrome.Checker.t =
       ignore (Unix.select [] [] [] 0.002);
       None
 
+    let feed_packed () _ =
+      ignore (Unix.select [] [] [] 0.002);
+      None
+
     let violation () = None
     let processed () = 0
   end)

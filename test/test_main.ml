@@ -7,6 +7,7 @@ let () =
       Test_wellformed.suite;
       Test_transform.suite;
       Test_binfmt.suite;
+      Test_packed.suite;
       Test_iset.suite;
       Test_reclaim.suite;
       Test_digraph.suite;

@@ -1,0 +1,400 @@
+(* Packed event words and zero-copy ingestion: codec roundtrips at the
+   slice boundaries, arena/cursor semantics across chunk boundaries,
+   packed-vs-boxed reader and checker equivalence, and a table of
+   hostile binary inputs that must fail identically (clean [Corrupt],
+   no crash) through every reader. *)
+
+open Traces
+
+let check = Alcotest.check
+
+let tmp body =
+  let path = Filename.temp_file "aerodrome_packed" ".bin" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> body path)
+
+let expect_corrupt name body =
+  match body () with
+  | exception Binfmt.Corrupt _ -> ()
+  | _ -> Alcotest.failf "%s: expected Binfmt.Corrupt" name
+
+(* --- word codec --- *)
+
+let test_word_codec () =
+  let cases =
+    [
+      (Packed.op_read, 0, 0);
+      (Packed.op_write, 1, 5);
+      (Packed.op_acquire, Packed.max_tid, 0);
+      (Packed.op_release, 0, Packed.max_target);
+      (Packed.op_fork, Packed.max_tid, Packed.max_target);
+      (Packed.op_join, 7, 39);
+      (Packed.op_begin, 3, 0);
+      (Packed.op_end, Packed.max_tid, 0);
+    ]
+  in
+  List.iter
+    (fun (op, t, d) ->
+      let w = Packed.pack ~op ~tid:t ~target:d in
+      check Alcotest.bool "word nonnegative" true (w >= 0);
+      check Alcotest.int "opcode" op (Packed.opcode w);
+      check Alcotest.int "tid" t (Packed.tid w);
+      check Alcotest.int "target" d (Packed.target w))
+    cases;
+  (* the exported layout constant is the one the codec actually uses:
+     the binfmt decode loop assembles words with it directly *)
+  check Alcotest.int "target_shift layout"
+    (Packed.pack ~op:0 ~tid:0 ~target:1)
+    (1 lsl Packed.target_shift)
+
+let test_event_roundtrip () =
+  List.iter
+    (fun (name, tr, _) ->
+      Trace.iter
+        (fun e ->
+          if Packed.to_event (Packed.of_event e) <> e then
+            Alcotest.failf "%s: event did not roundtrip" name)
+        tr)
+    Workloads.Scenarios.all
+
+let test_fits () =
+  check Alcotest.bool "typical domains" true
+    (Packed.fits ~threads:64 ~locks:100 ~vars:1_000_000);
+  check Alcotest.bool "tid edge" true
+    (Packed.fits ~threads:(Packed.max_tid + 1) ~locks:0 ~vars:0);
+  check Alcotest.bool "tid overflow" false
+    (Packed.fits ~threads:(Packed.max_tid + 2) ~locks:0 ~vars:0);
+  check Alcotest.bool "target edge" true
+    (Packed.fits ~threads:1 ~locks:0 ~vars:(Packed.max_target + 1));
+  check Alcotest.bool "target overflow" false
+    (Packed.fits ~threads:1 ~locks:0 ~vars:(Packed.max_target + 2))
+
+(* --- arena and cursor --- *)
+
+let test_arena () =
+  let a = Packed.Arena.create ~chunk_words:8 () in
+  let cw = Packed.Arena.chunk_words a in
+  check Alcotest.bool "chunk size is a power of two" true
+    (cw >= 8 && cw land (cw - 1) = 0);
+  (* three full chunks plus a partial tail: growth, boundary-crossing
+     reads, and the only-last-chunk-partial invariant all exercised *)
+  let n = (3 * cw) + 5 in
+  for i = 0 to n - 1 do
+    Packed.Arena.push a i
+  done;
+  check Alcotest.int "length" n (Packed.Arena.length a);
+  check Alcotest.bool "capacity covers length" true
+    (Packed.Arena.capacity_words a >= n);
+  for i = 0 to n - 1 do
+    if Packed.Arena.get a i <> i then Alcotest.failf "get %d diverged" i
+  done;
+  (match Packed.Arena.get a n with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "get past the end must raise");
+  let seen = ref 0 in
+  Packed.Arena.iter a (fun w ->
+      if w <> !seen then Alcotest.failf "iter out of order at %d" !seen;
+      incr seen);
+  check Alcotest.int "iter count" n !seen;
+  let total = ref 0 and chunks = ref 0 in
+  Packed.Arena.iter_chunks a (fun c len ->
+      incr chunks;
+      check Alcotest.bool "fill within chunk" true
+        (len > 0 && len <= Bigarray.Array1.dim c);
+      if !chunks < 4 then
+        check Alcotest.int "interior chunk full" cw len;
+      total := !total + len);
+  check Alcotest.int "chunk count" 4 !chunks;
+  check Alcotest.int "chunk fills sum to length" n !total;
+  let cur = Packed.Cursor.of_arena a in
+  let i = ref 0 in
+  let rec drain () =
+    let w = Packed.Cursor.next cur in
+    if w <> -1 then begin
+      if w <> !i then Alcotest.failf "cursor diverged at %d" !i;
+      incr i;
+      drain ()
+    end
+  in
+  drain ();
+  check Alcotest.int "cursor count" n !i;
+  check Alcotest.int "cursor stays at end" (-1) (Packed.Cursor.next cur)
+
+let test_empty_arena () =
+  let a = Packed.Arena.create () in
+  check Alcotest.int "empty length" 0 (Packed.Arena.length a);
+  Packed.Arena.iter a (fun _ -> Alcotest.fail "iter on empty arena");
+  check Alcotest.int "empty cursor" (-1)
+    (Packed.Cursor.next (Packed.Cursor.of_arena a))
+
+(* --- packed readers vs boxed readers --- *)
+
+let test_read_packed_matches_boxed () =
+  let tr =
+    Workloads.Generator.generate
+      { Workloads.Generator.default with events = 20_000; vars = 900 }
+  in
+  tmp (fun path ->
+      Binfmt.write_file path tr;
+      let h, arena = Binfmt.read_packed path in
+      check Alcotest.int "arena length" (Trace.length tr)
+        (Packed.Arena.length arena);
+      let i = ref 0 in
+      Trace.iter
+        (fun e ->
+          if Packed.to_event (Packed.Arena.get arena !i) <> e then
+            Alcotest.failf "event %d diverged" !i;
+          incr i)
+        tr;
+      let _, rev =
+        Binfmt.fold_packed path ~init:[] ~f:(fun acc w -> w :: acc)
+      in
+      let words = List.rev rev in
+      check Alcotest.int "fold_packed count" h.Binfmt.events
+        (List.length words);
+      List.iteri
+        (fun j w ->
+          if w <> Packed.Arena.get arena j then
+            Alcotest.failf "fold_packed word %d diverged" j)
+        words)
+
+let test_read_packed_v1 () =
+  (* the until-EOF (no footer) decode loop is a separate code path *)
+  tmp (fun path ->
+      Binfmt.write_file ~last_use:false path Workloads.Scenarios.rho4;
+      let _, arena = Binfmt.read_packed path in
+      let boxed = Binfmt.read_file path in
+      check Alcotest.int "v1 arena length" (Trace.length boxed)
+        (Packed.Arena.length arena);
+      let i = ref 0 in
+      Trace.iter
+        (fun e ->
+          if Packed.to_event (Packed.Arena.get arena !i) <> e then
+            Alcotest.failf "v1 event %d diverged" !i;
+          incr i)
+        boxed)
+
+(* --- checkers: run_arena and the runner's packed path --- *)
+
+let test_run_arena_matches_run () =
+  List.iter
+    (fun (cname, c) ->
+      List.iter
+        (fun (tname, tr, _) ->
+          let boxed = Aerodrome.Checker.run c tr in
+          let arena = Packed.Arena.create ~chunk_words:64 () in
+          Trace.iter
+            (fun e -> Packed.Arena.push arena (Packed.of_event e))
+            tr;
+          let packed =
+            Aerodrome.Checker.run_arena c ~threads:(Trace.threads tr)
+              ~locks:(Trace.locks tr) ~vars:(Trace.vars tr) arena
+          in
+          match (boxed, packed) with
+          | None, None -> ()
+          | Some a, Some b
+            when a.Aerodrome.Violation.index = b.Aerodrome.Violation.index
+            ->
+            ()
+          | _ ->
+            Alcotest.failf "%s on %s: run_arena diverged from run" cname
+              tname)
+        Workloads.Scenarios.all)
+    Helpers.online_checkers
+
+let test_runner_packed_differential () =
+  (* end to end through the runner: the packed mmap path and the boxed
+     reference must agree on verdict, violation index and events_fed,
+     with the prefilter off and with the automatic exact filter *)
+  let traces =
+    [
+      ( "violating",
+        Workloads.Generator.generate
+          {
+            Workloads.Generator.default with
+            events = 30_000;
+            vars = 1_500;
+            plan = Workloads.Generator.Violate_at 0.7;
+          } );
+      ( "clean",
+        Workloads.Generator.generate
+          { Workloads.Generator.default with events = 30_000; vars = 1_500 }
+      );
+    ]
+  in
+  List.iter
+    (fun (tname, tr) ->
+      tmp (fun path ->
+          Binfmt.write_file path tr;
+          List.iter
+            (fun (pfname, pf) ->
+              let run packed =
+                Analysis.Runner.run_stream ~packed ~prefilter:pf
+                  (module Aerodrome.Opt) path
+              in
+              let b = run false and p = run true in
+              (match (b.Analysis.Runner.outcome, p.Analysis.Runner.outcome)
+               with
+              | Analysis.Runner.Verdict x, Analysis.Runner.Verdict y
+                when Option.map (fun v -> v.Aerodrome.Violation.index) x
+                     = Option.map (fun v -> v.Aerodrome.Violation.index) y
+                ->
+                ()
+              | _ ->
+                Alcotest.failf "%s/%s: packed verdict diverged" tname
+                  pfname);
+              check Alcotest.int
+                (Printf.sprintf "%s/%s events_fed" tname pfname)
+                b.Analysis.Runner.events_fed p.Analysis.Runner.events_fed)
+            [
+              ("off", Analysis.Runner.Off); ("auto", Analysis.Runner.Auto);
+            ]))
+    traces
+
+(* --- hostile binary inputs --- *)
+
+(* a local LEB128 encoder for hand-crafted files *)
+let add_uint buf n =
+  let rec go n =
+    if n >= 0x80 then begin
+      Buffer.add_char buf (Char.chr (0x80 lor (n land 0x7f)));
+      go (n lsr 7)
+    end
+    else Buffer.add_char buf (Char.chr n)
+  in
+  go n
+
+let write_raw path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let truncate_by path cut =
+  let size = (Unix.stat path).Unix.st_size in
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0 in
+  Unix.ftruncate fd (size - cut);
+  Unix.close fd
+
+let patch_byte path off byte =
+  let size = (Unix.stat path).Unix.st_size in
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0 in
+  ignore (Unix.lseek fd (size + off) Unix.SEEK_END);
+  ignore (Unix.write fd (Bytes.make 1 (Char.chr byte)) 0 1);
+  Unix.close fd
+
+let crafted ?(magic = Binfmt.magic) ~threads ~locks ~vars ~events body =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf magic;
+  add_uint buf threads;
+  add_uint buf locks;
+  add_uint buf vars;
+  add_uint buf events;
+  body buf;
+  Buffer.contents buf
+
+let base = Workloads.Scenarios.rho4
+
+(* each case prepares a malformed file; every reader — boxed and
+   packed, materializing and folding — must raise [Corrupt] *)
+let hostile_cases =
+  [
+    ("empty file", fun _ -> ());
+    ("bad magic", fun path -> write_raw path "NOTATRACEATALL");
+    ( "truncated header",
+      fun path ->
+        Binfmt.write_file path base;
+        let fd = Unix.openfile path [ Unix.O_WRONLY ] 0 in
+        Unix.ftruncate fd 10;
+        Unix.close fd );
+    ( "mid-event EOF",
+      fun path ->
+        Binfmt.write_file ~last_use:false path base;
+        truncate_by path 1 );
+    ( "truncated v2 footer",
+      fun path ->
+        Binfmt.write_file ~stats:false path base;
+        truncate_by path 3 );
+    ( "truncated v3 footer",
+      fun path ->
+        Binfmt.write_file path base;
+        truncate_by path 5 );
+    ( "oversized footer length",
+      fun path ->
+        Binfmt.write_file path base;
+        (* the 8-byte little-endian footer length sits just before the
+           trailing magic; declare an absurd footer *)
+        for k = 16 downto 12 do
+          patch_byte path (-k) 0xff
+        done );
+    ( "oversized declared event count",
+      fun path ->
+        write_raw path
+          (crafted ~threads:2 ~locks:1 ~vars:2 ~events:1_000_000
+             (fun _ -> ())) );
+    ( "unknown opcode",
+      fun path ->
+        write_raw path
+          (crafted ~threads:2 ~locks:0 ~vars:1 ~events:1 (fun buf ->
+               Buffer.add_char buf '\x0f';
+               add_uint buf 0)) );
+    ( "id overflow",
+      fun path ->
+        write_raw path
+          (crafted ~threads:2 ~locks:0 ~vars:1 ~events:1 (fun buf ->
+               (* a read record whose variable id varint never fits an
+                  OCaml int: ten continuation bytes *)
+               Buffer.add_char buf '\x00';
+               add_uint buf 0;
+               for _ = 1 to 10 do
+                 Buffer.add_char buf '\xff'
+               done)) );
+  ]
+
+let test_hostile_inputs () =
+  List.iter
+    (fun (name, prepare) ->
+      tmp (fun path ->
+          prepare path;
+          expect_corrupt (name ^ ": read_file") (fun () ->
+              ignore (Binfmt.read_file path));
+          expect_corrupt (name ^ ": fold") (fun () ->
+              ignore (Binfmt.fold path ~init:0 ~f:(fun n _ -> n + 1)));
+          expect_corrupt (name ^ ": read_packed") (fun () ->
+              ignore (Binfmt.read_packed path));
+          expect_corrupt (name ^ ": fold_packed") (fun () ->
+              ignore (Binfmt.fold_packed path ~init:0 ~f:(fun n _ -> n + 1)))))
+    hostile_cases
+
+let test_packed_range_gate () =
+  (* a v1 file with a thread id beyond the 21-bit packed slice: the
+     boxed reader accepts it, the packed reader must refuse rather than
+     silently corrupt the word — this is the [Packed.fits] gate the
+     runner applies from the header *)
+  tmp (fun path ->
+      write_raw path
+        (crafted ~threads:(1 lsl 30) ~locks:0 ~vars:1 ~events:1 (fun buf ->
+             Buffer.add_char buf (Char.chr Packed.op_begin);
+             add_uint buf (1 lsl 29)));
+      let tr = Binfmt.read_file path in
+      check Alcotest.int "boxed reader accepts" 1 (Trace.length tr);
+      expect_corrupt "packed reader refuses" (fun () ->
+          ignore (Binfmt.fold_packed path ~init:0 ~f:(fun n _ -> n + 1)));
+      check Alcotest.bool "fits gate says no" false
+        (Packed.fits ~threads:(1 lsl 30) ~locks:0 ~vars:1))
+
+let suite =
+  ( "packed",
+    [
+      Alcotest.test_case "word codec" `Quick test_word_codec;
+      Alcotest.test_case "event roundtrip" `Quick test_event_roundtrip;
+      Alcotest.test_case "fits" `Quick test_fits;
+      Alcotest.test_case "arena" `Quick test_arena;
+      Alcotest.test_case "empty arena" `Quick test_empty_arena;
+      Alcotest.test_case "read_packed vs boxed" `Quick
+        test_read_packed_matches_boxed;
+      Alcotest.test_case "read_packed v1" `Quick test_read_packed_v1;
+      Alcotest.test_case "run_arena vs run" `Quick test_run_arena_matches_run;
+      Alcotest.test_case "runner packed differential" `Quick
+        test_runner_packed_differential;
+      Alcotest.test_case "hostile inputs" `Quick test_hostile_inputs;
+      Alcotest.test_case "packed range gate" `Quick test_packed_range_gate;
+    ] )
