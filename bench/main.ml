@@ -10,19 +10,21 @@
    per-checker numbers stay honest while the untimed work overlaps.
 
    With [--json FILE] the harness also emits a machine-readable summary
-   (schema "aerodrome-bench/6": per-checker events/sec, Gc statistics,
+   (schema "aerodrome-bench/7": per-checker events/sec, Gc statistics,
    parallel wall-clock + speedup, telemetry overhead + metric snapshot,
    peak-memory with and without state reclamation, trace-reduction
-   throughput with the prefilter off/exact/online, and the packed-arena
+   throughput with the prefilter off/exact/online, the packed-arena
    axis — boxed vs zero-copy packed ingestion end to end, plus the
-   ingestion micro-benchmark rows in "micro") so committed BENCH_*.json
-   files can track the performance trajectory.
+   ingestion micro-benchmark rows in "micro" — and the sharded axis:
+   sequential vs chunk-parallel single-trace checking with quiescent-cut
+   and replay accounting) so committed BENCH_*.json files can track the
+   performance trajectory.
 
    Usage: dune exec bench/main.exe -- [--table 1|2] [--no-tables] [--scale F]
           [--jobs N] [--timeout S] [--only NAME] [--no-micro] [--micro-fast]
           [--no-ablation] [--no-scaling] [--no-parallel] [--no-telemetry]
-          [--no-reclaim] [--no-prefilter] [--no-arena] [--json FILE]
-          [--markdown] *)
+          [--no-reclaim] [--no-prefilter] [--no-arena] [--no-shards]
+          [--json FILE] [--markdown] *)
 
 open Traces
 
@@ -41,6 +43,7 @@ type options = {
   mutable reclaim : bool;
   mutable prefilter : bool;
   mutable arena : bool;
+  mutable shards : bool;
   mutable markdown : bool;
   mutable json : string option;
   mutable micro_fast : bool;
@@ -61,6 +64,7 @@ let opts =
     reclaim = true;
     prefilter = true;
     arena = true;
+    shards = true;
     markdown = false;
     json = None;
     micro_fast = false;
@@ -109,6 +113,9 @@ let parse_args () =
       go rest
     | "--no-arena" :: rest ->
       opts.arena <- false;
+      go rest
+    | "--no-shards" :: rest ->
+      opts.shards <- false;
       go rest
     | "--no-tables" :: rest ->
       opts.tables <- [];
@@ -1132,7 +1139,165 @@ let run_arena () =
           };
       run_ingest_micro path events_in)
 
-(* --- JSON emitter (schema "aerodrome-bench/6") --- *)
+(* --- sharded checking: single-trace chunk parallelism over the packed
+   arena (DESIGN.md §15).  Sequential vs sharded end-to-end streaming
+   runs on the same binary file; the sharded side must report the exact
+   same verdict and events_fed (validate_json refuses the file
+   otherwise).  A separate pass calls [Parallel.Shard.check] directly on
+   a pre-built arena to expose the cut plan (hits/misses, replayed
+   events) and per-chunk utilization that the streaming path keeps
+   internal.
+
+   Quiescent-cut density falls off exponentially with thread count
+   (roughly p^T), so the section runs a friendly case (threads=4, a cut
+   every few hundred events) and an adversarial one (threads=8) where
+   the planner finds almost no cuts and replay honestly approaches 1.
+   On a single-core machine the speedup hovers around 1x either way —
+   the numbers to read for scaling come from multi-core CI runners. *)
+
+type shard_run = {
+  sr_shards : int;
+  sr_seconds : float;
+  sr_eps : float;  (* input events per second *)
+  sr_speedup : float;  (* vs the sequential side of the same case *)
+  sr_chunks : int;
+  sr_cut_hits : int;
+  sr_cut_misses : int;
+  sr_replay_fraction : float;  (* replayed events / trace events *)
+  sr_utilization : float array;
+      (* per-chunk checker busy seconds / chunk-phase wall-clock *)
+  sr_verdicts_match : bool;
+  sr_reports_match : bool;
+}
+
+type shard_case = {
+  sc_threads : int;
+  sc_events : int;
+  sc_seq_seconds : float;
+  sc_seq_eps : float;
+  sc_runs : shard_run list;
+}
+
+let json_shards : shard_case list ref = ref []
+
+let run_shards () =
+  Format.fprintf fmt
+    "@.Sharded checking: single-trace chunk parallelism (mixed traces, best \
+     of 3)@.";
+  let case ~threads ~shard_counts =
+    let events_total = int_of_float (1_500_000. *. opts.scale) in
+    let tr = Workloads.Corpus.mixed ~threads ~events_total () in
+    let events_in = Trace.length tr in
+    let path = Filename.temp_file "aerodrome-bench" ".bin" in
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+      (fun () ->
+        Traces.Binfmt.write_file path tr;
+        (* No [~timeout]: the runner's shardable gate falls back to the
+           sequential path when a timeout is armed, so the sequential
+           side drops it too and both sides time the same code shape. *)
+        let run shards = Analysis.Runner.run_stream ~shards aerodrome path in
+        let best shards =
+          let r = ref (run shards) in
+          for _ = 2 to 3 do
+            let s = run shards in
+            if s.Analysis.Runner.seconds < !r.Analysis.Runner.seconds then
+              r := s
+          done;
+          !r
+        in
+        let seq = best 1 in
+        let seq_eps =
+          float_of_int events_in /. Float.max seq.Analysis.Runner.seconds 1e-9
+        in
+        let arena = Packed.Arena.create () in
+        Trace.iteri (fun _ e -> Packed.Arena.push arena (Packed.of_event e)) tr;
+        let detail shards =
+          let t0 = Unix.gettimeofday () in
+          let o =
+            Parallel.Shard.check ~shards aerodrome ~threads:(Trace.threads tr)
+              ~locks:(Trace.locks tr) ~vars:(Trace.vars tr) arena
+          in
+          let wall = Unix.gettimeofday () -. t0 in
+          let chunk_wall =
+            Float.max
+              (wall -. o.Parallel.Shard.plan_seconds
+              -. o.Parallel.Shard.merge_seconds)
+              1e-9
+          in
+          let util =
+            Array.map
+              (fun (t : Parallel.Shard.task) ->
+                Float.min 1.0 (t.Parallel.Shard.seconds /. chunk_wall))
+              o.Parallel.Shard.tasks
+          in
+          (o.Parallel.Shard.plan, util)
+        in
+        let runs =
+          List.map
+            (fun shards ->
+              let r = best shards in
+              let plan, util = detail shards in
+              let verdicts_match = verdict_string seq = verdict_string r in
+              let reports_match =
+                seq.Analysis.Runner.outcome = r.Analysis.Runner.outcome
+                && seq.Analysis.Runner.events_fed
+                   = r.Analysis.Runner.events_fed
+              in
+              if not (verdicts_match && reports_match) then
+                Format.fprintf fmt
+                  "!! shards=%d: report diverged from sequential@." shards;
+              {
+                sr_shards = shards;
+                sr_seconds = r.Analysis.Runner.seconds;
+                sr_eps =
+                  float_of_int events_in
+                  /. Float.max r.Analysis.Runner.seconds 1e-9;
+                sr_speedup =
+                  seq.Analysis.Runner.seconds
+                  /. Float.max r.Analysis.Runner.seconds 1e-9;
+                sr_chunks = Array.length plan.Aerodrome.Merge.cuts;
+                sr_cut_hits = plan.Aerodrome.Merge.hits;
+                sr_cut_misses = plan.Aerodrome.Merge.misses;
+                sr_replay_fraction =
+                  float_of_int plan.Aerodrome.Merge.replayed_events
+                  /. float_of_int (max events_in 1);
+                sr_utilization = util;
+                sr_verdicts_match = verdicts_match;
+                sr_reports_match = reports_match;
+              })
+            shard_counts
+        in
+        Format.fprintf fmt
+          "  threads=%d  %d events   sequential %8.3fs  %9.1f Kev/s@." threads
+          events_in seq.Analysis.Runner.seconds (seq_eps /. 1e3);
+        List.iter
+          (fun r ->
+            Format.fprintf fmt
+              "    shards=%d %8.3fs  %9.1f Kev/s  (%.2fx)  chunks=%d hits=%d \
+               misses=%d replay=%.1f%%  util=[%s]%s@."
+              r.sr_shards r.sr_seconds (r.sr_eps /. 1e3) r.sr_speedup
+              r.sr_chunks r.sr_cut_hits r.sr_cut_misses
+              (100. *. r.sr_replay_fraction)
+              (String.concat ";"
+                 (Array.to_list
+                    (Array.map (Printf.sprintf "%.2f") r.sr_utilization)))
+              (if r.sr_verdicts_match && r.sr_reports_match then ""
+               else "  [MISMATCH]"))
+          runs;
+        {
+          sc_threads = threads;
+          sc_events = events_in;
+          sc_seq_seconds = seq.Analysis.Runner.seconds;
+          sc_seq_eps = seq_eps;
+          sc_runs = runs;
+        })
+  in
+  let friendly = case ~threads:4 ~shard_counts:[ 2; 4 ] in
+  let adversarial = case ~threads:8 ~shard_counts:[ 4 ] in
+  json_shards := [ friendly; adversarial ]
+
+(* --- JSON emitter (schema "aerodrome-bench/7") --- *)
 
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in
@@ -1173,7 +1338,7 @@ let emit_json path =
     sep_list emit_sample r.samples;
     add "]}"
   in
-  add "{\"schema\":\"aerodrome-bench/6\",";
+  add "{\"schema\":\"aerodrome-bench/7\",";
   add "\"scale\":%g,\"timeout\":%g,\"jobs\":%d," opts.scale opts.timeout
     opts.jobs;
   add "\"tables\":[";
@@ -1262,6 +1427,29 @@ let emit_json path =
     add
       ",\"speedup\":%.3f,\"alloc_reduction\":%.1f,\"verdicts_match\":%b,\"reports_match\":%b}"
       a.ar_speedup a.ar_alloc_reduction a.ar_verdicts_match a.ar_reports_match);
+  add ",\"shards\":";
+  (match !json_shards with
+  | [] -> add "null"
+  | cases ->
+    add "{\"cases\":[";
+    sep_list
+      (fun (c : shard_case) ->
+        add
+          "{\"threads\":%d,\"events\":%d,\"sequential\":{\"seconds\":%.6f,\"events_per_sec\":%.1f},\"runs\":["
+          c.sc_threads c.sc_events c.sc_seq_seconds c.sc_seq_eps;
+        sep_list
+          (fun (r : shard_run) ->
+            add
+              "{\"shards\":%d,\"seconds\":%.6f,\"events_per_sec\":%.1f,\"speedup\":%.3f,\"chunks\":%d,\"cut_hits\":%d,\"cut_misses\":%d,\"replay_fraction\":%.4f,\"utilization\":["
+              r.sr_shards r.sr_seconds r.sr_eps r.sr_speedup r.sr_chunks
+              r.sr_cut_hits r.sr_cut_misses r.sr_replay_fraction;
+            sep_list (fun u -> add "%.3f" u) (Array.to_list r.sr_utilization);
+            add "],\"verdicts_match\":%b,\"reports_match\":%b}"
+              r.sr_verdicts_match r.sr_reports_match)
+          c.sc_runs;
+        add "]}")
+      cases;
+    add "]}");
   add "}";
   Buffer.add_char buf '\n';
   let oc = open_out path in
@@ -1284,5 +1472,6 @@ let () =
   if opts.reclaim && opts.only = None then run_reclaim ();
   if opts.prefilter && opts.only = None then run_prefilter ();
   if opts.arena && opts.only = None then run_arena ();
+  if opts.shards && opts.only = None then run_shards ();
   Option.iter emit_json opts.json;
   Format.pp_print_flush fmt ()

@@ -1,5 +1,5 @@
 (* Schema validator for the bench harness's --json output
-   (schema "aerodrome-bench/6").  Exits 0 and prints "ok" when the file
+   (schema "aerodrome-bench/7").  Exits 0 and prints "ok" when the file
    parses and carries the expected structure; prints a diagnostic and
    exits 1 otherwise.  Used by the cram test so the emitter cannot rot.
 
@@ -252,9 +252,80 @@ let check_arena = function
       bad "arena: packed path allocated more than boxed (%.3f > %.3f Mwords)"
         packed_alloc boxed_alloc
 
+(* The shards section is the single-trace chunk-parallelism axis: every
+   sharded run must agree with the sequential run of its case — same
+   verdict, same report — and the cut/replay accounting must be
+   internally consistent (a rejected cut implies replayed events were
+   folded into the preceding chunk, never lost). *)
+let check_shards = function
+  | Null -> ()
+  | s ->
+    let cases = as_list "shards.cases" (field s "cases") in
+    if cases = [] then bad "shards: no cases";
+    List.iteri
+      (fun i c ->
+        let where = Printf.sprintf "shards.cases[%d]" i in
+        ignore (as_num (where ^ ".threads") (field c "threads"));
+        let events = as_num (where ^ ".events") (field c "events") in
+        if events <= 0. then bad "%s: events <= 0" where;
+        let seq = field c "sequential" in
+        if as_num (where ^ ".sequential.seconds") (field seq "seconds") < 0.
+        then bad "%s.sequential: negative seconds" where;
+        if as_num (where ^ ".sequential.events_per_sec")
+             (field seq "events_per_sec")
+           < 0.
+        then bad "%s.sequential: negative events_per_sec" where;
+        let runs = as_list (where ^ ".runs") (field c "runs") in
+        if runs = [] then bad "%s: no sharded runs" where;
+        List.iteri
+          (fun k r ->
+            let where = Printf.sprintf "%s.runs[%d]" where k in
+            if as_num (where ^ ".shards") (field r "shards") < 2. then
+              bad "%s: shards < 2" where;
+            if as_num (where ^ ".seconds") (field r "seconds") < 0. then
+              bad "%s: negative seconds" where;
+            if as_num (where ^ ".events_per_sec") (field r "events_per_sec")
+               < 0.
+            then bad "%s: negative events_per_sec" where;
+            if as_num (where ^ ".speedup") (field r "speedup") < 0. then
+              bad "%s: negative speedup" where;
+            let chunks = as_num (where ^ ".chunks") (field r "chunks") in
+            if chunks < 1. then bad "%s: chunks < 1" where;
+            let hits = as_num (where ^ ".cut_hits") (field r "cut_hits") in
+            let misses =
+              as_num (where ^ ".cut_misses") (field r "cut_misses")
+            in
+            if hits < 0. || misses < 0. then
+              bad "%s: negative cut counters" where;
+            if chunks <> hits +. 1. then
+              bad "%s: chunks <> cut_hits + 1 (%.0f <> %.0f + 1)" where chunks
+                hits;
+            let replay =
+              as_num (where ^ ".replay_fraction") (field r "replay_fraction")
+            in
+            if replay < 0. || replay > 1. then
+              bad "%s: replay_fraction outside [0, 1]" where;
+            if misses = 0. && replay > 0. then
+              bad "%s: replayed events without a rejected cut" where;
+            let util = as_list (where ^ ".utilization") (field r "utilization") in
+            if List.length util <> int_of_float chunks then
+              bad "%s: utilization arity <> chunks" where;
+            List.iteri
+              (fun j u ->
+                let u = as_num (Printf.sprintf "%s.utilization[%d]" where j) u in
+                if u < 0. || u > 1. then
+                  bad "%s.utilization[%d]: outside [0, 1]" where j)
+              util;
+            if not (as_bool (where ^ ".verdicts_match") (field r "verdicts_match"))
+            then bad "%s: sharded verdict diverged from sequential" where;
+            if not (as_bool (where ^ ".reports_match") (field r "reports_match"))
+            then bad "%s: sharded report diverged from sequential" where)
+          runs)
+      cases
+
 let check_root j =
   let schema = as_str "schema" (field j "schema") in
-  if schema <> "aerodrome-bench/6" then bad "unknown schema %S" schema;
+  if schema <> "aerodrome-bench/7" then bad "unknown schema %S" schema;
   ignore (as_num "scale" (field j "scale"));
   ignore (as_num "timeout" (field j "timeout"));
   if as_num "jobs" (field j "jobs") < 1. then bad "jobs < 1";
@@ -280,6 +351,7 @@ let check_root j =
   check_reclaim (field j "reclaim");
   check_prefilter (field j "prefilter");
   check_arena (field j "arena");
+  check_shards (field j "shards");
   if tables = [] && micro = [] && field j "parallel" = Null then
     bad "no tables and no micro results"
 

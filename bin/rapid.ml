@@ -96,6 +96,25 @@ let check_cmd =
              file's checker is the exact sequential one, so verdicts are \
              identical to $(b,--jobs) 1.")
   in
+  let shards =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "s"; "shards" ] ~docv:"N"
+          ~doc:
+            "Split a single packed binary trace into $(docv) chunks at \
+             globally quiescent cuts (no open transaction in any thread) \
+             and check the chunks concurrently, one domain each.  The \
+             report is byte-identical to the sequential run: cut \
+             candidates with no quiescent position nearby are folded \
+             into the preceding chunk, costing parallelism, never the \
+             answer.  Default: the $(b,--jobs) count when checking a \
+             single file with more than one job available, 1 otherwise; \
+             $(b,--shards) 1 disables.  Only the default $(b,aerodrome) \
+             checker shards; other algorithms, text traces, timed-out \
+             and $(b,--no-packed) runs fall back to the sequential \
+             path.")
+  in
   let reclaim =
     Arg.(
       value
@@ -218,13 +237,27 @@ let check_cmd =
       non_empty & pos_all string []
       & info [] ~docv:"TRACE" ~doc:"Trace files in the rapid .std or binary format.")
   in
-  let run checker timeout quiet jobs reclaim pipelined prefilter packed stats
-      stats_json trace_out progress paths =
+  let run checker timeout quiet jobs shards reclaim pipelined prefilter packed
+      stats stats_json trace_out progress paths =
     let (module C : Aerodrome.Checker.S) = checker in
+    let shards =
+      match shards with
+      | Some n -> max 1 n
+      | None -> (
+        (* auto: shard a lone trace across the job budget — multi-file
+           runs prefer the file-level fan-out *)
+        match paths with [ _ ] when jobs > 1 && packed -> jobs | _ -> 1)
+    in
     let cores = Domain.recommended_domain_count () in
+    (* one warning per invocation, not per file *)
     if jobs > cores then
       Format.eprintf "rapid: warning: --jobs %d exceeds %d available core%s@."
         jobs cores
+        (if cores = 1 then "" else "s")
+    else if shards > cores then
+      Format.eprintf
+        "rapid: warning: --shards %d exceeds %d available core%s@." shards
+        cores
         (if cores = 1 then "" else "s");
     if stats || stats_json <> None || trace_out <> None then Obs.enable ();
     let collector =
@@ -241,12 +274,32 @@ let check_cmd =
         progress
     in
     let pool_busy = ref None in
+    (* a lone sharded trace reuses one chunk pool across the run so its
+       per-domain busy seconds can be reported like the file pool's *)
+    let shard_pool =
+      (* only when the file can actually shard (binary): idle workers
+         would otherwise pollute the pool telemetry *)
+      match paths with
+      | [ p ]
+        when shards > 1
+             && (try Traces.Binfmt.is_binary p with Sys_error _ -> false) ->
+        Some (Parallel.Pool.create shards)
+      | _ -> None
+    in
+    let run_started = Unix.gettimeofday () in
     let reports =
       Analysis.Runner.run_many ?timeout ?heartbeat ~pipelined ~reclaim
-        ~prefilter ~packed ~jobs
+        ~prefilter ~packed ~jobs ~shards ?shard_pool
         ~on_pool:(fun b -> pool_busy := Some b)
         checker paths
     in
+    let run_wall = Unix.gettimeofday () -. run_started in
+    (match shard_pool with
+    | Some p ->
+      Parallel.Pool.shutdown p;
+      if !pool_busy = None then
+        pool_busy := Some (Parallel.Pool.busy_seconds p)
+    | None -> ());
     let single = match paths with [ _ ] -> true | _ -> false in
     List.iter
       (fun fr ->
@@ -320,6 +373,19 @@ let check_cmd =
               ( "pool_busy_seconds",
                 Obs.Json.List
                   (Array.to_list busy |> List.map (fun s -> Obs.Json.Num s)) );
+              (* per-domain busy fraction of the whole run's wall clock;
+                 idle workers show the fan-out is under-utilized *)
+              ( "pool",
+                Obs.Json.Obj
+                  [
+                    ( "utilization",
+                      Obs.Json.List
+                        (Array.to_list busy
+                        |> List.map (fun s ->
+                               Obs.Json.Num
+                                 (if run_wall > 0. then s /. run_wall
+                                  else 0.))) );
+                  ] );
             ]
         | None -> fields
       in
@@ -381,7 +447,7 @@ let check_cmd =
           code: 0 all serializable, 1 violation, 2 unreadable/malformed \
           file, 3 timeout)")
     Term.(
-      const run $ algo $ timeout $ quiet $ jobs $ reclaim $ pipelined
+      const run $ algo $ timeout $ quiet $ jobs $ shards $ reclaim $ pipelined
       $ prefilter $ packed $ stats $ stats_json $ trace_out $ progress $ traces)
 
 (* generate *)

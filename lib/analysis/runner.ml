@@ -132,8 +132,125 @@ let heap_sampler () =
   end
   else fun () -> ()
 
-let run ?timeout ?heartbeat ?(reclaim = true) ?(prefilter = Off)
+(* --- sharded checking ---
+
+   [shards > 1] partitions the (filtered) packed event stream into
+   contiguous chunk batches at globally quiescent cuts and checks the
+   chunks concurrently on a domain pool, reconciling the chunk verdicts
+   left-to-right ({!Parallel.Shard}, {!Aerodrome.Merge}).  Reports are
+   byte-identical to the sequential path: every accepted cut certifies
+   the all-zero transaction-depth frontier that makes a ⊥-seeded chunk
+   checker exact, and rejected cuts degrade to longer chunks (counted
+   as replay), never to divergence.  The ⊥-seed argument is specific to
+   the default Opt configuration, so other checkers fall back to the
+   sequential path, as do timed-out runs (a per-chunk deadline would
+   make [events_fed] racy) and streams that cannot pack.
+
+   Chunk checkers run with reclamation off: per-variable lifetimes are
+   chunk-local here, and reclamation is verdict-neutral either way. *)
+
+let shardable ~shards ~timeout (module C : Aerodrome.Checker.S) =
+  shards > 1 && timeout = None && C.name = Aerodrome.Opt.name
+
+let shard_entries (o : Parallel.Shard.outcome) =
+  if not (Obs.on ()) then []
+  else
+    let p = o.Parallel.Shard.plan in
+    Obs.Snapshot.
+      [
+        entry "shard.chunks" (Int (Array.length o.Parallel.Shard.tasks));
+        entry "shard.cut_hits" (Int p.Aerodrome.Merge.hits);
+        entry "shard.cut_misses" (Int p.Aerodrome.Merge.misses);
+        entry "shard.replayed_events" (Int p.Aerodrome.Merge.replayed_events);
+        entry "shard.plan_seconds" (Float o.Parallel.Shard.plan_seconds);
+        entry "shard.merge_seconds" (Float o.Parallel.Shard.merge_seconds);
+      ]
+    @ List.concat
+        (List.mapi
+           (fun i (t : Parallel.Shard.task) ->
+             Obs.Snapshot.
+               [
+                 entry
+                   (Printf.sprintf "shard.chunk%d.events" i)
+                   (Int (t.Parallel.Shard.stop - t.Parallel.Shard.base));
+                 entry
+                   (Printf.sprintf "shard.chunk%d.seconds" i)
+                   (Float t.Parallel.Shard.seconds);
+               ])
+           (Array.to_list o.Parallel.Shard.tasks))
+
+(* Wrap a shard outcome as a runner result; the timer is the caller's
+   (it covers ingestion into the arena, like the sequential paths'
+   decode). *)
+let finish_sharded (module C : Aerodrome.Checker.S) ~started ?file_bytes
+    (o : Parallel.Shard.outcome) ~events_fed =
+  let seconds = Unix.gettimeofday () -. started in
+  let viol_at =
+    ref (if o.Parallel.Shard.violation <> None then seconds else -1.0)
+  in
+  let chunk_metrics =
+    Obs.Snapshot.merge
+      (Array.to_list o.Parallel.Shard.tasks
+      |> List.map (fun (t : Parallel.Shard.task) -> t.Parallel.Shard.metrics))
+    (* additive merge is right for the event/txn counters but not for
+       the violation-index gauge, which is chunk-local: rewrite it to
+       the reconciled arena-global index *)
+    |> List.map (fun (e : Obs.Snapshot.entry) ->
+           if e.Obs.Snapshot.name = "violation.index" then
+             {
+               e with
+               Obs.Snapshot.value =
+                 Obs.Snapshot.Int
+                   (match o.Parallel.Shard.violation with
+                   | Some v -> v.Aerodrome.Violation.index
+                   | None -> -1);
+             }
+           else e)
+  in
+  {
+    checker = C.name;
+    outcome = Verdict o.Parallel.Shard.violation;
+    seconds;
+    events_fed;
+    metrics =
+      chunk_metrics @ runner_entries ?file_bytes viol_at @ shard_entries o;
+  }
+
+(* Sharded variant of [run]: filter like the sequential path, pack the
+   (filtered) trace into an arena, fan chunk checkers out. *)
+let run_trace_sharded ?heartbeat ~prefilter ~shards ?shard_pool
     (module C : Aerodrome.Checker.S) tr =
+  collected (fun () ->
+      let tr =
+        match prefilter with
+        | Off -> tr
+        | Exact | Auto -> fst (Prefilter.run_trace `Exact tr)
+        | Online -> fst (Prefilter.run_trace `Online tr)
+      in
+      let n = Trace.length tr in
+      arm_heartbeat heartbeat ~total:(Some n);
+      let started = Unix.gettimeofday () in
+      let arena = Packed.Arena.create () in
+      Trace.iteri (fun _ e -> Packed.Arena.push arena (Packed.of_event e)) tr;
+      let o =
+        Parallel.Shard.check ?pool:shard_pool ~shards (module C)
+          ~threads:(Trace.threads tr) ~locks:(Trace.locks tr)
+          ~vars:(Trace.vars tr) arena
+      in
+      tick heartbeat n;
+      finish_sharded (module C) ~started o ~events_fed:n)
+
+let run ?timeout ?heartbeat ?(reclaim = true) ?(prefilter = Off) ?(shards = 1)
+    ?shard_pool (module C : Aerodrome.Checker.S) tr =
+  if
+    shardable ~shards ~timeout (module C)
+    && Packed.fits ~threads:(Trace.threads tr) ~locks:(Trace.locks tr)
+         ~vars:(Trace.vars tr)
+  then
+    run_trace_sharded ?heartbeat ~prefilter ~shards ?shard_pool
+      (module C : Aerodrome.Checker.S)
+      tr
+  else
   collected (fun () ->
       (* filtering and the oracle pass run before the timer starts, like
          trace I/O; the oracle is computed on the filtered trace so its
@@ -349,13 +466,47 @@ let run_packed_file ?timeout ?heartbeat ~reclaim ~prefilter
         metrics = runner_entries ?file_bytes:(file_size path) viol_at;
       })
 
+(* Sharded counterpart of [run_packed_file]: ingest (and filter) into
+   an arena first, then fan chunk checkers out over it.  The timer
+   covers the ingestion, mirroring the sequential path's decode. *)
+let run_packed_file_sharded ?heartbeat ~prefilter ~shards ?shard_pool
+    (module C : Aerodrome.Checker.S) path (header : Traces.Binfmt.header) =
+  collected (fun () ->
+      let stats = binary_stats ~prefilter path in
+      let pf = Option.map Prefilter.create (prefilter_mode ~prefilter ~stats) in
+      arm_heartbeat heartbeat ~total:(Some header.Traces.Binfmt.events);
+      let started = Unix.gettimeofday () in
+      let arena = Packed.Arena.create () in
+      let push w = Packed.Arena.push arena w in
+      (match pf with
+      | None -> ignore (Traces.Binfmt.fold_packed path ~init:() ~f:(fun () w -> push w))
+      | Some p ->
+        ignore
+          (Traces.Binfmt.fold_packed path ~init:() ~f:(fun () w ->
+               Prefilter.feed_packed p w push));
+        Prefilter.finish_packed p push);
+      let o =
+        Parallel.Shard.check ?pool:shard_pool ~shards (module C)
+          ~threads:header.Traces.Binfmt.threads
+          ~locks:header.Traces.Binfmt.locks ~vars:header.Traces.Binfmt.vars
+          arena
+      in
+      tick heartbeat (Packed.Arena.length arena);
+      finish_sharded (module C) ~started ?file_bytes:(file_size path) o
+        ~events_fed:(Packed.Arena.length arena))
+
 let run_stream_seq ?timeout ?heartbeat ?(reclaim = true) ?(prefilter = Off)
-    ?(packed = true) (module C : Aerodrome.Checker.S) path =
+    ?(packed = true) ?(shards = 1) ?shard_pool
+    (module C : Aerodrome.Checker.S) path =
   if Traces.Binfmt.is_binary path then begin
     let header = Traces.Binfmt.read_header path in
     if packed && packable ~prefilter header then
-      run_packed_file ?timeout ?heartbeat ~reclaim ~prefilter (module C) path
-        header
+      if shardable ~shards ~timeout (module C) then
+        run_packed_file_sharded ?heartbeat ~prefilter ~shards ?shard_pool
+          (module C) path header
+      else
+        run_packed_file ?timeout ?heartbeat ~reclaim ~prefilter (module C) path
+          header
     else run_binary_file ?timeout ?heartbeat ~reclaim ~prefilter (module C) path
   end
   else
@@ -693,12 +844,16 @@ let run_stream_pipelined ?timeout ?heartbeat ?(reclaim = true)
       | _ -> r)
 
 let run_stream ?timeout ?heartbeat ?(pipelined = false) ?(reclaim = true)
-    ?(prefilter = Off) ?(packed = true) checker path =
-  if pipelined then
+    ?(prefilter = Off) ?(packed = true) ?(shards = 1) ?shard_pool checker path =
+  (* the sharded path materializes the whole arena before any checking
+     starts, so a pipelined producer would have nothing to overlap with;
+     when both are requested, sharding wins *)
+  if pipelined && not (shardable ~shards ~timeout checker) then
     run_stream_pipelined ?timeout ?heartbeat ~reclaim ~prefilter ~packed
       checker path
   else
-    run_stream_seq ?timeout ?heartbeat ~reclaim ~prefilter ~packed checker path
+    run_stream_seq ?timeout ?heartbeat ~reclaim ~prefilter ~packed ~shards
+      ?shard_pool checker path
 
 (* --- multi-file fan-out --- *)
 
@@ -708,10 +863,10 @@ type file_report = {
 }
 
 let run_file ?timeout ?heartbeat ?(pipelined = false) ?(reclaim = true)
-    ?(prefilter = Off) ?(packed = true) checker path =
+    ?(prefilter = Off) ?(packed = true) ?(shards = 1) ?shard_pool checker path =
   match
     run_stream ?timeout ?heartbeat ~pipelined ~reclaim ~prefilter ~packed
-      checker path
+      ~shards ?shard_pool checker path
   with
   | r -> Ok r
   | exception Traces.Binfmt.Corrupt msg -> Error msg
@@ -720,19 +875,32 @@ let run_file ?timeout ?heartbeat ?(pipelined = false) ?(reclaim = true)
   | exception Sys_error msg -> Error msg
 
 let run_many ?timeout ?heartbeat ?(pipelined = false) ?(reclaim = true)
-    ?(prefilter = Off) ?(packed = true) ?(jobs = 1) ?on_pool checker paths =
+    ?(prefilter = Off) ?(packed = true) ?(jobs = 1) ?(shards = 1) ?shard_pool
+    ?on_pool checker paths =
+  (* The domain budget is shared between the file fan-out and intra-file
+     sharding: [jobs] caps the product, so sharded runs fan out fewer
+     files concurrently instead of oversubscribing cores. *)
+  let file_jobs = if shards > 1 then max 1 (jobs / shards) else jobs in
+  (* A lent shard pool is single-consumer ({!Parallel.Pool.map} is not
+     reentrant); once files fan out across workers, each file's run
+     creates its own chunk pool instead. *)
+  let shard_pool =
+    if file_jobs > 1 && List.compare_length_with paths 1 > 0 then None
+    else shard_pool
+  in
   (* A shared heartbeat would interleave lines from concurrent workers;
      drop it when the files actually fan out. *)
   let heartbeat =
-    if jobs > 1 && List.compare_length_with paths 1 > 0 then None else heartbeat
+    if file_jobs > 1 && List.compare_length_with paths 1 > 0 then None
+    else heartbeat
   in
-  Parallel.Pool.run ?report:on_pool ~jobs
+  Parallel.Pool.run ?report:on_pool ~jobs:file_jobs
     (fun path ->
       {
         file = path;
         report =
           run_file ?timeout ?heartbeat ~pipelined ~reclaim ~prefilter ~packed
-            checker path;
+            ~shards ?shard_pool checker path;
       })
     paths
 

@@ -18,6 +18,11 @@
       ["ring.consumer_stalls"]: {!Parallel.Ring} occupancy telemetry
       (pipelined runs only).
 
+    Sharded runs report ["shard.chunks"], ["shard.cut_hits"],
+    ["shard.cut_misses"], ["shard.replayed_events"],
+    ["shard.plan_seconds"], ["shard.merge_seconds"] and per-chunk
+    ["shard.chunk<i>.events"] / ["shard.chunk<i>.seconds"] entries.
+
     With telemetry disabled [metrics] is {!Obs.Snapshot.empty} and the
     per-event cost of the plumbing is one branch.  A [heartbeat]
     (ticked from the existing 4096-event timeout checkpoint) emits
@@ -80,11 +85,33 @@ type prefilter =
     to the reduced stream.  Composes with [reclaim]: the last-use oracle
     can only fire late on a filtered stream, never early (and {!run}
     recomputes it on the filtered trace).  With telemetry on, the
-    per-rule elision counters land in [metrics] as [prefilter.*]. *)
+    per-rule elision counters land in [metrics] as [prefilter.*].
+
+    {2 Sharded checking}
+
+    Every file-level run function (and {!run}) takes [?shards] (default
+    [1]).  With [shards > 1] the (filtered) event stream is materialized
+    into a packed arena, partitioned into contiguous chunks at globally
+    quiescent cuts — positions where no thread has an open transaction —
+    and the chunks are checked concurrently on a domain pool, each from
+    a fresh ⊥-clock checker, with the chunk verdicts reconciled
+    left-to-right ({!Parallel.Shard}, {!Aerodrome.Merge}).  Verdicts,
+    violation indices and [events_fed] are {e byte-identical} to the
+    sequential path; cut candidates with no quiescent position nearby
+    are rejected and their events ride along with the preceding chunk
+    (reported as replay), degrading parallelism but never the answer.
+
+    Sharding silently falls back to the sequential path whenever the
+    exactness argument does not apply: non-default checkers
+    ([--algo slow]/[faithful]), runs with a [timeout], id domains beyond
+    {!Traces.Packed.fits}, and boxed ([~packed:false]) or [Online]-
+    filtered streams.  [?shard_pool] lends an existing domain pool to
+    the chunk fan-out (one is created per run otherwise). *)
 
 val run :
   ?timeout:float -> ?heartbeat:Obs.Heartbeat.t -> ?reclaim:bool ->
-  ?prefilter:prefilter -> Aerodrome.Checker.t -> Traces.Trace.t -> result
+  ?prefilter:prefilter -> ?shards:int -> ?shard_pool:Parallel.Pool.t ->
+  Aerodrome.Checker.t -> Traces.Trace.t -> result
 (** [timeout] in seconds; default: none.  [heartbeat] is restarted, given
     the trace length as total, and ticked as the run progresses.  With
     [reclaim] (the default) the last-use oracle is computed from the
@@ -116,8 +143,8 @@ val run_binary_file :
 
 val run_stream :
   ?timeout:float -> ?heartbeat:Obs.Heartbeat.t -> ?pipelined:bool ->
-  ?reclaim:bool -> ?prefilter:prefilter -> ?packed:bool ->
-  Aerodrome.Checker.t -> string -> result
+  ?reclaim:bool -> ?prefilter:prefilter -> ?packed:bool -> ?shards:int ->
+  ?shard_pool:Parallel.Pool.t -> Aerodrome.Checker.t -> string -> result
 (** Analyze a trace file without materializing it, auto-detecting the
     format: binary files stream in one pass (domains from the header),
     text files via {!Traces.Parser.fold_file} (two passes, since the text
@@ -143,6 +170,10 @@ val run_stream :
     violation index and [events_fed] match the sequential path exactly
     ([seconds] measures the consumer's wall clock from checker creation
     to verdict, so it includes any stall waiting for the producer).
+
+    [shards > 1] selects the sharded path where applicable (see
+    {e Sharded checking} above); it takes precedence over [pipelined],
+    whose producer would have nothing to overlap with.
     @raise Traces.Binfmt.Corrupt on a corrupt binary trace,
     [Traces.Parser.Parse_error] on a malformed text trace. *)
 
@@ -156,8 +187,9 @@ type file_report = {
 
 val run_file :
   ?timeout:float -> ?heartbeat:Obs.Heartbeat.t -> ?pipelined:bool ->
-  ?reclaim:bool -> ?prefilter:prefilter -> ?packed:bool ->
-  Aerodrome.Checker.t -> string -> (result, string) Stdlib.result
+  ?reclaim:bool -> ?prefilter:prefilter -> ?packed:bool -> ?shards:int ->
+  ?shard_pool:Parallel.Pool.t -> Aerodrome.Checker.t -> string ->
+  (result, string) Stdlib.result
 (** {!run_stream} with per-file error capture instead of exceptions:
     [Sys_error], {!Traces.Binfmt.Corrupt} and
     {!Traces.Parser.Parse_error} become [Error msg]. *)
@@ -165,6 +197,7 @@ val run_file :
 val run_many :
   ?timeout:float -> ?heartbeat:Obs.Heartbeat.t -> ?pipelined:bool ->
   ?reclaim:bool -> ?prefilter:prefilter -> ?packed:bool -> ?jobs:int ->
+  ?shards:int -> ?shard_pool:Parallel.Pool.t ->
   ?on_pool:(float array -> unit) -> Aerodrome.Checker.t -> string list ->
   file_report list
 (** Check many trace files, one {!file_report} per input path {e in input
@@ -175,6 +208,14 @@ val run_many :
     runs single-threaded on one domain (the exact sequential checker —
     verdicts cannot differ).  [jobs <= 1] runs sequentially in the
     calling domain with no pool.
+
+    [jobs] budgets domains across {e both} axes of parallelism: with
+    [shards > 1] at most [max 1 (jobs / shards)] files run concurrently,
+    each fanning its chunks out over its own shard pool, so the total
+    domain count stays within the budget rather than multiplying.
+    [shard_pool] is forwarded to the per-file runs only while they stay
+    on the calling domain ({!Parallel.Pool.map} is single-consumer);
+    once files fan out it is ignored and chunk pools are per-file.
 
     [heartbeat] is forwarded to each file's run, except when files fan
     out across a pool (concurrent workers would interleave its lines).

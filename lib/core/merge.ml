@@ -1,0 +1,169 @@
+(* Cut planning for sharded checking.
+
+   A speculative per-chunk Opt run seeded with ⊥ clocks reproduces the
+   sequential checker's outcomes exactly iff its entry cut is globally
+   quiescent (no thread mid-transaction anywhere).  The proof sketch —
+   spelled out in DESIGN.md §15 — rests on two code invariants:
+
+   - every violation check is gated on [active st t], and an active
+     post-cut transaction was begun post-cut, where [handle_begin]
+     bumps the thread's own component; so every check compares a
+     post-cut epoch [cb_own t = V_t + δ] (δ ≥ 1) against a clock
+     component that is either offset-consistent ([V_t + shard value])
+     or pre-cut residue (≤ V_t, which the shard sees as 0) — the
+     boolean outcome is identical either way;
+   - at a quiescent position the checker's cross-transaction scratch
+     state (update sets, stale-reader sets, [vstale_w]) has provably
+     drained, so the residues that survive ([vw]/[vr] clocks,
+     [last_rel_thr], [vlast_w]) are exactly the outcome-equivalent
+     kind.
+
+   Quiescence is decidable from the event text alone (a per-thread
+   depth counter), so cut validation needs no clock state and runs
+   before any domain is spawned: the "boundary summary" each shard
+   assumes is the all-zero depth frontier, and the planner only emits
+   cuts whose summary matches.  A rejected candidate means the events
+   that would have formed that chunk are replayed as the tail of the
+   preceding shard — the honest cost surfaced in [replayed_events]. *)
+
+open Traces
+
+type plan = {
+  cuts : int array;
+  targets : int;
+  hits : int;
+  misses : int;
+  replayed_events : int;
+}
+
+let trivial = { cuts = [| 0 |]; targets = 0; hits = 0; misses = 0;
+                replayed_events = 0 }
+
+(* Scan the arena maintaining the transaction-depth frontier; call
+   [note] at every globally quiescent position (position p = before
+   event p).  Stops early once [note] returns false. *)
+let scan_quiescent ~threads arena note =
+  let depth = Array.make threads 0 in
+  let open_txns = ref 0 in
+  let pos = ref 0 in
+  let n = Packed.Arena.length arena in
+  if note 0 then
+    (try
+       Packed.Arena.iter arena (fun w ->
+           let op = Packed.opcode w in
+           if op = Packed.op_begin then begin
+             let t = Packed.tid w in
+             if depth.(t) = 0 then incr open_txns;
+             depth.(t) <- depth.(t) + 1
+           end
+           else if op = Packed.op_end then begin
+             let t = Packed.tid w in
+             if depth.(t) > 0 then begin
+               depth.(t) <- depth.(t) - 1;
+               if depth.(t) = 0 then decr open_txns
+             end
+           end;
+           incr pos;
+           if !open_txns = 0 && !pos < n && not (note !pos) then raise Exit)
+     with Exit -> ())
+
+let plan ~threads ~shards ?window ?cuts arena =
+  let n = Packed.Arena.length arena in
+  let candidates, window =
+    match cuts with
+    | Some cs ->
+      let cs = List.sort_uniq compare (List.filter (fun p -> p > 0 && p < n) cs) in
+      (Array.of_list cs, 0)
+    | None ->
+      if shards <= 1 || n = 0 then ([||], 0)
+      else
+        let k = min shards n in
+        ( Array.init (k - 1) (fun i -> (i + 1) * n / k),
+          match window with
+          | Some w -> max 0 w
+          | None -> max 1 (n / k / 8) )
+  in
+  let m = Array.length candidates in
+  if m = 0 then trivial
+  else begin
+    (* For each candidate, the nearest quiescent position within its
+       window, found in the single frontier scan. *)
+    let best = Array.make m (-1) in
+    let bestd = Array.make m max_int in
+    let lo = ref 0 in
+    scan_quiescent ~threads arena (fun q ->
+        while !lo < m && candidates.(!lo) + window < q do
+          incr lo
+        done;
+        let j = ref !lo in
+        while !j < m && candidates.(!j) - window <= q do
+          let d = abs (q - candidates.(!j)) in
+          if d < bestd.(!j) then begin
+            bestd.(!j) <- d;
+            best.(!j) <- q
+          end;
+          incr j
+        done;
+        !lo < m);
+    (* Accepted cuts must stay strictly increasing (and past position
+       0); a candidate whose snap collides with the previous cut is a
+       miss like any other. *)
+    let cuts_rev = ref [ 0 ] in
+    let hits = ref 0 in
+    let missed = Array.make m false in
+    Array.iteri
+      (fun j _ ->
+        let b = best.(j) in
+        if b > List.hd !cuts_rev then begin
+          incr hits;
+          cuts_rev := b :: !cuts_rev
+        end
+        else missed.(j) <- true)
+      candidates;
+    let cuts = Array.of_list (List.rev !cuts_rev) in
+    (* Each maximal run of rejected candidates extends the preceding
+       shard from the first rejected position to the next accepted cut
+       (or the end of the arena): those events could not run on their
+       own domain. *)
+    let replayed = ref 0 in
+    let j = ref 0 in
+    while !j < m do
+      if missed.(!j) then begin
+        let from = candidates.(!j) in
+        while !j < m && missed.(!j) do incr j done;
+        let next_cut =
+          let rec find k =
+            if k >= Array.length cuts then n
+            else if cuts.(k) > from then cuts.(k)
+            else find (k + 1)
+          in
+          find 0
+        in
+        replayed := !replayed + (next_cut - from)
+      end
+      else incr j
+    done;
+    {
+      cuts;
+      targets = m;
+      hits = !hits;
+      misses = m - !hits;
+      replayed_events = !replayed;
+    }
+  end
+
+let bounds plan ~total =
+  let k = Array.length plan.cuts in
+  Array.init k (fun i ->
+      (plan.cuts.(i), if i = k - 1 then total else plan.cuts.(i + 1)))
+
+let reconcile outcomes =
+  let rec first i =
+    if i >= Array.length outcomes then None
+    else
+      match outcomes.(i) with
+      | base, Some (v : Violation.t) ->
+        Some (Violation.make ~index:(base + v.index) ~event:v.event ~site:v.site)
+      | _, None -> first (i + 1)
+  in
+  first 0

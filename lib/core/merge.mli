@@ -1,0 +1,69 @@
+(** Cut planning and verdict reconciliation for sharded checking.
+
+    The sharded runner ({!Parallel.Shard} via {!Analysis.Runner})
+    partitions a packed arena into contiguous chunks and runs an
+    independent speculative {!Opt} checker from the empty (⊥) clock
+    state on each.  A speculative run is {e byte-identical} to the
+    sequential checker over the same range exactly when its entry cut is
+    {b globally quiescent} — no thread has an open transaction at the
+    cut (DESIGN.md §15 gives the argument and the counterexamples for
+    non-quiescent cuts).  Quiescence is a property of the event text
+    alone — a per-thread transaction-depth frontier, independent of any
+    clock state — so speculation is validated {e before} the parallel
+    phase: one cheap opcode/tid scan computes the boundary summary at
+    every candidate cut, accepted cuts become shard entries, and the
+    events of rejected cuts are replayed as the tail of the preceding
+    shard instead of running on their own domain.
+
+    The planner's boundary summary per cut is the per-thread depth
+    vector; an accepted cut certifies the all-zero frontier, which is
+    what makes the ⊥ clock seed exact.  Violation indices of accepted
+    chunks are local to the chunk and rebased by {!reconcile}. *)
+
+open Traces
+
+type plan = {
+  cuts : int array;
+      (** entry position of each shard chunk, strictly increasing;
+          [cuts.(0) = 0].  Chunk [i] covers
+          [cuts.(i) .. cuts.(i+1) - 1] (the last chunk runs to the end
+          of the arena). *)
+  targets : int;  (** interior cut candidates requested *)
+  hits : int;  (** candidates realized as quiescent cuts *)
+  misses : int;
+      (** candidates rejected — no quiescent position within the window
+          (auto) or a forced position with open transactions *)
+  replayed_events : int;
+      (** events that run as the tail of the preceding shard because
+          their own cut was rejected *)
+}
+
+val plan :
+  threads:int -> shards:int -> ?window:int -> ?cuts:int list ->
+  Packed.Arena.t -> plan
+(** Scan the arena once and choose shard entry cuts.
+
+    Without [cuts], the candidates are the [shards - 1] equidistant
+    split positions, each snapped to the nearest globally quiescent
+    position within [window] events (default: an eighth of the chunk
+    length); a candidate with no quiescent position in its window is a
+    miss.  With [cuts] (the test hook for adversarial boundaries), the
+    given positions are used verbatim with no snapping: a forced cut is
+    accepted only if it is itself quiescent.  Either way every accepted
+    cut is quiescent, so every planned chunk is exact by construction;
+    rejected candidates surface as [misses] / [replayed_events].
+
+    The scan costs one opcode/tid decode per event — no clocks, no
+    allocation beyond the depth array. *)
+
+val bounds : plan -> total:int -> (int * int) array
+(** [(start, stop)] of each chunk, [stop] exclusive; [total] is the
+    arena length. *)
+
+val reconcile : (int * Violation.t option) array -> Violation.t option
+(** [(base, local_violation)] per chunk in trace order: the first
+    chunk reporting a violation wins and its index is rebased from
+    chunk-local to trace position ([base + index]).  Later chunks'
+    verdicts are discarded — the sequential checker freezes at its
+    first violation, so anything they report is unreachable
+    sequentially. *)

@@ -59,6 +59,38 @@ let diff ~(before : t) ~(after : t) : t =
       | _ -> e)
     after
 
+(* [merge snaps] folds several snapshots of the {e same shape} into one
+   — the sharded runner sums its per-chunk checker snapshots back into
+   a whole-trace reading.  Counters (Int) and histograms add; floats
+   (gauges, high-water readings) keep their maximum.  Entry order
+   follows first appearance, so homogeneous snapshots keep their
+   registry order. *)
+let merge_value a b =
+  match (a, b) with
+  | Int x, Int y -> Int (x + y)
+  | Float x, Float y -> Float (Float.max x y)
+  | Hist h, Hist g when h.bounds = g.bounds ->
+    Hist
+      {
+        bounds = h.bounds;
+        counts = Array.mapi (fun i c -> c + g.counts.(i)) h.counts;
+        total = h.total + g.total;
+        sum = h.sum + g.sum;
+      }
+  | _ -> b
+
+let merge (snaps : t list) : t =
+  let add acc e =
+    let rec go = function
+      | [] -> [ e ]
+      | a :: rest when a.name = e.name ->
+        { a with value = merge_value a.value e.value } :: rest
+      | a :: rest -> a :: go rest
+    in
+    go acc
+  in
+  List.fold_left (fun acc snap -> List.fold_left add acc snap) [] snaps
+
 let value_to_json = function
   | Int n -> Json.Num (float_of_int n)
   | Float f -> Json.Num f

@@ -1,0 +1,52 @@
+(** Single-trace chunked parallel checking over a packed arena.
+
+    {!check} partitions an arena into contiguous chunk batches at
+    quiescent cuts chosen by {!Aerodrome.Merge.plan}, runs an
+    independent speculative checker from ⊥ clock state on each chunk —
+    fanned out over a {!Pool} of domains — and reconciles the chunk
+    verdicts left-to-right ({!Aerodrome.Merge.reconcile}).  Every
+    planned cut is globally quiescent, which makes each chunk run
+    byte-identical to the sequential checker over the same range (the
+    exactness argument lives in DESIGN.md §15 and merge.mli); events
+    whose candidate cut was rejected run as the tail of the preceding
+    chunk and are reported as replay.
+
+    Soundness of the ⊥ seed is specific to the default {!Aerodrome.Opt}
+    configuration (component-epoch fast checks, non-faithful): the
+    caller — normally {!Analysis.Runner} — must gate on the checker
+    being ["aerodrome"].  Chunk checkers run with
+    {!Aerodrome.Reclaim.Off} (reclamation is verdict-neutral, and
+    oracle indices would be meaningless chunk-locally). *)
+
+type task = {
+  base : int;  (** chunk entry position in the arena *)
+  stop : int;  (** chunk end, exclusive *)
+  violation : Aerodrome.Violation.t option;
+      (** first violation of the chunk, index {e chunk-local} *)
+  seconds : float;  (** wall-clock of this chunk's checker *)
+  metrics : Obs.Snapshot.t;
+      (** the chunk checker's own counters, collected on the worker
+          domain; empty with telemetry off.  {!Obs.Snapshot.merge} sums
+          the per-chunk snapshots back into a whole-trace reading. *)
+}
+
+type outcome = {
+  violation : Aerodrome.Violation.t option;
+      (** reconciled verdict, index rebased to the arena *)
+  plan : Aerodrome.Merge.plan;
+  tasks : task array;  (** one per chunk, in trace order *)
+  plan_seconds : float;  (** cut-scan (boundary summary) wall-clock *)
+  merge_seconds : float;  (** reconciliation wall-clock *)
+}
+
+val check :
+  ?pool:Pool.t -> ?window:int -> ?cuts:int list -> shards:int ->
+  (module Aerodrome.Checker.S) ->
+  threads:int -> locks:int -> vars:int -> Traces.Packed.Arena.t -> outcome
+(** Check a fully built arena with up to [shards] chunks.  [pool] runs
+    the chunk tasks on an existing pool (it must have no other work in
+    flight); without it a temporary pool of [min shards chunks] domains
+    is created — and a single-chunk plan runs in the calling domain
+    with no pool at all.  [window] and [cuts] are forwarded to
+    {!Aerodrome.Merge.plan} ([cuts] is the adversarial-boundary test
+    hook). *)

@@ -138,6 +138,26 @@ module Arena = struct
         for i = 0 to len - 1 do
           f (Bigarray.Array1.unsafe_get c i)
         done)
+
+  (* Words [start, stop) in order, chunk-wise: the per-word cost is one
+     unsafe Bigarray read, no division.  The shard tasks walk disjoint
+     ranges of a fully built (hence immutable) arena concurrently. *)
+  let iter_range t start stop f =
+    if start < 0 || stop > length t || start > stop then
+      invalid_arg "Packed.Arena.iter_range";
+    let ci = ref (start lsr t.shift) in
+    let pos = ref (start land t.mask) in
+    let remaining = ref (stop - start) in
+    while !remaining > 0 do
+      let chunk = t.chunks.(!ci) in
+      let take = min !remaining (t.chunk_words - !pos) in
+      for i = !pos to !pos + take - 1 do
+        f (Bigarray.Array1.unsafe_get chunk i)
+      done;
+      remaining := !remaining - take;
+      incr ci;
+      pos := 0
+    done
 end
 
 module Cursor = struct

@@ -100,6 +100,13 @@ module Arena : sig
   val iter_chunks : t -> (chunk -> int -> unit) -> unit
   (** Chunks in order with their filled lengths; only the final chunk
       may be partially filled. *)
+
+  val iter_range : t -> int -> int -> (int -> unit) -> unit
+  (** [iter_range t start stop f] applies [f] to the words of
+      [start .. stop-1] in order.  Disjoint ranges of a fully built
+      arena may be walked from different domains concurrently (the
+      sharded checker's chunk batches).  [Invalid_argument] when the
+      range is out of bounds. *)
 end
 
 (** Sequential reader over an arena. *)

@@ -1,14 +1,17 @@
 The bench harness emits machine-readable results with --json; the file
-must satisfy the aerodrome-bench/6 schema (validate_json exits non-zero
+must satisfy the aerodrome-bench/7 schema (validate_json exits non-zero
 and prints a diagnostic otherwise).  The reclaim section — peak live
 heap with and without last-use state reclamation — the prefilter
 section — checking throughput with the trace reduction off, exact, and
-online — and the arena section — boxed vs zero-copy packed ingestion
+online — the arena section — boxed vs zero-copy packed ingestion
 end to end, which also contributes the decode-only ingestion rows to
-"micro" — ride along by default, and the validator enforces matching
-verdicts on every axis, a non-increasing peak, a non-growing reduction,
-and a packed path that never allocates more than the boxed reference,
-so this run doubles as the memory, reduction and ingestion smoke test:
+"micro" — and the shards section — sequential vs chunk-parallel
+single-trace checking — ride along by default, and the validator
+enforces matching verdicts on every axis, a non-increasing peak, a
+non-growing reduction, a packed path that never allocates more than the
+boxed reference, and sharded reports identical to sequential, so this
+run doubles as the memory, reduction, ingestion and sharding smoke
+test:
 
   $ ../bench/main.exe --table 1 --scale 0.05 --timeout 1 --no-micro \
   >   --no-ablation --no-scaling --json bench.json > /dev/null 2>&1
@@ -22,22 +25,25 @@ so this run doubles as the memory, reduction and ingestion smoke test:
   1
   $ grep -c '"ingest-packed-mmap-cursor"' bench.json
   1
+  $ grep -c '"shards":{"cases"' bench.json
+  1
 
 The multicore section ships a parallel summary (corpus fan-out wall
 clock + speedup, pipelined ingestion) and the sequential/parallel
 verdict cross-check; a divergence is a schema error by design:
 
   $ ../bench/main.exe --table 2 --scale 0.05 --timeout 1 --no-micro \
-  >   --no-ablation --no-scaling --jobs 2 --json jobs.json > /dev/null 2>&1
+  >   --no-ablation --no-scaling --no-shards --jobs 2 --json jobs.json > /dev/null 2>&1
   $ ../bench/validate_json.exe jobs.json
   ok
 
-The telemetry, reclaim, prefilter and arena sections can be disabled;
-the schema treats them as nullable:
+The telemetry, reclaim, prefilter, arena and shards sections can be
+disabled; the schema treats them as nullable:
 
   $ ../bench/main.exe --table 1 --scale 0.05 --timeout 1 --no-micro \
   >   --no-ablation --no-scaling --no-parallel --no-telemetry \
-  >   --no-reclaim --no-prefilter --no-arena --json none.json > /dev/null 2>&1
+  >   --no-reclaim --no-prefilter --no-arena --no-shards \
+  >   --json none.json > /dev/null 2>&1
   $ ../bench/validate_json.exe none.json
   ok
   $ grep -c '"reclaim":null' none.json
@@ -46,6 +52,8 @@ the schema treats them as nullable:
   1
   $ grep -c '"arena":null' none.json
   1
+  $ grep -c '"shards":null' none.json
+  1
 
 A missing file, an outdated schema or a schema violation is rejected:
 
@@ -53,18 +61,18 @@ A missing file, an outdated schema or a schema violation is rejected:
   $ ../bench/validate_json.exe old.json
   old.json: unknown schema "aerodrome-bench/2"
   [1]
-  $ echo '{"schema":"aerodrome-bench/5","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":null,"prefilter":null}' > prev.json
+  $ echo '{"schema":"aerodrome-bench/6","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":null,"prefilter":null,"arena":null}' > prev.json
   $ ../bench/validate_json.exe prev.json
-  prev.json: unknown schema "aerodrome-bench/5"
+  prev.json: unknown schema "aerodrome-bench/6"
   [1]
-  $ echo '{"schema":"aerodrome-bench/6","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":null,"prefilter":null,"arena":null}' > bad.json
+  $ echo '{"schema":"aerodrome-bench/7","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":null,"prefilter":null,"arena":null,"shards":null}' > bad.json
   $ ../bench/validate_json.exe bad.json
   bad.json: no tables and no micro results
   [1]
 
 A telemetry section that lost its counter snapshot is rejected too:
 
-  $ echo '{"schema":"aerodrome-bench/6","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":{"events":10,"disabled_events_per_sec":1,"enabled_events_per_sec":1,"overhead_pct":0,"metrics":{}},"reclaim":null,"prefilter":null,"arena":null}' > notel.json
+  $ echo '{"schema":"aerodrome-bench/7","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":{"events":10,"disabled_events_per_sec":1,"enabled_events_per_sec":1,"overhead_pct":0,"metrics":{}},"reclaim":null,"prefilter":null,"arena":null,"shards":null}' > notel.json
   $ ../bench/validate_json.exe notel.json
   notel.json: missing field "events.total"
   [1]
@@ -72,11 +80,11 @@ A telemetry section that lost its counter snapshot is rejected too:
 So is a reclaim section whose verdicts diverged, or whose peak grew
 with reclamation on:
 
-  $ echo '{"schema":"aerodrome-bench/6","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":{"events":10,"threads":2,"vars":4,"off":{"seconds":0.1,"events_per_sec":100,"peak_live_words":1000},"on":{"seconds":0.1,"events_per_sec":100,"peak_live_words":500,"pool_hits":1,"pool_misses":1,"pool_hit_rate":0.5,"reclaimed_states":2},"peak_reduction_pct":50,"verdicts_match":false},"prefilter":null,"arena":null}' > diverge.json
+  $ echo '{"schema":"aerodrome-bench/7","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":{"events":10,"threads":2,"vars":4,"off":{"seconds":0.1,"events_per_sec":100,"peak_live_words":1000},"on":{"seconds":0.1,"events_per_sec":100,"peak_live_words":500,"pool_hits":1,"pool_misses":1,"pool_hit_rate":0.5,"reclaimed_states":2},"peak_reduction_pct":50,"verdicts_match":false},"prefilter":null,"arena":null,"shards":null}' > diverge.json
   $ ../bench/validate_json.exe diverge.json
   diverge.json: reclaim: verdicts diverged between reclaim modes
   [1]
-  $ echo '{"schema":"aerodrome-bench/6","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":{"events":10,"threads":2,"vars":4,"off":{"seconds":0.1,"events_per_sec":100,"peak_live_words":1000},"on":{"seconds":0.1,"events_per_sec":100,"peak_live_words":2000,"pool_hits":1,"pool_misses":1,"pool_hit_rate":0.5,"reclaimed_states":2},"peak_reduction_pct":-100,"verdicts_match":true},"prefilter":null,"arena":null}' > grew.json
+  $ echo '{"schema":"aerodrome-bench/7","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":{"events":10,"threads":2,"vars":4,"off":{"seconds":0.1,"events_per_sec":100,"peak_live_words":1000},"on":{"seconds":0.1,"events_per_sec":100,"peak_live_words":2000,"pool_hits":1,"pool_misses":1,"pool_hit_rate":0.5,"reclaimed_states":2},"peak_reduction_pct":-100,"verdicts_match":true},"prefilter":null,"arena":null,"shards":null}' > grew.json
   $ ../bench/validate_json.exe grew.json
   grew.json: reclaim: peak_live_words grew with reclamation on (2000 > 1000)
   [1]
@@ -84,11 +92,11 @@ with reclamation on:
 And a prefilter section whose verdicts diverged across filter modes,
 or whose "reduction" grew the trace:
 
-  $ echo '{"schema":"aerodrome-bench/6","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":null,"prefilter":{"events_in":100,"events_out":60,"threads":2,"vars":4,"elided":{"thread_local":20,"read_only":10,"redundant":5,"lock_local":5},"off":{"seconds":0.2,"events_per_sec":500,"events_fed":100},"exact":{"seconds":0.1,"events_per_sec":1000,"events_fed":60},"online":{"seconds":0.15,"events_per_sec":666,"events_fed":70},"speedup_exact":2,"speedup_online":1.33,"verdicts_match":false},"arena":null}' > pfdiverge.json
+  $ echo '{"schema":"aerodrome-bench/7","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":null,"prefilter":{"events_in":100,"events_out":60,"threads":2,"vars":4,"elided":{"thread_local":20,"read_only":10,"redundant":5,"lock_local":5},"off":{"seconds":0.2,"events_per_sec":500,"events_fed":100},"exact":{"seconds":0.1,"events_per_sec":1000,"events_fed":60},"online":{"seconds":0.15,"events_per_sec":666,"events_fed":70},"speedup_exact":2,"speedup_online":1.33,"verdicts_match":false},"arena":null,"shards":null}' > pfdiverge.json
   $ ../bench/validate_json.exe pfdiverge.json
   pfdiverge.json: prefilter: verdicts diverged between filter modes
   [1]
-  $ echo '{"schema":"aerodrome-bench/6","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":null,"prefilter":{"events_in":100,"events_out":120,"threads":2,"vars":4,"elided":{"thread_local":0,"read_only":0,"redundant":0,"lock_local":0},"off":{"seconds":0.2,"events_per_sec":500,"events_fed":100},"exact":{"seconds":0.1,"events_per_sec":1000,"events_fed":120},"online":{"seconds":0.15,"events_per_sec":666,"events_fed":100},"speedup_exact":2,"speedup_online":1.33,"verdicts_match":true},"arena":null}' > pfgrew.json
+  $ echo '{"schema":"aerodrome-bench/7","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":null,"prefilter":{"events_in":100,"events_out":120,"threads":2,"vars":4,"elided":{"thread_local":0,"read_only":0,"redundant":0,"lock_local":0},"off":{"seconds":0.2,"events_per_sec":500,"events_fed":100},"exact":{"seconds":0.1,"events_per_sec":1000,"events_fed":120},"online":{"seconds":0.15,"events_per_sec":666,"events_fed":100},"speedup_exact":2,"speedup_online":1.33,"verdicts_match":true},"arena":null,"shards":null}' > pfgrew.json
   $ ../bench/validate_json.exe pfgrew.json
   pfgrew.json: prefilter: events_out grew (120 > 100)
   [1]
@@ -96,11 +104,24 @@ or whose "reduction" grew the trace:
 And an arena section where the packed path's report diverged from the
 boxed reference, or where "zero-copy" somehow allocated more:
 
-  $ echo '{"schema":"aerodrome-bench/6","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":null,"prefilter":null,"arena":{"events":100,"threads":2,"vars":4,"file_bytes":300,"boxed":{"seconds":0.2,"events_per_sec":500,"events_fed":100,"allocated_mwords":1.5},"packed":{"seconds":0.1,"events_per_sec":1000,"events_fed":90,"allocated_mwords":0.01},"speedup":2,"alloc_reduction":150,"verdicts_match":true,"reports_match":false}}' > ardiverge.json
+  $ echo '{"schema":"aerodrome-bench/7","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":null,"prefilter":null,"arena":{"events":100,"threads":2,"vars":4,"file_bytes":300,"boxed":{"seconds":0.2,"events_per_sec":500,"events_fed":100,"allocated_mwords":1.5},"packed":{"seconds":0.1,"events_per_sec":1000,"events_fed":90,"allocated_mwords":0.01},"speedup":2,"alloc_reduction":150,"verdicts_match":true,"reports_match":false},"shards":null}' > ardiverge.json
   $ ../bench/validate_json.exe ardiverge.json
   ardiverge.json: arena: packed report diverged from boxed
   [1]
-  $ echo '{"schema":"aerodrome-bench/6","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":null,"prefilter":null,"arena":{"events":100,"threads":2,"vars":4,"file_bytes":300,"boxed":{"seconds":0.2,"events_per_sec":500,"events_fed":100,"allocated_mwords":0.5},"packed":{"seconds":0.1,"events_per_sec":1000,"events_fed":100,"allocated_mwords":1.5},"speedup":2,"alloc_reduction":0.33,"verdicts_match":true,"reports_match":true}}' > argrew.json
+  $ echo '{"schema":"aerodrome-bench/7","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":null,"prefilter":null,"arena":{"events":100,"threads":2,"vars":4,"file_bytes":300,"boxed":{"seconds":0.2,"events_per_sec":500,"events_fed":100,"allocated_mwords":0.5},"packed":{"seconds":0.1,"events_per_sec":1000,"events_fed":100,"allocated_mwords":1.5},"speedup":2,"alloc_reduction":0.33,"verdicts_match":true,"reports_match":true},"shards":null}' > argrew.json
   $ ../bench/validate_json.exe argrew.json
   argrew.json: arena: packed path allocated more than boxed (1.500 > 0.500 Mwords)
+  [1]
+
+And a shards section whose report diverged from the sequential run, or
+whose cut/replay accounting is inconsistent (replayed events can only
+come from a rejected cut):
+
+  $ echo '{"schema":"aerodrome-bench/7","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":null,"prefilter":null,"arena":null,"shards":{"cases":[{"threads":4,"events":100,"sequential":{"seconds":0.2,"events_per_sec":500},"runs":[{"shards":2,"seconds":0.1,"events_per_sec":1000,"speedup":2,"chunks":2,"cut_hits":1,"cut_misses":0,"replay_fraction":0,"utilization":[0.9,0.8],"verdicts_match":true,"reports_match":false}]}]}}' > shdiverge.json
+  $ ../bench/validate_json.exe shdiverge.json
+  shdiverge.json: shards.cases[0].runs[0]: sharded report diverged from sequential
+  [1]
+  $ echo '{"schema":"aerodrome-bench/7","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":null,"prefilter":null,"arena":null,"shards":{"cases":[{"threads":4,"events":100,"sequential":{"seconds":0.2,"events_per_sec":500},"runs":[{"shards":2,"seconds":0.1,"events_per_sec":1000,"speedup":2,"chunks":2,"cut_hits":1,"cut_misses":0,"replay_fraction":0.25,"utilization":[0.9,0.8],"verdicts_match":true,"reports_match":true}]}]}}' > shreplay.json
+  $ ../bench/validate_json.exe shreplay.json
+  shreplay.json: shards.cases[0].runs[0]: replayed events without a rejected cut
   [1]

@@ -1,0 +1,336 @@
+(* Sharded single-trace checking ({!Parallel.Shard} + {!Aerodrome.Merge}):
+   the differential matrix — sequential vs sharded runs must render
+   byte-identical reports across shard counts, prefilter and reclaim
+   settings — plus adversarial chunk boundaries driven through the
+   [?cuts] test hook: transactions spanning a chunk edge, fork/join
+   split across shards, a violation at the boundary event, and forced
+   non-quiescent cuts that must be rejected, never mis-checked. *)
+
+open Traces
+
+let opt = (module Aerodrome.Opt : Aerodrome.Checker.S)
+
+let arena_of tr =
+  (* a small chunk size so multi-chunk arenas appear at test scale *)
+  let a = Packed.Arena.create ~chunk_words:1024 () in
+  Trace.iteri (fun _ e -> Packed.Arena.push a (Packed.of_event e)) tr;
+  a
+
+let shard_check ?window ?cuts ~shards tr =
+  Parallel.Shard.check ?window ?cuts ~shards opt ~threads:(Trace.threads tr)
+    ~locks:(Trace.locks tr) ~vars:(Trace.vars tr) (arena_of tr)
+
+let seq_violation tr = Aerodrome.Checker.run (module Aerodrome.Opt) tr
+
+let pp_violation ppf = function
+  | None -> Format.pp_print_string ppf "serializable"
+  | Some v ->
+    Format.fprintf ppf "violation @%d (%s)" v.Aerodrome.Violation.index
+      (Aerodrome.Violation.to_string v)
+
+let violation =
+  Alcotest.testable pp_violation (fun a b ->
+      match (a, b) with
+      | None, None -> true
+      | Some x, Some y ->
+        x.Aerodrome.Violation.index = y.Aerodrome.Violation.index
+        && x.Aerodrome.Violation.site = y.Aerodrome.Violation.site
+      | _ -> false)
+
+(* Recompute the quiescence predicate independently of Merge's scan:
+   position [p] is quiescent iff no thread is inside a transaction
+   after the first [p] events. *)
+let quiescent_positions tr =
+  let depth = Array.make (max 1 (Trace.threads tr)) 0 in
+  let open_txns = ref 0 in
+  let q = Hashtbl.create 64 in
+  Hashtbl.replace q 0 ();
+  Trace.iteri
+    (fun i e ->
+      let t = (Event.thread e :> int) in
+      (match Event.op e with
+      | Event.Begin ->
+        if depth.(t) = 0 then incr open_txns;
+        depth.(t) <- depth.(t) + 1
+      | Event.End ->
+        if depth.(t) > 0 then begin
+          depth.(t) <- depth.(t) - 1;
+          if depth.(t) = 0 then decr open_txns
+        end
+      | _ -> ());
+      if !open_txns = 0 then Hashtbl.replace q (i + 1) ())
+    tr;
+  q
+
+(* --- differential matrix --- *)
+
+(* >= 500 mixed corpus traces, each checked sequentially and with
+   2/3/4 shards under every prefilter x reclaim combination; the
+   rendered runner reports (verdict, 1-based violation index, events
+   fed) must match byte for byte once timings are zeroed. *)
+let test_matrix () =
+  let normalized r =
+    Format.asprintf "%a" Analysis.Runner.pp
+      { r with Analysis.Runner.seconds = 0.0 }
+  in
+  (* the mixed corpus is serializable by construction; add generator
+     traces with injected violations so both verdicts are exercised *)
+  let violating_trace ~seed ~threads ~at =
+    Workloads.Generator.generate
+      {
+        Workloads.Generator.default with
+        events = 1200;
+        threads;
+        seed = Int64.of_int seed;
+        plan = Workloads.Generator.Violate_at at;
+      }
+  in
+  Parallel.Pool.with_pool 4 (fun pool ->
+      let traces = ref 0 in
+      let violating = ref 0 in
+      for seed = 0 to 169 do
+        List.iter
+          (fun threads ->
+            incr traces;
+            let tr =
+              if seed land 3 = 3 then
+                violating_trace ~seed ~threads
+                  ~at:(0.15 +. (0.1 *. float_of_int (seed land 7)))
+              else
+                Workloads.Corpus.mixed ~seed:(Int64.of_int seed) ~threads
+                  ~events_total:1200 ()
+            in
+            if seq_violation tr <> None then incr violating;
+            List.iter
+              (fun prefilter ->
+                List.iter
+                  (fun reclaim ->
+                    let base =
+                      Analysis.Runner.run ~prefilter ~reclaim opt tr
+                    in
+                    let base_s = normalized base in
+                    List.iter
+                      (fun shards ->
+                        let r =
+                          Analysis.Runner.run ~prefilter ~reclaim ~shards
+                            ~shard_pool:pool opt tr
+                        in
+                        Alcotest.(check string)
+                          (Printf.sprintf
+                             "seed=%d threads=%d shards=%d prefilter=%b \
+                              reclaim=%b"
+                             seed threads shards
+                             (prefilter <> Analysis.Runner.Off)
+                             reclaim)
+                          base_s (normalized r))
+                      [ 2; 3; 4 ])
+                  [ false; true ])
+              [ Analysis.Runner.Off; Analysis.Runner.Exact ])
+          [ 2; 3; 4 ]
+      done;
+      Alcotest.(check bool) "matrix covers >= 500 traces" true (!traces >= 500);
+      (* the corpus must exercise both verdicts or the matrix is vacuous *)
+      Alcotest.(check bool) "some traces violate" true (!violating > 0);
+      Alcotest.(check bool)
+        "some traces are serializable" true
+        (!violating < !traces))
+
+(* Auto-planned cuts are quiescent and the chunk bounds partition the
+   arena, on whatever the corpus serves. *)
+let test_plan_invariants () =
+  for seed = 0 to 19 do
+    let tr =
+      Workloads.Corpus.mixed ~seed:(Int64.of_int seed) ~threads:3
+        ~events_total:2000 ()
+    in
+    let n = Trace.length tr in
+    let q = quiescent_positions tr in
+    let plan =
+      Aerodrome.Merge.plan ~threads:(Trace.threads tr) ~shards:4 (arena_of tr)
+    in
+    Array.iter
+      (fun c ->
+        Alcotest.(check bool)
+          (Printf.sprintf "seed=%d cut %d quiescent" seed c)
+          true
+          (c = 0 || Hashtbl.mem q c))
+      plan.Aerodrome.Merge.cuts;
+    let bounds = Aerodrome.Merge.bounds plan ~total:n in
+    Alcotest.(check int)
+      "first chunk starts at 0" 0
+      (fst bounds.(0));
+    Alcotest.(check int)
+      "last chunk stops at n" n
+      (snd bounds.(Array.length bounds - 1));
+    Array.iteri
+      (fun i (base, stop) ->
+        Alcotest.(check bool) "chunk non-empty" true (base < stop);
+        if i > 0 then
+          Alcotest.(check int) "chunks contiguous" (snd bounds.(i - 1)) base)
+      bounds
+  done
+
+(* --- adversarial boundaries --- *)
+
+(* A violating middle flanked by quiescent prologue/epilogue.  The
+   violation fires at the second write of thread 0's open transaction
+   (t0 -> t1 -> t0 conflict cycle), event index 11; positions 6 (before
+   the pattern) and 13 (after it) are quiescent. *)
+let boundary_trace () =
+  Trace.of_events
+    Event.
+      [
+        begin_ 0; write 0 0; end_ 0;    (* 0..2  prologue, t0 *)
+        begin_ 1; write 1 1; end_ 1;    (* 3..5  prologue, t1 *)
+        begin_ 0; read 0 2;             (* 6..7  t0 opens, reads x2 *)
+        begin_ 1; write 1 2; end_ 1;    (* 8..10 t1 intervenes on x2 *)
+        write 0 2;                      (* 11    violation: cycle closes *)
+        end_ 0;                         (* 12 *)
+        begin_ 1; read 1 0; end_ 1;     (* 13..15 epilogue *)
+      ]
+
+let test_boundary_violation () =
+  let tr = boundary_trace () in
+  let expected = seq_violation tr in
+  (match expected with
+  | Some v -> Alcotest.(check int) "sequential violation index" 11 v.index
+  | None -> Alcotest.fail "boundary trace must violate");
+  (* cut before the violating pattern: the whole pattern lands in chunk 2 *)
+  List.iter
+    (fun cuts ->
+      let o = shard_check ~cuts ~shards:(List.length cuts + 1) tr in
+      Alcotest.(check violation)
+        (Printf.sprintf "cuts at [%s]"
+           (String.concat ";" (List.map string_of_int cuts)))
+        expected o.Parallel.Shard.violation;
+      Alcotest.(check int) "all cuts accepted" 0
+        o.Parallel.Shard.plan.Aerodrome.Merge.misses)
+    [ [ 6 ]; [ 13 ]; [ 6; 13 ] ]
+
+(* A forced cut inside an open transaction is rejected: the plan
+   reports the miss and the rejected span as replay, the chunks fold
+   back together, and the verdict is untouched. *)
+let test_rejected_cut () =
+  let tr = boundary_trace () in
+  let expected = seq_violation tr in
+  List.iter
+    (fun cut ->
+      let o = shard_check ~cuts:[ cut ] ~shards:2 tr in
+      let p = o.Parallel.Shard.plan in
+      Alcotest.(check int)
+        (Printf.sprintf "cut %d rejected" cut)
+        1 p.Aerodrome.Merge.misses;
+      Alcotest.(check int) "no accepted cuts" 0 p.Aerodrome.Merge.hits;
+      Alcotest.(check bool) "replay accounted" true
+        (p.Aerodrome.Merge.replayed_events > 0);
+      Alcotest.(check int) "single chunk" 1
+        (Array.length o.Parallel.Shard.tasks);
+      Alcotest.(check violation) "verdict unchanged" expected
+        o.Parallel.Shard.violation)
+    [ 7; 9; 11; 12 ]
+
+(* A transaction spanning the ideal equidistant cut: the planner snaps
+   to a nearby quiescent position rather than splitting the
+   transaction.  One long transaction occupies the middle of the trace,
+   so the midpoint cut of [shards = 2] falls inside it. *)
+let test_transaction_spanning_edge () =
+  let mid =
+    List.concat
+      [
+        [ Event.begin_ 0 ];
+        List.init 40 (fun i -> Event.write 0 (i mod 3));
+        [ Event.end_ 0 ];
+      ]
+  in
+  let prologue =
+    List.concat
+      (List.init 10 (fun i ->
+           [ Event.begin_ 1; Event.write 1 (3 + (i mod 2)); Event.end_ 1 ]))
+  in
+  let epilogue =
+    List.concat
+      (List.init 10 (fun i ->
+           [ Event.begin_ 1; Event.read 1 (3 + (i mod 2)); Event.end_ 1 ]))
+  in
+  let tr = Trace.of_events (prologue @ mid @ epilogue) in
+  let q = quiescent_positions tr in
+  (* a window wide enough to escape the 42-event transaction *)
+  let o = shard_check ~window:30 ~shards:2 tr in
+  let p = o.Parallel.Shard.plan in
+  Alcotest.(check int) "cut snapped, not missed" 1 p.Aerodrome.Merge.hits;
+  Array.iter
+    (fun c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "cut %d outside the transaction" c)
+        true
+        (c = 0 || Hashtbl.mem q c))
+    p.Aerodrome.Merge.cuts;
+  Alcotest.(check violation) "serializable across the span" (seq_violation tr)
+    o.Parallel.Shard.violation
+
+(* Fork and join land in different chunks: the cut sits between them,
+   and both the HB edges and the verdict survive the split. *)
+let test_fork_join_across_shards () =
+  let tr =
+    Trace.of_events
+      (List.concat
+         [
+           [ Event.fork 0 1 ];
+           [ Event.begin_ 0; Event.write 0 0; Event.end_ 0 ];
+           [ Event.begin_ 1; Event.read 1 0; Event.end_ 1 ];
+           (* quiescent gap the planner can cut in *)
+           List.concat
+             (List.init 6 (fun i ->
+                  [ Event.begin_ 1; Event.write 1 (1 + (i mod 2)); Event.end_ 1 ]));
+           [ Event.begin_ 0; Event.read 0 1; Event.end_ 0 ];
+           [ Event.join 0 1 ];
+         ])
+  in
+  let expected = seq_violation tr in
+  (* force the cut into the quiescent gap between fork and join (after
+     the first two of the six filler transactions) *)
+  let o = shard_check ~cuts:[ 13 ] ~shards:2 tr in
+  Alcotest.(check int) "cut accepted" 1
+    o.Parallel.Shard.plan.Aerodrome.Merge.hits;
+  Alcotest.(check int) "two chunks" 2 (Array.length o.Parallel.Shard.tasks);
+  Alcotest.(check violation) "verdict across fork/join" expected
+    o.Parallel.Shard.violation
+
+(* events_fed and the rendered report go through the runner too: a
+   violating binary-style trace via Runner.run with a forced shard
+   count must match the sequential report byte for byte.  (The
+   file-level plumbing is covered by the cram test; here we pin the
+   trace-level entry.) *)
+let test_runner_report_identity () =
+  let tr = boundary_trace () in
+  let normalized r =
+    Format.asprintf "%a" Analysis.Runner.pp
+      { r with Analysis.Runner.seconds = 0.0 }
+  in
+  let base = Analysis.Runner.run opt tr in
+  List.iter
+    (fun shards ->
+      let r = Analysis.Runner.run ~shards opt tr in
+      Alcotest.(check string)
+        (Printf.sprintf "runner report, %d shards" shards)
+        (normalized base) (normalized r))
+    [ 2; 3; 4 ]
+
+let suite =
+  ( "shard",
+    [
+      Alcotest.test_case "differential: sequential vs sharded matrix" `Slow
+        test_matrix;
+    Alcotest.test_case "plan: cuts quiescent, bounds partition" `Quick
+      test_plan_invariants;
+    Alcotest.test_case "boundary: violation at the cut" `Quick
+      test_boundary_violation;
+    Alcotest.test_case "boundary: non-quiescent cut rejected" `Quick
+      test_rejected_cut;
+    Alcotest.test_case "boundary: transaction spans the ideal cut" `Quick
+      test_transaction_spanning_edge;
+    Alcotest.test_case "boundary: fork/join across shards" `Quick
+      test_fork_join_across_shards;
+      Alcotest.test_case "runner: sharded report identity" `Quick
+        test_runner_report_identity;
+    ] )
