@@ -1,0 +1,394 @@
+(* Regression gate over two bench harness --json files.
+
+   Reads an old and a new "aerodrome-bench/N" summary, extracts a set of
+   named scalar indicators from each — throughput figures (higher is
+   better), peak live memory (lower is better), the sharded replay
+   fraction (lower is better) — and compares every indicator present in
+   *both* files against a per-kind threshold.  Indicators only one side
+   carries (sections toggled off, or a schema that predates them) are
+   skipped, so the gate works across schema versions: it compares the
+   overlap, never the shape.  Scale-dependent indicators (peak live
+   words) additionally guard on an equal event count and are skipped
+   when the two runs measured different workload sizes.
+
+   Exits 0 when nothing regressed, 1 on any regression, 2 on usage or
+   I/O errors.  Thresholds are deliberately loose by default — checked-in
+   BENCH files come from best-of-N runs on similar but not identical
+   machines — and can be tightened per invocation.
+
+   Usage: compare [--throughput-tol PCT] [--memory-tol PCT]
+                  [--replay-tol FRAC] (OLD.json NEW.json | --glob PATTERN)
+
+   With --glob, PATTERN's basename may contain * and ? wildcards; the
+   lexicographically newest two matches are compared (the repo's
+   BENCH_<ISO-date>_<tag>.json naming makes lexicographic =
+   chronological per day). *)
+
+open Obs.Json
+
+let throughput_tol = ref 40.0 (* max relative throughput drop, pct *)
+
+(* peak_live_words is a GC high-water mark net of a settled baseline;
+   identical code re-measured moves it by tens of percent as major-heap
+   growth lands differently.  The gate only needs to catch reclamation
+   breaking outright — peak roughly doubles — so the threshold sits
+   between observed noise (~40%) and that failure (~85%+). *)
+let memory_tol = ref 75.0 (* max relative peak_live_words growth, pct *)
+let replay_tol = ref 0.10 (* max absolute replay_fraction growth *)
+
+type kind =
+  | Higher_better of float ref (* relative tolerance, pct *)
+  | Lower_better of float ref (* relative tolerance, pct *)
+  | Lower_better_abs of float ref (* absolute tolerance *)
+
+type indicator = {
+  label : string;
+  value : float;
+  kind : kind;
+  guard : float option;
+      (* a comparability key (event count): compare only when both
+         sides measured the same workload size *)
+}
+
+(* --- indicator extraction: total, never raises on shape mismatches --- *)
+
+let num j key =
+  match member key j with
+  | Some (Num f) -> Some f
+  | _ -> None
+
+let str j key =
+  match member key j with
+  | Some (Str s) -> Some s
+  | _ -> None
+
+let obj j key = member key j
+
+let list j key =
+  match member key j with
+  | Some (List l) -> Some l
+  | _ -> None
+
+let geomean = function
+  | [] -> None
+  | xs ->
+    let logs = List.map (fun x -> log (Float.max x 1e-9)) xs in
+    Some (exp (List.fold_left ( +. ) 0. logs /. float_of_int (List.length logs)))
+
+let extract (doc : t) : indicator list =
+  let acc = ref [] in
+  let add label value kind guard = acc := { label; value; kind; guard } :: !acc in
+  (* tables: one geomean per checker name over non-timeout rows *)
+  (match list doc "tables" with
+  | None -> ()
+  | Some tables ->
+    let by_checker = Hashtbl.create 4 in
+    List.iter
+      (fun t ->
+        match list t "rows" with
+        | None -> ()
+        | Some rows ->
+          List.iter
+            (fun r ->
+              match list r "checkers" with
+              | None -> ()
+              | Some cs ->
+                List.iter
+                  (fun c ->
+                    match (str c "name", str c "verdict", num c "events_per_sec") with
+                    | Some name, Some verdict, Some eps
+                      when verdict <> "timeout" && verdict <> "n/a" && eps > 0. ->
+                      Hashtbl.replace by_checker name
+                        (eps :: Option.value ~default:[] (Hashtbl.find_opt by_checker name))
+                    | _ -> ())
+                  cs)
+            rows)
+      tables;
+    Hashtbl.iter
+      (fun name epss ->
+        match geomean epss with
+        | Some g ->
+          add
+            (Printf.sprintf "tables: %s events/sec (geomean of %d)" name
+               (List.length epss))
+            g
+            (Higher_better throughput_tol)
+            None
+        | None -> ())
+      by_checker);
+  (* micro rows: per row+checker throughput *)
+  (match list doc "micro" with
+  | None -> ()
+  | Some rows ->
+    List.iter
+      (fun r ->
+        match (str r "name", list r "checkers") with
+        | Some rname, Some cs ->
+          List.iter
+            (fun c ->
+              match (str c "name", num c "events_per_sec") with
+              | Some cname, Some eps when eps > 0. ->
+                add
+                  (Printf.sprintf "micro: %s/%s events/sec" rname cname)
+                  eps
+                  (Higher_better throughput_tol)
+                  None
+              | _ -> ())
+            cs
+        | _ -> ())
+      rows);
+  (* parallel corpus fan-out: throughput per jobs count *)
+  (match obj doc "parallel" with
+  | Some p -> (
+    match obj p "corpus" with
+    | Some corpus -> (
+      match list corpus "runs" with
+      | Some runs ->
+        List.iter
+          (fun r ->
+            match (num r "jobs", num r "events_per_sec") with
+            | Some jobs, Some eps when eps > 0. ->
+              add
+                (Printf.sprintf "parallel: corpus jobs=%.0f events/sec" jobs)
+                eps
+                (Higher_better throughput_tol)
+                None
+            | _ -> ())
+          runs
+      | None -> ())
+    | None -> ())
+  | None -> ());
+  (* telemetry: instrumented throughput *)
+  (match obj doc "telemetry" with
+  | Some t -> (
+    match num t "enabled_events_per_sec" with
+    | Some eps when eps > 0. ->
+      add "telemetry: enabled events/sec" eps (Higher_better throughput_tol) None
+    | _ -> ())
+  | None -> ());
+  (* reclaim: throughput and — the point of the section — peak memory *)
+  (match obj doc "reclaim" with
+  | Some rc ->
+    let events = num rc "events" in
+    (match obj rc "on" with
+    | Some on_ ->
+      (match num on_ "events_per_sec" with
+      | Some eps when eps > 0. ->
+        add "reclaim: on events/sec" eps (Higher_better throughput_tol) None
+      | _ -> ());
+      (match num on_ "peak_live_words" with
+      | Some peak when peak > 0. ->
+        add "reclaim: on peak_live_words" peak (Lower_better memory_tol) events
+      | _ -> ())
+    | None -> ())
+  | None -> ());
+  (* prefilter / arena: the optimized side's throughput *)
+  (match obj doc "prefilter" with
+  | Some p -> (
+    match obj p "exact" with
+    | Some ex -> (
+      match num ex "events_per_sec" with
+      | Some eps when eps > 0. ->
+        add "prefilter: exact events/sec" eps (Higher_better throughput_tol) None
+      | _ -> ())
+    | None -> ())
+  | None -> ());
+  (match obj doc "arena" with
+  | Some a -> (
+    match obj a "packed" with
+    | Some pk -> (
+      match num pk "events_per_sec" with
+      | Some eps when eps > 0. ->
+        add "arena: packed events/sec" eps (Higher_better throughput_tol) None
+      | _ -> ())
+    | None -> ())
+  | None -> ());
+  (* shards: best sharded throughput and worst replay fraction *)
+  (match obj doc "shards" with
+  | Some s -> (
+    match list s "cases" with
+    | Some cases ->
+      let best_eps = ref 0. in
+      let worst_replay = ref nan in
+      let total_events = ref 0. in
+      List.iter
+        (fun c ->
+          (match num c "events" with
+          | Some e -> total_events := !total_events +. e
+          | None -> ());
+          match list c "runs" with
+          | None -> ()
+          | Some runs ->
+            List.iter
+              (fun r ->
+                (match num r "events_per_sec" with
+                | Some eps -> if eps > !best_eps then best_eps := eps
+                | None -> ());
+                match num r "replay_fraction" with
+                | Some f ->
+                  if Float.is_nan !worst_replay || f > !worst_replay then
+                    worst_replay := f
+                | None -> ())
+              runs)
+        cases;
+      if !best_eps > 0. then
+        add "shards: best events/sec" !best_eps (Higher_better throughput_tol)
+          None;
+      (* how much of a chunk replays depends on where the planner's cuts
+         land, which depends on the trace — only comparable between runs
+         of the same workload size *)
+      if not (Float.is_nan !worst_replay) then
+        add "shards: max replay_fraction" !worst_replay
+          (Lower_better_abs replay_tol) (Some !total_events)
+    | None -> ())
+  | None -> ());
+  (* observability: live-scraped throughput *)
+  (match obj doc "observability" with
+  | Some o -> (
+    match obj o "exporter" with
+    | Some ex -> (
+      match num ex "scraped_events_per_sec" with
+      | Some eps when eps > 0. ->
+        add "observability: scraped events/sec" eps
+          (Higher_better throughput_tol) None
+      | _ -> ())
+    | None -> ())
+  | None -> ());
+  List.rev !acc
+
+(* --- comparison --- *)
+
+type outcome = Ok_same | Regressed
+
+let compare_indicator (old_i : indicator) (new_i : indicator) =
+  let pct_change = (new_i.value -. old_i.value) /. Float.max (Float.abs old_i.value) 1e-9 *. 100. in
+  let regressed =
+    match new_i.kind with
+    | Higher_better tol -> new_i.value < old_i.value *. (1. -. (!tol /. 100.))
+    | Lower_better tol -> new_i.value > old_i.value *. (1. +. (!tol /. 100.))
+    | Lower_better_abs tol -> new_i.value > old_i.value +. !tol
+  in
+  ((if regressed then Regressed else Ok_same), pct_change)
+
+let run old_path new_path =
+  let read path =
+    let contents =
+      try
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      with Sys_error msg ->
+        Printf.eprintf "compare: %s\n" msg;
+        exit 2
+    in
+    match parse contents with
+    | Ok doc -> doc
+    | Error msg ->
+      Printf.eprintf "compare: %s: %s\n" path msg;
+      exit 2
+  in
+  let old_doc = read old_path and new_doc = read new_path in
+  let schema doc = Option.value ~default:"?" (str doc "schema") in
+  Printf.printf "comparing %s (%s)\n  against %s (%s)\n" new_path
+    (schema new_doc) old_path (schema old_doc);
+  let old_inds = extract old_doc and new_inds = extract new_doc in
+  let compared = ref 0 and regressions = ref 0 and skipped_guard = ref 0 in
+  List.iter
+    (fun n ->
+      match List.find_opt (fun o -> o.label = n.label) old_inds with
+      | None -> ()
+      | Some o ->
+        if o.guard <> n.guard then incr skipped_guard
+        else begin
+          incr compared;
+          let outcome, pct = compare_indicator o n in
+          let mark =
+            match outcome with
+            | Ok_same -> "  ok  "
+            | Regressed ->
+              incr regressions;
+              "  REGRESSION"
+          in
+          Printf.printf "%s  %-42s %14.1f -> %14.1f  (%+.1f%%)\n" mark n.label
+            o.value n.value pct
+        end)
+    new_inds;
+  if !skipped_guard > 0 then
+    Printf.printf "  (%d indicator(s) skipped: workload sizes differ)\n"
+      !skipped_guard;
+  if !compared = 0 then begin
+    Printf.eprintf "compare: no overlapping indicators between the two files\n";
+    exit 2
+  end;
+  if !regressions > 0 then begin
+    Printf.printf "%d regression(s) over %d compared indicator(s)\n"
+      !regressions !compared;
+    exit 1
+  end;
+  Printf.printf "no regressions over %d compared indicator(s)\n" !compared
+
+(* --- glob: basename wildcards only, lexicographic newest pair --- *)
+
+let fnmatch pattern s =
+  let np = String.length pattern and ns = String.length s in
+  let rec go pi si =
+    if pi = np then si = ns
+    else
+      match pattern.[pi] with
+      | '*' -> go (pi + 1) si || (si < ns && go pi (si + 1))
+      | '?' -> si < ns && go (pi + 1) (si + 1)
+      | c -> si < ns && s.[si] = c && go (pi + 1) (si + 1)
+  in
+  go 0 0
+
+let newest_pair pattern =
+  let dir = Filename.dirname pattern in
+  let base = Filename.basename pattern in
+  let entries =
+    try Sys.readdir dir
+    with Sys_error msg ->
+      Printf.eprintf "compare: %s\n" msg;
+      exit 2
+  in
+  let matches =
+    Array.to_list entries
+    |> List.filter (fnmatch base)
+    |> List.sort String.compare
+    |> List.map (Filename.concat dir)
+  in
+  match List.rev matches with
+  | newest :: previous :: _ -> (previous, newest)
+  | _ ->
+    Printf.eprintf "compare: fewer than two files match %s\n" pattern;
+    exit 2
+
+let usage () =
+  prerr_endline
+    "usage: compare [--throughput-tol PCT] [--memory-tol PCT] [--replay-tol \
+     FRAC] (OLD.json NEW.json | --glob PATTERN)";
+  exit 2
+
+let () =
+  let rec parse_args paths = function
+    | [] -> List.rev paths
+    | "--throughput-tol" :: v :: rest ->
+      throughput_tol := float_of_string v;
+      parse_args paths rest
+    | "--memory-tol" :: v :: rest ->
+      memory_tol := float_of_string v;
+      parse_args paths rest
+    | "--replay-tol" :: v :: rest ->
+      replay_tol := float_of_string v;
+      parse_args paths rest
+    | "--glob" :: pattern :: rest ->
+      let prev, newest = newest_pair pattern in
+      parse_args (newest :: prev :: paths) rest
+    | arg :: _ when String.length arg > 0 && arg.[0] = '-' ->
+      Printf.eprintf "compare: unknown option %s\n" arg;
+      usage ()
+    | path :: rest -> parse_args (path :: paths) rest
+  in
+  match parse_args [] (List.tl (Array.to_list Sys.argv)) with
+  | [ old_path; new_path ] -> run old_path new_path
+  | _ -> usage ()

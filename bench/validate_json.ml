@@ -1,5 +1,5 @@
 (* Schema validator for the bench harness's --json output
-   (schema "aerodrome-bench/7").  Exits 0 and prints "ok" when the file
+   (schema "aerodrome-bench/8").  Exits 0 and prints "ok" when the file
    parses and carries the expected structure; prints a diagnostic and
    exits 1 otherwise.  Used by the cram test so the emitter cannot rot.
 
@@ -323,9 +323,91 @@ let check_shards = function
           runs)
       cases
 
+(* The observability section is the live-telemetry axis.  The exporter
+   half must have served at least one validator-clean exposition, and —
+   on runs big enough for the measurement to mean anything (the 1M+
+   acceptance regime; tiny cram-scale runs are pure noise) — live
+   scraping may not cost more than 3% throughput.  The flight half must
+   leave the run's verdict untouched and every witness bundle's slice
+   must have replayed to the same verdict. *)
+let exporter_overhead_bound_pct = 3.0
+let exporter_bound_min_events = 1_000_000.
+
+let check_observability = function
+  | Null -> ()
+  | o ->
+    let ex = field o "exporter" in
+    let events = as_num "observability.exporter.events" (field ex "events") in
+    if events <= 0. then bad "observability.exporter: events <= 0";
+    if
+      as_num "observability.exporter.baseline_events_per_sec"
+        (field ex "baseline_events_per_sec")
+      <= 0.
+    then bad "observability.exporter: baseline_events_per_sec <= 0";
+    if
+      as_num "observability.exporter.scraped_events_per_sec"
+        (field ex "scraped_events_per_sec")
+      <= 0.
+    then bad "observability.exporter: scraped_events_per_sec <= 0";
+    let overhead =
+      as_num "observability.exporter.overhead_pct" (field ex "overhead_pct")
+    in
+    if Float.is_nan overhead then
+      bad "observability.exporter: overhead_pct is NaN";
+    if events >= exporter_bound_min_events && overhead > exporter_overhead_bound_pct
+    then
+      bad
+        "observability.exporter: live scraping cost %.2f%% throughput (bound \
+         %.0f%%)"
+        overhead exporter_overhead_bound_pct;
+    if as_num "observability.exporter.scrapes" (field ex "scrapes") < 1. then
+      bad "observability.exporter: no successful scrapes";
+    if
+      not
+        (as_bool "observability.exporter.scrapes_valid"
+           (field ex "scrapes_valid"))
+    then bad "observability.exporter: exposition failed OpenMetrics validation";
+    let fl = field o "flight" in
+    if as_num "observability.flight.events" (field fl "events") <= 0. then
+      bad "observability.flight: events <= 0";
+    if
+      not
+        (as_bool "observability.flight.verdicts_match"
+           (field fl "verdicts_match"))
+    then bad "observability.flight: recorder changed the run's verdict";
+    let windows = as_list "observability.flight.windows" (field fl "windows") in
+    if windows = [] then bad "observability.flight: no window probes";
+    let any_replayable = ref false in
+    List.iteri
+      (fun i w ->
+        let where = Printf.sprintf "observability.flight.windows[%d]" i in
+        if as_num (where ^ ".window") (field w "window") < 1. then
+          bad "%s: window < 1" where;
+        if as_num (where ^ ".off_events_per_sec") (field w "off_events_per_sec")
+           <= 0.
+        then bad "%s: off_events_per_sec <= 0" where;
+        if as_num (where ^ ".on_events_per_sec") (field w "on_events_per_sec")
+           <= 0.
+        then bad "%s: on_events_per_sec <= 0" where;
+        ignore (as_num (where ^ ".overhead_pct") (field w "overhead_pct"));
+        if as_num (where ^ ".slice_events") (field w "slice_events") < 0. then
+          bad "%s: negative slice_events" where;
+        (* a ring too small to retain a quiescent cut degrades the
+           witness to context-only — allowed; a replayable slice that
+           fails to reproduce the violation is not *)
+        let replayable = as_bool (where ^ ".replayable") (field w "replayable") in
+        if replayable then any_replayable := true;
+        if
+          replayable
+          && not (as_bool (where ^ ".replay_matches") (field w "replay_matches"))
+        then bad "%s: witness slice failed to reproduce the violation" where)
+      windows;
+    if not !any_replayable then
+      bad "observability.flight: no window probe produced a replayable slice"
+
 let check_root j =
   let schema = as_str "schema" (field j "schema") in
-  if schema <> "aerodrome-bench/7" then bad "unknown schema %S" schema;
+  if schema <> "aerodrome-bench/8" then bad "unknown schema %S" schema;
   ignore (as_num "scale" (field j "scale"));
   ignore (as_num "timeout" (field j "timeout"));
   if as_num "jobs" (field j "jobs") < 1. then bad "jobs < 1";
@@ -352,6 +434,7 @@ let check_root j =
   check_prefilter (field j "prefilter");
   check_arena (field j "arena");
   check_shards (field j "shards");
+  check_observability (field j "observability");
   if tables = [] && micro = [] && field j "parallel" = Null then
     bad "no tables and no micro results"
 

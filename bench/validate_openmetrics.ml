@@ -1,0 +1,39 @@
+(* OpenMetrics exposition validator: reads a scraped /metrics body from
+   a file (or stdin with no argument / "-") and runs it through the
+   exporter's own strict parser — family structure, # TYPE/# HELP
+   ordering, label syntax, histogram bucket monotonicity, the # EOF
+   terminator.  Prints "ok" and exits 0 on a clean exposition, prints
+   the diagnostic and exits 1 otherwise.  CI's scrape-smoke job pipes a
+   live curl through this so the wire format cannot rot. *)
+
+let read_all ic =
+  let buf = Buffer.create 4096 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 4096
+     done
+   with End_of_file -> ());
+  Buffer.contents buf
+
+let () =
+  let body =
+    match Sys.argv with
+    | [| _ |] | [| _; "-" |] -> read_all stdin
+    | [| _; path |] -> (
+      try
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> read_all ic)
+      with Sys_error msg ->
+        Printf.eprintf "validate_openmetrics: %s\n" msg;
+        exit 2)
+    | _ ->
+      prerr_endline "usage: validate_openmetrics [FILE|-]";
+      exit 2
+  in
+  match Obs.Exporter.validate body with
+  | Ok () -> print_endline "ok"
+  | Error msg ->
+    Printf.eprintf "invalid exposition: %s\n" msg;
+    exit 1

@@ -230,6 +230,45 @@ let check_cmd =
             "Print a heartbeat line to stderr every $(docv) million events \
              (events/sec and, when the total is known, an ETA).")
   in
+  let metrics_addr =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-addr" ] ~docv:"ADDR"
+          ~doc:
+            "Serve a live OpenMetrics/Prometheus exposition of the \
+             process and per-run telemetry on $(docv) — $(b,HOST:PORT) \
+             (port 0 picks a free one) or $(b,unix:PATH) — for the \
+             duration of the run; scrape $(b,/metrics) with curl or \
+             $(b,rapid scrape).  Sampling reads shared counters without \
+             locking, so a scrape never stalls the checker.  Implies \
+             telemetry collection.")
+  in
+  let flight_record =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flight-record" ] ~docv:"DIR"
+          ~doc:
+            "Keep a bounded per-thread ring of recent events while \
+             checking; a run that ends in a violation writes a witness \
+             bundle into $(docv): a JSON diagnosis \
+             ($(i,trace).witness.json) and, whenever the rings still \
+             cover a globally quiescent cut, a replayable binary slice \
+             ($(i,trace).slice.bin) on which $(b,rapid check) reproduces \
+             the violation.  The slice is re-checked before the run \
+             returns and the outcome recorded in the bundle.")
+  in
+  let flight_window =
+    Arg.(
+      value
+      & opt int Traces.Flight.default_window
+      & info [ "flight-window" ] ~docv:"N"
+          ~doc:
+            "Per-thread flight-recorder ring capacity, in events \
+             (default 256).  Larger windows reach further back for a \
+             quiescent cut at proportional memory cost.")
+  in
   (* the positionals are plain strings, not Arg.file: a missing file must
      produce a per-file error and leave the remaining files checked *)
   let traces =
@@ -238,8 +277,18 @@ let check_cmd =
       & info [] ~docv:"TRACE" ~doc:"Trace files in the rapid .std or binary format.")
   in
   let run checker timeout quiet jobs shards reclaim pipelined prefilter packed
-      stats stats_json trace_out progress paths =
+      stats stats_json trace_out progress metrics_addr flight_record
+      flight_window paths =
     let (module C : Aerodrome.Checker.S) = checker in
+    let flight =
+      Option.map
+        (fun dir ->
+          {
+            Analysis.Runner.flight_dir = dir;
+            flight_window = max 1 flight_window;
+          })
+        flight_record
+    in
     let shards =
       match shards with
       | Some n -> max 1 n
@@ -259,7 +308,21 @@ let check_cmd =
         "rapid: warning: --shards %d exceeds %d available core%s@." shards
         cores
         (if cores = 1 then "" else "s");
-    if stats || stats_json <> None || trace_out <> None then Obs.enable ();
+    if stats || stats_json <> None || trace_out <> None || metrics_addr <> None
+    then Obs.enable ();
+    let exporter =
+      match metrics_addr with
+      | None -> None
+      | Some addr -> (
+        match Obs.Exporter.serve addr with
+        | Ok srv ->
+          Format.eprintf "rapid: serving metrics on %s@."
+            (Obs.Exporter.bound srv);
+          Some srv
+        | Error msg ->
+          Format.eprintf "rapid: %s@." msg;
+          exit 2)
+    in
     let collector =
       match trace_out with
       | Some _ -> Some (Obs.Chrome_trace.start ())
@@ -289,10 +352,11 @@ let check_cmd =
     let run_started = Unix.gettimeofday () in
     let reports =
       Analysis.Runner.run_many ?timeout ?heartbeat ~pipelined ~reclaim
-        ~prefilter ~packed ~jobs ~shards ?shard_pool
+        ~prefilter ~packed ~jobs ~shards ?shard_pool ?flight
         ~on_pool:(fun b -> pool_busy := Some b)
         checker paths
     in
+    Option.iter Obs.Exporter.stop exporter;
     let run_wall = Unix.gettimeofday () -. run_started in
     (match shard_pool with
     | Some p ->
@@ -310,14 +374,19 @@ let check_cmd =
             else Format.printf "%a@." Analysis.Runner.pp_file_report fr
         | Error msg -> Format.eprintf "%s@." msg)
       reports;
-    let process_snapshot () = Obs.Registry.snapshot Obs.Registry.global in
+    (* deterministic rendering: entries sorted by metric name, so the
+       output is stable across prefilter/shard/flight configurations *)
+    let process_snapshot () =
+      Obs.Snapshot.sorted (Obs.Registry.snapshot Obs.Registry.global)
+    in
     if stats then begin
       List.iter
         (fun fr ->
           match fr.Analysis.Runner.report with
           | Ok r when r.Analysis.Runner.metrics <> [] ->
             Format.printf "%s metrics:@.%a" fr.Analysis.Runner.file
-              Obs.Snapshot.pp r.Analysis.Runner.metrics
+              Obs.Snapshot.pp
+              (Obs.Snapshot.sorted r.Analysis.Runner.metrics)
           | _ -> ())
         reports;
       let g = process_snapshot () in
@@ -359,7 +428,7 @@ let check_cmd =
             @ [
                 ("seconds", Obs.Json.Num r.seconds);
                 ("events_fed", Obs.Json.Num (float_of_int r.events_fed));
-                ("metrics", Obs.Snapshot.to_json r.metrics);
+                ("metrics", Obs.Snapshot.to_json (Obs.Snapshot.sorted r.metrics));
               ])
       in
       let process =
@@ -448,7 +517,58 @@ let check_cmd =
           file, 3 timeout)")
     Term.(
       const run $ algo $ timeout $ quiet $ jobs $ shards $ reclaim $ pipelined
-      $ prefilter $ packed $ stats $ stats_json $ trace_out $ progress $ traces)
+      $ prefilter $ packed $ stats $ stats_json $ trace_out $ progress
+      $ metrics_addr $ flight_record $ flight_window $ traces)
+
+(* scrape: one-shot GET against a running metrics exporter.  Exists so
+   the cram tests (and machines without curl) can exercise the exporter
+   hermetically; CI's smoke job uses curl against the same endpoint. *)
+
+let scrape_cmd =
+  let addr =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ADDR"
+          ~doc:
+            "Exporter address: $(b,HOST:PORT) or $(b,unix:PATH), as given \
+             to $(b,rapid check --metrics-addr).")
+  in
+  let path =
+    Arg.(
+      value & opt string "/metrics"
+      & info [ "path" ] ~docv:"PATH" ~doc:"Request path.")
+  in
+  let validate =
+    Arg.(
+      value & flag
+      & info [ "validate" ]
+          ~doc:
+            "Validate the fetched exposition against the OpenMetrics \
+             subset the exporter emits; exit 1 when it does not \
+             conform.")
+  in
+  let run addr path validate =
+    match Obs.Exporter.fetch ~path addr with
+    | Error msg ->
+      Format.eprintf "rapid: scrape: %s@." msg;
+      exit 2
+    | Ok body -> (
+      print_string body;
+      if not validate then exit 0
+      else
+        match Obs.Exporter.validate body with
+        | Ok () -> exit 0
+        | Error msg ->
+          Format.eprintf "rapid: scrape: invalid exposition: %s@." msg;
+          exit 1)
+  in
+  Cmd.v
+    (Cmd.info "scrape"
+       ~doc:
+         "Fetch (and optionally validate) a live metrics exposition from \
+          a running $(b,rapid check --metrics-addr)")
+    Term.(const run $ addr $ path $ validate)
 
 (* generate *)
 
@@ -822,4 +942,4 @@ let table_cmd =
 let () =
   let doc = "dynamic atomicity checking (AeroDrome / Velodrome)" in
   let info = Cmd.info "rapid" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ metainfo_cmd; check_cmd; generate_cmd; convert_cmd; filter_cmd; explain_cmd; clocks_cmd; profiles_cmd; table_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ metainfo_cmd; check_cmd; scrape_cmd; generate_cmd; convert_cmd; filter_cmd; explain_cmd; clocks_cmd; profiles_cmd; table_cmd ]))

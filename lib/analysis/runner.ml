@@ -12,6 +12,11 @@ type result = {
 
 type prefilter = Off | Exact | Online | Auto
 
+type flight = {
+  flight_dir : string;
+  flight_window : int;
+}
+
 let check_interval = 4096
 
 (* --- telemetry plumbing ---
@@ -26,9 +31,14 @@ let check_interval = 4096
    is skipped entirely and [metrics] is whatever the inner function
    produced (normally {!Obs.Snapshot.empty}). *)
 
-let collected f =
+(* [?file] labels the scope for live exposure: while a metrics exporter
+   is serving, every registry attached during this run is published with
+   a [file="<path>"] label, so concurrent multi-file runs scrape as
+   distinct series. *)
+let collected ?file f =
   if Obs.on () then
-    let r, snap = Obs.Scope.collect f in
+    let labels = match file with Some p -> [ ("file", p) ] | None -> [] in
+    let r, snap = Obs.Scope.collect ~labels f in
     { r with metrics = snap @ r.metrics }
   else f ()
 
@@ -67,6 +77,76 @@ let file_size path =
   match Unix.stat path with
   | { Unix.st_size; _ } -> Some st_size
   | exception Unix.Unix_error _ -> None
+
+(* --- violation flight recording ---
+
+   With [?flight] a bounded per-thread ring of packed words rides along
+   the checker ({!Traces.Flight}): every event is noted (one arithmetic
+   pack plus a ring store) until the first violation freezes the
+   recorder, and a violating run then emits a witness bundle — JSON
+   diagnosis plus a replayable binfmt slice — via {!Witness.emit}.
+   Recording needs the packed word codec, so id domains beyond
+   {!Traces.Packed.fits} run without a recorder (the witness would not
+   be re-encodable anyway).  The noted index is the fed-stream position
+   — the same coordinate space as [Violation.index], filtered or not. *)
+
+let flight_recorder flight ~threads ~locks ~vars =
+  match flight with
+  | Some f when Packed.fits ~threads ~locks ~vars ->
+    Some (Flight.create ~window:f.flight_window ~threads ())
+  | _ -> None
+
+let flight_entries (info : Witness.info) =
+  if not (Obs.on ()) then []
+  else
+    Obs.Snapshot.
+      [
+        entry "flight.slice_events" (Int info.Witness.slice_events);
+        entry "flight.replayable" (Int (if info.Witness.replayable then 1 else 0));
+        entry "flight.validated" (Int (if info.Witness.validated then 1 else 0));
+      ]
+
+(* Emit the bundle for a finished run.  A bundle that cannot be written
+   (unwritable directory, full disk) degrades to a warning: the check
+   verdict is the product, the witness is diagnostics. *)
+let flight_finish flight fl checker ~source ~threads ~locks ~vars ?base outcome
+    =
+  match (flight, fl, outcome) with
+  | Some fopt, Some f, Verdict (Some v) -> (
+    match
+      Witness.emit ~dir:fopt.flight_dir ~source ~checker ~threads ~locks ~vars
+        ~flight:f ?base ~violation:v ()
+    with
+    | Ok info -> flight_entries info
+    | Error msg ->
+      Printf.eprintf "rapid: flight-record: %s\n%!" msg;
+      [])
+  | _ -> []
+
+(* Sharded runs record per chunk; the bundle comes from the chunk that
+   owns the reconciled violation, rebased by its arena position. *)
+let flight_finish_sharded flight checker ~source ~threads ~locks ~vars
+    (o : Parallel.Shard.outcome) =
+  match (flight, o.Parallel.Shard.violation) with
+  | Some fopt, Some v -> (
+    let idx = v.Aerodrome.Violation.index in
+    let owner =
+      Array.to_list o.Parallel.Shard.tasks
+      |> List.find_opt (fun (t : Parallel.Shard.task) ->
+             t.Parallel.Shard.base <= idx && idx < t.Parallel.Shard.stop)
+    in
+    match owner with
+    | Some ({ Parallel.Shard.flight = Some f; _ } as t) -> (
+      match
+        Witness.emit ~dir:fopt.flight_dir ~source ~checker ~threads ~locks
+          ~vars ~flight:f ~base:t.Parallel.Shard.base ~violation:v ()
+      with
+      | Ok info -> flight_entries info
+      | Error msg ->
+        Printf.eprintf "rapid: flight-record: %s\n%!" msg;
+        [])
+    | _ -> [])
+  | _ -> []
 
 (* --- state reclamation ---
 
@@ -183,7 +263,8 @@ let shard_entries (o : Parallel.Shard.outcome) =
    (it covers ingestion into the arena, like the sequential paths'
    decode). *)
 let finish_sharded (module C : Aerodrome.Checker.S) ~started ?file_bytes
-    (o : Parallel.Shard.outcome) ~events_fed =
+    ?flight ~source ~threads ~locks ~vars (o : Parallel.Shard.outcome)
+    ~events_fed =
   let seconds = Unix.gettimeofday () -. started in
   let viol_at =
     ref (if o.Parallel.Shard.violation <> None then seconds else -1.0)
@@ -207,18 +288,24 @@ let finish_sharded (module C : Aerodrome.Checker.S) ~started ?file_bytes
              }
            else e)
   in
+  let flight_metrics =
+    flight_finish_sharded flight
+      (module C : Aerodrome.Checker.S)
+      ~source ~threads ~locks ~vars o
+  in
   {
     checker = C.name;
     outcome = Verdict o.Parallel.Shard.violation;
     seconds;
     events_fed;
     metrics =
-      chunk_metrics @ runner_entries ?file_bytes viol_at @ shard_entries o;
+      chunk_metrics @ runner_entries ?file_bytes viol_at @ shard_entries o
+      @ flight_metrics;
   }
 
 (* Sharded variant of [run]: filter like the sequential path, pack the
    (filtered) trace into an arena, fan chunk checkers out. *)
-let run_trace_sharded ?heartbeat ~prefilter ~shards ?shard_pool
+let run_trace_sharded ?heartbeat ~prefilter ~shards ?shard_pool ?flight
     (module C : Aerodrome.Checker.S) tr =
   collected (fun () ->
       let tr =
@@ -233,21 +320,24 @@ let run_trace_sharded ?heartbeat ~prefilter ~shards ?shard_pool
       let arena = Packed.Arena.create () in
       Trace.iteri (fun _ e -> Packed.Arena.push arena (Packed.of_event e)) tr;
       let o =
-        Parallel.Shard.check ?pool:shard_pool ~shards (module C)
-          ~threads:(Trace.threads tr) ~locks:(Trace.locks tr)
-          ~vars:(Trace.vars tr) arena
+        Parallel.Shard.check ?pool:shard_pool
+          ?flight:(Option.map (fun f -> f.flight_window) flight)
+          ~shards (module C) ~threads:(Trace.threads tr)
+          ~locks:(Trace.locks tr) ~vars:(Trace.vars tr) arena
       in
       tick heartbeat n;
-      finish_sharded (module C) ~started o ~events_fed:n)
+      finish_sharded (module C) ~started ?flight ~source:"trace"
+        ~threads:(Trace.threads tr) ~locks:(Trace.locks tr)
+        ~vars:(Trace.vars tr) o ~events_fed:n)
 
 let run ?timeout ?heartbeat ?(reclaim = true) ?(prefilter = Off) ?(shards = 1)
-    ?shard_pool (module C : Aerodrome.Checker.S) tr =
+    ?shard_pool ?flight (module C : Aerodrome.Checker.S) tr =
   if
     shardable ~shards ~timeout (module C)
     && Packed.fits ~threads:(Trace.threads tr) ~locks:(Trace.locks tr)
          ~vars:(Trace.vars tr)
   then
-    run_trace_sharded ?heartbeat ~prefilter ~shards ?shard_pool
+    run_trace_sharded ?heartbeat ~prefilter ~shards ?shard_pool ?flight
       (module C : Aerodrome.Checker.S)
       tr
   else
@@ -268,6 +358,10 @@ let run ?timeout ?heartbeat ?(reclaim = true) ?(prefilter = Off) ?(shards = 1)
               ~vars:(Trace.vars tr))
       in
       let sample_heap = heap_sampler () in
+      let fl =
+        flight_recorder flight ~threads:(Trace.threads tr)
+          ~locks:(Trace.locks tr) ~vars:(Trace.vars tr)
+      in
       let n = Trace.length tr in
       arm_heartbeat heartbeat ~total:(Some n);
       let deadline =
@@ -279,7 +373,11 @@ let run ?timeout ?heartbeat ?(reclaim = true) ?(prefilter = Off) ?(shards = 1)
       let i = ref 0 in
       (try
          while !i < n do
-           (match C.feed st (Trace.get tr !i) with
+           let e = Trace.get tr !i in
+           (match fl with
+           | Some f when !viol_at < 0.0 -> Flight.note f !i (Packed.of_event e)
+           | _ -> ());
+           (match C.feed st e with
            | Some _ -> note_violation viol_at ~started
            | None -> ());
            incr i;
@@ -296,18 +394,26 @@ let run ?timeout ?heartbeat ?(reclaim = true) ?(prefilter = Off) ?(shards = 1)
        with Exit -> ());
       sample_heap ();
       let seconds = Unix.gettimeofday () -. started in
+      let outcome =
+        if !timed_out then Timed_out else Verdict (C.violation st)
+      in
       {
         checker = C.name;
-        outcome = (if !timed_out then Timed_out else Verdict (C.violation st));
+        outcome;
         seconds;
         events_fed = !i;
-        metrics = runner_entries viol_at;
+        metrics =
+          runner_entries viol_at
+          @ flight_finish flight fl
+              (module C : Aerodrome.Checker.S)
+              ~source:"trace" ~threads:(Trace.threads tr)
+              ~locks:(Trace.locks tr) ~vars:(Trace.vars tr) outcome;
       })
 
 let run_seq ?timeout ?heartbeat ?total ?(reclaim = true) ?last_use
-    ?(prefilter = Off) ?stats (module C : Aerodrome.Checker.S) ~threads ~locks
-    ~vars events =
-  collected (fun () ->
+    ?(prefilter = Off) ?stats ?flight ?(source = "stream")
+    (module C : Aerodrome.Checker.S) ~threads ~locks ~vars events =
+  collected ?file:(if source = "stream" then None else Some source) (fun () ->
       let events =
         match prefilter_mode ~prefilter ~stats with
         | None -> events
@@ -318,6 +424,7 @@ let run_seq ?timeout ?heartbeat ?total ?(reclaim = true) ?last_use
             C.create ~threads ~locks ~vars)
       in
       let sample_heap = heap_sampler () in
+      let fl = flight_recorder flight ~threads ~locks ~vars in
       arm_heartbeat heartbeat ~total;
       let deadline =
         Option.map (fun budget -> Unix.gettimeofday () +. budget) timeout
@@ -330,6 +437,10 @@ let run_seq ?timeout ?heartbeat ?total ?(reclaim = true) ?last_use
         match Seq.uncons events with
         | None -> ()
         | Some (e, rest) -> (
+          (match fl with
+          | Some f when !viol_at < 0.0 ->
+            Flight.note f !fed (Packed.of_event e)
+          | _ -> ());
           (match C.feed st e with
           | Some _ -> note_violation viol_at ~started
           | None -> ());
@@ -345,12 +456,19 @@ let run_seq ?timeout ?heartbeat ?total ?(reclaim = true) ?last_use
       in
       go events;
       sample_heap ();
+      let outcome =
+        if !timed_out then Timed_out else Verdict (C.violation st)
+      in
       {
         checker = C.name;
-        outcome = (if !timed_out then Timed_out else Verdict (C.violation st));
+        outcome;
         seconds = Unix.gettimeofday () -. started;
         events_fed = !fed;
-        metrics = runner_entries viol_at;
+        metrics =
+          runner_entries viol_at
+          @ flight_finish flight fl
+              (module C : Aerodrome.Checker.S)
+              ~source ~threads ~locks ~vars outcome;
       })
 
 (* Accessor statistics for a binary file: the v3 footer is one seek away;
@@ -373,7 +491,7 @@ let binary_stats ~prefilter path =
     | None -> None)
 
 let run_binary_file ?timeout ?heartbeat ?(reclaim = true) ?(prefilter = Off)
-    checker path =
+    ?flight checker path =
   (* v2 files carry the oracle in their footer, one seek away; a corrupt
      footer raises here, before any event is fed *)
   let last_use = if reclaim then Traces.Binfmt.read_last_use path else None in
@@ -382,7 +500,7 @@ let run_binary_file ?timeout ?heartbeat ?(reclaim = true) ?(prefilter = Off)
   Fun.protect ~finally:close (fun () ->
       let r =
         run_seq ?timeout ?heartbeat ~total:header.Traces.Binfmt.events ~reclaim
-          ?last_use ~prefilter ?stats checker
+          ?last_use ~prefilter ?stats ?flight ~source:path checker
           ~threads:header.Traces.Binfmt.threads
           ~locks:header.Traces.Binfmt.locks ~vars:header.Traces.Binfmt.vars
           events
@@ -410,9 +528,9 @@ let packable ~prefilter (h : Traces.Binfmt.header) =
      the boxed path rather than unpack/repack every event *)
   && prefilter <> Online
 
-let run_packed_file ?timeout ?heartbeat ~reclaim ~prefilter
+let run_packed_file ?timeout ?heartbeat ~reclaim ~prefilter ?flight
     (module C : Aerodrome.Checker.S) path (header : Traces.Binfmt.header) =
-  collected (fun () ->
+  collected ~file:path (fun () ->
       let last_use =
         if reclaim then Traces.Binfmt.read_last_use path else None
       in
@@ -425,6 +543,10 @@ let run_packed_file ?timeout ?heartbeat ~reclaim ~prefilter
       in
       let pf = Option.map Prefilter.create (prefilter_mode ~prefilter ~stats) in
       let sample_heap = heap_sampler () in
+      let fl =
+        flight_recorder flight ~threads:header.Traces.Binfmt.threads
+          ~locks:header.Traces.Binfmt.locks ~vars:header.Traces.Binfmt.vars
+      in
       arm_heartbeat heartbeat ~total:(Some header.Traces.Binfmt.events);
       let started = Unix.gettimeofday () in
       let deadline = Option.map (fun b -> started +. b) timeout in
@@ -432,6 +554,9 @@ let run_packed_file ?timeout ?heartbeat ~reclaim ~prefilter
       let viol_at = ref (-1.0) in
       let fed = ref 0 in
       let feed_one w =
+        (match fl with
+        | Some f when !viol_at < 0.0 -> Flight.note f !fed w
+        | _ -> ());
         (match C.feed_packed st w with
         | Some _ -> note_violation viol_at ~started
         | None -> ());
@@ -458,20 +583,29 @@ let run_packed_file ?timeout ?heartbeat ~reclaim ~prefilter
       | None -> ()
       | Some p -> ( try Prefilter.finish_packed p feed_one with Exit -> ()));
       sample_heap ();
+      let outcome =
+        if !timed_out then Timed_out else Verdict (C.violation st)
+      in
       {
         checker = C.name;
-        outcome = (if !timed_out then Timed_out else Verdict (C.violation st));
+        outcome;
         seconds = Unix.gettimeofday () -. started;
         events_fed = !fed;
-        metrics = runner_entries ?file_bytes:(file_size path) viol_at;
+        metrics =
+          runner_entries ?file_bytes:(file_size path) viol_at
+          @ flight_finish flight fl
+              (module C : Aerodrome.Checker.S)
+              ~source:path ~threads:header.Traces.Binfmt.threads
+              ~locks:header.Traces.Binfmt.locks
+              ~vars:header.Traces.Binfmt.vars outcome;
       })
 
 (* Sharded counterpart of [run_packed_file]: ingest (and filter) into
    an arena first, then fan chunk checkers out over it.  The timer
    covers the ingestion, mirroring the sequential path's decode. *)
-let run_packed_file_sharded ?heartbeat ~prefilter ~shards ?shard_pool
+let run_packed_file_sharded ?heartbeat ~prefilter ~shards ?shard_pool ?flight
     (module C : Aerodrome.Checker.S) path (header : Traces.Binfmt.header) =
-  collected (fun () ->
+  collected ~file:path (fun () ->
       let stats = binary_stats ~prefilter path in
       let pf = Option.map Prefilter.create (prefilter_mode ~prefilter ~stats) in
       arm_heartbeat heartbeat ~total:(Some header.Traces.Binfmt.events);
@@ -486,31 +620,36 @@ let run_packed_file_sharded ?heartbeat ~prefilter ~shards ?shard_pool
                Prefilter.feed_packed p w push));
         Prefilter.finish_packed p push);
       let o =
-        Parallel.Shard.check ?pool:shard_pool ~shards (module C)
-          ~threads:header.Traces.Binfmt.threads
+        Parallel.Shard.check ?pool:shard_pool
+          ?flight:(Option.map (fun f -> f.flight_window) flight)
+          ~shards (module C) ~threads:header.Traces.Binfmt.threads
           ~locks:header.Traces.Binfmt.locks ~vars:header.Traces.Binfmt.vars
           arena
       in
       tick heartbeat (Packed.Arena.length arena);
-      finish_sharded (module C) ~started ?file_bytes:(file_size path) o
+      finish_sharded (module C) ~started ?file_bytes:(file_size path) ?flight
+        ~source:path ~threads:header.Traces.Binfmt.threads
+        ~locks:header.Traces.Binfmt.locks ~vars:header.Traces.Binfmt.vars o
         ~events_fed:(Packed.Arena.length arena))
 
 let run_stream_seq ?timeout ?heartbeat ?(reclaim = true) ?(prefilter = Off)
-    ?(packed = true) ?(shards = 1) ?shard_pool
+    ?(packed = true) ?(shards = 1) ?shard_pool ?flight
     (module C : Aerodrome.Checker.S) path =
   if Traces.Binfmt.is_binary path then begin
     let header = Traces.Binfmt.read_header path in
     if packed && packable ~prefilter header then
       if shardable ~shards ~timeout (module C) then
         run_packed_file_sharded ?heartbeat ~prefilter ~shards ?shard_pool
-          (module C) path header
+          ?flight (module C) path header
       else
-        run_packed_file ?timeout ?heartbeat ~reclaim ~prefilter (module C) path
-          header
-    else run_binary_file ?timeout ?heartbeat ~reclaim ~prefilter (module C) path
+        run_packed_file ?timeout ?heartbeat ~reclaim ~prefilter ?flight
+          (module C) path header
+    else
+      run_binary_file ?timeout ?heartbeat ~reclaim ~prefilter ?flight
+        (module C) path
   end
   else
-    collected (fun () ->
+    collected ~file:path (fun () ->
         (* text: Parser.fold_file announces the domains (pass 1) before any
            event reaches the checker (pass 2), so no Trace.t is built.
            The interning pass hands over the last-use oracle — and, when
@@ -525,7 +664,13 @@ let run_stream_seq ?timeout ?heartbeat ?(reclaim = true) ?(prefilter = Off)
         let stats = ref None in
         let pf = ref None in
         let sample_heap = ref (fun () -> ()) in
+        let fl = ref None in
+        let domains = ref None in
         let feed_one s e =
+          (match !fl with
+          | Some f when !viol_at < 0.0 ->
+            Flight.note f !fed (Packed.of_event e)
+          | _ -> ());
           (match C.feed s e with
           | Some _ -> note_violation viol_at ~started:!started
           | None -> ());
@@ -557,6 +702,8 @@ let run_stream_seq ?timeout ?heartbeat ?(reclaim = true) ?(prefilter = Off)
                       (fun () -> C.create ~threads ~locks ~vars)
                   in
                   st := Some s;
+                  domains := Some (threads, locks, vars);
+                  fl := flight_recorder flight ~threads ~locks ~vars;
                   (match prefilter_mode ~prefilter ~stats:!stats with
                   | None -> ()
                   | Some mode -> pf := Some (Prefilter.create mode));
@@ -583,13 +730,25 @@ let run_stream_seq ?timeout ?heartbeat ?(reclaim = true) ?(prefilter = Off)
         match !st with
         | None -> assert false (* [init] runs before the first event *)
         | Some s ->
+          let outcome =
+            if !timed_out then Timed_out else Verdict (C.violation s)
+          in
+          let flight_metrics =
+            match !domains with
+            | Some (threads, locks, vars) ->
+              flight_finish flight !fl
+                (module C : Aerodrome.Checker.S)
+                ~source:path ~threads ~locks ~vars outcome
+            | None -> []
+          in
           {
             checker = C.name;
-            outcome =
-              (if !timed_out then Timed_out else Verdict (C.violation s));
+            outcome;
             seconds = Unix.gettimeofday () -. !started;
             events_fed = !fed;
-            metrics = runner_entries ?file_bytes:(file_size path) viol_at;
+            metrics =
+              runner_entries ?file_bytes:(file_size path) viol_at
+              @ flight_metrics;
           })
 
 (* --- pipelined ingestion ---
@@ -729,8 +888,9 @@ let ring_entries (s : Parallel.Ring.stats) =
     ]
 
 let run_stream_pipelined ?timeout ?heartbeat ?(reclaim = true)
-    ?(prefilter = Off) ?(packed = true) (module C : Aerodrome.Checker.S) path =
-  collected (fun () ->
+    ?(prefilter = Off) ?(packed = true) ?flight
+    (module C : Aerodrome.Checker.S) path =
+  collected ~file:path (fun () ->
       let ring_stats = ref None in
       let r =
         Parallel.Pipeline.run ~capacity:ring_capacity
@@ -766,6 +926,7 @@ let run_stream_pipelined ?timeout ?heartbeat ?(reclaim = true)
                 Option.map Prefilter.create (prefilter_mode ~prefilter ~stats)
               in
               let sample_heap = heap_sampler () in
+              let fl = flight_recorder flight ~threads ~locks ~vars in
               arm_heartbeat heartbeat ~total:events;
               let started = Unix.gettimeofday () in
               let deadline = Option.map (fun b -> started +. b) timeout in
@@ -785,12 +946,19 @@ let run_stream_pipelined ?timeout ?heartbeat ?(reclaim = true)
                 end
               in
               let feed_one e =
+                (match fl with
+                | Some f when !viol_at < 0.0 ->
+                  Flight.note f !fed (Packed.of_event e)
+                | _ -> ());
                 (match C.feed st e with
                 | Some _ -> note_violation viol_at ~started
                 | None -> ());
                 checkpoint ()
               in
               let feed_one_packed w =
+                (match fl with
+                | Some f when !viol_at < 0.0 -> Flight.note f !fed w
+                | _ -> ());
                 (match C.feed_packed st w with
                 | Some _ -> note_violation viol_at ~started
                 | None -> ());
@@ -829,13 +997,19 @@ let run_stream_pipelined ?timeout ?heartbeat ?(reclaim = true)
               | None -> ()
               | Some p -> ( try Prefilter.finish p feed_one with Exit -> ()));
               sample_heap ();
+              let outcome =
+                if !timed_out then Timed_out else Verdict (C.violation st)
+              in
               {
                 checker = C.name;
-                outcome =
-                  (if !timed_out then Timed_out else Verdict (C.violation st));
+                outcome;
                 seconds = Unix.gettimeofday () -. started;
                 events_fed = !fed;
-                metrics = runner_entries ?file_bytes:(file_size path) viol_at;
+                metrics =
+                  runner_entries ?file_bytes:(file_size path) viol_at
+                  @ flight_finish flight fl
+                      (module C : Aerodrome.Checker.S)
+                      ~source:path ~threads ~locks ~vars outcome;
               })
           ()
       in
@@ -844,16 +1018,17 @@ let run_stream_pipelined ?timeout ?heartbeat ?(reclaim = true)
       | _ -> r)
 
 let run_stream ?timeout ?heartbeat ?(pipelined = false) ?(reclaim = true)
-    ?(prefilter = Off) ?(packed = true) ?(shards = 1) ?shard_pool checker path =
+    ?(prefilter = Off) ?(packed = true) ?(shards = 1) ?shard_pool ?flight
+    checker path =
   (* the sharded path materializes the whole arena before any checking
      starts, so a pipelined producer would have nothing to overlap with;
      when both are requested, sharding wins *)
   if pipelined && not (shardable ~shards ~timeout checker) then
     run_stream_pipelined ?timeout ?heartbeat ~reclaim ~prefilter ~packed
-      checker path
+      ?flight checker path
   else
     run_stream_seq ?timeout ?heartbeat ~reclaim ~prefilter ~packed ~shards
-      ?shard_pool checker path
+      ?shard_pool ?flight checker path
 
 (* --- multi-file fan-out --- *)
 
@@ -863,10 +1038,11 @@ type file_report = {
 }
 
 let run_file ?timeout ?heartbeat ?(pipelined = false) ?(reclaim = true)
-    ?(prefilter = Off) ?(packed = true) ?(shards = 1) ?shard_pool checker path =
+    ?(prefilter = Off) ?(packed = true) ?(shards = 1) ?shard_pool ?flight
+    checker path =
   match
     run_stream ?timeout ?heartbeat ~pipelined ~reclaim ~prefilter ~packed
-      ~shards ?shard_pool checker path
+      ~shards ?shard_pool ?flight checker path
   with
   | r -> Ok r
   | exception Traces.Binfmt.Corrupt msg -> Error msg
@@ -876,7 +1052,7 @@ let run_file ?timeout ?heartbeat ?(pipelined = false) ?(reclaim = true)
 
 let run_many ?timeout ?heartbeat ?(pipelined = false) ?(reclaim = true)
     ?(prefilter = Off) ?(packed = true) ?(jobs = 1) ?(shards = 1) ?shard_pool
-    ?on_pool checker paths =
+    ?flight ?on_pool checker paths =
   (* The domain budget is shared between the file fan-out and intra-file
      sharding: [jobs] caps the product, so sharded runs fan out fewer
      files concurrently instead of oversubscribing cores. *)
@@ -900,7 +1076,7 @@ let run_many ?timeout ?heartbeat ?(pipelined = false) ?(reclaim = true)
         file = path;
         report =
           run_file ?timeout ?heartbeat ~pipelined ~reclaim ~prefilter ~packed
-            ~shards ?shard_pool checker path;
+            ~shards ?shard_pool ?flight checker path;
       })
     paths
 

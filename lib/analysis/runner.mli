@@ -22,6 +22,12 @@
     ["shard.cut_misses"], ["shard.replayed_events"],
     ["shard.plan_seconds"], ["shard.merge_seconds"] and per-chunk
     ["shard.chunk<i>.events"] / ["shard.chunk<i>.seconds"] entries.
+    Flight-recorded violating runs add ["flight.slice_events"],
+    ["flight.replayable"] and ["flight.validated"] (see {!flight}).
+
+    While a metrics exporter is live ({!Obs.Exporter.serve}), each
+    file-based run's scope is exposed with a [file="<path>"] label, so
+    concurrent runs scrape as distinct series.
 
     With telemetry disabled [metrics] is {!Obs.Snapshot.empty} and the
     per-event cost of the plumbing is one branch.  A [heartbeat]
@@ -87,6 +93,24 @@ type prefilter =
     recomputes it on the filtered trace).  With telemetry on, the
     per-rule elision counters land in [metrics] as [prefilter.*].
 
+    {2 Violation flight recording}
+
+    Every run function takes [?flight].  When set, a bounded per-thread
+    ring of packed words ({!Traces.Flight}) rides along the checker —
+    one pack plus one ring store per event, frozen at the first
+    violation — and a violating run emits a witness bundle into
+    [flight_dir] ({!Witness.emit}): a JSON diagnosis
+    ([<source>.witness.json]) and, whenever the rings still cover a
+    globally quiescent cut, a replayable binfmt slice
+    ([<source>.slice.bin]) that [rapid check] reproduces the violation
+    on.  The bundle is validated in-process before the run returns (the
+    slice is re-checked from its on-disk bytes) and the outcome lands
+    in [metrics] as [flight.*].  Recording needs the packed codec, so
+    id domains beyond {!Traces.Packed.fits} run without a recorder; a
+    bundle that cannot be written degrades to a warning on stderr.
+    Sharded runs record per chunk (chunk bases are quiescent cuts) and
+    emit from the chunk owning the reconciled violation.
+
     {2 Sharded checking}
 
     Every file-level run function (and {!run}) takes [?shards] (default
@@ -108,10 +132,18 @@ type prefilter =
     filtered streams.  [?shard_pool] lends an existing domain pool to
     the chunk fan-out (one is created per run otherwise). *)
 
+type flight = {
+  flight_dir : string;  (** directory the witness bundles are written to *)
+  flight_window : int;  (** per-thread ring capacity, in events *)
+}
+(** Violation flight-recorder configuration (see {e Violation flight
+    recording} above).  {!Traces.Flight.default_window} is the
+    conventional window. *)
+
 val run :
   ?timeout:float -> ?heartbeat:Obs.Heartbeat.t -> ?reclaim:bool ->
   ?prefilter:prefilter -> ?shards:int -> ?shard_pool:Parallel.Pool.t ->
-  Aerodrome.Checker.t -> Traces.Trace.t -> result
+  ?flight:flight -> Aerodrome.Checker.t -> Traces.Trace.t -> result
 (** [timeout] in seconds; default: none.  [heartbeat] is restarted, given
     the trace length as total, and ticked as the run progresses.  With
     [reclaim] (the default) the last-use oracle is computed from the
@@ -121,7 +153,8 @@ val run :
 val run_seq :
   ?timeout:float -> ?heartbeat:Obs.Heartbeat.t -> ?total:int ->
   ?reclaim:bool -> ?last_use:Traces.Lifetime.t -> ?prefilter:prefilter ->
-  ?stats:Traces.Varstats.t -> Aerodrome.Checker.t ->
+  ?stats:Traces.Varstats.t -> ?flight:flight -> ?source:string ->
+  Aerodrome.Checker.t ->
   threads:int -> locks:int -> vars:int -> Traces.Event.t Seq.t -> result
 (** Streaming variant: analyze an event sequence without materializing it
     (e.g. {!Traces.Binfmt.read_seq} of a file larger than memory).  The
@@ -130,11 +163,14 @@ val run_seq :
     heartbeat's ETA.  [last_use] is the reclamation oracle if the caller
     has one; without it a reclaiming run uses the inactivity heuristic.
     [stats] likewise supplies the exact-mode prefilter oracle; an [Exact]
-    or [Auto] prefilter without it runs in online mode. *)
+    or [Auto] prefilter without it runs in online mode.  [source]
+    (default ["stream"]) names the input in witness bundles and labels
+    the live-exposure scope when it is a file path. *)
 
 val run_binary_file :
   ?timeout:float -> ?heartbeat:Obs.Heartbeat.t -> ?reclaim:bool ->
-  ?prefilter:prefilter -> Aerodrome.Checker.t -> string -> result
+  ?prefilter:prefilter -> ?flight:flight -> Aerodrome.Checker.t -> string ->
+  result
 (** [run_seq] over a binary trace file, domains and total event count
     from its header; a version-2/3 footer supplies the reclamation
     oracle, a version-3 footer also the prefilter statistics ([Exact] on
@@ -144,7 +180,8 @@ val run_binary_file :
 val run_stream :
   ?timeout:float -> ?heartbeat:Obs.Heartbeat.t -> ?pipelined:bool ->
   ?reclaim:bool -> ?prefilter:prefilter -> ?packed:bool -> ?shards:int ->
-  ?shard_pool:Parallel.Pool.t -> Aerodrome.Checker.t -> string -> result
+  ?shard_pool:Parallel.Pool.t -> ?flight:flight -> Aerodrome.Checker.t ->
+  string -> result
 (** Analyze a trace file without materializing it, auto-detecting the
     format: binary files stream in one pass (domains from the header),
     text files via {!Traces.Parser.fold_file} (two passes, since the text
@@ -188,8 +225,8 @@ type file_report = {
 val run_file :
   ?timeout:float -> ?heartbeat:Obs.Heartbeat.t -> ?pipelined:bool ->
   ?reclaim:bool -> ?prefilter:prefilter -> ?packed:bool -> ?shards:int ->
-  ?shard_pool:Parallel.Pool.t -> Aerodrome.Checker.t -> string ->
-  (result, string) Stdlib.result
+  ?shard_pool:Parallel.Pool.t -> ?flight:flight -> Aerodrome.Checker.t ->
+  string -> (result, string) Stdlib.result
 (** {!run_stream} with per-file error capture instead of exceptions:
     [Sys_error], {!Traces.Binfmt.Corrupt} and
     {!Traces.Parser.Parse_error} become [Error msg]. *)
@@ -197,7 +234,7 @@ val run_file :
 val run_many :
   ?timeout:float -> ?heartbeat:Obs.Heartbeat.t -> ?pipelined:bool ->
   ?reclaim:bool -> ?prefilter:prefilter -> ?packed:bool -> ?jobs:int ->
-  ?shards:int -> ?shard_pool:Parallel.Pool.t ->
+  ?shards:int -> ?shard_pool:Parallel.Pool.t -> ?flight:flight ->
   ?on_pool:(float array -> unit) -> Aerodrome.Checker.t -> string list ->
   file_report list
 (** Check many trace files, one {!file_report} per input path {e in input

@@ -1,0 +1,184 @@
+(* Violation witness bundles.
+
+   When a flight-recorded run ends in a violation, [emit] writes two
+   files into the bundle directory:
+
+   - [<source>.witness.json] — the diagnosis: the violating event and
+     check site, a per-thread frontier (open-transaction depth, retained
+     ring tail, last seen position), the last-N events each thread's
+     ring still holds, and the replay metadata;
+   - [<source>.slice.bin] — the captured window re-encoded as a
+     stand-alone version-1 binfmt trace (present only when the rings
+     still cover a quiescent cut, see {!Traces.Flight.window}).
+
+   The slice starts at a globally quiescent position [p], so a ⊥-seeded
+   checker over it is exact (DESIGN.md §15/§16): because the recorded
+   violation at [v] was the run's first, it is also the first in
+   [[p, v]], and replaying the slice must report a violation at slice
+   index [v - p] — same event, same site.  [emit] performs that replay
+   on the just-written file (so the bytes on disk are what is
+   validated) and records the outcome in the JSON; `rapid check` on the
+   slice reproduces the same report, which the differential tests pin. *)
+
+open Traces
+
+type info = {
+  json_path : string;
+  slice_path : string option;
+  window_start : int option;  (** global index of the slice's first event *)
+  slice_events : int;
+  replayable : bool;
+  validated : bool;  (** replay ran and reproduced index + site *)
+}
+
+let rec ensure_dir dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    ensure_dir (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let write_text path s =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc s)
+
+let site_string site = Format.asprintf "%a" Aerodrome.Violation.pp_site site
+
+let event_json index (e : Event.t) =
+  Obs.Json.Obj
+    [
+      ("index", Obs.Json.Num (float_of_int index));
+      ("event", Obs.Json.Str (Event.to_string e));
+    ]
+
+(* Replay the slice file with a fresh checker under its own metric
+   scope, so the replay's counters never leak into the recording run's
+   ambient collection. *)
+let replay_slice (module C : Aerodrome.Checker.S) path =
+  let v, _discarded_metrics =
+    Obs.Scope.collect (fun () ->
+        let header, arena = Binfmt.read_packed path in
+        Aerodrome.Checker.run_arena
+          (module C)
+          ~threads:header.Binfmt.threads ~locks:header.Binfmt.locks
+          ~vars:header.Binfmt.vars arena)
+  in
+  v
+
+let violation_matches ~(expected : Aerodrome.Violation.t) ~at
+    (got : Aerodrome.Violation.t option) =
+  match got with
+  | None -> false
+  | Some g ->
+    g.Aerodrome.Violation.index = at
+    && Event.equal g.Aerodrome.Violation.event expected.Aerodrome.Violation.event
+    && g.Aerodrome.Violation.site = expected.Aerodrome.Violation.site
+
+let emit ~dir ~source ~checker ~threads ~locks ~vars ~(flight : Flight.t)
+    ?(base = 0) ~(violation : Aerodrome.Violation.t) () :
+    (info, string) result =
+  try
+    ensure_dir dir;
+    let name = Filename.basename source in
+    let json_path = Filename.concat dir (name ^ ".witness.json") in
+    let slice_path = Filename.concat dir (name ^ ".slice.bin") in
+    let window = Flight.window flight in
+    let replayable = Option.is_some window in
+    (* write the slice first so validation exercises the on-disk bytes *)
+    let slice_field, window_field, validated, slice_events, window_start =
+      match window with
+      | None -> (Obs.Json.Null, Obs.Json.Null, false, 0, None)
+      | Some (p_local, words) ->
+        Binfmt.write_packed_window slice_path ~threads ~locks ~vars words;
+        let start = base + p_local in
+        let expect_at = violation.Aerodrome.Violation.index - start in
+        let replayed = replay_slice checker slice_path in
+        let ok = violation_matches ~expected:violation ~at:expect_at replayed in
+        let replay_json =
+          Obs.Json.Obj
+            [
+              ( "verdict",
+                Obs.Json.Str
+                  (match replayed with Some _ -> "violation" | None -> "serializable") );
+              ( "index",
+                match replayed with
+                | Some v -> Obs.Json.Num (float_of_int v.Aerodrome.Violation.index)
+                | None -> Obs.Json.Null );
+              ("matches", Obs.Json.Bool ok);
+            ]
+        in
+        ( Obs.Json.Str (Filename.basename slice_path),
+          Obs.Json.Obj
+            [
+              ("start", Obs.Json.Num (float_of_int start));
+              ("events", Obs.Json.Num (float_of_int (Array.length words)));
+              ("expected_violation_index", Obs.Json.Num (float_of_int expect_at));
+              ("replay", replay_json);
+            ],
+          ok,
+          Array.length words,
+          Some start )
+    in
+    let thread_frontier tid =
+      let tail = Flight.thread_tail flight tid in
+      Obs.Json.Obj
+        [
+          ("tid", Obs.Json.Num (float_of_int tid));
+          ("open_depth", Obs.Json.Num (float_of_int (Flight.depth flight tid)));
+          ("retained", Obs.Json.Num (float_of_int (Flight.retained flight tid)));
+          ( "last_index",
+            let i = Flight.last_seen flight tid in
+            if i < 0 then Obs.Json.Null else Obs.Json.Num (float_of_int (base + i)) );
+          ( "events",
+            Obs.Json.List
+              (List.map
+                 (fun (i, w) -> event_json (base + i) (Packed.to_event w))
+                 tail) );
+        ]
+    in
+    let nthreads = max threads (Flight.threads flight) in
+    let doc =
+      Obs.Json.Obj
+        [
+          ("schema", Obs.Json.Str "aerodrome-witness/1");
+          ("source", Obs.Json.Str source);
+          ( "checker",
+            let (module C : Aerodrome.Checker.S) = checker in
+            Obs.Json.Str C.name );
+          ( "violation",
+            Obs.Json.Obj
+              [
+                ( "index",
+                  Obs.Json.Num (float_of_int violation.Aerodrome.Violation.index) );
+                ( "event",
+                  Obs.Json.Str (Event.to_string violation.Aerodrome.Violation.event) );
+                ("site", Obs.Json.Str (site_string violation.Aerodrome.Violation.site));
+              ] );
+          ( "domains",
+            Obs.Json.Obj
+              [
+                ("threads", Obs.Json.Num (float_of_int threads));
+                ("locks", Obs.Json.Num (float_of_int locks));
+                ("vars", Obs.Json.Num (float_of_int vars));
+              ] );
+          ("ring_window", Obs.Json.Num (float_of_int (Flight.window_size flight)));
+          ( "threads",
+            Obs.Json.List (List.init nthreads thread_frontier) );
+          ("window", window_field);
+          ("slice", slice_field);
+        ]
+    in
+    write_text json_path (Obs.Json.to_string doc);
+    Ok
+      {
+        json_path;
+        slice_path = (if replayable then Some slice_path else None);
+        window_start;
+        slice_events;
+        replayable;
+        validated;
+      }
+  with
+  | Sys_error msg -> Error msg
+  | Unix.Unix_error (e, fn, arg) ->
+    Error (Printf.sprintf "%s(%s): %s" fn arg (Unix.error_message e))
+  | Binfmt.Corrupt msg -> Error ("slice replay: " ^ msg)

@@ -1,0 +1,54 @@
+(* Live registry exposure for the metrics exporter.
+
+   Per-checker registries normally surface only *after* a run, when
+   [Scope.collect] snapshots them into the result.  A live scrape needs
+   to see them *during* the run, so when exposure is enabled (the
+   exporter is up) [Scope] also publishes every scope-attached registry
+   here, tagged with ambient labels (e.g. the file being checked), and
+   retracts it when the scope closes.
+
+   Sampling a published registry from the exporter domain while the
+   checker domain is mutating its counters is deliberate: counter cells
+   are immediate ints, so cross-domain reads are tear-free — at worst a
+   scrape observes a value a few events stale, which is exactly what a
+   sampling exporter wants.  Only the table itself is mutex-protected;
+   nothing on the checker's per-event path takes a lock. *)
+
+type entry = {
+  labels : (string * string) list;
+  reg : Registry.t;
+}
+
+let mu = Mutex.create ()
+let table : entry list ref = ref []
+let enabled = Atomic.make false
+
+let enable () = Atomic.set enabled true
+let disable () = Atomic.set enabled false
+let on () = Atomic.get enabled
+
+let expose ?(labels = []) reg =
+  Mutex.lock mu;
+  table := { labels; reg } :: !table;
+  Mutex.unlock mu
+
+(* Retraction is by physical registry identity — the same registry can
+   be exposed at most once per scope, and scopes retract exactly what
+   they exposed. *)
+let retract reg =
+  Mutex.lock mu;
+  let rec drop = function
+    | [] -> []
+    | e :: rest -> if e.reg == reg then rest else e :: drop rest
+  in
+  table := drop !table;
+  Mutex.unlock mu
+
+(* Snapshot every exposed registry.  Oldest first, so series from the
+   first-attached registry render first and repeated scrapes are
+   stable. *)
+let snapshots () : ((string * string) list * Snapshot.t) list =
+  Mutex.lock mu;
+  let entries = List.rev !table in
+  Mutex.unlock mu;
+  List.map (fun e -> (e.labels, Registry.snapshot e.reg)) entries

@@ -18,6 +18,8 @@ module Histogram = Histogram
 module Snapshot = Snapshot
 module Registry = Registry
 module Scope = Scope
+module Live = Live
+module Exporter = Exporter
 module Json = Json
 module Heartbeat = Heartbeat
 module Chrome_trace = Chrome_trace

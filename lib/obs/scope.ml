@@ -10,9 +10,17 @@
 
    Scopes are domain-local (Domain.DLS), so a pipelined producer domain
    or pool worker never leaks its registries into another run — each
-   worker's [run_file] call opens its own scope on its own domain. *)
+   worker's [run_file] call opens its own scope on its own domain.
 
-type scope = { mutable registries : Registry.t list (* newest first *) }
+   When live exposure is on (a metrics exporter is serving), attached
+   registries are additionally published to [Live] for the duration of
+   the scope, tagged with the scope's labels, so a scrape mid-run sees
+   the checker's counters as they advance. *)
+
+type scope = {
+  mutable registries : Registry.t list; (* newest first *)
+  labels : (string * string) list; (* applied to live-exposed registries *)
+}
 
 let key : scope option ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref None)
@@ -20,16 +28,24 @@ let key : scope option ref Domain.DLS.key =
 let attach reg =
   match !(Domain.DLS.get key) with
   | None -> ()
-  | Some s -> s.registries <- reg :: s.registries
+  | Some s ->
+    s.registries <- reg :: s.registries;
+    if Live.on () then Live.expose ~labels:s.labels reg
 
 let active () = Option.is_some !(Domain.DLS.get key)
 
-let collect (f : unit -> 'a) : 'a * Snapshot.t =
+let collect ?(labels = []) (f : unit -> 'a) : 'a * Snapshot.t =
   let cell = Domain.DLS.get key in
   let saved = !cell in
-  let scope = { registries = [] } in
+  let scope = { registries = []; labels } in
   cell := Some scope;
-  let finish () = cell := saved in
+  (* Retract unconditionally: exposure may have raced with the exporter
+     shutting down, and retracting a never-exposed registry is a no-op
+     over an (almost always empty) list. *)
+  let finish () =
+    cell := saved;
+    List.iter Live.retract scope.registries
+  in
   match f () with
   | v ->
     finish ();

@@ -59,13 +59,23 @@ let diff ~(before : t) ~(after : t) : t =
       | _ -> e)
     after
 
+(* [sorted t] orders entries by metric name (stable, so duplicate names
+   keep their relative order).  Renderers use it so `--stats` and
+   `--stats-json` output cannot depend on registration order, which
+   under multi-domain collection (pipelined producers, shard pools) is
+   an interleaving accident. *)
+let sorted (t : t) : t =
+  List.stable_sort (fun a b -> String.compare a.name b.name) t
+
 (* [merge snaps] folds several snapshots of the {e same shape} into one
    — the sharded runner sums its per-chunk checker snapshots back into
    a whole-trace reading.  Counters (Int) and histograms add; floats
-   (gauges, high-water readings) keep their maximum.  Entry order
-   follows first appearance, so homogeneous snapshots keep their
-   registry order. *)
-let merge_value a b =
+   (gauges, high-water readings) keep their maximum.  Histograms with
+   different bucket bounds are refused outright: summing misaligned
+   counts would silently attribute observations to the wrong bucket.
+   Entry order follows first appearance, so homogeneous snapshots keep
+   their registry order. *)
+let merge_value name a b =
   match (a, b) with
   | Int x, Int y -> Int (x + y)
   | Float x, Float y -> Float (Float.max x y)
@@ -77,6 +87,9 @@ let merge_value a b =
         total = h.total + g.total;
         sum = h.sum + g.sum;
       }
+  | Hist _, Hist _ ->
+    invalid_arg
+      (Printf.sprintf "Obs.Snapshot.merge: histogram %S bucket bounds mismatch" name)
   | _ -> b
 
 let merge (snaps : t list) : t =
@@ -84,7 +97,7 @@ let merge (snaps : t list) : t =
     let rec go = function
       | [] -> [ e ]
       | a :: rest when a.name = e.name ->
-        { a with value = merge_value a.value e.value } :: rest
+        { a with value = merge_value a.name a.value e.value } :: rest
       | a :: rest -> a :: go rest
     in
     go acc

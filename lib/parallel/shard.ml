@@ -10,6 +10,7 @@ type task = {
   violation : Aerodrome.Violation.t option;
   seconds : float;
   metrics : Obs.Snapshot.t;
+  flight : Traces.Flight.t option;
 }
 
 type outcome = {
@@ -25,19 +26,40 @@ type outcome = {
    loop stops there — later events of the chunk cannot change the
    chunk's first violation, and the merged [events_fed] is
    reconstructed from the arena length, as the sequential runner keeps
-   feeding a frozen checker. *)
-let run_chunk (module C : Aerodrome.Checker.S) ~threads ~locks ~vars arena
-    (base, stop) =
+   feeding a frozen checker.
+
+   With [?flight] a per-chunk recorder rides along, noting chunk-local
+   indices: position 0 of the recorder is the chunk base, which is an
+   accepted quiescent cut (or the trace start), so the recorder's
+   quiescence bookkeeping is exact without knowing the global offset.
+   The loop stops at the violation, so the ring tail ends exactly at
+   the violating event.
+
+   Each chunk's feed loop is also a Chrome span (cat "shard"), so a
+   [--trace-out] run shows the chunk lanes per worker domain in
+   Perfetto, next to the planner and reconcile spans recorded by
+   {!check}. *)
+let run_chunk ?flight (module C : Aerodrome.Checker.S) ~threads ~locks ~vars
+    arena (base, stop) =
   let t0 = Unix.gettimeofday () in
+  let fl =
+    Option.map (fun window -> Traces.Flight.create ~window ~threads ()) flight
+  in
   let work () =
     let st =
       Aerodrome.Reclaim.with_policy Aerodrome.Reclaim.Off (fun () ->
           C.create ~threads ~locks ~vars)
     in
-    (try
-       Traces.Packed.Arena.iter_range arena base stop (fun w ->
-           match C.feed_packed st w with Some _ -> raise Exit | None -> ())
-     with Exit -> ());
+    Obs.Chrome_trace.span ~cat:"shard" "feed" (fun () ->
+        let i = ref 0 in
+        try
+          Traces.Packed.Arena.iter_range arena base stop (fun w ->
+              (match fl with
+              | Some f -> Traces.Flight.note f !i w
+              | None -> ());
+              incr i;
+              match C.feed_packed st w with Some _ -> raise Exit | None -> ())
+        with Exit -> ());
     C.violation st
   in
   (* each chunk opens its own (domain-local) scope so the checker's
@@ -46,14 +68,25 @@ let run_chunk (module C : Aerodrome.Checker.S) ~threads ~locks ~vars arena
   let violation, metrics =
     if Obs.on () then Obs.Scope.collect work else (work (), Obs.Snapshot.empty)
   in
-  { base; stop; violation; seconds = Unix.gettimeofday () -. t0; metrics }
+  {
+    base;
+    stop;
+    violation;
+    seconds = Unix.gettimeofday () -. t0;
+    metrics;
+    flight = fl;
+  }
 
-let check ?pool ?window ?cuts ~shards checker ~threads ~locks ~vars arena =
+let check ?pool ?window ?cuts ?flight ~shards checker ~threads ~locks ~vars
+    arena =
   let t0 = Unix.gettimeofday () in
-  let plan = Aerodrome.Merge.plan ~threads ~shards ?window ?cuts arena in
+  let plan =
+    Obs.Chrome_trace.span ~cat:"shard" "plan" (fun () ->
+        Aerodrome.Merge.plan ~threads ~shards ?window ?cuts arena)
+  in
   let plan_seconds = Unix.gettimeofday () -. t0 in
   let bounds = Aerodrome.Merge.bounds plan ~total:(Traces.Packed.Arena.length arena) in
-  let run = run_chunk checker ~threads ~locks ~vars arena in
+  let run = run_chunk ?flight checker ~threads ~locks ~vars arena in
   let tasks =
     match pool with
     | Some p when Array.length bounds > 1 -> Pool.map p run bounds
@@ -66,8 +99,9 @@ let check ?pool ?window ?cuts ~shards checker ~threads ~locks ~vars arena =
   in
   let t1 = Unix.gettimeofday () in
   let violation =
-    Aerodrome.Merge.reconcile
-      (Array.map (fun t -> (t.base, t.violation)) tasks)
+    Obs.Chrome_trace.span ~cat:"shard" "reconcile" (fun () ->
+        Aerodrome.Merge.reconcile
+          (Array.map (fun t -> (t.base, t.violation)) tasks))
   in
   {
     violation;

@@ -28,6 +28,11 @@ type task = {
       (** the chunk checker's own counters, collected on the worker
           domain; empty with telemetry off.  {!Obs.Snapshot.merge} sums
           the per-chunk snapshots back into a whole-trace reading. *)
+  flight : Traces.Flight.t option;
+      (** the chunk's flight recorder when one was requested; indices
+          are chunk-local ([base] is the recorder's position 0, itself a
+          quiescent cut, so the recorder's window argument holds
+          chunk-locally). *)
 }
 
 type outcome = {
@@ -40,7 +45,7 @@ type outcome = {
 }
 
 val check :
-  ?pool:Pool.t -> ?window:int -> ?cuts:int list -> shards:int ->
+  ?pool:Pool.t -> ?window:int -> ?cuts:int list -> ?flight:int -> shards:int ->
   (module Aerodrome.Checker.S) ->
   threads:int -> locks:int -> vars:int -> Traces.Packed.Arena.t -> outcome
 (** Check a fully built arena with up to [shards] chunks.  [pool] runs
@@ -49,4 +54,7 @@ val check :
     is created — and a single-chunk plan runs in the calling domain
     with no pool at all.  [window] and [cuts] are forwarded to
     {!Aerodrome.Merge.plan} ([cuts] is the adversarial-boundary test
-    hook). *)
+    hook); [flight] attaches a violation flight recorder of that ring
+    window to every chunk.  When a Chrome trace collector is active the
+    planner, each chunk's feed loop (on its worker domain) and the
+    reconcile pass are recorded as "shard"-category spans. *)

@@ -129,3 +129,10 @@ val decode_event : (unit -> int) -> Event.t option
 (** [decode_event next_byte] with [next_byte () = -1] at end of input;
     [None] at a clean end, @raise Corrupt on a truncated or invalid
     record. *)
+
+val write_packed_window :
+  string -> threads:int -> locks:int -> vars:int -> int array -> unit
+(** [write_packed_window path ~threads ~locks ~vars words] serializes a
+    window of packed words as a stand-alone version-1 binary trace whose
+    header keeps the source trace's id domains (so ids in the slice stay
+    meaningful) — the flight recorder's replayable witness slice. *)

@@ -1,0 +1,186 @@
+(* Violation flight recorder: bounded per-thread rings over packed
+   words.
+
+   The checker runs with a recorder alongside it; every event is
+   [note]d (index and packed word) before it is fed.  Each thread keeps
+   its last [window] events; older ones fall off the ring.  When the
+   checker reports a violation at event [v], the recorder can
+   reconstruct a {e replayable} slice: the events of some position [p]
+   through [v], where [p] is a {b globally quiescent} position (every
+   thread outside any transaction) whose suffix is still fully retained
+   in the rings.
+
+   Quiescence is what makes the slice sound to replay (DESIGN.md §15's
+   exactness argument, reused in §16): a ⊥-seeded Opt checker started
+   at a globally quiescent position behaves identically to the
+   sequential checker over that range, and since the original run's
+   violation at [v] was its first, it is also the first in [[p,v]] —
+   so replaying the slice must report a violation exactly at slice
+   index [v - p].
+
+   Position bookkeeping is O(1) per event: two candidate cut points are
+   enough.  [best] is the oldest quiescent position whose suffix was
+   still fully retained when it was last inspected, [latest] the most
+   recent quiescent position seen.  A position [p] is {e feasible} iff
+   no ring has evicted an event with index [>= p]
+   ([feasible_min = 1 + max_t last_evicted(t)]).  When [best] falls
+   below [feasible_min] it jumps to [latest]; if [latest] is infeasible
+   too there is provably no feasible quiescent position at all (every
+   quiescent position [<= latest] by definition of latest), so the
+   recorder waits for the next one — which is always feasible at the
+   moment it is observed, because evictions only cover already-noted
+   indices.  Position 0 is quiescent by definition. *)
+
+type ring = {
+  idx : int array; (* global event indices *)
+  word : int array; (* packed words *)
+  mutable len : int;
+  mutable head : int; (* slot of the oldest entry when len = cap *)
+}
+
+type t = {
+  cap : int;
+  mutable rings : ring array; (* per thread; grown on demand *)
+  mutable depth : int array; (* per-thread open-transaction depth *)
+  mutable open_threads : int; (* threads with depth > 0 *)
+  mutable last_evicted : int; (* max global index dropped from any ring *)
+  mutable best : int; (* oldest known feasible quiescent position, -1 = none *)
+  mutable latest : int; (* most recent quiescent position *)
+  mutable last_index : int; (* most recent noted index *)
+  mutable noted : int; (* events noted in total *)
+}
+
+let default_window = 256
+
+let make_ring cap = { idx = Array.make cap 0; word = Array.make cap 0; len = 0; head = 0 }
+
+let create ?(window = default_window) ~threads () =
+  if window < 1 then invalid_arg "Flight.create: window must be >= 1";
+  let threads = max threads 1 in
+  {
+    cap = window;
+    rings = Array.init threads (fun _ -> make_ring window);
+    depth = Array.make threads 0;
+    open_threads = 0;
+    last_evicted = -1;
+    best = 0;
+    latest = 0;
+    last_index = -1;
+    noted = 0;
+  }
+
+let window_size t = t.cap
+
+let grow t tid =
+  let n = Array.length t.rings in
+  if tid >= n then begin
+    let n' = max (tid + 1) (2 * n) in
+    let rings = Array.init n' (fun i -> if i < n then t.rings.(i) else make_ring t.cap) in
+    let depth = Array.make n' 0 in
+    Array.blit t.depth 0 depth 0 n;
+    t.rings <- rings;
+    t.depth <- depth
+  end
+
+let feasible_min t = t.last_evicted + 1
+
+(* [note t index word]: record the event about to be fed.  [index] is
+   the 0-based position in the fed stream — the same coordinate space
+   as [Violation.index], so a prefiltered run records filtered
+   positions. *)
+let note t index word =
+  let tid = Packed.tid word in
+  grow t tid;
+  (* the position *before* this event is quiescent iff no transaction
+     is open *)
+  if t.open_threads = 0 then begin
+    t.latest <- index;
+    if t.best < feasible_min t then t.best <- index
+  end
+  else if t.best >= 0 && t.best < feasible_min t then
+    t.best <- (if t.latest >= feasible_min t then t.latest else -1);
+  let r = t.rings.(tid) in
+  if r.len < t.cap then begin
+    let slot = (r.head + r.len) mod t.cap in
+    r.idx.(slot) <- index;
+    r.word.(slot) <- word;
+    r.len <- r.len + 1
+  end
+  else begin
+    (* evict the oldest entry of this thread's ring *)
+    if r.idx.(r.head) > t.last_evicted then t.last_evicted <- r.idx.(r.head);
+    r.idx.(r.head) <- index;
+    r.word.(r.head) <- word;
+    r.head <- (r.head + 1) mod t.cap
+  end;
+  let op = Packed.opcode word in
+  if op = Packed.op_begin then begin
+    if t.depth.(tid) = 0 then t.open_threads <- t.open_threads + 1;
+    t.depth.(tid) <- t.depth.(tid) + 1
+  end
+  else if op = Packed.op_end && t.depth.(tid) > 0 then begin
+    t.depth.(tid) <- t.depth.(tid) - 1;
+    if t.depth.(tid) = 0 then t.open_threads <- t.open_threads - 1
+  end;
+  t.last_index <- index;
+  t.noted <- t.noted + 1
+
+let noted t = t.noted
+let threads t = Array.length t.rings
+let depth t tid = if tid < Array.length t.depth then t.depth.(tid) else 0
+
+(* The retained tail of one thread's ring, oldest first. *)
+let thread_tail t tid : (int * int) list =
+  if tid >= Array.length t.rings then []
+  else begin
+    let r = t.rings.(tid) in
+    let out = ref [] in
+    for k = r.len - 1 downto 0 do
+      let slot = (r.head + k) mod t.cap in
+      out := (r.idx.(slot), r.word.(slot)) :: !out
+    done;
+    !out
+  end
+
+(* Count of events each thread has contributed (retained or evicted we
+   cannot know exactly; this is the retained count plus nothing — used
+   for the frontier report, where "events retained" is the honest
+   figure). *)
+let retained t tid = if tid < Array.length t.rings then t.rings.(tid).len else 0
+
+let last_seen t tid =
+  match thread_tail t tid with
+  | [] -> -1
+  | tail -> fst (List.nth tail (List.length tail - 1))
+
+(* [window t] reconstructs the retained slice from the oldest feasible
+   quiescent position through the last noted event: [Some (start,
+   words)] with [words.(k)] the packed word of event [start + k], or
+   [None] when eviction has truncated every quiescent cut (the witness
+   is then context-only, not replayable). *)
+let window t : (int * int array) option =
+  let p =
+    if t.best >= feasible_min t then Some t.best
+    else if t.latest >= feasible_min t then Some t.latest
+    else None
+  in
+  match p with
+  | None -> None
+  | Some p when t.last_index < p -> None
+  | Some p ->
+    let n = t.last_index - p + 1 in
+    let words = Array.make n (-1) in
+    let missing = ref false in
+    Array.iter
+      (fun r ->
+        for k = 0 to r.len - 1 do
+          let slot = (r.head + k) mod t.cap in
+          let i = r.idx.(slot) in
+          if i >= p then words.(i - p) <- r.word.(slot)
+        done)
+      t.rings;
+    Array.iter (fun w -> if w < 0 then missing := true) words;
+    (* feasibility guarantees completeness; a hole means the caller
+       noted indices inconsistently — refuse rather than emit a slice
+       that would replay differently *)
+    if !missing then None else Some (p, words)

@@ -1,0 +1,64 @@
+(** Violation flight recorder: bounded per-thread rings over packed
+    words.
+
+    A recorder rides along a checker: every event is {!note}d (stream
+    index plus packed word) immediately before it is fed, and each
+    thread's ring keeps its last [window] events.  After a violation at
+    stream index [v], {!window} reconstructs a {e replayable} slice
+    [[p, v]] whenever the rings still fully retain the suffix of some
+    {b globally quiescent} position [p] (no thread inside a
+    transaction).  Quiescence makes the slice sound to replay from ⊥
+    clock state (the DESIGN.md §15 exactness argument, reused in §16):
+    since the violation at [v] was the run's first, replaying the slice
+    must report a violation at slice index [v - p] — same event, same
+    site.
+
+    Bookkeeping is O(1) per event with two candidate cut positions
+    ([best] and [latest]); see flight.ml for the feasibility argument.
+    The recorder is single-domain and index-monotonic: [note] must see
+    strictly increasing indices in one coordinate space (the fed
+    stream's — the same space as [Violation.index]). *)
+
+type t
+
+val default_window : int
+(** 256 — the conventional per-thread ring capacity. *)
+
+val create : ?window:int -> threads:int -> unit -> t
+(** A recorder with [window]-event rings for [threads] threads (rings
+    grow on demand if larger thread ids appear).
+    @raise Invalid_argument when [window < 1]. *)
+
+val window_size : t -> int
+(** The per-thread ring capacity. *)
+
+val note : t -> int -> int -> unit
+(** [note t index word]: record the packed event about to be fed at
+    stream position [index] (0-based).  Call before the feed, and stop
+    calling once the checker reports a violation — the ring tail then
+    ends exactly at the violating event. *)
+
+val noted : t -> int
+(** Total events noted. *)
+
+val threads : t -> int
+(** Number of thread slots currently allocated. *)
+
+val depth : t -> int -> int
+(** Open-transaction depth of a thread (0 for unseen threads). *)
+
+val thread_tail : t -> int -> (int * int) list
+(** Retained [(index, word)] tail of one thread's ring, oldest first. *)
+
+val retained : t -> int -> int
+(** Events a thread's ring currently holds. *)
+
+val last_seen : t -> int -> int
+(** Stream index of a thread's most recent retained event, [-1] when
+    its ring is empty. *)
+
+val window : t -> (int * int array) option
+(** [Some (start, words)] — the retained slice from the oldest feasible
+    quiescent position through the last noted event, [words.(k)] being
+    event [start + k] — or [None] when eviction has truncated every
+    quiescent cut (the witness is then context-only, not replayable). *)

@@ -149,12 +149,12 @@ and reports what it elided; the verdict is unchanged, the violation
 index is relative to the reduced stream:
 
   $ rapid check -q --prefilter --stats red.std 2>&1 | grep prefilter
-    prefilter.events_in            14
-    prefilter.events_out           7
-    prefilter.elided.thread_local  2
+    prefilter.elided.lock_local    2
     prefilter.elided.read_only     2
     prefilter.elided.redundant     1
-    prefilter.elided.lock_local    2
+    prefilter.elided.thread_local  2
+    prefilter.events_in            14
+    prefilter.events_out           7
   $ rapid check --prefilter bad.std 2>&1 | sed 's/in [0-9.]*s/in TIME/'
   aerodrome: violation @87 in TIME (174 events)
   $ rapid check -q --prefilter bad.std

@@ -1,0 +1,82 @@
+The violation flight recorder and live metrics endpoint, end to end
+through the CLI.  A violating run with --flight-record writes a witness
+bundle into the given directory: a JSON diagnosis and — whenever the
+per-thread rings still cover a globally quiescent cut — a replayable
+binary slice on which a plain `rapid check` reproduces the violation.
+
+  $ rapid generate --events 300 --threads 3 --seed 7 --violate-at 0.5 -o bad.std
+  wrote 311 events to bad.std
+  $ mkdir fr
+  $ rapid check --flight-record fr bad.std 2>&1 | sed 's/in [0-9.]*s/in TIME/'
+  aerodrome: violation @165 in TIME (311 events)
+  $ ls fr
+  bad.std.slice.bin
+  bad.std.witness.json
+
+The bundle names the violation, and the whole 311-event trace fits the
+default 256-per-thread rings, so the slice starts at the trace's own
+(trivially quiescent) beginning; the recorder re-checked the slice
+before returning and recorded that the verdict matched:
+
+  $ grep -o '"schema":"aerodrome-witness/1"' fr/bad.std.witness.json
+  "schema":"aerodrome-witness/1"
+  $ grep -o '"violation":{"index":164' fr/bad.std.witness.json
+  "violation":{"index":164
+  $ grep -o '"window":{"start":0' fr/bad.std.witness.json
+  "window":{"start":0
+  $ grep -o '"expected_violation_index":164' fr/bad.std.witness.json
+  "expected_violation_index":164
+  $ grep -o '"verdict":"violation"' fr/bad.std.witness.json
+  "verdict":"violation"
+  $ grep -o '"matches":true' fr/bad.std.witness.json
+  "matches":true
+
+The differential: checking the slice file itself reports the violation
+at the expected offset (start = 0, so the index is unchanged) on the
+slice's 165 events:
+
+  $ rapid check -q fr/bad.std.slice.bin
+  [1]
+  $ rapid check fr/bad.std.slice.bin 2>&1 | sed 's/in [0-9.]*s/in TIME/'
+  aerodrome: violation @165 in TIME (165 events)
+
+An atomic run through the same recorder emits nothing — the directory
+still holds only the earlier bundle:
+
+  $ rapid generate --events 300 --threads 3 --seed 7 -o good.std
+  wrote 313 events to good.std
+  $ rapid check -q --flight-record fr good.std
+  $ ls fr
+  bad.std.slice.bin
+  bad.std.witness.json
+
+A ring too small to retain a quiescent cut degrades the witness to
+context-only: the diagnosis is still written, but the window is null
+and no slice file claims to be replayable:
+
+  $ mkdir tiny
+  $ rapid check -q --flight-record tiny --flight-window 1 bad.std
+  [1]
+  $ ls tiny
+  bad.std.witness.json
+  $ grep -o '"window":null' tiny/bad.std.witness.json
+  "window":null
+
+--metrics-addr serves a live exposition for the duration of the run and
+tears the endpoint down afterwards (the socket is unlinked); the
+checker's verdict and exit code are unchanged by the exporter:
+
+  $ rapid check -q --metrics-addr unix:m.sock bad.std
+  rapid: serving metrics on unix:m.sock
+  [1]
+  $ test ! -e m.sock
+
+Bad addresses are rejected before any checking starts, and scraping a
+dead endpoint is a connection error, not a hang:
+
+  $ rapid check -q --metrics-addr bogus bad.std
+  rapid: bad metrics address "bogus" (want HOST:PORT or unix:PATH)
+  [2]
+  $ rapid scrape unix:m.sock
+  rapid: scrape: cannot connect to unix:m.sock: No such file or directory
+  [2]

@@ -45,34 +45,34 @@ high-water gauge, a Gc reading normalized away here:
 
   $ rapid check -q --stats trace.std 2>&1 | sed -E 's/^(  heap.peak_words +)[0-9]+$/\1H/'
   trace.std metrics:
-    violation.index     -1
-    sets.lock_updates   total=0 sum=0
-    sets.stale_readers  total=64 sum=17 [<=0:47 <=1:17]
-    vc.joins            290
-    txn.commits         35
-    txn.begins          35
-    events.end          35
-    events.begin        35
-    events.join         2
-    events.fork         2
-    events.release      16
     events.acquire      16
-    events.write        64
+    events.begin        35
+    events.end          35
+    events.fork         2
+    events.join         2
     events.read         143
+    events.release      16
     events.total        313
-    pool.hits           0
-    pool.misses         48
-    reclaim.states      16
-    reclaim.collapsed   0
+    events.write        64
     heap.peak_words     H
     ingest.file_bytes   3030
+    pool.hits           0
+    pool.misses         48
+    reclaim.collapsed   0
+    reclaim.states      16
+    sets.lock_updates   total=0 sum=0
+    sets.stale_readers  total=64 sum=17 [<=0:47 <=1:17]
+    txn.begins          35
+    txn.commits         35
+    vc.joins            290
+    violation.index     -1
   process metrics:
+    ingest.binary.bytes_read      0
+    ingest.binary.events_decoded  0
     ingest.text.events_parsed     313
     ingest.text.lines_read        313
-    ingest.binary.events_decoded  0
-    ingest.binary.bytes_read      0
-    vclock.epoch_promotions       31
     vclock.epoch_demotions        0
+    vclock.epoch_promotions       31
 
 The pipelined path adds ring-buffer counters to the file entry, and
 --trace-out records a Chrome trace-event timeline of the ingestion and

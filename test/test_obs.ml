@@ -127,6 +127,159 @@ let test_snapshot_diff () =
   check (Alcotest.option Alcotest.int) "no baseline" (Some 42)
     (Obs.Snapshot.get_int d0 "c")
 
+(* --- merge --- *)
+
+let names (t : Obs.Snapshot.t) = List.map (fun e -> e.Obs.Snapshot.name) t
+
+let test_snapshot_merge () =
+  let open Obs.Snapshot in
+  let s = [ entry "a" (Int 1); entry "g" (Float 2.5) ] in
+  (* the empty snapshot is a unit on either side *)
+  check Alcotest.bool "empty left unit" true (merge [ empty; s ] = s);
+  check Alcotest.bool "empty right unit" true (merge [ s; empty ] = s);
+  check Alcotest.bool "all empty" true (merge [ empty; empty ] = empty);
+  (* disjoint metric sets union, first-appearance order *)
+  let t = [ entry "b" (Int 10) ] in
+  let m = merge [ s; t ] in
+  check (Alcotest.list Alcotest.string) "disjoint union order"
+    [ "a"; "g"; "b" ] (names m);
+  check (Alcotest.option Alcotest.int) "left survives" (Some 1)
+    (Obs.Snapshot.get_int m "a");
+  check (Alcotest.option Alcotest.int) "right survives" (Some 10)
+    (Obs.Snapshot.get_int m "b");
+  (* overlapping: counters add, gauges keep their maximum *)
+  let m2 = merge [ s; [ entry "a" (Int 41); entry "g" (Float 1.0) ] ] in
+  check (Alcotest.option Alcotest.int) "counters add" (Some 42)
+    (Obs.Snapshot.get_int m2 "a");
+  check (Alcotest.option (Alcotest.float 1e-9)) "gauges max" (Some 2.5)
+    (Obs.Snapshot.get_float m2 "g")
+
+let test_snapshot_merge_hist_mismatch () =
+  let open Obs.Snapshot in
+  let hist bounds counts total sum = Hist { bounds; counts; total; sum } in
+  let h1 = [ entry "h" (hist [| 1; 2 |] [| 1; 0; 0 |] 1 1) ] in
+  let h2 = [ entry "h" (hist [| 1; 2 |] [| 0; 2; 0 |] 2 4) ] in
+  (* equal bounds: buckets add *)
+  (match merge [ h1; h2 ] with
+  | [ { value = Hist { counts; total; sum; _ }; _ } ] ->
+    check Alcotest.int "total adds" 3 total;
+    check Alcotest.int "sum adds" 5 sum;
+    check (Alcotest.array Alcotest.int) "counts add" [| 1; 2; 0 |] counts
+  | _ -> Alcotest.fail "expected one merged histogram");
+  (* mismatched bucket bounds must refuse, not silently misalign *)
+  let h3 = [ entry "h" (hist [| 1; 4 |] [| 0; 0; 1 |] 1 9) ] in
+  check Alcotest.bool "mismatched bounds refused" true
+    (match merge [ h1; h3 ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  (* a different arity is a mismatch too *)
+  let h4 = [ entry "h" (hist [| 1 |] [| 0; 1 |] 1 2) ] in
+  check Alcotest.bool "mismatched arity refused" true
+    (match merge [ h1; h4 ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_snapshot_merge_associative () =
+  let open Obs.Snapshot in
+  let hist bounds counts total sum = Hist { bounds; counts; total; sum } in
+  let x =
+    [ entry "c" (Int 1); entry "g" (Float 1.0);
+      entry "h" (hist [| 8 |] [| 1; 0 |] 1 3) ]
+  in
+  let y = [ entry "c" (Int 2); entry "d" (Int 7) ] in
+  let z =
+    [ entry "g" (Float 9.0); entry "h" (hist [| 8 |] [| 0; 2 |] 2 40) ]
+  in
+  let left = merge [ merge [ x; y ]; z ] in
+  let right = merge [ x; merge [ y; z ] ] in
+  let flat = merge [ x; y; z ] in
+  check Alcotest.bool "left = right" true (left = right);
+  check Alcotest.bool "left = flat" true (left = flat);
+  check (Alcotest.option Alcotest.int) "summed counter" (Some 3)
+    (Obs.Snapshot.get_int flat "c")
+
+let test_snapshot_sorted () =
+  let open Obs.Snapshot in
+  let s = [ entry "z" (Int 1); entry "a" (Int 2); entry "m" (Int 3) ] in
+  check (Alcotest.list Alcotest.string) "name order" [ "a"; "m"; "z" ]
+    (names (sorted s));
+  (* stable: duplicate names keep their relative order *)
+  let dup = [ entry "k" (Int 1); entry "k" (Int 2) ] in
+  check Alcotest.bool "stable on duplicates" true (sorted dup = dup)
+
+(* --- exporter rendering --- *)
+
+let test_exporter_exposition () =
+  let reg = Obs.Registry.create () in
+  let c = Obs.Registry.counter reg "events.total" in
+  let g = Obs.Registry.gauge reg "heap.peak_words" in
+  let h = Obs.Registry.histogram reg "sets.stale_readers" in
+  Obs.Counter.add c 12;
+  Obs.Gauge.set g 3.5;
+  Obs.Histogram.observe h 2;
+  let series = Obs.Exporter.of_snapshot (Obs.Registry.snapshot reg) in
+  let body = Obs.Exporter.render series in
+  (match Obs.Exporter.validate body with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail ("exposition rejected: " ^ msg));
+  let contains needle =
+    let nl = String.length needle and bl = String.length body in
+    let rec go i = i + nl <= bl && (String.sub body i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check Alcotest.bool "counter family" true
+    (contains "# TYPE aerodrome_events_total counter");
+  check Alcotest.bool "counter sample" true (contains "aerodrome_events_total 12");
+  check Alcotest.bool "gauge sample" true (contains "aerodrome_heap_peak_words 3.5");
+  check Alcotest.bool "histogram +Inf bucket" true
+    (contains "le=\"+Inf\"");
+  check Alcotest.bool "terminated" true (contains "# EOF");
+  (* the validator is strict: truncation and malformed lines are rejected *)
+  check Alcotest.bool "truncated rejected" true
+    (match Obs.Exporter.validate (String.sub body 0 (String.length body / 2)) with
+    | Error _ -> true
+    | Ok () -> false);
+  check Alcotest.bool "garbage rejected" true
+    (match Obs.Exporter.validate "aerodrome_x{ 1\n# EOF\n" with
+    | Error _ -> true
+    | Ok () -> false)
+
+let test_exporter_serve_fetch () =
+  (* round-trip the HTTP responder over both address families with a
+     canned page, so the test is independent of live-registry contents *)
+  let reg = Obs.Registry.create () in
+  Obs.Counter.add (Obs.Registry.counter reg "events.total") 7;
+  let canned =
+    Obs.Exporter.render (Obs.Exporter.of_snapshot (Obs.Registry.snapshot reg))
+  in
+  let roundtrip addr =
+    match Obs.Exporter.serve ~page:(fun () -> canned) addr with
+    | Error msg -> Alcotest.fail msg
+    | Ok srv ->
+      Fun.protect
+        ~finally:(fun () -> Obs.Exporter.stop srv)
+        (fun () ->
+          let bound = Obs.Exporter.bound srv in
+          (match Obs.Exporter.fetch bound with
+          | Ok body -> check Alcotest.string "served body round-trips" canned body
+          | Error msg -> Alcotest.fail msg);
+          (* unknown paths are a scrape error, not a hang *)
+          match Obs.Exporter.fetch ~path:"/nope" bound with
+          | Error _ -> ()
+          | Ok _ -> Alcotest.fail "expected a 404 scrape error")
+  in
+  let sock =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "obs-test-%d.sock" (Unix.getpid ()))
+  in
+  roundtrip ("unix:" ^ sock);
+  check Alcotest.bool "unix socket unlinked on stop" false (Sys.file_exists sock);
+  roundtrip "127.0.0.1:0";
+  (* a dead endpoint is a connection error, not a crash *)
+  match Obs.Exporter.fetch ("unix:" ^ sock) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected a connection error"
+
 (* --- JSON --- *)
 
 let test_json_roundtrip () =
@@ -320,6 +473,14 @@ let suite =
       Alcotest.test_case "histogram bucketing" `Quick test_histogram_bucketing;
       Alcotest.test_case "registry snapshot" `Quick test_registry_snapshot;
       Alcotest.test_case "snapshot diff" `Quick test_snapshot_diff;
+      Alcotest.test_case "snapshot merge" `Quick test_snapshot_merge;
+      Alcotest.test_case "merge histogram mismatch" `Quick
+        test_snapshot_merge_hist_mismatch;
+      Alcotest.test_case "merge associativity" `Quick
+        test_snapshot_merge_associative;
+      Alcotest.test_case "snapshot sorted" `Quick test_snapshot_sorted;
+      Alcotest.test_case "exporter exposition" `Quick test_exporter_exposition;
+      Alcotest.test_case "exporter serve/fetch" `Quick test_exporter_serve_fetch;
       Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
       Alcotest.test_case "snapshot json" `Quick test_snapshot_json;
       Alcotest.test_case "scope collect" `Quick test_scope_collect;
