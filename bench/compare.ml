@@ -2,7 +2,7 @@
 
    Reads an old and a new "aerodrome-bench/N" summary, extracts a set of
    named scalar indicators from each — throughput figures (higher is
-   better), peak live memory (lower is better), the sharded replay
+   better), peak live memory (lower is better), the sharded repair
    fraction (lower is better) — and compares every indicator present in
    *both* files against a per-kind threshold.  Indicators only one side
    carries (sections toggled off, or a schema that predates them) are
@@ -17,7 +17,7 @@
    machines — and can be tightened per invocation.
 
    Usage: compare [--throughput-tol PCT] [--memory-tol PCT]
-                  [--replay-tol FRAC] (OLD.json NEW.json | --glob PATTERN)
+                  [--repair-tol FRAC] (OLD.json NEW.json | --glob PATTERN)
 
    With --glob, PATTERN's basename may contain * and ? wildcards; the
    lexicographically newest two matches are compared (the repo's
@@ -34,7 +34,7 @@ let throughput_tol = ref 40.0 (* max relative throughput drop, pct *)
    breaking outright — peak roughly doubles — so the threshold sits
    between observed noise (~40%) and that failure (~85%+). *)
 let memory_tol = ref 75.0 (* max relative peak_live_words growth, pct *)
-let replay_tol = ref 0.10 (* max absolute replay_fraction growth *)
+let repair_tol = ref 0.10 (* max absolute repair_fraction growth *)
 
 type kind =
   | Higher_better of float ref (* relative tolerance, pct *)
@@ -203,13 +203,13 @@ let extract (doc : t) : indicator list =
       | _ -> ())
     | None -> ())
   | None -> ());
-  (* shards: best sharded throughput and worst replay fraction *)
+  (* shards: best sharded throughput and worst repair fraction *)
   (match obj doc "shards" with
   | Some s -> (
     match list s "cases" with
     | Some cases ->
       let best_eps = ref 0. in
-      let worst_replay = ref nan in
+      let worst_repair = ref nan in
       let total_events = ref 0. in
       List.iter
         (fun c ->
@@ -224,22 +224,22 @@ let extract (doc : t) : indicator list =
                 (match num r "events_per_sec" with
                 | Some eps -> if eps > !best_eps then best_eps := eps
                 | None -> ());
-                match num r "replay_fraction" with
+                match num r "repair_fraction" with
                 | Some f ->
-                  if Float.is_nan !worst_replay || f > !worst_replay then
-                    worst_replay := f
+                  if Float.is_nan !worst_repair || f > !worst_repair then
+                    worst_repair := f
                 | None -> ())
               runs)
         cases;
       if !best_eps > 0. then
         add "shards: best events/sec" !best_eps (Higher_better throughput_tol)
           None;
-      (* how much of a chunk replays depends on where the planner's cuts
-         land, which depends on the trace — only comparable between runs
-         of the same workload size *)
-      if not (Float.is_nan !worst_replay) then
-        add "shards: max replay_fraction" !worst_replay
-          (Lower_better_abs replay_tol) (Some !total_events)
+      (* how wide a cut's repair window is depends on where the
+         planner's cuts land, which depends on the trace — only
+         comparable between runs of the same workload size *)
+      if not (Float.is_nan !worst_repair) then
+        add "shards: max repair_fraction" !worst_repair
+          (Lower_better_abs repair_tol) (Some !total_events)
     | None -> ())
   | None -> ());
   (* observability: live-scraped throughput *)
@@ -365,7 +365,7 @@ let newest_pair pattern =
 
 let usage () =
   prerr_endline
-    "usage: compare [--throughput-tol PCT] [--memory-tol PCT] [--replay-tol \
+    "usage: compare [--throughput-tol PCT] [--memory-tol PCT] [--repair-tol \
      FRAC] (OLD.json NEW.json | --glob PATTERN)";
   exit 2
 
@@ -378,8 +378,8 @@ let () =
     | "--memory-tol" :: v :: rest ->
       memory_tol := float_of_string v;
       parse_args paths rest
-    | "--replay-tol" :: v :: rest ->
-      replay_tol := float_of_string v;
+    | "--repair-tol" :: v :: rest ->
+      repair_tol := float_of_string v;
       parse_args paths rest
     | "--glob" :: pattern :: rest ->
       let prev, newest = newest_pair pattern in

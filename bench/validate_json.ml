@@ -1,5 +1,5 @@
 (* Schema validator for the bench harness's --json output
-   (schema "aerodrome-bench/8").  Exits 0 and prints "ok" when the file
+   (schema "aerodrome-bench/9").  Exits 0 and prints "ok" when the file
    parses and carries the expected structure; prints a diagnostic and
    exits 1 otherwise.  Used by the cram test so the emitter cannot rot.
 
@@ -254,9 +254,18 @@ let check_arena = function
 
 (* The shards section is the single-trace chunk-parallelism axis: every
    sharded run must agree with the sequential run of its case — same
-   verdict, same report — and the cut/replay accounting must be
-   internally consistent (a rejected cut implies replayed events were
-   folded into the preceding chunk, never lost). *)
+   verdict, same report — and the boundary/repair accounting must be
+   internally consistent (every planned cut is either quiescent or
+   seamed, repaired events only arise from seamed cuts, and the
+   repaired-event count matches the emitted fraction).  On runs big
+   enough for the measurement to mean anything (the 1M+ acceptance
+   regime; tiny cram-scale runs are pure noise) the repair fraction is
+   the regression gate: boundary-summary seeding must keep the re-fed
+   share at or below 10% even on the adversarial case — the whole point
+   of repairing non-quiescent cuts instead of replaying them. *)
+let repair_bound = 0.10
+let repair_bound_min_events = 1_000_000.
+
 let check_shards = function
   | Null -> ()
   | s ->
@@ -291,22 +300,40 @@ let check_shards = function
               bad "%s: negative speedup" where;
             let chunks = as_num (where ^ ".chunks") (field r "chunks") in
             if chunks < 1. then bad "%s: chunks < 1" where;
-            let hits = as_num (where ^ ".cut_hits") (field r "cut_hits") in
-            let misses =
-              as_num (where ^ ".cut_misses") (field r "cut_misses")
+            let quiescent =
+              as_num (where ^ ".quiescent_cuts") (field r "quiescent_cuts")
             in
-            if hits < 0. || misses < 0. then
+            let seamed =
+              as_num (where ^ ".seamed_cuts") (field r "seamed_cuts")
+            in
+            if quiescent < 0. || seamed < 0. then
               bad "%s: negative cut counters" where;
-            if chunks <> hits +. 1. then
-              bad "%s: chunks <> cut_hits + 1 (%.0f <> %.0f + 1)" where chunks
-                hits;
-            let replay =
-              as_num (where ^ ".replay_fraction") (field r "replay_fraction")
+            if chunks <> quiescent +. seamed +. 1. then
+              bad "%s: chunks <> quiescent + seamed + 1 (%.0f <> %.0f + %.0f \
+                   + 1)"
+                where chunks quiescent seamed;
+            let repaired =
+              as_num (where ^ ".repaired_events") (field r "repaired_events")
             in
-            if replay < 0. || replay > 1. then
-              bad "%s: replay_fraction outside [0, 1]" where;
-            if misses = 0. && replay > 0. then
-              bad "%s: replayed events without a rejected cut" where;
+            if repaired < 0. then bad "%s: negative repaired_events" where;
+            let repair =
+              as_num (where ^ ".repair_fraction") (field r "repair_fraction")
+            in
+            if repair < 0. || repair > 1. then
+              bad "%s: repair_fraction outside [0, 1]" where;
+            if Float.abs (repair -. (repaired /. events)) > 1e-3 then
+              bad "%s: repair_fraction inconsistent with repaired_events \
+                   (%.4f vs %.0f/%.0f)"
+                where repair repaired events;
+            if seamed = 0. && repaired > 0. then
+              bad "%s: repaired events without a seamed cut" where;
+            if as_num (where ^ ".tainted_events") (field r "tainted_events")
+               < 0.
+            then bad "%s: negative tainted_events" where;
+            if events >= repair_bound_min_events && repair > repair_bound then
+              bad
+                "%s: repair_fraction %.4f exceeds the %.2f regression bound"
+                where repair repair_bound;
             let util = as_list (where ^ ".utilization") (field r "utilization") in
             if List.length util <> int_of_float chunks then
               bad "%s: utilization arity <> chunks" where;
@@ -407,7 +434,7 @@ let check_observability = function
 
 let check_root j =
   let schema = as_str "schema" (field j "schema") in
-  if schema <> "aerodrome-bench/8" then bad "unknown schema %S" schema;
+  if schema <> "aerodrome-bench/9" then bad "unknown schema %S" schema;
   ignore (as_num "scale" (field j "scale"));
   ignore (as_num "timeout" (field j "timeout"));
   if as_num "jobs" (field j "jobs") < 1. then bad "jobs < 1";

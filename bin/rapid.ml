@@ -97,23 +97,48 @@ let check_cmd =
              identical to $(b,--jobs) 1.")
   in
   let shards =
+    (* $(docv) is an integer or "auto"; auto is the 0 sentinel the
+       runner resolves per file from the trace length and core count *)
+    let shards_conv =
+      let parse s =
+        if s = "auto" then Ok 0
+        else
+          match int_of_string_opt s with
+          | Some n -> Ok (max 1 n)
+          | None ->
+            Error
+              (`Msg
+                 (Printf.sprintf
+                    "invalid shard count %S (expected an integer or \"auto\")"
+                    s))
+      in
+      let print ppf n =
+        if n = 0 then Format.pp_print_string ppf "auto"
+        else Format.pp_print_int ppf n
+      in
+      Arg.conv (parse, print)
+    in
     Arg.(
       value
-      & opt (some int) None
+      & opt (some shards_conv) None
       & info [ "s"; "shards" ] ~docv:"N"
           ~doc:
             "Split a single packed binary trace into $(docv) chunks at \
-             globally quiescent cuts (no open transaction in any thread) \
-             and check the chunks concurrently, one domain each.  The \
-             report is byte-identical to the sequential run: cut \
-             candidates with no quiescent position nearby are folded \
-             into the preceding chunk, costing parallelism, never the \
-             answer.  Default: the $(b,--jobs) count when checking a \
-             single file with more than one job available, 1 otherwise; \
-             $(b,--shards) 1 disables.  Only the default $(b,aerodrome) \
-             checker shards; other algorithms, text traces, timed-out \
-             and $(b,--no-packed) runs fall back to the sequential \
-             path.")
+             boundary-summary cuts and check the chunks concurrently, one \
+             domain each.  Cuts need not be quiescent: each chunk checker \
+             is seeded with the cut's open-transaction summary, and \
+             reconciliation repairs only the short window until the \
+             transactions straddling the cut (and those open at their \
+             close) have retired, so the report is byte-identical to \
+             the sequential run.  \
+             $(docv) is a chunk count or $(b,auto), which sizes the chunk \
+             count per file from the trace length and the available \
+             cores (small traces run sequentially).  Default: $(b,auto) \
+             when checking a single file with more than one job \
+             available, 1 otherwise; $(b,--shards) 1 disables.  Only the \
+             default $(b,aerodrome) checker shards; other algorithms, \
+             text traces, timed-out and $(b,--no-packed) runs fall back \
+             to the sequential path.")
   in
   let reclaim =
     Arg.(
@@ -291,14 +316,15 @@ let check_cmd =
     in
     let shards =
       match shards with
-      | Some n -> max 1 n
+      | Some n -> n
       | None -> (
-        (* auto: shard a lone trace across the job budget — multi-file
-           runs prefer the file-level fan-out *)
-        match paths with [ _ ] when jobs > 1 && packed -> jobs | _ -> 1)
+        (* default: auto-shard a lone trace — multi-file runs prefer
+           the file-level fan-out *)
+        match paths with [ _ ] when jobs > 1 && packed -> 0 | _ -> 1)
     in
     let cores = Domain.recommended_domain_count () in
-    (* one warning per invocation, not per file *)
+    (* one warning per invocation, not per file; auto sharding caps at
+       the core count by construction, so only explicit counts warn *)
     if jobs > cores then
       Format.eprintf "rapid: warning: --jobs %d exceeds %d available core%s@."
         jobs cores
@@ -341,12 +367,23 @@ let check_cmd =
        per-domain busy seconds can be reported like the file pool's *)
     let shard_pool =
       (* only when the file can actually shard (binary): idle workers
-         would otherwise pollute the pool telemetry *)
+         would otherwise pollute the pool telemetry.  An auto count is
+         resolved from the header here so the pool matches the chunk
+         fan-out the runner will pick. *)
       match paths with
       | [ p ]
-        when shards > 1
+        when (shards = 0 || shards > 1)
              && (try Traces.Binfmt.is_binary p with Sys_error _ -> false) ->
-        Some (Parallel.Pool.create shards)
+        let width =
+          if shards > 0 then shards
+          else
+            match Traces.Binfmt.read_header p with
+            | h ->
+              Analysis.Runner.resolve_shards ~shards
+                ~events:h.Traces.Binfmt.events
+            | exception _ -> 1
+        in
+        if width > 1 then Some (Parallel.Pool.create width) else None
       | _ -> None
     in
     let run_started = Unix.gettimeofday () in

@@ -214,34 +214,57 @@ let heap_sampler () =
 
 (* --- sharded checking ---
 
-   [shards > 1] partitions the (filtered) packed event stream into
-   contiguous chunk batches at globally quiescent cuts and checks the
-   chunks concurrently on a domain pool, reconciling the chunk verdicts
-   left-to-right ({!Parallel.Shard}, {!Aerodrome.Merge}).  Reports are
-   byte-identical to the sequential path: every accepted cut certifies
-   the all-zero transaction-depth frontier that makes a ⊥-seeded chunk
-   checker exact, and rejected cuts degrade to longer chunks (counted
-   as replay), never to divergence.  The ⊥-seed argument is specific to
-   the default Opt configuration, so other checkers fall back to the
-   sequential path, as do timed-out runs (a per-chunk deadline would
-   make [events_fed] racy) and streams that cannot pack.
+   [shards > 1] (or [shards = 0], the auto sentinel) partitions the
+   (filtered) packed event stream into contiguous chunk batches at
+   boundary-summary cuts and checks the chunks concurrently on a
+   domain pool, reconciling the chunk verdicts left-to-right with
+   window repair ({!Parallel.Shard}, {!Aerodrome.Merge}).  Reports are
+   byte-identical to the sequential path: a chunk checker seeded from
+   its cut's boundary summary is contained in the sequential checker
+   and exact past the cut's repair window, and reconciliation re-runs
+   only the window events against the true frontier (DESIGN.md §17).
+   The seed argument is specific to the default Opt configuration, so
+   other checkers fall back to the sequential path, as do timed-out
+   runs (a per-chunk deadline would make [events_fed] racy) and
+   streams that cannot pack.
 
    Chunk checkers run with reclamation off: per-variable lifetimes are
    chunk-local here, and reclamation is verdict-neutral either way. *)
 
-let shardable ~shards ~timeout (module C : Aerodrome.Checker.S) =
-  shards > 1 && timeout = None && C.name = Aerodrome.Opt.name
+(* Below roughly two chunks' worth of this, the planner scan and the
+   per-chunk checker setup cost more than the parallelism returns, so
+   auto resolves to a single shard and the sequential path runs. *)
+let min_shard_events = 65536
 
-let shard_entries (o : Parallel.Shard.outcome) =
+(* [shards = 0] means auto: pick the chunk count from the trace length
+   and the machine, one shard per [min_shard_events] events capped at
+   the recommended domain count.  An explicit [shards] is always
+   honoured (tests force tiny traces through the sharded path). *)
+let resolve_shards ~shards ~events =
+  if shards <> 0 then shards
+  else if events < 2 * min_shard_events then 1
+  else
+    min (Domain.recommended_domain_count ()) (max 1 (events / min_shard_events))
+
+let shardable ~shards ~timeout (module C : Aerodrome.Checker.S) =
+  (shards = 0 || shards > 1) && timeout = None && C.name = Aerodrome.Opt.name
+
+let shard_entries ~events (o : Parallel.Shard.outcome) =
   if not (Obs.on ()) then []
   else
     let p = o.Parallel.Shard.plan in
+    let repair_fraction =
+      if events <= 0 then 0.0
+      else float_of_int o.Parallel.Shard.repaired_events /. float_of_int events
+    in
     Obs.Snapshot.
       [
         entry "shard.chunks" (Int (Array.length o.Parallel.Shard.tasks));
-        entry "shard.cut_hits" (Int p.Aerodrome.Merge.hits);
-        entry "shard.cut_misses" (Int p.Aerodrome.Merge.misses);
-        entry "shard.replayed_events" (Int p.Aerodrome.Merge.replayed_events);
+        entry "shard.quiescent_cuts" (Int p.Aerodrome.Merge.quiescent);
+        entry "shard.seamed_cuts" (Int p.Aerodrome.Merge.seamed);
+        entry "shard.tainted_events" (Int p.Aerodrome.Merge.tainted_events);
+        entry "shard.repaired_events" (Int o.Parallel.Shard.repaired_events);
+        entry "shard.repair_fraction" (Float repair_fraction);
         entry "shard.plan_seconds" (Float o.Parallel.Shard.plan_seconds);
         entry "shard.merge_seconds" (Float o.Parallel.Shard.merge_seconds);
       ]
@@ -299,7 +322,8 @@ let finish_sharded (module C : Aerodrome.Checker.S) ~started ?file_bytes
     seconds;
     events_fed;
     metrics =
-      chunk_metrics @ runner_entries ?file_bytes viol_at @ shard_entries o
+      chunk_metrics @ runner_entries ?file_bytes viol_at
+      @ shard_entries ~events:events_fed o
       @ flight_metrics;
   }
 
@@ -322,8 +346,8 @@ let run_trace_sharded ?heartbeat ~prefilter ~shards ?shard_pool ?flight
       let o =
         Parallel.Shard.check ?pool:shard_pool
           ?flight:(Option.map (fun f -> f.flight_window) flight)
-          ~shards (module C) ~threads:(Trace.threads tr)
-          ~locks:(Trace.locks tr) ~vars:(Trace.vars tr) arena
+          ~shards ~threads:(Trace.threads tr) ~locks:(Trace.locks tr)
+          ~vars:(Trace.vars tr) arena
       in
       tick heartbeat n;
       finish_sharded (module C) ~started ?flight ~source:"trace"
@@ -332,6 +356,7 @@ let run_trace_sharded ?heartbeat ~prefilter ~shards ?shard_pool ?flight
 
 let run ?timeout ?heartbeat ?(reclaim = true) ?(prefilter = Off) ?(shards = 1)
     ?shard_pool ?flight (module C : Aerodrome.Checker.S) tr =
+  let shards = resolve_shards ~shards ~events:(Trace.length tr) in
   if
     shardable ~shards ~timeout (module C)
     && Packed.fits ~threads:(Trace.threads tr) ~locks:(Trace.locks tr)
@@ -622,7 +647,7 @@ let run_packed_file_sharded ?heartbeat ~prefilter ~shards ?shard_pool ?flight
       let o =
         Parallel.Shard.check ?pool:shard_pool
           ?flight:(Option.map (fun f -> f.flight_window) flight)
-          ~shards (module C) ~threads:header.Traces.Binfmt.threads
+          ~shards ~threads:header.Traces.Binfmt.threads
           ~locks:header.Traces.Binfmt.locks ~vars:header.Traces.Binfmt.vars
           arena
       in
@@ -637,6 +662,9 @@ let run_stream_seq ?timeout ?heartbeat ?(reclaim = true) ?(prefilter = Off)
     (module C : Aerodrome.Checker.S) path =
   if Traces.Binfmt.is_binary path then begin
     let header = Traces.Binfmt.read_header path in
+    let shards =
+      resolve_shards ~shards ~events:header.Traces.Binfmt.events
+    in
     if packed && packable ~prefilter header then
       if shardable ~shards ~timeout (module C) then
         run_packed_file_sharded ?heartbeat ~prefilter ~shards ?shard_pool
@@ -1055,8 +1083,13 @@ let run_many ?timeout ?heartbeat ?(pipelined = false) ?(reclaim = true)
     ?flight ?on_pool checker paths =
   (* The domain budget is shared between the file fan-out and intra-file
      sharding: [jobs] caps the product, so sharded runs fan out fewer
-     files concurrently instead of oversubscribing cores. *)
-  let file_jobs = if shards > 1 then max 1 (jobs / shards) else jobs in
+     files concurrently instead of oversubscribing cores.  Auto
+     sharding resolves per file, so budget with the machine-wide
+     estimate it is capped at. *)
+  let shard_width =
+    if shards = 0 then Domain.recommended_domain_count () else shards
+  in
+  let file_jobs = if shard_width > 1 then max 1 (jobs / shard_width) else jobs in
   (* A lent shard pool is single-consumer ({!Parallel.Pool.map} is not
      reentrant); once files fan out across workers, each file's run
      creates its own chunk pool instead. *)

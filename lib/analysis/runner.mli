@@ -18,8 +18,9 @@
       ["ring.consumer_stalls"]: {!Parallel.Ring} occupancy telemetry
       (pipelined runs only).
 
-    Sharded runs report ["shard.chunks"], ["shard.cut_hits"],
-    ["shard.cut_misses"], ["shard.replayed_events"],
+    Sharded runs report ["shard.chunks"], ["shard.quiescent_cuts"],
+    ["shard.seamed_cuts"], ["shard.tainted_events"],
+    ["shard.repaired_events"], ["shard.repair_fraction"],
     ["shard.plan_seconds"], ["shard.merge_seconds"] and per-chunk
     ["shard.chunk<i>.events"] / ["shard.chunk<i>.seconds"] entries.
     Flight-recorded violating runs add ["flight.slice_events"],
@@ -108,22 +109,30 @@ type prefilter =
     in [metrics] as [flight.*].  Recording needs the packed codec, so
     id domains beyond {!Traces.Packed.fits} run without a recorder; a
     bundle that cannot be written degrades to a warning on stderr.
-    Sharded runs record per chunk (chunk bases are quiescent cuts) and
-    emit from the chunk owning the reconciled violation.
+    Sharded runs record per chunk (each recorder seeded with its
+    boundary's open-transaction depths) and emit from the chunk owning
+    the reconciled violation.
 
     {2 Sharded checking}
 
     Every file-level run function (and {!run}) takes [?shards] (default
-    [1]).  With [shards > 1] the (filtered) event stream is materialized
-    into a packed arena, partitioned into contiguous chunks at globally
-    quiescent cuts — positions where no thread has an open transaction —
-    and the chunks are checked concurrently on a domain pool, each from
-    a fresh ⊥-clock checker, with the chunk verdicts reconciled
-    left-to-right ({!Parallel.Shard}, {!Aerodrome.Merge}).  Verdicts,
-    violation indices and [events_fed] are {e byte-identical} to the
-    sequential path; cut candidates with no quiescent position nearby
-    are rejected and their events ride along with the preceding chunk
-    (reported as replay), degrading parallelism but never the answer.
+    [1]; [0] means {e auto} — a chunk count derived from the trace
+    length and [Domain.recommended_domain_count], resolving to [1] for
+    traces too small to amortize the planner).  With more than one
+    shard the (filtered) event stream is materialized into a packed
+    arena, partitioned into contiguous chunks at boundary-summary cuts
+    — arbitrary positions annotated with each thread's open-transaction
+    depth, snapped to a nearby globally quiescent position when one
+    exists — and the chunks are checked concurrently on a domain pool,
+    each from a checker seeded with its boundary summary.  Chunk
+    verdicts are reconciled left-to-right with {e window repair}: only
+    the events between a non-quiescent cut and the retirement of the
+    transactions it straddles (and of those open at their close) are
+    re-fed against the true frontier, instead of replaying
+    whole chunks ({!Parallel.Shard}, {!Aerodrome.Merge}, DESIGN.md
+    §17).  Verdicts, violation indices and [events_fed] are
+    {e byte-identical} to the sequential path; a cut through open
+    transactions costs a repair window, never a divergent answer.
 
     Sharding silently falls back to the sequential path whenever the
     exactness argument does not apply: non-default checkers
@@ -139,6 +148,14 @@ type flight = {
 (** Violation flight-recorder configuration (see {e Violation flight
     recording} above).  {!Traces.Flight.default_window} is the
     conventional window. *)
+
+val resolve_shards : shards:int -> events:int -> int
+(** The chunk count a run with [?shards] uses on a trace of [events]
+    events: [shards] itself when explicit (non-zero), otherwise the
+    auto choice — one chunk per ~64k events, capped at
+    [Domain.recommended_domain_count], and [1] for traces too small to
+    amortize the planner.  Exposed so callers (the CLI) can size a
+    lent shard pool to match. *)
 
 val run :
   ?timeout:float -> ?heartbeat:Obs.Heartbeat.t -> ?reclaim:bool ->
@@ -249,7 +266,9 @@ val run_many :
     [jobs] budgets domains across {e both} axes of parallelism: with
     [shards > 1] at most [max 1 (jobs / shards)] files run concurrently,
     each fanning its chunks out over its own shard pool, so the total
-    domain count stays within the budget rather than multiplying.
+    domain count stays within the budget rather than multiplying.  Auto
+    sharding ([shards = 0]) resolves per file, so the budget divides by
+    the machine-wide cap ([Domain.recommended_domain_count]) instead.
     [shard_pool] is forwarded to the per-file runs only while they stay
     on the calling domain ({!Parallel.Pool.map} is single-consumer);
     once files fan out it is ignored and chunk pools are per-file.

@@ -1,169 +1,277 @@
-(* Cut planning for sharded checking.
+(* Boundary-summary cut planning for sharded checking.
 
-   A speculative per-chunk Opt run seeded with ⊥ clocks reproduces the
-   sequential checker's outcomes exactly iff its entry cut is globally
-   quiescent (no thread mid-transaction anywhere).  The proof sketch —
-   spelled out in DESIGN.md §15 — rests on two code invariants:
+   PR 7 only accepted globally quiescent cuts (no thread mid-transaction
+   anywhere), where a ⊥-seeded per-chunk Opt run is exact (DESIGN.md
+   §15), and replayed everything else sequentially.  This planner
+   accepts *any* cut and records per cut a boundary summary — the
+   per-thread open-transaction depth vector plus the taint of the open
+   transactions' pre-cut accesses — from which the chunk checker is
+   seeded ({!Opt.seed_boundary}) and the reconciliation pass repairs
+   whatever the seed cannot reproduce.  The exactness argument
+   (DESIGN.md §17) rests on a containment invariant: a seeded chunk
+   checker's state is always generation-wise contained in the
+   sequential checker's, so a speculative chunk can {e miss} violations
+   but never invent one, and the only events whose outcome can differ
+   lie in the cut's repair window:
 
-   - every violation check is gated on [active st t], and an active
-     post-cut transaction was begun post-cut, where [handle_begin]
-     bumps the thread's own component; so every check compares a
-     post-cut epoch [cb_own t = V_t + δ] (δ ≥ 1) against a clock
-     component that is either offset-consistent ([V_t + shard value])
-     or pre-cut residue (≤ V_t, which the shard sees as 0) — the
-     boolean outcome is identical either way;
-   - at a quiescent position the checker's cross-transaction scratch
-     state (update sets, stale-reader sets, [vstale_w]) has provably
-     drained, so the residues that survive ([vw]/[vr] clocks,
-     [last_rel_thr], [vlast_w]) are exactly the outcome-equivalent
-     kind.
+   - a quiescent cut has no open transactions: window 0 (the §15 case);
+   - a cut whose straddlers (threads mid-transaction) have made {e no}
+     accesses since their outermost begin is exactly reproduced by
+     depth seeding alone — the open transactions have published
+     nothing the chunk cannot see — so window 0;
+   - otherwise the open transactions' pre-cut accesses left clock
+     state the chunk lacks, and the divergence retires in two rounds.
+     Every clock component the chunk is missing is a generation of a
+     transaction begun at or before [q1], the position where the last
+     straddler closes: the initial surplus is the straddlers' end-time
+     clock writes to pre-cut-touched state (all components current at
+     their close), and joins propagate component {e values} unchanged.
+     AeroDrome's violation checks are own-component epoch threshold
+     tests, so a surplus value can only flip a check while the checking
+     thread's transaction began at or before [q1] — its begin epoch
+     must not exceed the surplus generation.  The window therefore
+     closes once every transaction open at [q1] has itself closed; the
+     first globally quiescent position at or after the cut is a
+     (possibly much later) special case of that horizon.  The gap is
+     the repair window: reconciliation re-runs exactly those events
+     against the true frontier, instead of replaying the whole chunk.
 
-   Quiescence is decidable from the event text alone (a per-thread
-   depth counter), so cut validation needs no clock state and runs
-   before any domain is spawned: the "boundary summary" each shard
-   assumes is the all-zero depth frontier, and the planner only emits
-   cuts whose summary matches.  A rejected candidate means the events
-   that would have formed that chunk are replayed as the tail of the
-   preceding shard — the honest cost surfaced in [replayed_events]. *)
+   Everything here is decidable from the event text alone (per-thread
+   depth and touch counters), so planning needs no clock state and
+   runs before any domain is spawned.  Equidistant candidates still
+   snap to a nearby quiescent position when one exists — a free
+   window-0 cut — but a candidate with no quiescent neighbour is now
+   accepted with its summary rather than rejected into a replay of the
+   whole span. *)
 
 open Traces
 
-type plan = {
-  cuts : int array;
-  targets : int;
-  hits : int;
-  misses : int;
-  replayed_events : int;
+type boundary = {
+  cut : int;
+  depths : int array;
+  window : int;
+  tainted : int;
 }
 
-let trivial = { cuts = [| 0 |]; targets = 0; hits = 0; misses = 0;
-                replayed_events = 0 }
+type plan = {
+  boundaries : boundary array;
+  targets : int;
+  quiescent : int;
+  seamed : int;
+  tainted_events : int;
+  repair_events : int;
+}
 
-(* Scan the arena maintaining the transaction-depth frontier; call
-   [note] at every globally quiescent position (position p = before
-   event p).  Stops early once [note] returns false. *)
-let scan_quiescent ~threads arena note =
+let origin ~threads =
+  { cut = 0; depths = Array.make (max threads 0) 0; window = 0; tainted = 0 }
+
+let trivial ~threads =
+  {
+    boundaries = [| origin ~threads |];
+    targets = 0;
+    quiescent = 0;
+    seamed = 0;
+    tainted_events = 0;
+    repair_events = 0;
+  }
+
+(* One pass over the arena: per-thread transaction depth, per-thread
+   count of accesses since the outermost open begin (begins and ends
+   only manipulate the transaction structure itself, which depth
+   seeding reproduces, so they do not count), and a callback at every
+   position with the live frontier.  [at ~pos] runs before event [pos]
+   (position p = the gap before event p), with [quiet] true iff no
+   thread is mid-transaction there. *)
+let scan ~threads arena at =
   let depth = Array.make threads 0 in
+  let touch = Array.make threads 0 in
   let open_txns = ref 0 in
   let pos = ref 0 in
-  let n = Packed.Arena.length arena in
-  if note 0 then
-    (try
-       Packed.Arena.iter arena (fun w ->
-           let op = Packed.opcode w in
-           if op = Packed.op_begin then begin
-             let t = Packed.tid w in
-             if depth.(t) = 0 then incr open_txns;
-             depth.(t) <- depth.(t) + 1
-           end
-           else if op = Packed.op_end then begin
-             let t = Packed.tid w in
-             if depth.(t) > 0 then begin
-               depth.(t) <- depth.(t) - 1;
-               if depth.(t) = 0 then decr open_txns
-             end
-           end;
-           incr pos;
-           if !open_txns = 0 && !pos < n && not (note !pos) then raise Exit)
-     with Exit -> ())
+  at ~pos:0 ~quiet:true ~depth ~touch;
+  Packed.Arena.iter arena (fun w ->
+      let op = Packed.opcode w in
+      let t = Packed.tid w in
+      if op = Packed.op_begin then begin
+        if depth.(t) = 0 then begin
+          incr open_txns;
+          touch.(t) <- 0
+        end;
+        depth.(t) <- depth.(t) + 1
+      end
+      else if op = Packed.op_end then begin
+        if depth.(t) > 0 then begin
+          depth.(t) <- depth.(t) - 1;
+          if depth.(t) = 0 then begin
+            decr open_txns;
+            touch.(t) <- 0
+          end
+        end
+      end
+      else if depth.(t) > 0 then touch.(t) <- touch.(t) + 1;
+      incr pos;
+      at ~pos:!pos ~quiet:(!open_txns = 0) ~depth ~touch)
 
-let plan ~threads ~shards ?window ?cuts arena =
+(* Snapshot a boundary summary from the live frontier.  [window = -1]
+   marks a summary whose repair window is still open: it closes once
+   the straddlers' transactions and then the transactions open at the
+   last straddler's close have all retired (or at the arena end). *)
+let summarize ~pos ~depth ~touch =
+  let straddlers = ref 0 in
+  let tainted = ref 0 in
+  Array.iteri
+    (fun t d ->
+      if d > 0 then begin
+        incr straddlers;
+        tainted := !tainted + touch.(t)
+      end)
+    depth;
+  let window = if !straddlers = 0 || !tainted = 0 then 0 else -1 in
+  ( { cut = pos; depths = Array.copy depth; window; tainted = !tainted },
+    !straddlers )
+
+let plan ~threads ~shards ?cuts arena =
   let n = Packed.Arena.length arena in
-  let candidates, window =
+  let candidates, snap_window =
     match cuts with
     | Some cs ->
-      let cs = List.sort_uniq compare (List.filter (fun p -> p > 0 && p < n) cs) in
+      let cs =
+        List.sort_uniq compare (List.filter (fun p -> p > 0 && p < n) cs)
+      in
       (Array.of_list cs, 0)
     | None ->
       if shards <= 1 || n = 0 then ([||], 0)
       else
         let k = min shards n in
-        ( Array.init (k - 1) (fun i -> (i + 1) * n / k),
-          match window with
-          | Some w -> max 0 w
-          | None -> max 1 (n / k / 8) )
+        (Array.init (k - 1) (fun i -> (i + 1) * n / k), max 1 (n / k / 8))
   in
   let m = Array.length candidates in
-  if m = 0 then trivial
+  if m = 0 then trivial ~threads
   else begin
-    (* For each candidate, the nearest quiescent position within its
-       window, found in the single frontier scan. *)
-    let best = Array.make m (-1) in
-    let bestd = Array.make m max_int in
+    (* Per candidate: the nearest quiescent position within
+       [snap_window] (a free window-0 cut; spacing exceeds twice the
+       snap window, so snapped cuts stay strictly increasing and
+       distinct), and the boundary summary at the candidate position
+       itself.  A summary with an open repair window sits in [pending]
+       carrying the set of threads whose current transaction it is
+       still waiting on: first the straddlers (phase 1), then — once
+       the last straddler has closed — the threads mid-transaction at
+       that moment (phase 2).  A thread leaves the set at the first
+       position where its depth returns to 0, so any globally
+       quiescent position closes every pending window at once. *)
+    let snapped = Array.make m (-1) in
+    let snapd = Array.make m max_int in
+    let summary = Array.make m None in
+    let pending = ref [] in
+    let next = ref 0 in
     let lo = ref 0 in
-    scan_quiescent ~threads arena (fun q ->
-        while !lo < m && candidates.(!lo) + window < q do
-          incr lo
-        done;
-        let j = ref !lo in
-        while !j < m && candidates.(!j) - window <= q do
-          let d = abs (q - candidates.(!j)) in
-          if d < bestd.(!j) then begin
-            bestd.(!j) <- d;
-            best.(!j) <- q
-          end;
-          incr j
-        done;
-        !lo < m);
-    (* Accepted cuts must stay strictly increasing (and past position
-       0); a candidate whose snap collides with the previous cut is a
-       miss like any other. *)
-    let cuts_rev = ref [ 0 ] in
-    let hits = ref 0 in
-    let missed = Array.make m false in
+    let waiting_on depth = function
+      | [] -> []
+      | mask -> List.filter (fun t -> depth.(t) > 0) mask
+    in
+    let openers depth =
+      let acc = ref [] in
+      Array.iteri (fun t d -> if d > 0 then acc := t :: !acc) depth;
+      !acc
+    in
+    scan ~threads arena (fun ~pos ~quiet ~depth ~touch ->
+        if quiet then begin
+          while !lo < m && candidates.(!lo) + snap_window < pos do
+            incr lo
+          done;
+          let j = ref !lo in
+          while !j < m && candidates.(!j) - snap_window <= pos do
+            let d = abs (pos - candidates.(!j)) in
+            if d < snapd.(!j) then begin
+              snapd.(!j) <- d;
+              snapped.(!j) <- pos
+            end;
+            incr j
+          done
+        end;
+        if !pending <> [] then
+          pending :=
+            List.filter
+              (fun (j, b, phase2, mask) ->
+                mask := waiting_on depth !mask;
+                if !mask = [] && not !phase2 then begin
+                  phase2 := true;
+                  mask := openers depth
+                end;
+                if !mask = [] then begin
+                  summary.(j) <- Some ({ b with window = pos - b.cut }, -1);
+                  false
+                end
+                else true)
+              !pending;
+        if !next < m && candidates.(!next) = pos then begin
+          let b, straddlers = summarize ~pos ~depth ~touch in
+          if b.window < 0 then
+            pending := !pending @ [ (!next, b, ref false, ref (openers depth)) ];
+          summary.(!next) <- Some (b, straddlers);
+          incr next
+        end);
+    (* Windows still open at the end of the arena span to it. *)
+    List.iter
+      (fun (j, b, _, _) ->
+        summary.(j) <- Some ({ b with window = n - b.cut }, -1))
+      !pending;
+    let boundaries = ref [] in
+    let quiescent = ref 0 in
+    let seamed = ref 0 in
+    let tainted_events = ref 0 in
     Array.iteri
       (fun j _ ->
-        let b = best.(j) in
-        if b > List.hd !cuts_rev then begin
-          incr hits;
-          cuts_rev := b :: !cuts_rev
+        if cuts = None && snapped.(j) >= 0 then begin
+          incr quiescent;
+          boundaries :=
+            {
+              cut = snapped.(j);
+              depths = Array.make threads 0;
+              window = 0;
+              tainted = 0;
+            }
+            :: !boundaries
         end
-        else missed.(j) <- true)
+        else
+          match summary.(j) with
+          | None -> ()
+          | Some (b, straddlers) ->
+            if straddlers = 0 then incr quiescent else incr seamed;
+            tainted_events := !tainted_events + b.tainted;
+            boundaries := b :: !boundaries)
       candidates;
-    let cuts = Array.of_list (List.rev !cuts_rev) in
-    (* Each maximal run of rejected candidates extends the preceding
-       shard from the first rejected position to the next accepted cut
-       (or the end of the arena): those events could not run on their
-       own domain. *)
-    let replayed = ref 0 in
-    let j = ref 0 in
-    while !j < m do
-      if missed.(!j) then begin
-        let from = candidates.(!j) in
-        while !j < m && missed.(!j) do incr j done;
-        let next_cut =
-          let rec find k =
-            if k >= Array.length cuts then n
-            else if cuts.(k) > from then cuts.(k)
-            else find (k + 1)
-          in
-          find 0
-        in
-        replayed := !replayed + (next_cut - from)
-      end
-      else incr j
-    done;
+    let boundaries =
+      Array.of_list (origin ~threads :: List.rev !boundaries)
+    in
+    (* Planned repair total: window segments clipped against the
+       covered frontier.  Window ends are monotone in cut order: with
+       [f c t] = the first position >= [c] where thread [t] is outside
+       any transaction, the horizon is h(c) = max_t f(max_t f(c,t), t),
+       and [f] is non-decreasing in [c] — so the clipped segments are
+       disjoint and ordered. *)
+    let covered = ref 0 in
+    let repair = ref 0 in
+    Array.iter
+      (fun b ->
+        let h = b.cut + b.window in
+        let from = max b.cut !covered in
+        if h > from then begin
+          repair := !repair + (h - from);
+          covered := h
+        end)
+      boundaries;
     {
-      cuts;
+      boundaries;
       targets = m;
-      hits = !hits;
-      misses = m - !hits;
-      replayed_events = !replayed;
+      quiescent = !quiescent;
+      seamed = !seamed;
+      tainted_events = !tainted_events;
+      repair_events = !repair;
     }
   end
 
 let bounds plan ~total =
-  let k = Array.length plan.cuts in
+  let k = Array.length plan.boundaries in
   Array.init k (fun i ->
-      (plan.cuts.(i), if i = k - 1 then total else plan.cuts.(i + 1)))
-
-let reconcile outcomes =
-  let rec first i =
-    if i >= Array.length outcomes then None
-    else
-      match outcomes.(i) with
-      | base, Some (v : Violation.t) ->
-        Some (Violation.make ~index:(base + v.index) ~event:v.event ~site:v.site)
-      | _, None -> first (i + 1)
-  in
-  first 0
+      ( plan.boundaries.(i).cut,
+        if i = k - 1 then total else plan.boundaries.(i + 1).cut ))

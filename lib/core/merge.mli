@@ -1,69 +1,77 @@
-(** Cut planning and verdict reconciliation for sharded checking.
+(** Boundary-summary cut planning for sharded single-trace checking.
 
-    The sharded runner ({!Parallel.Shard} via {!Analysis.Runner})
-    partitions a packed arena into contiguous chunks and runs an
-    independent speculative {!Opt} checker from the empty (⊥) clock
-    state on each.  A speculative run is {e byte-identical} to the
-    sequential checker over the same range exactly when its entry cut is
-    {b globally quiescent} — no thread has an open transaction at the
-    cut (DESIGN.md §15 gives the argument and the counterexamples for
-    non-quiescent cuts).  Quiescence is a property of the event text
-    alone — a per-thread transaction-depth frontier, independent of any
-    clock state — so speculation is validated {e before} the parallel
-    phase: one cheap opcode/tid scan computes the boundary summary at
-    every candidate cut, accepted cuts become shard entries, and the
-    events of rejected cuts are replayed as the tail of the preceding
-    shard instead of running on their own domain.
+    The planner partitions a packed arena into contiguous chunks for
+    speculative per-chunk checking ({!Parallel.Shard}).  Unlike the
+    quiescence-only planner it replaces, it accepts {e any} cut: each
+    boundary carries a summary — the per-thread open-transaction depth
+    vector and the taint of the open transactions' pre-cut accesses —
+    from which the chunk checker is seeded ({!Opt.seed_boundary}) and
+    from which the reconciliation pass derives the {e repair window},
+    the span of events it must re-run against the true frontier
+    because the seed cannot reproduce their outcomes (DESIGN.md §17):
 
-    The planner's boundary summary per cut is the per-thread depth
-    vector; an accepted cut certifies the all-zero frontier, which is
-    what makes the ⊥ clock seed exact.  Violation indices of accepted
-    chunks are local to the chunk and rebased by {!reconcile}. *)
+    - no open transactions at the cut (globally quiescent): window 0;
+    - open transactions that have accessed nothing since their
+      outermost begin: window 0 — depth seeding is exact;
+    - otherwise: the gap to the two-phase retirement horizon — every
+      straddling transaction closes, then every transaction open at
+      that moment closes too.  The clock components a seeded chunk is
+      missing are all generations of transactions begun before the
+      last straddler's close, and AeroDrome's violation checks are
+      own-component epoch tests, so past that horizon no surviving
+      surplus can flip a check.  A globally quiescent position closes
+      every pending window at once, so the horizon never extends past
+      the next one.
 
-open Traces
+    Planning reads only the event text (depth and access counters per
+    thread), never clock state, in a single pass over the arena. *)
 
-type plan = {
-  cuts : int array;
-      (** entry position of each shard chunk, strictly increasing;
-          [cuts.(0) = 0].  Chunk [i] covers
-          [cuts.(i) .. cuts.(i+1) - 1] (the last chunk runs to the end
-          of the arena). *)
-  targets : int;  (** interior cut candidates requested *)
-  hits : int;  (** candidates realized as quiescent cuts *)
-  misses : int;
-      (** candidates rejected — no quiescent position within the window
-          (auto) or a forced position with open transactions *)
-  replayed_events : int;
-      (** events that run as the tail of the preceding shard because
-          their own cut was rejected *)
+type boundary = {
+  cut : int;  (** arena position of the cut (before event [cut]) *)
+  depths : int array;
+      (** per-thread open-transaction depth at the cut; all zero iff
+          the cut is globally quiescent *)
+  window : int;
+      (** repair window length: events from [cut] that reconciliation
+          must re-run against the true frontier; [0] when seeding is
+          exact *)
+  tainted : int;
+      (** boundary-tainted accesses: events the straddling open
+          transactions performed before the cut, whose clock effects
+          the seeded chunk cannot see *)
 }
 
+type plan = {
+  boundaries : boundary array;
+      (** chunk entry boundaries in increasing [cut] order; always
+          starts with the origin ([cut = 0], no straddlers) *)
+  targets : int;  (** equidistant (or forced) candidates considered *)
+  quiescent : int;
+      (** candidates that became window-0 cuts with no straddlers
+          (quiescent at the cut, or snapped to a quiescent position) *)
+  seamed : int;
+      (** candidates cut mid-transaction, carrying a boundary summary *)
+  tainted_events : int;  (** total tainted accesses across boundaries *)
+  repair_events : int;
+      (** planned repair total: window segments clipped against the
+          covered frontier (window ends are monotone in cut order, so
+          overlapping windows share rather than stack their events) *)
+}
+
+val trivial : threads:int -> plan
+(** The single-chunk plan: one boundary at the origin. *)
+
 val plan :
-  threads:int -> shards:int -> ?window:int -> ?cuts:int list ->
-  Packed.Arena.t -> plan
-(** Scan the arena once and choose shard entry cuts.
-
-    Without [cuts], the candidates are the [shards - 1] equidistant
-    split positions, each snapped to the nearest globally quiescent
-    position within [window] events (default: an eighth of the chunk
-    length); a candidate with no quiescent position in its window is a
-    miss.  With [cuts] (the test hook for adversarial boundaries), the
-    given positions are used verbatim with no snapping: a forced cut is
-    accepted only if it is itself quiescent.  Either way every accepted
-    cut is quiescent, so every planned chunk is exact by construction;
-    rejected candidates surface as [misses] / [replayed_events].
-
-    The scan costs one opcode/tid decode per event — no clocks, no
-    allocation beyond the depth array. *)
+  threads:int -> shards:int -> ?cuts:int list -> Traces.Packed.Arena.t -> plan
+(** [plan ~threads ~shards arena] places [shards - 1] equidistant
+    cuts, snapping each to a nearby globally quiescent position when
+    one exists (a free window-0 cut) and otherwise accepting the
+    candidate position with its boundary summary.  [?cuts] forces
+    exact cut positions instead (no snapping; out-of-range and
+    duplicate positions are dropped) — the differential tests use it
+    to pin cuts mid-transaction.  With [shards <= 1], an empty arena,
+    or no surviving forced cut, returns {!trivial}. *)
 
 val bounds : plan -> total:int -> (int * int) array
-(** [(start, stop)] of each chunk, [stop] exclusive; [total] is the
-    arena length. *)
-
-val reconcile : (int * Violation.t option) array -> Violation.t option
-(** [(base, local_violation)] per chunk in trace order: the first
-    chunk reporting a violation wins and its index is rebased from
-    chunk-local to trace position ([base + index]).  Later chunks'
-    verdicts are discarded — the sequential checker freezes at its
-    first violation, so anything they report is unreachable
-    sequentially. *)
+(** [bounds plan ~total] is the [(base, stop)] half-open chunk extent
+    per boundary, partitioning [0..total). *)

@@ -502,6 +502,32 @@ let handle_end st t =
     end
   end
 
+(* Seed a fresh checker with a cut's boundary summary (Merge.boundary):
+   each straddling thread re-enters its open transaction exactly as
+   [handle_begin] would — depth restored, own component bumped, begin
+   clock assigned, marked active — without counting a transaction begin
+   (the Begin event itself belongs to the chunk that contains it, which
+   keeps the merged per-chunk counters exact).  The bump aligns the
+   thread's transaction generation with the sequential checker's: every
+   violation check compares a clock component against the checking
+   thread's begin epoch, so outcome equivalence is a per-generation
+   property (DESIGN.md §17). *)
+let seed_boundary st depths =
+  if st.processed <> 0 then
+    invalid_arg "Opt.seed_boundary: checker already fed";
+  let n = min (Array.length depths) st.threads in
+  for t = 0 to n - 1 do
+    if depths.(t) > 0 then begin
+      st.depth.(t) <- depths.(t);
+      st.seq.(t) <- st.seq.(t) + 1;
+      AC.bump st.c.(t) t;
+      AC.assign ~into:st.cb.(t) st.c.(t);
+      st.cb_own.(t) <- AC.unsafe_get st.cb.(t) t;
+      if st.masked then st.active_mask <- st.active_mask lor (1 lsl t)
+    end
+  done;
+  Bytes.fill st.covers_dirty 0 st.threads '\001'
+
 let feed st (e : Event.t) =
   match st.violation with
   | Some _ as v -> v

@@ -60,6 +60,16 @@ val create_with :
   vars:int -> unit -> t
 (** [create] is [create_with ~fast_checks:true ~faithful:false]. *)
 
+val seed_boundary : t -> int array -> unit
+(** [seed_boundary st depths] prepares a fresh checker to start
+    mid-trace at a non-quiescent cut: every thread [t] with
+    [depths.(t) > 0] re-enters an open transaction at that depth, as
+    if its (unseen, pre-cut) begin had just been processed — own
+    component bumped, begin clock assigned, marked active.  Used by
+    {!Parallel.Shard} with the {!Merge} boundary summary; see
+    DESIGN.md §17 for what the seed does and does not reproduce.
+    Raises [Invalid_argument] if the checker has already been fed. *)
+
 val faithful_checker : Checker.t
 (** The printed-pseudocode behaviour packaged as a checker, for
     differential tests. *)

@@ -1,55 +1,74 @@
-(* Chunked parallel checking: plan quiescent cuts, fan speculative
-   chunk checkers out over the domain pool, reconcile left-to-right.
-   The arena is fully built and immutable before any task is
-   submitted, so chunk ranges cross domain boundaries without copying
-   or marshalling (the chunks are off-heap Bigarrays). *)
+(* Chunked parallel checking: plan boundary-summary cuts, fan
+   speculative seeded chunk checkers out over the domain pool, then
+   reconcile left-to-right, repairing each cut's window against the
+   true frontier.  The arena is fully built and immutable before any
+   task is submitted, so chunk ranges cross domain boundaries without
+   copying or marshalling (the chunks are off-heap Bigarrays).
+
+   The correctness contract (DESIGN.md §17): a chunk checker seeded
+   from its boundary summary ({!Aerodrome.Opt.seed_boundary}) is
+   generation-wise {e contained} in the sequential checker — it can
+   miss violations whose evidence predates the cut, but never invents
+   one — and it is {e exact} from the end of the cut's repair window
+   onward.  Reconciliation therefore walks the boundaries in order,
+   feeds each window segment into the live checker (the true
+   sequential state), and only then trusts the chunk's own speculative
+   verdict for the remainder of its range.  A chunk that survives with
+   no violation becomes the next live checker. *)
 
 type task = {
   base : int;
   stop : int;
-  violation : Aerodrome.Violation.t option;
+  checker : Aerodrome.Opt.t;
+  violation : Aerodrome.Violation.t option; (* chunk-local index *)
   seconds : float;
   metrics : Obs.Snapshot.t;
   flight : Traces.Flight.t option;
 }
 
 type outcome = {
-  violation : Aerodrome.Violation.t option;
+  violation : Aerodrome.Violation.t option; (* arena-global index *)
   plan : Aerodrome.Merge.plan;
   tasks : task array;
+  repaired_events : int;
   plan_seconds : float;
   merge_seconds : float;
 }
 
-(* One chunk: a fresh checker seeded with ⊥ clocks over
+(* One chunk: a fresh checker seeded from the boundary summary over
    [base, stop).  The checker freezes at its first violation, so the
-   loop stops there — later events of the chunk cannot change the
-   chunk's first violation, and the merged [events_fed] is
-   reconstructed from the arena length, as the sequential runner keeps
-   feeding a frozen checker.
+   loop stops there — by the containment invariant that violation is
+   real, though reconciliation may find an earlier one in the window.
 
    With [?flight] a per-chunk recorder rides along, noting chunk-local
-   indices: position 0 of the recorder is the chunk base, which is an
-   accepted quiescent cut (or the trace start), so the recorder's
-   quiescence bookkeeping is exact without knowing the global offset.
-   The loop stops at the violation, so the ring tail ends exactly at
-   the violating event.
+   indices seeded with the boundary depths: position 0 of the recorder
+   is the chunk base, so with open transactions straddling the cut no
+   position counts as quiescent until they close, and the recorder
+   never claims a replayable slice the §15/§17 argument does not
+   cover.
 
    Each chunk's feed loop is also a Chrome span (cat "shard"), so a
    [--trace-out] run shows the chunk lanes per worker domain in
    Perfetto, next to the planner and reconcile spans recorded by
    {!check}. *)
-let run_chunk ?flight (module C : Aerodrome.Checker.S) ~threads ~locks ~vars
-    arena (base, stop) =
+let run_chunk ?flight ~threads ~locks ~vars arena
+    ((b : Aerodrome.Merge.boundary), (base, stop)) =
   let t0 = Unix.gettimeofday () in
+  let seeded = Array.exists (fun d -> d > 0) b.Aerodrome.Merge.depths in
   let fl =
-    Option.map (fun window -> Traces.Flight.create ~window ~threads ()) flight
+    Option.map
+      (fun window ->
+        Traces.Flight.create ~window
+          ?depths:(if seeded then Some b.Aerodrome.Merge.depths else None)
+          ~threads ())
+      flight
   in
   let work () =
     let st =
       Aerodrome.Reclaim.with_policy Aerodrome.Reclaim.Off (fun () ->
-          C.create ~threads ~locks ~vars)
+          Aerodrome.Opt.create ~threads ~locks ~vars)
     in
+    if seeded then Aerodrome.Opt.seed_boundary st b.Aerodrome.Merge.depths;
     Obs.Chrome_trace.span ~cat:"shard" "feed" (fun () ->
         let i = ref 0 in
         try
@@ -58,55 +77,137 @@ let run_chunk ?flight (module C : Aerodrome.Checker.S) ~threads ~locks ~vars
               | Some f -> Traces.Flight.note f !i w
               | None -> ());
               incr i;
-              match C.feed_packed st w with Some _ -> raise Exit | None -> ())
+              match Aerodrome.Opt.feed_packed st w with
+              | Some _ -> raise Exit
+              | None -> ())
         with Exit -> ());
-    C.violation st
+    st
   in
   (* each chunk opens its own (domain-local) scope so the checker's
      counters are not lost on the worker domain; the caller merges the
      per-chunk snapshots back into a whole-trace reading *)
-  let violation, metrics =
+  let st, metrics =
     if Obs.on () then Obs.Scope.collect work else (work (), Obs.Snapshot.empty)
   in
   {
     base;
     stop;
-    violation;
+    checker = st;
+    violation = Aerodrome.Opt.violation st;
     seconds = Unix.gettimeofday () -. t0;
     metrics;
     flight = fl;
   }
 
-let check ?pool ?window ?cuts ?flight ~shards checker ~threads ~locks ~vars
-    arena =
+(* Feed [from, upto) of the arena into the live checker; the first
+   violation comes back rebased to its arena-global position, along
+   with the number of events actually fed (the feed stops at a
+   violation). *)
+let repair st arena ~from ~upto =
+  let fed = ref 0 in
+  let violation = ref None in
+  (try
+     let p = ref from in
+     Traces.Packed.Arena.iter_range arena from upto (fun w ->
+         (match Aerodrome.Opt.feed_packed st w with
+         | Some (v : Aerodrome.Violation.t) ->
+           violation :=
+             Some
+               (Aerodrome.Violation.make ~index:!p ~event:v.event ~site:v.site);
+           incr fed;
+           raise Exit
+         | None -> incr fed);
+         incr p)
+   with Exit -> ());
+  (!violation, !fed)
+
+(* Left-to-right reconciliation with repair.  [live] is the checker
+   whose state is exact through [covered]; window segments are clipped
+   against [covered] (windows are monotone, see {!Aerodrome.Merge}),
+   fed into [live], and a chunk whose whole range fell inside a window
+   is discarded.  A chunk consulted past its window either hands its
+   (exact-region) violation up or becomes the next live checker. *)
+let reconcile (plan : Aerodrome.Merge.plan) (tasks : task array) arena =
+  let rebase (t : task) =
+    Option.map
+      (fun (v : Aerodrome.Violation.t) ->
+        Aerodrome.Violation.make ~index:(t.base + v.index) ~event:v.event
+          ~site:v.site)
+      t.violation
+  in
+  let n = Traces.Packed.Arena.length arena in
+  let live = ref tasks.(0).checker in
+  let covered = ref tasks.(0).stop in
+  let violation = ref (rebase tasks.(0)) in
+  let repaired = ref 0 in
+  let k = ref 1 in
+  while !violation = None && !k < Array.length tasks do
+    let b = plan.Aerodrome.Merge.boundaries.(!k) in
+    let t = tasks.(!k) in
+    let h = min n (b.Aerodrome.Merge.cut + b.Aerodrome.Merge.window) in
+    let from = max b.Aerodrome.Merge.cut !covered in
+    if h > from then begin
+      let v, fed = repair !live arena ~from ~upto:h in
+      repaired := !repaired + fed;
+      violation := v
+    end;
+    if !violation = None then begin
+      covered := max !covered h;
+      if t.stop > !covered then begin
+        (match rebase t with
+        | Some v when v.Aerodrome.Violation.index >= !covered ->
+          violation := Some v
+        | Some _ ->
+          (* a speculative violation inside the repaired window that
+             the repair did not confirm would contradict the
+             containment invariant — fail loudly rather than report a
+             verdict the sequential checker would not *)
+          failwith "Shard.check: speculative violation unconfirmed by repair"
+        | None -> ());
+        if !violation = None then begin
+          live := t.checker;
+          covered := t.stop
+        end
+      end
+    end;
+    incr k
+  done;
+  (!violation, !repaired)
+
+let check ?pool ?cuts ?flight ~shards ~threads ~locks ~vars arena =
   let t0 = Unix.gettimeofday () in
   let plan =
     Obs.Chrome_trace.span ~cat:"shard" "plan" (fun () ->
-        Aerodrome.Merge.plan ~threads ~shards ?window ?cuts arena)
+        Aerodrome.Merge.plan ~threads ~shards ?cuts arena)
   in
   let plan_seconds = Unix.gettimeofday () -. t0 in
-  let bounds = Aerodrome.Merge.bounds plan ~total:(Traces.Packed.Arena.length arena) in
-  let run = run_chunk ?flight checker ~threads ~locks ~vars arena in
+  let bounds =
+    Aerodrome.Merge.bounds plan ~total:(Traces.Packed.Arena.length arena)
+  in
+  let chunks =
+    Array.mapi (fun i b -> (plan.Aerodrome.Merge.boundaries.(i), b)) bounds
+  in
+  let run = run_chunk ?flight ~threads ~locks ~vars arena in
   let tasks =
     match pool with
-    | Some p when Array.length bounds > 1 -> Pool.map p run bounds
+    | Some p when Array.length chunks > 1 -> Pool.map p run chunks
     | Some _ | None ->
-      if Array.length bounds <= 1 then Array.map run bounds
+      if Array.length chunks <= 1 then Array.map run chunks
       else
         Pool.with_pool
-          (min (Array.length bounds) (max 1 shards))
-          (fun p -> Pool.map p run bounds)
+          (min (Array.length chunks) (max 1 shards))
+          (fun p -> Pool.map p run chunks)
   in
   let t1 = Unix.gettimeofday () in
-  let violation =
+  let violation, repaired_events =
     Obs.Chrome_trace.span ~cat:"shard" "reconcile" (fun () ->
-        Aerodrome.Merge.reconcile
-          (Array.map (fun t -> (t.base, t.violation)) tasks))
+        reconcile plan tasks arena)
   in
   {
     violation;
     plan;
     tasks;
+    repaired_events;
     plan_seconds;
     merge_seconds = Unix.gettimeofday () -. t1;
   }

@@ -1,28 +1,45 @@
 (** Single-trace chunked parallel checking over a packed arena.
 
-    {!check} partitions an arena into contiguous chunk batches at
-    quiescent cuts chosen by {!Aerodrome.Merge.plan}, runs an
-    independent speculative checker from ⊥ clock state on each chunk —
-    fanned out over a {!Pool} of domains — and reconciles the chunk
-    verdicts left-to-right ({!Aerodrome.Merge.reconcile}).  Every
-    planned cut is globally quiescent, which makes each chunk run
-    byte-identical to the sequential checker over the same range (the
-    exactness argument lives in DESIGN.md §15 and merge.mli); events
-    whose candidate cut was rejected run as the tail of the preceding
-    chunk and are reported as replay.
+    {!check} partitions an arena into contiguous chunk batches at the
+    boundary-summary cuts chosen by {!Aerodrome.Merge.plan}, runs an
+    independent speculative {!Aerodrome.Opt} checker on each chunk —
+    seeded from the cut's boundary summary
+    ({!Aerodrome.Opt.seed_boundary}) and fanned out over a {!Pool} of
+    domains — then reconciles left-to-right, {e repairing} each cut's
+    window against the true sequential frontier instead of replaying
+    whole chunks.
 
-    Soundness of the ⊥ seed is specific to the default {!Aerodrome.Opt}
-    configuration (component-epoch fast checks, non-faithful): the
-    caller — normally {!Analysis.Runner} — must gate on the checker
-    being ["aerodrome"].  Chunk checkers run with
+    The contract (DESIGN.md §17): a seeded chunk checker is
+    generation-wise {e contained} in the sequential checker — it never
+    reports a violation the sequential run would not — and it is
+    {e exact} from the end of its cut's repair window (the two-phase
+    horizon where the straddling transactions and then the
+    transactions open at the last straddler's close have all retired;
+    zero for touch-free and quiescent cuts) onward.  Reconciliation
+    feeds each
+    window segment into the live checker carried over from the
+    previous chunk, then trusts the chunk's speculative verdict for
+    the remainder of its range; a surviving chunk's checker becomes
+    the next live checker.  The reported violation is byte-identical
+    to the sequential checker's.
+
+    Soundness of the boundary seed is specific to the default
+    {!Aerodrome.Opt} configuration (component-epoch fast checks,
+    non-faithful), which is why [check] takes no checker module: the
+    caller — normally {!Analysis.Runner} — gates sharding on the
+    checker being ["aerodrome"].  Chunk checkers run with
     {!Aerodrome.Reclaim.Off} (reclamation is verdict-neutral, and
     oracle indices would be meaningless chunk-locally). *)
 
 type task = {
   base : int;  (** chunk entry position in the arena *)
   stop : int;  (** chunk end, exclusive *)
+  checker : Aerodrome.Opt.t;
+      (** the chunk's checker, kept live for window repair during
+          reconciliation *)
   violation : Aerodrome.Violation.t option;
-      (** first violation of the chunk, index {e chunk-local} *)
+      (** first violation of the chunk's speculative run, index
+          {e chunk-local} *)
   seconds : float;  (** wall-clock of this chunk's checker *)
   metrics : Obs.Snapshot.t;
       (** the chunk checker's own counters, collected on the worker
@@ -30,31 +47,41 @@ type task = {
           the per-chunk snapshots back into a whole-trace reading. *)
   flight : Traces.Flight.t option;
       (** the chunk's flight recorder when one was requested; indices
-          are chunk-local ([base] is the recorder's position 0, itself a
-          quiescent cut, so the recorder's window argument holds
-          chunk-locally). *)
+          are chunk-local ([base] is the recorder's position 0, seeded
+          with the boundary's open-transaction depths so quiescence
+          bookkeeping stays honest at a non-quiescent cut). *)
 }
 
 type outcome = {
   violation : Aerodrome.Violation.t option;
-      (** reconciled verdict, index rebased to the arena *)
+      (** reconciled verdict, index rebased to the arena; always the
+          same violation the sequential checker reports *)
   plan : Aerodrome.Merge.plan;
   tasks : task array;  (** one per chunk, in trace order *)
+  repaired_events : int;
+      (** events re-fed into the live frontier during window repair
+          (the sharding overhead actually paid, [<=]
+          [plan.repair_events]; a repair stops at a violation) *)
   plan_seconds : float;  (** cut-scan (boundary summary) wall-clock *)
-  merge_seconds : float;  (** reconciliation wall-clock *)
+  merge_seconds : float;  (** reconciliation + repair wall-clock *)
 }
 
 val check :
-  ?pool:Pool.t -> ?window:int -> ?cuts:int list -> ?flight:int -> shards:int ->
-  (module Aerodrome.Checker.S) ->
+  ?pool:Pool.t -> ?cuts:int list -> ?flight:int -> shards:int ->
   threads:int -> locks:int -> vars:int -> Traces.Packed.Arena.t -> outcome
 (** Check a fully built arena with up to [shards] chunks.  [pool] runs
     the chunk tasks on an existing pool (it must have no other work in
     flight); without it a temporary pool of [min shards chunks] domains
     is created — and a single-chunk plan runs in the calling domain
-    with no pool at all.  [window] and [cuts] are forwarded to
-    {!Aerodrome.Merge.plan} ([cuts] is the adversarial-boundary test
-    hook); [flight] attaches a violation flight recorder of that ring
-    window to every chunk.  When a Chrome trace collector is active the
-    planner, each chunk's feed loop (on its worker domain) and the
-    reconcile pass are recorded as "shard"-category spans. *)
+    with no pool at all.  [cuts] is forwarded to
+    {!Aerodrome.Merge.plan} (the adversarial-boundary test hook:
+    forced cuts are taken verbatim, never snapped); [flight] attaches
+    a violation flight recorder of that ring window to every chunk.
+    When a Chrome trace collector is active the planner, each chunk's
+    feed loop (on its worker domain) and the reconcile pass are
+    recorded as "shard"-category spans.
+
+    @raise Failure if a chunk's speculative violation inside a
+    repaired window is not confirmed by the repair — impossible under
+    the §17 containment invariant; the failure guards against silently
+    reporting a verdict the sequential checker would not produce. *)

@@ -54,17 +54,31 @@ let default_window = 256
 
 let make_ring cap = { idx = Array.make cap 0; word = Array.make cap 0; len = 0; head = 0 }
 
-let create ?(window = default_window) ~threads () =
+(* [?depths] seeds the per-thread transaction depth for a recorder
+   that starts mid-trace at a non-quiescent cut (a sharded chunk's
+   boundary summary): with open transactions at position 0 of the
+   recorder's coordinate space, no position is quiescent until every
+   straddler has closed, so [best]/[latest] start unknown instead of
+   falsely claiming position 0. *)
+let create ?(window = default_window) ?depths ~threads () =
   if window < 1 then invalid_arg "Flight.create: window must be >= 1";
   let threads = max threads 1 in
+  let depth = Array.make threads 0 in
+  (match depths with
+  | None -> ()
+  | Some ds ->
+    Array.iteri (fun t d -> if t < threads && d > 0 then depth.(t) <- d) ds);
+  let open_threads =
+    Array.fold_left (fun a d -> if d > 0 then a + 1 else a) 0 depth
+  in
   {
     cap = window;
     rings = Array.init threads (fun _ -> make_ring window);
-    depth = Array.make threads 0;
-    open_threads = 0;
+    depth;
+    open_threads;
     last_evicted = -1;
-    best = 0;
-    latest = 0;
+    best = (if open_threads = 0 then 0 else -1);
+    latest = (if open_threads = 0 then 0 else -1);
     last_index = -1;
     noted = 0;
   }

@@ -24,9 +24,13 @@ type t
 val default_window : int
 (** 256 — the conventional per-thread ring capacity. *)
 
-val create : ?window:int -> threads:int -> unit -> t
+val create : ?window:int -> ?depths:int array -> threads:int -> unit -> t
 (** A recorder with [window]-event rings for [threads] threads (rings
-    grow on demand if larger thread ids appear).
+    grow on demand if larger thread ids appear).  [?depths] seeds the
+    per-thread open-transaction depth for a recorder starting
+    mid-trace at a non-quiescent cut (a sharded chunk's boundary
+    summary): no position counts as quiescent until every seeded
+    straddler has closed its transaction.
     @raise Invalid_argument when [window < 1]. *)
 
 val window_size : t -> int

@@ -2,9 +2,11 @@
    the differential matrix — sequential vs sharded runs must render
    byte-identical reports across shard counts, prefilter and reclaim
    settings — plus adversarial chunk boundaries driven through the
-   [?cuts] test hook: transactions spanning a chunk edge, fork/join
-   split across shards, a violation at the boundary event, and forced
-   non-quiescent cuts that must be rejected, never mis-checked. *)
+   [?cuts] test hook: cuts through open transactions (mid-transaction,
+   between an open transaction's write and a racing read, fork/join
+   spanning the boundary), which the planner now accepts with a
+   boundary summary and the reconciliation repairs against the true
+   frontier rather than rejecting into whole-chunk replay. *)
 
 open Traces
 
@@ -16,11 +18,21 @@ let arena_of tr =
   Trace.iteri (fun _ e -> Packed.Arena.push a (Packed.of_event e)) tr;
   a
 
-let shard_check ?window ?cuts ~shards tr =
-  Parallel.Shard.check ?window ?cuts ~shards opt ~threads:(Trace.threads tr)
+let shard_check ?cuts ?flight ~shards tr =
+  Parallel.Shard.check ?cuts ?flight ~shards ~threads:(Trace.threads tr)
     ~locks:(Trace.locks tr) ~vars:(Trace.vars tr) (arena_of tr)
 
 let seq_violation tr = Aerodrome.Checker.run (module Aerodrome.Opt) tr
+
+let violating_trace ~seed ~threads ~at =
+  Workloads.Generator.generate
+    {
+      Workloads.Generator.default with
+      events = 1200;
+      threads;
+      seed = Int64.of_int seed;
+      plan = Workloads.Generator.Violate_at at;
+    }
 
 let pp_violation ppf = function
   | None -> Format.pp_print_string ppf "serializable"
@@ -62,6 +74,53 @@ let quiescent_positions tr =
     tr;
   q
 
+(* Per-thread transaction depth at position [p], recomputed
+   independently of the planner. *)
+let depths_at tr p =
+  let depth = Array.make (max 1 (Trace.threads tr)) 0 in
+  Trace.iteri
+    (fun i e ->
+      if i < p then
+        let t = (Event.thread e :> int) in
+        match Event.op e with
+        | Event.Begin -> depth.(t) <- depth.(t) + 1
+        | Event.End -> if depth.(t) > 0 then depth.(t) <- depth.(t) - 1
+        | _ -> ())
+    tr;
+  depth
+
+(* First position >= [p] where thread [t] is outside any transaction,
+   recomputed independently of the planner. *)
+let close_after tr p t =
+  let n = Trace.length tr in
+  let rec go pos depth =
+    if depth = 0 || pos >= n then pos
+    else
+      let e = Trace.get tr pos in
+      let depth =
+        if (Event.thread e :> int) <> t then depth
+        else
+          match Event.op e with
+          | Event.Begin -> depth + 1
+          | Event.End -> max 0 (depth - 1)
+          | _ -> depth
+      in
+      go (pos + 1) depth
+  in
+  go p (depths_at tr p).(t)
+
+(* The repair horizon the planner must compute for a tainted cut: all
+   straddling transactions close (phase 1), then every transaction open
+   at that moment closes too (phase 2). *)
+let horizon tr cut =
+  let phase from =
+    Array.to_seqi (depths_at tr from)
+    |> Seq.fold_left
+         (fun acc (t, d) -> if d > 0 then max acc (close_after tr from t) else acc)
+         from
+  in
+  phase (phase cut)
+
 (* --- differential matrix --- *)
 
 (* >= 500 mixed corpus traces, each checked sequentially and with
@@ -75,16 +134,6 @@ let test_matrix () =
   in
   (* the mixed corpus is serializable by construction; add generator
      traces with injected violations so both verdicts are exercised *)
-  let violating_trace ~seed ~threads ~at =
-    Workloads.Generator.generate
-      {
-        Workloads.Generator.default with
-        events = 1200;
-        threads;
-        seed = Int64.of_int seed;
-        plan = Workloads.Generator.Violate_at at;
-      }
-  in
   Parallel.Pool.with_pool 4 (fun pool ->
       let traces = ref 0 in
       let violating = ref 0 in
@@ -135,8 +184,71 @@ let test_matrix () =
         "some traces are serializable" true
         (!violating < !traces))
 
-(* Auto-planned cuts are quiescent and the chunk bounds partition the
-   arena, on whatever the corpus serves. *)
+(* Forced cuts at arbitrary (frequently non-quiescent) positions across
+   a generated corpus, composed with the exact prefilter and per-chunk
+   flight recorders: the reconciled verdict must match the sequential
+   checker on the same (filtered) event stream, whatever the cut slices
+   through. *)
+let test_adversarial_cut_matrix () =
+  let checked = ref 0 in
+  for seed = 0 to 39 do
+    List.iter
+      (fun threads ->
+        let tr0 =
+          if seed land 1 = 1 then
+            violating_trace ~seed ~threads
+              ~at:(0.2 +. (0.1 *. float_of_int (seed land 5)))
+          else
+            Workloads.Corpus.mixed ~seed:(Int64.of_int seed) ~threads
+              ~events_total:1200 ()
+        in
+        List.iter
+          (fun prefiltered ->
+            let tr =
+              if prefiltered then fst (Prefilter.run_trace `Exact tr0)
+              else tr0
+            in
+            let n = Trace.length tr in
+            if n > 8 then begin
+              let expected = seq_violation tr in
+              List.iter
+                (fun cuts ->
+                  let cuts = List.filter (fun c -> c > 0 && c < n) cuts in
+                  if cuts <> [] then begin
+                    incr checked;
+                    let o =
+                      shard_check ~cuts ~flight:64
+                        ~shards:(List.length cuts + 1)
+                        tr
+                    in
+                    Alcotest.(check violation)
+                      (Printf.sprintf
+                         "seed=%d threads=%d prefilter=%b cuts=[%s]" seed
+                         threads prefiltered
+                         (String.concat ";" (List.map string_of_int cuts)))
+                      expected o.Parallel.Shard.violation;
+                    Array.iter
+                      (fun (t : Parallel.Shard.task) ->
+                        Alcotest.(check bool)
+                          "flight recorder attached" true (t.flight <> None))
+                      o.Parallel.Shard.tasks
+                  end)
+                [
+                  [ n / 2 ];
+                  [ n / 3; 2 * n / 3 ];
+                  [ (n / 2) - 1; n / 2; (n / 2) + 1 ];
+                ]
+            end)
+          [ false; true ])
+      [ 2; 3; 4 ]
+  done;
+  Alcotest.(check bool) "adversarial matrix non-vacuous" true (!checked >= 400)
+
+(* Auto-planned boundaries: the chunk bounds partition the arena, the
+   summaries match an independent depth recomputation, and each repair
+   window spans exactly the gap from its cut to the two-phase horizon
+   — straddlers close, then the transactions open at that moment close
+   (zero for quiescent or touch-free cuts). *)
 let test_plan_invariants () =
   for seed = 0 to 19 do
     let tr =
@@ -148,17 +260,57 @@ let test_plan_invariants () =
     let plan =
       Aerodrome.Merge.plan ~threads:(Trace.threads tr) ~shards:4 (arena_of tr)
     in
-    Array.iter
-      (fun c ->
-        Alcotest.(check bool)
-          (Printf.sprintf "seed=%d cut %d quiescent" seed c)
-          true
-          (c = 0 || Hashtbl.mem q c))
-      plan.Aerodrome.Merge.cuts;
-    let bounds = Aerodrome.Merge.bounds plan ~total:n in
     Alcotest.(check int)
-      "first chunk starts at 0" 0
-      (fst bounds.(0));
+      "every candidate classified" plan.Aerodrome.Merge.targets
+      (plan.Aerodrome.Merge.quiescent + plan.Aerodrome.Merge.seamed);
+    let bs = plan.Aerodrome.Merge.boundaries in
+    Alcotest.(check int) "origin cut" 0 bs.(0).Aerodrome.Merge.cut;
+    Alcotest.(check int) "origin window" 0 bs.(0).Aerodrome.Merge.window;
+    Array.iteri
+      (fun i (b : Aerodrome.Merge.boundary) ->
+        if i > 0 then begin
+          Alcotest.(check bool)
+            (Printf.sprintf "seed=%d cut %d increasing" seed b.cut)
+            true
+            (b.cut > bs.(i - 1).Aerodrome.Merge.cut);
+          let depth = depths_at tr b.cut in
+          Alcotest.(check (array int))
+            (Printf.sprintf "seed=%d cut %d depths" seed b.cut)
+            depth b.depths;
+          let straddlers =
+            Array.fold_left (fun a d -> if d > 0 then a + 1 else a) 0 b.depths
+          in
+          if straddlers = 0 then begin
+            Alcotest.(check bool)
+              (Printf.sprintf "seed=%d cut %d quiescent" seed b.cut)
+              true (Hashtbl.mem q b.cut);
+            Alcotest.(check int) "quiescent cut: window 0" 0 b.window
+          end
+          else if b.window = 0 then
+            (* touch-free seam: depth seeding alone is exact *)
+            Alcotest.(check int)
+              (Printf.sprintf "seed=%d cut %d touch-free" seed b.cut)
+              0 b.tainted
+          else begin
+            (* the window closes at the two-phase horizon: straddlers
+               retire, then the transactions open at that moment retire
+               (capped at the arena end) *)
+            let h = b.cut + b.window in
+            Alcotest.(check int)
+              (Printf.sprintf "seed=%d cut %d window end" seed b.cut)
+              (min n (horizon tr b.cut))
+              h;
+            for p = b.cut to h - 1 do
+              Alcotest.(check bool)
+                (Printf.sprintf "seed=%d cut %d no quiescent inside window"
+                   seed b.cut)
+                false (Hashtbl.mem q p)
+            done
+          end
+        end)
+      bs;
+    let bounds = Aerodrome.Merge.bounds plan ~total:n in
+    Alcotest.(check int) "first chunk starts at 0" 0 (fst bounds.(0));
     Alcotest.(check int)
       "last chunk stops at n" n
       (snd bounds.(Array.length bounds - 1));
@@ -203,36 +355,89 @@ let test_boundary_violation () =
         (Printf.sprintf "cuts at [%s]"
            (String.concat ";" (List.map string_of_int cuts)))
         expected o.Parallel.Shard.violation;
-      Alcotest.(check int) "all cuts accepted" 0
-        o.Parallel.Shard.plan.Aerodrome.Merge.misses)
+      Alcotest.(check int)
+        "all cuts quiescent" (List.length cuts)
+        o.Parallel.Shard.plan.Aerodrome.Merge.quiescent;
+      Alcotest.(check int) "no seams" 0
+        o.Parallel.Shard.plan.Aerodrome.Merge.seamed;
+      Alcotest.(check int) "nothing repaired" 0
+        o.Parallel.Shard.repaired_events)
     [ [ 6 ]; [ 13 ]; [ 6; 13 ] ]
 
-(* A forced cut inside an open transaction is rejected: the plan
-   reports the miss and the rejected span as replay, the chunks fold
-   back together, and the verdict is untouched. *)
-let test_rejected_cut () =
+(* A forced cut inside thread 0's open transaction is accepted with a
+   boundary summary; the repair window spans from the cut to the
+   retirement horizon — here position 13, where the straddling
+   transaction closes — clipped by where the violation surfaces.
+   Expected per cut: (window, events actually repaired).  Cut 7 slices
+   right after the begin — touch-free, so depth seeding is exact and
+   the window is zero; cut 12 leaves the violation inside chunk 1,
+   whose speculative run is exact, so no repair runs at all. *)
+let test_mid_transaction_cut () =
   let tr = boundary_trace () in
   let expected = seq_violation tr in
   List.iter
-    (fun cut ->
+    (fun (cut, window, repaired) ->
       let o = shard_check ~cuts:[ cut ] ~shards:2 tr in
       let p = o.Parallel.Shard.plan in
       Alcotest.(check int)
-        (Printf.sprintf "cut %d rejected" cut)
-        1 p.Aerodrome.Merge.misses;
-      Alcotest.(check int) "no accepted cuts" 0 p.Aerodrome.Merge.hits;
-      Alcotest.(check bool) "replay accounted" true
-        (p.Aerodrome.Merge.replayed_events > 0);
-      Alcotest.(check int) "single chunk" 1
-        (Array.length o.Parallel.Shard.tasks);
+        (Printf.sprintf "cut %d seamed" cut)
+        1 p.Aerodrome.Merge.seamed;
+      Alcotest.(check int) "no quiescent cuts" 0 p.Aerodrome.Merge.quiescent;
+      Alcotest.(check int) "two chunks" 2 (Array.length o.Parallel.Shard.tasks);
+      let b = p.Aerodrome.Merge.boundaries.(1) in
+      Alcotest.(check int)
+        (Printf.sprintf "cut %d kept verbatim" cut)
+        cut b.Aerodrome.Merge.cut;
+      Alcotest.(check int)
+        (Printf.sprintf "cut %d window" cut)
+        window b.Aerodrome.Merge.window;
+      Alcotest.(check int)
+        (Printf.sprintf "cut %d repaired events" cut)
+        repaired o.Parallel.Shard.repaired_events;
       Alcotest.(check violation) "verdict unchanged" expected
         o.Parallel.Shard.violation)
-    [ 7; 9; 11; 12 ]
+    [ (7, 0, 0); (9, 4, 3); (11, 2, 1); (12, 1, 0) ]
 
-(* A transaction spanning the ideal equidistant cut: the planner snaps
-   to a nearby quiescent position rather than splitting the
-   transaction.  One long transaction occupies the middle of the trace,
-   so the midpoint cut of [shards = 2] falls inside it. *)
+(* A cut between an open transaction's write and the racing read that
+   closes the conflict cycle: the chunk checker cannot see t0's pre-cut
+   write of x0, so the speculative run is blind to the violation — the
+   repair window (which spans to the arena end: t0 never closes before
+   the violation) must surface it with the exact sequential index. *)
+let test_write_racing_read_cut () =
+  let tr =
+    Trace.of_events
+      Event.
+        [
+          begin_ 0; write 0 0;                    (* 0,1  t0 opens, writes x0 *)
+          begin_ 1; read 1 0; write 1 1; end_ 1;  (* 2..5 t1 reads x0, writes x1 *)
+          read 0 1;                               (* 6    cycle closes: violation *)
+          end_ 0;                                 (* 7 *)
+        ]
+  in
+  let expected = seq_violation tr in
+  (match expected with
+  | Some v -> Alcotest.(check int) "sequential violation index" 6 v.index
+  | None -> Alcotest.fail "write/racing-read trace must violate");
+  let o = shard_check ~cuts:[ 2 ] ~flight:16 ~shards:2 tr in
+  let p = o.Parallel.Shard.plan in
+  Alcotest.(check int) "seamed" 1 p.Aerodrome.Merge.seamed;
+  Alcotest.(check int) "quiescent" 0 p.Aerodrome.Merge.quiescent;
+  Alcotest.(check bool) "taint accounted" true
+    (p.Aerodrome.Merge.tainted_events > 0);
+  let b = p.Aerodrome.Merge.boundaries.(1) in
+  Alcotest.(check int) "cut kept verbatim" 2 b.Aerodrome.Merge.cut;
+  (* no quiescent position before the end: the window spans the rest *)
+  Alcotest.(check int) "window spans to the arena end" 6
+    b.Aerodrome.Merge.window;
+  Alcotest.(check violation) "verdict from the repair" expected
+    o.Parallel.Shard.violation;
+  Alcotest.(check int) "repair fed up to the violation" 5
+    o.Parallel.Shard.repaired_events
+
+(* A transaction spanning the ideal equidistant cut with no quiescent
+   position in snapping range: the planner keeps the mid-transaction
+   cut, records its summary, and the window runs to the transaction's
+   end. *)
 let test_transaction_spanning_edge () =
   let mid =
     List.concat
@@ -253,23 +458,25 @@ let test_transaction_spanning_edge () =
            [ Event.begin_ 1; Event.read 1 (3 + (i mod 2)); Event.end_ 1 ]))
   in
   let tr = Trace.of_events (prologue @ mid @ epilogue) in
-  let q = quiescent_positions tr in
-  (* a window wide enough to escape the 42-event transaction *)
-  let o = shard_check ~window:30 ~shards:2 tr in
+  let o = shard_check ~shards:2 tr in
   let p = o.Parallel.Shard.plan in
-  Alcotest.(check int) "cut snapped, not missed" 1 p.Aerodrome.Merge.hits;
-  Array.iter
-    (fun c ->
-      Alcotest.(check bool)
-        (Printf.sprintf "cut %d outside the transaction" c)
-        true
-        (c = 0 || Hashtbl.mem q c))
-    p.Aerodrome.Merge.cuts;
+  Alcotest.(check int) "midpoint cut seamed" 1 p.Aerodrome.Merge.seamed;
+  Alcotest.(check int) "no quiescent snap in range" 0
+    p.Aerodrome.Merge.quiescent;
+  let b = p.Aerodrome.Merge.boundaries.(1) in
+  Alcotest.(check int) "midpoint cut" 51 b.Aerodrome.Merge.cut;
+  (* the transaction closes after event 71; 72 is the next quiescent *)
+  Alcotest.(check int) "window to the transaction end" 21
+    b.Aerodrome.Merge.window;
+  Alcotest.(check int) "whole window repaired" 21
+    o.Parallel.Shard.repaired_events;
   Alcotest.(check violation) "serializable across the span" (seq_violation tr)
     o.Parallel.Shard.violation
 
-(* Fork and join land in different chunks: the cut sits between them,
-   and both the HB edges and the verdict survive the split. *)
+(* Fork and join land in different chunks.  A quiescent cut between
+   them (13) and a non-quiescent cut inside a filler transaction (15,
+   after its write — one tainted access, window to the transaction's
+   end): both must preserve the HB edges and the verdict. *)
 let test_fork_join_across_shards () =
   let tr =
     Trace.of_events
@@ -287,20 +494,29 @@ let test_fork_join_across_shards () =
          ])
   in
   let expected = seq_violation tr in
-  (* force the cut into the quiescent gap between fork and join (after
-     the first two of the six filler transactions) *)
+  (* quiescent cut in the gap between fork and join *)
   let o = shard_check ~cuts:[ 13 ] ~shards:2 tr in
-  Alcotest.(check int) "cut accepted" 1
-    o.Parallel.Shard.plan.Aerodrome.Merge.hits;
+  Alcotest.(check int) "cut quiescent" 1
+    o.Parallel.Shard.plan.Aerodrome.Merge.quiescent;
   Alcotest.(check int) "two chunks" 2 (Array.length o.Parallel.Shard.tasks);
   Alcotest.(check violation) "verdict across fork/join" expected
+    o.Parallel.Shard.violation;
+  (* non-quiescent cut mid-filler-transaction, still between fork and
+     join: seamed, repaired to the transaction end, same verdict *)
+  let o = shard_check ~cuts:[ 15 ] ~shards:2 tr in
+  let p = o.Parallel.Shard.plan in
+  Alcotest.(check int) "cut seamed" 1 p.Aerodrome.Merge.seamed;
+  Alcotest.(check int) "window to the filler end" 1
+    p.Aerodrome.Merge.boundaries.(1).Aerodrome.Merge.window;
+  Alcotest.(check violation) "verdict across the seam" expected
     o.Parallel.Shard.violation
 
 (* events_fed and the rendered report go through the runner too: a
    violating binary-style trace via Runner.run with a forced shard
    count must match the sequential report byte for byte.  (The
    file-level plumbing is covered by the cram test; here we pin the
-   trace-level entry.) *)
+   trace-level entry.)  [0] is the auto sentinel — a 16-event trace
+   resolves to one shard and must take the sequential path. *)
 let test_runner_report_identity () =
   let tr = boundary_trace () in
   let normalized r =
@@ -314,23 +530,27 @@ let test_runner_report_identity () =
       Alcotest.(check string)
         (Printf.sprintf "runner report, %d shards" shards)
         (normalized base) (normalized r))
-    [ 2; 3; 4 ]
+    [ 0; 2; 3; 4 ]
 
 let suite =
   ( "shard",
     [
       Alcotest.test_case "differential: sequential vs sharded matrix" `Slow
         test_matrix;
-    Alcotest.test_case "plan: cuts quiescent, bounds partition" `Quick
-      test_plan_invariants;
-    Alcotest.test_case "boundary: violation at the cut" `Quick
-      test_boundary_violation;
-    Alcotest.test_case "boundary: non-quiescent cut rejected" `Quick
-      test_rejected_cut;
-    Alcotest.test_case "boundary: transaction spans the ideal cut" `Quick
-      test_transaction_spanning_edge;
-    Alcotest.test_case "boundary: fork/join across shards" `Quick
-      test_fork_join_across_shards;
+      Alcotest.test_case "differential: forced adversarial cuts" `Slow
+        test_adversarial_cut_matrix;
+      Alcotest.test_case "plan: summaries, windows, bounds partition" `Quick
+        test_plan_invariants;
+      Alcotest.test_case "boundary: violation at the cut" `Quick
+        test_boundary_violation;
+      Alcotest.test_case "boundary: cut inside an open transaction" `Quick
+        test_mid_transaction_cut;
+      Alcotest.test_case "boundary: cut between write and racing read" `Quick
+        test_write_racing_read_cut;
+      Alcotest.test_case "boundary: transaction spans the ideal cut" `Quick
+        test_transaction_spanning_edge;
+      Alcotest.test_case "boundary: fork/join across shards" `Quick
+        test_fork_join_across_shards;
       Alcotest.test_case "runner: sharded report identity" `Quick
         test_runner_report_identity;
     ] )
