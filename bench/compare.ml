@@ -242,6 +242,28 @@ let extract (doc : t) : indicator list =
           (Lower_better_abs repair_tol) (Some !total_events)
     | None -> ())
   | None -> ());
+  (* scheduler: steal-side throughput, plus the steal-vs-static ratio.
+     The ratio is what the section exists to defend — stealing falling
+     behind the static split on the adversarial workload is a scheduler
+     regression even when absolute throughput moved with the machine.
+     Both are trace-shape dependent, so guard on workload size. *)
+  (match obj doc "scheduler" with
+  | Some s ->
+    let events = num s "events" in
+    (match obj s "steal" with
+    | Some st -> (
+      match num st "events_per_sec" with
+      | Some eps when eps > 0. ->
+        add "scheduler: steal events/sec" eps (Higher_better throughput_tol)
+          None
+      | _ -> ())
+    | None -> ());
+    (match num s "steal_vs_static" with
+    | Some r when r > 0. ->
+      add "scheduler: steal_vs_static ratio" r (Higher_better throughput_tol)
+        events
+    | _ -> ())
+  | None -> ());
   (* observability: live-scraped throughput *)
   (match obj doc "observability" with
   | Some o -> (

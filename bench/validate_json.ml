@@ -1,5 +1,5 @@
 (* Schema validator for the bench harness's --json output
-   (schema "aerodrome-bench/9").  Exits 0 and prints "ok" when the file
+   (schema "aerodrome-bench/10").  Exits 0 and prints "ok" when the file
    parses and carries the expected structure; prints a diagnostic and
    exits 1 otherwise.  Used by the cram test so the emitter cannot rot.
 
@@ -350,6 +350,66 @@ let check_shards = function
           runs)
       cases
 
+(* The scheduler section compares the static one-chunk-per-domain
+   executor with the work-stealing scheduler on the adversarial case.
+   Both must agree with the sequential report byte for byte, and the
+   steal side's accounting must be internally consistent (exactly one
+   utilization entry per domain, each in [0, 1]).  The steal-vs-static
+   ratio itself is machine-dependent — a single-core run hovers around
+   1x — so it is recorded, not gated; the multi-core CI runners are
+   where the ratio is read. *)
+let check_scheduler = function
+  | Null -> ()
+  | s ->
+    ignore (as_num "scheduler.threads" (field s "threads"));
+    if as_num "scheduler.events" (field s "events") <= 0. then
+      bad "scheduler: events <= 0";
+    let domains = as_num "scheduler.domains" (field s "domains") in
+    if domains < 1. then bad "scheduler: domains < 1";
+    let seq = field s "sequential" in
+    if as_num "scheduler.sequential.seconds" (field seq "seconds") < 0. then
+      bad "scheduler.sequential: negative seconds";
+    if
+      as_num "scheduler.sequential.events_per_sec"
+        (field seq "events_per_sec")
+      < 0.
+    then bad "scheduler.sequential: negative events_per_sec";
+    let side name =
+      let v = field s name in
+      let where = "scheduler." ^ name in
+      if as_num (where ^ ".seconds") (field v "seconds") < 0. then
+        bad "%s: negative seconds" where;
+      if as_num (where ^ ".events_per_sec") (field v "events_per_sec") < 0.
+      then bad "%s: negative events_per_sec" where;
+      if as_num (where ^ ".speedup") (field v "speedup") < 0. then
+        bad "%s: negative speedup" where;
+      if not (as_bool (where ^ ".verdicts_match") (field v "verdicts_match"))
+      then bad "%s: verdict diverged from sequential" where;
+      if not (as_bool (where ^ ".reports_match") (field v "reports_match"))
+      then bad "%s: report diverged from sequential" where;
+      v
+    in
+    ignore (side "static");
+    let steal = side "steal" in
+    if as_num "scheduler.steal.chunks" (field steal "chunks") < 1. then
+      bad "scheduler.steal: chunks < 1";
+    List.iter
+      (fun k ->
+        if as_num ("scheduler.steal." ^ k) (field steal k) < 0. then
+          bad "scheduler.steal: negative %s" k)
+      [ "steals"; "failed_steals"; "injected" ];
+    let util = as_list "scheduler.steal.utilization" (field steal "utilization") in
+    if List.length util <> int_of_float domains then
+      bad "scheduler.steal: utilization arity <> domains";
+    List.iteri
+      (fun j u ->
+        let u = as_num (Printf.sprintf "scheduler.steal.utilization[%d]" j) u in
+        if u < 0. || u > 1. then
+          bad "scheduler.steal.utilization[%d]: outside [0, 1]" j)
+      util;
+    if as_num "scheduler.steal_vs_static" (field s "steal_vs_static") <= 0.
+    then bad "scheduler: steal_vs_static <= 0"
+
 (* The observability section is the live-telemetry axis.  The exporter
    half must have served at least one validator-clean exposition, and —
    on runs big enough for the measurement to mean anything (the 1M+
@@ -434,7 +494,7 @@ let check_observability = function
 
 let check_root j =
   let schema = as_str "schema" (field j "schema") in
-  if schema <> "aerodrome-bench/9" then bad "unknown schema %S" schema;
+  if schema <> "aerodrome-bench/10" then bad "unknown schema %S" schema;
   ignore (as_num "scale" (field j "scale"));
   ignore (as_num "timeout" (field j "timeout"));
   if as_num "jobs" (field j "jobs") < 1. then bad "jobs < 1";
@@ -461,6 +521,7 @@ let check_root j =
   check_prefilter (field j "prefilter");
   check_arena (field j "arena");
   check_shards (field j "shards");
+  check_scheduler (field j "scheduler");
   check_observability (field j "observability");
   if tables = [] && micro = [] && field j "parallel" = Null then
     bad "no tables and no micro results"

@@ -100,6 +100,51 @@ let check_stats_file ~pipelined ~where f =
         (fun key -> ignore (metric_value ~where:mwhere metrics key))
         ring_metrics
 
+(* Scheduler telemetry: when `rapid` ran the work-stealing scheduler
+   the process snapshot carries a "sched" object and the global
+   registry the matching sched.* probes.  Either both appear with the
+   documented key set or neither does — a partial export is drift. *)
+let sched_metrics =
+  [
+    "sched.domains";
+    "sched.steals";
+    "sched.failed_steals";
+    "sched.injected";
+    "sched.completed";
+  ]
+
+let check_sched process =
+  let global = as_obj "process.global" (field process "global") in
+  match List.assoc_opt "sched" (as_obj "process" process) with
+  | None ->
+    List.iter
+      (fun key ->
+        if List.mem_assoc key global then
+          bad "process.global: %S probe without a process.sched object" key)
+      sched_metrics
+  | Some s ->
+    List.iter
+      (fun key -> ignore (metric_value ~where:"process.global" global key))
+      sched_metrics;
+    let domains = as_num "process.sched.domains" (field s "domains") in
+    if domains < 1. then bad "process.sched: domains < 1";
+    List.iter
+      (fun k ->
+        if as_num ("process.sched." ^ k) (field s k) < 0. then
+          bad "process.sched: negative %s" k)
+      [ "steals"; "failed_steals"; "injected"; "completed" ];
+    List.iter
+      (fun k ->
+        let l = as_list ("process.sched." ^ k) (field s k) in
+        if List.length l <> int_of_float domains then
+          bad "process.sched.%s: arity <> domains" k;
+        List.iteri
+          (fun i v ->
+            if as_num (Printf.sprintf "process.sched.%s[%d]" k i) v < 0. then
+              bad "process.sched.%s[%d]: negative" k i)
+          l)
+      [ "busy_seconds"; "utilization"; "tasks" ]
+
 let check_stats ~pipelined j =
   let schema = as_str "schema" (field j "schema") in
   if schema <> "aerodrome-stats/1" then bad "unknown schema %S" schema;
@@ -110,7 +155,7 @@ let check_stats ~pipelined j =
     (fun i f ->
       check_stats_file ~pipelined ~where:(Printf.sprintf "files[%d]" i) f)
     files;
-  ignore (as_obj "process.global" (field (field j "process") "global"))
+  check_sched (field j "process")
 
 let check_trace j =
   let events = as_list "traceEvents" (field j "traceEvents") in

@@ -23,6 +23,14 @@ let read_trace path =
       Format.eprintf "%s: %a@." path Traces.Parser.pp_error e;
       exit 2
 
+(* --shards execution mode.  [Steal] is the work-stealing scheduler
+   (DESIGN.md §18): one machine-wide domain budget (--jobs) owns both
+   the file fan-out and the intra-file micro-chunks.  [Static n] is the
+   fixed boundary-summary plan on a dedicated chunk pool (n = 0: the
+   per-file auto count), kept for differential testing and as the
+   --no-packed fallback. *)
+type shard_mode = Steal | Static of int
+
 let checker_of_name = function
   | "aerodrome" -> Ok (module Aerodrome.Opt : Aerodrome.Checker.S)
   | "aerodrome-basic" -> Ok (module Aerodrome.Basic : Aerodrome.Checker.S)
@@ -90,55 +98,79 @@ let check_cmd =
       & opt int (Domain.recommended_domain_count ())
       & info [ "j"; "jobs" ] ~docv:"N"
           ~doc:
-            "Check up to $(docv) trace files in parallel on a fixed domain \
-             pool (default: the number of available cores).  Reports are \
-             printed in argument order regardless of completion order; each \
-             file's checker is the exact sequential one, so verdicts are \
-             identical to $(b,--jobs) 1.")
+            "The machine-wide domain budget (default: the number of \
+             available cores).  In the default $(b,--shards) $(b,steal) \
+             mode one work-stealing scheduler of $(docv) domains owns \
+             both parallelism axes — trace files fan out as tasks that \
+             spawn their own chunk tasks on the same deques.  In \
+             $(b,static) mode it caps the file-level fan-out.  Reports \
+             are printed in argument order regardless of completion \
+             order; each file's report is byte-identical to $(b,--jobs) \
+             1.")
   in
   let shards =
-    (* $(docv) is an integer or "auto"; auto is the 0 sentinel the
-       runner resolves per file from the trace length and core count *)
+    (* $(docv) selects the execution mode: "steal"/"auto" is the
+       work-stealing scheduler, "static:N" (or a bare integer, the
+       historical spelling) the fixed chunk plan on a dedicated pool *)
     let shards_conv =
       let parse s =
-        if s = "auto" then Ok 0
-        else
+        match s with
+        | "steal" | "auto" -> Ok Steal
+        | "static" | "static:auto" -> Ok (Static 0)
+        | _ -> (
+          let static n = Ok (Static (max 1 n)) in
           match int_of_string_opt s with
-          | Some n -> Ok (max 1 n)
-          | None ->
-            Error
-              (`Msg
-                 (Printf.sprintf
-                    "invalid shard count %S (expected an integer or \"auto\")"
-                    s))
+          | Some n -> static n
+          | None -> (
+            match String.index_opt s ':' with
+            | Some i
+              when String.sub s 0 i = "static" ->
+              (match
+                 int_of_string_opt
+                   (String.sub s (i + 1) (String.length s - i - 1))
+               with
+              | Some n -> static n
+              | None ->
+                Error
+                  (`Msg (Printf.sprintf "invalid static shard count %S" s)))
+            | _ ->
+              Error
+                (`Msg
+                   (Printf.sprintf
+                      "invalid shard mode %S (expected \"steal\", \
+                       \"static:N\", an integer or \"auto\")"
+                      s))))
       in
-      let print ppf n =
-        if n = 0 then Format.pp_print_string ppf "auto"
-        else Format.pp_print_int ppf n
+      let print ppf = function
+        | Steal -> Format.pp_print_string ppf "steal"
+        | Static 0 -> Format.pp_print_string ppf "static:auto"
+        | Static n -> Format.fprintf ppf "static:%d" n
       in
       Arg.conv (parse, print)
     in
     Arg.(
       value
       & opt (some shards_conv) None
-      & info [ "s"; "shards" ] ~docv:"N"
+      & info [ "s"; "shards" ] ~docv:"MODE"
           ~doc:
-            "Split a single packed binary trace into $(docv) chunks at \
-             boundary-summary cuts and check the chunks concurrently, one \
-             domain each.  Cuts need not be quiescent: each chunk checker \
-             is seeded with the cut's open-transaction summary, and \
-             reconciliation repairs only the short window until the \
-             transactions straddling the cut (and those open at their \
-             close) have retired, so the report is byte-identical to \
-             the sequential run.  \
-             $(docv) is a chunk count or $(b,auto), which sizes the chunk \
-             count per file from the trace length and the available \
-             cores (small traces run sequentially).  Default: $(b,auto) \
-             when checking a single file with more than one job \
-             available, 1 otherwise; $(b,--shards) 1 disables.  Only the \
-             default $(b,aerodrome) checker shards; other algorithms, \
-             text traces, timed-out and $(b,--no-packed) runs fall back \
-             to the sequential path.")
+            "How to split packed binary traces into chunks at \
+             boundary-summary cuts and check the chunks concurrently.  \
+             Cuts need not be quiescent: each chunk checker is seeded \
+             with the cut's open-transaction summary, and reconciliation \
+             repairs only the short window until the transactions \
+             straddling the cut (and those open at their close) have \
+             retired, so the report is byte-identical to the sequential \
+             run.  $(b,steal) (also $(b,auto); the default on packed \
+             runs) cuts each trace into fine-grained micro-chunks and \
+             runs them — and the file fan-out itself — on one \
+             work-stealing scheduler of $(b,--jobs) domains, the single \
+             machine-wide budget.  $(b,static:N) (or a bare integer) \
+             pins a fixed chunk count on a dedicated pool, one domain \
+             per chunk ($(b,static:auto) sizes the count per file); \
+             $(b,--shards) 1 disables sharding.  Only the default \
+             $(b,aerodrome) checker shards; other algorithms, text \
+             traces, timed-out and $(b,--no-packed) runs fall back to \
+             the sequential path.")
   in
   let reclaim =
     Arg.(
@@ -314,25 +346,30 @@ let check_cmd =
           })
         flight_record
     in
-    let shards =
+    let mode =
       match shards with
-      | Some n -> n
-      | None -> (
-        (* default: auto-shard a lone trace — multi-file runs prefer
-           the file-level fan-out *)
-        match paths with [ _ ] when jobs > 1 && packed -> 0 | _ -> 1)
+      | Some m -> m
+      | None ->
+        (* default: the work-stealing scheduler whenever the packed
+           chunk path is available; --no-packed runs have nothing to
+           chunk and keep the sequential per-file path *)
+        if packed then Steal else Static 1
     in
     let cores = Domain.recommended_domain_count () in
-    (* one warning per invocation, not per file; auto sharding caps at
-       the core count by construction, so only explicit counts warn *)
-    if jobs > cores then
-      Format.eprintf "rapid: warning: --jobs %d exceeds %d available core%s@."
-        jobs cores
-        (if cores = 1 then "" else "s")
-    else if shards > cores then
-      Format.eprintf
-        "rapid: warning: --shards %d exceeds %d available core%s@." shards
-        cores
+    (* one consolidated warning on the unified domain budget: in
+       stealing mode the scheduler owns every domain and --jobs is the
+       whole budget; in static mode the worst case is the larger axis
+       (the runner divides --jobs by the shard width, so the product
+       never exceeds it).  Auto counts cap at the core count by
+       construction, so only explicit counts warn. *)
+    let budget, budget_src =
+      match mode with
+      | Steal -> (jobs, "--jobs")
+      | Static n -> if n > jobs then (n, "--shards") else (jobs, "--jobs")
+    in
+    if budget > cores then
+      Format.eprintf "rapid: warning: %s %d exceeds %d available core%s@."
+        budget_src budget cores
         (if cores = 1 then "" else "s");
     if stats || stats_json <> None || trace_out <> None || metrics_addr <> None
     then Obs.enable ();
@@ -363,16 +400,70 @@ let check_cmd =
         progress
     in
     let pool_busy = ref None in
+    (* The work-stealing scheduler: created once, machine-wide, when
+       stealing has more than one domain to run on and the batch can
+       actually use them — any multi-file run (the file fan-out itself
+       executes on the scheduler), or a lone packed binary trace (its
+       chunks do).  A lone text trace stays on the sequential path it
+       always had, so no idle scheduler pollutes its telemetry. *)
+    let sched =
+      match mode with
+      | Static _ -> None
+      | Steal when budget <= 1 -> None
+      | Steal ->
+        let viable =
+          match paths with
+          | [ p ] -> (
+            packed
+            && (try Traces.Binfmt.is_binary p with Sys_error _ -> false)
+            &&
+            (* too-small traces run sequentially (the runner's own
+               gate); don't spawn idle domains for them *)
+            match Traces.Binfmt.read_header p with
+            | h ->
+              Analysis.Runner.steal_worthwhile ~shards:0
+                ~events:h.Traces.Binfmt.events
+            | exception _ -> false)
+          | _ -> true
+        in
+        if viable then Some (Parallel.Deque.create budget) else None
+    in
+    (* live scheduler telemetry for the OpenMetrics endpoint (and the
+       process snapshot): lazy probes, sampled at scrape time *)
+    (match sched with
+    | None -> ()
+    | Some sc ->
+      let stat name f =
+        Obs.Registry.probe Obs.Registry.global name (fun () ->
+            Obs.Snapshot.Int (f (Parallel.Deque.stats sc)))
+      in
+      stat "sched.domains" (fun s -> s.Parallel.Deque.domains);
+      stat "sched.steals" (fun (s : Parallel.Deque.stats) -> s.steals);
+      stat "sched.failed_steals" (fun (s : Parallel.Deque.stats) ->
+          s.failed_steals);
+      stat "sched.injected" (fun (s : Parallel.Deque.stats) -> s.injected);
+      stat "sched.completed" (fun (s : Parallel.Deque.stats) -> s.completed));
+    (* the shard width handed to the runner: 0 (auto micro-chunking)
+       only makes sense on a live scheduler — a steal-mode run that
+       created none (one domain, lone text trace, sub-threshold binary)
+       is sequential, and must stay eligible for --pipelined *)
+    let shards =
+      match mode with
+      | Steal -> if sched = None then 1 else 0
+      | Static n -> n
+    in
     (* a lone sharded trace reuses one chunk pool across the run so its
        per-domain busy seconds can be reported like the file pool's *)
     let shard_pool =
-      (* only when the file can actually shard (binary): idle workers
-         would otherwise pollute the pool telemetry.  An auto count is
-         resolved from the header here so the pool matches the chunk
-         fan-out the runner will pick. *)
+      (* static mode only, and only when the file can actually shard
+         (binary): idle workers would otherwise pollute the pool
+         telemetry.  An auto count is resolved from the header here so
+         the pool matches the chunk fan-out the runner will pick. *)
       match paths with
       | [ p ]
-        when (shards = 0 || shards > 1)
+        when sched = None
+             && (match mode with Static _ -> true | Steal -> false)
+             && (shards = 0 || shards > 1)
              && (try Traces.Binfmt.is_binary p with Sys_error _ -> false) ->
         let width =
           if shards > 0 then shards
@@ -389,8 +480,9 @@ let check_cmd =
     let run_started = Unix.gettimeofday () in
     let reports =
       Analysis.Runner.run_many ?timeout ?heartbeat ~pipelined ~reclaim
-        ~prefilter ~packed ~jobs ~shards ?shard_pool ?flight
-        ~on_pool:(fun b -> pool_busy := Some b)
+        ~prefilter ~packed ~jobs ~shards ?shard_pool ?sched ?flight
+        ?on_pool:
+          (if sched = None then Some (fun b -> pool_busy := Some b) else None)
         checker paths
     in
     Option.iter Obs.Exporter.stop exporter;
@@ -401,6 +493,15 @@ let check_cmd =
       if !pool_busy = None then
         pool_busy := Some (Parallel.Pool.busy_seconds p)
     | None -> ());
+    (* final scheduler reading, after the joined workers' counters are
+       all published *)
+    let sched_stats =
+      match sched with
+      | None -> None
+      | Some sc ->
+        Parallel.Deque.shutdown sc;
+        Some (Parallel.Deque.stats sc)
+    in
     let single = match paths with [ _ ] -> true | _ -> false in
     List.iter
       (fun fr ->
@@ -433,6 +534,16 @@ let check_cmd =
         Array.iteri
           (fun i s -> Format.printf "  pool.worker%d.busy_seconds  %.3f@." i s)
           busy
+      | None -> ());
+      (match sched_stats with
+      | Some st ->
+        Array.iteri
+          (fun i s ->
+            Format.printf "  sched.worker%d.busy_seconds  %.3f@." i s)
+          st.Parallel.Deque.busy_seconds;
+        Array.iteri
+          (fun i n -> Format.printf "  sched.worker%d.tasks  %d@." i n)
+          st.Parallel.Deque.ran
       | None -> ())
     end;
     (match stats_json with
@@ -471,6 +582,53 @@ let check_cmd =
       let process =
         let fields =
           [ ("global", Obs.Snapshot.to_json (process_snapshot ())) ]
+        in
+        (* per-worker scheduler telemetry: the counters mirror the
+           sched.* probes in [global]; utilization is each domain's
+           busy fraction of the whole run's wall clock *)
+        let fields =
+          match sched_stats with
+          | None -> fields
+          | Some st ->
+            let nums f xs =
+              Obs.Json.List (Array.to_list xs |> List.map f)
+            in
+            fields
+            @ [
+                ( "sched",
+                  Obs.Json.Obj
+                    [
+                      ( "domains",
+                        Obs.Json.Num
+                          (float_of_int st.Parallel.Deque.domains) );
+                      ( "steals",
+                        Obs.Json.Num (float_of_int st.Parallel.Deque.steals)
+                      );
+                      ( "failed_steals",
+                        Obs.Json.Num
+                          (float_of_int st.Parallel.Deque.failed_steals) );
+                      ( "injected",
+                        Obs.Json.Num (float_of_int st.Parallel.Deque.injected)
+                      );
+                      ( "completed",
+                        Obs.Json.Num
+                          (float_of_int st.Parallel.Deque.completed) );
+                      ( "busy_seconds",
+                        nums
+                          (fun s -> Obs.Json.Num s)
+                          st.Parallel.Deque.busy_seconds );
+                      ( "utilization",
+                        nums
+                          (fun s ->
+                            Obs.Json.Num
+                              (if run_wall > 0. then s /. run_wall else 0.))
+                          st.Parallel.Deque.busy_seconds );
+                      ( "tasks",
+                        nums
+                          (fun n -> Obs.Json.Num (float_of_int n))
+                          st.Parallel.Deque.ran );
+                    ] );
+              ]
         in
         match !pool_busy with
         | Some busy ->

@@ -249,6 +249,27 @@ let resolve_shards ~shards ~events =
 let shardable ~shards ~timeout (module C : Aerodrome.Checker.S) =
   (shards = 0 || shards > 1) && timeout = None && C.name = Aerodrome.Opt.name
 
+(* With a scheduler lent ([?sched]) the sharded paths execute on it in
+   work-stealing mode ({!Parallel.Shard.check_stealing}): [shards] then
+   keeps its sentinel reading — [0] lets the shard layer micro-chunk
+   (oversubscribed, scheduler-sized), an explicit count forces that
+   exact plan (the differential tests run the {e same} plans as static
+   sharding through the stealing executor).  Auto stealing keeps the
+   static path's small-trace gate: below it the planner costs more
+   than the parallelism returns and the sequential path runs. *)
+let steal_worthwhile ~shards ~events =
+  shards > 1 || events >= 2 * min_shard_events
+
+let shard_check ?sched ?shard_pool ?flight ~shards ~threads ~locks ~vars arena
+    =
+  match sched with
+  | Some sched ->
+    Parallel.Shard.check_stealing ~sched ?flight ~shards ~threads ~locks ~vars
+      arena
+  | None ->
+    Parallel.Shard.check ?pool:shard_pool ?flight ~shards ~threads ~locks
+      ~vars arena
+
 let shard_entries ~events (o : Parallel.Shard.outcome) =
   if not (Obs.on ()) then []
   else
@@ -329,7 +350,7 @@ let finish_sharded (module C : Aerodrome.Checker.S) ~started ?file_bytes
 
 (* Sharded variant of [run]: filter like the sequential path, pack the
    (filtered) trace into an arena, fan chunk checkers out. *)
-let run_trace_sharded ?heartbeat ~prefilter ~shards ?shard_pool ?flight
+let run_trace_sharded ?heartbeat ~prefilter ~shards ?shard_pool ?sched ?flight
     (module C : Aerodrome.Checker.S) tr =
   collected (fun () ->
       let tr =
@@ -344,7 +365,7 @@ let run_trace_sharded ?heartbeat ~prefilter ~shards ?shard_pool ?flight
       let arena = Packed.Arena.create () in
       Trace.iteri (fun _ e -> Packed.Arena.push arena (Packed.of_event e)) tr;
       let o =
-        Parallel.Shard.check ?pool:shard_pool
+        shard_check ?sched ?shard_pool
           ?flight:(Option.map (fun f -> f.flight_window) flight)
           ~shards ~threads:(Trace.threads tr) ~locks:(Trace.locks tr)
           ~vars:(Trace.vars tr) arena
@@ -355,14 +376,22 @@ let run_trace_sharded ?heartbeat ~prefilter ~shards ?shard_pool ?flight
         ~vars:(Trace.vars tr) o ~events_fed:n)
 
 let run ?timeout ?heartbeat ?(reclaim = true) ?(prefilter = Off) ?(shards = 1)
-    ?shard_pool ?flight (module C : Aerodrome.Checker.S) tr =
-  let shards = resolve_shards ~shards ~events:(Trace.length tr) in
+    ?shard_pool ?sched ?flight (module C : Aerodrome.Checker.S) tr =
+  let events = Trace.length tr in
+  let stealing =
+    sched <> None
+    && shardable ~shards ~timeout (module C)
+    && steal_worthwhile ~shards ~events
+  in
+  let shards = if stealing then shards else resolve_shards ~shards ~events in
   if
-    shardable ~shards ~timeout (module C)
+    (stealing || shardable ~shards ~timeout (module C))
     && Packed.fits ~threads:(Trace.threads tr) ~locks:(Trace.locks tr)
          ~vars:(Trace.vars tr)
   then
-    run_trace_sharded ?heartbeat ~prefilter ~shards ?shard_pool ?flight
+    run_trace_sharded ?heartbeat ~prefilter ~shards ?shard_pool
+      ?sched:(if stealing then sched else None)
+      ?flight
       (module C : Aerodrome.Checker.S)
       tr
   else
@@ -628,8 +657,9 @@ let run_packed_file ?timeout ?heartbeat ~reclaim ~prefilter ?flight
 (* Sharded counterpart of [run_packed_file]: ingest (and filter) into
    an arena first, then fan chunk checkers out over it.  The timer
    covers the ingestion, mirroring the sequential path's decode. *)
-let run_packed_file_sharded ?heartbeat ~prefilter ~shards ?shard_pool ?flight
-    (module C : Aerodrome.Checker.S) path (header : Traces.Binfmt.header) =
+let run_packed_file_sharded ?heartbeat ~prefilter ~shards ?shard_pool ?sched
+    ?flight (module C : Aerodrome.Checker.S) path
+    (header : Traces.Binfmt.header) =
   collected ~file:path (fun () ->
       let stats = binary_stats ~prefilter path in
       let pf = Option.map Prefilter.create (prefilter_mode ~prefilter ~stats) in
@@ -645,7 +675,7 @@ let run_packed_file_sharded ?heartbeat ~prefilter ~shards ?shard_pool ?flight
                Prefilter.feed_packed p w push));
         Prefilter.finish_packed p push);
       let o =
-        Parallel.Shard.check ?pool:shard_pool
+        shard_check ?sched ?shard_pool
           ?flight:(Option.map (fun f -> f.flight_window) flight)
           ~shards ~threads:header.Traces.Binfmt.threads
           ~locks:header.Traces.Binfmt.locks ~vars:header.Traces.Binfmt.vars
@@ -658,16 +688,21 @@ let run_packed_file_sharded ?heartbeat ~prefilter ~shards ?shard_pool ?flight
         ~events_fed:(Packed.Arena.length arena))
 
 let run_stream_seq ?timeout ?heartbeat ?(reclaim = true) ?(prefilter = Off)
-    ?(packed = true) ?(shards = 1) ?shard_pool ?flight
+    ?(packed = true) ?(shards = 1) ?shard_pool ?sched ?flight
     (module C : Aerodrome.Checker.S) path =
   if Traces.Binfmt.is_binary path then begin
     let header = Traces.Binfmt.read_header path in
-    let shards =
-      resolve_shards ~shards ~events:header.Traces.Binfmt.events
+    let events = header.Traces.Binfmt.events in
+    let stealing =
+      sched <> None
+      && shardable ~shards ~timeout (module C)
+      && steal_worthwhile ~shards ~events
     in
+    let shards = if stealing then shards else resolve_shards ~shards ~events in
     if packed && packable ~prefilter header then
-      if shardable ~shards ~timeout (module C) then
+      if stealing || shardable ~shards ~timeout (module C) then
         run_packed_file_sharded ?heartbeat ~prefilter ~shards ?shard_pool
+          ?sched:(if stealing then sched else None)
           ?flight (module C) path header
       else
         run_packed_file ?timeout ?heartbeat ~reclaim ~prefilter ?flight
@@ -1046,8 +1081,8 @@ let run_stream_pipelined ?timeout ?heartbeat ?(reclaim = true)
       | _ -> r)
 
 let run_stream ?timeout ?heartbeat ?(pipelined = false) ?(reclaim = true)
-    ?(prefilter = Off) ?(packed = true) ?(shards = 1) ?shard_pool ?flight
-    checker path =
+    ?(prefilter = Off) ?(packed = true) ?(shards = 1) ?shard_pool ?sched
+    ?flight checker path =
   (* the sharded path materializes the whole arena before any checking
      starts, so a pipelined producer would have nothing to overlap with;
      when both are requested, sharding wins *)
@@ -1056,7 +1091,7 @@ let run_stream ?timeout ?heartbeat ?(pipelined = false) ?(reclaim = true)
       ?flight checker path
   else
     run_stream_seq ?timeout ?heartbeat ~reclaim ~prefilter ~packed ~shards
-      ?shard_pool ?flight checker path
+      ?shard_pool ?sched ?flight checker path
 
 (* --- multi-file fan-out --- *)
 
@@ -1066,11 +1101,11 @@ type file_report = {
 }
 
 let run_file ?timeout ?heartbeat ?(pipelined = false) ?(reclaim = true)
-    ?(prefilter = Off) ?(packed = true) ?(shards = 1) ?shard_pool ?flight
-    checker path =
+    ?(prefilter = Off) ?(packed = true) ?(shards = 1) ?shard_pool ?sched
+    ?flight checker path =
   match
     run_stream ?timeout ?heartbeat ~pipelined ~reclaim ~prefilter ~packed
-      ~shards ?shard_pool ?flight checker path
+      ~shards ?shard_pool ?sched ?flight checker path
   with
   | r -> Ok r
   | exception Traces.Binfmt.Corrupt msg -> Error msg
@@ -1080,38 +1115,81 @@ let run_file ?timeout ?heartbeat ?(pipelined = false) ?(reclaim = true)
 
 let run_many ?timeout ?heartbeat ?(pipelined = false) ?(reclaim = true)
     ?(prefilter = Off) ?(packed = true) ?(jobs = 1) ?(shards = 1) ?shard_pool
-    ?flight ?on_pool checker paths =
-  (* The domain budget is shared between the file fan-out and intra-file
-     sharding: [jobs] caps the product, so sharded runs fan out fewer
-     files concurrently instead of oversubscribing cores.  Auto
-     sharding resolves per file, so budget with the machine-wide
-     estimate it is capped at. *)
-  let shard_width =
-    if shards = 0 then Domain.recommended_domain_count () else shards
-  in
-  let file_jobs = if shard_width > 1 then max 1 (jobs / shard_width) else jobs in
-  (* A lent shard pool is single-consumer ({!Parallel.Pool.map} is not
-     reentrant); once files fan out across workers, each file's run
-     creates its own chunk pool instead. *)
-  let shard_pool =
-    if file_jobs > 1 && List.compare_length_with paths 1 > 0 then None
-    else shard_pool
-  in
-  (* A shared heartbeat would interleave lines from concurrent workers;
-     drop it when the files actually fan out. *)
-  let heartbeat =
-    if file_jobs > 1 && List.compare_length_with paths 1 > 0 then None
-    else heartbeat
-  in
-  Parallel.Pool.run ?report:on_pool ~jobs:file_jobs
-    (fun path ->
-      {
-        file = path;
-        report =
-          run_file ?timeout ?heartbeat ~pipelined ~reclaim ~prefilter ~packed
-            ~shards ?shard_pool ?flight checker path;
-      })
-    paths
+    ?sched ?flight ?on_pool checker paths =
+  match sched with
+  | Some sc when List.compare_length_with paths 1 > 0 ->
+    (* Unified budget (DESIGN.md §18): the scheduler owns every domain,
+       and a file is just a task that spawns chunk tasks on the same
+       deques — [await] helps, so a file task waiting on its chunks
+       becomes another chunk consumer instead of an idle domain, and a
+       second file's chunks start the moment any deque has room rather
+       than at a file boundary.  [jobs] is not consulted here: the
+       caller sized the scheduler to the machine-wide budget.  The
+       heartbeat is dropped as on the pool path (concurrent workers
+       would interleave its lines). *)
+    let promises =
+      List.map
+        (fun path ->
+          Parallel.Deque.submit sc (fun () ->
+              {
+                file = path;
+                report =
+                  run_file ?timeout ~pipelined ~reclaim ~prefilter ~packed
+                    ~shards ~sched:sc ?flight checker path;
+              }))
+        paths
+    in
+    let reports = List.map (Parallel.Deque.await sc) promises in
+    (match on_pool with
+    | Some f -> f (Parallel.Deque.stats sc).Parallel.Deque.busy_seconds
+    | None -> ());
+    reports
+  | Some _ ->
+    (* one file: run it on the calling domain (keeping the heartbeat);
+       its chunks still fan out over the scheduler *)
+    List.map
+      (fun path ->
+        {
+          file = path;
+          report =
+            run_file ?timeout ?heartbeat ~pipelined ~reclaim ~prefilter
+              ~packed ~shards ?sched ?flight checker path;
+        })
+      paths
+  | None ->
+    (* The static domain budget is shared between the file fan-out and
+       intra-file sharding: [jobs] caps the product, so sharded runs fan
+       out fewer files concurrently instead of oversubscribing cores.
+       Auto sharding resolves per file, so budget with the machine-wide
+       estimate it is capped at. *)
+    let shard_width =
+      if shards = 0 then Domain.recommended_domain_count () else shards
+    in
+    let file_jobs =
+      if shard_width > 1 then max 1 (jobs / shard_width) else jobs
+    in
+    (* A lent shard pool is single-consumer ({!Parallel.Pool.map} is not
+       reentrant); once files fan out across workers, each file's run
+       creates its own chunk pool instead. *)
+    let shard_pool =
+      if file_jobs > 1 && List.compare_length_with paths 1 > 0 then None
+      else shard_pool
+    in
+    (* A shared heartbeat would interleave lines from concurrent workers;
+       drop it when the files actually fan out. *)
+    let heartbeat =
+      if file_jobs > 1 && List.compare_length_with paths 1 > 0 then None
+      else heartbeat
+    in
+    Parallel.Pool.run ?report:on_pool ~jobs:file_jobs
+      (fun path ->
+        {
+          file = path;
+          report =
+            run_file ?timeout ?heartbeat ~pipelined ~reclaim ~prefilter
+              ~packed ~shards ?shard_pool ?flight checker path;
+        })
+      paths
 
 let violating r =
   match r.outcome with Verdict (Some _) -> true | Verdict None | Timed_out -> false

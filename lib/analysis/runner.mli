@@ -139,7 +139,26 @@ type prefilter =
     ([--algo slow]/[faithful]), runs with a [timeout], id domains beyond
     {!Traces.Packed.fits}, and boxed ([~packed:false]) or [Online]-
     filtered streams.  [?shard_pool] lends an existing domain pool to
-    the chunk fan-out (one is created per run otherwise). *)
+    the chunk fan-out (one is created per run otherwise).
+
+    {2 Work-stealing execution}
+
+    Every function that takes [?shards] also takes [?sched], a
+    {!Parallel.Deque} work-stealing scheduler.  With one lent, a
+    shardable run executes in {e stealing} mode
+    ({!Parallel.Shard.check_stealing}): the arena is cut into
+    fine-grained micro-chunks (oversubscribed ~8x per scheduler
+    domain when [shards = 0]; an explicit [shards] forces that exact
+    plan), the chunks run as scheduler tasks in whatever order the
+    deques and steals produce, and each chunk performs the seam
+    repairs it owns as soon as it retires — reports stay
+    byte-identical to the sequential path (DESIGN.md §18).  The same
+    fallbacks apply, and auto stealing keeps the static path's
+    small-trace gate.  [shard_pool] is ignored in stealing mode.
+    Sharded runs in either mode report ["shard.*"] entries alike;
+    scheduler-level telemetry (steals, injections, per-domain busy
+    seconds) lives on the scheduler ({!Parallel.Deque.stats}) because
+    its counters span every run sharing the pool. *)
 
 type flight = {
   flight_dir : string;  (** directory the witness bundles are written to *)
@@ -157,10 +176,20 @@ val resolve_shards : shards:int -> events:int -> int
     amortize the planner.  Exposed so callers (the CLI) can size a
     lent shard pool to match. *)
 
+val steal_worthwhile : shards:int -> events:int -> bool
+(** Whether a run with [?shards] on a trace of [events] events would
+    use a lent work-stealing scheduler: an explicit chunk count always
+    does, auto micro-chunking keeps the static path's small-trace gate
+    (below it the planner costs more than the parallelism returns).
+    Core-count independent, unlike {!resolve_shards}: the caller's
+    scheduler fixes the domain budget.  Exposed so the CLI can decide
+    whether creating a scheduler for a lone trace is worthwhile. *)
+
 val run :
   ?timeout:float -> ?heartbeat:Obs.Heartbeat.t -> ?reclaim:bool ->
   ?prefilter:prefilter -> ?shards:int -> ?shard_pool:Parallel.Pool.t ->
-  ?flight:flight -> Aerodrome.Checker.t -> Traces.Trace.t -> result
+  ?sched:Parallel.Deque.t -> ?flight:flight -> Aerodrome.Checker.t ->
+  Traces.Trace.t -> result
 (** [timeout] in seconds; default: none.  [heartbeat] is restarted, given
     the trace length as total, and ticked as the run progresses.  With
     [reclaim] (the default) the last-use oracle is computed from the
@@ -197,8 +226,8 @@ val run_binary_file :
 val run_stream :
   ?timeout:float -> ?heartbeat:Obs.Heartbeat.t -> ?pipelined:bool ->
   ?reclaim:bool -> ?prefilter:prefilter -> ?packed:bool -> ?shards:int ->
-  ?shard_pool:Parallel.Pool.t -> ?flight:flight -> Aerodrome.Checker.t ->
-  string -> result
+  ?shard_pool:Parallel.Pool.t -> ?sched:Parallel.Deque.t -> ?flight:flight ->
+  Aerodrome.Checker.t -> string -> result
 (** Analyze a trace file without materializing it, auto-detecting the
     format: binary files stream in one pass (domains from the header),
     text files via {!Traces.Parser.fold_file} (two passes, since the text
@@ -242,8 +271,8 @@ type file_report = {
 val run_file :
   ?timeout:float -> ?heartbeat:Obs.Heartbeat.t -> ?pipelined:bool ->
   ?reclaim:bool -> ?prefilter:prefilter -> ?packed:bool -> ?shards:int ->
-  ?shard_pool:Parallel.Pool.t -> ?flight:flight -> Aerodrome.Checker.t ->
-  string -> (result, string) Stdlib.result
+  ?shard_pool:Parallel.Pool.t -> ?sched:Parallel.Deque.t -> ?flight:flight ->
+  Aerodrome.Checker.t -> string -> (result, string) Stdlib.result
 (** {!run_stream} with per-file error capture instead of exceptions:
     [Sys_error], {!Traces.Binfmt.Corrupt} and
     {!Traces.Parser.Parse_error} become [Error msg]. *)
@@ -251,12 +280,26 @@ val run_file :
 val run_many :
   ?timeout:float -> ?heartbeat:Obs.Heartbeat.t -> ?pipelined:bool ->
   ?reclaim:bool -> ?prefilter:prefilter -> ?packed:bool -> ?jobs:int ->
-  ?shards:int -> ?shard_pool:Parallel.Pool.t -> ?flight:flight ->
-  ?on_pool:(float array -> unit) -> Aerodrome.Checker.t -> string list ->
-  file_report list
+  ?shards:int -> ?shard_pool:Parallel.Pool.t -> ?sched:Parallel.Deque.t ->
+  ?flight:flight -> ?on_pool:(float array -> unit) -> Aerodrome.Checker.t ->
+  string list -> file_report list
 (** Check many trace files, one {!file_report} per input path {e in input
     order}.  A failing file yields its [Error] report and the remaining
-    files are still checked.  With [jobs > 1] the files fan out across a
+    files are still checked.
+
+    With [?sched] (the unified work-stealing mode) the scheduler owns
+    the whole machine-wide domain budget across {e both} axes of
+    parallelism: every file is submitted as one scheduler task, each
+    file's chunks are further tasks on the same deques, and a file
+    task awaiting its chunks {e helps} instead of idling — so
+    [jobs] × [shards] no longer multiply and there is no idle-domain
+    gap at file boundaries.  [jobs] and [shard_pool] are ignored in
+    this mode (the caller sizes the scheduler); result ordering is
+    still deterministic input order, and with a single path the run
+    stays on the calling domain (keeping the heartbeat) while its
+    chunks fan out.
+
+    Without a scheduler, with [jobs > 1] the files fan out across a
     fixed pool of [jobs] domains ({!Parallel.Pool}); result ordering is
     deterministic and identical to [jobs = 1], and each file's checker
     runs single-threaded on one domain (the exact sequential checker —
@@ -274,10 +317,11 @@ val run_many :
     once files fan out it is ignored and chunk pools are per-file.
 
     [heartbeat] is forwarded to each file's run, except when files fan
-    out across a pool (concurrent workers would interleave its lines).
+    out (concurrent workers would interleave its lines).
     [on_pool] receives {!Parallel.Pool.busy_seconds} — seconds each
-    worker spent checking, by worker index — after the pool is joined;
-    it is not called on the sequential path. *)
+    worker spent checking, by worker index — after the pool is joined
+    (in unified mode, the scheduler's per-worker busy seconds, which
+    also cover chunk tasks); it is not called on the sequential path. *)
 
 val pp_file_report : Format.formatter -> file_report -> unit
 (** ["path: <report>"] or ["path: error: <msg>"]. *)

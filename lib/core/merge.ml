@@ -275,3 +275,55 @@ let bounds plan ~total =
   Array.init k (fun i ->
       ( plan.boundaries.(i).cut,
         if i = k - 1 then total else plan.boundaries.(i + 1).cut ))
+
+type seam = {
+  owner : int;
+  from_ : int;
+  upto : int;
+  exact_from : int;
+  survives : bool;
+}
+
+(* The left-to-right reconciliation fold, precomputed.  Everything the
+   fold decides — where each repair segment starts and ends, which
+   chunk's checker it feeds (the nearest surviving predecessor), and
+   from which position a chunk's own speculative verdict is trusted —
+   depends only on the cuts, windows and chunk extents in the plan,
+   never on what the chunk checkers find.  Evaluating the fold here,
+   before any chunk has run, is what makes out-of-order execution
+   possible: a chunk can perform the repairs it owns the moment it
+   retires, regardless of how many later (or earlier non-owner) chunks
+   are still in flight, and the final verdict is the minimum-index
+   candidate over components whose exact regions partition the arena
+   (DESIGN.md §18).
+
+   The invariant carried by [covered] (mirroring [plan]'s repair
+   accounting and {!Shard}'s sequential reconcile): after chunk [i-1]
+   is folded in, [covered] >= [cut i], so segment [i] starts exactly
+   at the covered frontier and the clipped segments are disjoint and
+   ordered.  A chunk whose whole extent falls inside the repair
+   horizon does not survive: its range is re-fed by the segment and
+   its checker is discarded. *)
+let seams plan ~total =
+  let bs = plan.boundaries in
+  let k = Array.length bs in
+  let stop i = if i = k - 1 then total else bs.(i + 1).cut in
+  let out =
+    Array.make k { owner = 0; from_ = 0; upto = 0; exact_from = 0; survives = true }
+  in
+  let covered = ref (stop 0) in
+  let owner = ref 0 in
+  for i = 1 to k - 1 do
+    let h = min total (bs.(i).cut + bs.(i).window) in
+    let from_ = !covered in
+    let upto = max h from_ in
+    let exact_from = max from_ h in
+    let survives = stop i > exact_from in
+    out.(i) <- { owner = !owner; from_; upto; exact_from; survives };
+    if survives then begin
+      covered := stop i;
+      owner := i
+    end
+    else covered := exact_from
+  done;
+  out

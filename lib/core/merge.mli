@@ -75,3 +75,33 @@ val plan :
 val bounds : plan -> total:int -> (int * int) array
 (** [bounds plan ~total] is the [(base, stop)] half-open chunk extent
     per boundary, partitioning [0..total). *)
+
+type seam = {
+  owner : int;
+      (** index of the chunk whose checker repairs this seam: the
+          nearest surviving predecessor, whose exact state reaches
+          [from_] *)
+  from_ : int;  (** repair segment start: the covered frontier at the cut *)
+  upto : int;
+      (** repair segment end ([max from_ (min total (cut + window))]);
+          [upto = from_] means nothing to repair *)
+  exact_from : int;
+      (** first position from which this chunk's own speculative
+          verdict is trusted; a chunk-local violation rebased below it
+          must be confirmed by a repair *)
+  survives : bool;
+      (** whether this chunk's checker is consulted at all — false
+          when its whole extent falls inside the repair horizon and is
+          re-fed by the segment instead *)
+}
+
+val seams : plan -> total:int -> seam array
+(** The left-to-right reconciliation fold of {!Parallel.Shard},
+    precomputed from the plan alone — no chunk results needed.  Entry
+    [0] is the trivial seam (chunk 0 is exact from the origin); entry
+    [k >= 1] describes the seam at boundary [k].  Because segment
+    extents, owners and survival are static, chunks may execute and
+    repair out of order: a chunk performs the repairs it owns as soon
+    as it retires, and the final verdict is the minimum-index
+    candidate (DESIGN.md §18).  Exposed for {!Parallel.Shard} and the
+    plan-invariant tests. *)

@@ -174,6 +174,146 @@ let reconcile (plan : Aerodrome.Merge.plan) (tasks : task array) arena =
   done;
   (!violation, !repaired)
 
+(* Work-stealing execution over micro-chunks (DESIGN.md §18).  The
+   left-to-right fold above is order-dependent only in appearance: the
+   covered frontier, segment extents, seam owners and chunk survival
+   are all functions of the plan alone, so {!Aerodrome.Merge.seams}
+   evaluates the fold before any chunk runs.  Execution then needs no
+   order at all:
+
+   - every chunk is one scheduler task; the deques and steals decide
+     placement, so a hot chunk (violation site, dense lock traffic,
+     long repair horizon) no longer pins the whole tail to one domain;
+   - a chunk that owns seams repairs them the moment its own range is
+     fed — its checker's exact state already reaches the segment
+     start, and the arena is immutable, so the right-hand chunk of the
+     seam need not have retired (it contributes no state to the
+     repair, only its verdict to the final assembly);
+   - an owner frozen at its own violation skips its repairs: every
+     position they would cover lies past a real violation the
+     assembly already reports, so the sequential checker would never
+     reach them;
+   - the verdict is the minimum-index candidate over chunk 0, the
+     surviving chunks' exact-region violations and the repair
+     violations.  The exact regions and repair segments partition the
+     arena, each checked under exact sequential state, so the minimum
+     is the sequential checker's first violation — the same answer
+     {!reconcile} folds to, now computed from an unordered bag of
+     retirements (the [retired] bitmap). *)
+let check_stealing ~sched ?(oversub = 8) ?(chunk_floor = 8192) ?cuts ?flight
+    ~shards ~threads ~locks ~vars arena =
+  let n = Traces.Packed.Arena.length arena in
+  let shards =
+    match cuts with
+    | Some _ -> 0 (* the plan takes the forced cuts verbatim *)
+    | None when shards <> 0 -> shards (* forced chunk count (tests, static:N comparisons) *)
+    | None ->
+      max 1 (min (Deque.size sched * max 1 oversub) (max 1 (n / max 1 chunk_floor)))
+  in
+  let t0 = Unix.gettimeofday () in
+  let plan =
+    Obs.Chrome_trace.span ~cat:"shard" "plan" (fun () ->
+        Aerodrome.Merge.plan ~threads ~shards ?cuts arena)
+  in
+  let plan_seconds = Unix.gettimeofday () -. t0 in
+  let bounds = Aerodrome.Merge.bounds plan ~total:n in
+  let k = Array.length bounds in
+  let seams = Aerodrome.Merge.seams plan ~total:n in
+  (* seams grouped by owning chunk, ascending — the owner feeds its
+     segments in trace order, so its checker walks one contiguous
+     stream *)
+  let owned = Array.make k [] in
+  for i = k - 1 downto 1 do
+    let s = seams.(i) in
+    if s.Aerodrome.Merge.upto > s.Aerodrome.Merge.from_ then
+      owned.(s.Aerodrome.Merge.owner) <- i :: owned.(s.Aerodrome.Merge.owner)
+  done;
+  let retired = Array.init k (fun _ -> Atomic.make false) in
+  let work i () =
+    let t =
+      run_chunk ?flight ~threads ~locks ~vars arena
+        (plan.Aerodrome.Merge.boundaries.(i), bounds.(i))
+    in
+    Atomic.set retired.(i) true;
+    let rv = ref None in
+    let fed = ref 0 in
+    if t.violation = None then
+      List.iter
+        (fun si ->
+          if !rv = None then begin
+            let s = seams.(si) in
+            let v, f =
+              repair t.checker arena ~from:s.Aerodrome.Merge.from_
+                ~upto:s.Aerodrome.Merge.upto
+            in
+            fed := !fed + f;
+            rv := v
+          end)
+        owned.(i);
+    (t, !rv, !fed)
+  in
+  let results =
+    if k <= 1 then Array.init k (fun i -> work i ())
+    else
+      let promises = Array.init k (fun i -> Deque.submit sched (work i)) in
+      Array.map (Deque.await sched) promises
+  in
+  let t1 = Unix.gettimeofday () in
+  Array.iter (fun r -> assert (Atomic.get r)) retired;
+  let rebase (t : task) =
+    Option.map
+      (fun (v : Aerodrome.Violation.t) ->
+        Aerodrome.Violation.make ~index:(t.base + v.index) ~event:v.event
+          ~site:v.site)
+      t.violation
+  in
+  let best = ref None in
+  let consider = function
+    | Some (v : Aerodrome.Violation.t) -> (
+      match !best with
+      | Some (w : Aerodrome.Violation.t) when w.index <= v.index -> ()
+      | _ -> best := Some v)
+    | None -> ()
+  in
+  Array.iteri
+    (fun i ((t : task), rv, _) ->
+      consider rv;
+      if i = 0 then consider (rebase t)
+      else if seams.(i).Aerodrome.Merge.survives then
+        match rebase t with
+        | Some v
+          when v.Aerodrome.Violation.index >= seams.(i).Aerodrome.Merge.exact_from
+          ->
+          consider (Some v)
+        | _ -> ())
+    results;
+  (* the same loud guard as [reconcile]: a surviving chunk's
+     speculative violation below its exact region must be explained by
+     an earlier final violation, else containment is broken *)
+  Array.iteri
+    (fun i ((t : task), _, _) ->
+      if i > 0 && seams.(i).Aerodrome.Merge.survives then
+        match rebase t with
+        | Some v
+          when v.Aerodrome.Violation.index < seams.(i).Aerodrome.Merge.exact_from
+          -> (
+          match !best with
+          | Some (w : Aerodrome.Violation.t)
+            when w.index <= v.Aerodrome.Violation.index ->
+            ()
+          | _ ->
+            failwith "Shard.check: speculative violation unconfirmed by repair")
+        | _ -> ())
+    results;
+  {
+    violation = !best;
+    plan;
+    tasks = Array.map (fun (t, _, _) -> t) results;
+    repaired_events = Array.fold_left (fun a (_, _, f) -> a + f) 0 results;
+    plan_seconds;
+    merge_seconds = Unix.gettimeofday () -. t1;
+  }
+
 let check ?pool ?cuts ?flight ~shards ~threads ~locks ~vars arena =
   let t0 = Unix.gettimeofday () in
   let plan =

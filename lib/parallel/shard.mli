@@ -85,3 +85,31 @@ val check :
     repaired window is not confirmed by the repair — impossible under
     the §17 containment invariant; the failure guards against silently
     reporting a verdict the sequential checker would not produce. *)
+
+val check_stealing :
+  sched:Deque.t -> ?oversub:int -> ?chunk_floor:int -> ?cuts:int list ->
+  ?flight:int -> shards:int -> threads:int -> locks:int -> vars:int ->
+  Traces.Packed.Arena.t -> outcome
+(** Work-stealing variant (DESIGN.md §18): the arena is cut into
+    fine-grained micro-chunks — with [shards = 0], [oversub] (default
+    8) chunks per scheduler domain, floored at [chunk_floor] (default
+    8192) events per chunk; an explicit [shards] forces that exact
+    chunk count, so the differential tests run the {e same} plans as
+    {!check} through the stealing executor — submitted as tasks to
+    [sched] and executed in whatever
+    order the deques and steals produce.  Reconciliation is the {e
+    precomputed} left-to-right fold ({!Aerodrome.Merge.seams}): each
+    chunk task, once its own range is fed, immediately performs the
+    seam repairs it owns (its exact state already reaches them, and
+    the arena is immutable, so no other chunk need have retired), a
+    completion bitmap records retirement for the final assembly, and
+    the verdict is the minimum-index candidate over the chunks' exact
+    regions and the repair segments — which partition the arena, so
+    the answer is byte-identical to {!check} and to the sequential
+    checker.  [cuts] forces exact micro-chunk cuts (the adversarial
+    test hook); [oversub]/[chunk_floor] are ignored when it is given.
+
+    The same {!outcome} is produced, with [merge_seconds] covering
+    only the final assembly (repairs are on the chunk tasks' clock).
+    @raise Failure under the same unconfirmed-speculation guard as
+    {!check}. *)

@@ -1,20 +1,22 @@
 The bench harness emits machine-readable results with --json; the file
-must satisfy the aerodrome-bench/9 schema (validate_json exits non-zero
+must satisfy the aerodrome-bench/10 schema (validate_json exits non-zero
 and prints a diagnostic otherwise).  The reclaim section — peak live
 heap with and without last-use state reclamation — the prefilter
 section — checking throughput with the trace reduction off, exact, and
 online — the arena section — boxed vs zero-copy packed ingestion
 end to end, which also contributes the decode-only ingestion rows to
 "micro" — the shards section — sequential vs chunk-parallel
-single-trace checking — and the observability section — live
-OpenMetrics scraping overhead plus flight-recorder overhead with
-witness-replay verification — ride along by default, and the validator
-enforces matching verdicts on every axis, a non-increasing peak, a
-non-growing reduction, a packed path that never allocates more than the
-boxed reference, sharded reports identical to sequential, and
-validator-clean scrapes with a reproduced witness replay, so this run
-doubles as the memory, reduction, ingestion, sharding and observability
-smoke test:
+single-trace checking — the scheduler section — static chunk plan vs
+the work-stealing scheduler on the adversarial workload — and the
+observability section — live OpenMetrics scraping overhead plus
+flight-recorder overhead with witness-replay verification — ride along
+by default, and the validator enforces matching verdicts on every
+axis, a non-increasing peak, a non-growing reduction, a packed path
+that never allocates more than the boxed reference, sharded and
+scheduled reports identical to sequential, and validator-clean scrapes
+with a reproduced witness replay, so this run doubles as the memory,
+reduction, ingestion, sharding, scheduling and observability smoke
+test:
 
   $ ../bench/main.exe --table 1 --scale 0.05 --timeout 1 --no-micro \
   >   --no-ablation --no-scaling --json bench.json > /dev/null 2>&1
@@ -30,6 +32,8 @@ smoke test:
   1
   $ grep -c '"shards":{"cases"' bench.json
   1
+  $ grep -c '"scheduler":{"threads"' bench.json
+  1
   $ grep -c '"observability":{"exporter"' bench.json
   1
 
@@ -38,18 +42,19 @@ clock + speedup, pipelined ingestion) and the sequential/parallel
 verdict cross-check; a divergence is a schema error by design:
 
   $ ../bench/main.exe --table 2 --scale 0.05 --timeout 1 --no-micro \
-  >   --no-ablation --no-scaling --no-shards --no-observability \
-  >   --jobs 2 --json jobs.json > /dev/null 2>&1
+  >   --no-ablation --no-scaling --no-shards --no-scheduler \
+  >   --no-observability --jobs 2 --json jobs.json > /dev/null 2>&1
   $ ../bench/validate_json.exe jobs.json
   ok
 
-The telemetry, reclaim, prefilter, arena, shards and observability
-sections can be disabled; the schema treats them as nullable:
+The telemetry, reclaim, prefilter, arena, shards, scheduler and
+observability sections can be disabled; the schema treats them as
+nullable:
 
   $ ../bench/main.exe --table 1 --scale 0.05 --timeout 1 --no-micro \
   >   --no-ablation --no-scaling --no-parallel --no-telemetry \
   >   --no-reclaim --no-prefilter --no-arena --no-shards \
-  >   --no-observability --json none.json > /dev/null 2>&1
+  >   --no-scheduler --no-observability --json none.json > /dev/null 2>&1
   $ ../bench/validate_json.exe none.json
   ok
   $ grep -c '"reclaim":null' none.json
@@ -60,6 +65,8 @@ sections can be disabled; the schema treats them as nullable:
   1
   $ grep -c '"shards":null' none.json
   1
+  $ grep -c '"scheduler":null' none.json
+  1
   $ grep -c '"observability":null' none.json
   1
 
@@ -69,18 +76,18 @@ A missing file, an outdated schema or a schema violation is rejected:
   $ ../bench/validate_json.exe old.json
   old.json: unknown schema "aerodrome-bench/2"
   [1]
-  $ echo '{"schema":"aerodrome-bench/8","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":null,"prefilter":null,"arena":null,"shards":null,"observability":null}' > prev.json
+  $ echo '{"schema":"aerodrome-bench/9","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":null,"prefilter":null,"arena":null,"shards":null,"scheduler":null,"observability":null}' > prev.json
   $ ../bench/validate_json.exe prev.json
-  prev.json: unknown schema "aerodrome-bench/8"
+  prev.json: unknown schema "aerodrome-bench/9"
   [1]
-  $ echo '{"schema":"aerodrome-bench/9","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":null,"prefilter":null,"arena":null,"shards":null,"observability":null}' > bad.json
+  $ echo '{"schema":"aerodrome-bench/10","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":null,"prefilter":null,"arena":null,"shards":null,"scheduler":null,"observability":null}' > bad.json
   $ ../bench/validate_json.exe bad.json
   bad.json: no tables and no micro results
   [1]
 
 A telemetry section that lost its counter snapshot is rejected too:
 
-  $ echo '{"schema":"aerodrome-bench/9","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":{"events":10,"disabled_events_per_sec":1,"enabled_events_per_sec":1,"overhead_pct":0,"metrics":{}},"reclaim":null,"prefilter":null,"arena":null,"shards":null,"observability":null}' > notel.json
+  $ echo '{"schema":"aerodrome-bench/10","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":{"events":10,"disabled_events_per_sec":1,"enabled_events_per_sec":1,"overhead_pct":0,"metrics":{}},"reclaim":null,"prefilter":null,"arena":null,"shards":null,"scheduler":null,"observability":null}' > notel.json
   $ ../bench/validate_json.exe notel.json
   notel.json: missing field "events.total"
   [1]
@@ -88,11 +95,11 @@ A telemetry section that lost its counter snapshot is rejected too:
 So is a reclaim section whose verdicts diverged, or whose peak grew
 with reclamation on:
 
-  $ echo '{"schema":"aerodrome-bench/9","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":{"events":10,"threads":2,"vars":4,"off":{"seconds":0.1,"events_per_sec":100,"peak_live_words":1000},"on":{"seconds":0.1,"events_per_sec":100,"peak_live_words":500,"pool_hits":1,"pool_misses":1,"pool_hit_rate":0.5,"reclaimed_states":2},"peak_reduction_pct":50,"verdicts_match":false},"prefilter":null,"arena":null,"shards":null,"observability":null}' > diverge.json
+  $ echo '{"schema":"aerodrome-bench/10","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":{"events":10,"threads":2,"vars":4,"off":{"seconds":0.1,"events_per_sec":100,"peak_live_words":1000},"on":{"seconds":0.1,"events_per_sec":100,"peak_live_words":500,"pool_hits":1,"pool_misses":1,"pool_hit_rate":0.5,"reclaimed_states":2},"peak_reduction_pct":50,"verdicts_match":false},"prefilter":null,"arena":null,"shards":null,"scheduler":null,"observability":null}' > diverge.json
   $ ../bench/validate_json.exe diverge.json
   diverge.json: reclaim: verdicts diverged between reclaim modes
   [1]
-  $ echo '{"schema":"aerodrome-bench/9","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":{"events":10,"threads":2,"vars":4,"off":{"seconds":0.1,"events_per_sec":100,"peak_live_words":1000},"on":{"seconds":0.1,"events_per_sec":100,"peak_live_words":2000,"pool_hits":1,"pool_misses":1,"pool_hit_rate":0.5,"reclaimed_states":2},"peak_reduction_pct":-100,"verdicts_match":true},"prefilter":null,"arena":null,"shards":null,"observability":null}' > grew.json
+  $ echo '{"schema":"aerodrome-bench/10","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":{"events":10,"threads":2,"vars":4,"off":{"seconds":0.1,"events_per_sec":100,"peak_live_words":1000},"on":{"seconds":0.1,"events_per_sec":100,"peak_live_words":2000,"pool_hits":1,"pool_misses":1,"pool_hit_rate":0.5,"reclaimed_states":2},"peak_reduction_pct":-100,"verdicts_match":true},"prefilter":null,"arena":null,"shards":null,"scheduler":null,"observability":null}' > grew.json
   $ ../bench/validate_json.exe grew.json
   grew.json: reclaim: peak_live_words grew with reclamation on (2000 > 1000)
   [1]
@@ -100,11 +107,11 @@ with reclamation on:
 And a prefilter section whose verdicts diverged across filter modes,
 or whose "reduction" grew the trace:
 
-  $ echo '{"schema":"aerodrome-bench/9","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":null,"prefilter":{"events_in":100,"events_out":60,"threads":2,"vars":4,"elided":{"thread_local":20,"read_only":10,"redundant":5,"lock_local":5},"off":{"seconds":0.2,"events_per_sec":500,"events_fed":100},"exact":{"seconds":0.1,"events_per_sec":1000,"events_fed":60},"online":{"seconds":0.15,"events_per_sec":666,"events_fed":70},"speedup_exact":2,"speedup_online":1.33,"verdicts_match":false},"arena":null,"shards":null,"observability":null}' > pfdiverge.json
+  $ echo '{"schema":"aerodrome-bench/10","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":null,"prefilter":{"events_in":100,"events_out":60,"threads":2,"vars":4,"elided":{"thread_local":20,"read_only":10,"redundant":5,"lock_local":5},"off":{"seconds":0.2,"events_per_sec":500,"events_fed":100},"exact":{"seconds":0.1,"events_per_sec":1000,"events_fed":60},"online":{"seconds":0.15,"events_per_sec":666,"events_fed":70},"speedup_exact":2,"speedup_online":1.33,"verdicts_match":false},"arena":null,"shards":null,"scheduler":null,"observability":null}' > pfdiverge.json
   $ ../bench/validate_json.exe pfdiverge.json
   pfdiverge.json: prefilter: verdicts diverged between filter modes
   [1]
-  $ echo '{"schema":"aerodrome-bench/9","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":null,"prefilter":{"events_in":100,"events_out":120,"threads":2,"vars":4,"elided":{"thread_local":0,"read_only":0,"redundant":0,"lock_local":0},"off":{"seconds":0.2,"events_per_sec":500,"events_fed":100},"exact":{"seconds":0.1,"events_per_sec":1000,"events_fed":120},"online":{"seconds":0.15,"events_per_sec":666,"events_fed":100},"speedup_exact":2,"speedup_online":1.33,"verdicts_match":true},"arena":null,"shards":null,"observability":null}' > pfgrew.json
+  $ echo '{"schema":"aerodrome-bench/10","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":null,"prefilter":{"events_in":100,"events_out":120,"threads":2,"vars":4,"elided":{"thread_local":0,"read_only":0,"redundant":0,"lock_local":0},"off":{"seconds":0.2,"events_per_sec":500,"events_fed":100},"exact":{"seconds":0.1,"events_per_sec":1000,"events_fed":120},"online":{"seconds":0.15,"events_per_sec":666,"events_fed":100},"speedup_exact":2,"speedup_online":1.33,"verdicts_match":true},"arena":null,"shards":null,"scheduler":null,"observability":null}' > pfgrew.json
   $ ../bench/validate_json.exe pfgrew.json
   pfgrew.json: prefilter: events_out grew (120 > 100)
   [1]
@@ -112,11 +119,11 @@ or whose "reduction" grew the trace:
 And an arena section where the packed path's report diverged from the
 boxed reference, or where "zero-copy" somehow allocated more:
 
-  $ echo '{"schema":"aerodrome-bench/9","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":null,"prefilter":null,"arena":{"events":100,"threads":2,"vars":4,"file_bytes":300,"boxed":{"seconds":0.2,"events_per_sec":500,"events_fed":100,"allocated_mwords":1.5},"packed":{"seconds":0.1,"events_per_sec":1000,"events_fed":90,"allocated_mwords":0.01},"speedup":2,"alloc_reduction":150,"verdicts_match":true,"reports_match":false},"shards":null,"observability":null}' > ardiverge.json
+  $ echo '{"schema":"aerodrome-bench/10","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":null,"prefilter":null,"arena":{"events":100,"threads":2,"vars":4,"file_bytes":300,"boxed":{"seconds":0.2,"events_per_sec":500,"events_fed":100,"allocated_mwords":1.5},"packed":{"seconds":0.1,"events_per_sec":1000,"events_fed":90,"allocated_mwords":0.01},"speedup":2,"alloc_reduction":150,"verdicts_match":true,"reports_match":false},"shards":null,"scheduler":null,"observability":null}' > ardiverge.json
   $ ../bench/validate_json.exe ardiverge.json
   ardiverge.json: arena: packed report diverged from boxed
   [1]
-  $ echo '{"schema":"aerodrome-bench/9","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":null,"prefilter":null,"arena":{"events":100,"threads":2,"vars":4,"file_bytes":300,"boxed":{"seconds":0.2,"events_per_sec":500,"events_fed":100,"allocated_mwords":0.5},"packed":{"seconds":0.1,"events_per_sec":1000,"events_fed":100,"allocated_mwords":1.5},"speedup":2,"alloc_reduction":0.33,"verdicts_match":true,"reports_match":true},"shards":null,"observability":null}' > argrew.json
+  $ echo '{"schema":"aerodrome-bench/10","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":null,"prefilter":null,"arena":{"events":100,"threads":2,"vars":4,"file_bytes":300,"boxed":{"seconds":0.2,"events_per_sec":500,"events_fed":100,"allocated_mwords":0.5},"packed":{"seconds":0.1,"events_per_sec":1000,"events_fed":100,"allocated_mwords":1.5},"speedup":2,"alloc_reduction":0.33,"verdicts_match":true,"reports_match":true},"shards":null,"scheduler":null,"observability":null}' > argrew.json
   $ ../bench/validate_json.exe argrew.json
   argrew.json: arena: packed path allocated more than boxed (1.500 > 0.500 Mwords)
   [1]
@@ -127,17 +134,30 @@ only come from a seamed cut), or whose repair fraction blew the 10%
 regression bound on a 1M+-event run (small runs are exempt — where a
 cut lands in a tiny trace is pure noise):
 
-  $ echo '{"schema":"aerodrome-bench/9","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":null,"prefilter":null,"arena":null,"shards":{"cases":[{"threads":4,"events":100,"sequential":{"seconds":0.2,"events_per_sec":500},"runs":[{"shards":2,"seconds":0.1,"events_per_sec":1000,"speedup":2,"chunks":2,"quiescent_cuts":1,"seamed_cuts":0,"repaired_events":0,"repair_fraction":0,"tainted_events":0,"utilization":[0.9,0.8],"verdicts_match":true,"reports_match":false}]}]},"observability":null}' > shdiverge.json
+  $ echo '{"schema":"aerodrome-bench/10","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":null,"prefilter":null,"arena":null,"scheduler":null,"shards":{"cases":[{"threads":4,"events":100,"sequential":{"seconds":0.2,"events_per_sec":500},"runs":[{"shards":2,"seconds":0.1,"events_per_sec":1000,"speedup":2,"chunks":2,"quiescent_cuts":1,"seamed_cuts":0,"repaired_events":0,"repair_fraction":0,"tainted_events":0,"utilization":[0.9,0.8],"verdicts_match":true,"reports_match":false}]}]},"observability":null}' > shdiverge.json
   $ ../bench/validate_json.exe shdiverge.json
   shdiverge.json: shards.cases[0].runs[0]: sharded report diverged from sequential
   [1]
-  $ echo '{"schema":"aerodrome-bench/9","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":null,"prefilter":null,"arena":null,"shards":{"cases":[{"threads":4,"events":100,"sequential":{"seconds":0.2,"events_per_sec":500},"runs":[{"shards":2,"seconds":0.1,"events_per_sec":1000,"speedup":2,"chunks":2,"quiescent_cuts":1,"seamed_cuts":0,"repaired_events":10,"repair_fraction":0.1,"tainted_events":0,"utilization":[0.9,0.8],"verdicts_match":true,"reports_match":true}]}]},"observability":null}' > shrepair.json
+  $ echo '{"schema":"aerodrome-bench/10","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":null,"prefilter":null,"arena":null,"scheduler":null,"shards":{"cases":[{"threads":4,"events":100,"sequential":{"seconds":0.2,"events_per_sec":500},"runs":[{"shards":2,"seconds":0.1,"events_per_sec":1000,"speedup":2,"chunks":2,"quiescent_cuts":1,"seamed_cuts":0,"repaired_events":10,"repair_fraction":0.1,"tainted_events":0,"utilization":[0.9,0.8],"verdicts_match":true,"reports_match":true}]}]},"observability":null}' > shrepair.json
   $ ../bench/validate_json.exe shrepair.json
   shrepair.json: shards.cases[0].runs[0]: repaired events without a seamed cut
   [1]
-  $ echo '{"schema":"aerodrome-bench/9","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":null,"prefilter":null,"arena":null,"shards":{"cases":[{"threads":4,"events":2000000,"sequential":{"seconds":0.2,"events_per_sec":500},"runs":[{"shards":3,"seconds":0.1,"events_per_sec":1000,"speedup":2,"chunks":3,"quiescent_cuts":1,"seamed_cuts":1,"repaired_events":400000,"repair_fraction":0.2,"tainted_events":100,"utilization":[0.9,0.8,0.7],"verdicts_match":true,"reports_match":true}]}]},"observability":null}' > shbound.json
+  $ echo '{"schema":"aerodrome-bench/10","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":null,"prefilter":null,"arena":null,"scheduler":null,"shards":{"cases":[{"threads":4,"events":2000000,"sequential":{"seconds":0.2,"events_per_sec":500},"runs":[{"shards":3,"seconds":0.1,"events_per_sec":1000,"speedup":2,"chunks":3,"quiescent_cuts":1,"seamed_cuts":1,"repaired_events":400000,"repair_fraction":0.2,"tainted_events":100,"utilization":[0.9,0.8,0.7],"verdicts_match":true,"reports_match":true}]}]},"observability":null}' > shbound.json
   $ ../bench/validate_json.exe shbound.json
   shbound.json: shards.cases[0].runs[0]: repair_fraction 0.2000 exceeds the 0.10 regression bound
+  [1]
+
+And a scheduler section whose work-stealing run produced a different
+report than the sequential one, or whose per-domain utilization does
+not cover every domain of the stated budget:
+
+  $ echo '{"schema":"aerodrome-bench/10","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":null,"prefilter":null,"arena":null,"shards":null,"scheduler":{"threads":8,"events":1000,"domains":2,"sequential":{"seconds":0.2,"events_per_sec":5000},"static":{"seconds":0.1,"events_per_sec":10000,"speedup":2,"verdicts_match":true,"reports_match":true},"steal":{"seconds":0.1,"events_per_sec":10000,"speedup":2,"chunks":16,"steals":3,"failed_steals":1,"injected":17,"utilization":[0.9,0.8],"verdicts_match":true,"reports_match":false},"steal_vs_static":1},"observability":null}' > sddiverge.json
+  $ ../bench/validate_json.exe sddiverge.json
+  sddiverge.json: scheduler.steal: report diverged from sequential
+  [1]
+  $ echo '{"schema":"aerodrome-bench/10","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":null,"prefilter":null,"arena":null,"shards":null,"scheduler":{"threads":8,"events":1000,"domains":2,"sequential":{"seconds":0.2,"events_per_sec":5000},"static":{"seconds":0.1,"events_per_sec":10000,"speedup":2,"verdicts_match":true,"reports_match":true},"steal":{"seconds":0.1,"events_per_sec":10000,"speedup":2,"chunks":16,"steals":3,"failed_steals":1,"injected":17,"utilization":[0.9],"verdicts_match":true,"reports_match":true},"steal_vs_static":1},"observability":null}' > sdutil.json
+  $ ../bench/validate_json.exe sdutil.json
+  sdutil.json: scheduler.steal: utilization arity <> domains
   [1]
 
 And an observability section whose exposition failed OpenMetrics
@@ -146,19 +166,19 @@ validation, whose live scraping cost more than the 3% bound on a
 scale), or whose replayable witness slice failed to reproduce the
 violation:
 
-  $ echo '{"schema":"aerodrome-bench/9","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":null,"prefilter":null,"arena":null,"shards":null,"observability":{"exporter":{"events":1000,"baseline_events_per_sec":100,"scraped_events_per_sec":99,"overhead_pct":1,"scrapes":3,"scrapes_valid":false},"flight":{"events":100,"verdicts_match":true,"windows":[{"window":256,"off_events_per_sec":100,"on_events_per_sec":90,"overhead_pct":10,"slice_events":50,"replayable":true,"replay_matches":true}]}}}' > obsinvalid.json
+  $ echo '{"schema":"aerodrome-bench/10","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":null,"prefilter":null,"arena":null,"shards":null,"scheduler":null,"observability":{"exporter":{"events":1000,"baseline_events_per_sec":100,"scraped_events_per_sec":99,"overhead_pct":1,"scrapes":3,"scrapes_valid":false},"flight":{"events":100,"verdicts_match":true,"windows":[{"window":256,"off_events_per_sec":100,"on_events_per_sec":90,"overhead_pct":10,"slice_events":50,"replayable":true,"replay_matches":true}]}}}' > obsinvalid.json
   $ ../bench/validate_json.exe obsinvalid.json
   obsinvalid.json: observability.exporter: exposition failed OpenMetrics validation
   [1]
-  $ echo '{"schema":"aerodrome-bench/9","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":null,"prefilter":null,"arena":null,"shards":null,"observability":{"exporter":{"events":2000000,"baseline_events_per_sec":100,"scraped_events_per_sec":90,"overhead_pct":10,"scrapes":3,"scrapes_valid":true},"flight":{"events":100,"verdicts_match":true,"windows":[{"window":256,"off_events_per_sec":100,"on_events_per_sec":90,"overhead_pct":10,"slice_events":50,"replayable":true,"replay_matches":true}]}}}' > obsslow.json
+  $ echo '{"schema":"aerodrome-bench/10","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":null,"prefilter":null,"arena":null,"shards":null,"scheduler":null,"observability":{"exporter":{"events":2000000,"baseline_events_per_sec":100,"scraped_events_per_sec":90,"overhead_pct":10,"scrapes":3,"scrapes_valid":true},"flight":{"events":100,"verdicts_match":true,"windows":[{"window":256,"off_events_per_sec":100,"on_events_per_sec":90,"overhead_pct":10,"slice_events":50,"replayable":true,"replay_matches":true}]}}}' > obsslow.json
   $ ../bench/validate_json.exe obsslow.json
   obsslow.json: observability.exporter: live scraping cost 10.00% throughput (bound 3%)
   [1]
-  $ echo '{"schema":"aerodrome-bench/9","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":null,"prefilter":null,"arena":null,"shards":null,"observability":{"exporter":{"events":1000,"baseline_events_per_sec":100,"scraped_events_per_sec":99,"overhead_pct":1,"scrapes":3,"scrapes_valid":true},"flight":{"events":100,"verdicts_match":true,"windows":[{"window":256,"off_events_per_sec":100,"on_events_per_sec":90,"overhead_pct":10,"slice_events":50,"replayable":true,"replay_matches":false}]}}}' > obsreplay.json
+  $ echo '{"schema":"aerodrome-bench/10","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":null,"prefilter":null,"arena":null,"shards":null,"scheduler":null,"observability":{"exporter":{"events":1000,"baseline_events_per_sec":100,"scraped_events_per_sec":99,"overhead_pct":1,"scrapes":3,"scrapes_valid":true},"flight":{"events":100,"verdicts_match":true,"windows":[{"window":256,"off_events_per_sec":100,"on_events_per_sec":90,"overhead_pct":10,"slice_events":50,"replayable":true,"replay_matches":false}]}}}' > obsreplay.json
   $ ../bench/validate_json.exe obsreplay.json
   obsreplay.json: observability.flight.windows[0]: witness slice failed to reproduce the violation
   [1]
-  $ echo '{"schema":"aerodrome-bench/9","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":null,"prefilter":null,"arena":null,"shards":null,"observability":{"exporter":{"events":1000,"baseline_events_per_sec":100,"scraped_events_per_sec":99,"overhead_pct":1,"scrapes":3,"scrapes_valid":true},"flight":{"events":100,"verdicts_match":true,"windows":[{"window":256,"off_events_per_sec":100,"on_events_per_sec":90,"overhead_pct":10,"slice_events":0,"replayable":false,"replay_matches":true}]}}}' > obsnone.json
+  $ echo '{"schema":"aerodrome-bench/10","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":null,"reclaim":null,"prefilter":null,"arena":null,"shards":null,"scheduler":null,"observability":{"exporter":{"events":1000,"baseline_events_per_sec":100,"scraped_events_per_sec":99,"overhead_pct":1,"scrapes":3,"scrapes_valid":true},"flight":{"events":100,"verdicts_match":true,"windows":[{"window":256,"off_events_per_sec":100,"on_events_per_sec":90,"overhead_pct":10,"slice_events":0,"replayable":false,"replay_matches":true}]}}}' > obsnone.json
   $ ../bench/validate_json.exe obsnone.json
   obsnone.json: observability.flight: no window probe produced a replayable slice
   [1]
@@ -177,11 +197,11 @@ A collapsed throughput or a grown peak does regress, and scale-dependent
 indicators (peak live words) are skipped when the two runs measured
 different workload sizes rather than producing a spurious verdict:
 
-  $ echo '{"schema":"aerodrome-bench/9","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":{"enabled_events_per_sec":1000},"reclaim":{"events":50,"on":{"events_per_sec":1000,"peak_live_words":100}},"prefilter":null,"arena":null,"shards":null,"observability":null}' > cmpold.json
-  $ echo '{"schema":"aerodrome-bench/9","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":{"enabled_events_per_sec":400},"reclaim":{"events":50,"on":{"events_per_sec":950,"peak_live_words":200}},"prefilter":null,"arena":null,"shards":null,"observability":null}' > cmpnew.json
+  $ echo '{"schema":"aerodrome-bench/10","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":{"enabled_events_per_sec":1000},"reclaim":{"events":50,"on":{"events_per_sec":1000,"peak_live_words":100}},"prefilter":null,"arena":null,"shards":null,"scheduler":null,"observability":null}' > cmpold.json
+  $ echo '{"schema":"aerodrome-bench/10","scale":1,"timeout":1,"jobs":1,"tables":[],"micro":[],"parallel":null,"telemetry":{"enabled_events_per_sec":400},"reclaim":{"events":50,"on":{"events_per_sec":950,"peak_live_words":200}},"prefilter":null,"arena":null,"shards":null,"scheduler":null,"observability":null}' > cmpnew.json
   $ ../bench/compare.exe cmpold.json cmpnew.json
-  comparing cmpnew.json (aerodrome-bench/9)
-    against cmpold.json (aerodrome-bench/9)
+  comparing cmpnew.json (aerodrome-bench/10)
+    against cmpold.json (aerodrome-bench/10)
     REGRESSION  telemetry: enabled events/sec                      1000.0 ->          400.0  (-60.0%)
     ok    reclaim: on events/sec                             1000.0 ->          950.0  (-5.0%)
     REGRESSION  reclaim: on peak_live_words                         100.0 ->          200.0  (+100.0%)
@@ -198,7 +218,7 @@ files:
   $ cp bench.json BENCH_2099-01-01_a.json
   $ cp bench.json BENCH_2099-01-02_b.json
   $ ../bench/compare.exe --glob 'BENCH_2099-*.json' | head -1
-  comparing ./BENCH_2099-01-02_b.json (aerodrome-bench/9)
+  comparing ./BENCH_2099-01-02_b.json (aerodrome-bench/10)
   $ ../bench/compare.exe --glob 'BENCH_2099-01-01_*.json'
   compare: fewer than two files match BENCH_2099-01-01_*.json
   [2]

@@ -64,3 +64,29 @@ Quiet mode still prints the errors (they explain the exit code):
   rapid: warning: --jobs 2 exceeds 1 available core
   missing.std: No such file or directory
   [2]
+
+The default --shards steal mode runs the batch on one work-stealing
+scheduler — the file fan-out itself executes as deque tasks — and its
+telemetry lands in --stats and --stats-json.  Steal counts are racy
+(they depend on which domain grabs what first), so only the
+conservation facts are pinned here; validate_stats pins the full
+sched key set and the per-domain arity:
+
+  $ rapid check --jobs 2 --shards steal --stats --stats-json sched.json \
+  >   big.std small.std bad.std 2>/dev/null | sed 's/in [0-9.]*s/in TIME/' \
+  >   | grep -E 'aerodrome:|sched\.(completed|domains|injected) '
+  big.std: aerodrome: serializable in TIME (413 events)
+  small.std: aerodrome: serializable in TIME (132 events)
+  bad.std: aerodrome: violation @165 in TIME (311 events)
+    sched.completed               3
+    sched.domains                 2
+    sched.injected                3
+  $ ../../bench/validate_stats.exe stats sched.json
+  ok
+
+static:N keeps the historical fixed-plan executor on dedicated pools,
+with no scheduler telemetry to report:
+
+  $ rapid check --jobs 2 --shards static:2 --stats big.std small.std bad.std 2>/dev/null | grep -c 'sched\.'
+  0
+  [1]

@@ -22,6 +22,11 @@ let shard_check ?cuts ?flight ~shards tr =
   Parallel.Shard.check ?cuts ?flight ~shards ~threads:(Trace.threads tr)
     ~locks:(Trace.locks tr) ~vars:(Trace.vars tr) (arena_of tr)
 
+let steal_check ?cuts ?flight ~sched ~shards tr =
+  Parallel.Shard.check_stealing ~sched ?cuts ?flight ~shards
+    ~threads:(Trace.threads tr) ~locks:(Trace.locks tr) ~vars:(Trace.vars tr)
+    (arena_of tr)
+
 let seq_violation tr = Aerodrome.Checker.run (module Aerodrome.Opt) tr
 
 let violating_trace ~seed ~threads ~at =
@@ -124,9 +129,11 @@ let horizon tr cut =
 (* --- differential matrix --- *)
 
 (* >= 500 mixed corpus traces, each checked sequentially and with
-   2/3/4 shards under every prefilter x reclaim combination; the
-   rendered runner reports (verdict, 1-based violation index, events
-   fed) must match byte for byte once timings are zeroed. *)
+   2/3/4 shards under every prefilter x reclaim x executor (static
+   pool vs work-stealing scheduler) combination; the rendered runner
+   reports (verdict, 1-based violation index, events fed) must match
+   byte for byte once timings are zeroed.  The stealing runs force the
+   same chunk counts, so both executors reconcile the same plans. *)
 let test_matrix () =
   let normalized r =
     Format.asprintf "%a" Analysis.Runner.pp
@@ -134,6 +141,7 @@ let test_matrix () =
   in
   (* the mixed corpus is serializable by construction; add generator
      traces with injected violations so both verdicts are exercised *)
+  Parallel.Deque.with_scheduler 4 (fun sched ->
   Parallel.Pool.with_pool 4 (fun pool ->
       let traces = ref 0 in
       let violating = ref 0 in
@@ -171,6 +179,18 @@ let test_matrix () =
                              seed threads shards
                              (prefilter <> Analysis.Runner.Off)
                              reclaim)
+                          base_s (normalized r);
+                        let r =
+                          Analysis.Runner.run ~prefilter ~reclaim ~shards
+                            ~sched opt tr
+                        in
+                        Alcotest.(check string)
+                          (Printf.sprintf
+                             "seed=%d threads=%d shards=%d prefilter=%b \
+                              reclaim=%b stealing"
+                             seed threads shards
+                             (prefilter <> Analysis.Runner.Off)
+                             reclaim)
                           base_s (normalized r))
                       [ 2; 3; 4 ])
                   [ false; true ])
@@ -182,7 +202,7 @@ let test_matrix () =
       Alcotest.(check bool) "some traces violate" true (!violating > 0);
       Alcotest.(check bool)
         "some traces are serializable" true
-        (!violating < !traces))
+        (!violating < !traces)))
 
 (* Forced cuts at arbitrary (frequently non-quiescent) positions across
    a generated corpus, composed with the exact prefilter and per-chunk
@@ -190,6 +210,7 @@ let test_matrix () =
    checker on the same (filtered) event stream, whatever the cut slices
    through. *)
 let test_adversarial_cut_matrix () =
+  Parallel.Deque.with_scheduler 4 (fun sched ->
   let checked = ref 0 in
   for seed = 0 to 39 do
     List.iter
@@ -231,7 +252,21 @@ let test_adversarial_cut_matrix () =
                       (fun (t : Parallel.Shard.task) ->
                         Alcotest.(check bool)
                           "flight recorder attached" true (t.flight <> None))
-                      o.Parallel.Shard.tasks
+                      o.Parallel.Shard.tasks;
+                    (* the same forced cuts through the stealing
+                       executor: out-of-order seam repair must land on
+                       the identical verdict *)
+                    let o =
+                      steal_check ~sched ~cuts ~flight:64
+                        ~shards:(List.length cuts + 1)
+                        tr
+                    in
+                    Alcotest.(check violation)
+                      (Printf.sprintf
+                         "seed=%d threads=%d prefilter=%b cuts=[%s] stealing"
+                         seed threads prefiltered
+                         (String.concat ";" (List.map string_of_int cuts)))
+                      expected o.Parallel.Shard.violation
                   end)
                 [
                   [ n / 2 ];
@@ -242,7 +277,7 @@ let test_adversarial_cut_matrix () =
           [ false; true ])
       [ 2; 3; 4 ]
   done;
-  Alcotest.(check bool) "adversarial matrix non-vacuous" true (!checked >= 400)
+  Alcotest.(check bool) "adversarial matrix non-vacuous" true (!checked >= 400))
 
 (* Auto-planned boundaries: the chunk bounds partition the arena, the
    summaries match an independent depth recomputation, and each repair
@@ -320,6 +355,81 @@ let test_plan_invariants () =
         if i > 0 then
           Alcotest.(check int) "chunks contiguous" (snd bounds.(i - 1)) base)
       bounds
+  done
+
+(* The precomputed reconciliation fold ({!Merge.seams}): owners are the
+   nearest surviving predecessors, a non-surviving chunk's whole extent
+   is re-fed by its repair segment, and the surviving chunks' exact
+   regions plus the repair segments partition the arena — the property
+   that makes out-of-order execution return the sequential verdict. *)
+let test_seam_invariants () =
+  for seed = 0 to 19 do
+    let tr =
+      Workloads.Corpus.mixed ~seed:(Int64.of_int seed) ~threads:3
+        ~events_total:2000 ()
+    in
+    let n = Trace.length tr in
+    let arena = arena_of tr in
+    let check_plan label (plan : Aerodrome.Merge.plan) =
+      let bounds = Aerodrome.Merge.bounds plan ~total:n in
+      let seams = Aerodrome.Merge.seams plan ~total:n in
+      let k = Array.length plan.Aerodrome.Merge.boundaries in
+      Alcotest.(check int) (label ^ ": one seam per boundary") k
+        (Array.length seams);
+      Alcotest.(check bool) (label ^ ": chunk 0 survives") true
+        seams.(0).Aerodrome.Merge.survives;
+      let cover = Array.make n 0 in
+      let mark from upto =
+        for p = from to upto - 1 do
+          cover.(p) <- cover.(p) + 1
+        done
+      in
+      Array.iteri
+        (fun i (s : Aerodrome.Merge.seam) ->
+          let base, stop = bounds.(i) in
+          if i > 0 then begin
+            Alcotest.(check bool)
+              (Printf.sprintf "%s: seam %d owner precedes" label i)
+              true (s.owner < i);
+            Alcotest.(check bool)
+              (Printf.sprintf "%s: seam %d owner survives" label i)
+              true seams.(s.owner).Aerodrome.Merge.survives;
+            for j = s.owner + 1 to i - 1 do
+              Alcotest.(check bool)
+                (Printf.sprintf "%s: seam %d owner is nearest" label i)
+                false seams.(j).Aerodrome.Merge.survives
+            done;
+            Alcotest.(check bool)
+              (Printf.sprintf "%s: seam %d segment ordered" label i)
+              true
+              (s.from_ <= s.upto && s.upto <= n);
+            if not s.survives then begin
+              (* a dead chunk's extent must be entirely re-fed *)
+              Alcotest.(check bool)
+                (Printf.sprintf "%s: seam %d dead chunk covered" label i)
+                true
+                (s.from_ <= base && stop <= s.upto)
+            end;
+            mark s.from_ s.upto
+          end;
+          if s.survives then mark (max base s.exact_from) stop)
+        seams;
+      Array.iteri
+        (fun p c ->
+          if c <> 1 then
+            Alcotest.failf "%s: position %d covered %d times (want 1)" label p
+              c)
+        cover
+    in
+    let threads = Trace.threads tr in
+    check_plan
+      (Printf.sprintf "seed=%d auto" seed)
+      (Aerodrome.Merge.plan ~threads ~shards:4 arena);
+    check_plan
+      (Printf.sprintf "seed=%d forced" seed)
+      (Aerodrome.Merge.plan ~threads ~shards:4
+         ~cuts:[ n / 3; n / 2; 2 * n / 3 ]
+         arena)
   done
 
 (* --- adversarial boundaries --- *)
@@ -530,7 +640,17 @@ let test_runner_report_identity () =
       Alcotest.(check string)
         (Printf.sprintf "runner report, %d shards" shards)
         (normalized base) (normalized r))
-    [ 0; 2; 3; 4 ]
+    [ 0; 2; 3; 4 ];
+  (* the same through a lent scheduler: [0] stays sequential (the
+     small-trace gate), explicit counts steal *)
+  Parallel.Deque.with_scheduler 2 (fun sched ->
+      List.iter
+        (fun shards ->
+          let r = Analysis.Runner.run ~shards ~sched opt tr in
+          Alcotest.(check string)
+            (Printf.sprintf "runner report, %d shards stealing" shards)
+            (normalized base) (normalized r))
+        [ 0; 2; 3; 4 ])
 
 let suite =
   ( "shard",
@@ -541,6 +661,8 @@ let suite =
         test_adversarial_cut_matrix;
       Alcotest.test_case "plan: summaries, windows, bounds partition" `Quick
         test_plan_invariants;
+      Alcotest.test_case "plan: seams partition for out-of-order repair"
+        `Quick test_seam_invariants;
       Alcotest.test_case "boundary: violation at the cut" `Quick
         test_boundary_violation;
       Alcotest.test_case "boundary: cut inside an open transaction" `Quick
